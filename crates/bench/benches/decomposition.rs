@@ -1,0 +1,28 @@
+//! Criterion benchmark: decomposition cost per kernel size and method —
+//! the compile-time budget of the TeMCO pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temco_decomp::{cp_decompose, tt_decompose, tucker2, tucker_ranks};
+use temco_tensor::Tensor;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_kernel");
+    group.sample_size(10);
+    for &channels in &[64usize, 128, 256] {
+        let w = Tensor::he_conv_weight(channels, channels, 3, 3, 1);
+        let (ro, ri) = tucker_ranks(channels, channels, 0.1);
+        group.bench_with_input(BenchmarkId::new("tucker", channels), &(), |b, _| {
+            b.iter(|| tucker2(&w, ro, ri, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("tt", channels), &(), |b, _| {
+            b.iter(|| tt_decompose(&w, (ri, ri.max(ro), ro)));
+        });
+    }
+    // CP-ALS is much slower; keep it to one small size.
+    let w = Tensor::he_conv_weight(64, 64, 3, 3, 2);
+    group.bench_function("cp/64", |b| b.iter(|| cp_decompose(&w, 7, 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark: end-to-end inference time per variant (the
+//! Figure 11 measurement in criterion form, at CI-friendly scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use temco::{Compiler, OptLevel};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, ExecOptions};
+use temco_tensor::Tensor;
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = ModelConfig { batch: 4, image: 32, num_classes: 10, classifier_width: 64, seed: 1 };
+    let compiler = Compiler::default();
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for model in [ModelId::Vgg11, ModelId::Resnet18] {
+        let graph = model.build(&cfg);
+        let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 2);
+        let variants = [
+            ("original", graph.clone()),
+            ("decomposed", compiler.compile(&graph, OptLevel::Decomposed).0),
+            ("temco", compiler.compile(&graph, OptLevel::SkipOptFusion).0),
+        ];
+        for (label, g) in variants {
+            group.bench_with_input(
+                BenchmarkId::new(model.name(), label),
+                &(),
+                |b, _| b.iter(|| execute(&g, std::slice::from_ref(&x), ExecOptions::default())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation A2: merging sibling `lconv`s (Figure 9a vs 9c).
+//!
+//! Section 3.3: merging trades larger (block-diagonal) weights for fewer
+//! fused-kernel launches. This harness compiles DenseNet and UNet with the
+//! merge on and off and reports fused-kernel count, node count (≈ launch
+//! count), weight bytes, and peak internal memory.
+
+use temco::{Compiler, CompilerOptions, OptLevel};
+use temco_bench::{harness_config, mib};
+use temco_models::ModelId;
+use temco_runtime::plan_memory;
+
+fn main() {
+    let cfg = harness_config(64, 4);
+    println!("Ablation — merge_lconvs on/off\n");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>12} {:>12}",
+        "model", "merge", "fused", "nodes", "weights", "peak"
+    );
+    for model in [ModelId::Densenet121, ModelId::UnetSmall, ModelId::Resnet18] {
+        let graph = model.build(&cfg);
+        for merge in [false, true] {
+            let opts = CompilerOptions { merge_lconvs: merge, ..Default::default() };
+            let compiler = Compiler::new(opts);
+            let (opt, stats) = compiler.compile(&graph, OptLevel::SkipOptFusion);
+            let plan = plan_memory(&opt);
+            println!(
+                "{:<14} {:>6} {:>8} {:>8} {:>9.2} MiB {:>9.2} MiB",
+                model.name(),
+                merge,
+                stats.fusion.total(),
+                opt.nodes.len(),
+                mib(plan.weight_bytes),
+                mib(plan.peak_internal_bytes)
+            );
+        }
+    }
+    println!("\n(the paper: merging increases weight bytes but cuts the number of");
+    println!(" fused kernels — compare the 'fused'/'nodes' and 'weights' columns)");
+}

@@ -1,0 +1,76 @@
+//! Ablation A1: the skip-connection optimization's thresholds.
+//!
+//! Section 3.1 introduces `DISTANCE_THRESHOLD` (which lifespans count as
+//! skip connections) and the `Overhead` check (`COMPUTE_THRESHOLD`, peak
+//! bound). This harness sweeps both on the three skip-connection
+//! architectures and reports how many skips get optimized, how many copies
+//! that costs, the resulting FLOPs overhead, and the peak internal memory —
+//! the trade-off curve behind the paper's "selectively optimizes" remark
+//! about ResNet.
+
+use temco::{Compiler, CompilerOptions, OptLevel, SkipOptOptions};
+use temco_bench::{harness_config, mib};
+use temco_ir::graph_flops;
+use temco_models::ModelId;
+use temco_runtime::plan_memory;
+
+fn main() {
+    let cfg = harness_config(64, 4);
+    let models = [ModelId::Resnet18, ModelId::Densenet121, ModelId::UnetSmall];
+
+    println!("Ablation — DISTANCE_THRESHOLD sweep (compute_multiplier = 1.0)\n");
+    println!(
+        "{:<12} {:>9} {:>10} {:>8} {:>12} {:>12}",
+        "model", "distance", "optimized", "copies", "peak", "GFLOPs"
+    );
+    for model in models {
+        let graph = model.build(&cfg);
+        for distance in [2usize, 4, 8, 16, 64] {
+            let opts = CompilerOptions {
+                skip_opt: SkipOptOptions { distance_threshold: distance, ..Default::default() },
+                merge_lconvs: true,
+                ..Default::default()
+            };
+            let compiler = Compiler::new(opts);
+            let (opt, stats) = compiler.compile(&graph, OptLevel::SkipOptFusion);
+            let plan = plan_memory(&opt);
+            println!(
+                "{:<12} {:>9} {:>10} {:>8} {:>9.2} MiB {:>12.2}",
+                model.name(),
+                distance,
+                stats.skip_opt.skips_optimized,
+                stats.skip_opt.copies_inserted,
+                mib(plan.peak_internal_bytes),
+                graph_flops(&opt) as f64 / 1e9
+            );
+        }
+    }
+
+    println!("\nAblation — Overhead-check strictness (distance = 4)\n");
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>12} {:>12}",
+        "model", "compute×", "optimized", "rejected", "peak", "GFLOPs"
+    );
+    for model in models {
+        let graph = model.build(&cfg);
+        for mult in [0.01f64, 0.1, 1.0, 10.0] {
+            let opts = CompilerOptions {
+                skip_opt: SkipOptOptions { compute_multiplier: mult, ..Default::default() },
+                merge_lconvs: true,
+                ..Default::default()
+            };
+            let compiler = Compiler::new(opts);
+            let (opt, stats) = compiler.compile(&graph, OptLevel::SkipOptFusion);
+            let plan = plan_memory(&opt);
+            println!(
+                "{:<12} {:>9} {:>10} {:>10} {:>9.2} MiB {:>12.2}",
+                model.name(),
+                mult,
+                stats.skip_opt.skips_optimized,
+                stats.skip_opt.rejected_overhead,
+                mib(plan.peak_internal_bytes),
+                graph_flops(&opt) as f64 / 1e9
+            );
+        }
+    }
+}

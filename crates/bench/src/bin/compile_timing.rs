@@ -1,0 +1,28 @@
+//! Developer utility: wall-clock cost of each compiler pass per model.
+//!
+//! Not a paper figure — used to calibrate test budgets and document
+//! compile-time behaviour in DESIGN.md.
+
+use std::time::Instant;
+
+use temco::{Compiler, OptLevel};
+use temco_bench::harness_config;
+use temco_models::ModelId;
+
+fn main() {
+    let cfg = harness_config(64, 1);
+    let compiler = Compiler::default();
+    println!("{:<14} {:>8} {:>10} {:>10}", "model", "nodes", "compile(s)", "nodes_out");
+    for model in ModelId::all() {
+        let g = model.build(&cfg);
+        let t0 = Instant::now();
+        let (opt, _) = compiler.compile(&g, OptLevel::SkipOptFusion);
+        println!(
+            "{:<14} {:>8} {:>10.2} {:>10}",
+            model.name(),
+            g.nodes.len(),
+            t0.elapsed().as_secs_f64(),
+            opt.nodes.len()
+        );
+    }
+}

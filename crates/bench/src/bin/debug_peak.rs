@@ -1,0 +1,44 @@
+//! Developer utility: where is the peak? Prints the peak step and the live
+//! set around it for a model/level.
+
+use temco::{Compiler, OptLevel};
+use temco_bench::{harness_config, mib};
+use temco_ir::liveness;
+use temco_models::ModelId;
+use temco_runtime::plan_memory;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "densenet121".into());
+    let model = ModelId::all().into_iter().find(|m| m.name() == name).expect("model");
+    let cfg = harness_config(224, 4);
+    let compiler = Compiler::default();
+    let g = model.build(&cfg);
+    for level in [OptLevel::Decomposed, OptLevel::SkipOpt, OptLevel::SkipOptFusion] {
+        let (opt, _) = compiler.compile(&g, level);
+        let plan = plan_memory(&opt);
+        println!(
+            "\n{} @ {}: peak {:.2} MiB at step {} ({})",
+            model.name(),
+            level.label(),
+            mib(plan.peak_internal_bytes),
+            plan.peak_step,
+            plan.timeline[plan.peak_step].label
+        );
+        // Largest live values at the peak step.
+        let lv = liveness(&opt);
+        let mut live: Vec<(usize, String)> = (0..opt.values.len())
+            .filter(|&v| lv.live_at(temco_ir::ValueId(v as u32), plan.peak_step))
+            .map(|v| {
+                (
+                    opt.value_bytes(temco_ir::ValueId(v as u32)),
+                    opt.values[v].name.clone(),
+                )
+            })
+            .collect();
+        live.sort_by_key(|(bytes, _)| std::cmp::Reverse(*bytes));
+        for (bytes, name) in live.iter().take(12) {
+            println!("   {:>10.2} MiB  {}", mib(*bytes), name);
+        }
+        println!("   ({} live values total)", live.len());
+    }
+}

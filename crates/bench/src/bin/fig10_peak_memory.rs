@@ -1,0 +1,75 @@
+//! Figure 10: peak memory usage of the 10 models' inferences.
+//!
+//! For every model, print the weight-tensor and internal-tensor peak memory
+//! of each variant (Original / Decomposed / Fusion or Skip-Opt /
+//! Skip-Opt+Fusion) and the geomean internal-tensor reduction of full TeMCO
+//! versus the original models — the paper's headline 75.7%.
+//!
+//! Runs at paper scale by default (batch 4, 224×224, Tucker ratio 0.1);
+//! override with `TEMCO_IMAGE` / `TEMCO_BATCH` for a quick pass. Peak
+//! memory comes from the static planner, so no convolutions are executed.
+
+use std::io::Write as _;
+
+use temco::Compiler;
+use temco_bench::{geomean, harness_config, mib, paper_variants, results_dir};
+use temco_models::ModelId;
+use temco_runtime::plan_memory;
+
+fn main() {
+    let cfg = harness_config(224, 4);
+    let compiler = Compiler::default();
+    let csv_path = results_dir().join("fig10_peak_memory.csv");
+    let mut csv = std::fs::File::create(&csv_path).expect("create csv");
+    writeln!(csv, "model,variant,weight_bytes,peak_internal_bytes").unwrap();
+
+    println!(
+        "Figure 10 — peak memory usage (batch {}, {}×{}, Tucker ratio 0.1)",
+        cfg.batch, cfg.image, cfg.image
+    );
+    let mut reductions_vs_original = Vec::new();
+    let mut reductions_vs_decomposed = Vec::new();
+
+    for model in ModelId::all() {
+        let graph = model.build(&cfg);
+        let variants = paper_variants(model, &graph, &compiler);
+        println!("\n{}:", model.name());
+        println!("    {:<18} {:>12} {:>14}", "variant", "weights", "internal");
+        let mut original = 0usize;
+        let mut decomposed = 0usize;
+        let mut last = 0usize;
+        for v in &variants {
+            let plan = plan_memory(&v.graph);
+            println!(
+                "    {:<18} {:>9.2} MiB {:>11.2} MiB",
+                v.label,
+                mib(plan.weight_bytes),
+                mib(plan.peak_internal_bytes)
+            );
+            writeln!(
+                csv,
+                "{},{},{},{}",
+                model.name(),
+                v.label,
+                plan.weight_bytes,
+                plan.peak_internal_bytes
+            )
+            .unwrap();
+            match v.label.as_str() {
+                "Original" => original = plan.peak_internal_bytes,
+                "Decomposed" => decomposed = plan.peak_internal_bytes,
+                _ => last = plan.peak_internal_bytes,
+            }
+        }
+        let vs_orig = 100.0 * (1.0 - last as f64 / original as f64);
+        let vs_dec = 100.0 * (1.0 - last as f64 / decomposed as f64);
+        println!("    TeMCO internal-tensor reduction: {vs_orig:.1}% vs original, {vs_dec:.1}% vs decomposed");
+        reductions_vs_original.push(last as f64 / original as f64);
+        reductions_vs_decomposed.push(last as f64 / decomposed as f64);
+    }
+
+    let g_orig = 100.0 * (1.0 - geomean(&reductions_vs_original));
+    let g_dec = 100.0 * (1.0 - geomean(&reductions_vs_decomposed));
+    println!("\ngeomean internal-tensor reduction: {g_orig:.1}% vs original (paper: 75.7%), {g_dec:.1}% vs decomposed");
+    println!("csv: {}", csv_path.display());
+}

@@ -1,0 +1,85 @@
+//! Figure 11: end-to-end inference time of the 10 models.
+//!
+//! Executes every variant of every model at batch 4 and batch 32 and
+//! reports wall-clock time plus the optimized/decomposed slowdown ratio.
+//! The paper measures 1.08× (batch 4) to 1.70× (batch 32) overheads on an
+//! RTX 4090; our substrate is a CPU interpreter, so absolute numbers
+//! differ, but the *shape* — TeMCO trades some time for memory, and the
+//! overhead grows with batch size — is what this harness checks.
+//!
+//! Defaults to 64×64 inputs (CPU-friendly); set `TEMCO_IMAGE=224` for
+//! paper-scale resolution and `TEMCO_MODELS=vgg11,unet_small` to subset.
+
+use std::io::Write as _;
+
+use temco::Compiler;
+use temco_bench::{geomean, harness_config, paper_variants, results_dir};
+use temco_models::ModelId;
+use temco_runtime::{execute, ExecOptions};
+use temco_tensor::Tensor;
+
+fn selected_models() -> Vec<ModelId> {
+    match std::env::var("TEMCO_MODELS") {
+        Ok(list) => {
+            let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+            ModelId::all()
+                .into_iter()
+                .filter(|m| names.iter().any(|n| n == m.name()))
+                .collect()
+        }
+        // DenseNets are by far the slowest to interpret; keep the default
+        // list broad but tractable.
+        Err(_) => vec![
+            ModelId::Alexnet,
+            ModelId::Vgg11,
+            ModelId::Vgg16,
+            ModelId::Resnet18,
+            ModelId::UnetSmall,
+        ],
+    }
+}
+
+fn main() {
+    let batches: Vec<usize> = std::env::var("TEMCO_BATCHES")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![4, 32]);
+    let compiler = Compiler::default();
+    let csv_path = results_dir().join("fig11_inference_time.csv");
+    let mut csv = std::fs::File::create(&csv_path).expect("create csv");
+    writeln!(csv, "model,batch,variant,seconds").unwrap();
+
+    for &batch in &batches {
+        let cfg = temco_models::ModelConfig { batch, ..harness_config(64, 4) };
+        println!(
+            "\nFigure 11 — inference time, batch {batch}, {}×{}:",
+            cfg.image, cfg.image
+        );
+        let mut ratios = Vec::new();
+        for model in selected_models() {
+            let graph = model.build(&cfg);
+            let variants = paper_variants(model, &graph, &compiler);
+            let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 17);
+            print!("  {:<12}", model.name());
+            let mut decomposed = 0.0f64;
+            let mut best = 0.0f64;
+            for v in &variants {
+                // One warmup, then the timed run.
+                execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default());
+                let res = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default());
+                print!(" {}={:.3}s", v.label, res.total_time);
+                writeln!(csv, "{},{batch},{},{}", model.name(), v.label, res.total_time).unwrap();
+                match v.label.as_str() {
+                    "Decomposed" => decomposed = res.total_time,
+                    "Fusion" | "Skip-Opt+Fusion" => best = res.total_time,
+                    _ => {}
+                }
+            }
+            let ratio = best / decomposed.max(1e-9);
+            ratios.push(ratio);
+            println!("  → TeMCO/Decomposed = {ratio:.2}×");
+        }
+        println!("  geomean TeMCO/Decomposed at batch {batch}: {:.2}×", geomean(&ratios));
+    }
+    println!("\n(paper, RTX 4090: 1.08× at batch 4, 1.70× at batch 32)");
+    println!("csv: {}", csv_path.display());
+}

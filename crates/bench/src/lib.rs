@@ -1,0 +1,116 @@
+//! Shared harness utilities for the paper-figure regenerators.
+//!
+//! Every figure/table of the paper's evaluation has a binary in `src/bin`
+//! (see DESIGN.md's per-experiment index); this library holds the pieces
+//! they share: variant compilation, simple table/CSV output, and argument
+//! parsing small enough not to need a CLI crate.
+
+pub mod svg;
+
+use std::path::PathBuf;
+
+use temco::{Compiler, OptLevel};
+use temco_ir::Graph;
+use temco_models::{ModelConfig, ModelId};
+
+/// The evaluation's model×variant grid row.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// Legend label (`Original`, `Decomposed`, `Fusion`, …).
+    pub label: String,
+    /// The compiled graph.
+    pub graph: Graph,
+}
+
+/// Compile the variants the paper compares for one model: `Original`,
+/// `Decomposed`, then `Fusion` for linear models or `Skip-Opt` and
+/// `Skip-Opt+Fusion` for models with skip connections (Section 4.1).
+pub fn paper_variants(model: ModelId, graph: &Graph, compiler: &Compiler) -> Vec<Variant> {
+    let mut out = vec![Variant { label: "Original".into(), graph: graph.clone() }];
+    let (dec, _) = compiler.compile(graph, OptLevel::Decomposed);
+    out.push(Variant { label: "Decomposed".into(), graph: dec });
+    if model.has_skip_connections() {
+        let (skip, _) = compiler.compile(graph, OptLevel::SkipOpt);
+        out.push(Variant { label: "Skip-Opt".into(), graph: skip });
+        let (both, _) = compiler.compile(graph, OptLevel::SkipOptFusion);
+        out.push(Variant { label: "Skip-Opt+Fusion".into(), graph: both });
+    } else {
+        let (fus, _) = compiler.compile(graph, OptLevel::Fusion);
+        out.push(Variant { label: "Fusion".into(), graph: fus });
+    }
+    out
+}
+
+/// The best TeMCO level for a model (what Figure 10's rightmost bar shows).
+pub fn temco_level(model: ModelId) -> OptLevel {
+    if model.has_skip_connections() {
+        OptLevel::SkipOptFusion
+    } else {
+        OptLevel::Fusion
+    }
+}
+
+/// Bytes → MiB.
+pub fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Geometric mean of a slice (ignores non-positive entries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Where harness binaries drop their CSVs.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TEMCO_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Tiny env-var-driven config: `TEMCO_IMAGE`, `TEMCO_BATCH`,
+/// `TEMCO_CLASSES` override the defaults so the harness can run at paper
+/// scale (224/4/1000) or CI scale.
+pub fn harness_config(default_image: usize, default_batch: usize) -> ModelConfig {
+    let get = |k: &str, d: usize| {
+        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+    };
+    ModelConfig {
+        batch: get("TEMCO_BATCH", default_batch),
+        image: get("TEMCO_IMAGE", default_image),
+        num_classes: get("TEMCO_CLASSES", 1000),
+        classifier_width: get("TEMCO_CLASSIFIER", 1024),
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        assert!((geomean(&[4.0, 0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variant_grid_matches_paper_legend() {
+        let compiler = Compiler::default();
+        let cfg = ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 32, seed: 1 };
+        let g = ModelId::Vgg11.build(&cfg);
+        let labels: Vec<String> = paper_variants(ModelId::Vgg11, &g, &compiler)
+            .into_iter()
+            .map(|v| v.label)
+            .collect();
+        assert_eq!(labels, vec!["Original", "Decomposed", "Fusion"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal dependency-free SVG line-chart writer for the Figure-4 plots.
+//!
+//! Renders several memory-timeline series (one per variant) into a single
+//! standalone SVG with axes, a legend, and a MiB-scaled y-axis — enough to
+//! eyeball the paper's Figure 4 shapes without external tooling.
+
+use std::fmt::Write as _;
+
+/// One series of the chart.
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Live bytes per schedule step.
+    pub values: &'a [usize],
+    /// Stroke color (any SVG color string).
+    pub color: &'a str,
+}
+
+/// Render the series as a complete SVG document.
+///
+/// The x-axis is normalized schedule progress (each series may have a
+/// different node count after compilation), the y-axis is MiB.
+pub fn timeline_chart(title: &str, series: &[Series<'_>], width: u32, height: u32) -> String {
+    let (w, h) = (width as f64, height as f64);
+    let (ml, mr, mt, mb) = (64.0, 16.0, 34.0, 30.0); // margins
+    let plot_w = w - ml - mr;
+    let plot_h = h - mt - mb;
+    let max_bytes = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="monospace" font-size="11">"#
+    );
+    let _ = write!(svg, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="18" text-anchor="middle" font-size="13">{}</text>"#,
+        w / 2.0,
+        escape(title)
+    );
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        mt + plot_h
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{0}" stroke="black"/>"#,
+        mt + plot_h,
+        ml + plot_w
+    );
+    // y ticks: 0, ½, max (MiB).
+    for frac in [0.0f64, 0.5, 1.0] {
+        let y = mt + plot_h * (1.0 - frac);
+        let mib = max_bytes * frac / (1024.0 * 1024.0);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{y}" x2="{ml}" y2="{y}" stroke="black"/><text x="{}" y="{}" text-anchor="end">{mib:.1}</text>"#,
+            ml - 4.0,
+            ml - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="12" y="{}" transform="rotate(-90 12 {0})" text-anchor="middle">MiB</text>"#,
+        mt + plot_h / 2.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">schedule progress</text>"#,
+        ml + plot_w / 2.0,
+        h - 8.0
+    );
+
+    // Series polylines + legend.
+    for (i, s) in series.iter().enumerate() {
+        if s.values.is_empty() {
+            continue;
+        }
+        let n = s.values.len();
+        let mut points = String::new();
+        for (j, &v) in s.values.iter().enumerate() {
+            let x = ml + plot_w * if n > 1 { j as f64 / (n - 1) as f64 } else { 0.5 };
+            let y = mt + plot_h * (1.0 - v as f64 / max_bytes);
+            let _ = write!(points, "{x:.1},{y:.1} ");
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+            points.trim_end(),
+            s.color
+        );
+        let ly = mt + 6.0 + 14.0 * i as f64;
+        let lx = ml + plot_w - 150.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{}" stroke-width="2"/><text x="{}" y="{}">{}</text>"#,
+            lx + 18.0,
+            s.color,
+            lx + 24.0,
+            ly + 4.0,
+            escape(s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_svg_with_all_series() {
+        let a = [0usize, 100, 50, 200, 10];
+        let b = [0usize, 40, 30, 20];
+        let svg = timeline_chart(
+            "test",
+            &[
+                Series { label: "Original", values: &a, color: "#888888" },
+                Series { label: "TeMCO", values: &b, color: "#3366cc" },
+            ],
+            640,
+            320,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Original"));
+        assert!(svg.contains("TeMCO"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let v = [1usize, 2];
+        let svg = timeline_chart(
+            "a<b&c",
+            &[Series { label: "<x>", values: &v, color: "red" }],
+            100,
+            100,
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("&lt;x&gt;"));
+        assert!(!svg.contains("<x>"));
+    }
+
+    #[test]
+    fn empty_series_do_not_break_rendering() {
+        let svg = timeline_chart(
+            "empty",
+            &[Series { label: "none", values: &[], color: "blue" }],
+            100,
+            100,
+        );
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! `temco` — command-line front end for the TeMCO compiler.
+//!
+//! ```text
+//! temco list
+//! temco compile vgg16 --level skip-opt+fusion --ratio 0.1 --image 224 --batch 4
+//! temco run unet_small --level fusion --image 64
+//! temco dot resnet18 --level skip-opt+fusion > resnet18.dot
+//! ```
+
+use std::process::ExitCode;
+
+use temco::{compare_outputs, Compiler, CompilerOptions, DecomposeOptions, Method, OptLevel};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, plan_arena, plan_memory, ExecOptions};
+use temco_tensor::Tensor;
+
+/// Parsed command-line options.
+struct Cli {
+    command: String,
+    model: Option<ModelId>,
+    level: OptLevel,
+    method: Method,
+    ratio: f64,
+    image: usize,
+    batch: usize,
+    classes: usize,
+    reschedule: bool,
+    save: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "temco — Tensor Memory Compiler Optimization
+
+USAGE:
+  temco list                          list the 10 zoo models
+  temco compile <model> [opts]        compile and print memory/pass report
+  temco run <model> [opts]            compile, execute, and verify semantics
+  temco dot <model> [opts]            emit the optimized graph as Graphviz DOT
+  temco info <model.temco>            describe a saved .temco model file
+
+OPTIONS:
+  --level <decomposed|fusion|skip-opt|skip-opt+fusion>   (default: skip-opt+fusion)
+  --method <tucker|cp|tt>                                (default: tucker)
+  --ratio <f64>        decomposition ratio               (default: 0.1)
+  --image <n>          input resolution                  (default: 64)
+  --batch <n>          batch size                        (default: 4)
+  --classes <n>        classifier width                  (default: 1000)
+  --reschedule         apply the memory-aware scheduler
+  --save <path>        (compile) write the optimized model as .temco"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Cli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut cli = Cli {
+        command: args[0].clone(),
+        model: None,
+        level: OptLevel::SkipOptFusion,
+        method: Method::Tucker,
+        ratio: 0.1,
+        image: 64,
+        batch: 4,
+        classes: 1000,
+        reschedule: false,
+        save: None,
+    };
+    let mut i = 1;
+    // `info` takes a file path, not a model name.
+    if cli.command != "info" && i < args.len() && !args[i].starts_with("--") {
+        cli.model = ModelId::all().into_iter().find(|m| m.name() == args[i]);
+        if cli.model.is_none() {
+            eprintln!("unknown model '{}' — try `temco list`", args[i]);
+            std::process::exit(2);
+        }
+        i += 1;
+    } else if cli.command == "info" {
+        i += 1; // the path is re-read in main
+    }
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--level" => {
+                cli.level = match value(&mut i).as_str() {
+                    "decomposed" => OptLevel::Decomposed,
+                    "fusion" => OptLevel::Fusion,
+                    "skip-opt" => OptLevel::SkipOpt,
+                    "skip-opt+fusion" => OptLevel::SkipOptFusion,
+                    other => {
+                        eprintln!("unknown level '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--method" => {
+                cli.method = match value(&mut i).as_str() {
+                    "tucker" => Method::Tucker,
+                    "cp" => Method::Cp,
+                    "tt" => Method::TensorTrain,
+                    other => {
+                        eprintln!("unknown method '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--ratio" => cli.ratio = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--image" => cli.image = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--batch" => cli.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--classes" => cli.classes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--reschedule" => cli.reschedule = true,
+            "--save" => cli.save = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    match cli.command.as_str() {
+        "info" => {
+            let path = std::env::args().nth(2).unwrap_or_else(|| usage());
+            let mut f = std::fs::File::open(&path).expect("open model file");
+            let g = temco_ir::load_graph(&mut f).expect("parse .temco model");
+            let plan = plan_memory(&g);
+            println!("file:     {path}");
+            println!("nodes:    {}", g.nodes.len());
+            println!("weights:  {} tensors, {:.2} MiB", g.weights.len(), mib(g.weight_bytes()));
+            println!("internal: {:.2} MiB peak", mib(plan.peak_internal_bytes));
+            println!("inputs:   {:?}", g.inputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>());
+            println!("outputs:  {:?}", g.outputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>());
+            ExitCode::SUCCESS
+        }
+        "list" => {
+            println!("{:<14} {:<12} skip connections", "model", "architecture");
+            for m in ModelId::all() {
+                let arch = match m {
+                    ModelId::Alexnet => "AlexNet",
+                    ModelId::Vgg11 | ModelId::Vgg16 | ModelId::Vgg19 => "VGG",
+                    ModelId::Resnet18 | ModelId::Resnet34 => "ResNet",
+                    ModelId::Densenet121 | ModelId::Densenet169 => "DenseNet",
+                    ModelId::Unet | ModelId::UnetSmall => "UNet",
+                };
+                println!(
+                    "{:<14} {:<12} {}",
+                    m.name(),
+                    arch,
+                    if m.has_skip_connections() { "yes" } else { "no" }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "compile" | "run" | "dot" => {
+            let Some(model) = cli.model else { usage() };
+            let cfg = ModelConfig {
+                batch: cli.batch,
+                image: cli.image,
+                num_classes: cli.classes,
+                classifier_width: 1024,
+                seed: 42,
+            };
+            let graph = model.build(&cfg);
+            let compiler = Compiler::new(CompilerOptions {
+                decompose: DecomposeOptions {
+                    method: cli.method,
+                    ratio: cli.ratio,
+                    ..Default::default()
+                },
+                merge_lconvs: true,
+                reschedule: cli.reschedule,
+                ..Default::default()
+            });
+            let (opt, stats) = compiler.compile(&graph, cli.level);
+
+            match cli.command.as_str() {
+                "dot" => {
+                    print!("{}", temco_ir::dot::to_dot(&opt));
+                }
+                "compile" => {
+                    let before = plan_memory(&graph);
+                    let after = plan_memory(&opt);
+                    let arena = plan_arena(&opt);
+                    println!("model:    {} @ {}x{} batch {}", model.name(), cfg.image, cfg.image, cfg.batch);
+                    println!("level:    {}", cli.level.label());
+                    println!("passes:   {} convs decomposed, {} skips optimized ({} copies),",
+                        stats.decompose.convs_decomposed,
+                        stats.skip_opt.skips_optimized,
+                        stats.skip_opt.copies_inserted);
+                    println!("          {} lconvs merged, {} concats split, {} fused kernels",
+                        stats.transform.lconvs_merged,
+                        stats.transform.concats_split,
+                        stats.fusion.total());
+                    println!("nodes:    {} → {}", graph.nodes.len(), opt.nodes.len());
+                    println!("weights:  {:.2} MiB → {:.2} MiB", mib(before.weight_bytes), mib(after.weight_bytes));
+                    println!(
+                        "internal: {:.2} MiB → {:.2} MiB ({:.1}% reduction)",
+                        mib(before.peak_internal_bytes),
+                        mib(after.peak_internal_bytes),
+                        100.0 * (1.0 - after.peak_internal_bytes as f64 / before.peak_internal_bytes as f64)
+                    );
+                    println!("arena:    {:.2} MiB (fragmentation {:.3})", mib(arena.arena_bytes), arena.fragmentation());
+                    if let Some(path) = &cli.save {
+                        let mut f = std::fs::File::create(path).expect("create model file");
+                        temco_ir::save_graph(&opt, &mut f).expect("write model");
+                        println!("saved:    {path}");
+                    }
+                }
+                "run" => {
+                    let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 7);
+                    let (dec, _) = compiler.compile(&graph, OptLevel::Decomposed);
+                    let base = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
+                    let res = execute(&opt, &[x], ExecOptions::default());
+                    let agree = compare_outputs(&base.outputs[0], &res.outputs[0], 5);
+                    println!("model:     {} @ {}", model.name(), cli.level.label());
+                    println!("decomposed: {:.3}s   optimized: {:.3}s   ratio: {:.2}x",
+                        base.total_time, res.total_time, res.total_time / base.total_time.max(1e-9));
+                    println!("peak internal: {:.2} MiB → {:.2} MiB",
+                        mib(base.memory.peak_bytes()), mib(res.memory.peak_bytes()));
+                    println!("agreement vs decomposed: {:.4} (max|Δ| {:.2e})",
+                        agree.task_agreement, agree.max_abs_diff);
+                    if agree.task_agreement < 0.999 {
+                        eprintln!("semantic drift detected!");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                _ => unreachable!(),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

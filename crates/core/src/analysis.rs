@@ -1,0 +1,209 @@
+//! The paper's closed-form memory model (Section 2.2, Equations 1–4).
+//!
+//! Each equation is implemented over the two-convolution microbenchmark of
+//! Figure 3 and cross-checked against the static planner on the actual
+//! graphs — the analytic model and the planner must agree exactly.
+
+use temco_ir::Graph;
+use temco_tensor::{conv_out_dim, Tensor};
+
+/// Parameters of the Figure 3 scenario: two convolutions with an activation
+/// layer in between, optionally decomposed.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoConvScenario {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels `C` and spatial size `H×W`.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// First conv: `C → C'` with `K×K` kernel (stride 1, same padding).
+    pub c1: usize,
+    /// First kernel size `K` (odd, same padding).
+    pub k: usize,
+    /// Second conv: `C' → C''` with `K'×K'` kernel.
+    pub c2: usize,
+    /// Second kernel size `K'`.
+    pub k2: usize,
+    /// Reduced channels `(C₁, C₂, C₃, C₄)` of the two decomposed sequences.
+    pub ranks: (usize, usize, usize, usize),
+}
+
+impl TwoConvScenario {
+    /// Output spatial dims (same padding keeps them equal to the input).
+    fn dims(&self) -> (usize, usize) {
+        let h1 = conv_out_dim(self.h, self.k, 1, self.k / 2);
+        let w1 = conv_out_dim(self.w, self.k, 1, self.k / 2);
+        (h1, w1)
+    }
+
+    /// Equation (1): weight bytes of the two original convolutions,
+    /// `C·C'·K² + C'·C''·K'²` (×4 bytes).
+    pub fn eq1_weight_bytes(&self) -> usize {
+        4 * (self.c * self.c1 * self.k * self.k + self.c1 * self.c2 * self.k2 * self.k2)
+    }
+
+    /// Equation (2): weight bytes of the decomposed sequences,
+    /// `C·C₁ + C₁·C₂·K² + C₂·C' + C'·C₃ + C₃·C₄·K'² + C₄·C''`.
+    pub fn eq2_weight_bytes(&self) -> usize {
+        let (r1, r2, r3, r4) = self.ranks;
+        4 * (self.c * r1
+            + r1 * r2 * self.k * self.k
+            + r2 * self.c1
+            + self.c1 * r3
+            + r3 * r4 * self.k2 * self.k2
+            + r4 * self.c2)
+    }
+
+    /// Equation (3): peak internal-tensor bytes of the original layers,
+    /// `MAX(CHW + C'H'W', 2C'H'W', C'H'W' + C''H''W'')` (per batch, ×4).
+    pub fn eq3_peak_internal_bytes(&self) -> usize {
+        let (h1, w1) = self.dims();
+        let (h2, w2) = (
+            conv_out_dim(h1, self.k2, 1, self.k2 / 2),
+            conv_out_dim(w1, self.k2, 1, self.k2 / 2),
+        );
+        let in_t = self.c * self.h * self.w;
+        let mid = self.c1 * h1 * w1;
+        let out_t = self.c2 * h2 * w2;
+        4 * self.batch * (in_t + mid).max(2 * mid).max(mid + out_t)
+    }
+
+    /// Equation (4): peak internal-tensor bytes of the decomposed layers.
+    pub fn eq4_peak_internal_bytes(&self) -> usize {
+        let (r1, r2, r3, r4) = self.ranks;
+        let (h1, w1) = self.dims();
+        let (h2, w2) = (
+            conv_out_dim(h1, self.k2, 1, self.k2 / 2),
+            conv_out_dim(w1, self.k2, 1, self.k2 / 2),
+        );
+        let chw = self.c * self.h * self.w;
+        let c1hw = r1 * self.h * self.w;
+        let c2h1w1 = r2 * h1 * w1;
+        let cph1w1 = self.c1 * h1 * w1;
+        let c3h1w1 = r3 * h1 * w1;
+        let c4h2w2 = r4 * h2 * w2;
+        let cpph2w2 = self.c2 * h2 * w2;
+        4 * self.batch
+            * (chw + c1hw)
+                .max(c1hw + c2h1w1)
+                .max(c2h1w1 + cph1w1)
+                .max(2 * cph1w1)
+                .max(cph1w1 + c3h1w1)
+                .max(c3h1w1 + c4h2w2)
+                .max(c4h2w2 + cpph2w2)
+    }
+
+    /// Build the *original* two-conv graph of Figure 3a.
+    pub fn build_original(&self) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[self.batch, self.c, self.h, self.w], "x");
+        let w1 = Tensor::he_conv_weight(self.c1, self.c, self.k, self.k, 1);
+        let c1 = g.conv2d(x, w1, None, 1, self.k / 2, "conv1");
+        let r = g.relu(c1, "relu");
+        let w2 = Tensor::he_conv_weight(self.c2, self.c1, self.k2, self.k2, 2);
+        let c2 = g.conv2d(r, w2, None, 1, self.k2 / 2, "conv2");
+        g.mark_output(c2);
+        g.infer_shapes();
+        g
+    }
+
+    /// Build the *decomposed* graph of Figure 3b with the scenario's ranks
+    /// (weights random — the memory model only depends on shapes).
+    pub fn build_decomposed(&self) -> Graph {
+        let (r1, r2, r3, r4) = self.ranks;
+        let mut g = Graph::new();
+        let x = g.input(&[self.batch, self.c, self.h, self.w], "x");
+        let f1 = g.conv2d(x, Tensor::he_conv_weight(r1, self.c, 1, 1, 3), None, 1, 0, "conv1.fconv");
+        let k1 = g.conv2d(f1, Tensor::he_conv_weight(r2, r1, self.k, self.k, 4), None, 1, self.k / 2, "conv1.core");
+        let l1 = g.conv2d(k1, Tensor::he_conv_weight(self.c1, r2, 1, 1, 5), None, 1, 0, "conv1.lconv");
+        let r = g.relu(l1, "relu");
+        let f2 = g.conv2d(r, Tensor::he_conv_weight(r3, self.c1, 1, 1, 6), None, 1, 0, "conv2.fconv");
+        let k2n = g.conv2d(f2, Tensor::he_conv_weight(r4, r3, self.k2, self.k2, 7), None, 1, self.k2 / 2, "conv2.core");
+        let l2 = g.conv2d(k2n, Tensor::he_conv_weight(self.c2, r4, 1, 1, 8), None, 1, 0, "conv2.lconv");
+        g.mark_output(l2);
+        g.infer_shapes();
+        g
+    }
+}
+
+impl Default for TwoConvScenario {
+    /// A VGG-like default: 4-batch, 64→128→128 channels, 3×3 kernels,
+    /// ratio-0.1 ranks.
+    fn default() -> Self {
+        TwoConvScenario {
+            batch: 4,
+            c: 64,
+            h: 56,
+            w: 56,
+            c1: 128,
+            k: 3,
+            c2: 128,
+            k2: 3,
+            ranks: (6, 13, 13, 13),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_runtime::plan_memory;
+
+    #[test]
+    fn eq3_matches_planner_on_original_graph() {
+        let s = TwoConvScenario::default();
+        let g = s.build_original();
+        assert_eq!(plan_memory(&g).peak_internal_bytes, s.eq3_peak_internal_bytes());
+    }
+
+    #[test]
+    fn eq4_matches_planner_on_decomposed_graph() {
+        let s = TwoConvScenario::default();
+        let g = s.build_decomposed();
+        assert_eq!(plan_memory(&g).peak_internal_bytes, s.eq4_peak_internal_bytes());
+    }
+
+    #[test]
+    fn eq1_eq2_match_graph_weight_bytes() {
+        let s = TwoConvScenario::default();
+        assert_eq!(s.build_original().weight_bytes(), s.eq1_weight_bytes());
+        assert_eq!(s.build_decomposed().weight_bytes(), s.eq2_weight_bytes());
+    }
+
+    #[test]
+    fn decomposition_shrinks_weights_but_not_internal_peak() {
+        // The paper's key observation: Eq (2) ≪ Eq (1), yet Eq (4) ≈ Eq (3)
+        // because the activation layer pins 2·C'H'W'.
+        let s = TwoConvScenario::default();
+        assert!(s.eq2_weight_bytes() < s.eq1_weight_bytes() / 4);
+        let e3 = s.eq3_peak_internal_bytes() as f64;
+        let e4 = s.eq4_peak_internal_bytes() as f64;
+        assert!(e4 >= 0.9 * e3, "eq4 {e4} vs eq3 {e3}");
+        // And the binding term of Eq (4) is exactly the activation's
+        // 2·C'H'W' pair.
+        assert_eq!(s.eq4_peak_internal_bytes(), 4 * s.batch * 2 * s.c1 * 56 * 56);
+    }
+
+    #[test]
+    fn non_square_scenario_still_agrees() {
+        let s = TwoConvScenario {
+            batch: 2,
+            c: 16,
+            h: 20,
+            w: 12,
+            c1: 48,
+            k: 5,
+            c2: 24,
+            k2: 3,
+            ranks: (2, 5, 5, 3),
+        };
+        assert_eq!(plan_memory(&s.build_original()).peak_internal_bytes, s.eq3_peak_internal_bytes());
+        assert_eq!(
+            plan_memory(&s.build_decomposed()).peak_internal_bytes,
+            s.eq4_peak_internal_bytes()
+        );
+    }
+}

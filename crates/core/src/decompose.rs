@@ -1,0 +1,578 @@
+//! The decomposition pass: replace convolutions with decomposed sequences.
+//!
+//! This reproduces what existing tensor-decomposition work does to a model
+//! (Section 2.1 / Figure 2): each eligible convolution becomes
+//! `fconv (1×1, reducing) → core convolution(s) → lconv (1×1, restoring)`,
+//! with the original bias attached to the `lconv`. The pass records, per
+//! `lconv`, the FLOPs of the *original* (non-decomposed) convolution — the
+//! quantity the paper uses as `COMPUTE_THRESHOLD` in the skip-connection
+//! optimization's overhead check.
+
+use std::collections::HashMap;
+
+use temco_decomp::{
+    cp_decompose, cp_rank, tt_decompose, tt_ranks, tucker2, tucker_ranks, Method,
+};
+use temco_ir::{ConvRole, ConvSpec, Graph, Node, Op, ValueId};
+
+/// Decomposition pass options.
+#[derive(Clone, Debug)]
+pub struct DecomposeOptions {
+    /// Decomposition family.
+    pub method: Method,
+    /// The paper's decomposition ratio (0.1 in the evaluation).
+    pub ratio: f64,
+    /// Skip convolutions whose input or output channels are below this.
+    /// The paper decomposes every convolution (that is what lets fusion
+    /// reach the stem layers whose activations dominate VGG's peak), so the
+    /// default is 0; deployments worried about stem accuracy can raise it.
+    pub min_channels: usize,
+    /// Skip kernels whose decomposition would not shrink parameters (tiny
+    /// heads). Disable to force decomposition regardless (used by the
+    /// full-rank losslessness tests).
+    pub only_if_smaller: bool,
+    /// HOOI refinement rounds for Tucker.
+    pub hooi_iters: usize,
+    /// ALS rounds for CP.
+    pub cp_iters: usize,
+}
+
+impl Default for DecomposeOptions {
+    fn default() -> Self {
+        DecomposeOptions {
+            method: Method::Tucker,
+            ratio: 0.1,
+            min_channels: 0,
+            only_if_smaller: true,
+            hooi_iters: 1,
+            cp_iters: 20,
+        }
+    }
+}
+
+/// Result of the decomposition pass.
+#[derive(Clone, Debug, Default)]
+pub struct DecomposeStats {
+    /// Convolutions replaced by decomposed sequences.
+    pub convs_decomposed: usize,
+    /// Convolutions left intact (stem convs, grouped convs, heads).
+    pub convs_skipped: usize,
+    /// Weight bytes before the pass.
+    pub weight_bytes_before: usize,
+    /// Weight bytes referenced after the pass (decomposed factors replace
+    /// the originals; originals stay in the store but unreferenced).
+    pub weight_bytes_after: usize,
+    /// Per-`lconv`-output FLOPs of the original convolution it restores —
+    /// consumed by the skip-connection optimization's `Overhead` check.
+    pub original_conv_flops: HashMap<ValueId, u64>,
+}
+
+/// Live weight bytes: bytes of weights actually referenced by nodes.
+fn referenced_weight_bytes(g: &Graph) -> usize {
+    use std::collections::HashSet;
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut total = 0usize;
+    for node in &g.nodes {
+        for w in node.op.weight_ids() {
+            if seen.insert(w.0) {
+                total += g.weight(w).bytes();
+            }
+        }
+    }
+    total
+}
+
+/// Run the decomposition pass in place. Shapes must be inferred beforehand;
+/// they are re-inferred afterwards.
+pub fn decompose(g: &mut Graph, opts: &DecomposeOptions) -> DecomposeStats {
+    let mut stats = DecomposeStats {
+        weight_bytes_before: referenced_weight_bytes(g),
+        ..Default::default()
+    };
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut new_nodes: Vec<Node> = Vec::with_capacity(old_nodes.len() * 2);
+
+    for node in old_nodes {
+        let eligible = match &node.op {
+            Op::Conv2d(spec) if spec.role == ConvRole::Standard && spec.groups == 1 => {
+                let w = g.weight(spec.weight);
+                w.dim(0) >= opts.min_channels
+                    && w.dim(1) >= opts.min_channels
+                    && (!opts.only_if_smaller
+                        || decomposition_shrinks(opts, w.dim(0), w.dim(1), w.dim(2), w.dim(3)))
+            }
+            Op::ConvTranspose2d { weight, .. } => {
+                // weight is [c_in, c_out, kh, kw]
+                let w = g.weight(*weight);
+                let tucker = DecomposeOptions { method: Method::Tucker, ..opts.clone() };
+                w.dim(0) >= opts.min_channels
+                    && w.dim(1) >= opts.min_channels
+                    && (!opts.only_if_smaller
+                        || decomposition_shrinks(&tucker, w.dim(1), w.dim(0), w.dim(2), w.dim(3)))
+            }
+            _ => false,
+        };
+        if !eligible {
+            if matches!(node.op, Op::Conv2d(_)) {
+                stats.convs_skipped += 1;
+            }
+            new_nodes.push(node);
+            continue;
+        }
+        if let Op::ConvTranspose2d { weight, bias, stride } = &node.op {
+            decompose_upconv(g, &mut new_nodes, &mut stats, &node, *weight, *bias, *stride, opts);
+            continue;
+        }
+        let Op::Conv2d(spec) = node.op else { unreachable!() };
+        let w = g.weight(spec.weight).clone();
+        let (c_out, c_in) = (w.dim(0), w.dim(1));
+        // FLOPs of the original conv (2 · out_numel · c_in · kh · kw).
+        let out_numel: u64 = g
+            .values[node.output.0 as usize]
+            .shape
+            .as_ref()
+            .expect("run shape inference before decompose")
+            .iter()
+            .product::<usize>() as u64;
+        let orig_flops = 2 * out_numel * (c_in * w.dim(2) * w.dim(3)) as u64;
+
+        let x = node.inputs[0];
+        let base = node.name.clone();
+        let mk = |g: &mut Graph,
+                  nodes: &mut Vec<Node>,
+                  weight: temco_tensor::Tensor,
+                  bias: Option<temco_ir::WeightId>,
+                  stride: (usize, usize),
+                  padding: (usize, usize),
+                  groups: usize,
+                  role: ConvRole,
+                  input: ValueId,
+                  output: Option<ValueId>,
+                  suffix: &str| {
+            let weight = g.add_weight(weight);
+            let name = format!("{base}.{suffix}");
+            let output = output.unwrap_or_else(|| g.fresh_value(format!("{name}.out")));
+            nodes.push(Node {
+                op: Op::Conv2d(ConvSpec { weight, bias, stride, padding, groups, role }),
+                inputs: vec![input],
+                output,
+                name,
+            });
+            output
+        };
+
+        match opts.method {
+            Method::Tucker => {
+                let (r_out, r_in) = tucker_ranks(c_out, c_in, opts.ratio);
+                let t = tucker2(&w, r_out, r_in, opts.hooi_iters);
+                let v1 = mk(g, &mut new_nodes, t.fconv, None, (1, 1), (0, 0), 1,
+                    ConvRole::FConv, x, None, "fconv");
+                let v2 = mk(g, &mut new_nodes, t.core, None, spec.stride, spec.padding, 1,
+                    ConvRole::Core, v1, None, "core");
+                mk(g, &mut new_nodes, t.lconv, spec.bias, (1, 1), (0, 0), 1,
+                    ConvRole::LConv, v2, Some(node.output), "lconv");
+            }
+            Method::Cp => {
+                let r = cp_rank(c_out, c_in, opts.ratio);
+                let cp = cp_decompose(&w, r, opts.cp_iters);
+                let v1 = mk(g, &mut new_nodes, cp.fconv, None, (1, 1), (0, 0), 1,
+                    ConvRole::FConv, x, None, "fconv");
+                let v2 = mk(g, &mut new_nodes, cp.conv_h, None, (spec.stride.0, 1),
+                    (spec.padding.0, 0), r, ConvRole::Core, v1, None, "core_h");
+                let v3 = mk(g, &mut new_nodes, cp.conv_w, None, (1, spec.stride.1),
+                    (0, spec.padding.1), r, ConvRole::Core, v2, None, "core_w");
+                mk(g, &mut new_nodes, cp.lconv, spec.bias, (1, 1), (0, 0), 1,
+                    ConvRole::LConv, v3, Some(node.output), "lconv");
+            }
+            Method::TensorTrain => {
+                let ranks = tt_ranks(c_out, c_in, opts.ratio);
+                let tt = tt_decompose(&w, ranks);
+                let v1 = mk(g, &mut new_nodes, tt.fconv, None, (1, 1), (0, 0), 1,
+                    ConvRole::FConv, x, None, "fconv");
+                let v2 = mk(g, &mut new_nodes, tt.core_h, None, (spec.stride.0, 1),
+                    (spec.padding.0, 0), 1, ConvRole::Core, v1, None, "core_h");
+                let v3 = mk(g, &mut new_nodes, tt.core_w, None, (1, spec.stride.1),
+                    (0, spec.padding.1), 1, ConvRole::Core, v2, None, "core_w");
+                mk(g, &mut new_nodes, tt.lconv, spec.bias, (1, 1), (0, 0), 1,
+                    ConvRole::LConv, v3, Some(node.output), "lconv");
+            }
+        }
+        stats.original_conv_flops.insert(node.output, orig_flops);
+        stats.convs_decomposed += 1;
+    }
+
+    g.nodes = new_nodes;
+    g.infer_shapes();
+    stats.weight_bytes_after = referenced_weight_bytes(g);
+    stats
+}
+
+/// Decompose a transposed convolution (UNet up-conv) into
+/// `fconv (1×1) → small transposed conv → lconv (1×1)` via Tucker-2 on the
+/// `[c_out, c_in, kh, kw]`-permuted kernel. CP/TT requests fall back to
+/// Tucker here: the separable spatial split does not commute with the
+/// scatter semantics of transposed convolution.
+#[allow(clippy::too_many_arguments)]
+fn decompose_upconv(
+    g: &mut Graph,
+    new_nodes: &mut Vec<Node>,
+    stats: &mut DecomposeStats,
+    node: &Node,
+    weight: temco_ir::WeightId,
+    bias: Option<temco_ir::WeightId>,
+    stride: (usize, usize),
+    opts: &DecomposeOptions,
+) {
+    let w = g.weight(weight).clone(); // [c_in, c_out, kh, kw]
+    let (c_in, c_out, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    let mut perm = temco_tensor::Tensor::zeros(&[c_out, c_in, kh, kw]);
+    for ci in 0..c_in {
+        for co in 0..c_out {
+            for a in 0..kh {
+                for b in 0..kw {
+                    *perm.at4_mut(co, ci, a, b) = w.at4(ci, co, a, b);
+                }
+            }
+        }
+    }
+    let (r_out, r_in) = tucker_ranks(c_out, c_in, opts.ratio);
+    let t = tucker2(&perm, r_out, r_in, opts.hooi_iters);
+    // Core back to transposed layout: [r_in, r_out, kh, kw].
+    let mut core_t = temco_tensor::Tensor::zeros(&[r_in, r_out, kh, kw]);
+    for ro in 0..r_out {
+        for ri in 0..r_in {
+            for a in 0..kh {
+                for b in 0..kw {
+                    *core_t.at4_mut(ri, ro, a, b) = t.core.at4(ro, ri, a, b);
+                }
+            }
+        }
+    }
+    let in_shape = g.values[node.inputs[0].0 as usize]
+        .shape
+        .as_ref()
+        .expect("run shape inference before decompose");
+    let in_numel: u64 = in_shape.iter().product::<usize>() as u64;
+    stats
+        .original_conv_flops
+        .insert(node.output, 2 * in_numel * (c_out * kh * kw) as u64);
+
+    let base = node.name.clone();
+    let fconv_w = g.add_weight(t.fconv);
+    let v1 = g.fresh_value(format!("{base}.fconv.out"));
+    new_nodes.push(Node {
+        op: Op::Conv2d(ConvSpec {
+            weight: fconv_w,
+            bias: None,
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            role: ConvRole::FConv,
+        }),
+        inputs: vec![node.inputs[0]],
+        output: v1,
+        name: format!("{base}.fconv"),
+    });
+    let core_w = g.add_weight(core_t);
+    let v2 = g.fresh_value(format!("{base}.core.out"));
+    new_nodes.push(Node {
+        op: Op::ConvTranspose2d { weight: core_w, bias: None, stride },
+        inputs: vec![v1],
+        output: v2,
+        name: format!("{base}.core"),
+    });
+    let lconv_w = g.add_weight(t.lconv);
+    new_nodes.push(Node {
+        op: Op::Conv2d(ConvSpec {
+            weight: lconv_w,
+            bias,
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            role: ConvRole::LConv,
+        }),
+        inputs: vec![v2],
+        output: node.output,
+        name: format!("{base}.lconv"),
+    });
+    stats.convs_decomposed += 1;
+}
+
+/// Would decomposing a `[c_out, c_in, kh, kw]` kernel at these options
+/// actually shrink its parameters? Tiny heads (e.g. UNet's 1-channel 1×1
+/// output conv) would *grow*, so they are left intact.
+fn decomposition_shrinks(
+    opts: &DecomposeOptions,
+    c_out: usize,
+    c_in: usize,
+    kh: usize,
+    kw: usize,
+) -> bool {
+    let orig = c_out * c_in * kh * kw;
+    let dec = match opts.method {
+        Method::Tucker => {
+            let (r_out, r_in) = tucker_ranks(c_out, c_in, opts.ratio);
+            c_in * r_in + r_in * r_out * kh * kw + r_out * c_out
+        }
+        Method::Cp => {
+            let r = cp_rank(c_out, c_in, opts.ratio);
+            r * (c_in + kh + kw + c_out)
+        }
+        Method::TensorTrain => {
+            let (r1, r2, r3) = tt_ranks(c_out, c_in, opts.ratio);
+            r1 * c_in + r1 * r2 * kh + r2 * r3 * kw + r3 * c_out
+        }
+    };
+    dec < orig
+}
+
+/// The paper's structural `IsLConv` test (Algorithm 2, lines 1–7): a 1×1,
+/// stride-1, ungrouped convolution that *increases* the channel count.
+pub fn is_lconv(g: &Graph, node_idx: usize) -> bool {
+    let node = &g.nodes[node_idx];
+    let Op::Conv2d(spec) = &node.op else { return false };
+    if spec.stride != (1, 1) || spec.groups != 1 {
+        return false;
+    }
+    let w = g.weight(spec.weight);
+    w.dim(2) == 1 && w.dim(3) == 1 && w.dim(0) > w.dim(1)
+}
+
+/// Structural `IsFConv`: a 1×1, stride-1, ungrouped convolution that
+/// *decreases* the channel count.
+pub fn is_fconv(g: &Graph, node_idx: usize) -> bool {
+    let node = &g.nodes[node_idx];
+    let Op::Conv2d(spec) = &node.op else { return false };
+    if spec.stride != (1, 1) || spec.padding != (0, 0) || spec.groups != 1 {
+        return false;
+    }
+    let w = g.weight(spec.weight);
+    w.dim(2) == 1 && w.dim(3) == 1 && w.dim(0) < w.dim(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_runtime::{execute, ExecOptions};
+    use temco_tensor::Tensor;
+
+    fn chain_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 12, 12], "x");
+        let c1 = g.conv2d(x, Tensor::he_conv_weight(48, 32, 3, 3, 1),
+            Some(Tensor::rand_uniform(&[48], 2, -0.1, 0.1)), 1, 1, "conv1");
+        let r1 = g.relu(c1, "relu1");
+        let c2 = g.conv2d(r1, Tensor::he_conv_weight(32, 48, 3, 3, 3), None, 2, 1, "conv2");
+        g.mark_output(c2);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn tucker_replaces_each_conv_with_three_nodes() {
+        let mut g = chain_graph();
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert_eq!(stats.convs_decomposed, 2);
+        let convs: Vec<ConvRole> = g
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Conv2d(s) => Some(s.role),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            convs,
+            vec![
+                ConvRole::FConv, ConvRole::Core, ConvRole::LConv,
+                ConvRole::FConv, ConvRole::Core, ConvRole::LConv,
+            ]
+        );
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn full_rank_tucker_preserves_outputs() {
+        let g0 = chain_graph();
+        let mut g = g0.clone();
+        // Tucker at ratio 1.0 is a full-rank factorization: outputs match.
+        let opts = DecomposeOptions {
+            method: Method::Tucker,
+            ratio: 1.0,
+            only_if_smaller: false,
+            ..Default::default()
+        };
+        let stats = decompose(&mut g, &opts);
+        assert_eq!(stats.convs_decomposed, 2, "full-rank test must actually decompose");
+        let x = Tensor::randn(&[1, 32, 12, 12], 9);
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
+        let b = execute(&g, &[x], ExecOptions::default());
+        assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
+        let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
+        let scale = a.outputs[0].fro_norm() / (a.outputs[0].numel() as f32).sqrt();
+        assert!(diff < 1e-2 * scale.max(1.0), "diff {diff} (scale {scale})");
+    }
+
+    #[test]
+    fn tt_recovers_low_tt_rank_kernels_exactly() {
+        // TT at ratio 1.0 still bounds the middle bond by max(c_in, c_out),
+        // which truncates random kernels — so exactness is tested on kernels
+        // that genuinely have low TT rank.
+        use temco_decomp::tt_decompose;
+        let low_tt = |c_out: usize, c_in: usize, seed: u64| {
+            let probe = Tensor::randn(&[c_out, c_in, 3, 3], seed);
+            let tt = tt_decompose(&probe, (3, 4, 3));
+            tt.reconstruct()
+        };
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 10, 10], "x");
+        let c1 = g.conv2d(x, low_tt(48, 32, 31), None, 1, 1, "conv1");
+        let r1 = g.relu(c1, "relu1");
+        let c2 = g.conv2d(r1, low_tt(32, 48, 32), None, 1, 1, "conv2");
+        g.mark_output(c2);
+        g.infer_shapes();
+        let g0 = g.clone();
+        let opts =
+            DecomposeOptions { method: Method::TensorTrain, ratio: 0.5, ..Default::default() };
+        decompose(&mut g, &opts);
+        let x = Tensor::randn(&[1, 32, 10, 10], 33);
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
+        let b = execute(&g, &[x], ExecOptions::default());
+        let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
+        assert!(diff < 1e-2, "diff {diff}");
+    }
+
+    #[test]
+    fn cp_decomposition_runs_and_keeps_shapes() {
+        // A random 4-D kernel has CP rank far above max(c_out, c_in), so
+        // full-rank value recovery is not expected — only the structural
+        // contract (shape preservation, fconv/core/core/lconv layout).
+        let g0 = chain_graph();
+        let mut g = g0.clone();
+        let opts = DecomposeOptions { method: Method::Cp, ratio: 0.25, cp_iters: 10, ..Default::default() };
+        let stats = decompose(&mut g, &opts);
+        assert_eq!(stats.convs_decomposed, 2);
+        let x = Tensor::randn(&[1, 32, 12, 12], 9);
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
+        let b = execute(&g, &[x], ExecOptions::default());
+        assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
+        // Four conv nodes per decomposed sequence for CP.
+        let roles: Vec<ConvRole> = g
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Conv2d(s) => Some(s.role),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(roles.len(), 8);
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn low_ratio_shrinks_weights_and_flops() {
+        let mut g = chain_graph();
+        let flops_before = temco_ir::graph_flops(&g);
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert!(stats.weight_bytes_after < stats.weight_bytes_before / 2);
+        assert!(temco_ir::graph_flops(&g) < flops_before / 2);
+    }
+
+    #[test]
+    fn stem_is_decomposed_by_default_but_protectable() {
+        let mk = || {
+            let mut g = Graph::new();
+            let x = g.input(&[1, 3, 8, 8], "x");
+            let c = g.conv2d(x, Tensor::he_conv_weight(64, 3, 3, 3, 1), None, 1, 1, "stem");
+            g.mark_output(c);
+            g.infer_shapes();
+            g
+        };
+        // Default (paper configuration): every conv is decomposed.
+        let mut g = mk();
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert_eq!(stats.convs_decomposed, 1);
+        // min_channels opts the stem out.
+        let mut g = mk();
+        let opts = DecomposeOptions { min_channels: 16, ..Default::default() };
+        let stats = decompose(&mut g, &opts);
+        assert_eq!(stats.convs_decomposed, 0);
+        assert_eq!(stats.convs_skipped, 1);
+    }
+
+    #[test]
+    fn decomposition_that_would_grow_weights_is_skipped() {
+        // A 1-channel 1×1 head: factors would have more parameters than the
+        // kernel itself.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 64, 8, 8], "x");
+        let c = g.conv2d(x, Tensor::he_conv_weight(1, 64, 1, 1, 1), None, 1, 0, "head");
+        g.mark_output(c);
+        g.infer_shapes();
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert_eq!(stats.convs_decomposed, 0);
+        assert_eq!(stats.convs_skipped, 1);
+    }
+
+    #[test]
+    fn lconv_structural_test_matches_roles() {
+        let mut g = chain_graph();
+        decompose(&mut g, &DecomposeOptions::default());
+        for (i, n) in g.nodes.iter().enumerate() {
+            if let Op::Conv2d(s) = &n.op {
+                assert_eq!(s.role == ConvRole::LConv, is_lconv(&g, i), "node {}", n.name);
+                assert_eq!(s.role == ConvRole::FConv, is_fconv(&g, i), "node {}", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn upconv_is_decomposed_and_preserved_at_full_rank() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 7, 7], "x");
+        let w = Tensor::he_conv_weight(32, 16, 2, 2, 5).reshape(&[32, 16, 2, 2]);
+        let up = g.conv_transpose2d(x, w, Some(Tensor::randn(&[16], 6)), 2, "up");
+        g.mark_output(up);
+        g.infer_shapes();
+        let g0 = g.clone();
+        // Full-rank Tucker: lossless.
+        let opts = DecomposeOptions { ratio: 1.0, only_if_smaller: false, ..Default::default() };
+        let stats = decompose(&mut g, &opts);
+        assert_eq!(stats.convs_decomposed, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        // fconv → small upconv → lconv structure.
+        assert!(matches!(g.nodes[1].op, Op::Conv2d(ConvSpec { role: ConvRole::FConv, .. })));
+        assert!(matches!(g.nodes[2].op, Op::ConvTranspose2d { .. }));
+        assert!(matches!(g.nodes[3].op, Op::Conv2d(ConvSpec { role: ConvRole::LConv, .. })));
+
+        let x_t = Tensor::randn(&[1, 32, 7, 7], 7);
+        let a = execute(&g0, std::slice::from_ref(&x_t), ExecOptions::default());
+        let b = execute(&g, &[x_t], ExecOptions::default());
+        assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
+        let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
+        assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    #[test]
+    fn upconv_low_rank_shrinks_params() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 64, 8, 8], "x");
+        let w = Tensor::he_conv_weight(64, 32, 2, 2, 9).reshape(&[64, 32, 2, 2]);
+        let up = g.conv_transpose2d(x, w, None, 2, "up");
+        g.mark_output(up);
+        g.infer_shapes();
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert_eq!(stats.convs_decomposed, 1);
+        assert!(stats.weight_bytes_after < stats.weight_bytes_before / 2);
+    }
+
+    #[test]
+    fn original_flops_recorded_per_lconv_output() {
+        let mut g = chain_graph();
+        let stats = decompose(&mut g, &DecomposeOptions::default());
+        assert_eq!(stats.original_conv_flops.len(), 2);
+        for &f in stats.original_conv_flops.values() {
+            assert!(f > 0);
+        }
+    }
+}

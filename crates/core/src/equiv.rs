@@ -1,0 +1,144 @@
+//! Semantic-equivalence measurement (the Figure 12 experiment).
+//!
+//! The paper's accuracy claim is structural: TeMCO's rewrites preserve the
+//! decomposed model's semantics exactly, so accuracy cannot change. We
+//! measure that directly: run the baseline and the optimized graph on the
+//! same inputs and report numeric agreement — max/mean absolute difference
+//! plus a task-level agreement metric (top-k class overlap for classifiers,
+//! thresholded-mask agreement for segmentation).
+
+use temco_tensor::Tensor;
+
+/// Agreement between two model outputs.
+#[derive(Clone, Copy, Debug)]
+pub struct OutputAgreement {
+    /// Largest elementwise |a - b|.
+    pub max_abs_diff: f32,
+    /// Mean elementwise |a - b|.
+    pub mean_abs_diff: f32,
+    /// Task-level agreement in `[0, 1]`: average top-k overlap for 2-D
+    /// logits, fraction of matching thresholded pixels for 4-D masks.
+    pub task_agreement: f64,
+}
+
+/// Compare two same-shaped outputs; `k` is the top-k width for logits
+/// (the paper reports top-5).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn compare_outputs(a: &Tensor, b: &Tensor, k: usize) -> OutputAgreement {
+    assert_eq!(a.shape(), b.shape(), "compare_outputs shape mismatch");
+    let mut max = 0.0f32;
+    let mut sum = 0.0f64;
+    for (x, y) in a.data().iter().zip(b.data()) {
+        let d = (x - y).abs();
+        max = max.max(d);
+        sum += d as f64;
+    }
+    let mean = (sum / a.numel() as f64) as f32;
+    let task = if a.shape().len() == 2 {
+        topk_overlap(a, b, k)
+    } else {
+        mask_agreement(a, b, 0.5)
+    };
+    OutputAgreement { max_abs_diff: max, mean_abs_diff: mean, task_agreement: task }
+}
+
+/// Average |top-k(a) ∩ top-k(b)| / k over the batch.
+fn topk_overlap(a: &Tensor, b: &Tensor, k: usize) -> f64 {
+    let (n, c) = (a.dim(0), a.dim(1));
+    let k = k.min(c);
+    let mut total = 0.0f64;
+    for r in 0..n {
+        let ta = topk(&a.data()[r * c..(r + 1) * c], k);
+        let tb = topk(&b.data()[r * c..(r + 1) * c], k);
+        let inter = ta.iter().filter(|i| tb.contains(i)).count();
+        total += inter as f64 / k as f64;
+    }
+    total / n as f64
+}
+
+fn topk(row: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&i, &j| row[j].partial_cmp(&row[i]).expect("NaN logit"));
+    idx.truncate(k);
+    idx
+}
+
+/// Fraction of positions where `a > thr` agrees with `b > thr`.
+fn mask_agreement(a: &Tensor, b: &Tensor, thr: f32) -> f64 {
+    let same = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .filter(|(x, y)| (**x > thr) == (**y > thr))
+        .count();
+    same as f64 / a.numel() as f64
+}
+
+/// Dice score between two thresholded masks (the paper's UNet metric).
+pub fn dice_score(a: &Tensor, b: &Tensor, thr: f32) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "dice shape mismatch");
+    let mut inter = 0usize;
+    let mut asum = 0usize;
+    let mut bsum = 0usize;
+    for (x, y) in a.data().iter().zip(b.data()) {
+        let xa = *x > thr;
+        let yb = *y > thr;
+        inter += (xa && yb) as usize;
+        asum += xa as usize;
+        bsum += yb as usize;
+    }
+    if asum + bsum == 0 {
+        return 1.0;
+    }
+    2.0 * inter as f64 / (asum + bsum) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_agree_perfectly() {
+        let a = Tensor::randn(&[4, 10], 1);
+        let r = compare_outputs(&a, &a, 5);
+        assert_eq!(r.max_abs_diff, 0.0);
+        assert_eq!(r.task_agreement, 1.0);
+    }
+
+    #[test]
+    fn topk_overlap_detects_reordering() {
+        let a = Tensor::from_vec(&[1, 4], vec![4.0, 3.0, 2.0, 1.0]);
+        let b = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        // top-2 of a = {0,1}, of b = {2,3} → zero overlap.
+        let r = compare_outputs(&a, &b, 2);
+        assert_eq!(r.task_agreement, 0.0);
+        // top-4 trivially overlaps fully.
+        assert_eq!(compare_outputs(&a, &b, 4).task_agreement, 1.0);
+    }
+
+    #[test]
+    fn mask_agreement_counts_matching_pixels() {
+        let a = Tensor::from_vec(&[1, 1, 2, 2], vec![0.9, 0.1, 0.8, 0.2]);
+        let b = Tensor::from_vec(&[1, 1, 2, 2], vec![0.7, 0.3, 0.1, 0.4]);
+        // thresholded: a = [1,0,1,0], b = [1,0,0,0] → 3/4 agree.
+        let r = compare_outputs(&a, &b, 5);
+        assert!((r.task_agreement - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_score_known_values() {
+        let a = Tensor::from_vec(&[4], vec![1.0, 1.0, 0.0, 0.0]);
+        let b = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+        // |A|=2, |B|=2, inter=1 → dice = 2/4.
+        assert!((dice_score(&a, &b, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(dice_score(&a, &a, 0.5), 1.0);
+    }
+
+    #[test]
+    fn perfect_dice_on_empty_masks() {
+        let z = Tensor::zeros(&[8]);
+        assert_eq!(dice_score(&z, &z, 0.5), 1.0);
+    }
+}

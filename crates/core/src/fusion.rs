@@ -1,0 +1,266 @@
+//! Activation-layer fusion (paper Section 3.2).
+//!
+//! Rewrites `lconv → activation (→ pool) → fconv` chains into the single
+//! [`temco_ir::Op::Fused`] operator. After this pass the full-channel
+//! tensors between the two factor convolutions (`Output1`/`Input2` in
+//! Figure 3b) are gone from the graph, so both the static planner and the
+//! executor see only reduced tensors at those program points — the entire
+//! point of TeMCO.
+
+use temco_ir::{FusedSpec, Graph, Node, Op, ValueId};
+
+use crate::decompose::{is_fconv, is_lconv};
+
+/// Fusion statistics.
+#[derive(Clone, Debug, Default)]
+pub struct FusionStats {
+    /// `lconv-act-fconv` chains fused.
+    pub fused_without_pool: usize,
+    /// `lconv-act-pool-fconv` chains fused.
+    pub fused_with_pool: usize,
+    /// Restore-only kernels (`lconv-act(-pool)` with a non-fconv consumer):
+    /// the strip-wise form of copied restore chains (Section 3.3).
+    pub restore_kernels: usize,
+}
+
+impl FusionStats {
+    /// Total fused kernels emitted.
+    pub fn total(&self) -> usize {
+        self.fused_without_pool + self.fused_with_pool + self.restore_kernels
+    }
+}
+
+/// True when `v` has exactly one user and is not a graph output.
+fn fusible_edge(g: &Graph, v: ValueId) -> bool {
+    g.users(v).len() == 1 && !g.outputs.contains(&v)
+}
+
+/// Run activation-layer fusion in place.
+pub fn fuse_activations(g: &mut Graph) -> FusionStats {
+    let mut stats = FusionStats::default();
+    let mut remove = vec![false; g.nodes.len()];
+    let mut replacement: Vec<Option<Node>> = (0..g.nodes.len()).map(|_| None).collect();
+
+    for li in 0..g.nodes.len() {
+        if remove[li] || !is_lconv(g, li) {
+            continue;
+        }
+        let lconv_out = g.nodes[li].output;
+        if !fusible_edge(g, lconv_out) {
+            continue;
+        }
+        let ai = g.users(lconv_out)[0];
+        let Op::Activation(act) = g.nodes[ai].op else { continue };
+        if remove[ai] || !fusible_edge(g, g.nodes[ai].output) {
+            continue;
+        }
+        let mut next = g.users(g.nodes[ai].output)[0];
+        let mut pool = None;
+        let mut tail = g.nodes[ai].output; // last value covered by the chain
+        if let Op::Pool { kind, kernel, stride } = g.nodes[next].op {
+            if !remove[next] && fusible_edge(g, g.nodes[next].output) {
+                pool = Some((kind, kernel, stride, next));
+                tail = g.nodes[next].output;
+                next = g.users(g.nodes[next].output)[0];
+            }
+        }
+        let Op::Conv2d(lspec) = g.nodes[li].op else { unreachable!() };
+
+        // Full fusion when the chain ends at an fconv; otherwise emit the
+        // restore kernel covering lconv-act(-pool), which still keeps the
+        // pre-pool full-width tensor out of memory.
+        let full = !remove[next] && is_fconv(g, next);
+        let (fconv, output, tail_name, removed_tail) = if full {
+            let Op::Conv2d(fspec) = g.nodes[next].op else { unreachable!() };
+            (
+                Some(temco_ir::FconvSpec { weight: fspec.weight, bias: fspec.bias }),
+                g.nodes[next].output,
+                g.nodes[next].name.clone(),
+                Some(next),
+            )
+        } else {
+            (None, tail, "restore".to_string(), None)
+        };
+
+        let spec = FusedSpec {
+            lconv_w: lspec.weight,
+            lconv_b: lspec.bias,
+            act,
+            pool: pool.map(|(k, ks, ss, _)| (k, ks, ss)),
+            fconv,
+        };
+        let name = format!("fused[{}+{}]", g.nodes[li].name, tail_name);
+        // The fused node replaces the lconv's position; it consumes the
+        // reduced input and produces the chain tail's output value.
+        replacement[li] = Some(Node {
+            op: Op::Fused(spec),
+            inputs: vec![g.nodes[li].inputs[0]],
+            output,
+            name,
+        });
+        remove[li] = true;
+        remove[ai] = true;
+        if let Some((_, _, _, pi)) = pool {
+            remove[pi] = true;
+        }
+        if let Some(fi) = removed_tail {
+            remove[fi] = true;
+            if pool.is_some() {
+                stats.fused_with_pool += 1;
+            } else {
+                stats.fused_without_pool += 1;
+            }
+        } else {
+            stats.restore_kernels += 1;
+        }
+    }
+    if stats.total() == 0 {
+        return stats;
+    }
+
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut nodes = Vec::with_capacity(old_nodes.len());
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        if let Some(rep) = replacement[i].take() {
+            nodes.push(rep);
+        } else if !remove[i] {
+            nodes.push(node);
+        }
+    }
+    g.nodes = nodes;
+    g.infer_shapes();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose, DecomposeOptions};
+    use temco_ir::{ActKind, PoolKind};
+    use temco_runtime::{execute, plan_memory, ExecOptions};
+    use temco_tensor::Tensor;
+
+    /// conv-relu-conv (the Figure 3 microbench, VGG-style).
+    fn vgg_block(with_pool: bool) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 16, 16], "x");
+        let c1 = g.conv2d(x, Tensor::he_conv_weight(64, 32, 3, 3, 1),
+            Some(Tensor::rand_uniform(&[64], 2, -0.1, 0.1)), 1, 1, "conv1");
+        let r = g.relu(c1, "relu");
+        let mid = if with_pool { g.max_pool(r, 2, 2, "pool") } else { r };
+        let c2 = g.conv2d(mid, Tensor::he_conv_weight(32, 64, 3, 3, 3), None, 1, 1, "conv2");
+        g.mark_output(c2);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn fuses_lconv_relu_fconv() {
+        let mut g = vgg_block(false);
+        decompose(&mut g, &DecomposeOptions::default());
+        let stats = fuse_activations(&mut g);
+        assert_eq!(stats.fused_without_pool, 1);
+        assert_eq!(stats.fused_with_pool, 0);
+        assert!(g.nodes.iter().any(|n| matches!(n.op, Op::Fused(_))));
+        // The relu is gone; no full-width (64-channel) value remains between
+        // the decomposed sequences.
+        assert!(!g.nodes.iter().any(|n| matches!(n.op, Op::Activation(ActKind::Relu))));
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn fuses_through_pool() {
+        let mut g = vgg_block(true);
+        decompose(&mut g, &DecomposeOptions::default());
+        let stats = fuse_activations(&mut g);
+        assert_eq!(stats.fused_with_pool, 1);
+        let fused = g.nodes.iter().find(|n| matches!(n.op, Op::Fused(_))).unwrap();
+        let Op::Fused(spec) = &fused.op else { unreachable!() };
+        assert_eq!(spec.pool, Some((PoolKind::Max, 2, 2)));
+    }
+
+    #[test]
+    fn fusion_preserves_semantics() {
+        for with_pool in [false, true] {
+            let mut g = vgg_block(with_pool);
+            decompose(&mut g, &DecomposeOptions::default());
+            let unfused = g.clone();
+            fuse_activations(&mut g);
+            let x = Tensor::randn(&[1, 32, 16, 16], 5);
+            let a = execute(&unfused, std::slice::from_ref(&x), ExecOptions::default());
+            let b = execute(&g, &[x], ExecOptions::default());
+            assert!(
+                a.outputs[0].all_close(&b.outputs[0], 1e-3),
+                "pool={with_pool}: diff {}",
+                a.outputs[0].max_abs_diff(&b.outputs[0])
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_reduces_planned_peak() {
+        let mut g = vgg_block(false);
+        decompose(&mut g, &DecomposeOptions::default());
+        let before = plan_memory(&g).peak_internal_bytes;
+        fuse_activations(&mut g);
+        let after = plan_memory(&g).peak_internal_bytes;
+        assert!(after < before, "{before} → {after}");
+    }
+
+    #[test]
+    fn multi_user_intermediate_blocks_fusion() {
+        // The lconv output is also a graph output → cannot fuse.
+        let mut g = vgg_block(false);
+        decompose(&mut g, &DecomposeOptions::default());
+        let lconv_out = g
+            .nodes
+            .iter()
+            .find(|n| n.name == "conv1.lconv")
+            .unwrap()
+            .output;
+        g.mark_output(lconv_out);
+        let stats = fuse_activations(&mut g);
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn gap_tail_degrades_to_restore_kernel() {
+        // GlobalAvgPool cannot be folded into the kernel, so the chain
+        // becomes a restore kernel (lconv+relu) feeding the gap — the
+        // full-width tensor still exists (it is the restore kernel's
+        // output), but the *pair* of full tensors is gone.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 8, 8], "x");
+        let l = g.conv2d(x, Tensor::randn(&[32, 8, 1, 1], 1), None, 1, 0, "l");
+        let r = g.relu(l, "r");
+        let gap = g.global_avg_pool(r, "gap");
+        let f = g.conv2d(gap, Tensor::randn(&[4, 32, 1, 1], 2), None, 1, 0, "f");
+        g.mark_output(f);
+        g.infer_shapes();
+        let before = crate::decompose::is_lconv(&g, 1);
+        assert!(before);
+        let stats = fuse_activations(&mut g);
+        assert_eq!(stats.restore_kernels, 1);
+        assert_eq!(stats.fused_without_pool + stats.fused_with_pool, 0);
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn restore_kernel_preserves_semantics() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 6, 6], "x");
+        let l = g.conv2d(x, Tensor::randn(&[16, 4, 1, 1], 3), Some(Tensor::randn(&[16], 4)), 1, 0, "l");
+        let r = g.relu(l, "r");
+        let p = g.max_pool(r, 2, 2, "p");
+        let s = g.add(&[p, p], "dbl"); // non-fconv consumer
+        g.mark_output(s);
+        g.infer_shapes();
+        let unfused = g.clone();
+        let stats = fuse_activations(&mut g);
+        assert_eq!(stats.restore_kernels, 1);
+        let x_t = Tensor::randn(&[1, 4, 6, 6], 5);
+        let a = execute(&unfused, std::slice::from_ref(&x_t), ExecOptions::default());
+        let b = execute(&g, &[x_t], ExecOptions::default());
+        assert!(a.outputs[0].all_close(&b.outputs[0], 1e-4));
+    }
+}

@@ -1,0 +1,445 @@
+//! Skip-connection optimization (paper Section 3.1, Algorithms 1 and 2).
+//!
+//! A *skip connection* is an internal tensor whose lifespan (distance from
+//! definition to last use under the schedule) exceeds `DISTANCE_THRESHOLD`.
+//! For each such tensor the pass walks the program dependence graph
+//! backwards to the restoring `lconv`(s) (`FindReduced`), checks that
+//! copying those restore layers is affordable (`Overhead`), and then inserts
+//! a private copy of the restore chain immediately before every distant use,
+//! rewiring the use to the copy. The long-lived full-size tensor is thereby
+//! replaced by the long-lived *reduced* tensor; the full-size value only
+//! exists briefly around each use.
+
+use std::collections::HashMap;
+
+use temco_ir::{liveness, node_flops, Graph, Node, Op, Pdg, ValueId};
+
+use crate::decompose::{is_lconv, DecomposeStats};
+
+/// Options for the skip-connection optimization.
+#[derive(Clone, Debug)]
+pub struct SkipOptOptions {
+    /// Lifespan above which a tensor counts as a skip connection
+    /// (`DISTANCE_THRESHOLD` in Algorithm 1).
+    pub distance_threshold: usize,
+    /// Maximum number of layers `FindReduced` may collect before giving up;
+    /// bounds recursion through deep residual blocks.
+    pub max_restore_layers: usize,
+    /// Copied-FLOPs allowance as a multiple of the original non-decomposed
+    /// convolution's FLOPs (`COMPUTE_THRESHOLD`; the paper sets 1.0×).
+    pub compute_multiplier: f64,
+    /// When the original FLOPs are unknown (hand-built graphs), allow the
+    /// total copied FLOPs to be at most this multiple of one restore-chain
+    /// evaluation.
+    pub fallback_copies: f64,
+    /// Transient peak of one restore-chain evaluation may be at most this
+    /// multiple of the model's *current* peak internal memory (the
+    /// `l.peak ≤ m` check: copying must not raise the global peak).
+    pub peak_multiplier: f64,
+}
+
+impl Default for SkipOptOptions {
+    fn default() -> Self {
+        SkipOptOptions {
+            distance_threshold: 4,
+            max_restore_layers: 4,
+            compute_multiplier: 1.0,
+            fallback_copies: 10.0,
+            peak_multiplier: 1.0,
+        }
+    }
+}
+
+/// Statistics of one skip-connection optimization run.
+#[derive(Clone, Debug, Default)]
+pub struct SkipOptStats {
+    /// Values whose lifespan exceeded the distance threshold.
+    pub skips_found: usize,
+    /// Skips successfully rewritten.
+    pub skips_optimized: usize,
+    /// Skips rejected because no restore chain was found (`FindReduced`
+    /// hit a non-traversable producer).
+    pub rejected_structure: usize,
+    /// Skips rejected by the `Overhead` check.
+    pub rejected_overhead: usize,
+    /// Restore-layer copies inserted.
+    pub copies_inserted: usize,
+}
+
+/// Result of `FindReduced` (Algorithm 2): the ordered restore-layer list
+/// plus the size/peak bookkeeping used by `Compare`/`Peak`.
+#[derive(Clone, Debug)]
+struct Restore {
+    /// Node indices of the restore layers, producers before consumers.
+    list: Vec<usize>,
+    /// `SIZE(v)` of the tensor this chain restores.
+    size: usize,
+    /// Transient peak bytes of evaluating the chain.
+    peak: usize,
+}
+
+/// Algorithm 2, `FindReduced`: walk producers of `node_idx` until every
+/// path bottoms out at an `lconv`; `None` when a path hits a layer that
+/// cannot be cheaply replayed.
+fn find_reduced(g: &Graph, pdg: &Pdg, node_idx: usize, opts: &SkipOptOptions) -> Option<Restore> {
+    let node = &g.nodes[node_idx];
+    let out_size = g.value_bytes(node.output);
+    if is_lconv(g, node_idx) {
+        let in_size = g.value_bytes(node.inputs[0]);
+        return Some(Restore { list: vec![node_idx], size: out_size, peak: out_size + in_size });
+    }
+    // Only cheap, replayable layers may sit on a restore path: activations,
+    // folded batch-norm, pooling, and the add/concat joins. Anything else
+    // (input, standard conv, upconv) ends the search. Pooling matters: the
+    // ResNet stem's identity skip is `pool(relu(bn(lconv(…))))`, and the
+    // restore kernel later computes the whole chain strip-wise.
+    if !matches!(
+        node.op,
+        Op::Activation(_) | Op::Affine { .. } | Op::Pool { .. } | Op::Add | Op::Concat
+    ) {
+        return None;
+    }
+    let mut children: Vec<Restore> = Vec::with_capacity(node.inputs.len());
+    for &v in &node.inputs {
+        let p = pdg.producer(v)?;
+        children.push(find_reduced(g, pdg, p, opts)?);
+    }
+    // ORDER(Compare, predList): run the child whose `size + other.peak` is
+    // smaller first — the execution order that minimizes transient peak.
+    children.sort_by(|a, b| {
+        let ab = a.size + b.peak;
+        let ba = b.size + a.peak;
+        ab.cmp(&ba)
+    });
+    // Peak(l, v) from Algorithm 2 lines 10–16.
+    let mut peak = 0usize;
+    let mut resided = 0usize;
+    for e in &children {
+        peak = peak.max(resided + e.peak);
+        resided += e.size;
+    }
+    let peak = peak.max(resided + out_size);
+
+    let mut list: Vec<usize> = Vec::new();
+    for c in children {
+        list.extend(c.list);
+    }
+    list.push(node_idx);
+    if list.len() > opts.max_restore_layers {
+        return None;
+    }
+    Some(Restore { list, size: out_size, peak })
+}
+
+/// The `Overhead` check (Algorithm 1 lines 1–9): copying is allowed when
+/// the total copied FLOPs stay within the original model's budget for this
+/// part and replaying the chain does not transiently need much more memory
+/// than the skip tensor it eliminates.
+fn overhead_ok(
+    g: &Graph,
+    restore: &Restore,
+    n_copies: usize,
+    model_peak: usize,
+    decomp: &DecomposeStats,
+    opts: &SkipOptOptions,
+) -> bool {
+    let chain_flops: u64 = restore.list.iter().map(|&i| node_flops(g, i)).sum();
+    let copied_flops = chain_flops * n_copies as u64;
+
+    // COMPUTE_THRESHOLD: the FLOPs of the corresponding original
+    // (non-decomposed) convolutions, where known.
+    let mut orig_budget: u64 = 0;
+    for &i in &restore.list {
+        if let Some(&f) = decomp.original_conv_flops.get(&g.nodes[i].output) {
+            orig_budget += f;
+        }
+    }
+    let budget = if orig_budget > 0 {
+        (orig_budget as f64 * opts.compute_multiplier) as u64
+    } else {
+        (chain_flops as f64 * opts.fallback_copies) as u64
+    };
+    if copied_flops > budget {
+        return false;
+    }
+    restore.peak as f64 <= opts.peak_multiplier * model_peak as f64
+}
+
+/// Run the skip-connection optimization in place (Algorithm 1).
+///
+/// `decomp` supplies the per-`lconv` original-convolution FLOPs used by the
+/// overhead check; pass a default `DecomposeStats` for hand-built graphs.
+pub fn optimize_skip_connections(
+    g: &mut Graph,
+    opts: &SkipOptOptions,
+    decomp: &DecomposeStats,
+) -> SkipOptStats {
+    let mut stats = SkipOptStats::default();
+    let lv = liveness(g);
+    let pdg = Pdg::build(g);
+    // `m` of Algorithm 1's Overhead check: the model's current peak — a
+    // copy chain may not transiently exceed what the unoptimized model
+    // already uses (fusion later shrinks the chains strip-wise anyway).
+    let model_peak = temco_runtime::plan_memory(g).peak_internal_bytes;
+
+    // Plan: copies to insert before a node, and operand rewrites per node.
+    let mut insertions: HashMap<usize, Vec<Vec<Node>>> = HashMap::new();
+    let mut rewrites: HashMap<(usize, ValueId), ValueId> = HashMap::new();
+
+    for vi in 0..g.values.len() {
+        let v = ValueId(vi as u32);
+        let begin = lv.begin[vi];
+        if begin == usize::MAX || g.outputs.contains(&v) || g.inputs.contains(&v) {
+            continue;
+        }
+        if lv.lifespan(v) <= opts.distance_threshold {
+            continue;
+        }
+        stats.skips_found += 1;
+
+        let Some(producer) = pdg.producer(v) else { continue };
+        let Some(restore) = find_reduced(g, &pdg, producer, opts) else {
+            stats.rejected_structure += 1;
+            continue;
+        };
+
+        let distant_uses: Vec<usize> = pdg
+            .users(v)
+            .iter()
+            .copied()
+            .filter(|&u| u.saturating_sub(begin) > opts.distance_threshold)
+            .collect();
+        if distant_uses.is_empty() {
+            continue;
+        }
+        if !overhead_ok(g, &restore, distant_uses.len(), model_peak, decomp, opts) {
+            stats.rejected_overhead += 1;
+            continue;
+        }
+
+        // Copy the restore chain before each distant use and rewire it.
+        for (k, &use_idx) in distant_uses.iter().enumerate() {
+            let mut remap: HashMap<ValueId, ValueId> = HashMap::new();
+            let mut chain: Vec<Node> = Vec::with_capacity(restore.list.len());
+            for &ni in &restore.list {
+                let orig = g.nodes[ni].clone();
+                let name = format!("{}.copy{}", orig.name, k);
+                let fresh = g.fresh_value(format!("{name}.out"));
+                let inputs = orig
+                    .inputs
+                    .iter()
+                    .map(|iv| remap.get(iv).copied().unwrap_or(*iv))
+                    .collect();
+                remap.insert(orig.output, fresh);
+                chain.push(Node { op: orig.op, inputs, output: fresh, name });
+            }
+            let replacement = remap[&v];
+            rewrites.insert((use_idx, v), replacement);
+            stats.copies_inserted += chain.len();
+            insertions.entry(use_idx).or_default().push(chain);
+        }
+        stats.skips_optimized += 1;
+    }
+
+    if insertions.is_empty() {
+        return stats;
+    }
+
+    // Rebuild the schedule with copies spliced in and uses rewired.
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut new_nodes = Vec::with_capacity(old_nodes.len() + stats.copies_inserted);
+    for (i, mut node) in old_nodes.into_iter().enumerate() {
+        if let Some(chains) = insertions.remove(&i) {
+            for chain in chains {
+                new_nodes.extend(chain);
+            }
+        }
+        for input in &mut node.inputs {
+            if let Some(&r) = rewrites.get(&(i, *input)) {
+                *input = r;
+            }
+        }
+        new_nodes.push(node);
+    }
+    g.nodes = new_nodes;
+    g.infer_shapes();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{decompose, DecomposeOptions};
+    use temco_runtime::{execute, plan_memory, ExecOptions};
+    use temco_tensor::Tensor;
+
+    /// A two-level UNet: two nested long skips, so that while the inner
+    /// levels run, the outer skip tensor sits idle in memory — the exact
+    /// situation Figure 4a shows for UNet.
+    fn long_skip_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 32, 32], "x");
+        let c1 = g.conv2d(x, Tensor::he_conv_weight(64, 32, 3, 3, 1), None, 1, 1, "down1_conv");
+        let skip1 = g.relu(c1, "down1_relu");
+        let p1 = g.max_pool(skip1, 2, 2, "pool1");
+        let c2 = g.conv2d(p1, Tensor::he_conv_weight(64, 64, 3, 3, 2), None, 1, 1, "down2_conv");
+        let skip2 = g.relu(c2, "down2_relu");
+        let p2 = g.max_pool(skip2, 2, 2, "pool2");
+        let c3 = g.conv2d(p2, Tensor::he_conv_weight(128, 64, 3, 3, 3), None, 1, 1, "mid_conv");
+        let r3 = g.relu(c3, "mid_relu");
+        let up2 = g.conv_transpose2d(r3, Tensor::he_conv_weight(128, 64, 2, 2, 4).reshape(&[128, 64, 2, 2]), None, 2, "up2");
+        let cat2 = g.concat(&[skip2, up2], "upcat2");
+        let c4 = g.conv2d(cat2, Tensor::he_conv_weight(64, 128, 3, 3, 5), None, 1, 1, "updc2");
+        let r4 = g.relu(c4, "updc2_relu");
+        let up1 = g.conv_transpose2d(r4, Tensor::he_conv_weight(64, 64, 2, 2, 6).reshape(&[64, 64, 2, 2]), None, 2, "up1");
+        let cat1 = g.concat(&[skip1, up1], "upcat1");
+        let c5 = g.conv2d(cat1, Tensor::he_conv_weight(32, 128, 3, 3, 7), None, 1, 1, "out_conv");
+        g.mark_output(c5);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn finds_and_optimizes_the_long_skip() {
+        let mut g = long_skip_graph();
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let stats = optimize_skip_connections(&mut g, &SkipOptOptions::default(), &dstats);
+        assert!(stats.skips_found >= 1, "{stats:?}");
+        assert!(stats.skips_optimized >= 1, "{stats:?}");
+        assert!(stats.copies_inserted >= 2, "{stats:?}"); // lconv + relu
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_exactly() {
+        let mut g = long_skip_graph();
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let decomposed = g.clone();
+        optimize_skip_connections(&mut g, &SkipOptOptions::default(), &dstats);
+
+        let x = Tensor::randn(&[1, 32, 16, 16], 77);
+        let a = execute(&decomposed, std::slice::from_ref(&x), ExecOptions::default());
+        let b = execute(&g, &[x], ExecOptions::default());
+        // The copies compute the identical restore chain: bitwise-equal up
+        // to floating-point reassociation inside identical kernels.
+        assert!(
+            a.outputs[0].all_close(&b.outputs[0], 1e-5),
+            "diff {}",
+            a.outputs[0].max_abs_diff(&b.outputs[0])
+        );
+    }
+
+    #[test]
+    fn optimization_reduces_planned_peak_memory() {
+        // The peak must occur while the skip is *idle* for skip-opt alone to
+        // lower it (when the peak is at the join itself, only fusion +
+        // transforms move it — see the Compiler integration tests). Here a
+        // 64-channel skip sits idle across a wide 128-channel middle.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 64, 16, 16], "x");
+        let c1 = g.conv2d(x, Tensor::he_conv_weight(64, 64, 3, 3, 1), None, 1, 1, "conv1");
+        let skip = g.relu(c1, "skip_relu");
+        let c2 = g.conv2d(skip, Tensor::he_conv_weight(128, 64, 3, 3, 2), None, 1, 1, "wide_conv");
+        let r2 = g.relu(c2, "wide_relu");
+        let c3 = g.conv2d(r2, Tensor::he_conv_weight(64, 128, 3, 3, 3), None, 1, 1, "narrow_conv");
+        let s = g.add(&[skip, c3], "skip_add");
+        g.mark_output(s);
+        g.infer_shapes();
+
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let before = plan_memory(&g).peak_internal_bytes;
+        let stats = optimize_skip_connections(&mut g, &SkipOptOptions::default(), &dstats);
+        assert!(stats.skips_optimized >= 1, "{stats:?}");
+        let after = plan_memory(&g).peak_internal_bytes;
+        assert!(after < before, "peak {before} → {after}");
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn large_distance_threshold_disables_the_pass() {
+        let mut g = long_skip_graph();
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let opts = SkipOptOptions { distance_threshold: 10_000, ..Default::default() };
+        let stats = optimize_skip_connections(&mut g, &opts, &dstats);
+        assert_eq!(stats.skips_found, 0);
+        assert_eq!(stats.copies_inserted, 0);
+    }
+
+    #[test]
+    fn skip_without_lconv_ancestry_is_rejected() {
+        // A pool output used distantly: FindReduced cannot traverse a pool.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 16, 16, 16], "x");
+        let p = g.max_pool(x, 2, 2, "pool");
+        let mut t = p;
+        for i in 0..6 {
+            t = g.relu(t, format!("r{i}"));
+        }
+        let cat = g.concat(&[p, t], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let stats =
+            optimize_skip_connections(&mut g, &SkipOptOptions::default(), &DecomposeStats::default());
+        assert!(stats.rejected_structure >= 1, "{stats:?}");
+        assert_eq!(stats.skips_optimized, 0);
+    }
+
+    #[test]
+    fn densenet_style_growth_tensors_get_per_use_copies() {
+        // Growth pattern: one lconv output consumed by several distant
+        // concats — each distant use gets its own single-node restore copy
+        // while the near use keeps the original.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 16, 8, 8], "x");
+        let growth = g.conv2d(x, Tensor::he_conv_weight(16, 16, 3, 3, 1), None, 1, 1, "growth");
+        let near = g.concat(&[x, growth], "near_cat");
+        let mut t = near;
+        for i in 0..6 {
+            t = g.relu(t, format!("mid{i}"));
+        }
+        let far1 = g.concat(&[growth, t], "far_cat1");
+        let f1 = g.relu(far1, "f1");
+        let far2 = g.concat(&[growth, f1], "far_cat2");
+        g.mark_output(far2);
+        g.infer_shapes();
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let stats = optimize_skip_connections(&mut g, &SkipOptOptions::default(), &dstats);
+        assert!(stats.skips_optimized >= 1, "{stats:?}");
+        // Two distant uses → two lconv copies.
+        let copies = g.nodes.iter().filter(|n| n.name.contains(".copy")).count();
+        assert!(copies >= 2, "copies {copies}");
+        // The near use still consumes the original restored tensor.
+        let near_node = g.nodes.iter().find(|n| n.name == "near_cat").unwrap();
+        assert!(near_node.inputs.iter().any(|v| {
+            g.producer(*v)
+                .map(|p| g.nodes[p].name == "growth.lconv")
+                .unwrap_or(false)
+        }));
+        assert!(temco_ir::verify(&g).is_empty());
+    }
+
+    #[test]
+    fn deep_restore_chains_hit_the_layer_cap() {
+        // ResNet-like: the skip is relu(add(..)) whose chain exceeds the cap.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::he_conv_weight(32, 32, 3, 3, 1), None, 1, 1, "c1");
+        let r1 = g.relu(c1, "r1");
+        let c2 = g.conv2d(r1, Tensor::he_conv_weight(32, 32, 3, 3, 2), None, 1, 1, "c2");
+        let s = g.add(&[c2, x], "add");
+        let blk = g.relu(s, "blk_out");
+        // Long tail so blk_out is a distant skip for the final add.
+        let mut t = blk;
+        for i in 0..6 {
+            t = g.relu(t, format!("tail{i}"));
+        }
+        let fin = g.add(&[blk, t], "final_add");
+        g.mark_output(fin);
+        g.infer_shapes();
+        let dstats = decompose(&mut g, &DecomposeOptions::default());
+        let opts = SkipOptOptions { max_restore_layers: 2, ..Default::default() };
+        let stats = optimize_skip_connections(&mut g, &opts, &dstats);
+        // blk_out's chain needs > 2 layers → structurally rejected.
+        assert!(stats.rejected_structure >= 1, "{stats:?}");
+    }
+}

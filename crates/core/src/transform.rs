@@ -1,0 +1,857 @@
+//! Layer transformations (paper Section 3.3, Figure 9).
+//!
+//! Four rewrites that expose `lconv → activation → fconv` chains to the
+//! fusion pass across concat/add joins:
+//!
+//! * [`merge_sibling_lconvs`] — Figure 9 (b→a): a concat/add whose operands
+//!   are single-use `lconv`s becomes one block-diagonal (concat) or
+//!   horizontally-stacked (add) `lconv` over the concatenation of the
+//!   *reduced* tensors. Trades weight bytes for fewer fused kernels.
+//! * [`sink_concats`] — move a concat below a single-use elementwise layer
+//!   (activation or folded batch-norm), splitting the layer per branch.
+//! * [`split_concat_conv1x1`] — Figure 9 (b→c): `concat → 1×1 conv` becomes
+//!   per-branch 1×1 convolutions (weight column slices) summed by an `add`,
+//!   eliminating the materialized concatenated tensor.
+//! * [`fold_affine_into_conv`] — fold an inference batch-norm affine into
+//!   the preceding convolution's weights (so it cannot block fusion).
+
+use std::collections::HashMap;
+
+use temco_ir::{ConvRole, ConvSpec, Graph, Node, Op, ValueId};
+use temco_tensor::Tensor;
+
+use crate::decompose::is_lconv;
+
+/// Counters for the transformation passes.
+#[derive(Clone, Debug, Default)]
+pub struct TransformStats {
+    /// Sibling `lconv` groups merged.
+    pub lconvs_merged: usize,
+    /// Concat nodes sunk below an elementwise layer.
+    pub concats_sunk: usize,
+    /// `concat → 1×1 conv` pairs split into per-branch convs + add.
+    pub concats_split: usize,
+    /// Affine layers folded into convolutions.
+    pub affines_folded: usize,
+    /// Adjacent pointwise convolutions composed (`lconv∘fconv` pairs).
+    pub pointwise_composed: usize,
+}
+
+/// True when `v` is used exactly once and is not a graph output.
+fn single_use_internal(g: &Graph, v: ValueId) -> bool {
+    g.users(v).len() == 1 && !g.outputs.contains(&v)
+}
+
+// ---------------------------------------------------------------------
+// fold_affine_into_conv
+// ---------------------------------------------------------------------
+
+/// Fold `affine(conv(x))` into the convolution: scale each output-channel
+/// filter and rewrite the bias. Runs to fixpoint; returns the fold count.
+pub fn fold_affine_into_conv(g: &mut Graph) -> usize {
+    let mut total = 0;
+    loop {
+        let folded = fold_affine_once(g);
+        total += folded;
+        if folded == 0 {
+            return total;
+        }
+    }
+}
+
+fn fold_affine_once(g: &mut Graph) -> usize {
+    // Find (conv_idx, affine_idx) pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut used: Vec<bool> = vec![false; g.nodes.len()];
+    for (ci, node) in g.nodes.iter().enumerate() {
+        let Op::Conv2d(_) = node.op else { continue };
+        if !single_use_internal(g, node.output) {
+            continue;
+        }
+        let ai = g.users(node.output)[0];
+        if !matches!(g.nodes[ai].op, Op::Affine { .. }) || used[ci] || used[ai] {
+            continue;
+        }
+        used[ci] = true;
+        used[ai] = true;
+        pairs.push((ci, ai));
+    }
+    if pairs.is_empty() {
+        return 0;
+    }
+    let mut remove: Vec<bool> = vec![false; g.nodes.len()];
+    for &(ci, ai) in &pairs {
+        let Op::Affine { scale, bias } = g.nodes[ai].op else { unreachable!() };
+        let scale = g.weight(scale).clone();
+        let bias = g.weight(bias).clone();
+        let Op::Conv2d(spec) = g.nodes[ci].op.clone() else { unreachable!() };
+        let w = g.weight(spec.weight).clone();
+        let c_out = w.dim(0);
+        let per_filter: usize = w.numel() / c_out;
+        let mut new_w = w.clone();
+        for o in 0..c_out {
+            let s = scale.data()[o];
+            for x in &mut new_w.data_mut()[o * per_filter..(o + 1) * per_filter] {
+                *x *= s;
+            }
+        }
+        let mut new_b = vec![0.0f32; c_out];
+        if let Some(ob) = spec.bias {
+            let ob = g.weight(ob).clone();
+            for ((nb, &b0), &s0) in new_b.iter_mut().zip(ob.data()).zip(scale.data()) {
+                *nb = b0 * s0;
+            }
+        }
+        for (nb, &b0) in new_b.iter_mut().zip(bias.data()) {
+            *nb += b0;
+        }
+        let new_spec = ConvSpec {
+            weight: g.add_weight(new_w),
+            bias: Some(g.add_weight(Tensor::from_vec(&[c_out], new_b))),
+            ..spec
+        };
+        // The conv now produces the affine's output directly.
+        let affine_out = g.nodes[ai].output;
+        g.nodes[ci].op = Op::Conv2d(new_spec);
+        g.nodes[ci].output = affine_out;
+        remove[ai] = true;
+    }
+    retain_nodes(g, &remove);
+    pairs.len()
+}
+
+// ---------------------------------------------------------------------
+// sink_concats
+// ---------------------------------------------------------------------
+
+/// Sink concat nodes below single-use elementwise layers. Runs to fixpoint
+/// (a concat sinks through `bn` then `relu` in two rounds).
+pub fn sink_concats(g: &mut Graph) -> usize {
+    let mut total = 0;
+    loop {
+        let sunk = sink_once(g);
+        total += sunk;
+        if sunk == 0 {
+            return total;
+        }
+    }
+}
+
+fn sink_once(g: &mut Graph) -> usize {
+    let mut count = 0;
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut remove: Vec<bool> = vec![false; old_nodes.len()];
+    let mut rewritten: Vec<Option<Vec<Node>>> = vec![None; old_nodes.len()];
+
+    // Restore nodes temporarily to query users/shapes.
+    g.nodes = old_nodes;
+    for ci in 0..g.nodes.len() {
+        if remove[ci] {
+            continue;
+        }
+        let Op::Concat = g.nodes[ci].op else { continue };
+        if !single_use_internal(g, g.nodes[ci].output) {
+            continue;
+        }
+        let ui = g.users(g.nodes[ci].output)[0];
+        if remove[ui] {
+            continue;
+        }
+        let elementwise = matches!(g.nodes[ui].op, Op::Activation(_) | Op::Affine { .. });
+        if !elementwise {
+            continue;
+        }
+        let branches = g.nodes[ci].inputs.clone();
+        let user_out = g.nodes[ui].output;
+        let user_name = g.nodes[ui].name.clone();
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(branches.len() + 1);
+        let mut branch_outs = Vec::with_capacity(branches.len());
+        let mut c_off = 0usize;
+        for (k, &b) in branches.iter().enumerate() {
+            let c_k = g.shape(b)[1];
+            let op = match &g.nodes[ui].op {
+                Op::Activation(a) => Op::Activation(*a),
+                Op::Affine { scale, bias } => {
+                    let s = g.weight(*scale).data()[c_off..c_off + c_k].to_vec();
+                    let bb = g.weight(*bias).data()[c_off..c_off + c_k].to_vec();
+                    Op::Affine {
+                        scale: g.add_weight(Tensor::from_vec(&[c_k], s)),
+                        bias: g.add_weight(Tensor::from_vec(&[c_k], bb)),
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let name = format!("{user_name}.b{k}");
+            let out = g.fresh_value(format!("{name}.out"));
+            new_nodes.push(Node { op, inputs: vec![b], output: out, name });
+            branch_outs.push(out);
+            c_off += c_k;
+        }
+        new_nodes.push(Node {
+            op: Op::Concat,
+            inputs: branch_outs,
+            output: user_out,
+            name: format!("{}.sunk", g.nodes[ci].name),
+        });
+        rewritten[ci] = Some(new_nodes);
+        remove[ui] = true;
+        count += 1;
+    }
+    if count == 0 {
+        return 0;
+    }
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut nodes = Vec::with_capacity(old_nodes.len());
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        if let Some(replacement) = rewritten[i].take() {
+            nodes.extend(replacement);
+        } else if !remove[i] {
+            nodes.push(node);
+        }
+    }
+    g.nodes = nodes;
+    g.infer_shapes();
+    count
+}
+
+// ---------------------------------------------------------------------
+// split_concat_conv1x1
+// ---------------------------------------------------------------------
+
+/// Split `concat → 1×1 conv` into per-branch 1×1 convolutions plus an add
+/// (Figure 9c). The concatenated tensor is never materialized.
+pub fn split_concat_conv1x1(g: &mut Graph) -> usize {
+    let mut count = 0;
+    let mut remove: Vec<bool> = vec![false; g.nodes.len()];
+    let mut rewritten: Vec<Option<Vec<Node>>> = vec![None; g.nodes.len()];
+
+    #[allow(clippy::needless_range_loop)] // parallel index into remove/rewritten
+    for ci in 0..g.nodes.len() {
+        let Op::Concat = g.nodes[ci].op else { continue };
+        if !single_use_internal(g, g.nodes[ci].output) {
+            continue;
+        }
+        let ui = g.users(g.nodes[ci].output)[0];
+        let Op::Conv2d(spec) = g.nodes[ui].op.clone() else { continue };
+        let w = g.weight(spec.weight).clone();
+        let is_1x1 = w.dim(2) == 1 && w.dim(3) == 1;
+        if !is_1x1 || spec.stride != (1, 1) || spec.padding != (0, 0) || spec.groups != 1 {
+            continue;
+        }
+        let branches = g.nodes[ci].inputs.clone();
+        let conv_out = g.nodes[ui].output;
+        let conv_name = g.nodes[ui].name.clone();
+        let c_out = w.dim(0);
+        // Profitability: the split replaces one `c_total`-channel tensor by
+        // `N` simultaneous `c_out`-channel branch outputs. Splitting a
+        // channel-*reducing* conv (the fconv case of Figure 9c) wins;
+        // splitting a restoring lconv would multiply full-width tensors.
+        let c_total = w.dim(1);
+        if branches.len() * c_out >= c_total {
+            continue;
+        }
+
+        let mut new_nodes = Vec::with_capacity(branches.len() + 1);
+        let mut branch_outs = Vec::with_capacity(branches.len());
+        let mut c_off = 0usize;
+        for (k, &b) in branches.iter().enumerate() {
+            let c_k = g.shape(b)[1];
+            // Column slice W[:, c_off..c_off+c_k].
+            let mut wk = Tensor::zeros(&[c_out, c_k, 1, 1]);
+            for o in 0..c_out {
+                for i in 0..c_k {
+                    *wk.at4_mut(o, i, 0, 0) = w.at4(o, c_off + i, 0, 0);
+                }
+            }
+            let spec_k = ConvSpec {
+                weight: g.add_weight(wk),
+                bias: if k == 0 { spec.bias } else { None },
+                stride: (1, 1),
+                padding: (0, 0),
+                groups: 1,
+                role: spec.role,
+            };
+            let name = format!("{conv_name}.b{k}");
+            let out = g.fresh_value(format!("{name}.out"));
+            new_nodes.push(Node { op: Op::Conv2d(spec_k), inputs: vec![b], output: out, name });
+            branch_outs.push(out);
+            c_off += c_k;
+        }
+        new_nodes.push(Node {
+            op: Op::Add,
+            inputs: branch_outs,
+            output: conv_out,
+            name: format!("{conv_name}.sum"),
+        });
+        rewritten[ci] = Some(new_nodes);
+        remove[ui] = true;
+        count += 1;
+    }
+    if count == 0 {
+        return 0;
+    }
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut nodes = Vec::with_capacity(old_nodes.len());
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        if let Some(replacement) = rewritten[i].take() {
+            nodes.extend(replacement);
+        } else if !remove[i] {
+            nodes.push(node);
+        }
+    }
+    g.nodes = nodes;
+    g.infer_shapes();
+    count
+}
+
+// ---------------------------------------------------------------------
+// merge_sibling_lconvs
+// ---------------------------------------------------------------------
+
+/// Merge runs of single-use sibling `lconv`s feeding one concat/add into a
+/// single `lconv` over the concatenation of their *reduced* inputs
+/// (Figure 9a). For a concat join the merged weight is block-diagonal; for
+/// an add join the blocks sit side by side.
+pub fn merge_sibling_lconvs(g: &mut Graph) -> usize {
+    let mut count = 0;
+    let mut remove: Vec<bool> = vec![false; g.nodes.len()];
+    let mut rewritten: Vec<Option<Vec<Node>>> = vec![None; g.nodes.len()];
+
+    for ji in 0..g.nodes.len() {
+        let is_concat = matches!(g.nodes[ji].op, Op::Concat);
+        let is_add = matches!(g.nodes[ji].op, Op::Add);
+        if !is_concat && !is_add {
+            continue;
+        }
+        let inputs = g.nodes[ji].inputs.clone();
+        // Identify which operands are single-use lconv outputs.
+        let lconv_of: Vec<Option<usize>> = inputs
+            .iter()
+            .map(|&v| {
+                if !single_use_internal(g, v) {
+                    return None;
+                }
+                let p = g.producer(v)?;
+                (is_lconv(g, p) && !remove[p]).then_some(p)
+            })
+            .collect();
+
+        // For concat, channel order must be preserved: merge maximal runs of
+        // consecutive lconv operands. For add, order is irrelevant: one run.
+        let runs: Vec<Vec<usize>> = if is_add {
+            let all: Vec<usize> = (0..inputs.len()).filter(|&k| lconv_of[k].is_some()).collect();
+            if all.len() >= 2 {
+                vec![all]
+            } else {
+                vec![]
+            }
+        } else {
+            let mut runs = Vec::new();
+            let mut cur: Vec<usize> = Vec::new();
+            for (k, l) in lconv_of.iter().enumerate() {
+                if l.is_some() {
+                    cur.push(k);
+                } else if cur.len() >= 2 {
+                    runs.push(std::mem::take(&mut cur));
+                } else {
+                    cur.clear();
+                }
+            }
+            if cur.len() >= 2 {
+                runs.push(cur);
+            }
+            runs
+        };
+        if runs.is_empty() {
+            continue;
+        }
+
+        let join_name = g.nodes[ji].name.clone();
+        let join_out = g.nodes[ji].output;
+        let mut new_nodes: Vec<Node> = Vec::new();
+        // Map: operand position → replacement value (for merged runs, the
+        // first position of the run maps to the merged lconv output, the
+        // rest are dropped).
+        let mut replaced: HashMap<usize, Option<ValueId>> = HashMap::new();
+
+        for (ri, run) in runs.iter().enumerate() {
+            let members: Vec<usize> = run.iter().map(|&k| lconv_of[k].unwrap()).collect();
+            let (merged_w, merged_b, reduced_inputs) = if is_add {
+                merge_weights_add(g, &members)
+            } else {
+                merge_weights_concat(g, &members)
+            };
+            let rcat_name = format!("{join_name}.reduced_cat{ri}");
+            let rcat_out = g.fresh_value(format!("{rcat_name}.out"));
+            new_nodes.push(Node {
+                op: Op::Concat,
+                inputs: reduced_inputs,
+                output: rcat_out,
+                name: rcat_name,
+            });
+            let spec = ConvSpec {
+                weight: g.add_weight(merged_w),
+                bias: merged_b.map(|b| g.add_weight(b)),
+                stride: (1, 1),
+                padding: (0, 0),
+                groups: 1,
+                role: ConvRole::LConv,
+            };
+            let mname = format!("{join_name}.merged_lconv{ri}");
+            let mout = g.fresh_value(format!("{mname}.out"));
+            new_nodes.push(Node { op: Op::Conv2d(spec), inputs: vec![rcat_out], output: mout, name: mname });
+            for m in &members {
+                remove[*m] = true;
+            }
+            replaced.insert(run[0], Some(mout));
+            for &k in &run[1..] {
+                replaced.insert(k, None);
+            }
+            count += 1;
+        }
+
+        // Rebuild the join's operand list.
+        let mut new_inputs: Vec<ValueId> = Vec::new();
+        for (k, &v) in inputs.iter().enumerate() {
+            match replaced.get(&k) {
+                Some(Some(m)) => new_inputs.push(*m),
+                Some(None) => {}
+                None => new_inputs.push(v),
+            }
+        }
+        if new_inputs.len() == 1 {
+            // The whole join collapsed into one merged lconv: rename its
+            // output to the join's output.
+            let last = new_nodes.last_mut().expect("merged nodes present");
+            last.output = join_out;
+        } else {
+            let op = if is_add { Op::Add } else { Op::Concat };
+            new_nodes.push(Node {
+                op,
+                inputs: new_inputs,
+                output: join_out,
+                name: format!("{join_name}.merged"),
+            });
+        }
+        rewritten[ji] = Some(new_nodes);
+        remove[ji] = true;
+    }
+    if count == 0 {
+        return 0;
+    }
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut nodes = Vec::with_capacity(old_nodes.len());
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        if remove[i] && rewritten[i].is_none() {
+            continue;
+        }
+        if let Some(replacement) = rewritten[i].take() {
+            nodes.extend(replacement);
+        } else {
+            nodes.push(node);
+        }
+    }
+    g.nodes = nodes;
+    g.infer_shapes();
+    count
+}
+
+/// Block-diagonal merge for a concat join.
+fn merge_weights_concat(
+    g: &Graph,
+    members: &[usize],
+) -> (Tensor, Option<Tensor>, Vec<ValueId>) {
+    let specs: Vec<(Tensor, Option<Tensor>, ValueId)> = collect_members(g, members);
+    let c_total: usize = specs.iter().map(|(w, _, _)| w.dim(0)).sum();
+    let r_total: usize = specs.iter().map(|(w, _, _)| w.dim(1)).sum();
+    let mut merged = Tensor::zeros(&[c_total, r_total, 1, 1]);
+    let mut bias = vec![0.0f32; c_total];
+    let mut has_bias = false;
+    let (mut co, mut ro) = (0usize, 0usize);
+    for (w, b, _) in &specs {
+        for o in 0..w.dim(0) {
+            for i in 0..w.dim(1) {
+                *merged.at4_mut(co + o, ro + i, 0, 0) = w.at4(o, i, 0, 0);
+            }
+        }
+        if let Some(b) = b {
+            has_bias = true;
+            bias[co..co + w.dim(0)].copy_from_slice(b.data());
+        }
+        co += w.dim(0);
+        ro += w.dim(1);
+    }
+    let bias = has_bias.then(|| Tensor::from_vec(&[c_total], bias));
+    (merged, bias, specs.into_iter().map(|(_, _, v)| v).collect())
+}
+
+/// Side-by-side merge for an add join (all members share `c_out`).
+fn merge_weights_add(g: &Graph, members: &[usize]) -> (Tensor, Option<Tensor>, Vec<ValueId>) {
+    let specs: Vec<(Tensor, Option<Tensor>, ValueId)> = collect_members(g, members);
+    let c_out = specs[0].0.dim(0);
+    let r_total: usize = specs.iter().map(|(w, _, _)| w.dim(1)).sum();
+    let mut merged = Tensor::zeros(&[c_out, r_total, 1, 1]);
+    let mut bias = vec![0.0f32; c_out];
+    let mut has_bias = false;
+    let mut ro = 0usize;
+    for (w, b, _) in &specs {
+        assert_eq!(w.dim(0), c_out, "add-merge requires equal output channels");
+        for o in 0..c_out {
+            for i in 0..w.dim(1) {
+                *merged.at4_mut(o, ro + i, 0, 0) = w.at4(o, i, 0, 0);
+            }
+        }
+        if let Some(b) = b {
+            has_bias = true;
+            for (bo, &bv) in bias.iter_mut().zip(b.data()) {
+                *bo += bv;
+            }
+        }
+        ro += w.dim(1);
+    }
+    let bias = has_bias.then(|| Tensor::from_vec(&[c_out], bias));
+    (merged, bias, specs.into_iter().map(|(_, _, v)| v).collect())
+}
+
+fn collect_members(g: &Graph, members: &[usize]) -> Vec<(Tensor, Option<Tensor>, ValueId)> {
+    members
+        .iter()
+        .map(|&m| {
+            let Op::Conv2d(spec) = &g.nodes[m].op else { unreachable!("member is lconv") };
+            (
+                g.weight(spec.weight).clone(),
+                spec.bias.map(|b| g.weight(b).clone()),
+                g.nodes[m].inputs[0],
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// compose_pointwise_convs
+// ---------------------------------------------------------------------
+
+/// Compose adjacent 1×1 convolutions `b(a(x))` into one when the
+/// intermediate is the *widest* of the three tensors — i.e. an
+/// `lconv → fconv` pair with no activation in between, which the
+/// concat-splitting rewrite produces at UNet's up-conv joins. The composite
+/// weight is `W_b · W_a` and the full-width intermediate disappears.
+///
+/// The guard (`c_mid ≥ max(c_in, c_out)`) rejects the opposite
+/// `fconv → lconv` direction, whose composition would undo the
+/// decomposition.
+pub fn compose_pointwise_convs(g: &mut Graph) -> usize {
+    let mut total = 0;
+    loop {
+        let n = compose_once(g);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+fn compose_once(g: &mut Graph) -> usize {
+    let mut count = 0;
+    let mut remove = vec![false; g.nodes.len()];
+    for ai in 0..g.nodes.len() {
+        if remove[ai] {
+            continue;
+        }
+        let Op::Conv2d(a) = g.nodes[ai].op else { continue };
+        if !pointwise(g, &a) || !single_use_internal(g, g.nodes[ai].output) {
+            continue;
+        }
+        let bi = g.users(g.nodes[ai].output)[0];
+        if remove[bi] {
+            continue;
+        }
+        let Op::Conv2d(b) = g.nodes[bi].op else { continue };
+        if !pointwise(g, &b) {
+            continue;
+        }
+        let wa = g.weight(a.weight).clone(); // [c_mid, c_in, 1, 1]
+        let wb = g.weight(b.weight).clone(); // [c_out, c_mid, 1, 1]
+        let (c_mid, c_in) = (wa.dim(0), wa.dim(1));
+        let c_out = wb.dim(0);
+        if c_mid < c_in.max(c_out) {
+            continue;
+        }
+        // W = Wb · Wa, bias = b_b + Wb · b_a.
+        let mut w = Tensor::zeros(&[c_out, c_in, 1, 1]);
+        for o in 0..c_out {
+            for i in 0..c_in {
+                let mut s = 0.0f32;
+                for m in 0..c_mid {
+                    s += wb.at4(o, m, 0, 0) * wa.at4(m, i, 0, 0);
+                }
+                *w.at4_mut(o, i, 0, 0) = s;
+            }
+        }
+        let mut bias = vec![0.0f32; c_out];
+        let mut has_bias = false;
+        if let Some(bb) = b.bias {
+            has_bias = true;
+            bias.copy_from_slice(g.weight(bb).data());
+        }
+        if let Some(ba) = a.bias {
+            has_bias = true;
+            let ba = g.weight(ba).clone();
+            for (o, bo) in bias.iter_mut().enumerate() {
+                for m in 0..c_mid {
+                    *bo += wb.at4(o, m, 0, 0) * ba.data()[m];
+                }
+            }
+        }
+        let spec = ConvSpec {
+            weight: g.add_weight(w),
+            bias: has_bias.then(|| g.add_weight(Tensor::from_vec(&[c_out], bias))),
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            role: ConvRole::Core,
+        };
+        let b_out = g.nodes[bi].output;
+        let b_name = g.nodes[bi].name.clone();
+        g.nodes[ai].op = Op::Conv2d(spec);
+        g.nodes[ai].output = b_out;
+        g.nodes[ai].name = format!("{}∘{}", b_name, g.nodes[ai].name.clone());
+        remove[bi] = true;
+        remove[ai] = false;
+        count += 1;
+    }
+    if count > 0 {
+        retain_nodes(g, &remove);
+        g.infer_shapes();
+    }
+    count
+}
+
+fn pointwise(g: &Graph, spec: &ConvSpec) -> bool {
+    let w = g.weight(spec.weight);
+    w.dim(2) == 1
+        && w.dim(3) == 1
+        && spec.stride == (1, 1)
+        && spec.padding == (0, 0)
+        && spec.groups == 1
+}
+
+/// Drop the nodes flagged in `remove`, keeping everything else in order.
+fn retain_nodes(g: &mut Graph, remove: &[bool]) {
+    let old = std::mem::take(&mut g.nodes);
+    g.nodes = old
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !remove[*i])
+        .map(|(_, n)| n)
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::ActKind;
+    use temco_runtime::{execute, plan_memory, ExecOptions};
+
+    fn run(g: &Graph, seed: u64) -> Tensor {
+        let shape = g.shape(g.inputs[0]).to_vec();
+        let x = Tensor::randn(&shape, seed);
+        execute(g, &[x], ExecOptions::default()).outputs[0].clone()
+    }
+
+    #[test]
+    fn affine_fold_preserves_semantics() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 6, 6], "x");
+        let c = g.conv2d(x, Tensor::randn(&[8, 4, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 1, 1, "c");
+        let a = g.affine(c, Tensor::rand_uniform(&[8], 3, 0.5, 1.5), Tensor::randn(&[8], 4), "bn");
+        let r = g.relu(a, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let before = run(&g, 9);
+        let n = fold_affine_into_conv(&mut g);
+        assert_eq!(n, 1);
+        assert!(!g.nodes.iter().any(|n| matches!(n.op, Op::Affine { .. })));
+        g.infer_shapes();
+        let after = run(&g, 9);
+        assert!(before.all_close(&after, 1e-4), "diff {}", before.max_abs_diff(&after));
+    }
+
+    #[test]
+    fn sink_moves_concat_below_bn_and_relu() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "x");
+        let a = g.relu(x, "a");
+        let b = g.activation(x, ActKind::Silu, "b");
+        let cat = g.concat(&[a, b], "cat");
+        let bn = g.affine(cat, Tensor::rand_uniform(&[8], 1, 0.5, 1.5), Tensor::randn(&[8], 2), "bn");
+        let r = g.relu(bn, "r");
+        let c = g.conv2d(r, Tensor::randn(&[2, 8, 3, 3], 3), None, 1, 1, "head");
+        g.mark_output(c);
+        g.infer_shapes();
+        let before = run(&g, 5);
+        let sunk = sink_concats(&mut g);
+        assert_eq!(sunk, 2, "bn then relu");
+        assert!(temco_ir::verify(&g).is_empty());
+        let after = run(&g, 5);
+        assert!(before.all_close(&after, 1e-4));
+        // The concat now feeds the head conv directly.
+        let cat_node = g.nodes.iter().find(|n| matches!(n.op, Op::Concat)).unwrap();
+        let user = g.users(cat_node.output)[0];
+        assert!(matches!(g.nodes[user].op, Op::Conv2d(_)));
+    }
+
+    #[test]
+    fn split_concat_conv_preserves_semantics_and_drops_peak() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 16, 8, 8], "x");
+        let a = g.relu(x, "a");
+        let b = g.activation(x, ActKind::Silu, "b");
+        let cat = g.concat(&[a, b], "cat");
+        let c = g.conv2d(cat, Tensor::randn(&[4, 32, 1, 1], 1), Some(Tensor::randn(&[4], 2)), 1, 0, "fconv");
+        g.mark_output(c);
+        g.infer_shapes();
+        let before = run(&g, 5);
+        let peak_before = plan_memory(&g).peak_internal_bytes;
+        let n = split_concat_conv1x1(&mut g);
+        assert_eq!(n, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        let after = run(&g, 5);
+        assert!(before.all_close(&after, 1e-4), "diff {}", before.max_abs_diff(&after));
+        let peak_after = plan_memory(&g).peak_internal_bytes;
+        assert!(peak_after < peak_before, "{peak_before} → {peak_after}");
+    }
+
+    #[test]
+    fn merge_lconvs_over_concat_is_block_diagonal() {
+        let mut g = Graph::new();
+        let x1 = g.input(&[1, 3, 5, 5], "x1");
+        let x2 = g.input(&[1, 2, 5, 5], "x2");
+        let l1 = g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
+        let l2 = g.conv2d(x2, Tensor::randn(&[6, 2, 1, 1], 3), None, 1, 0, "l2");
+        let cat = g.concat(&[l1, l2], "cat");
+        let r = g.relu(cat, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let before = run_two(&g);
+        let n = merge_sibling_lconvs(&mut g);
+        assert_eq!(n, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        // Exactly one conv remains: the merged lconv over concat(x1, x2).
+        let convs: Vec<_> = g.nodes.iter().filter(|n| matches!(n.op, Op::Conv2d(_))).collect();
+        assert_eq!(convs.len(), 1);
+        let Op::Conv2d(spec) = &convs[0].op else { unreachable!() };
+        assert_eq!(g.weight(spec.weight).shape(), &[14, 5, 1, 1]);
+        let after = run_two(&g);
+        assert!(before.all_close(&after, 1e-4), "diff {}", before.max_abs_diff(&after));
+    }
+
+    #[test]
+    fn merge_lconvs_over_add_stacks_columns() {
+        let mut g = Graph::new();
+        let x1 = g.input(&[1, 3, 5, 5], "x1");
+        let x2 = g.input(&[1, 2, 5, 5], "x2");
+        let l1 = g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
+        let l2 = g.conv2d(x2, Tensor::randn(&[8, 2, 1, 1], 3), Some(Tensor::randn(&[8], 4)), 1, 0, "l2");
+        let s = g.add(&[l1, l2], "sum");
+        let r = g.relu(s, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let before = run_two(&g);
+        let n = merge_sibling_lconvs(&mut g);
+        assert_eq!(n, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        let after = run_two(&g);
+        assert!(before.all_close(&after, 1e-4), "diff {}", before.max_abs_diff(&after));
+    }
+
+    #[test]
+    fn partial_merge_keeps_non_lconv_operands() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 5, 5], "x");
+        let plain = g.relu(x, "plain");
+        let l1 = g.conv2d(x, Tensor::randn(&[8, 4, 1, 1], 1), None, 1, 0, "l1");
+        let l2 = g.conv2d(x, Tensor::randn(&[6, 4, 1, 1], 2), None, 1, 0, "l2");
+        let cat = g.concat(&[plain, l1, l2], "cat");
+        let r = g.relu(cat, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let shape = g.shape(g.inputs[0]).to_vec();
+        let x_t = Tensor::randn(&shape, 7);
+        let before = execute(&g, std::slice::from_ref(&x_t), ExecOptions::default()).outputs[0].clone();
+        let n = merge_sibling_lconvs(&mut g);
+        assert_eq!(n, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        let after = execute(&g, &[x_t], ExecOptions::default()).outputs[0].clone();
+        assert!(before.all_close(&after, 1e-4));
+        // The surviving concat has 2 operands: plain + merged lconv.
+        let cat_node = g
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, Op::Concat) && n.name.contains("merged"))
+            .unwrap();
+        assert_eq!(cat_node.inputs.len(), 2);
+    }
+
+    #[test]
+    fn compose_collapses_lconv_fconv_pairs() {
+        // lconv (4→32) directly followed by fconv (32→6): the composite is
+        // a tiny 4→6 conv and the 32-channel intermediate disappears.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 6, 6], "x");
+        let l = g.conv2d(x, Tensor::randn(&[32, 4, 1, 1], 1), Some(Tensor::randn(&[32], 2)), 1, 0, "l");
+        let f = g.conv2d(l, Tensor::randn(&[6, 32, 1, 1], 3), Some(Tensor::randn(&[6], 4)), 1, 0, "f");
+        let r = g.relu(f, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let before = run(&g, 13);
+        let peak_before = plan_memory(&g).peak_internal_bytes;
+        let n = compose_pointwise_convs(&mut g);
+        assert_eq!(n, 1);
+        assert!(temco_ir::verify(&g).is_empty());
+        let after = run(&g, 13);
+        assert!(before.all_close(&after, 1e-3), "diff {}", before.max_abs_diff(&after));
+        assert!(plan_memory(&g).peak_internal_bytes < peak_before);
+        // Exactly one conv remains.
+        assert_eq!(g.nodes.iter().filter(|n| matches!(n.op, Op::Conv2d(_))).count(), 1);
+    }
+
+    #[test]
+    fn compose_refuses_fconv_lconv_direction() {
+        // fconv (32→4) then lconv (4→32): composing would materialize a
+        // 32×32 dense weight and undo the decomposition.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 32, 5, 5], "x");
+        let f = g.conv2d(x, Tensor::randn(&[4, 32, 1, 1], 1), None, 1, 0, "f");
+        let l = g.conv2d(f, Tensor::randn(&[32, 4, 1, 1], 2), None, 1, 0, "l");
+        g.mark_output(l);
+        g.infer_shapes();
+        assert_eq!(compose_pointwise_convs(&mut g), 0);
+    }
+
+    #[test]
+    fn compose_chains_run_to_fixpoint() {
+        // wide → wider → narrow: two rounds collapse all three into one.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "x");
+        let a = g.conv2d(x, Tensor::randn(&[16, 4, 1, 1], 1), None, 1, 0, "a");
+        let b = g.conv2d(a, Tensor::randn(&[24, 16, 1, 1], 2), None, 1, 0, "b");
+        let c = g.conv2d(b, Tensor::randn(&[3, 24, 1, 1], 3), None, 1, 0, "c");
+        g.mark_output(c);
+        g.infer_shapes();
+        let before = run(&g, 21);
+        let n = compose_pointwise_convs(&mut g);
+        assert!(n >= 2, "composed {n}");
+        let after = run(&g, 21);
+        assert!(before.all_close(&after, 1e-3));
+        assert_eq!(g.nodes.iter().filter(|n| matches!(n.op, Op::Conv2d(_))).count(), 1);
+    }
+
+    fn run_two(g: &Graph) -> Tensor {
+        let s1 = g.shape(g.inputs[0]).to_vec();
+        let s2 = g.shape(g.inputs[1]).to_vec();
+        let a = Tensor::randn(&s1, 11);
+        let b = Tensor::randn(&s2, 12);
+        execute(g, &[a, b], ExecOptions::default()).outputs[0].clone()
+    }
+}

@@ -1,0 +1,62 @@
+//! Tensor decompositions of convolution kernels.
+//!
+//! Implements the three decomposition families of the paper's Figure 1 on
+//! 4-D convolution weights `[c_out, c_in, kh, kw]`:
+//!
+//! * **Tucker-2** (the paper's evaluation baseline, ratio 0.1): HOSVD
+//!   initialization + HOOI refinement on the two channel modes, producing
+//!   `fconv (1×1) → core (kh×kw) → lconv (1×1)`;
+//! * **CP** (Lebedev-style): rank-R ALS producing
+//!   `fconv (1×1) → depthwise (kh×1) → depthwise (1×kw) → lconv (1×1)`;
+//! * **Tensor-Train**: TT-SVD over the `(c_in, kh, kw, c_out)` ordering,
+//!   producing `fconv (1×1) → core (kh×1) → core (1×kw) → lconv (1×1)`.
+//!
+//! Every decomposition satisfies the structural contract the TeMCO passes
+//! rely on: the first layer is a channel-*reducing* 1×1 convolution
+//! (`fconv`) and the last is a channel-*restoring* 1×1 convolution
+//! (`lconv`), with small "reduced tensors" flowing in between.
+
+pub mod cp;
+pub mod ranks;
+pub mod tt;
+pub mod tucker;
+pub mod unfold;
+
+pub use cp::{cp_decompose, CpConv};
+pub use ranks::{cp_rank, tt_ranks, tucker_ranks};
+pub use tt::{tt_decompose, TtConv};
+pub use tucker::{tucker2, tucker2_reconstruct, Tucker2};
+
+/// Which decomposition family to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Tucker-2 with HOOI refinement (the paper's baseline).
+    Tucker,
+    /// Canonical Polyadic via ALS.
+    Cp,
+    /// Tensor-Train via TT-SVD.
+    TensorTrain,
+}
+
+impl Method {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Tucker => "tucker",
+            Method::Cp => "cp",
+            Method::TensorTrain => "tt",
+        }
+    }
+}
+
+/// Relative Frobenius reconstruction error `‖w - ŵ‖ / ‖w‖`.
+pub fn relative_error(original: &temco_tensor::Tensor, reconstructed: &temco_tensor::Tensor) -> f64 {
+    assert_eq!(original.shape(), reconstructed.shape(), "relative_error shape mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (a, b) in original.data().iter().zip(reconstructed.data()) {
+        num += ((a - b) as f64).powi(2);
+        den += (*a as f64).powi(2);
+    }
+    (num / den.max(1e-30)).sqrt()
+}

@@ -1,0 +1,66 @@
+//! Rank-selection policy: the paper's "decomposition ratio".
+//!
+//! The evaluation applies Tucker with ratio 0.1: each channel mode's rank is
+//! the ratio times the channel count, floored at 1. CP and TT translate the
+//! same ratio into their own rank structures.
+
+/// Tucker-2 ranks `(r_out, r_in)` for a `[c_out, c_in, ..]` kernel.
+pub fn tucker_ranks(c_out: usize, c_in: usize, ratio: f64) -> (usize, usize) {
+    (rank_of(c_out, ratio), rank_of(c_in, ratio))
+}
+
+/// CP rank for a `[c_out, c_in, ..]` kernel: ratio times the larger channel
+/// count (a single rank must carry both modes).
+pub fn cp_rank(c_out: usize, c_in: usize, ratio: f64) -> usize {
+    rank_of(c_out.max(c_in), ratio)
+}
+
+/// TT ranks `(r1, r2, r3)` for a `[c_out, c_in, kh, kw]` kernel.
+pub fn tt_ranks(c_out: usize, c_in: usize, ratio: f64) -> (usize, usize, usize) {
+    let r1 = rank_of(c_in, ratio);
+    let r3 = rank_of(c_out, ratio);
+    // The middle rank bridges the spatial cores; give it the larger of the
+    // two channel ranks so it is never the bottleneck of the chain.
+    (r1, r1.max(r3), r3)
+}
+
+fn rank_of(channels: usize, ratio: f64) -> usize {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1], got {ratio}");
+    ((channels as f64 * ratio).round() as usize).clamp(1, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratio_on_vgg_conv() {
+        // 512→512 conv at ratio 0.1 → ranks (51, 51).
+        assert_eq!(tucker_ranks(512, 512, 0.1), (51, 51));
+    }
+
+    #[test]
+    fn rank_never_below_one() {
+        assert_eq!(tucker_ranks(3, 3, 0.1), (1, 1));
+        assert_eq!(cp_rank(2, 2, 0.01), 1);
+    }
+
+    #[test]
+    fn rank_never_exceeds_channels() {
+        assert_eq!(tucker_ranks(4, 4, 1.0), (4, 4));
+    }
+
+    #[test]
+    fn tt_middle_rank_bridges_both_sides() {
+        let (r1, r2, r3) = tt_ranks(64, 128, 0.1);
+        assert_eq!(r1, 13);
+        assert_eq!(r3, 6);
+        assert_eq!(r2, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn zero_ratio_panics() {
+        tucker_ranks(8, 8, 0.0);
+    }
+}

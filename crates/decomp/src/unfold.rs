@@ -1,0 +1,184 @@
+//! Mode-n unfolding and mode-n products for 4-D tensors (f64 workspace).
+//!
+//! Convention: `unfold(t, m)` has `dims[m]` rows; its columns enumerate the
+//! remaining axes in increasing axis order, row-major (later axes vary
+//! fastest). `fold` and `ttm` use the same convention, so
+//! `fold(unfold(t, m), m) == t` and reconstruction identities hold by
+//! construction (and are property-tested).
+
+use temco_linalg::Mat;
+use temco_tensor::Tensor;
+
+/// A 4-D `f64` working tensor.
+#[derive(Clone, Debug)]
+pub struct Tensor4 {
+    /// Dimensions.
+    pub dims: [usize; 4],
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Tensor4 {
+    /// Convert an `f32` IR tensor (must be 4-D) into the f64 workspace.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        assert_eq!(t.shape().len(), 4, "Tensor4 requires a 4-D tensor");
+        let dims = [t.dim(0), t.dim(1), t.dim(2), t.dim(3)];
+        Tensor4 { dims, data: t.data().iter().map(|&x| x as f64).collect() }
+    }
+
+    /// Convert back to an `f32` tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(&self.dims, self.data.iter().map(|&x| x as f32).collect())
+    }
+
+    /// Zero tensor of the given dims.
+    pub fn zeros(dims: [usize; 4]) -> Self {
+        Tensor4 { dims, data: vec![0.0; dims.iter().product()] }
+    }
+
+    /// Linear index for `[i, j, k, l]`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize, l: usize) -> usize {
+        ((i * self.dims[1] + j) * self.dims[2] + k) * self.dims[3] + l
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// Mode-`m` unfolding: `dims[m] × (numel / dims[m])`.
+pub fn unfold(t: &Tensor4, mode: usize) -> Mat {
+    assert!(mode < 4, "mode out of range");
+    let d = t.dims;
+    let rows = d[mode];
+    let cols = t.data.len() / rows;
+    let mut out = Mat::zeros(rows, cols);
+    let others: Vec<usize> = (0..4).filter(|&a| a != mode).collect();
+    let mut idx = [0usize; 4];
+    for r in 0..rows {
+        idx[mode] = r;
+        let mut c = 0usize;
+        for a in 0..d[others[0]] {
+            idx[others[0]] = a;
+            for b in 0..d[others[1]] {
+                idx[others[1]] = b;
+                for e in 0..d[others[2]] {
+                    idx[others[2]] = e;
+                    out[(r, c)] = t.data[t.idx(idx[0], idx[1], idx[2], idx[3])];
+                    c += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`unfold`]: rebuild a tensor of `dims` from its mode-`m`
+/// unfolding.
+pub fn fold(m: &Mat, mode: usize, dims: [usize; 4]) -> Tensor4 {
+    assert!(mode < 4, "mode out of range");
+    assert_eq!(m.rows(), dims[mode], "fold row mismatch");
+    let mut t = Tensor4::zeros(dims);
+    let others: Vec<usize> = (0..4).filter(|&a| a != mode).collect();
+    let mut idx = [0usize; 4];
+    for r in 0..dims[mode] {
+        idx[mode] = r;
+        let mut c = 0usize;
+        for a in 0..dims[others[0]] {
+            idx[others[0]] = a;
+            for b in 0..dims[others[1]] {
+                idx[others[1]] = b;
+                for e in 0..dims[others[2]] {
+                    idx[others[2]] = e;
+                    let linear = t.idx(idx[0], idx[1], idx[2], idx[3]);
+                    t.data[linear] = m[(r, c)];
+                    c += 1;
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Mode-`m` product `t ×_m u`: contracts `dims[m]` with the columns of `u`
+/// (`u` is `new_dim × dims[m]`), replacing that axis with `new_dim`.
+pub fn ttm(t: &Tensor4, u: &Mat, mode: usize) -> Tensor4 {
+    assert_eq!(u.cols(), t.dims[mode], "ttm dimension mismatch");
+    let unf = unfold(t, mode);
+    let prod = u.matmul(&unf);
+    let mut dims = t.dims;
+    dims[mode] = u.rows();
+    fold(&prod, mode, dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_linalg::Mat;
+
+    fn sample() -> Tensor4 {
+        let dims = [2, 3, 2, 2];
+        let data = (0..24).map(|i| i as f64).collect();
+        Tensor4 { dims, data }
+    }
+
+    #[test]
+    fn unfold_fold_roundtrip_all_modes() {
+        let t = sample();
+        for mode in 0..4 {
+            let m = unfold(&t, mode);
+            let back = fold(&m, mode, t.dims);
+            assert_eq!(back.data, t.data, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn unfold_mode0_rows_are_contiguous_slices() {
+        // With our convention, mode-0 unfolding of a row-major tensor is
+        // exactly the natural [d0, rest] reshape.
+        let t = sample();
+        let m = unfold(&t, 0);
+        assert_eq!(m.row(0), &t.data[..12]);
+        assert_eq!(m.row(1), &t.data[12..]);
+    }
+
+    #[test]
+    fn ttm_identity_is_noop() {
+        let t = sample();
+        for mode in 0..4 {
+            let e = Mat::eye(t.dims[mode]);
+            let r = ttm(&t, &e, mode);
+            assert_eq!(r.data, t.data);
+        }
+    }
+
+    #[test]
+    fn ttm_changes_the_right_dim() {
+        let t = sample();
+        let u = Mat::from_fn(5, 3, |r, c| (r + c) as f64);
+        let r = ttm(&t, &u, 1);
+        assert_eq!(r.dims, [2, 5, 2, 2]);
+    }
+
+    #[test]
+    fn ttm_commutes_across_distinct_modes() {
+        let t = sample();
+        let u0 = Mat::from_fn(4, 2, |r, c| (r * 2 + c) as f64 * 0.5);
+        let u1 = Mat::from_fn(2, 3, |r, c| (r + 3 * c) as f64 * 0.25);
+        let a = ttm(&ttm(&t, &u0, 0), &u1, 1);
+        let b = ttm(&ttm(&t, &u1, 1), &u0, 0);
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tensor_conversion_roundtrip() {
+        let t = temco_tensor::Tensor::randn(&[2, 3, 4, 5], 3);
+        let t4 = Tensor4::from_tensor(&t);
+        let back = t4.to_tensor();
+        assert!(t.all_close(&back, 1e-6));
+    }
+}

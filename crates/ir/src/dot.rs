@@ -1,0 +1,105 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::op::{ConvRole, Op};
+
+/// Render the graph as a DOT digraph.
+///
+/// Decomposition roles are color-coded (fconv = blue, core = gray,
+/// lconv = red, fused = purple) so skip-connection and fusion rewrites are
+/// visible at a glance.
+pub fn to_dot(g: &Graph) -> String {
+    let mut s = String::from("digraph temco {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (i, node) in g.nodes.iter().enumerate() {
+        let color = match &node.op {
+            Op::Conv2d(spec) => match spec.role {
+                ConvRole::FConv => "lightblue",
+                ConvRole::Core => "lightgray",
+                ConvRole::LConv => "lightcoral",
+                ConvRole::Standard => "white",
+            },
+            Op::Fused(_) => "plum",
+            Op::Input => "lightgreen",
+            _ => "white",
+        };
+        let shape = g.values[node.output.0 as usize]
+            .shape
+            .as_ref()
+            .map(|sh| format!("{sh:?}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  n{i} [label=\"{}\\n{} {}\", style=filled, fillcolor={color}];",
+            node.name,
+            node.op.mnemonic(),
+            shape
+        );
+    }
+    for (i, node) in g.nodes.iter().enumerate() {
+        for v in &node.inputs {
+            if let Some(p) = g.producer(*v) {
+                let _ = writeln!(s, "  n{p} -> n{i};");
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use temco_tensor::Tensor;
+
+    #[test]
+    fn roles_are_color_coded() {
+        use crate::op::{ConvRole, ConvSpec, Op};
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "x");
+        let w = g.add_weight(Tensor::zeros(&[2, 4, 1, 1]));
+        let spec = ConvSpec {
+            weight: w,
+            bias: None,
+            stride: (1, 1),
+            padding: (0, 0),
+            groups: 1,
+            role: ConvRole::FConv,
+        };
+        let f = g.push(Op::Conv2d(spec), vec![x], "fconv");
+        g.mark_output(f);
+        g.infer_shapes();
+        let dot = to_dot(&g);
+        assert!(dot.contains("lightblue"), "fconv color missing");
+        assert!(dot.contains("lightgreen"), "input color missing");
+    }
+
+    #[test]
+    fn uninferred_graphs_render_without_shapes() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 2, 2], "x");
+        let r = g.relu(x, "r");
+        g.mark_output(r);
+        // No infer_shapes() — the relu output has no shape yet.
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("relu"));
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 4, 4], "x");
+        let c = g.conv2d(x, Tensor::zeros(&[2, 2, 1, 1]), None, 1, 0, "c1");
+        let r = g.relu(c, "r1");
+        g.mark_output(r);
+        g.infer_shapes();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph temco"));
+        assert!(dot.contains("c1"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The graph structure and its builder API.
+
+use temco_tensor::Tensor;
+
+use crate::op::{ActKind, ConvRole, ConvSpec, FusedSpec, Op, PoolKind};
+
+/// Identifier of an internal (SSA) tensor value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifier of a weight tensor in the graph's weight store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightId(pub u32);
+
+/// Metadata for one SSA value.
+#[derive(Clone, Debug, Default)]
+pub struct ValueInfo {
+    /// Human-readable name (for DOT output and reports).
+    pub name: String,
+    /// Inferred shape; `None` until [`Graph::infer_shapes`] runs.
+    pub shape: Option<Vec<usize>>,
+}
+
+/// One operation in the ordered node list.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// SSA operands.
+    pub inputs: Vec<ValueId>,
+    /// The single SSA result.
+    pub output: ValueId,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A model: an ordered node list in SSA form plus value/weight stores.
+///
+/// The vector order of `nodes` *is* the execution schedule, exactly like the
+/// "ordered tensor node list L" consumed by the paper's Algorithm 1.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Nodes in execution order.
+    pub nodes: Vec<Node>,
+    /// Per-value metadata, indexed by `ValueId`.
+    pub values: Vec<ValueInfo>,
+    /// Weight store, indexed by `WeightId`.
+    pub weights: Vec<Tensor>,
+    /// Graph input values.
+    pub inputs: Vec<ValueId>,
+    /// Graph output values.
+    pub outputs: Vec<ValueId>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Allocate a fresh SSA value.
+    pub fn fresh_value(&mut self, name: impl Into<String>) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo { name: name.into(), shape: None });
+        id
+    }
+
+    /// Intern a weight tensor.
+    pub fn add_weight(&mut self, t: Tensor) -> WeightId {
+        let id = WeightId(self.weights.len() as u32);
+        self.weights.push(t);
+        id
+    }
+
+    /// Borrow a weight.
+    pub fn weight(&self, id: WeightId) -> &Tensor {
+        &self.weights[id.0 as usize]
+    }
+
+    /// Shape of a value (panics if shape inference has not run).
+    pub fn shape(&self, v: ValueId) -> &[usize] {
+        self.values[v.0 as usize]
+            .shape
+            .as_deref()
+            .expect("value shape not inferred yet — call infer_shapes()")
+    }
+
+    /// Element count of a value.
+    pub fn value_numel(&self, v: ValueId) -> usize {
+        self.shape(v).iter().product()
+    }
+
+    /// Byte size of a value (`f32` elements). This is the paper's `SIZE(v)`.
+    pub fn value_bytes(&self, v: ValueId) -> usize {
+        self.value_numel(v) * std::mem::size_of::<f32>()
+    }
+
+    /// Total bytes of all weight tensors (the paper's weight-memory pool).
+    ///
+    /// Counts the whole store; run [`Graph::gc_weights`] first if passes may
+    /// have orphaned entries.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.iter().map(Tensor::bytes).sum()
+    }
+
+    /// Drop weight-store entries no node references anymore, compacting ids.
+    ///
+    /// Rewrite passes (decomposition, concat splitting, affine folding)
+    /// replace weights rather than mutating them, leaving the originals
+    /// orphaned; this reclaims them so `weight_bytes` reflects what an
+    /// inference actually loads.
+    pub fn gc_weights(&mut self) {
+        let mut used = vec![false; self.weights.len()];
+        for node in &self.nodes {
+            for w in node.op.weight_ids() {
+                used[w.0 as usize] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; self.weights.len()];
+        let old = std::mem::take(&mut self.weights);
+        for (i, (t, keep)) in old.into_iter().zip(&used).enumerate() {
+            if *keep {
+                remap[i] = self.weights.len() as u32;
+                self.weights.push(t);
+            }
+        }
+        for node in &mut self.nodes {
+            for w in node.op.weight_ids_mut() {
+                debug_assert_ne!(remap[w.0 as usize], u32::MAX);
+                w.0 = remap[w.0 as usize];
+            }
+        }
+    }
+
+    /// Append a node computing `op` over `inputs`; returns its output value.
+    pub fn push(&mut self, op: Op, inputs: Vec<ValueId>, name: impl Into<String>) -> ValueId {
+        let name = name.into();
+        let output = self.fresh_value(format!("{name}.out"));
+        self.nodes.push(Node { op, inputs, output, name });
+        output
+    }
+
+    /// Index of the node producing `v`, if any (graph inputs have none).
+    pub fn producer(&self, v: ValueId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.output == v)
+    }
+
+    /// Indices of all nodes consuming `v`, in schedule order.
+    pub fn users(&self, v: ValueId) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Run shape inference over the whole node list.
+    ///
+    /// # Panics
+    /// Panics on malformed graphs (shape mismatch, use before def).
+    pub fn infer_shapes(&mut self) {
+        crate::shape::infer(self);
+    }
+
+    // ------------------------------------------------------------------
+    // Builder API
+    // ------------------------------------------------------------------
+
+    /// Declare a graph input of the given shape.
+    pub fn input(&mut self, shape: &[usize], name: impl Into<String>) -> ValueId {
+        let name = name.into();
+        let v = self.fresh_value(name.clone());
+        self.values[v.0 as usize].shape = Some(shape.to_vec());
+        self.nodes.push(Node { op: Op::Input, inputs: vec![], output: v, name });
+        self.inputs.push(v);
+        v
+    }
+
+    /// Mark `v` as a graph output.
+    pub fn mark_output(&mut self, v: ValueId) {
+        self.outputs.push(v);
+    }
+
+    /// Standard dense convolution from weight/bias tensors.
+    pub fn conv2d(
+        &mut self,
+        x: ValueId,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        padding: usize,
+        name: impl Into<String>,
+    ) -> ValueId {
+        let spec = ConvSpec {
+            weight: self.add_weight(weight),
+            bias: bias.map(|b| self.add_weight(b)),
+            stride: (stride, stride),
+            padding: (padding, padding),
+            groups: 1,
+            role: ConvRole::Standard,
+        };
+        self.push(Op::Conv2d(spec), vec![x], name)
+    }
+
+    /// Convolution from an explicit [`ConvSpec`] (used by compiler passes).
+    pub fn conv2d_spec(&mut self, x: ValueId, spec: ConvSpec, name: impl Into<String>) -> ValueId {
+        self.push(Op::Conv2d(spec), vec![x], name)
+    }
+
+    /// Transposed convolution (`weight [c_in, c_out, kh, kw]`).
+    pub fn conv_transpose2d(
+        &mut self,
+        x: ValueId,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        stride: usize,
+        name: impl Into<String>,
+    ) -> ValueId {
+        let weight = self.add_weight(weight);
+        let bias = bias.map(|b| self.add_weight(b));
+        self.push(Op::ConvTranspose2d { weight, bias, stride: (stride, stride) }, vec![x], name)
+    }
+
+    /// Elementwise activation.
+    pub fn activation(&mut self, x: ValueId, kind: ActKind, name: impl Into<String>) -> ValueId {
+        self.push(Op::Activation(kind), vec![x], name)
+    }
+
+    /// ReLU shorthand.
+    pub fn relu(&mut self, x: ValueId, name: impl Into<String>) -> ValueId {
+        self.activation(x, ActKind::Relu, name)
+    }
+
+    /// Max pooling.
+    pub fn max_pool(&mut self, x: ValueId, kernel: usize, stride: usize, name: impl Into<String>) -> ValueId {
+        self.push(Op::Pool { kind: PoolKind::Max, kernel, stride }, vec![x], name)
+    }
+
+    /// Average pooling.
+    pub fn avg_pool(&mut self, x: ValueId, kernel: usize, stride: usize, name: impl Into<String>) -> ValueId {
+        self.push(Op::Pool { kind: PoolKind::Avg, kernel, stride }, vec![x], name)
+    }
+
+    /// Global average pooling.
+    pub fn global_avg_pool(&mut self, x: ValueId, name: impl Into<String>) -> ValueId {
+        self.push(Op::GlobalAvgPool, vec![x], name)
+    }
+
+    /// Folded batch-norm affine.
+    pub fn affine(&mut self, x: ValueId, scale: Tensor, bias: Tensor, name: impl Into<String>) -> ValueId {
+        let scale = self.add_weight(scale);
+        let bias = self.add_weight(bias);
+        self.push(Op::Affine { scale, bias }, vec![x], name)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, xs: &[ValueId], name: impl Into<String>) -> ValueId {
+        assert!(xs.len() >= 2, "add needs at least two operands");
+        self.push(Op::Add, xs.to_vec(), name)
+    }
+
+    /// Channel concatenation.
+    pub fn concat(&mut self, xs: &[ValueId], name: impl Into<String>) -> ValueId {
+        assert!(xs.len() >= 2, "concat needs at least two operands");
+        self.push(Op::Concat, xs.to_vec(), name)
+    }
+
+    /// Fully connected layer.
+    pub fn linear(&mut self, x: ValueId, weight: Tensor, bias: Option<Tensor>, name: impl Into<String>) -> ValueId {
+        let weight = self.add_weight(weight);
+        let bias = bias.map(|b| self.add_weight(b));
+        self.push(Op::Linear { weight, bias }, vec![x], name)
+    }
+
+    /// Flatten to 2-D.
+    pub fn flatten(&mut self, x: ValueId, name: impl Into<String>) -> ValueId {
+        self.push(Op::Flatten, vec![x], name)
+    }
+
+    /// Softmax over the last dim.
+    pub fn softmax(&mut self, x: ValueId, name: impl Into<String>) -> ValueId {
+        self.push(Op::Softmax, vec![x], name)
+    }
+
+    /// TeMCO fused operator (used by the fusion pass and tests).
+    pub fn fused(&mut self, x: ValueId, spec: FusedSpec, name: impl Into<String>) -> ValueId {
+        self.push(Op::Fused(spec), vec![x], name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 3, 8, 8], "x");
+        let w = Tensor::randn(&[4, 3, 3, 3], 1);
+        let c = g.conv2d(x, w, None, 1, 1, "conv1");
+        let r = g.relu(c, "relu1");
+        g.mark_output(r);
+        g
+    }
+
+    #[test]
+    fn builder_creates_ordered_nodes() {
+        let g = tiny_graph();
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.nodes[0].op, Op::Input);
+        assert!(matches!(g.nodes[1].op, Op::Conv2d(_)));
+        assert!(matches!(g.nodes[2].op, Op::Activation(ActKind::Relu)));
+    }
+
+    #[test]
+    fn producer_and_users() {
+        let g = tiny_graph();
+        let conv_out = g.nodes[1].output;
+        assert_eq!(g.producer(conv_out), Some(1));
+        assert_eq!(g.users(conv_out), vec![2]);
+        let x = g.inputs[0];
+        assert_eq!(g.users(x), vec![1]);
+    }
+
+    #[test]
+    fn weight_store_and_bytes() {
+        let g = tiny_graph();
+        assert_eq!(g.weights.len(), 1);
+        assert_eq!(g.weight_bytes(), 4 * 3 * 3 * 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape not inferred")]
+    fn shape_before_inference_panics() {
+        let g = tiny_graph();
+        let out = g.outputs[0];
+        let _ = g.shape(out);
+    }
+
+    #[test]
+    fn gc_weights_drops_orphans_and_remaps_ids() {
+        let mut g = tiny_graph();
+        let orphan = g.add_weight(Tensor::zeros(&[100, 100])); // never referenced
+        assert_eq!(g.weights.len(), 2);
+        let bytes_with_orphan = g.weight_bytes();
+        g.gc_weights();
+        assert_eq!(g.weights.len(), 1);
+        assert!(g.weight_bytes() < bytes_with_orphan);
+        assert!(verify_ok(&g));
+        // The conv still sees its (remapped) weight.
+        let Op::Conv2d(spec) = &g.nodes[1].op else { panic!() };
+        assert_eq!(g.weight(spec.weight).shape(), &[4, 3, 3, 3]);
+        let _ = orphan;
+    }
+
+    fn verify_ok(g: &Graph) -> bool {
+        crate::verify::verify(g).is_empty()
+    }
+
+    #[test]
+    fn input_shape_is_known_immediately() {
+        let g = tiny_graph();
+        assert_eq!(g.shape(g.inputs[0]), &[1, 3, 8, 8]);
+    }
+}

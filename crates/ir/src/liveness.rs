@@ -1,0 +1,124 @@
+//! Tensor liveness analysis (paper Algorithm 1, lines 11–16).
+//!
+//! The analyzer records, per SSA value, the node index of its first
+//! definition (`begin`) and of its last use (`end`). The lifespan
+//! `end - begin` is the `DISTANCE` the skip-connection optimization compares
+//! against `DISTANCE_THRESHOLD` to identify skip connections.
+
+use crate::graph::{Graph, ValueId};
+
+/// Per-value `begin`/`end` node indices under the graph's schedule.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Node index at which each value is defined (`usize::MAX` if never).
+    pub begin: Vec<usize>,
+    /// Node index of each value's last use. Graph outputs are pinned to the
+    /// end of the schedule; unused values die at their definition.
+    pub end: Vec<usize>,
+}
+
+impl Liveness {
+    /// Lifespan (`DISTANCE(begin, end)`) of a value in schedule steps.
+    pub fn lifespan(&self, v: ValueId) -> usize {
+        self.end[v.0 as usize].saturating_sub(self.begin[v.0 as usize])
+    }
+
+    /// Whether `v` is live while node `i` executes.
+    ///
+    /// A value is live at step `i` if it was defined at or before `i` and is
+    /// still used at or after `i` — mirroring a framework that allocates a
+    /// layer's output when the layer runs and frees inputs after their last
+    /// consumer finishes.
+    pub fn live_at(&self, v: ValueId, i: usize) -> bool {
+        let b = self.begin[v.0 as usize];
+        let e = self.end[v.0 as usize];
+        b != usize::MAX && b <= i && i <= e
+    }
+}
+
+/// Compute liveness for the graph's current schedule.
+pub fn liveness(g: &Graph) -> Liveness {
+    let n_values = g.values.len();
+    let mut begin = vec![usize::MAX; n_values];
+    let mut end = vec![0usize; n_values];
+    for (i, node) in g.nodes.iter().enumerate() {
+        begin[node.output.0 as usize] = i;
+        end[node.output.0 as usize] = end[node.output.0 as usize].max(i);
+        for v in &node.inputs {
+            end[v.0 as usize] = end[v.0 as usize].max(i);
+        }
+    }
+    // Graph outputs must survive the entire inference.
+    let last = g.nodes.len().saturating_sub(1);
+    for v in &g.outputs {
+        end[v.0 as usize] = end[v.0 as usize].max(last);
+    }
+    Liveness { begin, end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use temco_tensor::Tensor;
+
+    /// x → conv → relu → conv → add(relu_out, conv2_out): relu_out is a
+    /// short "skip" spanning two nodes.
+    fn skip_graph() -> (Graph, ValueId) {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "c1");
+        let r1 = g.relu(c1, "r1");
+        let c2 = g.conv2d(r1, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "c2");
+        let s = g.add(&[r1, c2], "add");
+        g.mark_output(s);
+        g.infer_shapes();
+        (g, r1)
+    }
+
+    #[test]
+    fn begin_is_definition_index() {
+        let (g, r1) = skip_graph();
+        let lv = liveness(&g);
+        assert_eq!(lv.begin[r1.0 as usize], 2);
+    }
+
+    #[test]
+    fn end_is_last_use_index() {
+        let (g, r1) = skip_graph();
+        let lv = liveness(&g);
+        assert_eq!(lv.end[r1.0 as usize], 4); // used by add at index 4
+        assert_eq!(lv.lifespan(r1), 2);
+    }
+
+    #[test]
+    fn inputs_die_after_last_consumer() {
+        let (g, _) = skip_graph();
+        let lv = liveness(&g);
+        let x = g.inputs[0];
+        assert_eq!(lv.end[x.0 as usize], 1); // only conv1 consumes x
+        assert!(lv.live_at(x, 0));
+        assert!(lv.live_at(x, 1));
+        assert!(!lv.live_at(x, 2));
+    }
+
+    #[test]
+    fn outputs_live_to_schedule_end() {
+        let (g, _) = skip_graph();
+        let lv = liveness(&g);
+        let out = g.outputs[0];
+        assert_eq!(lv.end[out.0 as usize], g.nodes.len() - 1);
+    }
+
+    #[test]
+    fn unused_values_die_at_definition() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 2, 2], "x");
+        let dead = g.relu(x, "dead");
+        let live = g.relu(x, "live");
+        g.mark_output(live);
+        g.infer_shapes();
+        let lv = liveness(&g);
+        assert_eq!(lv.lifespan(dead), 0);
+    }
+}

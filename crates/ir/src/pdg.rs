@@ -1,0 +1,102 @@
+//! Program-dependence-graph view over the node list.
+//!
+//! Algorithm 1/2 of the paper navigate the model through `PRED(v, G)` /
+//! `SUCC(v, G)` queries. This module materializes those adjacency maps once
+//! so passes don't pay a linear scan per query.
+
+use crate::graph::{Graph, ValueId};
+
+/// Precomputed def-use adjacency for a graph's current node list.
+///
+/// Indices refer to positions in `Graph::nodes`; the PDG must be rebuilt
+/// after any pass that edits the node list.
+#[derive(Clone, Debug)]
+pub struct Pdg {
+    producer: Vec<Option<usize>>,
+    users: Vec<Vec<usize>>,
+}
+
+impl Pdg {
+    /// Build the PDG for the graph's current schedule.
+    pub fn build(g: &Graph) -> Self {
+        let nv = g.values.len();
+        let mut producer = vec![None; nv];
+        let mut users = vec![Vec::new(); nv];
+        for (i, node) in g.nodes.iter().enumerate() {
+            producer[node.output.0 as usize] = Some(i);
+            for v in &node.inputs {
+                users[v.0 as usize].push(i);
+            }
+        }
+        Pdg { producer, users }
+    }
+
+    /// Node index that defines `v` (`None` only for dangling values).
+    pub fn producer(&self, v: ValueId) -> Option<usize> {
+        self.producer[v.0 as usize]
+    }
+
+    /// Node indices that consume `v`, in schedule order (paper's `SUCC`).
+    pub fn users(&self, v: ValueId) -> &[usize] {
+        &self.users[v.0 as usize]
+    }
+
+    /// Predecessor node indices of node `i` (paper's `PRED`): the producers
+    /// of its operands.
+    pub fn preds(&self, g: &Graph, i: usize) -> Vec<usize> {
+        g.nodes[i].inputs.iter().filter_map(|&v| self.producer(v)).collect()
+    }
+
+    /// Successor node indices of node `i`: the users of its output.
+    pub fn succs(&self, g: &Graph, i: usize) -> Vec<usize> {
+        self.users(g.nodes[i].output).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use temco_tensor::Tensor;
+
+    fn diamond() -> Graph {
+        // x → conv → (relu_a, relu_b) → add
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 4, 4], "x");
+        let c = g.conv2d(x, Tensor::zeros(&[2, 2, 1, 1]), None, 1, 0, "c");
+        let a = g.relu(c, "a");
+        let b = g.relu(c, "b");
+        let s = g.add(&[a, b], "s");
+        g.mark_output(s);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn producer_matches_definition() {
+        let g = diamond();
+        let pdg = Pdg::build(&g);
+        assert_eq!(pdg.producer(g.nodes[1].output), Some(1));
+        assert_eq!(pdg.producer(g.inputs[0]), Some(0)); // input node defines it
+    }
+
+    #[test]
+    fn users_in_schedule_order() {
+        let g = diamond();
+        let pdg = Pdg::build(&g);
+        let conv_out = g.nodes[1].output;
+        assert_eq!(pdg.users(conv_out), &[2, 3]);
+    }
+
+    #[test]
+    fn preds_and_succs_traverse_the_diamond() {
+        let g = diamond();
+        let pdg = Pdg::build(&g);
+        // add (index 4) has the two relus as predecessors
+        assert_eq!(pdg.preds(&g, 4), vec![2, 3]);
+        // conv (index 1) feeds both relus
+        assert_eq!(pdg.succs(&g, 1), vec![2, 3]);
+        // add's output is a graph output with no users
+        assert!(pdg.succs(&g, 4).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Memory-aware execution scheduling.
+//!
+//! The node-list order *is* the schedule, and liveness — hence peak memory —
+//! depends on it. The paper's Algorithm 2 orders restore chains with its
+//! `Compare` heuristic (`a` before `b` iff `a.size + b.peak <
+//! b.size + a.peak`) and cites operator-scheduling work (references 19, 31, 50)
+//! for the general problem. This module generalizes that same `Compare` to
+//! whole graphs: a post-order DFS from the outputs in which every node's
+//! predecessor subtrees are visited in `Compare` order, so the subtree whose
+//! *result* is small relative to its transient peak runs first and nothing
+//! bulky lingers across an expensive sibling.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, ValueId};
+
+/// Memoized per-subtree bookkeeping, exactly Algorithm 2's `res`.
+#[derive(Clone, Copy, Debug)]
+struct SubtreeCost {
+    /// Bytes of the subtree's result tensor (`SIZE(v)`).
+    size: usize,
+    /// Estimated transient peak of computing the subtree.
+    peak: usize,
+}
+
+/// Compute a demand-driven order of `g.nodes` (a permutation of indices):
+/// post-order DFS from the outputs with children in operand order.
+///
+/// This is the *baseline* scheduler — it already avoids materializing dead
+/// side chains early, but keeps sibling subtrees in program order. Use
+/// [`memory_aware_order_ranked`] for the Compare-ordered variant the
+/// compiler applies.
+///
+/// # Panics
+/// Panics if shape inference has not run.
+pub fn memory_aware_order(g: &Graph) -> Vec<usize> {
+    let producer: HashMap<ValueId, usize> =
+        g.nodes.iter().enumerate().map(|(i, node)| (node.output, i)).collect();
+
+    let mut state = Dfs {
+        g,
+        producer,
+        visited: vec![false; g.nodes.len()],
+        costs: vec![None; g.nodes.len()],
+        order: Vec::with_capacity(g.nodes.len()),
+    };
+    // Schedule everything reachable from the outputs, then any dead code in
+    // original order (its operands are then already defined).
+    let out_nodes: Vec<usize> = g
+        .outputs
+        .iter()
+        .filter_map(|v| state.producer.get(v).copied())
+        .collect();
+    for i in out_nodes {
+        state.visit(i);
+    }
+    for i in 0..g.nodes.len() {
+        state.visit(i);
+    }
+    assert_eq!(state.order.len(), g.nodes.len(), "cycle in graph");
+    state.order
+}
+
+struct Dfs<'a> {
+    g: &'a Graph,
+    producer: HashMap<ValueId, usize>,
+    visited: Vec<bool>,
+    costs: Vec<Option<SubtreeCost>>,
+    order: Vec<usize>,
+}
+
+impl Dfs<'_> {
+    /// Post-order visit; returns the node's subtree cost.
+    fn visit(&mut self, i: usize) -> SubtreeCost {
+        if self.visited[i] {
+            // Already scheduled: its result is materialized, so re-use costs
+            // nothing new.
+            return SubtreeCost { size: self.costs[i].map_or(0, |c| c.size), peak: 0 };
+        }
+        self.visited[i] = true;
+
+        let mut child_nodes: Vec<usize> = self.g.nodes[i]
+            .inputs
+            .iter()
+            .filter_map(|v| self.producer.get(v).copied())
+            .collect();
+        child_nodes.sort_unstable();
+        child_nodes.dedup();
+
+        // Visit children in operand order (the baseline strategy;
+        // `memory_aware_order_ranked` pre-ranks siblings with Compare
+        // instead — the ablation bench contrasts the two).
+        let mut children: Vec<(usize, SubtreeCost)> = Vec::with_capacity(child_nodes.len());
+        for c in child_nodes {
+            if self.visited[c] {
+                continue;
+            }
+            let cost = self.visit(c);
+            children.push((c, cost));
+        }
+
+        let size = self.g.value_bytes(self.g.nodes[i].output);
+        // Peak(l, v) from Algorithm 2.
+        let mut peak = 0usize;
+        let mut resided = 0usize;
+        for (_, c) in &children {
+            peak = peak.max(resided + c.peak);
+            resided += c.size;
+        }
+        let peak = peak.max(resided + size);
+
+        self.order.push(i);
+        let cost = SubtreeCost { size, peak };
+        self.costs[i] = Some(cost);
+        cost
+    }
+}
+
+/// Standalone subtree cost estimate used to pre-rank siblings before the
+/// emitting DFS runs: size = result bytes, peak = max(result + heaviest
+/// input, result) along the subtree, memoized.
+fn estimate(g: &Graph, producer: &HashMap<ValueId, usize>, memo: &mut Vec<Option<SubtreeCost>>, i: usize) -> SubtreeCost {
+    if let Some(c) = memo[i] {
+        return c;
+    }
+    // Seed the memo to terminate on (impossible) cycles.
+    memo[i] = Some(SubtreeCost { size: 0, peak: 0 });
+    let size = g.value_bytes(g.nodes[i].output);
+    let mut child_nodes: Vec<usize> = g.nodes[i]
+        .inputs
+        .iter()
+        .filter_map(|v| producer.get(v).copied())
+        .collect();
+    child_nodes.sort_unstable();
+    child_nodes.dedup();
+    let mut children: Vec<SubtreeCost> =
+        child_nodes.iter().map(|&c| estimate(g, producer, memo, c)).collect();
+    children.sort_by(|a, b| (a.size + b.peak).cmp(&(b.size + a.peak)));
+    let mut peak = 0usize;
+    let mut resided = 0usize;
+    for c in &children {
+        peak = peak.max(resided + c.peak);
+        resided += c.size;
+    }
+    let cost = SubtreeCost { size, peak: peak.max(resided + size) };
+    memo[i] = Some(cost);
+    cost
+}
+
+/// Reorder the node list according to `order` (a permutation).
+pub fn apply_order(g: &mut Graph, order: &[usize]) {
+    assert_eq!(order.len(), g.nodes.len(), "order must be a full permutation");
+    let old = std::mem::take(&mut g.nodes);
+    let mut slots: Vec<Option<crate::graph::Node>> = old.into_iter().map(Some).collect();
+    g.nodes = order
+        .iter()
+        .map(|&i| slots[i].take().expect("order must not repeat indices"))
+        .collect();
+}
+
+/// Convenience: schedule with sibling pre-ranking and return the new order.
+///
+/// This is the entry the compiler uses: it pre-ranks every node's
+/// predecessor list by the standalone estimate (Algorithm 2's `ORDER`),
+/// rewrites the operand traversal order accordingly, and then runs the
+/// emitting DFS.
+pub fn memory_aware_order_ranked(g: &Graph) -> Vec<usize> {
+    let producer: HashMap<ValueId, usize> =
+        g.nodes.iter().enumerate().map(|(i, node)| (node.output, i)).collect();
+    let mut memo = vec![None; g.nodes.len()];
+
+    let mut visited = vec![false; g.nodes.len()];
+    let mut order = Vec::with_capacity(g.nodes.len());
+    // Iterative DFS with Compare-ordered children.
+    let roots: Vec<usize> = g
+        .outputs
+        .iter()
+        .filter_map(|v| producer.get(v).copied())
+        .chain(0..g.nodes.len())
+        .collect();
+    for root in roots {
+        if visited[root] {
+            continue;
+        }
+        let mut stack: Vec<(usize, bool)> = vec![(root, false)];
+        while let Some((i, expanded)) = stack.pop() {
+            if expanded {
+                if !visited[i] {
+                    visited[i] = true;
+                    order.push(i);
+                }
+                continue;
+            }
+            if visited[i] {
+                continue;
+            }
+            stack.push((i, true));
+            let mut child_nodes: Vec<usize> = g.nodes[i]
+                .inputs
+                .iter()
+                .filter_map(|v| producer.get(v).copied())
+                .filter(|&c| !visited[c])
+                .collect();
+            child_nodes.sort_unstable();
+            child_nodes.dedup();
+            let mut ranked: Vec<(usize, SubtreeCost)> = child_nodes
+                .into_iter()
+                .map(|c| (c, estimate(g, &producer, &mut memo, c)))
+                .collect();
+            // Compare order: earlier-run children first. The stack reverses,
+            // so push in reverse Compare order.
+            ranked.sort_by(|(_, a), (_, b)| (a.size + b.peak).cmp(&(b.size + a.peak)));
+            for (c, _) in ranked.into_iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    assert_eq!(order.len(), g.nodes.len(), "cycle in graph");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::liveness;
+    use temco_tensor::Tensor;
+
+    /// Peak bytes under the current schedule (mirror of the runtime planner,
+    /// local to avoid the dependency).
+    fn peak(g: &Graph) -> usize {
+        let lv = liveness(g);
+        (0..g.nodes.len())
+            .map(|i| {
+                (0..g.values.len())
+                    .filter(|&v| lv.live_at(ValueId(v as u32), i))
+                    .map(|v| g.value_bytes(ValueId(v as u32)))
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Two branches off one input: a cheap one and an expensive one joined
+    /// by an add; running the cheap branch eagerly would hold its result
+    /// alive across the expensive branch.
+    fn diamond() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 8, 8], "x");
+        // Expanding branch declared FIRST so program order is pessimal: its
+        // 32-channel result (4× larger than x) would sit across the
+        // expensive branch if computed eagerly.
+        let cheap = g.conv2d(x, Tensor::zeros(&[32, 8, 1, 1]), None, 1, 0, "cheap");
+        // Expensive branch: blows up to 64 channels then back down.
+        let big = g.conv2d(x, Tensor::zeros(&[64, 8, 3, 3]), None, 1, 1, "big");
+        let bigr = g.relu(big, "bigr");
+        let down = g.conv2d(bigr, Tensor::zeros(&[8, 64, 3, 3]), None, 1, 1, "down");
+        let s = g.concat(&[down, cheap], "join");
+        g.mark_output(s);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn order_is_a_valid_permutation_and_topological() {
+        let g = diamond();
+        for order in [memory_aware_order(&g), memory_aware_order_ranked(&g)] {
+            let mut seen = vec![false; g.nodes.len()];
+            let mut defined: Vec<ValueId> = Vec::new();
+            for &i in &order {
+                assert!(!seen[i]);
+                seen[i] = true;
+                for v in &g.nodes[i].inputs {
+                    assert!(defined.contains(v), "use before def after scheduling");
+                }
+                defined.push(g.nodes[i].output);
+            }
+            assert_eq!(order.len(), g.nodes.len());
+        }
+    }
+
+    #[test]
+    fn rescheduling_never_increases_peak_on_diamond() {
+        let mut g = diamond();
+        let before = peak(&g);
+        let order = memory_aware_order_ranked(&g);
+        apply_order(&mut g, &order);
+        assert!(crate::verify::verify(&g).is_empty());
+        let after = peak(&g);
+        assert!(after <= before, "{before} → {after}");
+    }
+
+    #[test]
+    fn delays_the_cheap_branch_until_needed() {
+        // In program order "cheap" sits before the expensive chain; the
+        // Compare-ordered scheduler pushes it after (its result would
+        // otherwise ride across the 64-channel bump).
+        let mut g = diamond();
+        let order = memory_aware_order_ranked(&g);
+        apply_order(&mut g, &order);
+        let cheap_pos = g.nodes.iter().position(|n| n.name == "cheap").unwrap();
+        let down_pos = g.nodes.iter().position(|n| n.name == "down").unwrap();
+        assert!(cheap_pos > down_pos, "cheap at {cheap_pos}, down at {down_pos}");
+        // And the reschedule actually lowers peak memory here.
+        let mut orig = diamond();
+        let before = peak(&orig);
+        let after = peak(&g);
+        assert!(after < before, "{before} → {after}");
+        orig.infer_shapes();
+    }
+
+    #[test]
+    fn linear_chains_keep_their_order() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "x");
+        let a = g.relu(x, "a");
+        let b = g.relu(a, "b");
+        let c = g.relu(b, "c");
+        g.mark_output(c);
+        g.infer_shapes();
+        assert_eq!(memory_aware_order_ranked(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dead_code_is_scheduled_after_live_code() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 4, 4], "x");
+        let dead = g.relu(x, "dead");
+        let _dead2 = g.relu(dead, "dead2");
+        let live = g.relu(x, "live");
+        g.mark_output(live);
+        g.infer_shapes();
+        let order = memory_aware_order_ranked(&g);
+        let live_pos = order.iter().position(|&i| g.nodes[i].name == "live").unwrap();
+        let dead_pos = order.iter().position(|&i| g.nodes[i].name == "dead").unwrap();
+        assert!(live_pos < dead_pos);
+    }
+}

@@ -1,0 +1,452 @@
+//! Binary serialization of graphs (the `.temco` model format).
+//!
+//! A compiled model is worth saving: decomposition is the expensive part of
+//! the pipeline (SVD over every kernel), while loading a factorized graph is
+//! instant. The format is a simple versioned little-endian layout written
+//! by hand — no external dependencies, no schema drift:
+//!
+//! ```text
+//! magic "TMCO" | version u32
+//! weights: count, then per tensor: ndim, dims…, f32 data
+//! values:  count, then per value: name, optional shape
+//! nodes:   count, then per node: op tag + fields, inputs, output, name
+//! inputs / outputs: value-id lists
+//! ```
+
+use std::io::{self, Read, Write};
+
+use temco_tensor::Tensor;
+
+use crate::graph::{Graph, Node, ValueId, ValueInfo, WeightId};
+use crate::op::{ActKind, ConvRole, ConvSpec, FconvSpec, FusedSpec, Op, PoolKind};
+
+const MAGIC: &[u8; 4] = b"TMCO";
+const VERSION: u32 = 1;
+
+/// Serialize `g` to `w`.
+pub fn save_graph(g: &Graph, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(w, VERSION)?;
+
+    put_u32(w, g.weights.len() as u32)?;
+    for t in &g.weights {
+        put_u32(w, t.shape().len() as u32)?;
+        for &d in t.shape() {
+            put_u32(w, d as u32)?;
+        }
+        for &x in t.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+
+    put_u32(w, g.values.len() as u32)?;
+    for v in &g.values {
+        put_str(w, &v.name)?;
+        match &v.shape {
+            None => put_u32(w, u32::MAX)?,
+            Some(s) => {
+                put_u32(w, s.len() as u32)?;
+                for &d in s {
+                    put_u32(w, d as u32)?;
+                }
+            }
+        }
+    }
+
+    put_u32(w, g.nodes.len() as u32)?;
+    for n in &g.nodes {
+        put_op(w, &n.op)?;
+        put_u32(w, n.inputs.len() as u32)?;
+        for v in &n.inputs {
+            put_u32(w, v.0)?;
+        }
+        put_u32(w, n.output.0)?;
+        put_str(w, &n.name)?;
+    }
+
+    put_u32(w, g.inputs.len() as u32)?;
+    for v in &g.inputs {
+        put_u32(w, v.0)?;
+    }
+    put_u32(w, g.outputs.len() as u32)?;
+    for v in &g.outputs {
+        put_u32(w, v.0)?;
+    }
+    Ok(())
+}
+
+/// Deserialize a graph from `r`.
+///
+/// # Errors
+/// I/O errors, bad magic, or an unsupported version.
+pub fn load_graph(r: &mut impl Read) -> io::Result<Graph> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a .temco model file"));
+    }
+    let version = get_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported .temco version {version}"),
+        ));
+    }
+
+    let n_weights = get_u32(r)? as usize;
+    let mut weights = Vec::with_capacity(n_weights);
+    for _ in 0..n_weights {
+        let ndim = get_u32(r)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(get_u32(r)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = vec![0f32; numel];
+        for x in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *x = f32::from_le_bytes(b);
+        }
+        weights.push(Tensor::from_vec(&dims, data));
+    }
+
+    let n_values = get_u32(r)? as usize;
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        let name = get_str(r)?;
+        let tag = get_u32(r)?;
+        let shape = if tag == u32::MAX {
+            None
+        } else {
+            let mut s = Vec::with_capacity(tag as usize);
+            for _ in 0..tag {
+                s.push(get_u32(r)? as usize);
+            }
+            Some(s)
+        };
+        values.push(ValueInfo { name, shape });
+    }
+
+    let n_nodes = get_u32(r)? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let op = get_op(r)?;
+        let n_in = get_u32(r)? as usize;
+        let mut inputs = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            inputs.push(ValueId(get_u32(r)?));
+        }
+        let output = ValueId(get_u32(r)?);
+        let name = get_str(r)?;
+        nodes.push(Node { op, inputs, output, name });
+    }
+
+    let n_inputs = get_u32(r)? as usize;
+    let mut inputs = Vec::with_capacity(n_inputs);
+    for _ in 0..n_inputs {
+        inputs.push(ValueId(get_u32(r)?));
+    }
+    let n_outputs = get_u32(r)? as usize;
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        outputs.push(ValueId(get_u32(r)?));
+    }
+
+    Ok(Graph { nodes, values, weights, inputs, outputs })
+}
+
+// ----------------------------------------------------------------------
+// primitives
+// ----------------------------------------------------------------------
+
+fn put_u32(w: &mut impl Write, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn put_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    put_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn get_str(r: &mut impl Read) -> io::Result<String> {
+    let len = get_u32(r)? as usize;
+    let mut b = vec![0u8; len];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn put_opt_w(w: &mut impl Write, x: Option<WeightId>) -> io::Result<()> {
+    put_u32(w, x.map_or(u32::MAX, |i| i.0))
+}
+
+fn get_opt_w(r: &mut impl Read) -> io::Result<Option<WeightId>> {
+    let x = get_u32(r)?;
+    Ok((x != u32::MAX).then_some(WeightId(x)))
+}
+
+fn act_tag(a: ActKind) -> u32 {
+    match a {
+        ActKind::Relu => 0,
+        ActKind::Silu => 1,
+        ActKind::Sigmoid => 2,
+        ActKind::Tanh => 3,
+    }
+}
+
+fn act_from(t: u32) -> io::Result<ActKind> {
+    Ok(match t {
+        0 => ActKind::Relu,
+        1 => ActKind::Silu,
+        2 => ActKind::Sigmoid,
+        3 => ActKind::Tanh,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad activation tag")),
+    })
+}
+
+fn put_op(w: &mut impl Write, op: &Op) -> io::Result<()> {
+    match op {
+        Op::Input => put_u32(w, 0)?,
+        Op::Conv2d(s) => {
+            put_u32(w, 1)?;
+            put_u32(w, s.weight.0)?;
+            put_opt_w(w, s.bias)?;
+            put_u32(w, s.stride.0 as u32)?;
+            put_u32(w, s.stride.1 as u32)?;
+            put_u32(w, s.padding.0 as u32)?;
+            put_u32(w, s.padding.1 as u32)?;
+            put_u32(w, s.groups as u32)?;
+            put_u32(w, match s.role {
+                ConvRole::Standard => 0,
+                ConvRole::FConv => 1,
+                ConvRole::Core => 2,
+                ConvRole::LConv => 3,
+            })?;
+        }
+        Op::ConvTranspose2d { weight, bias, stride } => {
+            put_u32(w, 2)?;
+            put_u32(w, weight.0)?;
+            put_opt_w(w, *bias)?;
+            put_u32(w, stride.0 as u32)?;
+            put_u32(w, stride.1 as u32)?;
+        }
+        Op::Activation(a) => {
+            put_u32(w, 3)?;
+            put_u32(w, act_tag(*a))?;
+        }
+        Op::Pool { kind, kernel, stride } => {
+            put_u32(w, 4)?;
+            put_u32(w, matches!(kind, PoolKind::Avg) as u32)?;
+            put_u32(w, *kernel as u32)?;
+            put_u32(w, *stride as u32)?;
+        }
+        Op::GlobalAvgPool => put_u32(w, 5)?,
+        Op::Affine { scale, bias } => {
+            put_u32(w, 6)?;
+            put_u32(w, scale.0)?;
+            put_u32(w, bias.0)?;
+        }
+        Op::Add => put_u32(w, 7)?,
+        Op::Concat => put_u32(w, 8)?,
+        Op::Linear { weight, bias } => {
+            put_u32(w, 9)?;
+            put_u32(w, weight.0)?;
+            put_opt_w(w, *bias)?;
+        }
+        Op::Flatten => put_u32(w, 10)?,
+        Op::Softmax => put_u32(w, 11)?,
+        Op::Fused(s) => {
+            put_u32(w, 12)?;
+            put_u32(w, s.lconv_w.0)?;
+            put_opt_w(w, s.lconv_b)?;
+            put_u32(w, act_tag(s.act))?;
+            match s.pool {
+                None => put_u32(w, u32::MAX)?,
+                Some((kind, k, st)) => {
+                    put_u32(w, matches!(kind, PoolKind::Avg) as u32)?;
+                    put_u32(w, k as u32)?;
+                    put_u32(w, st as u32)?;
+                }
+            }
+            match &s.fconv {
+                None => put_u32(w, u32::MAX)?,
+                Some(fc) => {
+                    put_u32(w, fc.weight.0)?;
+                    put_opt_w(w, fc.bias)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_op(r: &mut impl Read) -> io::Result<Op> {
+    let tag = get_u32(r)?;
+    Ok(match tag {
+        0 => Op::Input,
+        1 => {
+            let weight = WeightId(get_u32(r)?);
+            let bias = get_opt_w(r)?;
+            let stride = (get_u32(r)? as usize, get_u32(r)? as usize);
+            let padding = (get_u32(r)? as usize, get_u32(r)? as usize);
+            let groups = get_u32(r)? as usize;
+            let role = match get_u32(r)? {
+                0 => ConvRole::Standard,
+                1 => ConvRole::FConv,
+                2 => ConvRole::Core,
+                3 => ConvRole::LConv,
+                _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad conv role")),
+            };
+            Op::Conv2d(ConvSpec { weight, bias, stride, padding, groups, role })
+        }
+        2 => {
+            let weight = WeightId(get_u32(r)?);
+            let bias = get_opt_w(r)?;
+            let stride = (get_u32(r)? as usize, get_u32(r)? as usize);
+            Op::ConvTranspose2d { weight, bias, stride }
+        }
+        3 => Op::Activation(act_from(get_u32(r)?)?),
+        4 => {
+            let kind = if get_u32(r)? == 1 { PoolKind::Avg } else { PoolKind::Max };
+            Op::Pool { kind, kernel: get_u32(r)? as usize, stride: get_u32(r)? as usize }
+        }
+        5 => Op::GlobalAvgPool,
+        6 => Op::Affine { scale: WeightId(get_u32(r)?), bias: WeightId(get_u32(r)?) },
+        7 => Op::Add,
+        8 => Op::Concat,
+        9 => {
+            let weight = WeightId(get_u32(r)?);
+            let bias = get_opt_w(r)?;
+            Op::Linear { weight, bias }
+        }
+        10 => Op::Flatten,
+        11 => Op::Softmax,
+        12 => {
+            let lconv_w = WeightId(get_u32(r)?);
+            let lconv_b = get_opt_w(r)?;
+            let act = act_from(get_u32(r)?)?;
+            let pool_tag = get_u32(r)?;
+            let pool = if pool_tag == u32::MAX {
+                None
+            } else {
+                let kind = if pool_tag == 1 { PoolKind::Avg } else { PoolKind::Max };
+                Some((kind, get_u32(r)? as usize, get_u32(r)? as usize))
+            };
+            let fconv_tag = get_u32(r)?;
+            let fconv = if fconv_tag == u32::MAX {
+                None
+            } else {
+                Some(FconvSpec { weight: WeightId(fconv_tag), bias: get_opt_w(r)? })
+            };
+            Op::Fused(FusedSpec { lconv_w, lconv_b, act, pool, fconv })
+        }
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad op tag {tag}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_tensor::Tensor;
+
+    fn roundtrip(g: &Graph) -> Graph {
+        let mut buf = Vec::new();
+        save_graph(g, &mut buf).expect("save");
+        load_graph(&mut buf.as_slice()).expect("load")
+    }
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 3, 8, 8], "x");
+        let c = g.conv2d(x, Tensor::randn(&[8, 3, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 2, 1, "c");
+        let r = g.activation(c, ActKind::Silu, "r");
+        let p = g.max_pool(r, 2, 2, "p");
+        let a = g.affine(p, Tensor::randn(&[8], 3), Tensor::randn(&[8], 4), "bn");
+        let s = g.add(&[a, a], "dbl");
+        let cat = g.concat(&[s, a], "cat");
+        let gp = g.global_avg_pool(cat, "gap");
+        let f = g.flatten(gp, "flat");
+        let l = g.linear(f, Tensor::randn(&[5, 16], 5), None, "fc");
+        let sm = g.softmax(l, "sm");
+        g.mark_output(sm);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let g = sample_graph();
+        let g2 = roundtrip(&g);
+        assert_eq!(g.nodes.len(), g2.nodes.len());
+        assert_eq!(g.weights.len(), g2.weights.len());
+        for (a, b) in g.weights.iter().zip(&g2.weights) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in g.nodes.iter().zip(&g2.nodes) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.output, b.output);
+            assert_eq!(a.name, b.name);
+        }
+        assert_eq!(g.inputs, g2.inputs);
+        assert_eq!(g.outputs, g2.outputs);
+        assert!(crate::verify::verify(&g2).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_preserves_fused_ops() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 4, 4], "x");
+        let lw = g.add_weight(Tensor::randn(&[8, 2, 1, 1], 1));
+        let fw = g.add_weight(Tensor::randn(&[3, 8, 1, 1], 2));
+        let spec = FusedSpec {
+            lconv_w: lw,
+            lconv_b: None,
+            act: ActKind::Relu,
+            pool: Some((PoolKind::Max, 2, 2)),
+            fconv: Some(FconvSpec { weight: fw, bias: None }),
+        };
+        let f = g.fused(x, spec, "fused");
+        let restore = g.fused(
+            x,
+            FusedSpec { lconv_w: lw, lconv_b: None, act: ActKind::Tanh, pool: None, fconv: None },
+            "restore",
+        );
+        g.mark_output(f);
+        g.mark_output(restore);
+        g.infer_shapes();
+        let g2 = roundtrip(&g);
+        assert_eq!(g.nodes[1].op, g2.nodes[1].op);
+        assert_eq!(g.nodes[2].op, g2.nodes[2].op);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_graph(&mut &b"NOPE0000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = load_graph(&mut buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncated_stream_fails_cleanly() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        save_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_graph(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Shape inference.
+
+use temco_tensor::conv_out_dim;
+
+use crate::graph::Graph;
+use crate::op::Op;
+
+/// Infer the shape of every value in schedule order.
+///
+/// # Panics
+/// Panics on inconsistent graphs (mismatched operand shapes, use before
+/// definition) with a message naming the offending node.
+pub fn infer(g: &mut Graph) {
+    for i in 0..g.nodes.len() {
+        let node = g.nodes[i].clone();
+        if matches!(node.op, Op::Input) {
+            assert!(
+                g.values[node.output.0 as usize].shape.is_some(),
+                "input '{}' must carry a shape",
+                node.name
+            );
+            continue;
+        }
+        let in_shapes: Vec<Vec<usize>> = node
+            .inputs
+            .iter()
+            .map(|&v| {
+                g.values[v.0 as usize]
+                    .shape
+                    .clone()
+                    .unwrap_or_else(|| panic!("node '{}' uses value before definition", node.name))
+            })
+            .collect();
+        let out = out_shape(g, &node.op, &in_shapes, &node.name);
+        g.values[node.output.0 as usize].shape = Some(out);
+    }
+}
+
+fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
+    match op {
+        Op::Input => unreachable!("input nodes are handled by the caller"),
+        Op::Conv2d(spec) => {
+            let x = &ins[0];
+            assert_eq!(x.len(), 4, "conv input must be 4-D at '{name}'");
+            let w = g.weight(spec.weight);
+            let (c_out, c_in_g, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+            assert_eq!(
+                c_in_g * spec.groups,
+                x[1],
+                "conv '{name}': weight expects {} input channels, got {}",
+                c_in_g * spec.groups,
+                x[1]
+            );
+            let oh = conv_out_dim(x[2], kh, spec.stride.0, spec.padding.0);
+            let ow = conv_out_dim(x[3], kw, spec.stride.1, spec.padding.1);
+            vec![x[0], c_out, oh, ow]
+        }
+        Op::ConvTranspose2d { weight, stride, .. } => {
+            let x = &ins[0];
+            let w = g.weight(*weight);
+            assert_eq!(w.dim(0), x[1], "upconv '{name}' channel mismatch");
+            let oh = (x[2] - 1) * stride.0 + w.dim(2);
+            let ow = (x[3] - 1) * stride.1 + w.dim(3);
+            vec![x[0], w.dim(1), oh, ow]
+        }
+        Op::Activation(_) => ins[0].clone(),
+        Op::Pool { kernel, stride, .. } => {
+            let x = &ins[0];
+            vec![
+                x[0],
+                x[1],
+                conv_out_dim(x[2], *kernel, *stride, 0),
+                conv_out_dim(x[3], *kernel, *stride, 0),
+            ]
+        }
+        Op::GlobalAvgPool => {
+            let x = &ins[0];
+            vec![x[0], x[1], 1, 1]
+        }
+        Op::Affine { scale, .. } => {
+            let x = &ins[0];
+            assert_eq!(g.weight(*scale).numel(), x[1], "affine '{name}' channel mismatch");
+            x.clone()
+        }
+        Op::Add => {
+            for s in &ins[1..] {
+                assert_eq!(s, &ins[0], "add '{name}' operand shape mismatch");
+            }
+            ins[0].clone()
+        }
+        Op::Concat => {
+            let first = &ins[0];
+            assert_eq!(first.len(), 4, "concat expects 4-D at '{name}'");
+            let mut c = 0;
+            for s in ins {
+                assert_eq!(s[0], first[0], "concat '{name}' batch mismatch");
+                assert_eq!(s[2], first[2], "concat '{name}' height mismatch");
+                assert_eq!(s[3], first[3], "concat '{name}' width mismatch");
+                c += s[1];
+            }
+            vec![first[0], c, first[2], first[3]]
+        }
+        Op::Linear { weight, .. } => {
+            let x = &ins[0];
+            let w = g.weight(*weight);
+            assert_eq!(x[1], w.dim(1), "linear '{name}' feature mismatch");
+            vec![x[0], w.dim(0)]
+        }
+        Op::Flatten => {
+            let x = &ins[0];
+            vec![x[0], x[1..].iter().product()]
+        }
+        Op::Softmax => ins[0].clone(),
+        Op::Fused(spec) => {
+            let x = &ins[0];
+            let lw = g.weight(spec.lconv_w);
+            assert_eq!(lw.dim(1), x[1], "fused '{name}': lconv input channel mismatch");
+            let (mut h, mut w) = (x[2], x[3]);
+            if let Some((_, k, s)) = spec.pool {
+                h = conv_out_dim(h, k, s, 0);
+                w = conv_out_dim(w, k, s, 0);
+            }
+            let c_out = match &spec.fconv {
+                Some(fc) => {
+                    let fw = g.weight(fc.weight);
+                    assert_eq!(fw.dim(1), lw.dim(0), "fused '{name}': fconv/lconv channel mismatch");
+                    fw.dim(0)
+                }
+                None => lw.dim(0), // restore kernel: full channel width out
+            };
+            vec![x[0], c_out, h, w]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::Graph;
+    use crate::op::ActKind;
+    use temco_tensor::Tensor;
+
+    #[test]
+    fn infers_conv_chain() {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 32, 32], "x");
+        let c1 = g.conv2d(x, Tensor::zeros(&[8, 3, 3, 3]), None, 1, 1, "c1");
+        let r1 = g.relu(c1, "r1");
+        let p1 = g.max_pool(r1, 2, 2, "p1");
+        let f = g.flatten(p1, "f");
+        let l = g.linear(f, Tensor::zeros(&[10, 8 * 16 * 16]), None, "fc");
+        let s = g.softmax(l, "sm");
+        g.mark_output(s);
+        g.infer_shapes();
+        assert_eq!(g.shape(c1), &[2, 8, 32, 32]);
+        assert_eq!(g.shape(p1), &[2, 8, 16, 16]);
+        assert_eq!(g.shape(f), &[2, 2048]);
+        assert_eq!(g.shape(s), &[2, 10]);
+    }
+
+    #[test]
+    fn infers_concat_and_add() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a = g.relu(x, "a");
+        let b = g.activation(x, ActKind::Silu, "b");
+        let cat = g.concat(&[a, b], "cat");
+        let sum = g.add(&[a, b], "sum");
+        g.mark_output(cat);
+        g.mark_output(sum);
+        g.infer_shapes();
+        assert_eq!(g.shape(cat), &[1, 8, 8, 8]);
+        assert_eq!(g.shape(sum), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn infers_upconv() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 14, 14], "x");
+        let u = g.conv_transpose2d(x, Tensor::zeros(&[8, 4, 2, 2]), None, 2, "up");
+        g.mark_output(u);
+        g.infer_shapes();
+        assert_eq!(g.shape(u), &[1, 4, 28, 28]);
+    }
+
+    #[test]
+    fn infers_fused_shapes_with_and_without_fconv() {
+        use crate::op::{FconvSpec, FusedSpec, PoolKind};
+        let mut g = Graph::new();
+        let x = g.input(&[2, 4, 8, 8], "x");
+        let lw = g.add_weight(Tensor::zeros(&[32, 4, 1, 1]));
+        let fw = g.add_weight(Tensor::zeros(&[6, 32, 1, 1]));
+        let full = g.fused(
+            x,
+            FusedSpec {
+                lconv_w: lw,
+                lconv_b: None,
+                act: ActKind::Relu,
+                pool: Some((PoolKind::Max, 2, 2)),
+                fconv: Some(FconvSpec { weight: fw, bias: None }),
+            },
+            "full",
+        );
+        let restore = g.fused(
+            x,
+            FusedSpec { lconv_w: lw, lconv_b: None, act: ActKind::Relu, pool: None, fconv: None },
+            "restore",
+        );
+        g.mark_output(full);
+        g.mark_output(restore);
+        g.infer_shapes();
+        assert_eq!(g.shape(full), &[2, 6, 4, 4]); // reduced + pooled
+        assert_eq!(g.shape(restore), &[2, 32, 8, 8]); // full width, unpooled
+    }
+
+    #[test]
+    #[should_panic(expected = "channel")]
+    fn conv_channel_mismatch_panics() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 3, 8, 8], "x");
+        let c = g.conv2d(x, Tensor::zeros(&[4, 5, 3, 3]), None, 1, 1, "bad");
+        g.mark_output(c);
+        g.infer_shapes();
+    }
+}

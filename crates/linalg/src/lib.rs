@@ -1,0 +1,29 @@
+//! Dense linear-algebra substrate for the TeMCO reproduction.
+//!
+//! Tensor decompositions (Tucker, CP, Tensor-Train) need a handful of dense
+//! kernels: matrix products, Gram matrices, symmetric eigendecomposition,
+//! (truncated) SVD, and regularized least squares. The paper gets these from
+//! NumPy/PyTorch; we implement them from scratch on `f64` (decomposition
+//! numerics are rank-truncation sensitive, so we pay for double precision
+//! here and convert to `f32` at the tensor boundary).
+//!
+//! The SVD is computed through the Gram matrix of the smaller side plus a
+//! cyclic Jacobi symmetric eigensolver. That is numerically weaker than
+//! Golub–Kahan for tiny singular values, but rank truncation (which is all
+//! decomposition needs) only uses the *leading* part of the spectrum, where
+//! the Gram route is accurate and dramatically simpler.
+
+pub mod lstsq;
+pub mod mat;
+pub mod subspace;
+pub mod svd;
+pub mod sym;
+
+pub use lstsq::{solve_ridge, solve_spd};
+pub use mat::Mat;
+pub use subspace::leading_evecs_sym;
+pub use svd::{svd, truncated_svd, Svd};
+pub use sym::{sym_eig, SymEig};
+
+/// Machine tolerance used across the crate for convergence checks.
+pub const EPS: f64 = 1e-12;

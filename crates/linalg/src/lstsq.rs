@@ -1,0 +1,125 @@
+//! Regularized least-squares solvers (used by CP-ALS).
+
+use crate::mat::Mat;
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky, for
+/// every column of `b` at once. Returns `X` with `A X = B`.
+///
+/// # Panics
+/// Panics if `a` is not square, if dimensions disagree, or if `a` is not
+/// numerically positive definite.
+pub fn solve_spd(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), a.cols(), "solve_spd requires square A");
+    assert_eq!(a.rows(), b.rows(), "solve_spd dimension mismatch");
+    let n = a.rows();
+    // Cholesky: A = L Lᵀ, lower-triangular L stored densely.
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                assert!(sum > 0.0, "matrix is not positive definite (pivot {sum} at {i})");
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward/backward substitution per column of B.
+    let cols = b.cols();
+    let mut x = Mat::zeros(n, cols);
+    for c in 0..cols {
+        // L y = b
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[(i, c)];
+            for k in 0..i {
+                sum -= l[(i, k)] * y[k];
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[(k, i)] * x[(k, c)];
+            }
+            x[(i, c)] = sum / l[(i, i)];
+        }
+    }
+    x
+}
+
+/// Solve the ridge-regularized normal equations `(A + λI) X = B`.
+///
+/// CP-ALS repeatedly solves small Gram systems that can be nearly singular;
+/// a tiny ridge keeps Cholesky stable without noticeably biasing the fit.
+pub fn solve_ridge(a: &Mat, b: &Mat, lambda: f64) -> Mat {
+    let n = a.rows();
+    let mut ar = a.clone();
+    for i in 0..n {
+        ar[(i, i)] += lambda;
+    }
+    solve_spd(&ar, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Mat::eye(3);
+        let b = Mat::from_fn(3, 2, |r, c| (r * 2 + c) as f64);
+        let x = solve_spd(&a, &b);
+        assert!(x.sub(&b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [1, 2]ᵀ → x = [-1/8, 3/4]
+        let a = Mat::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let b = Mat::from_vec(2, 1, vec![1.0, 2.0]);
+        let x = solve_spd(&a, &b);
+        assert!((x[(0, 0)] + 0.125).abs() < 1e-12);
+        assert!((x[(1, 0)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small_on_random_spd() {
+        let g = Mat::from_fn(6, 6, |r, c| (((r * 5 + c * 3) % 7) as f64) / 3.0);
+        let a = {
+            let mut a = g.gram();
+            for i in 0..6 {
+                a[(i, i)] += 1.0; // make it well-conditioned
+            }
+            a
+        };
+        let b = Mat::from_fn(6, 3, |r, c| (r + c) as f64);
+        let x = solve_spd(&a, &b);
+        assert!(a.matmul(&x).sub(&b).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_handles_singular_matrix() {
+        // Rank-1 Gram matrix; plain Cholesky would fail.
+        let v = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let a = v.transpose().matmul(&v); // 3×3 rank-1
+        let b = Mat::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let x = solve_ridge(&a, &b, 1e-6);
+        // The residual in the range of A should be tiny.
+        let r = a.matmul(&x).sub(&b);
+        assert!(r.max_abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn non_spd_panics() {
+        let a = Mat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let b = Mat::from_vec(2, 1, vec![1.0, 1.0]);
+        let _ = solve_spd(&a, &b);
+    }
+}

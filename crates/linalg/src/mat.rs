@@ -1,0 +1,290 @@
+//! Row-major dense `f64` matrix with the operations decomposition needs.
+
+use rayon::prelude::*;
+
+/// A dense row-major matrix of `f64`.
+///
+/// The layout is `data[r * cols + c]`. The type is deliberately minimal:
+/// everything the decomposition crate needs and nothing else.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create the `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match rows*cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`, parallelized over row blocks.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0f64; m * n];
+        // i-k-j loop order keeps the inner loop contiguous on both `rhs` and
+        // `out`; rayon splits the independent output rows.
+        out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        });
+        Mat { rows: m, cols: n, data: out }
+    }
+
+    /// Gram matrix `self * selfᵀ` (size `rows × rows`), exploiting symmetry.
+    pub fn gram(&self) -> Mat {
+        let m = self.rows;
+        let mut out = Mat::zeros(m, m);
+        let rows: Vec<&[f64]> = (0..m).map(|r| self.row(r)).collect();
+        let vals: Vec<(usize, Vec<f64>)> = (0..m)
+            .into_par_iter()
+            .map(|i| {
+                let ri = rows[i];
+                let mut v = Vec::with_capacity(m - i);
+                for rj in rows.iter().take(m).skip(i) {
+                    v.push(dot(ri, rj));
+                }
+                (i, v)
+            })
+            .collect();
+        for (i, v) in vals {
+            for (off, x) in v.into_iter().enumerate() {
+                let j = i + off;
+                out[(i, j)] = x;
+                out[(j, i)] = x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise subtraction `self - rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale every element by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        let data = self.data.iter().map(|x| x * s).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Keep the first `k` columns.
+    pub fn take_cols(&self, k: usize) -> Mat {
+        assert!(k <= self.cols, "cannot take more columns than exist");
+        let mut out = Mat::zeros(self.rows, k);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[..k]);
+        }
+        out
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_eye() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let e = Mat::eye(3);
+        assert_eq!(e[(0, 0)], 1.0);
+        assert_eq!(e[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Mat::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let e = Mat::eye(3);
+        assert_eq!(e.matmul(&a), a);
+        let e4 = Mat::eye(4);
+        assert_eq!(a.matmul(&e4), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Mat::from_fn(3, 5, |r, c| (r + 2 * c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Mat::from_fn(4, 6, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let g = a.gram();
+        let g2 = a.matmul(&a.transpose());
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((g[(r, c)] - g2[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fro_norm_of_unit_vector() {
+        let mut a = Mat::zeros(3, 3);
+        a[(1, 2)] = -3.0;
+        a[(0, 0)] = 4.0;
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_cols_slices_prefix() {
+        let a = Mat::from_fn(2, 4, |r, c| (10 * r + c) as f64);
+        let b = a.take_cols(2);
+        assert_eq!(b.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

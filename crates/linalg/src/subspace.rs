@@ -1,0 +1,136 @@
+//! Randomized subspace iteration for leading eigenpairs of symmetric PSD
+//! matrices.
+//!
+//! Decomposing a 512-channel VGG convolution needs the top ~51 eigenvectors
+//! of a 512×512 Gram matrix; full cyclic Jacobi costs O(n³) per sweep, while
+//! subspace iteration costs O(n²k) per step — two orders of magnitude less
+//! at the paper's 0.1 decomposition ratio. Jacobi remains the reference
+//! implementation (and the fallback for small or nearly-full-rank requests).
+
+use crate::mat::Mat;
+use crate::sym::sym_eig;
+
+/// Leading `k` eigenvectors (as columns, descending eigenvalue order) of the
+/// symmetric PSD matrix `a`.
+///
+/// Dispatches to exact Jacobi when the matrix is small or `k` is close to
+/// `n`; otherwise runs `iters` rounds of orthogonalized subspace iteration
+/// with a deterministic starting block and a small oversampling margin,
+/// followed by a Rayleigh–Ritz projection to sort the basis.
+pub fn leading_evecs_sym(a: &Mat, k: usize, iters: usize) -> Mat {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "leading_evecs_sym needs a square matrix");
+    let k = k.min(n);
+    if n <= 96 || k * 2 >= n {
+        return sym_eig(a).vectors.take_cols(k);
+    }
+
+    let p = (k + 8).min(n); // oversampled block width
+    // Deterministic pseudo-random start block.
+    let mut state = 0x243F6A8885A308D3u64;
+    let mut q = Mat::from_fn(n, p, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 2048) as f64 - 1024.0) / 1024.0
+    });
+    orthonormalize(&mut q);
+    for _ in 0..iters.max(1) {
+        q = a.matmul(&q);
+        orthonormalize(&mut q);
+    }
+    // Rayleigh–Ritz: diagonalize the small projected matrix to order the
+    // basis by eigenvalue.
+    let small = q.transpose().matmul(&a.matmul(&q)); // p × p
+    let e = sym_eig(&small);
+    let rot = e.vectors.take_cols(k); // p × k
+    q.matmul(&rot)
+}
+
+/// In-place modified Gram–Schmidt on the columns of `q`.
+fn orthonormalize(q: &mut Mat) {
+    let (n, p) = (q.rows(), q.cols());
+    for j in 0..p {
+        for i in 0..j {
+            let mut dot = 0.0;
+            for r in 0..n {
+                dot += q[(r, i)] * q[(r, j)];
+            }
+            for r in 0..n {
+                let v = q[(r, i)];
+                q[(r, j)] -= dot * v;
+            }
+        }
+        let mut norm = 0.0;
+        for r in 0..n {
+            norm += q[(r, j)] * q[(r, j)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-14 {
+            // Degenerate column: re-seed with a unit vector.
+            for r in 0..n {
+                q[(r, j)] = if r == j % n { 1.0 } else { 0.0 };
+            }
+        } else {
+            for r in 0..n {
+                q[(r, j)] /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psd(n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        let b = Mat::from_fn(n, n, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f64 - 500.0) / 250.0
+        });
+        b.gram()
+    }
+
+    #[test]
+    fn small_matrices_use_exact_path() {
+        let a = psd(12, 3);
+        let u = leading_evecs_sym(&a, 4, 5);
+        let exact = sym_eig(&a).vectors.take_cols(4);
+        // Columns agree up to sign.
+        for c in 0..4 {
+            let mut dot = 0.0;
+            for r in 0..12 {
+                dot += u[(r, c)] * exact[(r, c)];
+            }
+            assert!(dot.abs() > 0.999, "col {c}: |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn subspace_path_captures_leading_energy() {
+        let n = 160;
+        let a = psd(n, 9);
+        let k = 12;
+        let u = leading_evecs_sym(&a, k, 8);
+        // Orthonormal columns.
+        let utu = u.transpose().matmul(&u);
+        assert!(utu.sub(&Mat::eye(k)).max_abs() < 1e-8);
+        // Captured energy trace(Uᵀ A U) close to sum of exact top-k eigs.
+        let captured: f64 = {
+            let s = u.transpose().matmul(&a.matmul(&u));
+            (0..k).map(|i| s[(i, i)]).sum()
+        };
+        let exact: f64 = sym_eig(&a).values.iter().take(k).sum();
+        assert!(captured > 0.98 * exact, "captured {captured} vs exact {exact}");
+    }
+
+    #[test]
+    fn full_request_matches_jacobi() {
+        let a = psd(20, 17);
+        let u = leading_evecs_sym(&a, 20, 4);
+        assert_eq!(u.cols(), 20);
+    }
+}

@@ -1,0 +1,216 @@
+//! Singular value decomposition through the Gram-matrix route.
+
+use crate::mat::Mat;
+use crate::sym::sym_eig;
+
+/// A (possibly truncated) SVD `a ≈ U diag(s) Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, one per column (`rows × k`).
+    pub u: Mat,
+    /// Singular values, descending (`k`).
+    pub s: Vec<f64>,
+    /// Right singular vectors, transposed (`k × cols`).
+    pub vt: Mat,
+}
+
+impl Svd {
+    /// Reconstruct `U diag(s) Vᵀ`.
+    pub fn reconstruct(&self) -> Mat {
+        let k = self.s.len();
+        let mut us = self.u.clone();
+        for r in 0..us.rows() {
+            for c in 0..k {
+                us[(r, c)] *= self.s[c];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// Truncate in place to the leading `k` components.
+    pub fn truncate(&mut self, k: usize) {
+        let k = k.min(self.s.len());
+        self.s.truncate(k);
+        self.u = self.u.take_cols(k);
+        let mut vt = Mat::zeros(k, self.vt.cols());
+        for r in 0..k {
+            vt.row_mut(r).copy_from_slice(self.vt.row(r));
+        }
+        self.vt = vt;
+    }
+}
+
+/// Full (thin) SVD of `a`.
+///
+/// Strategy: eigendecompose the Gram matrix of the *smaller* side, recover
+/// the other side by projection, and renormalize. Components whose singular
+/// value underflows relative to the largest are dropped (they are numerically
+/// rank-deficient directions the decomposition crate never uses).
+pub fn svd(a: &Mat) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    if m <= n {
+        // Eig of A Aᵀ (m×m): A = U Σ Vᵀ  ⇒  A Aᵀ = U Σ² Uᵀ, Vᵀ = Σ⁻¹ Uᵀ A.
+        let e = sym_eig(&a.gram());
+        let (s, keep) = sigmas(&e.values);
+        let u = e.vectors.take_cols(keep);
+        let mut vt = u.transpose().matmul(a);
+        for (r, &sv) in s.iter().enumerate() {
+            let inv = 1.0 / sv;
+            for x in vt.row_mut(r) {
+                *x *= inv;
+            }
+        }
+        Svd { u, s, vt }
+    } else {
+        // Work on Aᵀ and swap factors back.
+        let at = a.transpose();
+        let sv = svd(&at);
+        Svd { u: sv.vt.transpose(), s: sv.s, vt: sv.u.transpose() }
+    }
+}
+
+/// SVD truncated to the leading `k` components.
+///
+/// When `k` is much smaller than the matrix (the tensor-decomposition case:
+/// ratio-0.1 ranks of 512-channel kernels) this takes a randomized
+/// subspace-iteration fast path instead of the full Jacobi eigensolve.
+pub fn truncated_svd(a: &Mat, k: usize) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    let small_side = m.min(n);
+    if small_side > 96 && k * 2 < small_side {
+        return truncated_svd_subspace(a, k);
+    }
+    let mut s = svd(a);
+    s.truncate(k);
+    s
+}
+
+fn truncated_svd_subspace(a: &Mat, k: usize) -> Svd {
+    let (m, n) = (a.rows(), a.cols());
+    if m <= n {
+        let g = a.gram(); // m × m
+        let u = crate::subspace::leading_evecs_sym(&g, k, 8);
+        // Rayleigh quotients give the squared singular values.
+        let gu = g.matmul(&u);
+        let mut s = Vec::with_capacity(k);
+        for c in 0..u.cols() {
+            let mut q = 0.0;
+            for r in 0..m {
+                q += u[(r, c)] * gu[(r, c)];
+            }
+            s.push(q.max(0.0).sqrt().max(1e-30));
+        }
+        let mut vt = u.transpose().matmul(a);
+        for (r, &sv) in s.iter().enumerate() {
+            let inv = 1.0 / sv;
+            for x in vt.row_mut(r) {
+                *x *= inv;
+            }
+        }
+        Svd { u, s, vt }
+    } else {
+        let sv = truncated_svd_subspace(&a.transpose(), k);
+        Svd { u: sv.vt.transpose(), s: sv.s, vt: sv.u.transpose() }
+    }
+}
+
+/// Convert Gram eigenvalues to singular values, deciding how many components
+/// are numerically meaningful.
+fn sigmas(eigs: &[f64]) -> (Vec<f64>, usize) {
+    let lead = eigs.first().copied().unwrap_or(0.0).max(0.0);
+    let cutoff = (lead.sqrt()) * 1e-9;
+    let mut s = Vec::with_capacity(eigs.len());
+    for &l in eigs {
+        let sv = l.max(0.0).sqrt();
+        if sv <= cutoff || sv == 0.0 {
+            break;
+        }
+        s.push(sv);
+    }
+    if s.is_empty() {
+        // Degenerate all-zero matrix: keep one dummy component so callers
+        // always get at least rank 1 back.
+        s.push(1e-30);
+    }
+    let keep = s.len();
+    (s, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_rand(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Mat::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f64 - 1000.0) / 500.0
+        })
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let a = pseudo_rand(10, 4, 3);
+        let s = svd(&a);
+        assert!(a.sub(&s.reconstruct()).fro_norm() < 1e-8 * a.fro_norm());
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let a = pseudo_rand(4, 10, 7);
+        let s = svd(&a);
+        assert!(a.sub(&s.reconstruct()).fro_norm() < 1e-8 * a.fro_norm());
+    }
+
+    #[test]
+    fn singular_values_descending_and_nonnegative() {
+        let a = pseudo_rand(8, 8, 11);
+        let s = svd(&a);
+        assert!(s.s.iter().all(|&x| x >= 0.0));
+        for w in s.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthonormal_factors() {
+        let a = pseudo_rand(9, 5, 23);
+        let s = svd(&a);
+        let utu = s.u.transpose().matmul(&s.u);
+        assert!(utu.sub(&Mat::eye(s.s.len())).max_abs() < 1e-8);
+        let vvt = s.vt.matmul(&s.vt.transpose());
+        assert!(vvt.sub(&Mat::eye(s.s.len())).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn truncation_is_best_low_rank_in_practice() {
+        // Build an exactly rank-2 matrix; rank-2 truncation must be exact.
+        let u = pseudo_rand(12, 2, 5);
+        let v = pseudo_rand(2, 9, 6);
+        let a = u.matmul(&v);
+        let s = truncated_svd(&a, 2);
+        assert!(a.sub(&s.reconstruct()).fro_norm() < 1e-7 * a.fro_norm());
+        // Rank-1 truncation must be (weakly) worse.
+        let s1 = truncated_svd(&a, 1);
+        let e1 = a.sub(&s1.reconstruct()).fro_norm();
+        let e2 = a.sub(&s.reconstruct()).fro_norm();
+        assert!(e1 >= e2);
+    }
+
+    #[test]
+    fn truncate_clamps_to_available_rank() {
+        let a = pseudo_rand(3, 3, 9);
+        let s = truncated_svd(&a, 10);
+        assert!(s.s.len() <= 3);
+    }
+
+    #[test]
+    fn zero_matrix_yields_dummy_component() {
+        let a = Mat::zeros(4, 4);
+        let s = svd(&a);
+        assert_eq!(s.s.len(), 1);
+        assert!(s.reconstruct().fro_norm() < 1e-6);
+    }
+}

@@ -1,0 +1,170 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::mat::Mat;
+
+/// Eigendecomposition of a symmetric matrix: `a = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in descending order; `vectors` holds the matching
+/// eigenvectors as *columns*.
+#[derive(Clone, Debug)]
+pub struct SymEig {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, same order as `values`.
+    pub vectors: Mat,
+}
+
+/// Compute the eigendecomposition of a symmetric matrix with cyclic Jacobi
+/// rotations.
+///
+/// The classic algorithm: sweep all off-diagonal pairs `(p, q)`, rotate each
+/// to zero, repeat until the off-diagonal mass is negligible. Convergence is
+/// quadratic once the matrix is nearly diagonal; for the Gram matrices used
+/// by the decomposition crate (≤ ~1024²) a handful of sweeps suffice.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn sym_eig(a: &Mat) -> SymEig {
+    assert_eq!(a.rows(), a.cols(), "sym_eig requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Mat::eye(n);
+    if n <= 1 {
+        return sorted(m, v, n);
+    }
+
+    let max_sweeps = 64;
+    let tol = 1e-14 * a.fro_norm().max(f64::MIN_POSITIVE);
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)] * m[(p, q)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Standard Jacobi rotation angle computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation J(p, q, θ) on both sides of `m`.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    sorted(m, v, n)
+}
+
+fn sorted(m: Mat, v: Mat, n: usize) -> SymEig {
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    SymEig { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymEig) -> Mat {
+        let n = e.values.len();
+        let mut d = Mat::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = e.values[i];
+        }
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let mut a = Mat::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 7.0;
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 7.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        assert!((e.values[2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eig(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // Pseudo-random symmetric matrix.
+        let n = 12;
+        let b = Mat::from_fn(n, n, |r, c| (((r * 31 + c * 17) % 13) as f64 - 6.0) / 3.0);
+        let a = b.gram(); // symmetric PSD
+        let e = sym_eig(&a);
+        let rec = reconstruct(&e);
+        assert!(a.sub(&rec).fro_norm() < 1e-8 * a.fro_norm().max(1.0));
+        // Vᵀ V = I
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.sub(&Mat::eye(n)).max_abs() < 1e-9);
+        // PSD: eigenvalues non-negative (up to round-off).
+        assert!(e.values.iter().all(|&l| l > -1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let n = 8;
+        let b = Mat::from_fn(n, n, |r, c| ((r * 7 + c * 5) % 11) as f64);
+        let a = b.gram();
+        let e = sym_eig(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Mat::from_vec(1, 1, vec![4.5]);
+        let e = sym_eig(&a);
+        assert_eq!(e.values, vec![4.5]);
+        assert_eq!(e.vectors[(0, 0)], 1.0);
+    }
+}

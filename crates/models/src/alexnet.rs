@@ -1,0 +1,88 @@
+//! AlexNet: a linear conv–relu–pool pipeline (no skip connections).
+
+use temco_ir::Graph;
+use temco_tensor::Tensor;
+
+use crate::{ModelConfig, SeedGen};
+
+/// Build AlexNet for the given config.
+///
+/// The feature extractor follows Krizhevsky et al. exactly; the classifier
+/// MLP width is `cfg.classifier_width` (see crate docs).
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let mut g = Graph::new();
+    let mut seeds = SeedGen::new(cfg.seed);
+    let mut conv = |g: &mut Graph, x, c_in, c_out, k, s, p, name: &str| {
+        let w = Tensor::he_conv_weight(c_out, c_in, k, k, seeds.next());
+        let b = Tensor::zeros(&[c_out]);
+        g.conv2d(x, w, Some(b), s, p, name)
+    };
+
+    let x = g.input(&[cfg.batch, 3, cfg.image, cfg.image], "image");
+
+    let c1 = conv(&mut g, x, 3, 64, 11, 4, 2, "conv1");
+    let r1 = g.relu(c1, "relu1");
+    let p1 = g.max_pool(r1, 3, 2, "pool1");
+
+    let c2 = conv(&mut g, p1, 64, 192, 5, 1, 2, "conv2");
+    let r2 = g.relu(c2, "relu2");
+    let p2 = g.max_pool(r2, 3, 2, "pool2");
+
+    let c3 = conv(&mut g, p2, 192, 384, 3, 1, 1, "conv3");
+    let r3 = g.relu(c3, "relu3");
+    let c4 = conv(&mut g, r3, 384, 256, 3, 1, 1, "conv4");
+    let r4 = g.relu(c4, "relu4");
+    let c5 = conv(&mut g, r4, 256, 256, 3, 1, 1, "conv5");
+    let r5 = g.relu(c5, "relu5");
+    let p5 = g.max_pool(r5, 3, 2, "pool5");
+
+    g.infer_shapes();
+    let feat: usize = g.shape(p5)[1..].iter().product();
+    let f = g.flatten(p5, "flatten");
+    let hidden = cfg.classifier_width;
+    let mut fc = |g: &mut Graph, x, f_in: usize, f_out: usize, name: &str| {
+        let w = Tensor::randn(&[f_out, f_in], seeds.next()).map(|v| v * (2.0 / f_in as f32).sqrt());
+        g.linear(x, w, Some(Tensor::zeros(&[f_out])), name)
+    };
+    let l1 = fc(&mut g, f, feat, hidden, "fc1");
+    let lr1 = g.relu(l1, "fc_relu1");
+    let l2 = fc(&mut g, lr1, hidden, hidden, "fc2");
+    let lr2 = g.relu(l2, "fc_relu2");
+    let l3 = fc(&mut g, lr2, hidden, cfg.num_classes, "fc3");
+
+    g.mark_output(l3);
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_shapes_match_reference() {
+        let cfg = ModelConfig { batch: 4, ..ModelConfig::default() };
+        let g = build(&cfg);
+        // conv1 output 55×55, pool5 output 256×6×6 at 224².
+        let c1 = g.nodes.iter().find(|n| n.name == "conv1").unwrap();
+        assert_eq!(g.shape(c1.output), &[4, 64, 55, 55]);
+        let p5 = g.nodes.iter().find(|n| n.name == "pool5").unwrap();
+        assert_eq!(g.shape(p5.output), &[4, 256, 6, 6]);
+        assert_eq!(g.shape(g.outputs[0]), &[4, 1000]);
+    }
+
+    #[test]
+    fn has_five_conv_layers_and_no_skips() {
+        let g = build(&ModelConfig::small());
+        let convs = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, temco_ir::Op::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 5);
+        // Every value has at most one user: a pure pipeline.
+        for v in 0..g.values.len() {
+            assert!(g.users(temco_ir::ValueId(v as u32)).len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! DenseNet-121/169: dense blocks with pervasive concat skip connections.
+
+use temco_ir::{Graph, ValueId};
+use temco_tensor::Tensor;
+
+use crate::{ModelConfig, SeedGen};
+
+/// DenseNet depth variant (growth rate 32).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Blocks [6, 12, 24, 16].
+    Densenet121,
+    /// Blocks [6, 12, 32, 32].
+    Densenet169,
+}
+
+fn blocks(v: Variant) -> [usize; 4] {
+    match v {
+        Variant::Densenet121 => [6, 12, 24, 16],
+        Variant::Densenet169 => [6, 12, 32, 32],
+    }
+}
+
+const GROWTH: usize = 32;
+
+struct Ctx {
+    seeds: SeedGen,
+}
+
+impl Ctx {
+    fn bn(&mut self, g: &mut Graph, x: ValueId, c: usize, name: String) -> ValueId {
+        let scale = Tensor::rand_uniform(&[c], self.seeds.next(), 0.8, 1.2);
+        let bias = Tensor::rand_uniform(&[c], self.seeds.next(), -0.1, 0.1);
+        g.affine(x, scale, bias, name)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        &mut self,
+        g: &mut Graph,
+        x: ValueId,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        name: String,
+    ) -> ValueId {
+        let w = Tensor::he_conv_weight(c_out, c_in, k, k, self.seeds.next());
+        g.conv2d(x, w, None, s, p, name)
+    }
+
+    /// One dense layer: bn-relu-conv1×1(4g)-bn-relu-conv3×3(g).
+    fn dense_layer(&mut self, g: &mut Graph, x: ValueId, c_in: usize, tag: &str) -> ValueId {
+        let bottleneck = 4 * GROWTH;
+        let b1 = self.bn(g, x, c_in, format!("{tag}.bn1"));
+        let r1 = g.relu(b1, format!("{tag}.relu1"));
+        let c1 = self.conv(g, r1, c_in, bottleneck, 1, 1, 0, format!("{tag}.conv1"));
+        let b2 = self.bn(g, c1, bottleneck, format!("{tag}.bn2"));
+        let r2 = g.relu(b2, format!("{tag}.relu2"));
+        self.conv(g, r2, bottleneck, GROWTH, 3, 1, 1, format!("{tag}.conv2"))
+    }
+}
+
+/// Build the chosen DenseNet variant.
+pub fn build(cfg: &ModelConfig, variant: Variant) -> Graph {
+    let mut g = Graph::new();
+    let mut ctx = Ctx { seeds: SeedGen::new(cfg.seed ^ 0xDE45) };
+    let x = g.input(&[cfg.batch, 3, cfg.image, cfg.image], "image");
+
+    let c1 = ctx.conv(&mut g, x, 3, 64, 7, 2, 3, "conv1".into());
+    let b1 = ctx.bn(&mut g, c1, 64, "bn1".into());
+    let r1 = g.relu(b1, "relu1");
+    let stem = g.max_pool(r1, 3, 2, "maxpool");
+    let mut c = 64usize;
+
+    // Like torchvision, every dense layer concatenates the *list* of all
+    // previous feature tensors. This is what gives each growth tensor a
+    // lifespan covering the rest of its block — the "numerous skip
+    // connections" TeMCO's skip-connection optimization targets.
+    let mut features: Vec<ValueId> = vec![stem];
+    let mut feature_widths: Vec<usize> = vec![64];
+    let cfg_blocks = blocks(variant);
+    let mut feat = stem;
+    for (bi, &n_layers) in cfg_blocks.iter().enumerate() {
+        for li in 0..n_layers {
+            let cat = if features.len() == 1 {
+                features[0]
+            } else {
+                g.concat(&features, format!("block{}.cat{li}", bi + 1))
+            };
+            let new = ctx.dense_layer(&mut g, cat, c, &format!("block{}.layer{li}", bi + 1));
+            features.push(new);
+            feature_widths.push(GROWTH);
+            c += GROWTH;
+        }
+        // Merge the block's features once for the next stage.
+        feat = if features.len() == 1 {
+            features[0]
+        } else {
+            g.concat(&features, format!("block{}.out", bi + 1))
+        };
+        if bi + 1 < cfg_blocks.len() {
+            // Transition: bn-relu-conv1×1(c/2)-avgpool.
+            let tb = ctx.bn(&mut g, feat, c, format!("trans{}.bn", bi + 1));
+            let tr = g.relu(tb, format!("trans{}.relu", bi + 1));
+            let half = c / 2;
+            let tc = ctx.conv(&mut g, tr, c, half, 1, 1, 0, format!("trans{}.conv", bi + 1));
+            feat = g.avg_pool(tc, 2, 2, format!("trans{}.pool", bi + 1));
+            c = half;
+            features = vec![feat];
+            feature_widths = vec![c];
+        }
+    }
+
+    let fb = ctx.bn(&mut g, feat, c, "final_bn".into());
+    let fr = g.relu(fb, "final_relu");
+    let gap = g.global_avg_pool(fr, "gap");
+    let flat = g.flatten(gap, "flatten");
+    let w = Tensor::randn(&[cfg.num_classes, c], ctx.seeds.next())
+        .map(|v| v * (2.0 / c as f32).sqrt());
+    let logits = g.linear(flat, w, Some(Tensor::zeros(&[cfg.num_classes])), "fc");
+    g.mark_output(logits);
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Op;
+
+    #[test]
+    fn densenet121_channel_arithmetic() {
+        // After block1: 64 + 6·32 = 256 → transition halves to 128.
+        // After block2: 128 + 12·32 = 512 → 256.
+        // After block3: 256 + 24·32 = 1024 → 512.
+        // After block4: 512 + 16·32 = 1024.
+        let g = build(&ModelConfig::small(), Variant::Densenet121);
+        let final_relu = g.nodes.iter().find(|n| n.name == "final_relu").unwrap();
+        assert_eq!(g.shape(final_relu.output)[1], 1024);
+    }
+
+    #[test]
+    fn densenet169_final_width() {
+        // 64+192=256→128; +384=512→256; +1024=1280→640; +1024=1664.
+        let g = build(&ModelConfig::small(), Variant::Densenet169);
+        let final_relu = g.nodes.iter().find(|n| n.name == "final_relu").unwrap();
+        assert_eq!(g.shape(final_relu.output)[1], 1664);
+    }
+
+    #[test]
+    fn concat_per_dense_layer_plus_block_outputs() {
+        // One concat per dense layer except the first of each block (which
+        // sees a single feature tensor), plus one block-output concat per
+        // block.
+        let g = build(&ModelConfig::small(), Variant::Densenet121);
+        let concats = g.nodes.iter().filter(|n| matches!(n.op, Op::Concat)).count();
+        assert_eq!(concats, (6 - 1) + (12 - 1) + (24 - 1) + (16 - 1) + 4);
+    }
+
+    #[test]
+    fn growth_tensors_are_long_lived_skip_connections() {
+        // Each dense layer's output is consumed by every later concat in its
+        // block: multi-user, long-lifespan internal tensors.
+        let g = build(&ModelConfig::small(), Variant::Densenet121);
+        let lv = temco_ir::liveness(&g);
+        let layer0 = g
+            .nodes
+            .iter()
+            .find(|n| n.name == "block3.layer0.conv2")
+            .unwrap();
+        assert!(g.users(layer0.output).len() >= 20);
+        assert!(lv.lifespan(layer0.output) > 100);
+    }
+}

@@ -1,0 +1,185 @@
+//! Model zoo: the paper's 10 benchmark models across 5 architectures.
+//!
+//! | Architecture | Models | Skip connections |
+//! |---|---|---|
+//! | AlexNet | `alexnet` | none |
+//! | VGG | `vgg11`, `vgg16`, `vgg19` | none |
+//! | ResNet | `resnet18`, `resnet34` | add |
+//! | DenseNet | `densenet121`, `densenet169` | concat |
+//! | UNet | `unet`, `unet_small` | long-range concat |
+//!
+//! Models are built directly as IR graphs with deterministic He-initialized
+//! weights (the paper's accuracy experiment is reproduced as output
+//! *agreement*, for which trained weights are unnecessary — see DESIGN.md).
+//!
+//! One substitution: the 4096-wide VGG/AlexNet fully connected classifier is
+//! narrowed to [`ModelConfig::classifier_width`] (default 1024). The
+//! classifier is identical across all compared variants and TeMCO does not
+//! touch linear layers, so this shifts every bar of Figure 10 by the same
+//! constant without affecting any internal-tensor measurement.
+
+pub mod alexnet;
+pub mod densenet;
+pub mod resnet;
+pub mod unet;
+pub mod vgg;
+
+use temco_ir::Graph;
+
+/// Shared model-construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Batch size (the paper uses 4 for memory and 4/32 for timing).
+    pub batch: usize,
+    /// Square input resolution. Classification models assume ≥ 64;
+    /// UNet additionally requires divisibility by 16.
+    pub image: usize,
+    /// Number of classes for classification heads.
+    pub num_classes: usize,
+    /// Hidden width of the VGG/AlexNet classifier MLP.
+    pub classifier_width: usize,
+    /// Base RNG seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { batch: 4, image: 224, num_classes: 1000, classifier_width: 1024, seed: 42 }
+    }
+}
+
+impl ModelConfig {
+    /// A small configuration suitable for actually *executing* models in
+    /// tests and timing benches (64×64, 10 classes).
+    pub fn small() -> Self {
+        ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 128, seed: 42 }
+    }
+}
+
+/// Deterministic per-layer seed dispenser.
+#[derive(Debug)]
+pub(crate) struct SeedGen(u64);
+
+impl SeedGen {
+    pub(crate) fn new(base: u64) -> Self {
+        SeedGen(base)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// The 10 models of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// AlexNet (Krizhevsky et al., 2012).
+    Alexnet,
+    /// VGG-11, configuration A.
+    Vgg11,
+    /// VGG-16, configuration D.
+    Vgg16,
+    /// VGG-19, configuration E.
+    Vgg19,
+    /// ResNet-18 with basic blocks.
+    Resnet18,
+    /// ResNet-34 with basic blocks.
+    Resnet34,
+    /// DenseNet-121 (growth 32, blocks 6/12/24/16).
+    Densenet121,
+    /// DenseNet-169 (growth 32, blocks 6/12/32/32).
+    Densenet169,
+    /// UNet (Ronneberger et al., 2015), base width 64.
+    Unet,
+    /// UNet at half width (base 32).
+    UnetSmall,
+}
+
+impl ModelId {
+    /// All 10 models in the paper's presentation order.
+    pub fn all() -> [ModelId; 10] {
+        [
+            ModelId::Alexnet,
+            ModelId::Vgg11,
+            ModelId::Vgg16,
+            ModelId::Vgg19,
+            ModelId::Resnet18,
+            ModelId::Resnet34,
+            ModelId::Densenet121,
+            ModelId::Densenet169,
+            ModelId::Unet,
+            ModelId::UnetSmall,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Alexnet => "alexnet",
+            ModelId::Vgg11 => "vgg11",
+            ModelId::Vgg16 => "vgg16",
+            ModelId::Vgg19 => "vgg19",
+            ModelId::Resnet18 => "resnet18",
+            ModelId::Resnet34 => "resnet34",
+            ModelId::Densenet121 => "densenet121",
+            ModelId::Densenet169 => "densenet169",
+            ModelId::Unet => "unet",
+            ModelId::UnetSmall => "unet_small",
+        }
+    }
+
+    /// Whether the architecture contains skip connections (decides which
+    /// TeMCO passes the paper applies: Fusion only vs Skip-Opt + Fusion).
+    pub fn has_skip_connections(self) -> bool {
+        !matches!(self, ModelId::Alexnet | ModelId::Vgg11 | ModelId::Vgg16 | ModelId::Vgg19)
+    }
+
+    /// Build the model as an IR graph (shapes already inferred).
+    pub fn build(self, cfg: &ModelConfig) -> Graph {
+        match self {
+            ModelId::Alexnet => alexnet::build(cfg),
+            ModelId::Vgg11 => vgg::build(cfg, vgg::Variant::Vgg11),
+            ModelId::Vgg16 => vgg::build(cfg, vgg::Variant::Vgg16),
+            ModelId::Vgg19 => vgg::build(cfg, vgg::Variant::Vgg19),
+            ModelId::Resnet18 => resnet::build(cfg, resnet::Variant::Resnet18),
+            ModelId::Resnet34 => resnet::build(cfg, resnet::Variant::Resnet34),
+            ModelId::Densenet121 => densenet::build(cfg, densenet::Variant::Densenet121),
+            ModelId::Densenet169 => densenet::build(cfg, densenet::Variant::Densenet169),
+            ModelId::Unet => unet::build(cfg, 64),
+            ModelId::UnetSmall => unet::build(cfg, 32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_models_five_architectures() {
+        assert_eq!(ModelId::all().len(), 10);
+        let with_skips = ModelId::all().iter().filter(|m| m.has_skip_connections()).count();
+        assert_eq!(with_skips, 6); // ResNet ×2, DenseNet ×2, UNet ×2
+    }
+
+    #[test]
+    fn seedgen_is_deterministic_and_nonrepeating() {
+        let mut a = SeedGen::new(1);
+        let mut b = SeedGen::new(1);
+        let s1 = a.next();
+        assert_eq!(s1, b.next());
+        assert_ne!(s1, a.next());
+    }
+
+    #[test]
+    fn all_models_build_and_verify_small() {
+        let cfg = ModelConfig::small();
+        for id in ModelId::all() {
+            let g = id.build(&cfg);
+            let errs = temco_ir::verify(&g);
+            assert!(errs.is_empty(), "{}: {errs:?}", id.name());
+            assert!(!g.outputs.is_empty(), "{} has no outputs", id.name());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! ResNet-18/34: basic residual blocks with `add` skip connections.
+
+use temco_ir::{Graph, ValueId};
+use temco_tensor::Tensor;
+
+use crate::{ModelConfig, SeedGen};
+
+/// ResNet depth variant (basic-block family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Blocks [2, 2, 2, 2].
+    Resnet18,
+    /// Blocks [3, 4, 6, 3].
+    Resnet34,
+}
+
+fn blocks(v: Variant) -> [usize; 4] {
+    match v {
+        Variant::Resnet18 => [2, 2, 2, 2],
+        Variant::Resnet34 => [3, 4, 6, 3],
+    }
+}
+
+struct Ctx {
+    seeds: SeedGen,
+}
+
+impl Ctx {
+    #[allow(clippy::too_many_arguments)]
+    fn conv(
+        &mut self,
+        g: &mut Graph,
+        x: ValueId,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        name: String,
+    ) -> ValueId {
+        let w = Tensor::he_conv_weight(c_out, c_in, k, k, self.seeds.next());
+        g.conv2d(x, w, None, s, p, name)
+    }
+
+    /// Inference-folded batch norm: a per-channel affine with near-identity
+    /// random parameters (scale ≈ 1, small bias).
+    fn bn(&mut self, g: &mut Graph, x: ValueId, c: usize, name: String) -> ValueId {
+        let scale = Tensor::rand_uniform(&[c], self.seeds.next(), 0.8, 1.2);
+        let bias = Tensor::rand_uniform(&[c], self.seeds.next(), -0.1, 0.1);
+        g.affine(x, scale, bias, name)
+    }
+
+    /// One basic block: conv-bn-relu-conv-bn + skip → relu.
+    #[allow(clippy::too_many_arguments)]
+    fn basic_block(
+        &mut self,
+        g: &mut Graph,
+        x: ValueId,
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+        tag: &str,
+    ) -> ValueId {
+        let c1 = self.conv(g, x, c_in, c_out, 3, stride, 1, format!("{tag}.conv1"));
+        let b1 = self.bn(g, c1, c_out, format!("{tag}.bn1"));
+        let r1 = g.relu(b1, format!("{tag}.relu1"));
+        let c2 = self.conv(g, r1, c_out, c_out, 3, 1, 1, format!("{tag}.conv2"));
+        let b2 = self.bn(g, c2, c_out, format!("{tag}.bn2"));
+        let identity = if stride != 1 || c_in != c_out {
+            let d = self.conv(g, x, c_in, c_out, 1, stride, 0, format!("{tag}.down"));
+            self.bn(g, d, c_out, format!("{tag}.down_bn"))
+        } else {
+            x
+        };
+        let s = g.add(&[b2, identity], format!("{tag}.add"));
+        g.relu(s, format!("{tag}.relu2"))
+    }
+}
+
+/// Build the chosen ResNet variant.
+pub fn build(cfg: &ModelConfig, variant: Variant) -> Graph {
+    let mut g = Graph::new();
+    let mut ctx = Ctx { seeds: SeedGen::new(cfg.seed ^ 0x4E54) };
+    let x = g.input(&[cfg.batch, 3, cfg.image, cfg.image], "image");
+
+    let c1 = ctx.conv(&mut g, x, 3, 64, 7, 2, 3, "conv1".into());
+    let b1 = ctx.bn(&mut g, c1, 64, "bn1".into());
+    let r1 = g.relu(b1, "relu1");
+    let mut feat = g.max_pool(r1, 3, 2, "maxpool");
+
+    let widths = [64usize, 128, 256, 512];
+    let mut c_in = 64usize;
+    for (stage, &n_blocks) in blocks(variant).iter().enumerate() {
+        let c_out = widths[stage];
+        for b in 0..n_blocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            feat = ctx.basic_block(
+                &mut g,
+                feat,
+                c_in,
+                c_out,
+                stride,
+                &format!("layer{}.{}", stage + 1, b),
+            );
+            c_in = c_out;
+        }
+    }
+
+    let gap = g.global_avg_pool(feat, "gap");
+    let flat = g.flatten(gap, "flatten");
+    let w = Tensor::randn(&[cfg.num_classes, 512], ctx.seeds.next())
+        .map(|v| v * (2.0f32 / 512.0).sqrt());
+    let logits = g.linear(flat, w, Some(Tensor::zeros(&[cfg.num_classes])), "fc");
+    g.mark_output(logits);
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Op;
+
+    fn conv_count(g: &Graph) -> usize {
+        g.nodes.iter().filter(|n| matches!(n.op, Op::Conv2d(_))).count()
+    }
+
+    #[test]
+    fn resnet18_has_20_convs() {
+        // conv1 + 16 block convs + 3 downsample convs.
+        let g = build(&ModelConfig::small(), Variant::Resnet18);
+        assert_eq!(conv_count(&g), 20);
+    }
+
+    #[test]
+    fn resnet34_has_36_convs() {
+        // conv1 + 32 block convs + 3 downsample convs.
+        let g = build(&ModelConfig::small(), Variant::Resnet34);
+        assert_eq!(conv_count(&g), 36);
+    }
+
+    #[test]
+    fn add_nodes_realize_skip_connections() {
+        let g = build(&ModelConfig::small(), Variant::Resnet18);
+        let adds = g.nodes.iter().filter(|n| matches!(n.op, Op::Add)).count();
+        assert_eq!(adds, 8); // one per basic block
+    }
+
+    #[test]
+    fn output_shape_is_logits() {
+        let cfg = ModelConfig::small();
+        let g = build(&cfg, Variant::Resnet18);
+        assert_eq!(g.shape(g.outputs[0]), &[cfg.batch, cfg.num_classes]);
+    }
+
+    #[test]
+    fn identity_skips_reuse_the_same_value() {
+        // In non-downsampling blocks the add's second operand is the block
+        // input itself — a genuine multi-user value the skip-opt pass sees.
+        let g = build(&ModelConfig::small(), Variant::Resnet18);
+        let add_nodes: Vec<_> =
+            g.nodes.iter().filter(|n| matches!(n.op, Op::Add)).collect();
+        let mut identity_skips = 0;
+        for a in &add_nodes {
+            let second = a.inputs[1];
+            if g.users(second).len() > 1 {
+                identity_skips += 1;
+            }
+        }
+        assert!(identity_skips >= 4, "found {identity_skips}");
+    }
+}

@@ -1,0 +1,136 @@
+//! UNet: the hourglass segmentation network whose long-range concat skip
+//! connections dominate internal-tensor memory (paper Figure 4a).
+
+use temco_ir::{Graph, ValueId};
+use temco_tensor::Tensor;
+
+use crate::{ModelConfig, SeedGen};
+
+struct Ctx {
+    seeds: SeedGen,
+}
+
+impl Ctx {
+    fn conv(
+        &mut self,
+        g: &mut Graph,
+        x: ValueId,
+        c_in: usize,
+        c_out: usize,
+        name: String,
+    ) -> ValueId {
+        let w = Tensor::he_conv_weight(c_out, c_in, 3, 3, self.seeds.next());
+        g.conv2d(x, w, Some(Tensor::zeros(&[c_out])), 1, 1, name)
+    }
+
+    /// The UNet double-conv block: (conv3×3 → relu) × 2, same padding.
+    fn double_conv(
+        &mut self,
+        g: &mut Graph,
+        x: ValueId,
+        c_in: usize,
+        c_out: usize,
+        tag: &str,
+    ) -> ValueId {
+        let c1 = self.conv(g, x, c_in, c_out, format!("{tag}.conv1"));
+        let r1 = g.relu(c1, format!("{tag}.relu1"));
+        let c2 = self.conv(g, r1, c_out, c_out, format!("{tag}.conv2"));
+        g.relu(c2, format!("{tag}.relu2"))
+    }
+}
+
+/// Build UNet with the given base channel width (64 = original paper,
+/// 32 = the `unet_small` variant). Requires `cfg.image % 16 == 0`.
+pub fn build(cfg: &ModelConfig, base: usize) -> Graph {
+    assert_eq!(cfg.image % 16, 0, "UNet needs an input divisible by 16");
+    let mut g = Graph::new();
+    let mut ctx = Ctx { seeds: SeedGen::new(cfg.seed ^ 0x0E47 ^ base as u64) };
+    let x = g.input(&[cfg.batch, 3, cfg.image, cfg.image], "image");
+
+    let widths = [base, base * 2, base * 4, base * 8, base * 16];
+
+    // Encoder: double-conv, remember the skip, pool down.
+    let mut skips: Vec<(ValueId, usize)> = Vec::new();
+    let mut feat = x;
+    let mut c_in = 3usize;
+    for (d, &w) in widths[..4].iter().enumerate() {
+        let dc = ctx.double_conv(&mut g, feat, c_in, w, &format!("down{}", d + 1));
+        skips.push((dc, w));
+        feat = g.max_pool(dc, 2, 2, format!("pool{}", d + 1));
+        c_in = w;
+    }
+
+    // Bottleneck.
+    feat = ctx.double_conv(&mut g, feat, c_in, widths[4], "bottleneck");
+    let mut c = widths[4];
+
+    // Decoder: up-conv, concat the matching skip, double-conv.
+    for (d, &(skip, sw)) in skips.iter().enumerate().rev() {
+        let up_w = Tensor::he_conv_weight(c, sw, 2, 2, ctx.seeds.next())
+            .reshape(&[c, sw, 2, 2]);
+        let up = g.conv_transpose2d(feat, up_w, None, 2, format!("up{}", d + 1));
+        let cat = g.concat(&[skip, up], format!("upcat{}", d + 1));
+        feat = ctx.double_conv(&mut g, cat, sw * 2, sw, &format!("updc{}", d + 1));
+        c = sw;
+    }
+
+    // 1×1 head + sigmoid → binary mask (Carvana-style segmentation).
+    let head_w = Tensor::he_conv_weight(1, base, 1, 1, ctx.seeds.next());
+    let logits = g.conv2d(feat, head_w, Some(Tensor::zeros(&[1])), 1, 0, "head");
+    let mask = g.activation(logits, temco_ir::ActKind::Sigmoid, "mask");
+    g.mark_output(mask);
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Op;
+
+    #[test]
+    fn output_is_full_resolution_mask() {
+        let cfg = ModelConfig { batch: 2, image: 64, ..ModelConfig::small() };
+        let g = build(&cfg, 32);
+        assert_eq!(g.shape(g.outputs[0]), &[2, 1, 64, 64]);
+    }
+
+    #[test]
+    fn four_long_range_skips() {
+        let g = build(&ModelConfig::small(), 32);
+        let concats = g.nodes.iter().filter(|n| matches!(n.op, Op::Concat)).count();
+        assert_eq!(concats, 4);
+        let upconvs = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::ConvTranspose2d { .. }))
+            .count();
+        assert_eq!(upconvs, 4);
+    }
+
+    #[test]
+    fn skips_span_the_hourglass() {
+        // The first skip (down1) is consumed by the *last* concat — its
+        // lifespan covers nearly the whole schedule, the exact situation
+        // Figure 4a shows.
+        let g = build(&ModelConfig::small(), 32);
+        let lv = temco_ir::liveness(&g);
+        let down1_out = g.nodes.iter().find(|n| n.name == "down1.relu2").unwrap().output;
+        let span = lv.lifespan(down1_out);
+        assert!(span > g.nodes.len() / 2, "span {span} of {}", g.nodes.len());
+    }
+
+    #[test]
+    fn bottleneck_width_is_16x_base() {
+        let g = build(&ModelConfig::small(), 32);
+        let bn = g.nodes.iter().find(|n| n.name == "bottleneck.relu2").unwrap();
+        assert_eq!(g.shape(bn.output)[1], 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 16")]
+    fn rejects_bad_resolution() {
+        let cfg = ModelConfig { image: 100, ..ModelConfig::small() };
+        build(&cfg, 32);
+    }
+}

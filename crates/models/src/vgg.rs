@@ -1,0 +1,113 @@
+//! VGG-11/16/19: deep linear conv–relu chains with 2×2 pooling.
+
+use temco_ir::Graph;
+use temco_tensor::Tensor;
+
+use crate::{ModelConfig, SeedGen};
+
+/// VGG depth variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Configuration A (8 convs).
+    Vgg11,
+    /// Configuration D (13 convs).
+    Vgg16,
+    /// Configuration E (16 convs).
+    Vgg19,
+}
+
+/// A layer in the VGG configuration string: a conv of given width or a pool.
+enum Cfg {
+    C(usize),
+    M,
+}
+
+fn layers(v: Variant) -> Vec<Cfg> {
+    use Cfg::{C, M};
+    match v {
+        Variant::Vgg11 => vec![C(64), M, C(128), M, C(256), C(256), M, C(512), C(512), M, C(512), C(512), M],
+        Variant::Vgg16 => vec![
+            C(64), C(64), M, C(128), C(128), M, C(256), C(256), C(256), M,
+            C(512), C(512), C(512), M, C(512), C(512), C(512), M,
+        ],
+        Variant::Vgg19 => vec![
+            C(64), C(64), M, C(128), C(128), M, C(256), C(256), C(256), C(256), M,
+            C(512), C(512), C(512), C(512), M, C(512), C(512), C(512), C(512), M,
+        ],
+    }
+}
+
+/// Build the chosen VGG variant.
+pub fn build(cfg: &ModelConfig, variant: Variant) -> Graph {
+    let mut g = Graph::new();
+    let mut seeds = SeedGen::new(cfg.seed ^ 0x5656);
+    let mut x = g.input(&[cfg.batch, 3, cfg.image, cfg.image], "image");
+    let mut c_in = 3;
+    let mut conv_i = 0;
+    let mut pool_i = 0;
+    for layer in layers(variant) {
+        match layer {
+            Cfg::C(c_out) => {
+                conv_i += 1;
+                let w = Tensor::he_conv_weight(c_out, c_in, 3, 3, seeds.next());
+                let b = Tensor::zeros(&[c_out]);
+                let c = g.conv2d(x, w, Some(b), 1, 1, format!("conv{conv_i}"));
+                x = g.relu(c, format!("relu{conv_i}"));
+                c_in = c_out;
+            }
+            Cfg::M => {
+                pool_i += 1;
+                x = g.max_pool(x, 2, 2, format!("pool{pool_i}"));
+            }
+        }
+    }
+    g.infer_shapes();
+    let feat: usize = g.shape(x)[1..].iter().product();
+    let f = g.flatten(x, "flatten");
+    let hidden = cfg.classifier_width;
+    let mut fc = |g: &mut Graph, x, f_in: usize, f_out: usize, name: &str| {
+        let w = Tensor::randn(&[f_out, f_in], seeds.next()).map(|v| v * (2.0 / f_in as f32).sqrt());
+        g.linear(x, w, Some(Tensor::zeros(&[f_out])), name)
+    };
+    let l1 = fc(&mut g, f, feat, hidden, "fc1");
+    let r1 = g.relu(l1, "fc_relu1");
+    let l2 = fc(&mut g, r1, hidden, hidden, "fc2");
+    let r2 = g.relu(l2, "fc_relu2");
+    let l3 = fc(&mut g, r2, hidden, cfg.num_classes, "fc3");
+    g.mark_output(l3);
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Op;
+
+    fn conv_count(g: &Graph) -> usize {
+        g.nodes.iter().filter(|n| matches!(n.op, Op::Conv2d(_))).count()
+    }
+
+    #[test]
+    fn conv_counts_match_variants() {
+        let cfg = ModelConfig::small();
+        assert_eq!(conv_count(&build(&cfg, Variant::Vgg11)), 8);
+        assert_eq!(conv_count(&build(&cfg, Variant::Vgg16)), 13);
+        assert_eq!(conv_count(&build(&cfg, Variant::Vgg19)), 16);
+    }
+
+    #[test]
+    fn vgg16_imagenet_final_feature_map() {
+        let cfg = ModelConfig { batch: 1, ..ModelConfig::default() };
+        let g = build(&cfg, Variant::Vgg16);
+        let pool5 = g.nodes.iter().find(|n| n.name == "pool5").unwrap();
+        assert_eq!(g.shape(pool5.output), &[1, 512, 7, 7]);
+    }
+
+    #[test]
+    fn output_is_class_logits() {
+        let cfg = ModelConfig::small();
+        let g = build(&cfg, Variant::Vgg11);
+        assert_eq!(g.shape(g.outputs[0]), &[cfg.batch, cfg.num_classes]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Reference graph interpreter with dynamic memory accounting.
+
+use std::time::Instant;
+
+use temco_ir::{liveness, Graph, Op, PoolKind, ValueId};
+use temco_tensor::{
+    add, avg_pool2d, concat_channels, conv2d, conv_transpose2d, global_avg_pool, linear,
+    max_pool2d, softmax_lastdim, Conv2dParams, Tensor,
+};
+
+use crate::fused::fused_forward;
+use crate::memory::MemoryTracker;
+
+/// Execution options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Record per-node wall-clock times.
+    pub time_nodes: bool,
+}
+
+/// The result of one inference.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Output tensors, in `Graph::outputs` order.
+    pub outputs: Vec<Tensor>,
+    /// The dynamic memory tracker (timeline, peak).
+    pub memory: MemoryTracker,
+    /// Per-node wall time in seconds (empty unless requested).
+    pub node_times: Vec<f64>,
+    /// Total wall time of the inference in seconds.
+    pub total_time: f64,
+}
+
+/// Run the graph on `inputs` (one tensor per `Graph::inputs` entry).
+///
+/// Internal tensors are allocated when their producer runs and freed
+/// immediately after their last consumer — the policy the paper's analysis
+/// assumes of PyTorch/TensorFlow (Section 2.2). The tracker therefore
+/// reproduces the static planner's timeline exactly, which the integration
+/// tests assert.
+///
+/// # Panics
+/// Panics on arity/shape mismatches.
+pub fn execute(g: &Graph, inputs: &[Tensor], opts: ExecOptions) -> ExecResult {
+    assert_eq!(inputs.len(), g.inputs.len(), "expected {} inputs", g.inputs.len());
+    let lv = liveness(g);
+    let n_values = g.values.len();
+    let mut slots: Vec<Option<Tensor>> = vec![None; n_values];
+    let mut mem = MemoryTracker::new();
+    let mut node_times = Vec::new();
+    let start = Instant::now();
+
+    for (i, node) in g.nodes.iter().enumerate() {
+        let t0 = opts.time_nodes.then(Instant::now);
+        let out = match &node.op {
+            // Inputs are matched by their position in `Graph::inputs`, not
+            // by schedule order — rescheduling passes may move input nodes.
+            Op::Input => {
+                let pos = g
+                    .inputs
+                    .iter()
+                    .position(|v| *v == node.output)
+                    .expect("input node not registered in Graph::inputs");
+                inputs[pos].clone()
+            }
+            other => eval(g, other, &node.inputs, &slots),
+        };
+        mem.alloc(out.bytes(), i);
+        slots[node.output.0 as usize] = Some(out);
+        // Sample while the node's operands are still allocated — this is the
+        // instant the planner's live-set model describes (inputs + output of
+        // the running layer are simultaneously resident).
+        mem.sample(i, node.name.clone());
+        // Free every operand whose last use this node was.
+        for v in &node.inputs {
+            if lv.end[v.0 as usize] == i && !g.outputs.contains(v) {
+                if let Some(t) = slots[v.0 as usize].take() {
+                    mem.free(t.bytes());
+                }
+            }
+        }
+        // A value never used at all (and not an output) dies immediately.
+        if lv.end[node.output.0 as usize] == i && !g.outputs.contains(&node.output) {
+            if let Some(t) = slots[node.output.0 as usize].take() {
+                mem.free(t.bytes());
+            }
+        }
+        if let Some(t0) = t0 {
+            node_times.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    let outputs = g
+        .outputs
+        .iter()
+        .map(|v| slots[v.0 as usize].clone().expect("graph output was not computed"))
+        .collect();
+    ExecResult { outputs, memory: mem, node_times, total_time: start.elapsed().as_secs_f64() }
+}
+
+fn eval(g: &Graph, op: &Op, inputs: &[ValueId], slots: &[Option<Tensor>]) -> Tensor {
+    let arg = |i: usize| -> &Tensor {
+        slots[inputs[i].0 as usize]
+            .as_ref()
+            .expect("operand freed before use — liveness bug")
+    };
+    match op {
+        Op::Input => unreachable!("handled by caller"),
+        Op::Conv2d(spec) => {
+            let p = Conv2dParams { stride: spec.stride, padding: spec.padding, groups: spec.groups };
+            let bias = spec.bias.map(|b| g.weight(b).data());
+            conv2d(arg(0), g.weight(spec.weight), bias, &p)
+        }
+        Op::ConvTranspose2d { weight, bias, stride } => {
+            let bias = bias.map(|b| g.weight(b).data());
+            conv_transpose2d(arg(0), g.weight(*weight), bias, *stride)
+        }
+        Op::Activation(kind) => kind.forward(arg(0)),
+        Op::Pool { kind: PoolKind::Max, kernel, stride } => max_pool2d(arg(0), *kernel, *stride),
+        Op::Pool { kind: PoolKind::Avg, kernel, stride } => avg_pool2d(arg(0), *kernel, *stride),
+        Op::GlobalAvgPool => global_avg_pool(arg(0)),
+        Op::Affine { scale, bias } => {
+            let s = g.weight(*scale).data();
+            let b = g.weight(*bias).data();
+            let x = arg(0);
+            let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            let mut out = x.clone();
+            let plane = h * w;
+            for bi in 0..n {
+                for ci in 0..c {
+                    let off = (bi * c + ci) * plane;
+                    for v in &mut out.data_mut()[off..off + plane] {
+                        *v = *v * s[ci] + b[ci];
+                    }
+                }
+            }
+            out
+        }
+        Op::Add => {
+            let mut acc = add(arg(0), arg(1));
+            for i in 2..inputs.len() {
+                acc = add(&acc, arg(i));
+            }
+            acc
+        }
+        Op::Concat => {
+            let refs: Vec<&Tensor> = (0..inputs.len()).map(arg).collect();
+            concat_channels(&refs)
+        }
+        Op::Linear { weight, bias } => {
+            let bias = bias.map(|b| g.weight(b).data());
+            linear(arg(0), g.weight(*weight), bias)
+        }
+        Op::Flatten => {
+            let x = arg(0);
+            let n = x.dim(0);
+            let rest: usize = x.shape()[1..].iter().product();
+            x.reshape(&[n, rest])
+        }
+        Op::Softmax => softmax_lastdim(arg(0)),
+        Op::Fused(spec) => fused_forward(
+            arg(0),
+            g.weight(spec.lconv_w),
+            spec.lconv_b.map(|b| g.weight(b).data()),
+            spec.act,
+            spec.pool,
+            spec.fconv.as_ref().map(|fc| g.weight(fc.weight)),
+            spec.fconv.as_ref().and_then(|fc| fc.bias).map(|b| g.weight(b).data()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Graph;
+    use temco_tensor::Tensor;
+
+    fn small_cnn() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::randn(&[6, 3, 3, 3], 1), None, 1, 1, "c1");
+        let r1 = g.relu(c1, "r1");
+        let p1 = g.max_pool(r1, 2, 2, "p1");
+        let f = g.flatten(p1, "flat");
+        let l = g.linear(f, Tensor::randn(&[5, 6 * 4 * 4], 2), None, "fc");
+        let s = g.softmax(l, "sm");
+        g.mark_output(s);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn executes_end_to_end_with_correct_shapes() {
+        let g = small_cnn();
+        let x = Tensor::randn(&[2, 3, 8, 8], 3);
+        let res = execute(&g, &[x], ExecOptions::default());
+        assert_eq!(res.outputs.len(), 1);
+        assert_eq!(res.outputs[0].shape(), &[2, 5]);
+        // softmax rows sum to 1
+        for r in 0..2 {
+            let sum: f32 = res.outputs[0].data()[r * 5..(r + 1) * 5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dynamic_peak_matches_static_plan() {
+        let g = small_cnn();
+        let x = Tensor::randn(&[2, 3, 8, 8], 3);
+        let res = execute(&g, &[x], ExecOptions::default());
+        let plan = crate::planner::plan_memory(&g);
+        assert_eq!(res.memory.peak_bytes(), plan.peak_internal_bytes);
+        // Full timeline agreement, step by step.
+        for (ev, st) in res.memory.timeline().iter().zip(&plan.timeline) {
+            assert_eq!(ev.live_bytes, st.live_bytes, "step {} ({})", st.step, st.label);
+        }
+    }
+
+    #[test]
+    fn skip_connection_values_stay_alive() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 4, 4], "x");
+        let c1 = g.conv2d(x, Tensor::randn(&[2, 2, 3, 3], 4), None, 1, 1, "c1");
+        let r = g.relu(c1, "r");
+        let c2 = g.conv2d(r, Tensor::randn(&[2, 2, 3, 3], 5), None, 1, 1, "c2");
+        let s = g.add(&[x, c2], "skip");
+        g.mark_output(s);
+        g.infer_shapes();
+        let res = execute(&g, &[Tensor::randn(&[1, 2, 4, 4], 6)], ExecOptions::default());
+        let plan = crate::planner::plan_memory(&g);
+        assert_eq!(res.memory.peak_bytes(), plan.peak_internal_bytes);
+        assert_eq!(res.outputs[0].shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn all_memory_is_freed_except_outputs() {
+        let g = small_cnn();
+        let x = Tensor::randn(&[2, 3, 8, 8], 7);
+        let res = execute(&g, &[x], ExecOptions::default());
+        let out_bytes: usize = res.outputs.iter().map(Tensor::bytes).sum();
+        // After the last node, only values still live (outputs + anything
+        // consumed by the last node) remain; the softmax input dies at the
+        // last step, so live == outputs.
+        assert_eq!(res.memory.live_bytes(), out_bytes);
+    }
+
+    #[test]
+    fn node_timing_is_recorded_when_requested() {
+        let g = small_cnn();
+        let x = Tensor::randn(&[2, 3, 8, 8], 8);
+        let res = execute(&g, &[x], ExecOptions { time_nodes: true });
+        assert_eq!(res.node_times.len(), g.nodes.len());
+        assert!(res.total_time > 0.0);
+    }
+
+    #[test]
+    fn multi_input_multi_output_graphs_execute() {
+        let mut g = Graph::new();
+        let a = g.input(&[1, 2, 4, 4], "a");
+        let b = g.input(&[1, 2, 4, 4], "b");
+        let s = g.add(&[a, b], "sum");
+        let cat = g.concat(&[a, b], "cat");
+        g.mark_output(s);
+        g.mark_output(cat);
+        g.infer_shapes();
+        let ta = Tensor::from_fn(&[1, 2, 4, 4], |i| i as f32);
+        let tb = Tensor::from_fn(&[1, 2, 4, 4], |_| 1.0);
+        let res = execute(&g, &[ta, tb], ExecOptions::default());
+        assert_eq!(res.outputs.len(), 2);
+        assert_eq!(res.outputs[0].at4(0, 0, 0, 1), 2.0); // 1 + 1
+        assert_eq!(res.outputs[1].shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn inputs_are_matched_by_registration_not_schedule_order() {
+        // Build, then reschedule so the input nodes may swap positions: the
+        // executor must still bind the first caller tensor to the first
+        // registered graph input.
+        let mut g = Graph::new();
+        let a = g.input(&[1, 1, 2, 2], "a");
+        let b = g.input(&[1, 1, 2, 2], "b");
+        let r = g.relu(b, "rb");
+        let cat = g.concat(&[r, a], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let order = temco_ir::memory_aware_order_ranked(&g);
+        temco_ir::apply_order(&mut g, &order);
+        let ta = Tensor::from_fn(&[1, 1, 2, 2], |_| 10.0);
+        let tb = Tensor::from_fn(&[1, 1, 2, 2], |_| -5.0);
+        let res = execute(&g, &[ta, tb], ExecOptions::default());
+        // channel 0 = relu(b) = 0.0, channel 1 = a = 10.0
+        assert_eq!(res.outputs[0].at4(0, 0, 0, 0), 0.0);
+        assert_eq!(res.outputs[0].at4(0, 1, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn affine_applies_scale_and_bias_per_channel() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 2, 2, 2], "x");
+        let a = g.affine(
+            x,
+            Tensor::from_vec(&[2], vec![2.0, 3.0]),
+            Tensor::from_vec(&[2], vec![1.0, -1.0]),
+            "bn",
+        );
+        g.mark_output(a);
+        g.infer_shapes();
+        let input = Tensor::from_fn(&[1, 2, 2, 2], |i| i as f32);
+        let res = execute(&g, &[input], ExecOptions::default());
+        let out = &res.outputs[0];
+        assert_eq!(out.at4(0, 0, 0, 0), 1.0); // 0*2+1
+        assert_eq!(out.at4(0, 1, 0, 0), 11.0); // 4*3-1
+    }
+}

@@ -1,0 +1,269 @@
+//! The fused `lconv → activation (→ pool) → fconv` kernel.
+//!
+//! CPU analogue of the paper's CUDA kernel (Listing 1). The defining
+//! property is *what it does not allocate*: the full-channel tensors
+//! `Output1`/`Input2` of Figure 3b never exist. Each rayon worker processes
+//! one `(batch, output_row)` strip with a scratch buffer of
+//! `c_full × pool_stride × w` floats — the shared-memory tile of the GPU
+//! kernel — so peak memory is input (reduced) + output (reduced) + O(strip).
+
+use rayon::prelude::*;
+use temco_ir::{ActKind, PoolKind};
+use temco_tensor::{conv_out_dim, Tensor};
+
+/// Execute the fused kernel.
+///
+/// * `input`: reduced tensor `[n, c_red_in, h, w]` (the lconv's input);
+/// * `lconv_w`: `[c_full, c_red_in, 1, 1]`, restoring;
+/// * `act`: elementwise activation applied at full channel width;
+/// * `pool`: optional `(kind, kernel, stride)` pooling between activation
+///   and fconv (only `kernel == stride` windows occur in the zoo);
+/// * `fconv_w`: `[c_red_out, c_full, 1, 1]`, reducing — or `None` for the
+///   restore-kernel form, which emits the pooled full-width activation
+///   directly (strip scratch only; the pre-pool full tensor never exists).
+///
+/// Returns `[n, c_red_out, oh, ow]` (or `[n, c_full, oh, ow]` without
+/// fconv).
+///
+/// # Panics
+/// Panics on channel mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward(
+    input: &Tensor,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+) -> Tensor {
+    let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let c_full = lconv_w.dim(0);
+    assert_eq!(lconv_w.dim(1), c_red_in, "fused kernel: lconv input channels");
+    if let Some(fw) = fconv_w {
+        assert_eq!(fw.dim(1), c_full, "fused kernel: fconv input channels");
+    }
+    let c_red_out = fconv_w.map_or(c_full, |fw| fw.dim(0));
+
+    let (oh, ow, pk, ps) = match pool {
+        Some((_, k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k, s),
+        None => (h, w, 1, 1),
+    };
+    let pool_kind = pool.map(|(kind, _, _)| kind);
+
+    let lw = lconv_w.data();
+    let fw = fconv_w.map(Tensor::data);
+    let in_data = input.data();
+    let in_plane = h * w;
+
+    // One work item per (batch, pooled output row): compute the strip of
+    // `pk` pre-pool rows at full channel width in scratch, activate, pool,
+    // reduce. Collect-then-scatter keeps the parallel part allocation-free
+    // of shared state; the collected rows are exactly the output tensor.
+    let rows: Vec<Vec<f32>> = (0..n * oh)
+        .into_par_iter()
+        .map(|job| {
+            let b = job / oh;
+            let orow = job % oh;
+            // Scratch strip: [c_full, pk, w] — the "tile" of Listing 1.
+            let mut strip = vec![0.0f32; c_full * pk * w];
+            let base_h = orow * ps;
+            for cf in 0..c_full {
+                let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
+                let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
+                for dh in 0..pk {
+                    let ih = base_h + dh;
+                    let dst = &mut strip[(cf * pk + dh) * w..(cf * pk + dh + 1) * w];
+                    dst.fill(bias);
+                    if ih >= h {
+                        continue;
+                    }
+                    for (cr, &wv) in wrow.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let src =
+                            &in_data[(b * c_red_in + cr) * in_plane + ih * w..][..w];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += wv * s;
+                        }
+                    }
+                    // Activation at full channel width (cannot be reordered
+                    // past fconv — Section 3.2).
+                    for d in dst.iter_mut() {
+                        *d = act.apply(*d);
+                    }
+                }
+            }
+            // Pool the strip down to one row per full channel: [c_full, ow].
+            let mut pooled = vec![0.0f32; c_full * ow];
+            match pool_kind {
+                None => {
+                    for cf in 0..c_full {
+                        pooled[cf * ow..(cf + 1) * ow]
+                            .copy_from_slice(&strip[cf * pk * w..cf * pk * w + w]);
+                    }
+                }
+                Some(kind) => {
+                    for cf in 0..c_full {
+                        for ocol in 0..ow {
+                            let mut acc = match kind {
+                                PoolKind::Max => f32::NEG_INFINITY,
+                                PoolKind::Avg => 0.0,
+                            };
+                            for dh in 0..pk {
+                                for dw in 0..pk {
+                                    let v = strip[(cf * pk + dh) * w + ocol * ps + dw];
+                                    acc = match kind {
+                                        PoolKind::Max => acc.max(v),
+                                        PoolKind::Avg => acc + v,
+                                    };
+                                }
+                            }
+                            if kind == PoolKind::Avg {
+                                acc /= (pk * pk) as f32;
+                            }
+                            pooled[cf * ow + ocol] = acc;
+                        }
+                    }
+                }
+            }
+            // fconv: reduce back down (restore kernels skip this and emit
+            // the pooled full-width rows directly).
+            match fw {
+                None => pooled,
+                Some(fw) => {
+                    let mut out_row = vec![0.0f32; c_red_out * ow];
+                    for co in 0..c_red_out {
+                        let dst = &mut out_row[co * ow..(co + 1) * ow];
+                        dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
+                        let wrow = &fw[co * c_full..(co + 1) * c_full];
+                        for (cf, &wv) in wrow.iter().enumerate() {
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let src = &pooled[cf * ow..(cf + 1) * ow];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += wv * s;
+                            }
+                        }
+                    }
+                    out_row
+                }
+            }
+        })
+        .collect();
+
+    let mut out = Tensor::zeros(&[n, c_red_out, oh, ow]);
+    let out_plane = oh * ow;
+    for (job, row) in rows.into_iter().enumerate() {
+        let b = job / oh;
+        let orow = job % oh;
+        for co in 0..c_red_out {
+            let dst_off = (b * c_red_out + co) * out_plane + orow * ow;
+            out.data_mut()[dst_off..dst_off + ow].copy_from_slice(&row[co * ow..(co + 1) * ow]);
+        }
+    }
+    out
+}
+
+/// Scratch bytes one worker strip uses — reported by ablation benches to
+/// show the fused kernel's footprint is O(strip), not O(tensor).
+pub fn strip_scratch_bytes(c_full: usize, pool_stride: usize, width: usize) -> usize {
+    (c_full * pool_stride * width + c_full * width) * std::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_tensor::{avg_pool2d, conv2d, max_pool2d, Conv2dParams};
+
+    fn reference(
+        input: &Tensor,
+        lconv_w: &Tensor,
+        lconv_b: Option<&[f32]>,
+        act: ActKind,
+        pool: Option<(PoolKind, usize, usize)>,
+        fconv_w: Option<&Tensor>,
+        fconv_b: Option<&[f32]>,
+    ) -> Tensor {
+        let p = Conv2dParams::default();
+        let full = conv2d(input, lconv_w, lconv_b, &p);
+        let acted = act.forward(&full);
+        let pooled = match pool {
+            Some((PoolKind::Max, k, s)) => max_pool2d(&acted, k, s),
+            Some((PoolKind::Avg, k, s)) => avg_pool2d(&acted, k, s),
+            None => acted,
+        };
+        match fconv_w {
+            Some(fw) => conv2d(&pooled, fw, fconv_b, &p),
+            None => pooled,
+        }
+    }
+
+    #[test]
+    fn matches_unfused_no_pool() {
+        let x = Tensor::randn(&[2, 3, 6, 7], 1);
+        let lw = Tensor::randn(&[10, 3, 1, 1], 2);
+        let fw = Tensor::randn(&[4, 10, 1, 1], 3);
+        let got = fused_forward(&x, &lw, None, ActKind::Relu, None, Some(&fw), None);
+        let want = reference(&x, &lw, None, ActKind::Relu, None, Some(&fw), None);
+        assert!(got.all_close(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn matches_unfused_with_biases() {
+        let x = Tensor::randn(&[1, 5, 4, 4], 4);
+        let lw = Tensor::randn(&[8, 5, 1, 1], 5);
+        let lb: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let fw = Tensor::randn(&[3, 8, 1, 1], 6);
+        let fb = [0.5f32, -0.25, 1.0];
+        let got = fused_forward(&x, &lw, Some(&lb), ActKind::Silu, None, Some(&fw), Some(&fb));
+        let want = reference(&x, &lw, Some(&lb), ActKind::Silu, None, Some(&fw), Some(&fb));
+        assert!(got.all_close(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn matches_unfused_with_maxpool() {
+        let x = Tensor::randn(&[2, 4, 8, 8], 7);
+        let lw = Tensor::randn(&[12, 4, 1, 1], 8);
+        let fw = Tensor::randn(&[5, 12, 1, 1], 9);
+        let pool = Some((PoolKind::Max, 2, 2));
+        let got = fused_forward(&x, &lw, None, ActKind::Relu, pool, Some(&fw), None);
+        let want = reference(&x, &lw, None, ActKind::Relu, pool, Some(&fw), None);
+        assert_eq!(got.shape(), &[2, 5, 4, 4]);
+        assert!(got.all_close(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn matches_unfused_with_avgpool() {
+        let x = Tensor::randn(&[1, 6, 6, 6], 10);
+        let lw = Tensor::randn(&[9, 6, 1, 1], 11);
+        let fw = Tensor::randn(&[2, 9, 1, 1], 12);
+        let pool = Some((PoolKind::Avg, 2, 2));
+        let got = fused_forward(&x, &lw, None, ActKind::Sigmoid, pool, Some(&fw), None);
+        let want = reference(&x, &lw, None, ActKind::Sigmoid, pool, Some(&fw), None);
+        assert!(got.all_close(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn odd_height_with_pool_ignores_trailing_row() {
+        // 7 rows with 2×2/2 pooling → 3 output rows; row 6 unused.
+        let x = Tensor::randn(&[1, 2, 7, 7], 13);
+        let lw = Tensor::randn(&[4, 2, 1, 1], 14);
+        let fw = Tensor::randn(&[2, 4, 1, 1], 15);
+        let pool = Some((PoolKind::Max, 2, 2));
+        let got = fused_forward(&x, &lw, None, ActKind::Relu, pool, Some(&fw), None);
+        let want = reference(&x, &lw, None, ActKind::Relu, pool, Some(&fw), None);
+        assert_eq!(got.shape(), &[1, 2, 3, 3]);
+        assert!(got.all_close(&want, 1e-4));
+    }
+
+    #[test]
+    fn scratch_is_strip_sized() {
+        // 512 full channels, stride-2 pool, width 224: ~1.3 MiB per worker —
+        // versus 512·224·224·4 ≈ 98 MiB for the materialized intermediate.
+        let scratch = strip_scratch_bytes(512, 2, 224);
+        assert!(scratch < 2 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,30 @@
+//! Runtime for TeMCO graphs: interpreter, memory accounting, fused kernels.
+//!
+//! Three pieces substitute for what the paper builds on PyTorch + CUDA:
+//!
+//! * [`executor`] — a reference interpreter with the alloc-on-def /
+//!   free-after-last-use policy deep-learning frameworks use for internal
+//!   tensors (Section 2.2 of the paper). It records a live-bytes timeline
+//!   while computing real values.
+//! * [`planner`] — a *static* memory planner that computes the same
+//!   timeline from shape inference + liveness alone, without executing a
+//!   single FLOP. This is what lets the peak-memory experiments (Figures 4
+//!   and 10) run at full 224×224 ImageNet scale on CPU.
+//! * [`fused`] — the CPU analogue of the paper's CUDA fused kernels
+//!   (Listing 1): `lconv → activation (→ pool) → fconv` computed strip by
+//!   strip with O(strip) scratch, rayon-parallel over batch × output rows.
+//!   The full-channel intermediate never exists as an allocated tensor.
+
+pub mod arena;
+pub mod executor;
+pub mod fused;
+pub mod fused_tiled;
+pub mod memory;
+pub mod planner;
+
+pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
+pub use executor::{execute, ExecOptions, ExecResult};
+pub use fused::fused_forward;
+pub use fused_tiled::fused_forward_tiled;
+pub use memory::{MemEvent, MemoryTracker};
+pub use planner::{plan_memory, skip_share_at_peak, MemoryPlan, StepMem};

@@ -1,0 +1,112 @@
+//! Live-bytes accounting shared by the executor and the planner.
+
+/// One point in the internal-tensor memory timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemEvent {
+    /// Schedule step (node index) at which the sample was taken.
+    pub step: usize,
+    /// Name of the node that just executed.
+    pub label: String,
+    /// Bytes of internal tensors live after the step.
+    pub live_bytes: usize,
+}
+
+/// Tracks allocations/frees of internal tensors during execution.
+///
+/// Mirrors the framework behaviour the paper's Equations (3)/(4) model:
+/// a layer's output is allocated when the layer runs; tensors are freed
+/// immediately after their last consumer.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryTracker {
+    live: usize,
+    peak: usize,
+    peak_step: usize,
+    timeline: Vec<MemEvent>,
+}
+
+impl MemoryTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize, step: usize) {
+        self.live += bytes;
+        if self.live > self.peak {
+            self.peak = self.live;
+            self.peak_step = step;
+        }
+    }
+
+    /// Record a free of `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more bytes are freed than are live (double free).
+    pub fn free(&mut self, bytes: usize) {
+        assert!(bytes <= self.live, "free of {bytes} bytes exceeds live {}", self.live);
+        self.live -= bytes;
+    }
+
+    /// Take a timeline sample after node `step` named `label` ran.
+    pub fn sample(&mut self, step: usize, label: impl Into<String>) {
+        self.timeline.push(MemEvent { step, label: label.into(), live_bytes: self.live });
+    }
+
+    /// Bytes currently live.
+    pub fn live_bytes(&self) -> usize {
+        self.live
+    }
+
+    /// Peak live bytes observed so far.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Step at which the peak occurred.
+    pub fn peak_step(&self) -> usize {
+        self.peak_step
+    }
+
+    /// The sampled timeline.
+    pub fn timeline(&self) -> &[MemEvent] {
+        &self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new();
+        m.alloc(100, 0);
+        m.alloc(50, 1);
+        m.free(100);
+        m.alloc(20, 2);
+        assert_eq!(m.live_bytes(), 70);
+        assert_eq!(m.peak_bytes(), 150);
+        assert_eq!(m.peak_step(), 1);
+    }
+
+    #[test]
+    fn timeline_samples_live_bytes() {
+        let mut m = MemoryTracker::new();
+        m.alloc(10, 0);
+        m.sample(0, "a");
+        m.free(10);
+        m.sample(1, "b");
+        assert_eq!(m.timeline().len(), 2);
+        assert_eq!(m.timeline()[0].live_bytes, 10);
+        assert_eq!(m.timeline()[1].live_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds live")]
+    fn double_free_panics() {
+        let mut m = MemoryTracker::new();
+        m.alloc(4, 0);
+        m.free(8);
+    }
+}

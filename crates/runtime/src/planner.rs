@@ -1,0 +1,208 @@
+//! Static memory planner: the internal-tensor timeline from liveness alone.
+//!
+//! The peak memory of an inference is a function of shapes and the schedule,
+//! not of the values flowing through it. Computing it statically lets the
+//! paper's memory experiments run at full ImageNet resolution without paying
+//! any convolution FLOPs — the executor's dynamic tracker is kept as a
+//! cross-check (they must agree exactly; see the integration tests).
+
+use temco_ir::{liveness, Graph};
+
+/// Live bytes after one schedule step.
+#[derive(Clone, Debug)]
+pub struct StepMem {
+    /// Node index.
+    pub step: usize,
+    /// Node name.
+    pub label: String,
+    /// Internal-tensor bytes live while/after this node executes.
+    pub live_bytes: usize,
+}
+
+/// The planner's report for one graph.
+#[derive(Clone, Debug)]
+pub struct MemoryPlan {
+    /// Peak bytes of live internal tensors across the schedule.
+    pub peak_internal_bytes: usize,
+    /// Step index at which the peak occurs.
+    pub peak_step: usize,
+    /// Total bytes of weight tensors (loaded for the whole inference).
+    pub weight_bytes: usize,
+    /// Per-step live bytes.
+    pub timeline: Vec<StepMem>,
+}
+
+impl MemoryPlan {
+    /// Peak of internal plus weight memory — the paper's Figure 10 stacks
+    /// both pools.
+    pub fn peak_total_bytes(&self) -> usize {
+        self.peak_internal_bytes + self.weight_bytes
+    }
+}
+
+/// Fraction of the bytes live at the peak step that belong to *skip
+/// connections* — values whose lifespan exceeds `distance_threshold`.
+///
+/// This is the paper's Figure 4a metric ("the memory usage of skip
+/// connections takes 76.2% of the peak memory usage by internal tensors in
+/// the UNet-decomposed model").
+pub fn skip_share_at_peak(g: &Graph, distance_threshold: usize) -> f64 {
+    let lv = liveness(g);
+    let plan = plan_memory(g);
+    let step = plan.peak_step;
+    let mut total = 0usize;
+    let mut skip = 0usize;
+    for vi in 0..g.values.len() {
+        let v = temco_ir::ValueId(vi as u32);
+        if !lv.live_at(v, step) {
+            continue;
+        }
+        let bytes = g.value_bytes(v);
+        total += bytes;
+        if lv.lifespan(v) > distance_threshold {
+            skip += bytes;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    skip as f64 / total as f64
+}
+
+/// Compute the memory plan of a graph under its current schedule.
+///
+/// At step `i` the live set is every value `v` with
+/// `begin(v) ≤ i ≤ end(v)`: the node's inputs are still allocated while it
+/// runs, its output is allocated before it finishes, and anything whose last
+/// use has passed has been freed — the dynamic-allocation model of
+/// Section 2.2.
+///
+/// # Panics
+/// Panics if shape inference has not run.
+pub fn plan_memory(g: &Graph) -> MemoryPlan {
+    let lv = liveness(g);
+    let n_steps = g.nodes.len();
+    // Sweep: +bytes at begin, -bytes after end.
+    let mut delta = vec![0isize; n_steps + 1];
+    for v in 0..g.values.len() {
+        let b = lv.begin[v];
+        if b == usize::MAX {
+            continue;
+        }
+        let e = lv.end[v];
+        let bytes = g.value_bytes(temco_ir::ValueId(v as u32)) as isize;
+        delta[b] += bytes;
+        delta[e + 1] -= bytes;
+    }
+    let mut live = 0isize;
+    let mut peak = 0usize;
+    let mut peak_step = 0usize;
+    let mut timeline = Vec::with_capacity(n_steps);
+    for (i, node) in g.nodes.iter().enumerate() {
+        live += delta[i];
+        debug_assert!(live >= 0, "negative live bytes at step {i}");
+        let lb = live as usize;
+        if lb > peak {
+            peak = lb;
+            peak_step = i;
+        }
+        timeline.push(StepMem { step: i, label: node.name.clone(), live_bytes: lb });
+    }
+    MemoryPlan {
+        peak_internal_bytes: peak,
+        peak_step,
+        weight_bytes: g.weight_bytes(),
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Graph;
+    use temco_tensor::Tensor;
+
+    /// Two convs with an activation in between — the Figure 3a microbench.
+    fn two_conv_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x"); // 1024 B
+        let c1 = g.conv2d(x, Tensor::zeros(&[8, 4, 3, 3]), None, 1, 1, "c1"); // 2048 B
+        let r = g.relu(c1, "relu"); // 2048 B
+        let c2 = g.conv2d(r, Tensor::zeros(&[4, 8, 3, 3]), None, 1, 1, "c2"); // 1024 B
+        g.mark_output(c2);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn peak_matches_equation_3() {
+        // Eq. (3): MAX(in+out of each layer) = MAX(1024+2048, 2048+2048,
+        // 2048+1024) = 4096.
+        let plan = plan_memory(&two_conv_graph());
+        assert_eq!(plan.peak_internal_bytes, 4096);
+    }
+
+    #[test]
+    fn timeline_ends_with_only_outputs_live() {
+        let g = two_conv_graph();
+        let plan = plan_memory(&g);
+        let last = plan.timeline.last().unwrap();
+        assert_eq!(last.live_bytes, g.value_bytes(g.outputs[0]) + g.value_bytes(g.nodes[2].output));
+        // (c2's input `relu` is freed only after c2 runs; at the sample taken
+        // *during* step 3 both are live.)
+    }
+
+    #[test]
+    fn skip_connection_extends_liveness() {
+        // x is also consumed by a final add → x stays live throughout.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "c1");
+        let r = g.relu(c1, "r");
+        let c2 = g.conv2d(r, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "c2");
+        let s = g.add(&[x, c2], "skip_add");
+        g.mark_output(s);
+        g.infer_shapes();
+        let plan = plan_memory(&g);
+
+        // Without the skip the peak would be 2 tensors; with it, x rides
+        // along: at step 3 (c2) live = x + r + c2 = 3 × 1024.
+        assert_eq!(plan.peak_internal_bytes, 3 * 1024);
+    }
+
+    #[test]
+    fn skip_share_identifies_long_lived_tensors() {
+        // The UNet situation in miniature: the skip tensor dominates the
+        // peak while the middle runs.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 16, 8, 8], "x");
+        let skip = g.relu(x, "skip");
+        let mut t = skip;
+        for i in 0..6 {
+            t = g.conv2d(t, Tensor::zeros(&[16, 16, 3, 3]), None, 1, 1, format!("mid{i}"));
+        }
+        let s = g.add(&[skip, t], "join");
+        g.mark_output(s);
+        g.infer_shapes();
+        let share = super::skip_share_at_peak(&g, 4);
+        // skip is 1 of the ~3 live tensors at the peak.
+        assert!(share > 0.2 && share < 0.6, "share {share}");
+
+        // A pure chain has no skip connections at all.
+        let mut chain = Graph::new();
+        let x = chain.input(&[1, 4, 4, 4], "x");
+        let a = chain.relu(x, "a");
+        let b = chain.relu(a, "b");
+        chain.mark_output(b);
+        chain.infer_shapes();
+        assert_eq!(super::skip_share_at_peak(&chain, 4), 0.0);
+    }
+
+    #[test]
+    fn weight_bytes_are_separate_pool() {
+        let g = two_conv_graph();
+        let plan = plan_memory(&g);
+        assert_eq!(plan.weight_bytes, (8 * 4 * 9 + 4 * 8 * 9) * 4);
+        assert_eq!(plan.peak_total_bytes(), plan.peak_internal_bytes + plan.weight_bytes);
+    }
+}

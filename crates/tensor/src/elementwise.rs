@@ -1,0 +1,237 @@
+//! Elementwise ops, activations, concat/add, linear, softmax.
+
+use crate::matmul::sgemm;
+use crate::tensor::Tensor;
+
+/// The activation functions appearing between decomposed convolutions.
+///
+/// All of them are elementwise, which is exactly the property Section 3.2 of
+/// the paper relies on: `lconv → activation → fconv` cannot be reordered, but
+/// it *can* be computed tile-by-tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Sigmoid-weighted linear unit (`x * sigmoid(x)`).
+    Silu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl ActKind {
+    /// Apply the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Silu => x / (1.0 + (-x).exp()),
+            ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActKind::Tanh => x.tanh(),
+        }
+    }
+
+    /// Apply the activation to a whole tensor, returning a new one.
+    pub fn forward(self, t: &Tensor) -> Tensor {
+        t.map(|x| self.apply(x))
+    }
+}
+
+/// Elementwise sum of two same-shaped tensors.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(a.shape(), data)
+}
+
+/// Concatenate 4-D tensors along the channel axis.
+///
+/// # Panics
+/// Panics if batch/spatial dims disagree or the list is empty.
+pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "concat of empty list");
+    let first = tensors[0];
+    assert_eq!(first.shape().len(), 4, "concat expects 4-D tensors");
+    let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
+    let mut c_total = 0;
+    for t in tensors {
+        assert_eq!(t.dim(0), n, "concat batch mismatch");
+        assert_eq!(t.dim(2), h, "concat height mismatch");
+        assert_eq!(t.dim(3), w, "concat width mismatch");
+        c_total += t.dim(1);
+    }
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    for b in 0..n {
+        let mut c_off = 0;
+        for t in tensors {
+            let c = t.dim(1);
+            let src = &t.data()[b * c * plane..(b + 1) * c * plane];
+            let dst_off = (b * c_total + c_off) * plane;
+            out.data_mut()[dst_off..dst_off + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Fully connected layer: `input [n, f] × weightᵀ [f, out] + bias`.
+///
+/// `weight` is `[out_features, in_features]` (PyTorch convention).
+pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    assert_eq!(input.shape().len(), 2, "linear input must be 2-D");
+    assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
+    let (n, f) = (input.dim(0), input.dim(1));
+    let (out_f, w_f) = (weight.dim(0), weight.dim(1));
+    assert_eq!(f, w_f, "linear feature mismatch");
+    // out[n, out_f] = input[n, f] * weightᵀ[f, out_f]
+    let wt: Vec<f32> = {
+        let mut wt = vec![0.0f32; f * out_f];
+        for o in 0..out_f {
+            for i in 0..f {
+                wt[i * out_f + o] = weight.data()[o * f + i];
+            }
+        }
+        wt
+    };
+    let mut out = vec![0.0f32; n * out_f];
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_f, "linear bias mismatch");
+        for row in out.chunks_mut(out_f) {
+            row.copy_from_slice(b);
+        }
+    }
+    sgemm(input.data(), &wt, &mut out, n, f, out_f);
+    Tensor::from_vec(&[n, out_f], out)
+}
+
+/// Softmax over the last dimension of a 2-D tensor.
+pub fn softmax_lastdim(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().len(), 2, "softmax expects 2-D input");
+    let (n, f) = (input.dim(0), input.dim(1));
+    let mut out = input.clone();
+    for r in 0..n {
+        let row = &mut out.data_mut()[r * f..(r + 1) * f];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let t = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -0.5]);
+        assert_eq!(ActKind::Relu.forward(&t).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let x = 1.3f32;
+        let got = ActKind::Silu.apply(x);
+        assert!((got - x / (1.0 + (-x).exp())).abs() < 1e-7);
+        assert_eq!(ActKind::Silu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert!((ActKind::Sigmoid.apply(0.0) - 0.5).abs() < 1e-7);
+        assert!(ActKind::Sigmoid.apply(20.0) > 0.999);
+        assert!(ActKind::Sigmoid.apply(-20.0) < 0.001);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(&[2, 2], vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(add(&a, &b).data(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels_per_batch() {
+        let a = Tensor::from_fn(&[2, 1, 2, 2], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 2, 2, 2], |i| 100.0 + i as f32);
+        let c = concat_channels(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3, 2, 2]);
+        // batch 0: a channels then b channels
+        assert_eq!(c.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(c.at4(0, 1, 0, 0), 100.0);
+        assert_eq!(c.at4(0, 2, 0, 0), 104.0);
+        // batch 1
+        assert_eq!(c.at4(1, 0, 0, 0), 4.0);
+        assert_eq!(c.at4(1, 1, 0, 0), 108.0);
+    }
+
+    #[test]
+    fn linear_matches_manual() {
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let w = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let b = [0.5f32, -0.5];
+        let y = linear(&x, &w, Some(&b));
+        assert_eq!(y.data(), &[1.5, 4.5]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_lastdim(&x);
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // monotone in logits
+        assert!(s.data()[2] > s.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        // Without the max-subtraction trick these would overflow to NaN.
+        let x = Tensor::from_vec(&[1, 3], vec![1000.0, 999.0, 998.0]);
+        let s = softmax_lastdim(&x);
+        assert!(s.data().iter().all(|v| v.is_finite()));
+        let sum: f32 = s.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(s.data()[0] > s.data()[1]);
+    }
+
+    #[test]
+    fn tanh_saturates_symmetrically() {
+        assert!((ActKind::Tanh.apply(10.0) - 1.0).abs() < 1e-4);
+        assert!((ActKind::Tanh.apply(-10.0) + 1.0).abs() < 1e-4);
+        assert_eq!(ActKind::Tanh.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn concat_of_three_tensors() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::from_fn(&[1, 2, 2, 2], |_| 1.0);
+        let c = Tensor::from_fn(&[1, 1, 2, 2], |_| 2.0);
+        let out = concat_channels(&[&a, &b, &c]);
+        assert_eq!(out.shape(), &[1, 4, 2, 2]);
+        assert_eq!(out.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(out.at4(0, 1, 0, 0), 1.0);
+        assert_eq!(out.at4(0, 3, 0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "add shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = add(&a, &b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense NCHW `f32` tensor library for the TeMCO reproduction.
+//!
+//! This crate is the numeric substrate the paper gets from PyTorch: a dense
+//! contiguous tensor type plus the CNN operator set the 10 benchmark models
+//! need (convolution variants, pooling, activations, concat/add, linear,
+//! softmax). Kernels are written for clarity first, with a small number of
+//! deliberate fast paths:
+//!
+//! * 1×1 convolutions (the `fconv`/`lconv` layers every decomposed sequence
+//!   introduces) lower to a single SGEMM per batch element;
+//! * general convolutions use im2col + SGEMM;
+//! * SGEMM itself is rayon-parallel over output rows.
+//!
+//! A slow, obviously-correct direct convolution is kept for cross-validation
+//! in tests.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod tensor;
+
+pub use conv::{conv2d, conv2d_direct, conv_transpose2d, Conv2dParams};
+pub use elementwise::{add, concat_channels, linear, softmax_lastdim, ActKind};
+pub use matmul::sgemm;
+pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
+pub use tensor::Tensor;
+
+/// Compute the spatial output size of a convolution/pooling window.
+#[inline]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let effective = input + 2 * padding;
+    if effective < kernel {
+        return 0;
+    }
+    (effective - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::conv_out_dim;
+
+    #[test]
+    fn out_dim_matches_torch_formula() {
+        assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+        assert_eq!(conv_out_dim(224, 11, 4, 2), 55); // AlexNet conv1
+        assert_eq!(conv_out_dim(224, 2, 2, 0), 112); // 2x2 pool
+        assert_eq!(conv_out_dim(5, 7, 1, 0), 0); // window larger than input
+    }
+}

@@ -1,0 +1,93 @@
+//! Parallel single-precision matrix multiply.
+
+use rayon::prelude::*;
+
+/// `out[m×n] += a[m×k] * b[k×n]`, all row-major. `out` must be pre-filled
+/// (zeros or bias-broadcast) by the caller.
+///
+/// The i-k-j loop order keeps the innermost loop streaming over contiguous
+/// rows of both `b` and `out`, which auto-vectorizes well; rayon parallelizes
+/// over independent output rows. This is the workhorse behind `linear`,
+/// 1×1 convolutions, and im2col convolutions.
+///
+/// # Panics
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+pub fn sgemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    // For small problems the rayon dispatch overhead dominates; stay serial.
+    let serial = m * k * n < 64 * 64 * 64;
+    let body = |(i, orow): (usize, &mut [f32])| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if serial {
+        out.chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.par_chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Convenience: `a[m×k] * b[k×n]` into a fresh zeroed buffer.
+pub fn sgemm_alloc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    sgemm(a, b, &mut out, m, k, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 11) as f32) - 5.0).collect();
+        assert_eq!(sgemm_alloc(&a, &b, m, k, n), naive(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn matches_naive_above_parallel_threshold() {
+        let (m, k, n) = (70, 70, 70);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32) / 8.0 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 19) as f32) / 9.0 - 1.0).collect();
+        let got = sgemm_alloc(&a, &b, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_out() {
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [2.0f32, 3.0, 4.0, 5.0];
+        let mut out = [10.0f32, 10.0, 10.0, 10.0];
+        sgemm(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [12.0, 13.0, 14.0, 15.0]);
+    }
+}

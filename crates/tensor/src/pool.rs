@@ -1,0 +1,118 @@
+//! Pooling kernels.
+
+use crate::conv_out_dim;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling with square `kernel` and `stride`, no padding.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    pool(input, kernel, stride, f32::NEG_INFINITY, |acc, v| acc.max(v), |acc, _| acc)
+}
+
+/// 2-D average pooling with square `kernel` and `stride`, no padding.
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
+    pool(input, kernel, stride, 0.0, |acc, v| acc + v, |acc, k2| acc / k2 as f32)
+}
+
+fn pool(
+    input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    init: f32,
+    combine: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Tensor {
+    assert_eq!(input.shape().len(), 4, "pool input must be 4-D");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_out_dim(h, kernel, stride, 0);
+    let ow = conv_out_dim(w, kernel, stride, 0);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    for b in 0..n {
+        for ch in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = init;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            acc = combine(acc, input.at4(b, ch, ohi * stride + kh, owi * stride + kw));
+                        }
+                    }
+                    *out.at4_mut(b, ch, ohi, owi) = finish(acc, kernel * kernel);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c, 1, 1]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let plane = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    for b in 0..n {
+        for ch in 0..c {
+            let mut s = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    s += input.at4(b, ch, hi, wi);
+                }
+            }
+            *out.at4_mut(b, ch, 0, 0) = s / plane;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let t = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, -2.0, 3.0, 0.5]);
+        let out = max_pool2d(&t, 2, 2);
+        assert_eq!(out.shape(), &[1, 1, 1, 1]);
+        assert_eq!(out.data()[0], 3.0);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let t = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = avg_pool2d(&t, 2, 2);
+        assert_eq!(out.data()[0], 2.5);
+    }
+
+    #[test]
+    fn pool_shapes_with_overlap() {
+        // AlexNet 3x3 stride-2 pooling: 55 → 27.
+        let t = Tensor::zeros(&[1, 2, 55, 55]);
+        let out = max_pool2d(&t, 3, 2);
+        assert_eq!(out.shape(), &[1, 2, 27, 27]);
+    }
+
+    #[test]
+    fn max_pool_preserves_negative_inputs() {
+        let t = Tensor::from_vec(&[1, 1, 2, 2], vec![-1.0, -2.0, -3.0, -4.0]);
+        let out = max_pool2d(&t, 2, 2);
+        assert_eq!(out.data()[0], -1.0);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let t = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        let out = global_avg_pool(&t);
+        assert_eq!(out.shape(), &[2, 3, 1, 1]);
+        // mean of 0..16 is 7.5 for the first (n=0,c=0) plane
+        assert!((out.at4(0, 0, 0, 0) - 7.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pool_channels_are_independent() {
+        let mut t = Tensor::zeros(&[1, 2, 2, 2]);
+        *t.at4_mut(0, 0, 0, 0) = 5.0;
+        *t.at4_mut(0, 1, 1, 1) = 7.0;
+        let out = max_pool2d(&t, 2, 2);
+        assert_eq!(out.at4(0, 0, 0, 0), 5.0);
+        assert_eq!(out.at4(0, 1, 0, 0), 7.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the production convolution path (im2col + SGEMM with
+//! pointwise and grouped fast paths) must agree with the naive direct
+//! implementation for *every* legal parameter combination.
+
+use proptest::prelude::*;
+use temco_tensor::{add, concat_channels, conv2d, conv2d_direct, Conv2dParams, Tensor};
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape() && a.max_abs_diff(b) <= tol
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn conv_matches_direct_for_all_params(
+        n in 1usize..3,
+        c_in in 1usize..6,
+        c_out in 1usize..6,
+        h in 3usize..10,
+        w in 3usize..10,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..500,
+        with_bias in any::<bool>(),
+    ) {
+        prop_assume!(h + 2 * padding >= kh && w + 2 * padding >= kw);
+        let x = Tensor::randn(&[n, c_in, h, w], seed);
+        let wt = Tensor::randn(&[c_out, c_in, kh, kw], seed ^ 0xFF);
+        let bias: Option<Vec<f32>> =
+            with_bias.then(|| (0..c_out).map(|i| i as f32 * 0.25 - 0.5).collect());
+        let p = Conv2dParams { stride: (stride, stride), padding: (padding, padding), groups: 1 };
+        let got = conv2d(&x, &wt, bias.as_deref(), &p);
+        let want = conv2d_direct(&x, &wt, bias.as_deref(), &p);
+        prop_assert!(close(&got, &want, 1e-3), "diff {}", got.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn grouped_conv_matches_direct(
+        groups in 1usize..4,
+        cg in 1usize..3,
+        og in 1usize..3,
+        hw in 4usize..9,
+        seed in 0u64..500,
+    ) {
+        let c_in = groups * cg;
+        let c_out = groups * og;
+        let x = Tensor::randn(&[1, c_in, hw, hw], seed);
+        let wt = Tensor::randn(&[c_out, cg, 3, 3], seed ^ 0xAB);
+        let p = Conv2dParams { stride: (1, 1), padding: (1, 1), groups };
+        let got = conv2d(&x, &wt, None, &p);
+        let want = conv2d_direct(&x, &wt, None, &p);
+        prop_assert!(close(&got, &want, 1e-3));
+    }
+
+    #[test]
+    fn conv_is_linear_in_its_input(
+        c in 1usize..5,
+        hw in 4usize..8,
+        seed in 0u64..300,
+    ) {
+        // conv(x + y) == conv(x) + conv(y) for bias-free convolution.
+        let x = Tensor::randn(&[1, c, hw, hw], seed);
+        let y = Tensor::randn(&[1, c, hw, hw], seed ^ 1);
+        let wt = Tensor::randn(&[3, c, 3, 3], seed ^ 2);
+        let p = Conv2dParams::new(1, 1);
+        let lhs = conv2d(&add(&x, &y), &wt, None, &p);
+        let rhs = add(&conv2d(&x, &wt, None, &p), &conv2d(&y, &wt, None, &p));
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn pointwise_conv_distributes_over_concat(
+        c1 in 1usize..4,
+        c2 in 1usize..4,
+        hw in 3usize..7,
+        seed in 0u64..300,
+    ) {
+        // The algebraic identity behind TeMCO's concat-split transform
+        // (Figure 9c): conv1x1(concat(a, b)) == conv1x1_a(a) + conv1x1_b(b).
+        let a = Tensor::randn(&[1, c1, hw, hw], seed);
+        let b = Tensor::randn(&[1, c2, hw, hw], seed ^ 3);
+        let wt = Tensor::randn(&[2, c1 + c2, 1, 1], seed ^ 4);
+        let p = Conv2dParams::default();
+        let whole = conv2d(&concat_channels(&[&a, &b]), &wt, None, &p);
+
+        let mut wa = Tensor::zeros(&[2, c1, 1, 1]);
+        let mut wb = Tensor::zeros(&[2, c2, 1, 1]);
+        for o in 0..2 {
+            for i in 0..c1 {
+                *wa.at4_mut(o, i, 0, 0) = wt.at4(o, i, 0, 0);
+            }
+            for i in 0..c2 {
+                *wb.at4_mut(o, i, 0, 0) = wt.at4(o, c1 + i, 0, 0);
+            }
+        }
+        let split = add(&conv2d(&a, &wa, None, &p), &conv2d(&b, &wb, None, &p));
+        prop_assert!(close(&whole, &split, 1e-4));
+    }
+}

@@ -1,0 +1,74 @@
+//! Compressing an image classifier: decomposition-ratio trade-off study.
+//!
+//! Sweeps the Tucker decomposition ratio on VGG-11 and reports, per ratio,
+//! the weight memory, FLOPs, peak internal-tensor memory of the
+//! `Decomposed` baseline and of full TeMCO, and the top-5 agreement between
+//! the two — illustrating that TeMCO's savings are orthogonal to the
+//! ratio's accuracy/compression trade-off.
+//!
+//! ```text
+//! cargo run --release --example classifier_compression
+//! ```
+
+use temco::{compare_outputs, Compiler, CompilerOptions, DecomposeOptions, OptLevel};
+use temco_ir::graph_flops;
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, plan_memory, ExecOptions};
+use temco_tensor::Tensor;
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+fn main() {
+    let cfg = ModelConfig { batch: 4, image: 64, num_classes: 100, classifier_width: 256, seed: 3 };
+    let graph = ModelId::Vgg11.build(&cfg);
+    let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 21);
+
+    let orig_plan = plan_memory(&graph);
+    println!(
+        "VGG-11 original: {:.2} MiB weights, {:.2} MiB internal, {:.2} GFLOPs",
+        mib(orig_plan.weight_bytes),
+        mib(orig_plan.peak_internal_bytes),
+        graph_flops(&graph) as f64 / 1e9
+    );
+    println!();
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "ratio", "weights", "GFLOPs", "internal", "internal", "top-5"
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "", "(MiB)", "", "decomposed", "TeMCO", "agree"
+    );
+
+    for ratio in [0.05, 0.1, 0.2, 0.4] {
+        let opts = CompilerOptions {
+            decompose: DecomposeOptions { ratio, ..Default::default() },
+            ..Default::default()
+        };
+        let compiler = Compiler::new(opts);
+        let (dec, _) = compiler.compile(&graph, OptLevel::Decomposed);
+        let (opt, _) = compiler.compile(&graph, OptLevel::SkipOptFusion);
+
+        let dec_plan = plan_memory(&dec);
+        let opt_plan = plan_memory(&opt);
+        let a = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
+        let b = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
+        let agree = compare_outputs(&a.outputs[0], &b.outputs[0], 5);
+
+        println!(
+            "{:>6.2} {:>10.2} {:>10.2} {:>9.2} MiB {:>9.2} MiB {:>8.3}",
+            ratio,
+            mib(dec_plan.weight_bytes),
+            graph_flops(&dec) as f64 / 1e9,
+            mib(dec_plan.peak_internal_bytes),
+            mib(opt_plan.peak_internal_bytes),
+            agree.task_agreement
+        );
+    }
+    println!();
+    println!("note: top-5 agreement compares TeMCO against the *decomposed* model —");
+    println!("it is ~1.0 at every ratio because the rewrites preserve semantics;");
+    println!("the ratio only moves the (orthogonal) decomposition-vs-accuracy knob.");
+}

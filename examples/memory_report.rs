@@ -1,0 +1,83 @@
+//! Per-layer memory timeline report (the Figure 4 view) for any zoo model.
+//!
+//! Prints a CSV of live internal-tensor bytes after every schedule step for
+//! the Original, Decomposed and TeMCO variants of the chosen model, plus an
+//! ASCII sparkline summary. Pass a model name as the first argument:
+//!
+//! ```text
+//! cargo run --release --example memory_report -- unet_small
+//! ```
+
+use temco::{Compiler, OptLevel};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::plan_memory;
+
+fn model_by_name(name: &str) -> Option<ModelId> {
+    ModelId::all().into_iter().find(|m| m.name() == name)
+}
+
+fn sparkline(series: &[usize], width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let max = *series.iter().max().unwrap() as f64;
+    let bucket = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < series.len() && out.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(series.len());
+        let peak = series[start..end.max(start + 1)].iter().max().copied().unwrap_or(0) as f64;
+        let idx = ((peak / max.max(1.0)) * 7.0).round() as usize;
+        out.push(GLYPHS[idx.min(7)]);
+        i += bucket;
+    }
+    out
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "unet_small".to_string());
+    let Some(model) = model_by_name(&name) else {
+        eprintln!("unknown model '{name}'. available:");
+        for m in ModelId::all() {
+            eprintln!("  {}", m.name());
+        }
+        std::process::exit(1);
+    };
+
+    let cfg = ModelConfig { batch: 4, image: 64, num_classes: 100, classifier_width: 128, seed: 9 };
+    let graph = model.build(&cfg);
+    let compiler = Compiler::default();
+
+    let variants: Vec<(&str, temco_ir::Graph)> = vec![
+        ("original", graph.clone()),
+        ("decomposed", compiler.compile(&graph, OptLevel::Decomposed).0),
+        ("temco", compiler.compile(&graph, OptLevel::SkipOptFusion).0),
+    ];
+
+    println!("variant,step,label,live_bytes");
+    let mut summaries = Vec::new();
+    for (vname, g) in &variants {
+        let plan = plan_memory(g);
+        for st in &plan.timeline {
+            println!("{vname},{},{},{}", st.step, st.label, st.live_bytes);
+        }
+        let series: Vec<usize> = plan.timeline.iter().map(|s| s.live_bytes).collect();
+        summaries.push((vname.to_string(), plan.peak_internal_bytes, series));
+    }
+
+    eprintln!("\n{} @ batch {}, {}×{}:", model.name(), cfg.batch, cfg.image, cfg.image);
+    let global_max = summaries.iter().map(|(_, p, _)| *p).max().unwrap_or(1);
+    for (vname, peak, series) in &summaries {
+        // Normalize sparklines against the shared maximum for comparability.
+        let scaled: Vec<usize> =
+            series.iter().map(|&b| b * 1000 / global_max.max(1)).collect();
+        eprintln!(
+            "{:>11}  peak {:7.2} MiB  {}",
+            vname,
+            *peak as f64 / (1024.0 * 1024.0),
+            sparkline(&scaled, 64)
+        );
+    }
+}

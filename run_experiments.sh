@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure. Results land in results/ (CSV + logs).
+set -u
+mkdir -p results/logs
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  "$@" 2>&1 | tee "results/logs/${name}.log"
+}
+run eq_analysis        ./target/release/eq_analysis
+run fig2_decomposition ./target/release/fig2_decomposition
+run fig10_peak_memory  ./target/release/fig10_peak_memory
+run fig4_timeline      ./target/release/fig4_timeline
+run fig12_accuracy     ./target/release/fig12_accuracy
+TEMCO_BATCHES=4,32 run fig11_inference_time ./target/release/fig11_inference_time
+run ablation_thresholds ./target/release/ablation_thresholds
+run ablation_merge      ./target/release/ablation_merge
+run ablation_schedule   ./target/release/ablation_schedule

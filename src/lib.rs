@@ -1,0 +1,21 @@
+//! Umbrella crate for the TeMCO reproduction workspace.
+//!
+//! This crate only re-exports the member crates so that the repository-level
+//! `examples/` and `tests/` can exercise the whole stack through one
+//! dependency. The real functionality lives in:
+//!
+//! * [`temco`] — the compiler (decomposition pass, skip-connection
+//!   optimization, activation-layer fusion, layer transformations).
+//! * [`temco_ir`] — the SSA graph IR, shape inference, liveness.
+//! * [`temco_runtime`] — interpreter, memory tracker/planner, fused kernels.
+//! * [`temco_models`] — the 10-model / 5-architecture zoo from the paper.
+//! * [`temco_decomp`] — Tucker / CP / Tensor-Train kernel decomposition.
+//! * [`temco_tensor`] / [`temco_linalg`] — numeric substrates.
+
+pub use temco;
+pub use temco_decomp;
+pub use temco_ir;
+pub use temco_linalg;
+pub use temco_models;
+pub use temco_runtime;
+pub use temco_tensor;

@@ -1,0 +1,98 @@
+//! Memory-behaviour integration tests: arena planning, rescheduling, and
+//! timeline shape on real models.
+
+use temco::{compare_outputs, Compiler, CompilerOptions, OptLevel};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, plan_arena, plan_memory, validate_arena, ExecOptions};
+use temco_tensor::Tensor;
+
+fn cfg() -> ModelConfig {
+    ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 64, seed: 3 }
+}
+
+#[test]
+fn arena_plans_are_valid_on_compiled_models() {
+    let compiler = Compiler::default();
+    for id in [ModelId::Vgg11, ModelId::Resnet18, ModelId::UnetSmall] {
+        let g = id.build(&cfg());
+        for level in [OptLevel::Decomposed, OptLevel::SkipOptFusion] {
+            let (opt, _) = compiler.compile(&g, level);
+            let arena = plan_arena(&opt);
+            assert!(validate_arena(&arena).is_empty(), "{} @ {}", id.name(), level.label());
+            let peak = plan_memory(&opt).peak_internal_bytes;
+            assert!(arena.arena_bytes >= peak);
+            // Greedy-by-size should stay within 2× of the live lower bound
+            // on these graphs (it is exactly 1.0× on most).
+            assert!(
+                arena.fragmentation() < 2.0,
+                "{} @ {}: fragmentation {}",
+                id.name(),
+                level.label(),
+                arena.fragmentation()
+            );
+        }
+    }
+}
+
+#[test]
+fn temco_reduces_arena_size_not_just_live_peak() {
+    // The deployable metric: the allocator's arena, not only the abstract
+    // live-byte peak, must shrink under TeMCO.
+    let compiler = Compiler::default();
+    let g = ModelId::UnetSmall.build(&cfg());
+    let (dec, _) = compiler.compile(&g, OptLevel::Decomposed);
+    let (opt, _) = compiler.compile(&g, OptLevel::SkipOptFusion);
+    let a_dec = plan_arena(&dec).arena_bytes;
+    let a_opt = plan_arena(&opt).arena_bytes;
+    assert!(a_opt < a_dec, "arena {a_dec} → {a_opt}");
+}
+
+#[test]
+fn rescheduling_preserves_semantics_and_never_hurts_peak() {
+    let base = Compiler::default();
+    let resched = Compiler::new(CompilerOptions {
+        merge_lconvs: true,
+        reschedule: true,
+        ..Default::default()
+    });
+    for id in [ModelId::Resnet18, ModelId::UnetSmall] {
+        let g = id.build(&cfg());
+        let (a, _) = base.compile(&g, OptLevel::SkipOptFusion);
+        let (b, _) = resched.compile(&g, OptLevel::SkipOptFusion);
+        assert!(temco_ir::verify(&b).is_empty(), "{}", id.name());
+        let pa = plan_memory(&a).peak_internal_bytes;
+        let pb = plan_memory(&b).peak_internal_bytes;
+        assert!(pb <= pa, "{}: reschedule raised peak {pa} → {pb}", id.name());
+
+        let x = Tensor::randn(&[1, 3, 64, 64], 9);
+        let ra = execute(&a, std::slice::from_ref(&x), ExecOptions::default());
+        let rb = execute(&b, &[x], ExecOptions::default());
+        let agree = compare_outputs(&ra.outputs[0], &rb.outputs[0], 5);
+        assert!(agree.task_agreement > 0.999, "{}: {agree:?}", id.name());
+    }
+}
+
+#[test]
+fn unet_timeline_floor_drops_under_temco() {
+    // Figure 4a's qualitative claim: in the decomposed model the *floor* of
+    // the memory curve stays high through the middle of the schedule (idle
+    // skip tensors); TeMCO collapses it. Compare the median live bytes of
+    // the middle half of each timeline.
+    let compiler = Compiler::default();
+    let g = ModelId::UnetSmall.build(&ModelConfig { batch: 4, ..cfg() });
+    let (dec, _) = compiler.compile(&g, OptLevel::Decomposed);
+    let (opt, _) = compiler.compile(&g, OptLevel::SkipOptFusion);
+    let median_mid = |g: &temco_ir::Graph| {
+        let t = plan_memory(g).timeline;
+        let n = t.len();
+        let mut mid: Vec<usize> = t[n / 4..3 * n / 4].iter().map(|s| s.live_bytes).collect();
+        mid.sort_unstable();
+        mid[mid.len() / 2]
+    };
+    let floor_dec = median_mid(&dec);
+    let floor_opt = median_mid(&opt);
+    assert!(
+        (floor_opt as f64) < 0.5 * floor_dec as f64,
+        "mid-schedule floor {floor_dec} → {floor_opt}"
+    );
+}

@@ -1,0 +1,46 @@
+//! Round-trip a compiled model through the `.temco` binary format and
+//! verify the reloaded graph is byte-equivalent in behaviour.
+
+use temco::{Compiler, OptLevel};
+use temco_ir::{load_graph, save_graph};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, plan_memory, ExecOptions};
+use temco_tensor::Tensor;
+
+#[test]
+fn compiled_model_roundtrips_exactly() {
+    let cfg = ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 32, seed: 5 };
+    let g = ModelId::Resnet18.build(&cfg);
+    let (opt, _) = Compiler::default().compile(&g, OptLevel::SkipOptFusion);
+
+    let mut buf = Vec::new();
+    save_graph(&opt, &mut buf).expect("save");
+    let mut reloaded = load_graph(&mut buf.as_slice()).expect("load");
+    reloaded.infer_shapes();
+    assert!(temco_ir::verify(&reloaded).is_empty());
+
+    // Identical static memory plan…
+    assert_eq!(
+        plan_memory(&opt).peak_internal_bytes,
+        plan_memory(&reloaded).peak_internal_bytes
+    );
+    // …and bitwise-identical outputs (weights round-trip losslessly).
+    let x = Tensor::randn(&[1, 3, 64, 64], 9);
+    let a = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
+    let b = execute(&reloaded, &[x], ExecOptions::default());
+    assert_eq!(a.outputs[0], b.outputs[0]);
+}
+
+#[test]
+fn format_is_compact_relative_to_weights() {
+    // The encoding overhead over raw weight bytes should be small: the
+    // format stores weights as raw f32 plus bounded metadata.
+    let cfg = ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 32, seed: 5 };
+    let g = ModelId::Vgg11.build(&cfg);
+    let (opt, _) = Compiler::default().compile(&g, OptLevel::Fusion);
+    let mut buf = Vec::new();
+    save_graph(&opt, &mut buf).expect("save");
+    let weight_bytes = opt.weight_bytes();
+    assert!(buf.len() >= weight_bytes);
+    assert!(buf.len() < weight_bytes + 64 * 1024, "overhead {} bytes", buf.len() - weight_bytes);
+}
