@@ -7,12 +7,7 @@ use temco_ir::{ActKind, PoolKind};
 use temco_runtime::{fused_forward, fused_forward_tiled};
 use temco_tensor::{conv2d, max_pool2d, Conv2dParams, Tensor};
 
-fn unfused(
-    x: &Tensor,
-    lw: &Tensor,
-    fw: &Tensor,
-    pool: Option<(PoolKind, usize, usize)>,
-) -> Tensor {
+fn unfused(x: &Tensor, lw: &Tensor, fw: &Tensor, pool: Option<(PoolKind, usize, usize)>) -> Tensor {
     let p = Conv2dParams::default();
     let full = conv2d(x, lw, None, &p);
     let acted = ActKind::Relu.forward(&full);
@@ -67,9 +62,7 @@ fn bench_fused(c: &mut Criterion) {
     let fw = Tensor::randn(&[rank, c_full, 1, 1], 9);
     for tile in [4usize, 8, 16, 32] {
         group.bench_with_input(BenchmarkId::new("tiled", tile), &tile, |b, &t| {
-            b.iter(|| {
-                fused_forward_tiled(&x, &lw, None, ActKind::Relu, None, Some(&fw), None, t)
-            });
+            b.iter(|| fused_forward_tiled(&x, &lw, None, ActKind::Relu, None, Some(&fw), None, t));
         });
     }
     group.bench_function("strip", |b| {

@@ -1,10 +1,11 @@
 //! Criterion benchmark: end-to-end inference time per variant (the
-//! Figure 11 measurement in criterion form, at CI-friendly scale).
+//! Figure 11 measurement in criterion form, at CI-friendly scale), plus a
+//! per-node vs slab allocator comparison on ResNet-18.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use temco::{Compiler, OptLevel};
 use temco_models::{ModelConfig, ModelId};
-use temco_runtime::{execute, ExecOptions};
+use temco_runtime::{execute, ExecMode, ExecOptions};
 use temco_tensor::Tensor;
 
 fn bench_inference(c: &mut Criterion) {
@@ -21,15 +22,47 @@ fn bench_inference(c: &mut Criterion) {
             ("temco", compiler.compile(&graph, OptLevel::SkipOptFusion).0),
         ];
         for (label, g) in variants {
-            group.bench_with_input(
-                BenchmarkId::new(model.name(), label),
-                &(),
-                |b, _| b.iter(|| execute(&g, std::slice::from_ref(&x), ExecOptions::default())),
-            );
+            group.bench_with_input(BenchmarkId::new(model.name(), label), &(), |b, _| {
+                b.iter(|| {
+                    execute(&g, std::slice::from_ref(&x), ExecOptions::default())
+                        .expect("execution failed")
+                })
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Per-node allocation vs the static slab on TeMCO-compiled ResNet-18. Under
+/// `cargo bench` this runs at the paper's full 224×224 ImageNet resolution;
+/// in the quick (test) mode it drops to 32×32 so `cargo test` stays fast.
+fn bench_allocator_modes(c: &mut Criterion) {
+    let full = std::env::args().any(|a| a == "--bench");
+    let image = if full { 224 } else { 32 };
+    let cfg = ModelConfig { batch: 1, image, num_classes: 10, classifier_width: 64, seed: 1 };
+    let graph = ModelId::Resnet18.build(&cfg);
+    let (g, _) = Compiler::default().compile(&graph, OptLevel::SkipOptFusion);
+    let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 2);
+    let mut group = c.benchmark_group("allocator");
+    group.sample_size(10);
+    for (label, mode) in [("per_node", ExecMode::PerNode), ("slab", ExecMode::Slab)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("resnet18_{image}"), label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    execute(
+                        &g,
+                        std::slice::from_ref(&x),
+                        ExecOptions { mode, ..Default::default() },
+                    )
+                    .expect("execution failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_allocator_modes);
 criterion_main!(benches);

@@ -16,16 +16,8 @@ fn main() {
     let cfg = harness_config(64, 4);
     let compiler = Compiler::new(CompilerOptions { merge_lconvs: true, ..Default::default() });
     println!("Ablation — execution scheduling of TeMCO-optimized graphs\n");
-    println!(
-        "{:<14} {:<14} {:>12} {:>12} {:>8}",
-        "model", "schedule", "peak", "arena", "frag"
-    );
-    for model in [
-        ModelId::Vgg16,
-        ModelId::Resnet18,
-        ModelId::Densenet121,
-        ModelId::UnetSmall,
-    ] {
+    println!("{:<14} {:<14} {:>12} {:>12} {:>8}", "model", "schedule", "peak", "arena", "frag");
+    for model in [ModelId::Vgg16, ModelId::Resnet18, ModelId::Densenet121, ModelId::UnetSmall] {
         let graph = model.build(&cfg);
         let (opt, _) = compiler.compile(&graph, OptLevel::SkipOptFusion);
         let schedules: [(&str, Option<Vec<usize>>); 3] = [

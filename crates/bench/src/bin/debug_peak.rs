@@ -17,23 +17,20 @@ fn main() {
         let (opt, _) = compiler.compile(&g, level);
         let plan = plan_memory(&opt);
         println!(
-            "\n{} @ {}: peak {:.2} MiB at step {} ({})",
+            "\n{} @ {}: peak {:.2} MiB at step {} ({}), slab {:.2} MiB (frag {:.3})",
             model.name(),
             level.label(),
             mib(plan.peak_internal_bytes),
             plan.peak_step,
-            plan.timeline[plan.peak_step].label
+            plan.timeline[plan.peak_step].label,
+            mib(plan.slab_bytes),
+            plan.fragmentation()
         );
         // Largest live values at the peak step.
         let lv = liveness(&opt);
         let mut live: Vec<(usize, String)> = (0..opt.values.len())
             .filter(|&v| lv.live_at(temco_ir::ValueId(v as u32), plan.peak_step))
-            .map(|v| {
-                (
-                    opt.value_bytes(temco_ir::ValueId(v as u32)),
-                    opt.values[v].name.clone(),
-                )
-            })
+            .map(|v| (opt.value_bytes(temco_ir::ValueId(v as u32)), opt.values[v].name.clone()))
             .collect();
         live.sort_by_key(|(bytes, _)| std::cmp::Reverse(*bytes));
         for (bytes, name) in live.iter().take(12) {

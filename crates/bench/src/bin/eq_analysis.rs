@@ -35,8 +35,14 @@ fn main() {
         };
         // Cross-check against the planner (the tests assert equality; the
         // harness re-verifies on every run).
-        assert_eq!(plan_memory(&s.build_original()).peak_internal_bytes, s.eq3_peak_internal_bytes());
-        assert_eq!(plan_memory(&s.build_decomposed()).peak_internal_bytes, s.eq4_peak_internal_bytes());
+        assert_eq!(
+            plan_memory(&s.build_original()).peak_internal_bytes,
+            s.eq3_peak_internal_bytes()
+        );
+        assert_eq!(
+            plan_memory(&s.build_decomposed()).peak_internal_bytes,
+            s.eq4_peak_internal_bytes()
+        );
         println!(
             "{:>6} {:>6} {:>10.2} MiB {:>10.2} MiB {:>10.2} MiB {:>10.2} MiB {:>8.2}",
             c,

@@ -21,7 +21,7 @@ fn main() {
     let compiler = Compiler::default();
     let csv_path = results_dir().join("fig10_peak_memory.csv");
     let mut csv = std::fs::File::create(&csv_path).expect("create csv");
-    writeln!(csv, "model,variant,weight_bytes,peak_internal_bytes").unwrap();
+    writeln!(csv, "model,variant,weight_bytes,peak_internal_bytes,slab_bytes").unwrap();
 
     println!(
         "Figure 10 — peak memory usage (batch {}, {}×{}, Tucker ratio 0.1)",
@@ -34,25 +34,39 @@ fn main() {
         let graph = model.build(&cfg);
         let variants = paper_variants(model, &graph, &compiler);
         println!("\n{}:", model.name());
-        println!("    {:<18} {:>12} {:>14}", "variant", "weights", "internal");
+        println!(
+            "    {:<18} {:>12} {:>14} {:>14}",
+            "variant", "weights", "internal", "slab (frag)"
+        );
         let mut original = 0usize;
         let mut decomposed = 0usize;
         let mut last = 0usize;
         for v in &variants {
             let plan = plan_memory(&v.graph);
             println!(
-                "    {:<18} {:>9.2} MiB {:>11.2} MiB",
+                "    {:<18} {:>9.2} MiB {:>11.2} MiB {:>8.2} MiB ({:.3})",
                 v.label,
                 mib(plan.weight_bytes),
-                mib(plan.peak_internal_bytes)
+                mib(plan.peak_internal_bytes),
+                mib(plan.slab_bytes),
+                plan.fragmentation()
             );
+            if plan.fragmentation() > 1.15 {
+                eprintln!(
+                    "    WARNING: {} {} slab is {:.3}× the live peak (budget 1.15×)",
+                    model.name(),
+                    v.label,
+                    plan.fragmentation()
+                );
+            }
             writeln!(
                 csv,
-                "{},{},{},{}",
+                "{},{},{},{},{}",
                 model.name(),
                 v.label,
                 plan.weight_bytes,
-                plan.peak_internal_bytes
+                plan.peak_internal_bytes,
+                plan.slab_bytes
             )
             .unwrap();
             match v.label.as_str() {

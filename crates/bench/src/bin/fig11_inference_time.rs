@@ -22,10 +22,7 @@ fn selected_models() -> Vec<ModelId> {
     match std::env::var("TEMCO_MODELS") {
         Ok(list) => {
             let names: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
-            ModelId::all()
-                .into_iter()
-                .filter(|m| names.iter().any(|n| n == m.name()))
-                .collect()
+            ModelId::all().into_iter().filter(|m| names.iter().any(|n| n == m.name())).collect()
         }
         // DenseNets are by far the slowest to interpret; keep the default
         // list broad but tractable.
@@ -50,10 +47,7 @@ fn main() {
 
     for &batch in &batches {
         let cfg = temco_models::ModelConfig { batch, ..harness_config(64, 4) };
-        println!(
-            "\nFigure 11 — inference time, batch {batch}, {}×{}:",
-            cfg.image, cfg.image
-        );
+        println!("\nFigure 11 — inference time, batch {batch}, {}×{}:", cfg.image, cfg.image);
         let mut ratios = Vec::new();
         for model in selected_models() {
             let graph = model.build(&cfg);
@@ -64,8 +58,10 @@ fn main() {
             let mut best = 0.0f64;
             for v in &variants {
                 // One warmup, then the timed run.
-                execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default());
-                let res = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default());
+                execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default())
+                    .expect("execution failed");
+                let res = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default())
+                    .expect("execution failed");
                 print!(" {}={:.3}s", v.label, res.total_time);
                 writeln!(csv, "{},{batch},{},{}", model.name(), v.label, res.total_time).unwrap();
                 match v.label.as_str() {

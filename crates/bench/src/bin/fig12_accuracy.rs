@@ -44,14 +44,20 @@ fn main() {
         let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 1234);
         let base = {
             let dec = variants.iter().find(|v| v.label == "Decomposed").unwrap();
-            execute(&dec.graph, std::slice::from_ref(&x), ExecOptions::default()).outputs[0].clone()
+            execute(&dec.graph, std::slice::from_ref(&x), ExecOptions::default())
+                .expect("execution failed")
+                .outputs[0]
+                .clone()
         };
         println!("{}:", model.name());
         for v in &variants {
             if v.label == "Decomposed" || v.label == "Original" {
                 continue;
             }
-            let out = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default()).outputs[0].clone();
+            let out = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default())
+                .expect("execution failed")
+                .outputs[0]
+                .clone();
             let a = compare_outputs(&base, &out, 5);
             let task = if base.shape().len() == 4 {
                 dice_score(&base, &out, 0.5)
@@ -98,8 +104,9 @@ fn main() {
     let c = Compiler::new(opts);
     let (opt, _) = c.compile(&g, OptLevel::Fusion);
     let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 5);
-    let a = execute(&g, std::slice::from_ref(&x), ExecOptions::default());
-    let b = execute(&opt, &[x], ExecOptions::default());
+    let a =
+        execute(&g, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
+    let b = execute(&opt, &[x], ExecOptions::default()).expect("execution failed");
     let agree = compare_outputs(&a.outputs[0], &b.outputs[0], 5);
     println!(
         "\nfull-rank sanity: TeMCO(vgg11, ratio=1.0) vs original: top-5 agreement {:.4}",

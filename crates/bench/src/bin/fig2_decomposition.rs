@@ -8,8 +8,8 @@
 //! floating-point noise, validating the sequence construction itself.
 
 use temco_decomp::{
-    cp_decompose, cp_rank, relative_error, tt_decompose, tt_ranks, tucker2,
-    tucker2_reconstruct, tucker_ranks,
+    cp_decompose, cp_rank, relative_error, tt_decompose, tt_ranks, tucker2, tucker2_reconstruct,
+    tucker_ranks,
 };
 use temco_tensor::{conv2d, Conv2dParams, Tensor};
 
@@ -40,9 +40,17 @@ fn main() {
                 conv2d(&z, &t.lconv, None, &p1)
             };
             let direct = conv2d(&x, &rec, None, &Conv2dParams::new(1, 1));
-            report("tucker", ratio, format!("({ro},{ri})"), t.param_count(), orig_params,
-                tucker_flops(ro, ri, c_out, c_in, k), orig_flops,
-                relative_error(&w, &rec), direct.max_abs_diff(&seq));
+            report(
+                "tucker",
+                ratio,
+                format!("({ro},{ri})"),
+                t.param_count(),
+                orig_params,
+                tucker_flops(ro, ri, c_out, c_in, k),
+                orig_flops,
+                relative_error(&w, &rec),
+                direct.max_abs_diff(&seq),
+            );
         }
         // CP.
         {
@@ -60,8 +68,17 @@ fn main() {
             };
             let direct = conv2d(&x, &rec, None, &Conv2dParams::new(1, 1));
             let flops = 2 * 256 * (r * c_in + r * k + r * k + r * c_out);
-            report("cp", ratio, format!("{r}"), cp.param_count(), orig_params, flops,
-                orig_flops, relative_error(&w, &rec), direct.max_abs_diff(&seq));
+            report(
+                "cp",
+                ratio,
+                format!("{r}"),
+                cp.param_count(),
+                orig_params,
+                flops,
+                orig_flops,
+                relative_error(&w, &rec),
+                direct.max_abs_diff(&seq),
+            );
         }
         // Tensor-Train.
         {
@@ -80,8 +97,17 @@ fn main() {
             };
             let direct = conv2d(&x, &rec, None, &Conv2dParams::new(1, 1));
             let flops = 2 * 256 * (r1 * c_in + r1 * r2 * k + r2 * r3 * k + r3 * c_out);
-            report("tt", ratio, format!("({r1},{r2},{r3})"), tt.param_count(), orig_params,
-                flops, orig_flops, relative_error(&w, &rec), direct.max_abs_diff(&seq));
+            report(
+                "tt",
+                ratio,
+                format!("({r1},{r2},{r3})"),
+                tt.param_count(),
+                orig_params,
+                flops,
+                orig_flops,
+                relative_error(&w, &rec),
+                direct.max_abs_diff(&seq),
+            );
         }
     }
     println!("\n'seq |Δ|' compares the decomposed convolution sequence against a direct");

@@ -49,12 +49,16 @@ fn main() {
         let mut csv = std::fs::File::create(&csv_path).expect("create csv");
         writeln!(csv, "variant,step,label,live_bytes").unwrap();
 
-        println!("\nFigure 4 — {} (batch {}, {}×{}):", model.name(), cfg.batch, cfg.image, cfg.image);
+        println!(
+            "\nFigure 4 — {} (batch {}, {}×{}):",
+            model.name(),
+            cfg.batch,
+            cfg.image,
+            cfg.image
+        );
         let plans: Vec<_> = variants
             .iter()
-            .map(|v| {
-                (v.label.clone(), plan_memory(&v.graph), skip_share_at_peak(&v.graph, 4))
-            })
+            .map(|v| (v.label.clone(), plan_memory(&v.graph), skip_share_at_peak(&v.graph, 4)))
             .collect();
         let max = plans.iter().map(|(_, p, _)| p.peak_internal_bytes).max().unwrap_or(1);
         for (label, plan, skip_share) in &plans {
@@ -77,7 +81,11 @@ fn main() {
             .map(|((label, plan, _), color)| temco_bench::svg::Series {
                 label,
                 values: Box::leak(
-                    plan.timeline.iter().map(|s| s.live_bytes).collect::<Vec<_>>().into_boxed_slice(),
+                    plan.timeline
+                        .iter()
+                        .map(|s| s.live_bytes)
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice(),
                 ),
                 color,
             })

@@ -76,9 +76,7 @@ pub fn results_dir() -> PathBuf {
 /// `TEMCO_CLASSES` override the defaults so the harness can run at paper
 /// scale (224/4/1000) or CI scale.
 pub fn harness_config(default_image: usize, default_batch: usize) -> ModelConfig {
-    let get = |k: &str, d: usize| {
-        std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
-    };
+    let get = |k: &str, d: usize| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
     ModelConfig {
         batch: get("TEMCO_BATCH", default_batch),
         image: get("TEMCO_IMAGE", default_image),
@@ -105,12 +103,11 @@ mod tests {
     #[test]
     fn variant_grid_matches_paper_legend() {
         let compiler = Compiler::default();
-        let cfg = ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 32, seed: 1 };
+        let cfg =
+            ModelConfig { batch: 1, image: 64, num_classes: 10, classifier_width: 32, seed: 1 };
         let g = ModelId::Vgg11.build(&cfg);
-        let labels: Vec<String> = paper_variants(ModelId::Vgg11, &g, &compiler)
-            .into_iter()
-            .map(|v| v.label)
-            .collect();
+        let labels: Vec<String> =
+            paper_variants(ModelId::Vgg11, &g, &compiler).into_iter().map(|v| v.label).collect();
         assert_eq!(labels, vec!["Original", "Decomposed", "Fusion"]);
     }
 }

@@ -25,12 +25,8 @@ pub fn timeline_chart(title: &str, series: &[Series<'_>], width: u32, height: u3
     let (ml, mr, mt, mb) = (64.0, 16.0, 34.0, 30.0); // margins
     let plot_w = w - ml - mr;
     let plot_h = h - mt - mb;
-    let max_bytes = series
-        .iter()
-        .flat_map(|s| s.values.iter().copied())
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let max_bytes =
+        series.iter().flat_map(|s| s.values.iter().copied()).max().unwrap_or(1).max(1) as f64;
 
     let mut svg = String::new();
     let _ = write!(
@@ -46,11 +42,8 @@ pub fn timeline_chart(title: &str, series: &[Series<'_>], width: u32, height: u3
     );
 
     // Axes.
-    let _ = write!(
-        svg,
-        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
-        mt + plot_h
-    );
+    let _ =
+        write!(svg, r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#, mt + plot_h);
     let _ = write!(
         svg,
         r#"<line x1="{ml}" y1="{}" x2="{}" y2="{0}" stroke="black"/>"#,
@@ -146,12 +139,8 @@ mod tests {
     #[test]
     fn escapes_markup_in_labels() {
         let v = [1usize, 2];
-        let svg = timeline_chart(
-            "a<b&c",
-            &[Series { label: "<x>", values: &v, color: "red" }],
-            100,
-            100,
-        );
+        let svg =
+            timeline_chart("a<b&c", &[Series { label: "<x>", values: &v, color: "red" }], 100, 100);
         assert!(svg.contains("a&lt;b&amp;c"));
         assert!(svg.contains("&lt;x&gt;"));
         assert!(!svg.contains("<x>"));

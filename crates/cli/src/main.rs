@@ -11,7 +11,7 @@ use std::process::ExitCode;
 
 use temco::{compare_outputs, Compiler, CompilerOptions, DecomposeOptions, Method, OptLevel};
 use temco_models::{ModelConfig, ModelId};
-use temco_runtime::{execute, plan_arena, plan_memory, ExecOptions};
+use temco_runtime::{execute, plan_memory, ExecOptions};
 use temco_tensor::Tensor;
 
 /// Parsed command-line options.
@@ -140,8 +140,14 @@ fn main() -> ExitCode {
             println!("nodes:    {}", g.nodes.len());
             println!("weights:  {} tensors, {:.2} MiB", g.weights.len(), mib(g.weight_bytes()));
             println!("internal: {:.2} MiB peak", mib(plan.peak_internal_bytes));
-            println!("inputs:   {:?}", g.inputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>());
-            println!("outputs:  {:?}", g.outputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>());
+            println!(
+                "inputs:   {:?}",
+                g.inputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>()
+            );
+            println!(
+                "outputs:  {:?}",
+                g.outputs.iter().map(|v| g.shape(*v).to_vec()).collect::<Vec<_>>()
+            );
             ExitCode::SUCCESS
         }
         "list" => {
@@ -192,26 +198,46 @@ fn main() -> ExitCode {
                 "compile" => {
                     let before = plan_memory(&graph);
                     let after = plan_memory(&opt);
-                    let arena = plan_arena(&opt);
-                    println!("model:    {} @ {}x{} batch {}", model.name(), cfg.image, cfg.image, cfg.batch);
+                    println!(
+                        "model:    {} @ {}x{} batch {}",
+                        model.name(),
+                        cfg.image,
+                        cfg.image,
+                        cfg.batch
+                    );
                     println!("level:    {}", cli.level.label());
-                    println!("passes:   {} convs decomposed, {} skips optimized ({} copies),",
+                    println!(
+                        "passes:   {} convs decomposed, {} skips optimized ({} copies),",
                         stats.decompose.convs_decomposed,
                         stats.skip_opt.skips_optimized,
-                        stats.skip_opt.copies_inserted);
-                    println!("          {} lconvs merged, {} concats split, {} fused kernels",
+                        stats.skip_opt.copies_inserted
+                    );
+                    println!(
+                        "          {} lconvs merged, {} concats split, {} fused kernels",
                         stats.transform.lconvs_merged,
                         stats.transform.concats_split,
-                        stats.fusion.total());
+                        stats.fusion.total()
+                    );
                     println!("nodes:    {} → {}", graph.nodes.len(), opt.nodes.len());
-                    println!("weights:  {:.2} MiB → {:.2} MiB", mib(before.weight_bytes), mib(after.weight_bytes));
+                    println!(
+                        "weights:  {:.2} MiB → {:.2} MiB",
+                        mib(before.weight_bytes),
+                        mib(after.weight_bytes)
+                    );
                     println!(
                         "internal: {:.2} MiB → {:.2} MiB ({:.1}% reduction)",
                         mib(before.peak_internal_bytes),
                         mib(after.peak_internal_bytes),
-                        100.0 * (1.0 - after.peak_internal_bytes as f64 / before.peak_internal_bytes as f64)
+                        100.0
+                            * (1.0
+                                - after.peak_internal_bytes as f64
+                                    / before.peak_internal_bytes as f64)
                     );
-                    println!("arena:    {:.2} MiB (fragmentation {:.3})", mib(arena.arena_bytes), arena.fragmentation());
+                    println!(
+                        "slab:     {:.2} MiB static allocation (fragmentation {:.3})",
+                        mib(after.slab_bytes),
+                        after.fragmentation()
+                    );
                     if let Some(path) = &cli.save {
                         let mut f = std::fs::File::create(path).expect("create model file");
                         temco_ir::save_graph(&opt, &mut f).expect("write model");
@@ -221,16 +247,44 @@ fn main() -> ExitCode {
                 "run" => {
                     let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 7);
                     let (dec, _) = compiler.compile(&graph, OptLevel::Decomposed);
-                    let base = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
-                    let res = execute(&opt, &[x], ExecOptions::default());
+                    let base = match execute(&dec, std::slice::from_ref(&x), ExecOptions::default())
+                    {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("executing decomposed baseline failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let res = match execute(&opt, &[x], ExecOptions::default()) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("executing optimized model failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
                     let agree = compare_outputs(&base.outputs[0], &res.outputs[0], 5);
                     println!("model:     {} @ {}", model.name(), cli.level.label());
-                    println!("decomposed: {:.3}s   optimized: {:.3}s   ratio: {:.2}x",
-                        base.total_time, res.total_time, res.total_time / base.total_time.max(1e-9));
-                    println!("peak internal: {:.2} MiB → {:.2} MiB",
-                        mib(base.memory.peak_bytes()), mib(res.memory.peak_bytes()));
-                    println!("agreement vs decomposed: {:.4} (max|Δ| {:.2e})",
-                        agree.task_agreement, agree.max_abs_diff);
+                    println!(
+                        "decomposed: {:.3}s   optimized: {:.3}s   ratio: {:.2}x",
+                        base.total_time,
+                        res.total_time,
+                        res.total_time / base.total_time.max(1e-9)
+                    );
+                    println!(
+                        "peak internal: {:.2} MiB → {:.2} MiB",
+                        mib(base.memory.peak_bytes()),
+                        mib(res.memory.peak_bytes())
+                    );
+                    println!(
+                        "slab:      {:.2} MiB → {:.2} MiB (high-water match: {})",
+                        mib(base.slab_bytes),
+                        mib(res.slab_bytes),
+                        if res.slab_high_water == res.slab_bytes { "exact" } else { "MISMATCH" }
+                    );
+                    println!(
+                        "agreement vs decomposed: {:.4} (max|Δ| {:.2e})",
+                        agree.task_agreement, agree.max_abs_diff
+                    );
                     if agree.task_agreement < 0.999 {
                         eprintln!("semantic drift detected!");
                         return ExitCode::FAILURE;

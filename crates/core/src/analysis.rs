@@ -61,10 +61,8 @@ impl TwoConvScenario {
     /// `MAX(CHW + C'H'W', 2C'H'W', C'H'W' + C''H''W'')` (per batch, ×4).
     pub fn eq3_peak_internal_bytes(&self) -> usize {
         let (h1, w1) = self.dims();
-        let (h2, w2) = (
-            conv_out_dim(h1, self.k2, 1, self.k2 / 2),
-            conv_out_dim(w1, self.k2, 1, self.k2 / 2),
-        );
+        let (h2, w2) =
+            (conv_out_dim(h1, self.k2, 1, self.k2 / 2), conv_out_dim(w1, self.k2, 1, self.k2 / 2));
         let in_t = self.c * self.h * self.w;
         let mid = self.c1 * h1 * w1;
         let out_t = self.c2 * h2 * w2;
@@ -75,10 +73,8 @@ impl TwoConvScenario {
     pub fn eq4_peak_internal_bytes(&self) -> usize {
         let (r1, r2, r3, r4) = self.ranks;
         let (h1, w1) = self.dims();
-        let (h2, w2) = (
-            conv_out_dim(h1, self.k2, 1, self.k2 / 2),
-            conv_out_dim(w1, self.k2, 1, self.k2 / 2),
-        );
+        let (h2, w2) =
+            (conv_out_dim(h1, self.k2, 1, self.k2 / 2), conv_out_dim(w1, self.k2, 1, self.k2 / 2));
         let chw = self.c * self.h * self.w;
         let c1hw = r1 * self.h * self.w;
         let c2h1w1 = r2 * h1 * w1;
@@ -116,13 +112,31 @@ impl TwoConvScenario {
         let (r1, r2, r3, r4) = self.ranks;
         let mut g = Graph::new();
         let x = g.input(&[self.batch, self.c, self.h, self.w], "x");
-        let f1 = g.conv2d(x, Tensor::he_conv_weight(r1, self.c, 1, 1, 3), None, 1, 0, "conv1.fconv");
-        let k1 = g.conv2d(f1, Tensor::he_conv_weight(r2, r1, self.k, self.k, 4), None, 1, self.k / 2, "conv1.core");
-        let l1 = g.conv2d(k1, Tensor::he_conv_weight(self.c1, r2, 1, 1, 5), None, 1, 0, "conv1.lconv");
+        let f1 =
+            g.conv2d(x, Tensor::he_conv_weight(r1, self.c, 1, 1, 3), None, 1, 0, "conv1.fconv");
+        let k1 = g.conv2d(
+            f1,
+            Tensor::he_conv_weight(r2, r1, self.k, self.k, 4),
+            None,
+            1,
+            self.k / 2,
+            "conv1.core",
+        );
+        let l1 =
+            g.conv2d(k1, Tensor::he_conv_weight(self.c1, r2, 1, 1, 5), None, 1, 0, "conv1.lconv");
         let r = g.relu(l1, "relu");
-        let f2 = g.conv2d(r, Tensor::he_conv_weight(r3, self.c1, 1, 1, 6), None, 1, 0, "conv2.fconv");
-        let k2n = g.conv2d(f2, Tensor::he_conv_weight(r4, r3, self.k2, self.k2, 7), None, 1, self.k2 / 2, "conv2.core");
-        let l2 = g.conv2d(k2n, Tensor::he_conv_weight(self.c2, r4, 1, 1, 8), None, 1, 0, "conv2.lconv");
+        let f2 =
+            g.conv2d(r, Tensor::he_conv_weight(r3, self.c1, 1, 1, 6), None, 1, 0, "conv2.fconv");
+        let k2n = g.conv2d(
+            f2,
+            Tensor::he_conv_weight(r4, r3, self.k2, self.k2, 7),
+            None,
+            1,
+            self.k2 / 2,
+            "conv2.core",
+        );
+        let l2 =
+            g.conv2d(k2n, Tensor::he_conv_weight(self.c2, r4, 1, 1, 8), None, 1, 0, "conv2.lconv");
         g.mark_output(l2);
         g.infer_shapes();
         g
@@ -200,7 +214,10 @@ mod tests {
             k2: 3,
             ranks: (2, 5, 5, 3),
         };
-        assert_eq!(plan_memory(&s.build_original()).peak_internal_bytes, s.eq3_peak_internal_bytes());
+        assert_eq!(
+            plan_memory(&s.build_original()).peak_internal_bytes,
+            s.eq3_peak_internal_bytes()
+        );
         assert_eq!(
             plan_memory(&s.build_decomposed()).peak_internal_bytes,
             s.eq4_peak_internal_bytes()

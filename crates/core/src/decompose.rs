@@ -10,9 +10,7 @@
 
 use std::collections::HashMap;
 
-use temco_decomp::{
-    cp_decompose, cp_rank, tt_decompose, tt_ranks, tucker2, tucker_ranks, Method,
-};
+use temco_decomp::{cp_decompose, cp_rank, tt_decompose, tt_ranks, tucker2, tucker_ranks, Method};
 use temco_ir::{ConvRole, ConvSpec, Graph, Node, Op, ValueId};
 
 /// Decomposition pass options.
@@ -85,10 +83,8 @@ fn referenced_weight_bytes(g: &Graph) -> usize {
 /// Run the decomposition pass in place. Shapes must be inferred beforehand;
 /// they are re-inferred afterwards.
 pub fn decompose(g: &mut Graph, opts: &DecomposeOptions) -> DecomposeStats {
-    let mut stats = DecomposeStats {
-        weight_bytes_before: referenced_weight_bytes(g),
-        ..Default::default()
-    };
+    let mut stats =
+        DecomposeStats { weight_bytes_before: referenced_weight_bytes(g), ..Default::default() };
     let old_nodes = std::mem::take(&mut g.nodes);
     let mut new_nodes: Vec<Node> = Vec::with_capacity(old_nodes.len() * 2);
 
@@ -127,8 +123,7 @@ pub fn decompose(g: &mut Graph, opts: &DecomposeOptions) -> DecomposeStats {
         let w = g.weight(spec.weight).clone();
         let (c_out, c_in) = (w.dim(0), w.dim(1));
         // FLOPs of the original conv (2 · out_numel · c_in · kh · kw).
-        let out_numel: u64 = g
-            .values[node.output.0 as usize]
+        let out_numel: u64 = g.values[node.output.0 as usize]
             .shape
             .as_ref()
             .expect("run shape inference before decompose")
@@ -165,36 +160,157 @@ pub fn decompose(g: &mut Graph, opts: &DecomposeOptions) -> DecomposeStats {
             Method::Tucker => {
                 let (r_out, r_in) = tucker_ranks(c_out, c_in, opts.ratio);
                 let t = tucker2(&w, r_out, r_in, opts.hooi_iters);
-                let v1 = mk(g, &mut new_nodes, t.fconv, None, (1, 1), (0, 0), 1,
-                    ConvRole::FConv, x, None, "fconv");
-                let v2 = mk(g, &mut new_nodes, t.core, None, spec.stride, spec.padding, 1,
-                    ConvRole::Core, v1, None, "core");
-                mk(g, &mut new_nodes, t.lconv, spec.bias, (1, 1), (0, 0), 1,
-                    ConvRole::LConv, v2, Some(node.output), "lconv");
+                let v1 = mk(
+                    g,
+                    &mut new_nodes,
+                    t.fconv,
+                    None,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::FConv,
+                    x,
+                    None,
+                    "fconv",
+                );
+                let v2 = mk(
+                    g,
+                    &mut new_nodes,
+                    t.core,
+                    None,
+                    spec.stride,
+                    spec.padding,
+                    1,
+                    ConvRole::Core,
+                    v1,
+                    None,
+                    "core",
+                );
+                mk(
+                    g,
+                    &mut new_nodes,
+                    t.lconv,
+                    spec.bias,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::LConv,
+                    v2,
+                    Some(node.output),
+                    "lconv",
+                );
             }
             Method::Cp => {
                 let r = cp_rank(c_out, c_in, opts.ratio);
                 let cp = cp_decompose(&w, r, opts.cp_iters);
-                let v1 = mk(g, &mut new_nodes, cp.fconv, None, (1, 1), (0, 0), 1,
-                    ConvRole::FConv, x, None, "fconv");
-                let v2 = mk(g, &mut new_nodes, cp.conv_h, None, (spec.stride.0, 1),
-                    (spec.padding.0, 0), r, ConvRole::Core, v1, None, "core_h");
-                let v3 = mk(g, &mut new_nodes, cp.conv_w, None, (1, spec.stride.1),
-                    (0, spec.padding.1), r, ConvRole::Core, v2, None, "core_w");
-                mk(g, &mut new_nodes, cp.lconv, spec.bias, (1, 1), (0, 0), 1,
-                    ConvRole::LConv, v3, Some(node.output), "lconv");
+                let v1 = mk(
+                    g,
+                    &mut new_nodes,
+                    cp.fconv,
+                    None,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::FConv,
+                    x,
+                    None,
+                    "fconv",
+                );
+                let v2 = mk(
+                    g,
+                    &mut new_nodes,
+                    cp.conv_h,
+                    None,
+                    (spec.stride.0, 1),
+                    (spec.padding.0, 0),
+                    r,
+                    ConvRole::Core,
+                    v1,
+                    None,
+                    "core_h",
+                );
+                let v3 = mk(
+                    g,
+                    &mut new_nodes,
+                    cp.conv_w,
+                    None,
+                    (1, spec.stride.1),
+                    (0, spec.padding.1),
+                    r,
+                    ConvRole::Core,
+                    v2,
+                    None,
+                    "core_w",
+                );
+                mk(
+                    g,
+                    &mut new_nodes,
+                    cp.lconv,
+                    spec.bias,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::LConv,
+                    v3,
+                    Some(node.output),
+                    "lconv",
+                );
             }
             Method::TensorTrain => {
                 let ranks = tt_ranks(c_out, c_in, opts.ratio);
                 let tt = tt_decompose(&w, ranks);
-                let v1 = mk(g, &mut new_nodes, tt.fconv, None, (1, 1), (0, 0), 1,
-                    ConvRole::FConv, x, None, "fconv");
-                let v2 = mk(g, &mut new_nodes, tt.core_h, None, (spec.stride.0, 1),
-                    (spec.padding.0, 0), 1, ConvRole::Core, v1, None, "core_h");
-                let v3 = mk(g, &mut new_nodes, tt.core_w, None, (1, spec.stride.1),
-                    (0, spec.padding.1), 1, ConvRole::Core, v2, None, "core_w");
-                mk(g, &mut new_nodes, tt.lconv, spec.bias, (1, 1), (0, 0), 1,
-                    ConvRole::LConv, v3, Some(node.output), "lconv");
+                let v1 = mk(
+                    g,
+                    &mut new_nodes,
+                    tt.fconv,
+                    None,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::FConv,
+                    x,
+                    None,
+                    "fconv",
+                );
+                let v2 = mk(
+                    g,
+                    &mut new_nodes,
+                    tt.core_h,
+                    None,
+                    (spec.stride.0, 1),
+                    (spec.padding.0, 0),
+                    1,
+                    ConvRole::Core,
+                    v1,
+                    None,
+                    "core_h",
+                );
+                let v3 = mk(
+                    g,
+                    &mut new_nodes,
+                    tt.core_w,
+                    None,
+                    (1, spec.stride.1),
+                    (0, spec.padding.1),
+                    1,
+                    ConvRole::Core,
+                    v2,
+                    None,
+                    "core_w",
+                );
+                mk(
+                    g,
+                    &mut new_nodes,
+                    tt.lconv,
+                    spec.bias,
+                    (1, 1),
+                    (0, 0),
+                    1,
+                    ConvRole::LConv,
+                    v3,
+                    Some(node.output),
+                    "lconv",
+                );
             }
         }
         stats.original_conv_flops.insert(node.output, orig_flops);
@@ -253,9 +369,7 @@ fn decompose_upconv(
         .as_ref()
         .expect("run shape inference before decompose");
     let in_numel: u64 = in_shape.iter().product::<usize>() as u64;
-    stats
-        .original_conv_flops
-        .insert(node.output, 2 * in_numel * (c_out * kh * kw) as u64);
+    stats.original_conv_flops.insert(node.output, 2 * in_numel * (c_out * kh * kw) as u64);
 
     let base = node.name.clone();
     let fconv_w = g.add_weight(t.fconv);
@@ -359,8 +473,14 @@ mod tests {
     fn chain_graph() -> Graph {
         let mut g = Graph::new();
         let x = g.input(&[1, 32, 12, 12], "x");
-        let c1 = g.conv2d(x, Tensor::he_conv_weight(48, 32, 3, 3, 1),
-            Some(Tensor::rand_uniform(&[48], 2, -0.1, 0.1)), 1, 1, "conv1");
+        let c1 = g.conv2d(
+            x,
+            Tensor::he_conv_weight(48, 32, 3, 3, 1),
+            Some(Tensor::rand_uniform(&[48], 2, -0.1, 0.1)),
+            1,
+            1,
+            "conv1",
+        );
         let r1 = g.relu(c1, "relu1");
         let c2 = g.conv2d(r1, Tensor::he_conv_weight(32, 48, 3, 3, 3), None, 2, 1, "conv2");
         g.mark_output(c2);
@@ -384,8 +504,12 @@ mod tests {
         assert_eq!(
             convs,
             vec![
-                ConvRole::FConv, ConvRole::Core, ConvRole::LConv,
-                ConvRole::FConv, ConvRole::Core, ConvRole::LConv,
+                ConvRole::FConv,
+                ConvRole::Core,
+                ConvRole::LConv,
+                ConvRole::FConv,
+                ConvRole::Core,
+                ConvRole::LConv,
             ]
         );
         assert!(temco_ir::verify(&g).is_empty());
@@ -405,8 +529,9 @@ mod tests {
         let stats = decompose(&mut g, &opts);
         assert_eq!(stats.convs_decomposed, 2, "full-rank test must actually decompose");
         let x = Tensor::randn(&[1, 32, 12, 12], 9);
-        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
-        let b = execute(&g, &[x], ExecOptions::default());
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&g, &[x], ExecOptions::default()).expect("execution failed");
         assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
         let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
         let scale = a.outputs[0].fro_norm() / (a.outputs[0].numel() as f32).sqrt();
@@ -436,8 +561,9 @@ mod tests {
             DecomposeOptions { method: Method::TensorTrain, ratio: 0.5, ..Default::default() };
         decompose(&mut g, &opts);
         let x = Tensor::randn(&[1, 32, 10, 10], 33);
-        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
-        let b = execute(&g, &[x], ExecOptions::default());
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&g, &[x], ExecOptions::default()).expect("execution failed");
         let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
         assert!(diff < 1e-2, "diff {diff}");
     }
@@ -449,12 +575,18 @@ mod tests {
         // contract (shape preservation, fconv/core/core/lconv layout).
         let g0 = chain_graph();
         let mut g = g0.clone();
-        let opts = DecomposeOptions { method: Method::Cp, ratio: 0.25, cp_iters: 10, ..Default::default() };
+        let opts = DecomposeOptions {
+            method: Method::Cp,
+            ratio: 0.25,
+            cp_iters: 10,
+            ..Default::default()
+        };
         let stats = decompose(&mut g, &opts);
         assert_eq!(stats.convs_decomposed, 2);
         let x = Tensor::randn(&[1, 32, 12, 12], 9);
-        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default());
-        let b = execute(&g, &[x], ExecOptions::default());
+        let a = execute(&g0, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&g, &[x], ExecOptions::default()).expect("execution failed");
         assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
         // Four conv nodes per decomposed sequence for CP.
         let roles: Vec<ConvRole> = g
@@ -546,8 +678,9 @@ mod tests {
         assert!(matches!(g.nodes[3].op, Op::Conv2d(ConvSpec { role: ConvRole::LConv, .. })));
 
         let x_t = Tensor::randn(&[1, 32, 7, 7], 7);
-        let a = execute(&g0, std::slice::from_ref(&x_t), ExecOptions::default());
-        let b = execute(&g, &[x_t], ExecOptions::default());
+        let a = execute(&g0, std::slice::from_ref(&x_t), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&g, &[x_t], ExecOptions::default()).expect("execution failed");
         assert_eq!(a.outputs[0].shape(), b.outputs[0].shape());
         let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
         assert!(diff < 1e-3, "diff {diff}");

@@ -36,11 +36,7 @@ pub fn compare_outputs(a: &Tensor, b: &Tensor, k: usize) -> OutputAgreement {
         sum += d as f64;
     }
     let mean = (sum / a.numel() as f64) as f32;
-    let task = if a.shape().len() == 2 {
-        topk_overlap(a, b, k)
-    } else {
-        mask_agreement(a, b, 0.5)
-    };
+    let task = if a.shape().len() == 2 { topk_overlap(a, b, k) } else { mask_agreement(a, b, 0.5) };
     OutputAgreement { max_abs_diff: max, mean_abs_diff: mean, task_agreement: task }
 }
 
@@ -67,12 +63,7 @@ fn topk(row: &[f32], k: usize) -> Vec<usize> {
 
 /// Fraction of positions where `a > thr` agrees with `b > thr`.
 fn mask_agreement(a: &Tensor, b: &Tensor, thr: f32) -> f64 {
-    let same = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .filter(|(x, y)| (**x > thr) == (**y > thr))
-        .count();
+    let same = a.data().iter().zip(b.data()).filter(|(x, y)| (**x > thr) == (**y > thr)).count();
     same as f64 / a.numel() as f64
 }
 

@@ -92,12 +92,8 @@ pub fn fuse_activations(g: &mut Graph) -> FusionStats {
         let name = format!("fused[{}+{}]", g.nodes[li].name, tail_name);
         // The fused node replaces the lconv's position; it consumes the
         // reduced input and produces the chain tail's output value.
-        replacement[li] = Some(Node {
-            op: Op::Fused(spec),
-            inputs: vec![g.nodes[li].inputs[0]],
-            output,
-            name,
-        });
+        replacement[li] =
+            Some(Node { op: Op::Fused(spec), inputs: vec![g.nodes[li].inputs[0]], output, name });
         remove[li] = true;
         remove[ai] = true;
         if let Some((_, _, _, pi)) = pool {
@@ -144,8 +140,14 @@ mod tests {
     fn vgg_block(with_pool: bool) -> Graph {
         let mut g = Graph::new();
         let x = g.input(&[1, 32, 16, 16], "x");
-        let c1 = g.conv2d(x, Tensor::he_conv_weight(64, 32, 3, 3, 1),
-            Some(Tensor::rand_uniform(&[64], 2, -0.1, 0.1)), 1, 1, "conv1");
+        let c1 = g.conv2d(
+            x,
+            Tensor::he_conv_weight(64, 32, 3, 3, 1),
+            Some(Tensor::rand_uniform(&[64], 2, -0.1, 0.1)),
+            1,
+            1,
+            "conv1",
+        );
         let r = g.relu(c1, "relu");
         let mid = if with_pool { g.max_pool(r, 2, 2, "pool") } else { r };
         let c2 = g.conv2d(mid, Tensor::he_conv_weight(32, 64, 3, 3, 3), None, 1, 1, "conv2");
@@ -187,8 +189,9 @@ mod tests {
             let unfused = g.clone();
             fuse_activations(&mut g);
             let x = Tensor::randn(&[1, 32, 16, 16], 5);
-            let a = execute(&unfused, std::slice::from_ref(&x), ExecOptions::default());
-            let b = execute(&g, &[x], ExecOptions::default());
+            let a = execute(&unfused, std::slice::from_ref(&x), ExecOptions::default())
+                .expect("execution failed");
+            let b = execute(&g, &[x], ExecOptions::default()).expect("execution failed");
             assert!(
                 a.outputs[0].all_close(&b.outputs[0], 1e-3),
                 "pool={with_pool}: diff {}",
@@ -212,12 +215,7 @@ mod tests {
         // The lconv output is also a graph output → cannot fuse.
         let mut g = vgg_block(false);
         decompose(&mut g, &DecomposeOptions::default());
-        let lconv_out = g
-            .nodes
-            .iter()
-            .find(|n| n.name == "conv1.lconv")
-            .unwrap()
-            .output;
+        let lconv_out = g.nodes.iter().find(|n| n.name == "conv1.lconv").unwrap().output;
         g.mark_output(lconv_out);
         let stats = fuse_activations(&mut g);
         assert_eq!(stats.total(), 0);
@@ -249,7 +247,8 @@ mod tests {
     fn restore_kernel_preserves_semantics() {
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 6, 6], "x");
-        let l = g.conv2d(x, Tensor::randn(&[16, 4, 1, 1], 3), Some(Tensor::randn(&[16], 4)), 1, 0, "l");
+        let l =
+            g.conv2d(x, Tensor::randn(&[16, 4, 1, 1], 3), Some(Tensor::randn(&[16], 4)), 1, 0, "l");
         let r = g.relu(l, "r");
         let p = g.max_pool(r, 2, 2, "p");
         let s = g.add(&[p, p], "dbl"); // non-fconv consumer
@@ -259,8 +258,9 @@ mod tests {
         let stats = fuse_activations(&mut g);
         assert_eq!(stats.restore_kernels, 1);
         let x_t = Tensor::randn(&[1, 4, 6, 6], 5);
-        let a = execute(&unfused, std::slice::from_ref(&x_t), ExecOptions::default());
-        let b = execute(&g, &[x_t], ExecOptions::default());
+        let a = execute(&unfused, std::slice::from_ref(&x_t), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&g, &[x_t], ExecOptions::default()).expect("execution failed");
         assert!(a.outputs[0].all_close(&b.outputs[0], 1e-4));
     }
 }

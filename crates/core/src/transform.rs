@@ -399,7 +399,12 @@ pub fn merge_sibling_lconvs(g: &mut Graph) -> usize {
             };
             let mname = format!("{join_name}.merged_lconv{ri}");
             let mout = g.fresh_value(format!("{mname}.out"));
-            new_nodes.push(Node { op: Op::Conv2d(spec), inputs: vec![rcat_out], output: mout, name: mname });
+            new_nodes.push(Node {
+                op: Op::Conv2d(spec),
+                inputs: vec![rcat_out],
+                output: mout,
+                name: mname,
+            });
             for m in &members {
                 remove[*m] = true;
             }
@@ -457,10 +462,7 @@ pub fn merge_sibling_lconvs(g: &mut Graph) -> usize {
 }
 
 /// Block-diagonal merge for a concat join.
-fn merge_weights_concat(
-    g: &Graph,
-    members: &[usize],
-) -> (Tensor, Option<Tensor>, Vec<ValueId>) {
+fn merge_weights_concat(g: &Graph, members: &[usize]) -> (Tensor, Option<Tensor>, Vec<ValueId>) {
     let specs: Vec<(Tensor, Option<Tensor>, ValueId)> = collect_members(g, members);
     let c_total: usize = specs.iter().map(|(w, _, _)| w.dim(0)).sum();
     let r_total: usize = specs.iter().map(|(w, _, _)| w.dim(1)).sum();
@@ -639,12 +641,7 @@ fn pointwise(g: &Graph, spec: &ConvSpec) -> bool {
 /// Drop the nodes flagged in `remove`, keeping everything else in order.
 fn retain_nodes(g: &mut Graph, remove: &[bool]) {
     let old = std::mem::take(&mut g.nodes);
-    g.nodes = old
-        .into_iter()
-        .enumerate()
-        .filter(|(i, _)| !remove[*i])
-        .map(|(_, n)| n)
-        .collect();
+    g.nodes = old.into_iter().enumerate().filter(|(i, _)| !remove[*i]).map(|(_, n)| n).collect();
 }
 
 #[cfg(test)]
@@ -656,14 +653,15 @@ mod tests {
     fn run(g: &Graph, seed: u64) -> Tensor {
         let shape = g.shape(g.inputs[0]).to_vec();
         let x = Tensor::randn(&shape, seed);
-        execute(g, &[x], ExecOptions::default()).outputs[0].clone()
+        execute(g, &[x], ExecOptions::default()).expect("execution failed").outputs[0].clone()
     }
 
     #[test]
     fn affine_fold_preserves_semantics() {
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 6, 6], "x");
-        let c = g.conv2d(x, Tensor::randn(&[8, 4, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 1, 1, "c");
+        let c =
+            g.conv2d(x, Tensor::randn(&[8, 4, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 1, 1, "c");
         let a = g.affine(c, Tensor::rand_uniform(&[8], 3, 0.5, 1.5), Tensor::randn(&[8], 4), "bn");
         let r = g.relu(a, "r");
         g.mark_output(r);
@@ -684,7 +682,8 @@ mod tests {
         let a = g.relu(x, "a");
         let b = g.activation(x, ActKind::Silu, "b");
         let cat = g.concat(&[a, b], "cat");
-        let bn = g.affine(cat, Tensor::rand_uniform(&[8], 1, 0.5, 1.5), Tensor::randn(&[8], 2), "bn");
+        let bn =
+            g.affine(cat, Tensor::rand_uniform(&[8], 1, 0.5, 1.5), Tensor::randn(&[8], 2), "bn");
         let r = g.relu(bn, "r");
         let c = g.conv2d(r, Tensor::randn(&[2, 8, 3, 3], 3), None, 1, 1, "head");
         g.mark_output(c);
@@ -708,7 +707,14 @@ mod tests {
         let a = g.relu(x, "a");
         let b = g.activation(x, ActKind::Silu, "b");
         let cat = g.concat(&[a, b], "cat");
-        let c = g.conv2d(cat, Tensor::randn(&[4, 32, 1, 1], 1), Some(Tensor::randn(&[4], 2)), 1, 0, "fconv");
+        let c = g.conv2d(
+            cat,
+            Tensor::randn(&[4, 32, 1, 1], 1),
+            Some(Tensor::randn(&[4], 2)),
+            1,
+            0,
+            "fconv",
+        );
         g.mark_output(c);
         g.infer_shapes();
         let before = run(&g, 5);
@@ -727,7 +733,8 @@ mod tests {
         let mut g = Graph::new();
         let x1 = g.input(&[1, 3, 5, 5], "x1");
         let x2 = g.input(&[1, 2, 5, 5], "x2");
-        let l1 = g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
+        let l1 =
+            g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
         let l2 = g.conv2d(x2, Tensor::randn(&[6, 2, 1, 1], 3), None, 1, 0, "l2");
         let cat = g.concat(&[l1, l2], "cat");
         let r = g.relu(cat, "r");
@@ -751,8 +758,10 @@ mod tests {
         let mut g = Graph::new();
         let x1 = g.input(&[1, 3, 5, 5], "x1");
         let x2 = g.input(&[1, 2, 5, 5], "x2");
-        let l1 = g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
-        let l2 = g.conv2d(x2, Tensor::randn(&[8, 2, 1, 1], 3), Some(Tensor::randn(&[8], 4)), 1, 0, "l2");
+        let l1 =
+            g.conv2d(x1, Tensor::randn(&[8, 3, 1, 1], 1), Some(Tensor::randn(&[8], 2)), 1, 0, "l1");
+        let l2 =
+            g.conv2d(x2, Tensor::randn(&[8, 2, 1, 1], 3), Some(Tensor::randn(&[8], 4)), 1, 0, "l2");
         let s = g.add(&[l1, l2], "sum");
         let r = g.relu(s, "r");
         g.mark_output(r);
@@ -778,11 +787,16 @@ mod tests {
         g.infer_shapes();
         let shape = g.shape(g.inputs[0]).to_vec();
         let x_t = Tensor::randn(&shape, 7);
-        let before = execute(&g, std::slice::from_ref(&x_t), ExecOptions::default()).outputs[0].clone();
+        let before = execute(&g, std::slice::from_ref(&x_t), ExecOptions::default())
+            .expect("execution failed")
+            .outputs[0]
+            .clone();
         let n = merge_sibling_lconvs(&mut g);
         assert_eq!(n, 1);
         assert!(temco_ir::verify(&g).is_empty());
-        let after = execute(&g, &[x_t], ExecOptions::default()).outputs[0].clone();
+        let after = execute(&g, &[x_t], ExecOptions::default()).expect("execution failed").outputs
+            [0]
+        .clone();
         assert!(before.all_close(&after, 1e-4));
         // The surviving concat has 2 operands: plain + merged lconv.
         let cat_node = g
@@ -799,8 +813,10 @@ mod tests {
         // a tiny 4→6 conv and the 32-channel intermediate disappears.
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 6, 6], "x");
-        let l = g.conv2d(x, Tensor::randn(&[32, 4, 1, 1], 1), Some(Tensor::randn(&[32], 2)), 1, 0, "l");
-        let f = g.conv2d(l, Tensor::randn(&[6, 32, 1, 1], 3), Some(Tensor::randn(&[6], 4)), 1, 0, "f");
+        let l =
+            g.conv2d(x, Tensor::randn(&[32, 4, 1, 1], 1), Some(Tensor::randn(&[32], 2)), 1, 0, "l");
+        let f =
+            g.conv2d(l, Tensor::randn(&[6, 32, 1, 1], 3), Some(Tensor::randn(&[6], 4)), 1, 0, "f");
         let r = g.relu(f, "r");
         g.mark_output(r);
         g.infer_shapes();
@@ -852,6 +868,6 @@ mod tests {
         let s2 = g.shape(g.inputs[1]).to_vec();
         let a = Tensor::randn(&s1, 11);
         let b = Tensor::randn(&s2, 12);
-        execute(g, &[a, b], ExecOptions::default()).outputs[0].clone()
+        execute(g, &[a, b], ExecOptions::default()).expect("execution failed").outputs[0].clone()
     }
 }

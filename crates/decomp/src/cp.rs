@@ -165,10 +165,8 @@ fn mttkrp(w: &Tensor4, factors: &[Mat], mode: usize, rank: usize) -> Mat {
 /// into the mode-0 (output-channel) factor.
 fn normalize_into_mode0(factors: &mut [Mat], mode: usize, rank: usize) {
     for r in 0..rank {
-        let norm: f64 = (0..factors[mode].rows())
-            .map(|i| factors[mode][(i, r)].powi(2))
-            .sum::<f64>()
-            .sqrt();
+        let norm: f64 =
+            (0..factors[mode].rows()).map(|i| factors[mode][(i, r)].powi(2)).sum::<f64>().sqrt();
         if norm < 1e-30 {
             continue;
         }

@@ -50,7 +50,10 @@ impl Method {
 }
 
 /// Relative Frobenius reconstruction error `‖w - ŵ‖ / ‖w‖`.
-pub fn relative_error(original: &temco_tensor::Tensor, reconstructed: &temco_tensor::Tensor) -> f64 {
+pub fn relative_error(
+    original: &temco_tensor::Tensor,
+    reconstructed: &temco_tensor::Tensor,
+) -> f64 {
     assert_eq!(original.shape(), reconstructed.shape(), "relative_error shape mismatch");
     let mut num = 0.0f64;
     let mut den = 0.0f64;

@@ -73,8 +73,7 @@ pub fn tt_decompose(weight: &Tensor, ranks: (usize, usize, usize)) -> TtConv {
         for i in 0..c_in {
             for h in 0..kh {
                 for w in 0..kw {
-                    perm[((i * kh + h) * kw + w) * c_out + o] =
-                        weight.at4(o, i, h, w) as f64;
+                    perm[((i * kh + h) * kw + w) * c_out + o] = weight.at4(o, i, h, w) as f64;
                 }
             }
         }

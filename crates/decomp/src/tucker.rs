@@ -82,10 +82,7 @@ fn leading_evecs(m: &Mat, k: usize) -> Mat {
 
 /// `[r, c]` matrix → `[r, c, 1, 1]` conv weight.
 fn mat_to_conv1x1(m: &Mat) -> Tensor {
-    Tensor::from_vec(
-        &[m.rows(), m.cols(), 1, 1],
-        m.as_slice().iter().map(|&x| x as f32).collect(),
-    )
+    Tensor::from_vec(&[m.rows(), m.cols(), 1, 1], m.as_slice().iter().map(|&x| x as f32).collect())
 }
 
 /// `[r, c, 1, 1]` conv weight → `[r, c]` matrix.
@@ -164,11 +161,7 @@ mod tests {
         let reduced2 = conv2d(&reduced1, &t.core, None, &p);
         let restored = conv2d(&reduced2, &t.lconv, None, &p1x1);
 
-        assert!(
-            direct.all_close(&restored, 1e-3),
-            "diff {}",
-            direct.max_abs_diff(&restored)
-        );
+        assert!(direct.all_close(&restored, 1e-3), "diff {}", direct.max_abs_diff(&restored));
     }
 
     #[test]

@@ -54,9 +54,10 @@ pub fn node_flops(g: &Graph, i: usize) -> u64 {
             let act = n * c_full * h * w;
             let (oh, ow) = (out_shape[2] as u64, out_shape[3] as u64);
             let pool = spec.pool.map_or(0, |(_, k, _)| n * c_full * oh * ow * (k * k) as u64);
-            let fconv = spec.fconv.as_ref().map_or(0, |fc| {
-                2 * n * g.weight(fc.weight).dim(0) as u64 * oh * ow * c_full
-            });
+            let fconv = spec
+                .fconv
+                .as_ref()
+                .map_or(0, |fc| 2 * n * g.weight(fc.weight).dim(0) as u64 * oh * ow * c_full);
             lconv + act + pool + fconv
         }
     }

@@ -11,7 +11,9 @@ use crate::op::{ConvRole, Op};
 /// lconv = red, fused = purple) so skip-connection and fusion rewrites are
 /// visible at a glance.
 pub fn to_dot(g: &Graph) -> String {
-    let mut s = String::from("digraph temco {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut s = String::from(
+        "digraph temco {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for (i, node) in g.nodes.iter().enumerate() {
         let color = match &node.op {
             Op::Conv2d(spec) => match spec.role {

@@ -233,12 +233,24 @@ impl Graph {
     }
 
     /// Max pooling.
-    pub fn max_pool(&mut self, x: ValueId, kernel: usize, stride: usize, name: impl Into<String>) -> ValueId {
+    pub fn max_pool(
+        &mut self,
+        x: ValueId,
+        kernel: usize,
+        stride: usize,
+        name: impl Into<String>,
+    ) -> ValueId {
         self.push(Op::Pool { kind: PoolKind::Max, kernel, stride }, vec![x], name)
     }
 
     /// Average pooling.
-    pub fn avg_pool(&mut self, x: ValueId, kernel: usize, stride: usize, name: impl Into<String>) -> ValueId {
+    pub fn avg_pool(
+        &mut self,
+        x: ValueId,
+        kernel: usize,
+        stride: usize,
+        name: impl Into<String>,
+    ) -> ValueId {
         self.push(Op::Pool { kind: PoolKind::Avg, kernel, stride }, vec![x], name)
     }
 
@@ -248,7 +260,13 @@ impl Graph {
     }
 
     /// Folded batch-norm affine.
-    pub fn affine(&mut self, x: ValueId, scale: Tensor, bias: Tensor, name: impl Into<String>) -> ValueId {
+    pub fn affine(
+        &mut self,
+        x: ValueId,
+        scale: Tensor,
+        bias: Tensor,
+        name: impl Into<String>,
+    ) -> ValueId {
         let scale = self.add_weight(scale);
         let bias = self.add_weight(bias);
         self.push(Op::Affine { scale, bias }, vec![x], name)
@@ -267,7 +285,13 @@ impl Graph {
     }
 
     /// Fully connected layer.
-    pub fn linear(&mut self, x: ValueId, weight: Tensor, bias: Option<Tensor>, name: impl Into<String>) -> ValueId {
+    pub fn linear(
+        &mut self,
+        x: ValueId,
+        weight: Tensor,
+        bias: Option<Tensor>,
+        name: impl Into<String>,
+    ) -> ValueId {
         let weight = self.add_weight(weight);
         let bias = bias.map(|b| self.add_weight(b));
         self.push(Op::Linear { weight, bias }, vec![x], name)

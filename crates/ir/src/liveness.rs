@@ -17,10 +17,63 @@ pub struct Liveness {
     pub end: Vec<usize>,
 }
 
+/// The `[begin, end]` schedule interval during which one value occupies
+/// memory. Produced by [`Liveness::intervals`]; consumed by the static
+/// buffer allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LiveInterval {
+    /// The value.
+    pub value: ValueId,
+    /// Node index at which the value is defined.
+    pub begin: usize,
+    /// Node index of the value's last use (inclusive).
+    pub end: usize,
+}
+
+impl LiveInterval {
+    /// Whether two intervals are ever live at the same step.
+    pub fn overlaps(&self, other: &LiveInterval) -> bool {
+        self.begin <= other.end && other.begin <= self.end
+    }
+}
+
 impl Liveness {
     /// Lifespan (`DISTANCE(begin, end)`) of a value in schedule steps.
     pub fn lifespan(&self, v: ValueId) -> usize {
         self.end[v.0 as usize].saturating_sub(self.begin[v.0 as usize])
+    }
+
+    /// Whether `v` is ever defined under this schedule. Values that are
+    /// declared but produced by no node (possible after aggressive rewrite
+    /// passes) occupy no memory and have no interval.
+    pub fn is_materialized(&self, v: ValueId) -> bool {
+        self.begin[v.0 as usize] != usize::MAX
+    }
+
+    /// The `[begin, end]` interval of `v`, or `None` if never materialized.
+    pub fn interval(&self, v: ValueId) -> Option<LiveInterval> {
+        if !self.is_materialized(v) {
+            return None;
+        }
+        Some(LiveInterval {
+            value: v,
+            begin: self.begin[v.0 as usize],
+            end: self.end[v.0 as usize],
+        })
+    }
+
+    /// Iterate the intervals of every materialized value, in `ValueId` order.
+    pub fn intervals(&self) -> impl Iterator<Item = LiveInterval> + '_ {
+        (0..self.begin.len()).filter_map(|vi| self.interval(ValueId(vi as u32)))
+    }
+
+    /// Whether two values are ever live at the same step. A buffer allocator
+    /// may share memory between `a` and `b` iff this is false.
+    pub fn overlap(&self, a: ValueId, b: ValueId) -> bool {
+        match (self.interval(a), self.interval(b)) {
+            (Some(ia), Some(ib)) => ia.overlaps(&ib),
+            _ => false,
+        }
     }
 
     /// Whether `v` is live while node `i` executes.
@@ -108,6 +161,31 @@ mod tests {
         let lv = liveness(&g);
         let out = g.outputs[0];
         assert_eq!(lv.end[out.0 as usize], g.nodes.len() - 1);
+    }
+
+    #[test]
+    fn intervals_cover_exactly_the_materialized_values() {
+        let (g, r1) = skip_graph();
+        let lv = liveness(&g);
+        let ivs: Vec<_> = lv.intervals().collect();
+        assert_eq!(ivs.len(), g.nodes.len()); // one value per node, all defined
+        let r1_iv = ivs.iter().find(|iv| iv.value == r1).unwrap();
+        assert_eq!((r1_iv.begin, r1_iv.end), (2, 4));
+        assert!(lv.is_materialized(r1));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_matches_live_at() {
+        let (g, r1) = skip_graph();
+        let lv = liveness(&g);
+        let x = g.inputs[0];
+        // x: [0,1], r1: [2,4] — disjoint.
+        assert!(!lv.overlap(x, r1));
+        assert!(!lv.overlap(r1, x));
+        // c1: [1,2] touches both.
+        let c1 = g.nodes[1].output;
+        assert!(lv.overlap(x, c1));
+        assert!(lv.overlap(c1, r1));
     }
 
     #[test]

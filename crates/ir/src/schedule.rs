@@ -46,11 +46,8 @@ pub fn memory_aware_order(g: &Graph) -> Vec<usize> {
     };
     // Schedule everything reachable from the outputs, then any dead code in
     // original order (its operands are then already defined).
-    let out_nodes: Vec<usize> = g
-        .outputs
-        .iter()
-        .filter_map(|v| state.producer.get(v).copied())
-        .collect();
+    let out_nodes: Vec<usize> =
+        g.outputs.iter().filter_map(|v| state.producer.get(v).copied()).collect();
     for i in out_nodes {
         state.visit(i);
     }
@@ -79,11 +76,8 @@ impl Dfs<'_> {
         }
         self.visited[i] = true;
 
-        let mut child_nodes: Vec<usize> = self.g.nodes[i]
-            .inputs
-            .iter()
-            .filter_map(|v| self.producer.get(v).copied())
-            .collect();
+        let mut child_nodes: Vec<usize> =
+            self.g.nodes[i].inputs.iter().filter_map(|v| self.producer.get(v).copied()).collect();
         child_nodes.sort_unstable();
         child_nodes.dedup();
 
@@ -119,18 +113,20 @@ impl Dfs<'_> {
 /// Standalone subtree cost estimate used to pre-rank siblings before the
 /// emitting DFS runs: size = result bytes, peak = max(result + heaviest
 /// input, result) along the subtree, memoized.
-fn estimate(g: &Graph, producer: &HashMap<ValueId, usize>, memo: &mut Vec<Option<SubtreeCost>>, i: usize) -> SubtreeCost {
+fn estimate(
+    g: &Graph,
+    producer: &HashMap<ValueId, usize>,
+    memo: &mut Vec<Option<SubtreeCost>>,
+    i: usize,
+) -> SubtreeCost {
     if let Some(c) = memo[i] {
         return c;
     }
     // Seed the memo to terminate on (impossible) cycles.
     memo[i] = Some(SubtreeCost { size: 0, peak: 0 });
     let size = g.value_bytes(g.nodes[i].output);
-    let mut child_nodes: Vec<usize> = g.nodes[i]
-        .inputs
-        .iter()
-        .filter_map(|v| producer.get(v).copied())
-        .collect();
+    let mut child_nodes: Vec<usize> =
+        g.nodes[i].inputs.iter().filter_map(|v| producer.get(v).copied()).collect();
     child_nodes.sort_unstable();
     child_nodes.dedup();
     let mut children: Vec<SubtreeCost> =
@@ -152,10 +148,8 @@ pub fn apply_order(g: &mut Graph, order: &[usize]) {
     assert_eq!(order.len(), g.nodes.len(), "order must be a full permutation");
     let old = std::mem::take(&mut g.nodes);
     let mut slots: Vec<Option<crate::graph::Node>> = old.into_iter().map(Some).collect();
-    g.nodes = order
-        .iter()
-        .map(|&i| slots[i].take().expect("order must not repeat indices"))
-        .collect();
+    g.nodes =
+        order.iter().map(|&i| slots[i].take().expect("order must not repeat indices")).collect();
 }
 
 /// Convenience: schedule with sibling pre-ranking and return the new order.
@@ -172,12 +166,8 @@ pub fn memory_aware_order_ranked(g: &Graph) -> Vec<usize> {
     let mut visited = vec![false; g.nodes.len()];
     let mut order = Vec::with_capacity(g.nodes.len());
     // Iterative DFS with Compare-ordered children.
-    let roots: Vec<usize> = g
-        .outputs
-        .iter()
-        .filter_map(|v| producer.get(v).copied())
-        .chain(0..g.nodes.len())
-        .collect();
+    let roots: Vec<usize> =
+        g.outputs.iter().filter_map(|v| producer.get(v).copied()).chain(0..g.nodes.len()).collect();
     for root in roots {
         if visited[root] {
             continue;

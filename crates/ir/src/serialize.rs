@@ -222,12 +222,15 @@ fn put_op(w: &mut impl Write, op: &Op) -> io::Result<()> {
             put_u32(w, s.padding.0 as u32)?;
             put_u32(w, s.padding.1 as u32)?;
             put_u32(w, s.groups as u32)?;
-            put_u32(w, match s.role {
-                ConvRole::Standard => 0,
-                ConvRole::FConv => 1,
-                ConvRole::Core => 2,
-                ConvRole::LConv => 3,
-            })?;
+            put_u32(
+                w,
+                match s.role {
+                    ConvRole::Standard => 0,
+                    ConvRole::FConv => 1,
+                    ConvRole::Core => 2,
+                    ConvRole::LConv => 3,
+                },
+            )?;
         }
         Op::ConvTranspose2d { weight, bias, stride } => {
             put_u32(w, 2)?;
@@ -364,7 +367,8 @@ mod tests {
     fn sample_graph() -> Graph {
         let mut g = Graph::new();
         let x = g.input(&[1, 3, 8, 8], "x");
-        let c = g.conv2d(x, Tensor::randn(&[8, 3, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 2, 1, "c");
+        let c =
+            g.conv2d(x, Tensor::randn(&[8, 3, 3, 3], 1), Some(Tensor::randn(&[8], 2)), 2, 1, "c");
         let r = g.activation(c, ActKind::Silu, "r");
         let p = g.max_pool(r, 2, 2, "p");
         let a = g.affine(p, Tensor::randn(&[8], 3), Tensor::randn(&[8], 4), "bn");

@@ -21,16 +21,15 @@ pub fn infer(g: &mut Graph) {
             );
             continue;
         }
-        let in_shapes: Vec<Vec<usize>> = node
-            .inputs
-            .iter()
-            .map(|&v| {
-                g.values[v.0 as usize]
-                    .shape
-                    .clone()
-                    .unwrap_or_else(|| panic!("node '{}' uses value before definition", node.name))
-            })
-            .collect();
+        let in_shapes: Vec<Vec<usize>> =
+            node.inputs
+                .iter()
+                .map(|&v| {
+                    g.values[v.0 as usize].shape.clone().unwrap_or_else(|| {
+                        panic!("node '{}' uses value before definition", node.name)
+                    })
+                })
+                .collect();
         let out = out_shape(g, &node.op, &in_shapes, &node.name);
         g.values[node.output.0 as usize].shape = Some(out);
     }
@@ -123,7 +122,11 @@ fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
             let c_out = match &spec.fconv {
                 Some(fc) => {
                     let fw = g.weight(fc.weight);
-                    assert_eq!(fw.dim(1), lw.dim(0), "fused '{name}': fconv/lconv channel mismatch");
+                    assert_eq!(
+                        fw.dim(1),
+                        lw.dim(0),
+                        "fused '{name}': fconv/lconv channel mismatch"
+                    );
                     fw.dim(0)
                 }
                 None => lw.dim(0), // restore kernel: full channel width out

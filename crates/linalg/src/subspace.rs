@@ -26,7 +26,7 @@ pub fn leading_evecs_sym(a: &Mat, k: usize, iters: usize) -> Mat {
     }
 
     let p = (k + 8).min(n); // oversampled block width
-    // Deterministic pseudo-random start block.
+                            // Deterministic pseudo-random start block.
     let mut state = 0x243F6A8885A308D3u64;
     let mut q = Mat::from_fn(n, p, |_, _| {
         state ^= state << 13;

@@ -74,11 +74,7 @@ mod tests {
     #[test]
     fn has_five_conv_layers_and_no_skips() {
         let g = build(&ModelConfig::small());
-        let convs = g
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, temco_ir::Op::Conv2d(_)))
-            .count();
+        let convs = g.nodes.iter().filter(|n| matches!(n.op, temco_ir::Op::Conv2d(_))).count();
         assert_eq!(convs, 5);
         // Every value has at most one user: a pure pipeline.
         for v in 0..g.values.len() {

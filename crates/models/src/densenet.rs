@@ -117,8 +117,8 @@ pub fn build(cfg: &ModelConfig, variant: Variant) -> Graph {
     let fr = g.relu(fb, "final_relu");
     let gap = g.global_avg_pool(fr, "gap");
     let flat = g.flatten(gap, "flatten");
-    let w = Tensor::randn(&[cfg.num_classes, c], ctx.seeds.next())
-        .map(|v| v * (2.0 / c as f32).sqrt());
+    let w =
+        Tensor::randn(&[cfg.num_classes, c], ctx.seeds.next()).map(|v| v * (2.0 / c as f32).sqrt());
     let logits = g.linear(flat, w, Some(Tensor::zeros(&[cfg.num_classes])), "fc");
     g.mark_output(logits);
     g.infer_shapes();
@@ -165,11 +165,7 @@ mod tests {
         // block: multi-user, long-lifespan internal tensors.
         let g = build(&ModelConfig::small(), Variant::Densenet121);
         let lv = temco_ir::liveness(&g);
-        let layer0 = g
-            .nodes
-            .iter()
-            .find(|n| n.name == "block3.layer0.conv2")
-            .unwrap();
+        let layer0 = g.nodes.iter().find(|n| n.name == "block3.layer0.conv2").unwrap();
         assert!(g.users(layer0.output).len() >= 20);
         assert!(lv.lifespan(layer0.output) > 100);
     }

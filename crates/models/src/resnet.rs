@@ -158,8 +158,7 @@ mod tests {
         // In non-downsampling blocks the add's second operand is the block
         // input itself — a genuine multi-user value the skip-opt pass sees.
         let g = build(&ModelConfig::small(), Variant::Resnet18);
-        let add_nodes: Vec<_> =
-            g.nodes.iter().filter(|n| matches!(n.op, Op::Add)).collect();
+        let add_nodes: Vec<_> = g.nodes.iter().filter(|n| matches!(n.op, Op::Add)).collect();
         let mut identity_skips = 0;
         for a in &add_nodes {
             let second = a.inputs[1];

@@ -66,8 +66,7 @@ pub fn build(cfg: &ModelConfig, base: usize) -> Graph {
 
     // Decoder: up-conv, concat the matching skip, double-conv.
     for (d, &(skip, sw)) in skips.iter().enumerate().rev() {
-        let up_w = Tensor::he_conv_weight(c, sw, 2, 2, ctx.seeds.next())
-            .reshape(&[c, sw, 2, 2]);
+        let up_w = Tensor::he_conv_weight(c, sw, 2, 2, ctx.seeds.next()).reshape(&[c, sw, 2, 2]);
         let up = g.conv_transpose2d(feat, up_w, None, 2, format!("up{}", d + 1));
         let cat = g.concat(&[skip, up], format!("upcat{}", d + 1));
         feat = ctx.double_conv(&mut g, cat, sw * 2, sw, &format!("updc{}", d + 1));
@@ -100,11 +99,7 @@ mod tests {
         let g = build(&ModelConfig::small(), 32);
         let concats = g.nodes.iter().filter(|n| matches!(n.op, Op::Concat)).count();
         assert_eq!(concats, 4);
-        let upconvs = g
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.op, Op::ConvTranspose2d { .. }))
-            .count();
+        let upconvs = g.nodes.iter().filter(|n| matches!(n.op, Op::ConvTranspose2d { .. })).count();
         assert_eq!(upconvs, 4);
     }
 

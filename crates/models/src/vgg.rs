@@ -25,14 +25,51 @@ enum Cfg {
 fn layers(v: Variant) -> Vec<Cfg> {
     use Cfg::{C, M};
     match v {
-        Variant::Vgg11 => vec![C(64), M, C(128), M, C(256), C(256), M, C(512), C(512), M, C(512), C(512), M],
+        Variant::Vgg11 => {
+            vec![C(64), M, C(128), M, C(256), C(256), M, C(512), C(512), M, C(512), C(512), M]
+        }
         Variant::Vgg16 => vec![
-            C(64), C(64), M, C(128), C(128), M, C(256), C(256), C(256), M,
-            C(512), C(512), C(512), M, C(512), C(512), C(512), M,
+            C(64),
+            C(64),
+            M,
+            C(128),
+            C(128),
+            M,
+            C(256),
+            C(256),
+            C(256),
+            M,
+            C(512),
+            C(512),
+            C(512),
+            M,
+            C(512),
+            C(512),
+            C(512),
+            M,
         ],
         Variant::Vgg19 => vec![
-            C(64), C(64), M, C(128), C(128), M, C(256), C(256), C(256), C(256), M,
-            C(512), C(512), C(512), C(512), M, C(512), C(512), C(512), C(512), M,
+            C(64),
+            C(64),
+            M,
+            C(128),
+            C(128),
+            M,
+            C(256),
+            C(256),
+            C(256),
+            C(256),
+            M,
+            C(512),
+            C(512),
+            C(512),
+            C(512),
+            M,
+            C(512),
+            C(512),
+            C(512),
+            C(512),
+            M,
         ],
     }
 }

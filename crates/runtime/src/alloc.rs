@@ -1,0 +1,362 @@
+//! Static offset allocation: the Plan stage of Plan → Allocate → Execute.
+//!
+//! Every materialized internal tensor of a scheduled graph gets a fixed
+//! `(offset, size)` inside one contiguous slab such that values whose
+//! liveness intervals overlap in time never overlap in space. The slab is
+//! allocated once per inference; the executor then runs entirely on views
+//! into it (see [`crate::executor`]), so the process high-water mark *is*
+//! the slab size.
+//!
+//! The packer is greedy best-fit over liveness intervals: values are placed
+//! largest-first (ties broken by earlier `begin`, then lower `ValueId`), and
+//! each value takes the tightest gap — among the offsets left free by
+//! already-placed, time-overlapping values — that fits it. Best-fit keeps
+//! small late tensors from landing in (and splintering) the large low gaps
+//! that later large tensors need. The whole procedure is deterministic:
+//! same graph + schedule ⇒ byte-identical plan.
+//!
+//! `slab ≥ peak_live` always (two live values cannot share bytes); the gap
+//! is fragmentation, which [`AllocationPlan::fragmentation`] reports and the
+//! Figure-10 harness tracks against a 1.15× budget.
+
+use temco_ir::{liveness, Graph, LiveInterval, Liveness, ValueId};
+
+/// One value's reserved slab region and lifetime.
+#[derive(Clone, Debug)]
+pub struct PlannedBuffer {
+    /// The value.
+    pub value: ValueId,
+    /// Byte offset inside the slab.
+    pub offset: usize,
+    /// Byte size.
+    pub bytes: usize,
+    /// First schedule step at which the buffer is occupied.
+    pub begin: usize,
+    /// Last schedule step at which the buffer is occupied (inclusive).
+    pub end: usize,
+}
+
+impl PlannedBuffer {
+    /// Whether the two buffers are ever live at the same step.
+    pub fn time_overlap(&self, other: &PlannedBuffer) -> bool {
+        self.begin <= other.end && other.begin <= self.end
+    }
+
+    /// Whether the two byte ranges `[offset, offset+bytes)` intersect.
+    pub fn space_overlap(&self, other: &PlannedBuffer) -> bool {
+        self.offset < other.offset + other.bytes && other.offset < self.offset + self.bytes
+    }
+}
+
+/// How far the packed slab sits above the sum-of-live lower bound.
+#[derive(Clone, Copy, Debug)]
+pub struct FragmentationReport {
+    /// Total slab bytes.
+    pub slab_bytes: usize,
+    /// Peak of simultaneously-live bytes (the unreachable-by-packing floor).
+    pub peak_live_bytes: usize,
+    /// `slab_bytes - peak_live_bytes`.
+    pub wasted_bytes: usize,
+    /// `slab_bytes / peak_live_bytes` (1.0 for empty plans).
+    pub ratio: f64,
+}
+
+/// The complete static allocation for one graph under one schedule.
+#[derive(Clone, Debug)]
+pub struct AllocationPlan {
+    /// Reserved regions for every materialized value, in `ValueId` order.
+    pub buffers: Vec<PlannedBuffer>,
+    /// Total slab bytes (max over buffers of `offset + bytes`).
+    pub slab_bytes: usize,
+    /// Peak of simultaneously-live bytes.
+    pub peak_live_bytes: usize,
+    /// `offset_of[value] = byte offset`, `usize::MAX` for unmaterialized
+    /// values — O(1) lookup for the executor's hot loop.
+    offset_of: Vec<usize>,
+}
+
+impl AllocationPlan {
+    /// Slab byte offset of `v`, or `None` if `v` is never materialized.
+    pub fn offset(&self, v: ValueId) -> Option<usize> {
+        match self.offset_of.get(v.0 as usize) {
+            Some(&o) if o != usize::MAX => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The fragmentation report for this plan.
+    pub fn fragmentation(&self) -> FragmentationReport {
+        let ratio = if self.peak_live_bytes == 0 {
+            1.0
+        } else {
+            self.slab_bytes as f64 / self.peak_live_bytes as f64
+        };
+        FragmentationReport {
+            slab_bytes: self.slab_bytes,
+            peak_live_bytes: self.peak_live_bytes,
+            wasted_bytes: self.slab_bytes - self.peak_live_bytes,
+            ratio,
+        }
+    }
+
+    /// Check plan soundness. Returns human-readable violations (empty ⇔
+    /// valid):
+    ///
+    /// * no two time-overlapping buffers may intersect in space;
+    /// * every buffer must lie inside the slab;
+    /// * the slab must not undercut the sum-of-live peak (a packing cannot
+    ///   beat physics — such a plan is corrupt, not clever).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for (i, a) in self.buffers.iter().enumerate() {
+            if a.offset + a.bytes > self.slab_bytes {
+                errors.push(format!(
+                    "buffer {:?} [{}, {}) exceeds slab size {}",
+                    a.value,
+                    a.offset,
+                    a.offset + a.bytes,
+                    self.slab_bytes
+                ));
+            }
+            for b in self.buffers.iter().skip(i + 1) {
+                if a.time_overlap(b) && a.space_overlap(b) {
+                    errors.push(format!(
+                        "values {:?} and {:?} overlap in time [{},{}]∩[{},{}] and in space \
+                         [{},{})∩[{},{})",
+                        a.value,
+                        b.value,
+                        a.begin,
+                        a.end,
+                        b.begin,
+                        b.end,
+                        a.offset,
+                        a.offset + a.bytes,
+                        b.offset,
+                        b.offset + b.bytes
+                    ));
+                }
+            }
+        }
+        if self.slab_bytes < self.peak_live_bytes {
+            errors.push(format!(
+                "slab {} undercuts the sum-of-live peak {} — impossible packing",
+                self.slab_bytes, self.peak_live_bytes
+            ));
+        }
+        errors
+    }
+}
+
+/// Plan slab offsets for all internal tensors of `g` under its current
+/// schedule (greedy best-fit; see the module docs).
+///
+/// # Panics
+/// Panics if shape inference has not run.
+pub fn plan_allocation(g: &Graph) -> AllocationPlan {
+    let lv = liveness(g);
+    plan_allocation_with(g, &lv)
+}
+
+/// [`plan_allocation`] with a precomputed liveness (the executor computes
+/// liveness anyway and shares it).
+pub fn plan_allocation_with(g: &Graph, lv: &Liveness) -> AllocationPlan {
+    let intervals: Vec<LiveInterval> = lv.intervals().collect();
+    let sizes: Vec<usize> = intervals.iter().map(|iv| g.value_bytes(iv.value)).collect();
+    pack_best_fit(g, &intervals, &sizes)
+}
+
+fn pack_best_fit(g: &Graph, intervals: &[LiveInterval], sizes: &[usize]) -> AllocationPlan {
+    let mut buffers: Vec<PlannedBuffer> = intervals
+        .iter()
+        .zip(sizes)
+        .map(|(iv, &bytes)| PlannedBuffer {
+            value: iv.value,
+            offset: 0,
+            bytes,
+            begin: iv.begin,
+            end: iv.end,
+        })
+        .collect();
+
+    // Largest first; ties by earlier begin, then lower value id, so the
+    // order — and with it the whole plan — is a pure function of the graph.
+    let mut order: Vec<usize> = (0..buffers.len()).collect();
+    order.sort_by(|&a, &b| {
+        buffers[b]
+            .bytes
+            .cmp(&buffers[a].bytes)
+            .then(buffers[a].begin.cmp(&buffers[b].begin))
+            .then(buffers[a].value.cmp(&buffers[b].value))
+    });
+
+    let mut placed: Vec<usize> = Vec::with_capacity(buffers.len());
+    for &i in &order {
+        let need = buffers[i].bytes;
+        // Occupied byte ranges of already-placed buffers alive at the same
+        // time as buffer `i`.
+        let mut occupied: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|&&j| buffers[i].time_overlap(&buffers[j]))
+            .map(|&j| (buffers[j].offset, buffers[j].offset + buffers[j].bytes))
+            .collect();
+        occupied.sort_unstable();
+
+        // Walk the gaps between occupied ranges; take the tightest that
+        // fits, falling back to first-free-past-the-top. Gaps are visited in
+        // ascending offset order, so ties resolve to the lowest offset.
+        let mut best: Option<(usize, usize)> = None; // (slack, offset)
+        let mut cursor = 0usize;
+        for (start, end) in occupied {
+            if start > cursor {
+                let gap = start - cursor;
+                if gap >= need {
+                    let slack = gap - need;
+                    if best.is_none_or(|(s, _)| slack < s) {
+                        best = Some((slack, cursor));
+                    }
+                }
+            }
+            cursor = cursor.max(end);
+        }
+        buffers[i].offset = best.map_or(cursor, |(_, off)| off);
+        placed.push(i);
+    }
+
+    let slab_bytes = buffers.iter().map(|p| p.offset + p.bytes).max().unwrap_or(0);
+    let peak_live_bytes = peak_live(g.nodes.len(), &buffers);
+    let mut offset_of = vec![usize::MAX; g.values.len()];
+    for p in &buffers {
+        offset_of[p.value.0 as usize] = p.offset;
+    }
+    AllocationPlan { buffers, slab_bytes, peak_live_bytes, offset_of }
+}
+
+/// Peak of simultaneously-live bytes via a delta sweep over the schedule.
+fn peak_live(n_steps: usize, buffers: &[PlannedBuffer]) -> usize {
+    let mut delta = vec![0isize; n_steps + 2];
+    for p in buffers {
+        delta[p.begin] += p.bytes as isize;
+        delta[p.end + 1] -= p.bytes as isize;
+    }
+    let mut live = 0isize;
+    let mut peak = 0usize;
+    for d in delta {
+        live += d;
+        peak = peak.max(live as usize);
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::Graph;
+    use temco_tensor::Tensor;
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut x = g.input(&[1, 4, 8, 8], "x");
+        for i in 0..n {
+            x = g.relu(x, format!("r{i}"));
+        }
+        g.mark_output(x);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn chain_packs_into_two_slots() {
+        let g = chain(8);
+        let plan = plan_allocation(&g);
+        assert!(plan.validate().is_empty());
+        assert_eq!(plan.slab_bytes, 2 * 4 * 64 * 4);
+        assert_eq!(plan.slab_bytes, plan.peak_live_bytes);
+        assert!((plan.fragmentation().ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offsets_are_queryable_per_value() {
+        let g = chain(3);
+        let plan = plan_allocation(&g);
+        for p in &plan.buffers {
+            assert_eq!(plan.offset(p.value), Some(p.offset));
+        }
+        // A value id past the table is not materialized.
+        assert_eq!(plan.offset(ValueId(9999)), None);
+    }
+
+    #[test]
+    fn skip_connection_gets_a_third_slot() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a = g.relu(x, "a");
+        let b = g.relu(a, "b");
+        let c = g.relu(b, "c");
+        let s = g.add(&[a, c], "skip");
+        g.mark_output(s);
+        g.infer_shapes();
+        let plan = plan_allocation(&g);
+        assert!(plan.validate().is_empty());
+        assert_eq!(plan.slab_bytes, 3 * 4 * 64 * 4);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_tightest_gap() {
+        // Hand-built intervals: a big buffer [0,0], then after it dies two
+        // gaps exist (one exact-fit at a high offset once we stage it).
+        // Construct via a graph with mixed sizes: a 4-channel and an
+        // 8-channel tensor alive together, then a second 4-channel tensor
+        // that must slot into the free 4-channel-sized gap, not past the top.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x"); // 1 KiB
+        let wide = g.conv2d(x, Tensor::zeros(&[8, 4, 3, 3]), None, 1, 1, "wide"); // 2 KiB
+        let narrow = g.conv2d(wide, Tensor::zeros(&[4, 8, 3, 3]), None, 1, 1, "narrow"); // 1 KiB
+        let out = g.relu(narrow, "out"); // 1 KiB
+        g.mark_output(out);
+        g.infer_shapes();
+        let plan = plan_allocation(&g);
+        assert!(plan.validate().is_empty());
+        // x dies when wide is computed... peak is wide+narrow+? — whatever
+        // the exact layout, best-fit must not exceed the sum-of-live peak
+        // here because every later tensor fits a freed gap exactly.
+        assert_eq!(plan.slab_bytes, plan.peak_live_bytes);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::zeros(&[16, 8, 3, 3]), None, 1, 1, "c1");
+        let r = g.relu(c1, "r");
+        let c2 = g.conv2d(r, Tensor::zeros(&[4, 16, 3, 3]), None, 2, 1, "c2");
+        let s = g.add(&[x, x], "dbl");
+        let cat = g.concat(&[s, s], "cat");
+        g.mark_output(c2);
+        g.mark_output(cat);
+        g.infer_shapes();
+        let a = plan_allocation(&g);
+        let b = plan_allocation(&g);
+        assert_eq!(a.slab_bytes, b.slab_bytes);
+        for (pa, pb) in a.buffers.iter().zip(&b.buffers) {
+            assert_eq!((pa.value, pa.offset, pa.bytes), (pb.value, pb.offset, pb.bytes));
+        }
+    }
+
+    #[test]
+    fn validate_flags_impossible_slabs() {
+        let g = chain(3);
+        let mut plan = plan_allocation(&g);
+        plan.slab_bytes = plan.peak_live_bytes - 1;
+        assert!(plan.validate().iter().any(|e| e.contains("undercuts")));
+    }
+
+    #[test]
+    fn validate_flags_space_collisions() {
+        let g = chain(3);
+        let mut plan = plan_allocation(&g);
+        for p in &mut plan.buffers {
+            p.offset = 0;
+        }
+        assert!(plan.validate().iter().any(|e| e.contains("overlap in time")));
+    }
+}

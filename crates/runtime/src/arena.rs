@@ -1,18 +1,21 @@
-//! Offset-based static buffer allocation for internal tensors.
+//! Legacy arena-plan interface over the static allocator.
 //!
 //! Deep-learning runtimes do not call `malloc` per tensor: they pre-plan one
 //! arena and assign every internal tensor a fixed offset such that tensors
 //! with overlapping lifetimes never overlap in memory (Pisarchyk & Lee,
 //! "Efficient Memory Management for Deep Neural Net Inference" — reference 31 of
-//! the paper, cited as the memory-management substrate). This module
-//! implements the best-performing strategy from that work, greedy-by-size
-//! placement, on top of our liveness analysis.
+//! the paper, cited as the memory-management substrate).
 //!
-//! The arena size is the *deployable* version of the paper's peak-memory
-//! metric: `peak_live ≤ arena ≤ sum_of_tensors`, with the gap being
-//! fragmentation. The Figure-10 harness reports both.
+//! The packing itself now lives in [`crate::alloc`], which is also what the
+//! executor runs on; this module keeps the original `ArenaPlan` view of the
+//! result for reporting code and tests. The arena size is the *deployable*
+//! version of the paper's peak-memory metric:
+//! `peak_live ≤ arena ≤ sum_of_tensors`, with the gap being fragmentation.
+//! The Figure-10 harness reports both.
 
-use temco_ir::{liveness, Graph, ValueId};
+use temco_ir::{Graph, ValueId};
+
+use crate::alloc::plan_allocation;
 
 /// One placed tensor.
 #[derive(Clone, Debug)]
@@ -51,69 +54,26 @@ impl ArenaPlan {
 }
 
 /// Plan arena offsets for all internal tensors of `g` under its current
-/// schedule, using greedy-by-size placement.
+/// schedule. Delegates to [`crate::alloc::plan_allocation`] (greedy
+/// best-fit), so this report describes exactly the layout the slab executor
+/// runs on.
 ///
 /// # Panics
 /// Panics if shape inference has not run.
 pub fn plan_arena(g: &Graph) -> ArenaPlan {
-    let lv = liveness(g);
-    let mut items: Vec<Placement> = (0..g.values.len())
-        .filter_map(|vi| {
-            let v = ValueId(vi as u32);
-            let begin = lv.begin[vi];
-            if begin == usize::MAX {
-                return None; // never materialized
-            }
-            Some(Placement {
-                value: v,
-                offset: 0,
-                bytes: g.value_bytes(v),
-                begin,
-                end: lv.end[vi],
-            })
+    let plan = plan_allocation(g);
+    let placements = plan
+        .buffers
+        .iter()
+        .map(|b| Placement {
+            value: b.value,
+            offset: b.offset,
+            bytes: b.bytes,
+            begin: b.begin,
+            end: b.end,
         })
         .collect();
-
-    // Greedy-by-size: largest tensors first, each at the lowest
-    // non-conflicting offset.
-    let mut order: Vec<usize> = (0..items.len()).collect();
-    order.sort_by(|&a, &b| items[b].bytes.cmp(&items[a].bytes).then(items[a].begin.cmp(&items[b].begin)));
-
-    let mut placed: Vec<usize> = Vec::with_capacity(items.len());
-    for &i in &order {
-        // Collect the occupied intervals of time-overlapping placements.
-        let mut occupied: Vec<(usize, usize)> = placed
-            .iter()
-            .filter(|&&j| time_overlap(&items[i], &items[j]))
-            .map(|&j| (items[j].offset, items[j].offset + items[j].bytes))
-            .collect();
-        occupied.sort_unstable();
-        // First-fit over the gaps.
-        let mut candidate = 0usize;
-        for (start, end) in occupied {
-            if candidate + items[i].bytes <= start {
-                break;
-            }
-            candidate = candidate.max(end);
-        }
-        items[i].offset = candidate;
-        placed.push(i);
-    }
-
-    let arena_bytes = items.iter().map(|p| p.offset + p.bytes).max().unwrap_or(0);
-    // Peak live bytes via the same sweep the planner uses.
-    let mut delta = vec![0isize; g.nodes.len() + 1];
-    for p in &items {
-        delta[p.begin] += p.bytes as isize;
-        delta[p.end + 1] -= p.bytes as isize;
-    }
-    let mut live = 0isize;
-    let mut peak = 0usize;
-    for d in delta {
-        live += d;
-        peak = peak.max(live as usize);
-    }
-    ArenaPlan { placements: items, arena_bytes, peak_live_bytes: peak }
+    ArenaPlan { placements, arena_bytes: plan.slab_bytes, peak_live_bytes: plan.peak_live_bytes }
 }
 
 /// Check that no two placements overlap in both time and arena space.

@@ -9,7 +9,7 @@
 
 use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
-use temco_tensor::{conv_out_dim, Tensor};
+use temco_tensor::{conv_out_dim, Tensor, TensorView};
 
 /// Execute the fused kernel.
 ///
@@ -37,6 +37,35 @@ pub fn fused_forward(
     fconv_w: Option<&Tensor>,
     fconv_b: Option<&[f32]>,
 ) -> Tensor {
+    let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+    let c_red_out = fconv_w.map_or(lconv_w.dim(0), |fw| fw.dim(0));
+    let (oh, ow) = match pool {
+        Some((_, k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0)),
+        None => (h, w),
+    };
+    let mut out = Tensor::zeros(&[n, c_red_out, oh, ow]);
+    fused_forward_into(input.view(), lconv_w, lconv_b, act, pool, fconv_w, fconv_b, out.data_mut());
+    out
+}
+
+/// [`fused_forward`] writing into a preallocated output buffer: each worker
+/// computes its `(batch, output-row)` strip and scatters it straight into
+/// the planned output slot, so the collect-then-copy of the allocating form
+/// disappears along with the per-node output allocation.
+///
+/// # Panics
+/// Panics on channel mismatches or if `out` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_into(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    out: &mut [f32],
+) {
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_full = lconv_w.dim(0);
     assert_eq!(lconv_w.dim(1), c_red_in, "fused kernel: lconv input channels");
@@ -51,6 +80,9 @@ pub fn fused_forward(
     };
     let pool_kind = pool.map(|(kind, _, _)| kind);
 
+    let out_plane = oh * ow;
+    assert_eq!(out.len(), n * c_red_out * out_plane, "fused output buffer length");
+
     let lw = lconv_w.data();
     let fw = fconv_w.map(Tensor::data);
     let in_data = input.data();
@@ -58,113 +90,129 @@ pub fn fused_forward(
 
     // One work item per (batch, pooled output row): compute the strip of
     // `pk` pre-pool rows at full channel width in scratch, activate, pool,
-    // reduce. Collect-then-scatter keeps the parallel part allocation-free
-    // of shared state; the collected rows are exactly the output tensor.
-    let rows: Vec<Vec<f32>> = (0..n * oh)
-        .into_par_iter()
-        .map(|job| {
-            let b = job / oh;
-            let orow = job % oh;
-            // Scratch strip: [c_full, pk, w] — the "tile" of Listing 1.
-            let mut strip = vec![0.0f32; c_full * pk * w];
-            let base_h = orow * ps;
-            for cf in 0..c_full {
-                let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
-                let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
-                for dh in 0..pk {
-                    let ih = base_h + dh;
-                    let dst = &mut strip[(cf * pk + dh) * w..(cf * pk + dh + 1) * w];
-                    dst.fill(bias);
-                    if ih >= h {
+    // reduce, and scatter the finished row straight into the output slot.
+    // Jobs write disjoint `(b, ·, orow, ·)` row sets, so the shared pointer
+    // is sound; nothing proportional to the output is ever staged.
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    (0..n * oh).into_par_iter().for_each(|job| {
+        let b = job / oh;
+        let orow = job % oh;
+        // Scratch strip: [c_full, pk, w] — the "tile" of Listing 1.
+        let mut strip = vec![0.0f32; c_full * pk * w];
+        let base_h = orow * ps;
+        for cf in 0..c_full {
+            let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
+            let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
+            for dh in 0..pk {
+                let ih = base_h + dh;
+                let dst = &mut strip[(cf * pk + dh) * w..(cf * pk + dh + 1) * w];
+                dst.fill(bias);
+                if ih >= h {
+                    continue;
+                }
+                for (cr, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
                         continue;
                     }
-                    for (cr, &wv) in wrow.iter().enumerate() {
+                    let src = &in_data[(b * c_red_in + cr) * in_plane + ih * w..][..w];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d += wv * s;
+                    }
+                }
+                // Activation at full channel width (cannot be reordered
+                // past fconv — Section 3.2).
+                for d in dst.iter_mut() {
+                    *d = act.apply(*d);
+                }
+            }
+        }
+        // Pool the strip down to one row per full channel: [c_full, ow].
+        let mut pooled = vec![0.0f32; c_full * ow];
+        match pool_kind {
+            None => {
+                for cf in 0..c_full {
+                    pooled[cf * ow..(cf + 1) * ow]
+                        .copy_from_slice(&strip[cf * pk * w..cf * pk * w + w]);
+                }
+            }
+            Some(kind) => {
+                for cf in 0..c_full {
+                    for ocol in 0..ow {
+                        let mut acc = match kind {
+                            PoolKind::Max => f32::NEG_INFINITY,
+                            PoolKind::Avg => 0.0,
+                        };
+                        for dh in 0..pk {
+                            for dw in 0..pk {
+                                let v = strip[(cf * pk + dh) * w + ocol * ps + dw];
+                                acc = match kind {
+                                    PoolKind::Max => acc.max(v),
+                                    PoolKind::Avg => acc + v,
+                                };
+                            }
+                        }
+                        if kind == PoolKind::Avg {
+                            acc /= (pk * pk) as f32;
+                        }
+                        pooled[cf * ow + ocol] = acc;
+                    }
+                }
+            }
+        }
+        // fconv: reduce back down (restore kernels skip this and emit
+        // the pooled full-width rows directly).
+        let out_row = match fw {
+            None => pooled,
+            Some(fw) => {
+                let mut out_row = vec![0.0f32; c_red_out * ow];
+                for co in 0..c_red_out {
+                    let dst = &mut out_row[co * ow..(co + 1) * ow];
+                    dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
+                    let wrow = &fw[co * c_full..(co + 1) * c_full];
+                    for (cf, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }
-                        let src =
-                            &in_data[(b * c_red_in + cr) * in_plane + ih * w..][..w];
+                        let src = &pooled[cf * ow..(cf + 1) * ow];
                         for (d, &s) in dst.iter_mut().zip(src) {
                             *d += wv * s;
                         }
                     }
-                    // Activation at full channel width (cannot be reordered
-                    // past fconv — Section 3.2).
-                    for d in dst.iter_mut() {
-                        *d = act.apply(*d);
-                    }
                 }
+                out_row
             }
-            // Pool the strip down to one row per full channel: [c_full, ow].
-            let mut pooled = vec![0.0f32; c_full * ow];
-            match pool_kind {
-                None => {
-                    for cf in 0..c_full {
-                        pooled[cf * ow..(cf + 1) * ow]
-                            .copy_from_slice(&strip[cf * pk * w..cf * pk * w + w]);
-                    }
-                }
-                Some(kind) => {
-                    for cf in 0..c_full {
-                        for ocol in 0..ow {
-                            let mut acc = match kind {
-                                PoolKind::Max => f32::NEG_INFINITY,
-                                PoolKind::Avg => 0.0,
-                            };
-                            for dh in 0..pk {
-                                for dw in 0..pk {
-                                    let v = strip[(cf * pk + dh) * w + ocol * ps + dw];
-                                    acc = match kind {
-                                        PoolKind::Max => acc.max(v),
-                                        PoolKind::Avg => acc + v,
-                                    };
-                                }
-                            }
-                            if kind == PoolKind::Avg {
-                                acc /= (pk * pk) as f32;
-                            }
-                            pooled[cf * ow + ocol] = acc;
-                        }
-                    }
-                }
-            }
-            // fconv: reduce back down (restore kernels skip this and emit
-            // the pooled full-width rows directly).
-            match fw {
-                None => pooled,
-                Some(fw) => {
-                    let mut out_row = vec![0.0f32; c_red_out * ow];
-                    for co in 0..c_red_out {
-                        let dst = &mut out_row[co * ow..(co + 1) * ow];
-                        dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
-                        let wrow = &fw[co * c_full..(co + 1) * c_full];
-                        for (cf, &wv) in wrow.iter().enumerate() {
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            let src = &pooled[cf * ow..(cf + 1) * ow];
-                            for (d, &s) in dst.iter_mut().zip(src) {
-                                *d += wv * s;
-                            }
-                        }
-                    }
-                    out_row
-                }
-            }
-        })
-        .collect();
-
-    let mut out = Tensor::zeros(&[n, c_red_out, oh, ow]);
-    let out_plane = oh * ow;
-    for (job, row) in rows.into_iter().enumerate() {
-        let b = job / oh;
-        let orow = job % oh;
+        };
+        // Scatter this job's rows; no other job touches them.
         for co in 0..c_red_out {
             let dst_off = (b * c_red_out + co) * out_plane + orow * ow;
-            out.data_mut()[dst_off..dst_off + ow].copy_from_slice(&row[co * ow..(co + 1) * ow]);
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    out_row[co * ow..].as_ptr(),
+                    out_ptr.add(dst_off),
+                    ow,
+                );
+            }
         }
+    });
+}
+
+/// Shared mutable output pointer for parallel scatter over disjoint
+/// regions (also used by the tiled kernel variant).
+pub(crate) struct SyncPtr(pub(crate) *mut f32);
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+impl SyncPtr {
+    /// Offset the shared pointer. Going through a method (rather than field
+    /// access) makes closures capture the whole `Sync` wrapper, not the raw
+    /// pointer field.
+    ///
+    /// # Safety
+    /// Same contract as [`pointer::add`]; the caller must also guarantee the
+    /// region written through the result is not accessed concurrently.
+    pub(crate) unsafe fn add(&self, offset: usize) -> *mut f32 {
+        self.0.add(offset)
     }
-    out
 }
 
 /// Scratch bytes one worker strip uses — reported by ablation benches to

@@ -14,7 +14,9 @@
 
 use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
-use temco_tensor::{conv_out_dim, Tensor};
+use temco_tensor::{conv_out_dim, Tensor, TensorView};
+
+use crate::fused::SyncPtr;
 
 /// Execute the fused chain with cubic tiling of the output space.
 ///
@@ -37,6 +39,45 @@ pub fn fused_forward_tiled(
     fconv_b: Option<&[f32]>,
     tile: usize,
 ) -> Tensor {
+    let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+    let c_out = fconv_w.map_or(lconv_w.dim(0), |fw| fw.dim(0));
+    let (oh, ow) = match pool {
+        Some((_, k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0)),
+        None => (h, w),
+    };
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    fused_forward_tiled_into(
+        input.view(),
+        lconv_w,
+        lconv_b,
+        act,
+        pool,
+        fconv_w,
+        fconv_b,
+        tile,
+        out.data_mut(),
+    );
+    out
+}
+
+/// [`fused_forward_tiled`] writing into a preallocated output buffer: each
+/// tile job scatters its finished `T×T×T` block straight into the planned
+/// output slot instead of staging all tiles for a sequential copy.
+///
+/// # Panics
+/// Panics on channel mismatches or if `out` has the wrong length.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_tiled_into(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    tile: usize,
+    out: &mut [f32],
+) {
     let tile = tile.max(1);
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_full = lconv_w.dim(0);
@@ -57,128 +98,23 @@ pub fn fused_forward_tiled(
     let in_data = input.data();
     let in_plane = h * w;
 
+    let out_plane = oh * ow;
+    assert_eq!(out.len(), n * c_out * out_plane, "tiled fused output buffer length");
+
     // Tile grid over (c_out, oh, ow) — bz/by/bx of Listing 1 — times batch.
     let tiles_c = c_out.div_ceil(tile);
     let tiles_h = oh.div_ceil(tile);
     let tiles_w = ow.div_ceil(tile);
     let jobs = n * tiles_c * tiles_h * tiles_w;
 
-    let results: Vec<(usize, Vec<f32>)> = (0..jobs)
-        .into_par_iter()
-        .map(|job| {
-            let b = job / (tiles_c * tiles_h * tiles_w);
-            let rest = job % (tiles_c * tiles_h * tiles_w);
-            let tc = rest / (tiles_h * tiles_w);
-            let th = (rest / tiles_w) % tiles_h;
-            let tw = rest % tiles_w;
-
-            let c0 = tc * tile;
-            let c1 = (c0 + tile).min(c_out);
-            let oh0 = th * tile;
-            let oh1 = (oh0 + tile).min(oh);
-            let ow0 = tw * tile;
-            let ow1 = (ow0 + tile).min(ow);
-            let (th_len, tw_len) = (oh1 - oh0, ow1 - ow0);
-
-            // Pre-pool spatial footprint of this tile.
-            let ih_len = (th_len - 1) * ps + pk;
-            let iw_len = (tw_len - 1) * ps + pk;
-            // Shared-memory analogue: full-width activations for the tile.
-            let mut staged = vec![0.0f32; c_full * ih_len * iw_len];
-            for cf in 0..c_full {
-                let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
-                let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
-                for dy in 0..ih_len {
-                    let iy = oh0 * ps + dy;
-                    let dst = &mut staged[(cf * ih_len + dy) * iw_len..][..iw_len];
-                    dst.fill(bias);
-                    if iy >= h {
-                        continue;
-                    }
-                    for (cr, &wv) in wrow.iter().enumerate() {
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        let src_row = &in_data[(b * c_red_in + cr) * in_plane + iy * w..][..w];
-                        for (dx, d) in dst.iter_mut().enumerate() {
-                            let ix = ow0 * ps + dx;
-                            if ix < w {
-                                *d += wv * src_row[ix];
-                            }
-                        }
-                    }
-                    for d in dst.iter_mut() {
-                        *d = act.apply(*d);
-                    }
-                }
-            }
-            // Pool within the staged tile.
-            let mut pooled = vec![0.0f32; c_full * th_len * tw_len];
-            match pool_kind {
-                None => pooled.copy_from_slice(&staged),
-                Some(kind) => {
-                    for cf in 0..c_full {
-                        for y in 0..th_len {
-                            for x in 0..tw_len {
-                                let mut acc = match kind {
-                                    PoolKind::Max => f32::NEG_INFINITY,
-                                    PoolKind::Avg => 0.0,
-                                };
-                                for dy in 0..pk {
-                                    for dx in 0..pk {
-                                        let v = staged
-                                            [(cf * ih_len + y * ps + dy) * iw_len + x * ps + dx];
-                                        acc = match kind {
-                                            PoolKind::Max => acc.max(v),
-                                            PoolKind::Avg => acc + v,
-                                        };
-                                    }
-                                }
-                                if kind == PoolKind::Avg {
-                                    acc /= (pk * pk) as f32;
-                                }
-                                pooled[(cf * th_len + y) * tw_len + x] = acc;
-                            }
-                        }
-                    }
-                }
-            }
-            // fconv over the tile's channel block (or pass-through).
-            let plane = th_len * tw_len;
-            let out_tile = match fw {
-                None => pooled[c0 * plane..c1 * plane].to_vec(),
-                Some(fw) => {
-                    let mut out = vec![0.0f32; (c1 - c0) * plane];
-                    for (oi, co) in (c0..c1).enumerate() {
-                        let dst = &mut out[oi * plane..(oi + 1) * plane];
-                        dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
-                        let wrow = &fw[co * c_full..(co + 1) * c_full];
-                        for (cf, &wv) in wrow.iter().enumerate() {
-                            if wv == 0.0 {
-                                continue;
-                            }
-                            let src = &pooled[cf * plane..(cf + 1) * plane];
-                            for (d, &s) in dst.iter_mut().zip(src) {
-                                *d += wv * s;
-                            }
-                        }
-                    }
-                    out
-                }
-            };
-            (job, out_tile)
-        })
-        .collect();
-
-    // Scatter tiles into the output tensor.
-    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    let out_plane = oh * ow;
-    for (job, tile_data) in results {
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    (0..jobs).into_par_iter().for_each(|job| {
         let b = job / (tiles_c * tiles_h * tiles_w);
         let rest = job % (tiles_c * tiles_h * tiles_w);
         let tc = rest / (tiles_h * tiles_w);
         let th = (rest / tiles_w) % tiles_h;
         let tw = rest % tiles_w;
+
         let c0 = tc * tile;
         let c1 = (c0 + tile).min(c_out);
         let oh0 = th * tile;
@@ -186,20 +122,115 @@ pub fn fused_forward_tiled(
         let ow0 = tw * tile;
         let ow1 = (ow0 + tile).min(ow);
         let (th_len, tw_len) = (oh1 - oh0, ow1 - ow0);
-        for (oi, co) in (c0..c1).enumerate() {
-            for y in 0..th_len {
-                let src = &tile_data[(oi * th_len + y) * tw_len..][..tw_len];
-                let dst_off = (b * c_out + co) * out_plane + (oh0 + y) * ow + ow0;
-                out.data_mut()[dst_off..dst_off + tw_len].copy_from_slice(src);
+
+        // Pre-pool spatial footprint of this tile.
+        let ih_len = (th_len - 1) * ps + pk;
+        let iw_len = (tw_len - 1) * ps + pk;
+        // Shared-memory analogue: full-width activations for the tile.
+        let mut staged = vec![0.0f32; c_full * ih_len * iw_len];
+        for cf in 0..c_full {
+            let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
+            let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
+            for dy in 0..ih_len {
+                let iy = oh0 * ps + dy;
+                let dst = &mut staged[(cf * ih_len + dy) * iw_len..][..iw_len];
+                dst.fill(bias);
+                if iy >= h {
+                    continue;
+                }
+                for (cr, &wv) in wrow.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let src_row = &in_data[(b * c_red_in + cr) * in_plane + iy * w..][..w];
+                    for (dx, d) in dst.iter_mut().enumerate() {
+                        let ix = ow0 * ps + dx;
+                        if ix < w {
+                            *d += wv * src_row[ix];
+                        }
+                    }
+                }
+                for d in dst.iter_mut() {
+                    *d = act.apply(*d);
+                }
             }
         }
-    }
-    out
+        // Pool within the staged tile.
+        let mut pooled = vec![0.0f32; c_full * th_len * tw_len];
+        match pool_kind {
+            None => pooled.copy_from_slice(&staged),
+            Some(kind) => {
+                for cf in 0..c_full {
+                    for y in 0..th_len {
+                        for x in 0..tw_len {
+                            let mut acc = match kind {
+                                PoolKind::Max => f32::NEG_INFINITY,
+                                PoolKind::Avg => 0.0,
+                            };
+                            for dy in 0..pk {
+                                for dx in 0..pk {
+                                    let v =
+                                        staged[(cf * ih_len + y * ps + dy) * iw_len + x * ps + dx];
+                                    acc = match kind {
+                                        PoolKind::Max => acc.max(v),
+                                        PoolKind::Avg => acc + v,
+                                    };
+                                }
+                            }
+                            if kind == PoolKind::Avg {
+                                acc /= (pk * pk) as f32;
+                            }
+                            pooled[(cf * th_len + y) * tw_len + x] = acc;
+                        }
+                    }
+                }
+            }
+        }
+        // fconv over the tile's channel block (or pass-through).
+        let plane = th_len * tw_len;
+        let out_tile = match fw {
+            None => pooled[c0 * plane..c1 * plane].to_vec(),
+            Some(fw) => {
+                let mut out = vec![0.0f32; (c1 - c0) * plane];
+                for (oi, co) in (c0..c1).enumerate() {
+                    let dst = &mut out[oi * plane..(oi + 1) * plane];
+                    dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
+                    let wrow = &fw[co * c_full..(co + 1) * c_full];
+                    for (cf, &wv) in wrow.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        let src = &pooled[cf * plane..(cf + 1) * plane];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += wv * s;
+                        }
+                    }
+                }
+                out
+            }
+        };
+        // Scatter this tile's block; tile regions are disjoint by
+        // construction, so the shared pointer is sound.
+        for (oi, co) in (c0..c1).enumerate() {
+            for y in 0..th_len {
+                let src = &out_tile[(oi * th_len + y) * tw_len..][..tw_len];
+                let dst_off = (b * c_out + co) * out_plane + (oh0 + y) * ow + ow0;
+                unsafe {
+                    std::ptr::copy_nonoverlapping(src.as_ptr(), out_ptr.add(dst_off), tw_len);
+                }
+            }
+        }
+    });
 }
 
 /// Scratch bytes one tile job stages (the `T×T×T` shared-memory budget of
 /// Listing 1, generalized to the full channel width this CPU port stages).
-pub fn tile_scratch_bytes(c_full: usize, tile: usize, pool_stride: usize, pool_kernel: usize) -> usize {
+pub fn tile_scratch_bytes(
+    c_full: usize,
+    tile: usize,
+    pool_stride: usize,
+    pool_kernel: usize,
+) -> usize {
     let side = (tile - 1) * pool_stride + pool_kernel;
     c_full * side * side * std::mem::size_of::<f32>()
 }
@@ -218,11 +249,7 @@ mod tests {
         let a = fused_forward(&x, &lw, Some(&lb), act, pool, Some(&fw), Some(&fb));
         let b = fused_forward_tiled(&x, &lw, Some(&lb), act, pool, Some(&fw), Some(&fb), tile);
         assert_eq!(a.shape(), b.shape());
-        assert!(
-            a.all_close(&b, 1e-4),
-            "tile {tile} pool {pool:?}: diff {}",
-            a.max_abs_diff(&b)
-        );
+        assert!(a.all_close(&b, 1e-4), "tile {tile} pool {pool:?}: diff {}", a.max_abs_diff(&b));
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   (Listing 1): `lconv → activation (→ pool) → fconv` computed strip by
 //!   strip with O(strip) scratch, rayon-parallel over batch × output rows.
 //!   The full-channel intermediate never exists as an allocated tensor.
+//! * [`alloc`] — the static offset allocator: packs every internal tensor's
+//!   liveness interval into one contiguous slab (greedy best-fit), so the
+//!   executor's default mode performs exactly one allocation per inference.
 
+pub mod alloc;
 pub mod arena;
 pub mod executor;
 pub mod fused;
@@ -22,9 +26,12 @@ pub mod fused_tiled;
 pub mod memory;
 pub mod planner;
 
+pub use alloc::{
+    plan_allocation, plan_allocation_with, AllocationPlan, FragmentationReport, PlannedBuffer,
+};
 pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
-pub use executor::{execute, ExecOptions, ExecResult};
-pub use fused::fused_forward;
-pub use fused_tiled::fused_forward_tiled;
+pub use executor::{execute, ExecError, ExecMode, ExecOptions, ExecResult};
+pub use fused::{fused_forward, fused_forward_into};
+pub use fused_tiled::{fused_forward_tiled, fused_forward_tiled_into};
 pub use memory::{MemEvent, MemoryTracker};
 pub use planner::{plan_memory, skip_share_at_peak, MemoryPlan, StepMem};

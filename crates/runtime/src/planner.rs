@@ -8,6 +8,8 @@
 
 use temco_ir::{liveness, Graph};
 
+use crate::alloc::plan_allocation_with;
+
 /// Live bytes after one schedule step.
 #[derive(Clone, Debug)]
 pub struct StepMem {
@@ -30,6 +32,10 @@ pub struct MemoryPlan {
     pub weight_bytes: usize,
     /// Per-step live bytes.
     pub timeline: Vec<StepMem>,
+    /// Bytes of the static slab the offset allocator packs the same
+    /// liveness intervals into — what the slab executor actually allocates.
+    /// Always ≥ `peak_internal_bytes`; the gap is packing fragmentation.
+    pub slab_bytes: usize,
 }
 
 impl MemoryPlan {
@@ -37,6 +43,15 @@ impl MemoryPlan {
     /// both pools.
     pub fn peak_total_bytes(&self) -> usize {
         self.peak_internal_bytes + self.weight_bytes
+    }
+
+    /// Slab size over sum-of-live peak: 1.0 means the packing is perfect,
+    /// anything above it is bytes lost to interval-packing fragmentation.
+    pub fn fragmentation(&self) -> f64 {
+        if self.peak_internal_bytes == 0 {
+            return 1.0;
+        }
+        self.slab_bytes as f64 / self.peak_internal_bytes as f64
     }
 }
 
@@ -113,6 +128,7 @@ pub fn plan_memory(g: &Graph) -> MemoryPlan {
         peak_step,
         weight_bytes: g.weight_bytes(),
         timeline,
+        slab_bytes: plan_allocation_with(g, &lv).slab_bytes,
     }
 }
 
@@ -196,6 +212,16 @@ mod tests {
         chain.mark_output(b);
         chain.infer_shapes();
         assert_eq!(super::skip_share_at_peak(&chain, 4), 0.0);
+    }
+
+    #[test]
+    fn slab_covers_peak_and_reports_fragmentation() {
+        let plan = plan_memory(&two_conv_graph());
+        assert!(plan.slab_bytes >= plan.peak_internal_bytes);
+        assert!(plan.fragmentation() >= 1.0);
+        // The two-conv chain packs perfectly: slab == sum-of-live peak.
+        assert_eq!(plan.slab_bytes, plan.peak_internal_bytes);
+        assert_eq!(plan.fragmentation(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of criterion's API its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, `Bencher::iter`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Measurement model: `cargo bench` passes `--bench` to the harness, which
+//! switches on full measurement (warmup + `sample_size` timed samples,
+//! median/mean/min reported). Under `cargo test`, bench targets with
+//! `harness = false` still run as plain binaries, so without `--bench`
+//! each benchmark executes exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (defers to `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// True when the harness was invoked by `cargo bench` (full measurement);
+/// false under `cargo test`, where benchmarks run once as smoke tests.
+pub fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// A benchmark id composed of a function name and a parameter label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("resnet18", "temco")` renders as `resnet18/temco`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Id from a bare parameter (renders as just the parameter).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    full: bool,
+}
+
+impl Bencher {
+    /// Time the routine. In full mode: one warmup call, then `sample_size`
+    /// timed calls. In quick mode: a single call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.full {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            return;
+        }
+        black_box(routine()); // warmup
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    full: bool,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark in full-measurement mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size, full: self.full };
+        f(&mut b);
+        report(&self.name, &id, &b.samples, self.full);
+    }
+
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.id, f);
+        self
+    }
+
+    /// Benchmark a routine that receives `input` by reference.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints a trailing newline in the report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], full: bool) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    if !full {
+        println!("{group}/{id}: {} (quick: 1 iteration)", fmt_dur(median));
+        return;
+    }
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{group}/{id}: median {}  mean {}  min {}  ({} samples)",
+        fmt_dur(median),
+        fmt_dur(mean),
+        fmt_dur(min),
+        sorted.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark driver. Construct via `criterion_group!`, which calls
+/// [`Criterion::default`].
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { full: full_measurement() }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, sample_size: 100, full: self.full }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group =
+            BenchmarkGroup { name: "bench".to_string(), sample_size: 100, full: self.full };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a benchmark group function (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the harness `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4usize), &4usize, |b, &k| {
+            b.iter(|| (0..1000u64).map(|x| x * k as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_quick_without_bench_flag() {
+        benches();
+    }
+}

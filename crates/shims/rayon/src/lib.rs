@@ -1,0 +1,234 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of rayon's API the kernels use — `into_par_iter` over ranges
+//! and `par_chunks_mut` over slices, with `map`/`for_each`/`collect` /
+//! `enumerate` combinators — implemented on `std::thread::scope`. Work is
+//! split into one contiguous block per available core; on a single-core
+//! host everything runs inline with zero thread overhead.
+
+use std::ops::Range;
+
+/// Number of worker threads to fan out to (the number of available cores).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Split `n` items into at most `current_num_threads()` contiguous blocks.
+fn blocks(n: usize) -> Vec<Range<usize>> {
+    let threads = current_num_threads().min(n.max(1));
+    let per = n.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Conversion into a parallel iterator (ranges of `usize` only).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert self into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Map each index through `f` (results keep index order on collect).
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParRangeMap { range: self.range, f }
+    }
+
+    /// Run `f` for every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let Range { start, end } = self.range;
+        let n = end - start;
+        let bs = blocks(n);
+        if bs.len() <= 1 {
+            for i in start..end {
+                f(i);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for b in bs {
+                let f = &f;
+                s.spawn(move || {
+                    for i in b {
+                        f(start + i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The result of [`ParRange::map`].
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collect mapped results in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FromIterator<T>,
+    {
+        let Range { start, end } = self.range;
+        let n = end - start;
+        let f = &self.f;
+        let bs = blocks(n);
+        if bs.len() <= 1 {
+            return (start..end).map(f).collect();
+        }
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(bs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = bs
+                .into_iter()
+                .map(|b| s.spawn(move || b.map(|i| f(start + i)).collect::<Vec<T>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Run `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Run `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.inner.slice.chunks_mut(self.inner.chunk_size).enumerate().collect();
+        let n = chunks.len();
+        let bs = blocks(n);
+        if bs.len() <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Partition the chunk list into one owned group per worker.
+        let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(bs.len());
+        let mut rest = chunks;
+        for b in bs.iter().rev() {
+            groups.push(rest.split_off(b.start));
+        }
+        groups.push(rest);
+        std::thread::scope(|s| {
+            for group in groups {
+                let f = &f;
+                s.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[99], 9);
+        assert_eq!(data[102], 10);
+    }
+
+    #[test]
+    fn for_each_visits_all_indices() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

@@ -1,9 +1,9 @@
 //! Convolution kernels: im2col + SGEMM, pointwise fast path, transposed
 //! convolution, and a naive reference implementation.
 
-use crate::matmul::sgemm;
-use crate::tensor::Tensor;
 use crate::conv_out_dim;
+use crate::matmul::sgemm;
+use crate::tensor::{Tensor, TensorView};
 
 /// Hyper-parameters of a 2-D convolution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +47,26 @@ impl Conv2dParams {
 /// # Panics
 /// Panics on shape inconsistencies.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dParams) -> Tensor {
+    let (n, _, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (c_out, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    let (oh, ow) = p.out_hw(h, w, kh, kw);
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    conv2d_into(input.view(), weight, bias, p, out.data_mut());
+    out
+}
+
+/// [`conv2d`] writing into a preallocated output buffer of exactly
+/// `n × c_out × oh × ow` elements — the slab executor's entry point.
+///
+/// # Panics
+/// Panics on shape inconsistencies or if `out` has the wrong length.
+pub fn conv2d_into(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    out: &mut [f32],
+) {
     assert_eq!(input.shape().len(), 4, "conv2d input must be 4-D");
     assert_eq!(weight.shape().len(), 4, "conv2d weight must be 4-D");
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
@@ -56,13 +76,13 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dP
     if let Some(b) = bias {
         assert_eq!(b.len(), c_out, "bias length mismatch");
     }
+    let (oh, ow) = p.out_hw(h, w, kh, kw);
+    assert_eq!(out.len(), n * c_out * oh * ow, "conv2d output buffer length");
 
     if kh == 1 && kw == 1 && p.stride == (1, 1) && p.padding == (0, 0) && p.groups == 1 {
-        return pointwise(input, weight, bias);
+        return pointwise_into(input, weight, bias, out);
     }
 
-    let (oh, ow) = p.out_hw(h, w, kh, kw);
-    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
     let c_out_g = c_out / p.groups;
     let col_rows = c_in_g * kh * kw;
     let mut col = vec![0.0f32; col_rows * oh * ow];
@@ -85,35 +105,36 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dP
             );
             let w_slice = &weight.data()[g * c_out_g * col_rows..(g + 1) * c_out_g * col_rows];
             let out_off = (b_i * c_out + g * c_out_g) * out_plane;
-            let out_slice = &mut out.data_mut()[out_off..out_off + c_out_g * out_plane];
+            let out_slice = &mut out[out_off..out_off + c_out_g * out_plane];
             if let Some(b) = bias {
                 for (co, chunk) in out_slice.chunks_mut(out_plane).enumerate() {
                     chunk.fill(b[g * c_out_g + co]);
                 }
+            } else {
+                out_slice.fill(0.0);
             }
             sgemm(w_slice, &col, out_slice, c_out_g, col_rows, out_plane);
         }
     }
-    out
 }
 
 /// Fast path: 1×1 dense convolution is one SGEMM per batch element.
-fn pointwise(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
+fn pointwise_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>, out: &mut [f32]) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_out = weight.dim(0);
     let plane = h * w;
-    let mut out = Tensor::zeros(&[n, c_out, h, w]);
     for b_i in 0..n {
         let in_slice = &input.data()[b_i * c_in * plane..(b_i + 1) * c_in * plane];
-        let out_slice = &mut out.data_mut()[b_i * c_out * plane..(b_i + 1) * c_out * plane];
+        let out_slice = &mut out[b_i * c_out * plane..(b_i + 1) * c_out * plane];
         if let Some(b) = bias {
             for (co, chunk) in out_slice.chunks_mut(plane).enumerate() {
                 chunk.fill(b[co]);
             }
+        } else {
+            out_slice.fill(0.0);
         }
         sgemm(weight.data(), in_slice, out_slice, c_out, c_in, plane);
     }
-    out
 }
 
 /// Unpack convolution windows into a `[c_in_g*kh*kw, oh*ow]` column matrix.
@@ -207,20 +228,43 @@ pub fn conv_transpose2d(
     bias: Option<&[f32]>,
     stride: (usize, usize),
 ) -> Tensor {
+    let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+    let (c_out, kh, kw) = (weight.dim(1), weight.dim(2), weight.dim(3));
+    let oh = (h - 1) * stride.0 + kh;
+    let ow = (w - 1) * stride.1 + kw;
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    conv_transpose2d_into(input.view(), weight, bias, stride, out.data_mut());
+    out
+}
+
+/// [`conv_transpose2d`] writing into a preallocated output buffer.
+///
+/// # Panics
+/// Panics on channel mismatches or if `out` has the wrong length.
+pub fn conv_transpose2d_into(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    out: &mut [f32],
+) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (w_cin, c_out, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(c_in, w_cin, "conv_transpose2d channel mismatch");
     let oh = (h - 1) * stride.0 + kh;
     let ow = (w - 1) * stride.1 + kw;
-    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
-    if let Some(b) = bias {
-        let plane = oh * ow;
-        for b_i in 0..n {
-            for (co, &bv) in b.iter().enumerate() {
-                let off = (b_i * c_out + co) * plane;
-                out.data_mut()[off..off + plane].fill(bv);
+    let plane = oh * ow;
+    assert_eq!(out.len(), n * c_out * plane, "conv_transpose2d output buffer length");
+    match bias {
+        Some(b) => {
+            for b_i in 0..n {
+                for (co, &bv) in b.iter().enumerate() {
+                    let off = (b_i * c_out + co) * plane;
+                    out[off..off + plane].fill(bv);
+                }
             }
         }
+        None => out.fill(0.0),
     }
     for b_i in 0..n {
         for ci in 0..c_in {
@@ -233,7 +277,9 @@ pub fn conv_transpose2d(
                     for co in 0..c_out {
                         for khi in 0..kh {
                             for kwi in 0..kw {
-                                *out.at4_mut(b_i, co, hi * stride.0 + khi, wi * stride.1 + kwi) +=
+                                let oy = hi * stride.0 + khi;
+                                let ox = wi * stride.1 + kwi;
+                                out[((b_i * c_out + co) * oh + oy) * ow + ox] +=
                                     x * weight.at4(ci, co, khi, kwi);
                             }
                         }
@@ -242,7 +288,6 @@ pub fn conv_transpose2d(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Elementwise ops, activations, concat/add, linear, softmax.
 
 use crate::matmul::sgemm;
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorView};
 
 /// The activation functions appearing between decomposed convolutions.
 ///
@@ -36,6 +36,17 @@ impl ActKind {
     pub fn forward(self, t: &Tensor) -> Tensor {
         t.map(|x| self.apply(x))
     }
+
+    /// Apply the activation elementwise into a preallocated buffer.
+    ///
+    /// # Panics
+    /// Panics if `out` and `input` lengths differ.
+    pub fn forward_into(self, input: &[f32], out: &mut [f32]) {
+        assert_eq!(input.len(), out.len(), "activation buffer length mismatch");
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o = self.apply(x);
+        }
+    }
 }
 
 /// Elementwise sum of two same-shaped tensors.
@@ -48,46 +59,91 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(a.shape(), data)
 }
 
+/// Elementwise sum of `n ≥ 1` same-length operands into a preallocated
+/// buffer. Unlike folding binary [`add`]s, no intermediate sums exist —
+/// exactly what the slab executor wants for n-ary `Add` nodes.
+///
+/// # Panics
+/// Panics if the list is empty or any length disagrees with `out`.
+pub fn add_n_into(inputs: &[&[f32]], out: &mut [f32]) {
+    assert!(!inputs.is_empty(), "add of empty list");
+    for x in inputs {
+        assert_eq!(x.len(), out.len(), "add operand length mismatch");
+    }
+    out.copy_from_slice(inputs[0]);
+    for x in &inputs[1..] {
+        for (o, &v) in out.iter_mut().zip(*x) {
+            *o += v;
+        }
+    }
+}
+
 /// Concatenate 4-D tensors along the channel axis.
 ///
 /// # Panics
 /// Panics if batch/spatial dims disagree or the list is empty.
 pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
     assert!(!tensors.is_empty(), "concat of empty list");
-    let first = tensors[0];
+    let views: Vec<TensorView<'_>> = tensors.iter().map(|t| t.view()).collect();
+    let (n, h, w) = (views[0].dim(0), views[0].dim(2), views[0].dim(3));
+    let c_total: usize = views.iter().map(|v| v.dim(1)).sum();
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    concat_channels_into(&views, out.data_mut());
+    out
+}
+
+/// [`concat_channels`] writing into a preallocated output buffer.
+///
+/// # Panics
+/// Panics if batch/spatial dims disagree, the list is empty, or `out` has
+/// the wrong length.
+pub fn concat_channels_into(views: &[TensorView<'_>], out: &mut [f32]) {
+    assert!(!views.is_empty(), "concat of empty list");
+    let first = &views[0];
     assert_eq!(first.shape().len(), 4, "concat expects 4-D tensors");
     let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
     let mut c_total = 0;
-    for t in tensors {
+    for t in views {
         assert_eq!(t.dim(0), n, "concat batch mismatch");
         assert_eq!(t.dim(2), h, "concat height mismatch");
         assert_eq!(t.dim(3), w, "concat width mismatch");
         c_total += t.dim(1);
     }
     let plane = h * w;
-    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    assert_eq!(out.len(), n * c_total * plane, "concat output buffer length");
     for b in 0..n {
         let mut c_off = 0;
-        for t in tensors {
+        for t in views {
             let c = t.dim(1);
             let src = &t.data()[b * c * plane..(b + 1) * c * plane];
             let dst_off = (b * c_total + c_off) * plane;
-            out.data_mut()[dst_off..dst_off + c * plane].copy_from_slice(src);
+            out[dst_off..dst_off + c * plane].copy_from_slice(src);
             c_off += c;
         }
     }
-    out
 }
 
 /// Fully connected layer: `input [n, f] × weightᵀ [f, out] + bias`.
 ///
 /// `weight` is `[out_features, in_features]` (PyTorch convention).
 pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    let (n, out_f) = (input.dim(0), weight.dim(0));
+    let mut out = Tensor::zeros(&[n, out_f]);
+    linear_into(input.view(), weight, bias, out.data_mut());
+    out
+}
+
+/// [`linear`] writing into a preallocated output buffer.
+///
+/// # Panics
+/// Panics on shape mismatches or if `out` has the wrong length.
+pub fn linear_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>, out: &mut [f32]) {
     assert_eq!(input.shape().len(), 2, "linear input must be 2-D");
     assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
     let (n, f) = (input.dim(0), input.dim(1));
     let (out_f, w_f) = (weight.dim(0), weight.dim(1));
     assert_eq!(f, w_f, "linear feature mismatch");
+    assert_eq!(out.len(), n * out_f, "linear output buffer length");
     // out[n, out_f] = input[n, f] * weightᵀ[f, out_f]
     let wt: Vec<f32> = {
         let mut wt = vec![0.0f32; f * out_f];
@@ -98,24 +154,36 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
         }
         wt
     };
-    let mut out = vec![0.0f32; n * out_f];
-    if let Some(b) = bias {
-        assert_eq!(b.len(), out_f, "linear bias mismatch");
-        for row in out.chunks_mut(out_f) {
-            row.copy_from_slice(b);
+    match bias {
+        Some(b) => {
+            assert_eq!(b.len(), out_f, "linear bias mismatch");
+            for row in out.chunks_mut(out_f) {
+                row.copy_from_slice(b);
+            }
         }
+        None => out.fill(0.0),
     }
-    sgemm(input.data(), &wt, &mut out, n, f, out_f);
-    Tensor::from_vec(&[n, out_f], out)
+    sgemm(input.data(), &wt, out, n, f, out_f);
 }
 
 /// Softmax over the last dimension of a 2-D tensor.
 pub fn softmax_lastdim(input: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(input.shape());
+    softmax_lastdim_into(input.view(), out.data_mut());
+    out
+}
+
+/// [`softmax_lastdim`] writing into a preallocated output buffer.
+///
+/// # Panics
+/// Panics unless the input is 2-D and `out` matches its volume.
+pub fn softmax_lastdim_into(input: TensorView<'_>, out: &mut [f32]) {
     assert_eq!(input.shape().len(), 2, "softmax expects 2-D input");
     let (n, f) = (input.dim(0), input.dim(1));
-    let mut out = input.clone();
+    assert_eq!(out.len(), n * f, "softmax output buffer length");
+    out.copy_from_slice(input.data());
     for r in 0..n {
-        let row = &mut out.data_mut()[r * f..(r + 1) * f];
+        let row = &mut out[r * f..(r + 1) * f];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for x in row.iter_mut() {
@@ -126,7 +194,6 @@ pub fn softmax_lastdim(input: &Tensor) -> Tensor {
             *x /= sum;
         }
     }
-    out
 }
 
 #[cfg(test)]

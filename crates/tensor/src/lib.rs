@@ -20,11 +20,18 @@ pub mod matmul;
 pub mod pool;
 pub mod tensor;
 
-pub use conv::{conv2d, conv2d_direct, conv_transpose2d, Conv2dParams};
-pub use elementwise::{add, concat_channels, linear, softmax_lastdim, ActKind};
+pub use conv::{
+    conv2d, conv2d_direct, conv2d_into, conv_transpose2d, conv_transpose2d_into, Conv2dParams,
+};
+pub use elementwise::{
+    add, add_n_into, concat_channels, concat_channels_into, linear, linear_into, softmax_lastdim,
+    softmax_lastdim_into, ActKind,
+};
 pub use matmul::sgemm;
-pub use pool::{avg_pool2d, global_avg_pool, max_pool2d};
-pub use tensor::Tensor;
+pub use pool::{
+    avg_pool2d, avg_pool2d_into, global_avg_pool, global_avg_pool_into, max_pool2d, max_pool2d_into,
+};
+pub use tensor::{Tensor, TensorView};
 
 /// Compute the spatial output size of a convolution/pooling window.
 #[inline]

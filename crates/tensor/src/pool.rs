@@ -1,31 +1,57 @@
 //! Pooling kernels.
 
 use crate::conv_out_dim;
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorView};
 
 /// 2-D max pooling with square `kernel` and `stride`, no padding.
 pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
-    pool(input, kernel, stride, f32::NEG_INFINITY, |acc, v| acc.max(v), |acc, _| acc)
+    alloc_pool(input, kernel, stride, max_pool2d_into)
 }
 
 /// 2-D average pooling with square `kernel` and `stride`, no padding.
 pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Tensor {
-    pool(input, kernel, stride, 0.0, |acc, v| acc + v, |acc, k2| acc / k2 as f32)
+    alloc_pool(input, kernel, stride, avg_pool2d_into)
 }
 
-fn pool(
+/// [`max_pool2d`] writing into a preallocated output buffer.
+pub fn max_pool2d_into(input: TensorView<'_>, kernel: usize, stride: usize, out: &mut [f32]) {
+    pool_into(input, kernel, stride, f32::NEG_INFINITY, |acc, v| acc.max(v), |acc, _| acc, out)
+}
+
+/// [`avg_pool2d`] writing into a preallocated output buffer.
+pub fn avg_pool2d_into(input: TensorView<'_>, kernel: usize, stride: usize, out: &mut [f32]) {
+    pool_into(input, kernel, stride, 0.0, |acc, v| acc + v, |acc, k2| acc / k2 as f32, out)
+}
+
+fn alloc_pool(
     input: &Tensor,
+    kernel: usize,
+    stride: usize,
+    f: impl Fn(TensorView<'_>, usize, usize, &mut [f32]),
+) -> Tensor {
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_out_dim(h, kernel, stride, 0);
+    let ow = conv_out_dim(w, kernel, stride, 0);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    f(input.view(), kernel, stride, out.data_mut());
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pool_into(
+    input: TensorView<'_>,
     kernel: usize,
     stride: usize,
     init: f32,
     combine: impl Fn(f32, f32) -> f32,
     finish: impl Fn(f32, usize) -> f32,
-) -> Tensor {
+    out: &mut [f32],
+) {
     assert_eq!(input.shape().len(), 4, "pool input must be 4-D");
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let oh = conv_out_dim(h, kernel, stride, 0);
     let ow = conv_out_dim(w, kernel, stride, 0);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    assert_eq!(out.len(), n * c * oh * ow, "pool output buffer length");
     for b in 0..n {
         for ch in 0..c {
             for ohi in 0..oh {
@@ -33,22 +59,32 @@ fn pool(
                     let mut acc = init;
                     for kh in 0..kernel {
                         for kw in 0..kernel {
-                            acc = combine(acc, input.at4(b, ch, ohi * stride + kh, owi * stride + kw));
+                            acc = combine(
+                                acc,
+                                input.at4(b, ch, ohi * stride + kh, owi * stride + kw),
+                            );
                         }
                     }
-                    *out.at4_mut(b, ch, ohi, owi) = finish(acc, kernel * kernel);
+                    out[((b * c + ch) * oh + ohi) * ow + owi] = finish(acc, kernel * kernel);
                 }
             }
         }
     }
-    out
 }
 
 /// Global average pooling: `[n, c, h, w] → [n, c, 1, 1]`.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c) = (input.dim(0), input.dim(1));
+    let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    global_avg_pool_into(input.view(), out.data_mut());
+    out
+}
+
+/// [`global_avg_pool`] writing into a preallocated output buffer.
+pub fn global_avg_pool_into(input: TensorView<'_>, out: &mut [f32]) {
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let plane = (h * w) as f32;
-    let mut out = Tensor::zeros(&[n, c, 1, 1]);
+    assert_eq!(out.len(), n * c, "global_avg_pool output buffer length");
     for b in 0..n {
         for ch in 0..c {
             let mut s = 0.0;
@@ -57,10 +93,9 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
                     s += input.at4(b, ch, hi, wi);
                 }
             }
-            *out.at4_mut(b, ch, 0, 0) = s / plane;
+            out[b * c + ch] = s / plane;
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -114,5 +149,17 @@ mod tests {
         let out = max_pool2d(&t, 2, 2);
         assert_eq!(out.at4(0, 0, 0, 0), 5.0);
         assert_eq!(out.at4(0, 1, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_buffers() {
+        let t = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut dirty = vec![99.0f32; 1];
+        max_pool2d_into(t.view(), 2, 2, &mut dirty);
+        assert_eq!(dirty[0], 4.0);
+        avg_pool2d_into(t.view(), 2, 2, &mut dirty);
+        assert_eq!(dirty[0], 2.5);
+        global_avg_pool_into(t.view(), &mut dirty);
+        assert_eq!(dirty[0], 2.5);
     }
 }

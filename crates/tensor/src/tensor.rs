@@ -166,11 +166,7 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Whether every element is within `tol` of `other`.
@@ -181,6 +177,74 @@ impl Tensor {
     /// Frobenius norm of the flattened tensor.
     pub fn fro_norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Borrow as a [`TensorView`].
+    #[inline]
+    pub fn view(&self) -> TensorView<'_> {
+        TensorView { shape: &self.shape, data: &self.data }
+    }
+}
+
+/// A borrowed, contiguous, row-major tensor: shape + flat data, owned
+/// elsewhere (a [`Tensor`] or a region of the runtime's slab).
+///
+/// The `_into` kernel variants take views so that a static-allocation
+/// executor can run them directly on slab memory without materializing
+/// per-node `Tensor`s.
+#[derive(Clone, Copy, Debug)]
+pub struct TensorView<'a> {
+    shape: &'a [usize],
+    data: &'a [f32],
+}
+
+impl<'a> TensorView<'a> {
+    /// Wrap `data` with `shape`.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape volume.
+    #[inline]
+    pub fn new(shape: &'a [usize], data: &'a [f32]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "view length {} must match shape volume {n}", data.len());
+        TensorView { shape, data }
+    }
+
+    /// The shape as a slice.
+    #[inline]
+    pub fn shape(&self) -> &'a [usize] {
+        self.shape
+    }
+
+    /// Dimension `i` of the shape.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        self.shape[i]
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow the flat data.
+    #[inline]
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Value at 4-D index (NCHW).
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (cc, hh, ww) = (self.shape[1], self.shape[2], self.shape[3]);
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Copy into an owned [`Tensor`].
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor { shape: self.shape.to_vec(), data: self.data.to_vec() }
     }
 }
 
@@ -252,6 +316,9 @@ mod tests {
     fn he_weight_scale_shrinks_with_fan_in() {
         let small = Tensor::he_conv_weight(8, 4, 3, 3, 1);
         let big = Tensor::he_conv_weight(8, 256, 3, 3, 1);
-        assert!(big.fro_norm() / (big.numel() as f32).sqrt() < small.fro_norm() / (small.numel() as f32).sqrt());
+        assert!(
+            big.fro_norm() / (big.numel() as f32).sqrt()
+                < small.fro_norm() / (small.numel() as f32).sqrt()
+        );
     }
 }

@@ -53,8 +53,10 @@ fn main() {
 
         let dec_plan = plan_memory(&dec);
         let opt_plan = plan_memory(&opt);
-        let a = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
-        let b = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
+        let a = execute(&dec, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
+        let b = execute(&opt, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
         let agree = compare_outputs(&a.outputs[0], &b.outputs[0], 5);
 
         println!(

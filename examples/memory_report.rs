@@ -71,8 +71,7 @@ fn main() {
     let global_max = summaries.iter().map(|(_, p, _)| *p).max().unwrap_or(1);
     for (vname, peak, series) in &summaries {
         // Normalize sparklines against the shared maximum for comparability.
-        let scaled: Vec<usize> =
-            series.iter().map(|&b| b * 1000 / global_max.max(1)).collect();
+        let scaled: Vec<usize> = series.iter().map(|&b| b * 1000 / global_max.max(1)).collect();
         eprintln!(
             "{:>11}  peak {:7.2} MiB  {}",
             vname,

@@ -48,8 +48,9 @@ fn main() {
 
     // 4. Verify the optimization preserved semantics (the Figure 12 claim).
     let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 1);
-    let a = execute(&decomposed, std::slice::from_ref(&x), ExecOptions::default());
-    let b = execute(&optimized, &[x], ExecOptions::default());
+    let a = execute(&decomposed, std::slice::from_ref(&x), ExecOptions::default())
+        .expect("execution failed");
+    let b = execute(&optimized, &[x], ExecOptions::default()).expect("execution failed");
     let agreement = compare_outputs(&a.outputs[0], &b.outputs[0], 5);
     println!(
         "equivalence vs decomposed: max|Δ| = {:.2e}, task agreement = {:.4}",

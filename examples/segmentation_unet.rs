@@ -36,8 +36,7 @@ fn synthetic_batch(n: usize, size: usize, seed: u64) -> Tensor {
                     let dy = (y as f64 - cy) / ry;
                     let body = if dx * dx + dy * dy <= 1.0 { 0.8 } else { 0.0 };
                     let bg = 0.2 + 0.3 * (y as f64 / size as f64);
-                    *img.at4_mut(b, c, y, x) =
-                        (bg + body) as f32 + 0.05 * noise.at4(b, c, y, x);
+                    *img.at4_mut(b, c, y, x) = (bg + body) as f32 + 0.05 * noise.at4(b, c, y, x);
                 }
             }
         }
@@ -52,7 +51,13 @@ fn mib(bytes: usize) -> f64 {
 fn main() {
     let cfg = ModelConfig { batch: 2, image: 96, num_classes: 1, classifier_width: 64, seed: 11 };
     let graph = ModelId::Unet.build(&cfg);
-    println!("UNet ({} nodes), input {}×{}, batch {}", graph.nodes.len(), cfg.image, cfg.image, cfg.batch);
+    println!(
+        "UNet ({} nodes), input {}×{}, batch {}",
+        graph.nodes.len(),
+        cfg.image,
+        cfg.image,
+        cfg.batch
+    );
 
     let compiler = Compiler::default();
     let variants = [
@@ -71,7 +76,8 @@ fn main() {
             Some(l) => compiler.compile(&graph, l).0,
         };
         let plan = plan_memory(&g);
-        let res = execute(&g, std::slice::from_ref(&batch), ExecOptions::default());
+        let res = execute(&g, std::slice::from_ref(&batch), ExecOptions::default())
+            .expect("execution failed");
         let mask = &res.outputs[0];
         let dice = match (&baseline_mask, level) {
             (Some(base), _) => dice_score(base, mask, 0.5),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build+test suite.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all --check
+
+echo "=== cargo clippy (-D warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== tier-1: cargo build --release ==="
+cargo build --release
+
+echo "=== tier-1: cargo test -q ==="
+cargo test -q
+
+echo "all checks passed"

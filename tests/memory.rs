@@ -1,9 +1,13 @@
-//! Memory-behaviour integration tests: arena planning, rescheduling, and
-//! timeline shape on real models.
+//! Memory-behaviour integration tests: static slab allocation, arena
+//! planning, rescheduling, and timeline shape on real models.
 
+use proptest::prelude::*;
 use temco::{compare_outputs, Compiler, CompilerOptions, OptLevel};
+use temco_ir::Graph;
 use temco_models::{ModelConfig, ModelId};
-use temco_runtime::{execute, plan_arena, plan_memory, validate_arena, ExecOptions};
+use temco_runtime::{
+    execute, plan_allocation, plan_arena, plan_memory, validate_arena, ExecMode, ExecOptions,
+};
 use temco_tensor::Tensor;
 
 fn cfg() -> ModelConfig {
@@ -65,10 +69,139 @@ fn rescheduling_preserves_semantics_and_never_hurts_peak() {
         assert!(pb <= pa, "{}: reschedule raised peak {pa} → {pb}", id.name());
 
         let x = Tensor::randn(&[1, 3, 64, 64], 9);
-        let ra = execute(&a, std::slice::from_ref(&x), ExecOptions::default());
-        let rb = execute(&b, &[x], ExecOptions::default());
+        let ra = execute(&a, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
+        let rb = execute(&b, &[x], ExecOptions::default()).expect("execution failed");
         let agree = compare_outputs(&ra.outputs[0], &rb.outputs[0], 5);
         assert!(agree.task_agreement > 0.999, "{}: {agree:?}", id.name());
+    }
+}
+
+/// Build a random DAG from an opcode/operand tape. All values keep an
+/// `[1, c, 8, 8]` shape (with varying `c`) so every op kind stays
+/// shape-compatible; skip-like edges arise whenever an old value is picked
+/// as an operand, which is exactly what stresses interval packing.
+fn random_graph(tape: &[(u8, usize, usize)]) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input(&[1, 4, 8, 8], "x");
+    let mut vals = vec![x];
+    let mut chans = vec![4usize];
+    for (i, &(kind, s1, s2)) in tape.iter().enumerate() {
+        let a = s1 % vals.len();
+        let (v, c) = match kind % 4 {
+            0 => (g.relu(vals[a], format!("relu{i}")), chans[a]),
+            1 => {
+                let co = [2, 4, 8][s2 % 3];
+                let w = Tensor::randn(&[co, chans[a], 3, 3], (i as u64) << 8 | 1);
+                (g.conv2d(vals[a], w, None, 1, 1, format!("conv{i}")), co)
+            }
+            2 => {
+                // Add needs matching channel counts; fall back to relu when
+                // no partner exists.
+                match (0..vals.len()).find(|&b| b != a && chans[b] == chans[a]) {
+                    Some(b) => (g.add(&[vals[a], vals[b]], format!("add{i}")), chans[a]),
+                    None => (g.relu(vals[a], format!("relu{i}")), chans[a]),
+                }
+            }
+            _ => {
+                let b = s2 % vals.len();
+                (g.concat(&[vals[a], vals[b]], format!("cat{i}")), chans[a] + chans[b])
+            }
+        };
+        vals.push(v);
+        chans.push(c);
+    }
+    g.mark_output(*vals.last().unwrap());
+    g.infer_shapes();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The core allocator invariant on random DAGs: any two values whose
+    /// liveness intervals overlap in time must receive disjoint byte
+    /// ranges, and the slab must cover the sum-of-live peak.
+    #[test]
+    fn allocator_never_overlaps_live_intervals(
+        tape in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..40)
+    ) {
+        let g = random_graph(&tape);
+        let plan = plan_allocation(&g);
+        prop_assert!(plan.validate().is_empty(), "{:?}", plan.validate());
+        for (i, a) in plan.buffers.iter().enumerate() {
+            prop_assert!(a.offset + a.bytes <= plan.slab_bytes);
+            for b in &plan.buffers[i + 1..] {
+                if a.time_overlap(b) {
+                    prop_assert!(
+                        !a.space_overlap(b),
+                        "{:?} and {:?} overlap in time and space",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+        prop_assert!(plan.slab_bytes >= plan.peak_live_bytes);
+        // An undercut slab must be flagged by the validator.
+        let mut bad = plan.clone();
+        bad.slab_bytes = bad.peak_live_bytes.saturating_sub(4);
+        prop_assert!(!bad.validate().is_empty());
+    }
+
+    /// Executing a random DAG on the slab gives the same numbers as the
+    /// per-node baseline, and its high-water mark equals the planned slab.
+    #[test]
+    fn slab_execution_matches_per_node_on_random_dags(
+        tape in proptest::collection::vec((any::<u8>(), 0usize..64, 0usize..64), 1..12)
+    ) {
+        let g = random_graph(&tape);
+        let x = Tensor::randn(&[1, 4, 8, 8], 11);
+        let slab = execute(&g, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("slab execution failed");
+        let per_node = execute(&g, &[x], ExecOptions { mode: ExecMode::PerNode, ..Default::default() })
+            .expect("per-node execution failed");
+        prop_assert!(slab.outputs[0].all_close(&per_node.outputs[0], 1e-4));
+        prop_assert_eq!(slab.slab_high_water, slab.slab_bytes);
+        prop_assert_eq!(slab.memory.timeline(), per_node.memory.timeline());
+    }
+}
+
+/// The PR's acceptance bar: for every zoo model at every opt level, the
+/// dynamic high-water mark of the slab executor equals the statically
+/// planned slab size *exactly* — the plan is the allocation.
+#[test]
+fn dynamic_high_water_equals_static_slab_on_all_models() {
+    let compiler = Compiler::default();
+    let cfg = ModelConfig::small();
+    let levels =
+        [OptLevel::Decomposed, OptLevel::Fusion, OptLevel::SkipOpt, OptLevel::SkipOptFusion];
+    for id in ModelId::all() {
+        let g = id.build(&cfg);
+        let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 5);
+        for level in levels {
+            let (opt, _) = compiler.compile(&g, level);
+            let res = execute(&opt, std::slice::from_ref(&x), ExecOptions::default())
+                .unwrap_or_else(|e| panic!("{} @ {}: {e}", id.name(), level.label()));
+            assert_eq!(
+                res.slab_high_water,
+                res.slab_bytes,
+                "{} @ {}: executor left the plan",
+                id.name(),
+                level.label()
+            );
+            let plan = plan_memory(&opt);
+            assert_eq!(res.slab_bytes, plan.slab_bytes, "{} @ {}", id.name(), level.label());
+            assert!(
+                plan.fragmentation() <= 1.15,
+                "{} @ {}: slab {} is {:.3}× the live peak {}",
+                id.name(),
+                level.label(),
+                plan.slab_bytes,
+                plan.fragmentation(),
+                plan.peak_internal_bytes
+            );
+        }
     }
 }
 

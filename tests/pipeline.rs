@@ -48,24 +48,18 @@ fn check_model(id: ModelId, exec: bool) {
 
     let peak_dec = plan_memory(&dec).peak_internal_bytes;
     let peak_opt = plan_memory(&opt).peak_internal_bytes;
-    assert!(
-        peak_opt < peak_dec,
-        "{}: peak {peak_dec} → {peak_opt} ({ostats:?})",
-        id.name()
-    );
+    assert!(peak_opt < peak_dec, "{}: peak {peak_dec} → {peak_opt} ({ostats:?})", id.name());
 
     if !exec {
         return;
     }
     let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 99);
-    let base = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
-    let out = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
+    let base =
+        execute(&dec, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
+    let out =
+        execute(&opt, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
     let agreement = compare_outputs(&base.outputs[0], &out.outputs[0], 5);
-    assert!(
-        agreement.task_agreement > 0.999,
-        "{}: agreement {agreement:?}",
-        id.name()
-    );
+    assert!(agreement.task_agreement > 0.999, "{}: agreement {agreement:?}", id.name());
     let scale = base.outputs[0].fro_norm() / (base.outputs[0].numel() as f32).sqrt();
     assert!(
         agreement.max_abs_diff < 1e-2 * scale.max(1.0),
@@ -139,12 +133,14 @@ fn all_four_levels_compose_on_unet_small() {
     let g = ModelId::UnetSmall.build(&cfg);
     let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 3);
     let (dec, _) = compiler.compile(&g, OptLevel::Decomposed);
-    let base = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
+    let base =
+        execute(&dec, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
     let mut peaks = vec![plan_memory(&dec).peak_internal_bytes];
     for level in [OptLevel::Fusion, OptLevel::SkipOpt, OptLevel::SkipOptFusion] {
         let (opt, _) = compiler.compile(&g, level);
         assert!(temco_ir::verify(&opt).is_empty(), "{}", level.label());
-        let out = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
+        let out = execute(&opt, std::slice::from_ref(&x), ExecOptions::default())
+            .expect("execution failed");
         let a = compare_outputs(&base.outputs[0], &out.outputs[0], 5);
         assert!(a.task_agreement > 0.999, "{}: {a:?}", level.label());
         peaks.push(plan_memory(&opt).peak_internal_bytes);

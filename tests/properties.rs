@@ -55,7 +55,8 @@ fn build_graph(plans: &[LayerPlan], seed: u64) -> Graph {
                 let stride = if *stride1 || cur.2 < 8 { 1 } else { 2 };
                 let w = Tensor::he_conv_weight(c_out, cur.1, 3, 3, seed);
                 let v = g.conv2d(cur.0, w, None, stride, 1, format!("conv{i}"));
-                let sp = if stride == 1 { cur.2 } else { temco_tensor::conv_out_dim(cur.2, 3, 2, 1) };
+                let sp =
+                    if stride == 1 { cur.2 } else { temco_tensor::conv_out_dim(cur.2, 3, 2, 1) };
                 cur = (v, c_out, sp);
             }
             LayerPlan::Act(k) => {
@@ -90,7 +91,8 @@ fn build_graph(plans: &[LayerPlan], seed: u64) -> Graph {
     }
     // A 1×1 head keeps outputs small and gives the pipeline an fconv to
     // chew on.
-    let head = g.conv2d(cur.0, Tensor::he_conv_weight(4, cur.1, 1, 1, seed ^ 1), None, 1, 0, "head");
+    let head =
+        g.conv2d(cur.0, Tensor::he_conv_weight(4, cur.1, 1, 1, seed ^ 1), None, 1, 0, "head");
     g.mark_output(head);
     g.infer_shapes();
     g
@@ -107,7 +109,7 @@ proptest! {
         let g = build_graph(&plans, seed);
         prop_assert!(temco_ir::verify(&g).is_empty());
         let x = Tensor::randn(&[1, 8, 16, 16], seed);
-        let res = execute(&g, &[x], ExecOptions::default());
+        let res = execute(&g, &[x], ExecOptions::default()).expect("execution failed");
         let plan = plan_memory(&g);
         prop_assert_eq!(res.memory.peak_bytes(), plan.peak_internal_bytes);
         for (ev, st) in res.memory.timeline().iter().zip(&plan.timeline) {
@@ -127,8 +129,8 @@ proptest! {
         prop_assert!(temco_ir::verify(&opt).is_empty());
 
         let x = Tensor::randn(&[1, 8, 16, 16], seed ^ 0xABCD);
-        let a = execute(&dec, std::slice::from_ref(&x), ExecOptions::default());
-        let b = execute(&opt, &[x], ExecOptions::default());
+        let a = execute(&dec, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
+        let b = execute(&opt, &[x], ExecOptions::default()).expect("execution failed");
         let diff = a.outputs[0].max_abs_diff(&b.outputs[0]);
         let scale = a.outputs[0].fro_norm().max(1.0);
         prop_assert!(diff <= 1e-3 * scale, "diff {} scale {}", diff, scale);

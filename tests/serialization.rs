@@ -20,14 +20,12 @@ fn compiled_model_roundtrips_exactly() {
     assert!(temco_ir::verify(&reloaded).is_empty());
 
     // Identical static memory plan…
-    assert_eq!(
-        plan_memory(&opt).peak_internal_bytes,
-        plan_memory(&reloaded).peak_internal_bytes
-    );
+    assert_eq!(plan_memory(&opt).peak_internal_bytes, plan_memory(&reloaded).peak_internal_bytes);
     // …and bitwise-identical outputs (weights round-trip losslessly).
     let x = Tensor::randn(&[1, 3, 64, 64], 9);
-    let a = execute(&opt, std::slice::from_ref(&x), ExecOptions::default());
-    let b = execute(&reloaded, &[x], ExecOptions::default());
+    let a =
+        execute(&opt, std::slice::from_ref(&x), ExecOptions::default()).expect("execution failed");
+    let b = execute(&reloaded, &[x], ExecOptions::default()).expect("execution failed");
     assert_eq!(a.outputs[0], b.outputs[0]);
 }
 
