@@ -1,7 +1,9 @@
 //! Figure 11: end-to-end inference time of the 10 models.
 //!
-//! Executes every variant of every model at batch 4 and batch 32 and
-//! reports wall-clock time plus the optimized/decomposed slowdown ratio.
+//! Executes every variant of every model at batch 4 and batch 32 on a
+//! prepared [`Engine`] (plan once, run many) and reports the **median of N
+//! steady-state runs after warmup** (`TEMCO_REPS`, default 5) plus the
+//! optimized/decomposed slowdown ratio.
 //! The paper measures 1.08× (batch 4) to 1.70× (batch 32) overheads on an
 //! RTX 4090; our substrate is a CPU interpreter, so absolute numbers
 //! differ, but the *shape* — TeMCO trades some time for memory, and the
@@ -11,12 +13,29 @@
 //! paper-scale resolution and `TEMCO_MODELS=vgg11,unet_small` to subset.
 
 use std::io::Write as _;
+use std::time::Instant;
 
 use temco::Compiler;
 use temco_bench::{geomean, harness_config, paper_variants, results_dir};
 use temco_models::ModelId;
-use temco_runtime::{execute, ExecOptions};
+use temco_runtime::Engine;
 use temco_tensor::Tensor;
+
+/// Median of `n` steady-state [`Engine::run`] timings after one warmup.
+/// The engine holds the slab and scratch, so the timed region is exactly
+/// the paper's deployment loop: zero planning, zero allocation.
+fn median_run_seconds(engine: &mut Engine, x: &Tensor, reps: usize) -> f64 {
+    engine.run(std::slice::from_ref(x)).expect("warmup run failed");
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            engine.run(std::slice::from_ref(x)).expect("timed run failed");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
 
 fn selected_models() -> Vec<ModelId> {
     match std::env::var("TEMCO_MODELS") {
@@ -40,10 +59,11 @@ fn main() {
     let batches: Vec<usize> = std::env::var("TEMCO_BATCHES")
         .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .unwrap_or_else(|_| vec![4, 32]);
+    let reps: usize = std::env::var("TEMCO_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     let compiler = Compiler::default();
     let csv_path = results_dir().join("fig11_inference_time.csv");
     let mut csv = std::fs::File::create(&csv_path).expect("create csv");
-    writeln!(csv, "model,batch,variant,seconds").unwrap();
+    writeln!(csv, "model,batch,variant,median_seconds,reps").unwrap();
 
     for &batch in &batches {
         let cfg = temco_models::ModelConfig { batch, ..harness_config(64, 4) };
@@ -57,16 +77,13 @@ fn main() {
             let mut decomposed = 0.0f64;
             let mut best = 0.0f64;
             for v in &variants {
-                // One warmup, then the timed run.
-                execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default())
-                    .expect("execution failed");
-                let res = execute(&v.graph, std::slice::from_ref(&x), ExecOptions::default())
-                    .expect("execution failed");
-                print!(" {}={:.3}s", v.label, res.total_time);
-                writeln!(csv, "{},{batch},{},{}", model.name(), v.label, res.total_time).unwrap();
+                let mut engine = Engine::new(v.graph.clone()).expect("engine construction failed");
+                let secs = median_run_seconds(&mut engine, &x, reps);
+                print!(" {}={secs:.3}s", v.label);
+                writeln!(csv, "{},{batch},{},{secs},{reps}", model.name(), v.label).unwrap();
                 match v.label.as_str() {
-                    "Decomposed" => decomposed = res.total_time,
-                    "Fusion" | "Skip-Opt+Fusion" => best = res.total_time,
+                    "Decomposed" => decomposed = secs,
+                    "Fusion" | "Skip-Opt+Fusion" => best = secs,
                     _ => {}
                 }
             }

@@ -18,8 +18,24 @@
 //! `slab ≥ peak_live` always (two live values cannot share bytes); the gap
 //! is fragmentation, which [`AllocationPlan::fragmentation`] reports and the
 //! Figure-10 harness tracks against a 1.15× budget.
+//!
+//! # Kernel scratch as a planned resource
+//!
+//! Kernels also need working memory (im2col columns, GEMM pack panels,
+//! fused-kernel strips). Since exactly one node runs at a time, one shared
+//! **scratch arena** sized for the hungriest node suffices; it is appended
+//! after the value region at a 64-byte-aligned offset, so the slab layout
+//! is `[values][pad][scratch]` and `slab_bytes` covers both. Per-node
+//! requirements come from [`crate::scratch::node_scratch_bytes`] — the same
+//! deterministic formulas the kernels assert against at execution time.
+//! Fragmentation is judged on the value region only; scratch is a fixed
+//! cost of the kernel set, not a packing artifact.
 
 use temco_ir::{liveness, Graph, LiveInterval, Liveness, ValueId};
+
+/// Alignment of the scratch arena inside the slab (one cache line, and the
+/// GEMM pack-panel alignment the microkernel prefers).
+pub const SCRATCH_ALIGN: usize = 64;
 
 /// One value's reserved slab region and lifetime.
 #[derive(Clone, Debug)]
@@ -66,8 +82,22 @@ pub struct FragmentationReport {
 pub struct AllocationPlan {
     /// Reserved regions for every materialized value, in `ValueId` order.
     pub buffers: Vec<PlannedBuffer>,
-    /// Total slab bytes (max over buffers of `offset + bytes`).
+    /// Total slab bytes: the value region plus (when any kernel needs
+    /// working memory) alignment padding and the shared scratch arena.
     pub slab_bytes: usize,
+    /// Bytes of the packed value region alone (max over buffers of
+    /// `offset + bytes`).
+    pub value_bytes: usize,
+    /// Byte offset of the scratch arena ([`SCRATCH_ALIGN`]-aligned; equals
+    /// `value_bytes` rounded up). Meaningful only when `scratch_bytes > 0`.
+    pub scratch_offset: usize,
+    /// Scratch arena bytes: the max over nodes of their kernel scratch
+    /// requirement (0 when every kernel is allocation-free by itself).
+    pub scratch_bytes: usize,
+    /// Kernel scratch bytes per schedule step, `node_scratch[i]` for
+    /// `g.nodes[i]` — the executor hands each kernel exactly this prefix of
+    /// the arena.
+    pub node_scratch: Vec<usize>,
     /// Peak of simultaneously-live bytes.
     pub peak_live_bytes: usize,
     /// `offset_of[value] = byte offset`, `usize::MAX` for unmaterialized
@@ -84,17 +114,19 @@ impl AllocationPlan {
         }
     }
 
-    /// The fragmentation report for this plan.
+    /// The fragmentation report for this plan. Judged on the value region
+    /// only — the scratch arena is a fixed cost of the kernel set, not a
+    /// packing artifact.
     pub fn fragmentation(&self) -> FragmentationReport {
         let ratio = if self.peak_live_bytes == 0 {
             1.0
         } else {
-            self.slab_bytes as f64 / self.peak_live_bytes as f64
+            self.value_bytes as f64 / self.peak_live_bytes as f64
         };
         FragmentationReport {
-            slab_bytes: self.slab_bytes,
+            slab_bytes: self.value_bytes,
             peak_live_bytes: self.peak_live_bytes,
-            wasted_bytes: self.slab_bytes - self.peak_live_bytes,
+            wasted_bytes: self.value_bytes - self.peak_live_bytes,
             ratio,
         }
     }
@@ -103,19 +135,23 @@ impl AllocationPlan {
     /// valid):
     ///
     /// * no two time-overlapping buffers may intersect in space;
-    /// * every buffer must lie inside the slab;
+    /// * every buffer must lie inside the value region (never inside the
+    ///   scratch arena);
+    /// * the scratch arena must sit aligned past the value region and be
+    ///   covered by the slab;
     /// * the slab must not undercut the sum-of-live peak (a packing cannot
     ///   beat physics — such a plan is corrupt, not clever).
     pub fn validate(&self) -> Vec<String> {
         let mut errors = Vec::new();
+        let value_region = self.value_bytes.min(self.slab_bytes);
         for (i, a) in self.buffers.iter().enumerate() {
-            if a.offset + a.bytes > self.slab_bytes {
+            if a.offset + a.bytes > value_region {
                 errors.push(format!(
-                    "buffer {:?} [{}, {}) exceeds slab size {}",
+                    "buffer {:?} [{}, {}) exceeds value region {}",
                     a.value,
                     a.offset,
                     a.offset + a.bytes,
-                    self.slab_bytes
+                    value_region
                 ));
             }
             for b in self.buffers.iter().skip(i + 1) {
@@ -141,6 +177,31 @@ impl AllocationPlan {
             errors.push(format!(
                 "slab {} undercuts the sum-of-live peak {} — impossible packing",
                 self.slab_bytes, self.peak_live_bytes
+            ));
+        }
+        if self.scratch_bytes > 0 {
+            if self.scratch_offset < self.value_bytes
+                || !self.scratch_offset.is_multiple_of(SCRATCH_ALIGN)
+            {
+                errors.push(format!(
+                    "scratch arena offset {} is not an aligned offset past the value region {}",
+                    self.scratch_offset, self.value_bytes
+                ));
+            }
+            if self.scratch_offset + self.scratch_bytes != self.slab_bytes {
+                errors.push(format!(
+                    "scratch arena [{}, {}) does not end at the slab boundary {}",
+                    self.scratch_offset,
+                    self.scratch_offset + self.scratch_bytes,
+                    self.slab_bytes
+                ));
+            }
+        }
+        if self.node_scratch.iter().copied().max().unwrap_or(0) > self.scratch_bytes {
+            errors.push(format!(
+                "a node needs more scratch than the arena holds ({} > {})",
+                self.node_scratch.iter().copied().max().unwrap_or(0),
+                self.scratch_bytes
             ));
         }
         errors
@@ -222,13 +283,31 @@ fn pack_best_fit(g: &Graph, intervals: &[LiveInterval], sizes: &[usize]) -> Allo
         placed.push(i);
     }
 
-    let slab_bytes = buffers.iter().map(|p| p.offset + p.bytes).max().unwrap_or(0);
+    let value_bytes = buffers.iter().map(|p| p.offset + p.bytes).max().unwrap_or(0);
     let peak_live_bytes = peak_live(g.nodes.len(), &buffers);
     let mut offset_of = vec![usize::MAX; g.values.len()];
     for p in &buffers {
         offset_of[p.value.0 as usize] = p.offset;
     }
-    AllocationPlan { buffers, slab_bytes, peak_live_bytes, offset_of }
+
+    // Reserve the shared kernel-scratch arena past the value region. One
+    // node runs at a time, so max-over-nodes is exact, not conservative.
+    let node_scratch: Vec<usize> =
+        g.nodes.iter().map(|n| crate::scratch::node_scratch_bytes(g, n)).collect();
+    let scratch_bytes = node_scratch.iter().copied().max().unwrap_or(0);
+    let scratch_offset = value_bytes.div_ceil(SCRATCH_ALIGN) * SCRATCH_ALIGN;
+    let slab_bytes = if scratch_bytes == 0 { value_bytes } else { scratch_offset + scratch_bytes };
+
+    AllocationPlan {
+        buffers,
+        slab_bytes,
+        value_bytes,
+        scratch_offset,
+        scratch_bytes,
+        node_scratch,
+        peak_live_bytes,
+        offset_of,
+    }
 }
 
 /// Peak of simultaneously-live bytes via a delta sweep over the schedule.
@@ -318,8 +397,11 @@ mod tests {
         assert!(plan.validate().is_empty());
         // x dies when wide is computed... peak is wide+narrow+? — whatever
         // the exact layout, best-fit must not exceed the sum-of-live peak
-        // here because every later tensor fits a freed gap exactly.
-        assert_eq!(plan.slab_bytes, plan.peak_live_bytes);
+        // here because every later tensor fits a freed gap exactly. (The
+        // value region, that is — the convs also reserve kernel scratch.)
+        assert_eq!(plan.value_bytes, plan.peak_live_bytes);
+        assert!(plan.scratch_bytes > 0);
+        assert_eq!(plan.slab_bytes, plan.scratch_offset + plan.scratch_bytes);
     }
 
     #[test]

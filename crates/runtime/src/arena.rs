@@ -73,7 +73,9 @@ pub fn plan_arena(g: &Graph) -> ArenaPlan {
             end: b.end,
         })
         .collect();
-    ArenaPlan { placements, arena_bytes: plan.slab_bytes, peak_live_bytes: plan.peak_live_bytes }
+    // The arena view covers tensor placements only — the kernel-scratch
+    // region the full slab appends is not part of this legacy report.
+    ArenaPlan { placements, arena_bytes: plan.value_bytes, peak_live_bytes: plan.peak_live_bytes }
 }
 
 /// Check that no two placements overlap in both time and arena space.

@@ -1,0 +1,211 @@
+//! Plan once, run many: a prepared inference engine.
+//!
+//! [`crate::executor::execute`] re-plans, re-allocates its slab, and
+//! records a memory timeline on every call — the right shape for
+//! experiments, the wrong one for deployment. [`Engine`] hoists everything
+//! that can be precomputed into [`Engine::new`]: graph verification, shape
+//! checks, liveness, the allocation plan (values **and** kernel scratch),
+//! the slab itself, and the output tensors. A steady-state [`Engine::run`]
+//! then performs **zero** heap allocations: every kernel writes into
+//! planned slab offsets and draws working memory from the planner-reserved
+//! scratch arena. The integration tests assert this with a counting global
+//! allocator across the whole model zoo.
+
+use temco_ir::{liveness, Graph, Op, ValueId};
+use temco_tensor::{Tensor, TensorView};
+
+use crate::alloc::{plan_allocation_with, AllocationPlan};
+use crate::executor::{eval_into, ExecError};
+
+const F32: usize = std::mem::size_of::<f32>();
+
+/// A graph compiled down to a reusable slab and plan.
+pub struct Engine {
+    g: Graph,
+    plan: AllocationPlan,
+    slab: Vec<f32>,
+    outputs: Vec<Tensor>,
+}
+
+impl Engine {
+    /// Verify the graph, plan its memory (values + kernel scratch), and
+    /// allocate the slab and output tensors. All failure modes of the
+    /// one-shot executor surface here, before the first inference.
+    pub fn new(g: Graph) -> Result<Self, ExecError> {
+        let violations = temco_ir::verify(&g);
+        if !violations.is_empty() {
+            return Err(ExecError::InvalidGraph { violations });
+        }
+        for node in &g.nodes {
+            if g.values[node.output.0 as usize].shape.is_none() {
+                return Err(ExecError::ShapesNotInferred {
+                    value: g.values[node.output.0 as usize].name.clone(),
+                });
+            }
+            if g.value_numel(node.output) == 0 {
+                return Err(ExecError::ZeroSizedValue {
+                    value: g.values[node.output.0 as usize].name.clone(),
+                    shape: g.shape(node.output).to_vec(),
+                });
+            }
+            if matches!(node.op, Op::Input) && !g.inputs.contains(&node.output) {
+                return Err(ExecError::UnregisteredInput { node: node.name.clone() });
+            }
+        }
+        let lv = liveness(&g);
+        let plan = plan_allocation_with(&g, &lv);
+        let violations = plan.validate();
+        if !violations.is_empty() {
+            return Err(ExecError::InvalidPlan { violations });
+        }
+        let slab = vec![0.0f32; plan.slab_bytes / F32];
+        let outputs = g.outputs.iter().map(|v| Tensor::zeros(g.shape(*v))).collect();
+        Ok(Engine { g, plan, slab, outputs })
+    }
+
+    /// Total slab bytes (value region + kernel-scratch arena) — the only
+    /// inference-time memory beyond weights, inputs, and outputs.
+    pub fn slab_bytes(&self) -> usize {
+        self.plan.slab_bytes
+    }
+
+    /// Bytes of the slab's kernel-scratch arena.
+    pub fn scratch_bytes(&self) -> usize {
+        self.plan.scratch_bytes
+    }
+
+    /// The allocation plan the engine runs on.
+    pub fn plan(&self) -> &AllocationPlan {
+        &self.plan
+    }
+
+    /// Run one inference. Returns the output tensors (owned by the engine,
+    /// overwritten by the next `run`) in `Graph::outputs` order.
+    ///
+    /// Heap-allocation-free on success: input validation compares counts
+    /// and shapes without building anything, and every kernel runs on slab
+    /// views with planner-reserved scratch.
+    pub fn run(&mut self, inputs: &[Tensor]) -> Result<&[Tensor], ExecError> {
+        let g = &self.g;
+        if inputs.len() != g.inputs.len() {
+            return Err(ExecError::InputCountMismatch {
+                expected: g.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        for (i, (v, t)) in g.inputs.iter().zip(inputs).enumerate() {
+            if g.shape(*v) != t.shape() {
+                return Err(ExecError::InputShapeMismatch {
+                    index: i,
+                    expected: g.shape(*v).to_vec(),
+                    got: t.shape().to_vec(),
+                });
+            }
+        }
+
+        let plan = &self.plan;
+        let slab_ptr = self.slab.as_mut_ptr();
+        for (i, node) in g.nodes.iter().enumerate() {
+            let out_off = plan.offset(node.output).expect("planned in new()") / F32;
+            let out_len = g.value_numel(node.output);
+            // Same aliasing argument as the executor: the plan (validated
+            // in `new`) keeps the output region disjoint from operand
+            // regions and from the scratch arena.
+            let out: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(out_off), out_len) };
+            let view = |v: ValueId| -> TensorView<'_> {
+                let off = plan.offset(v).expect("planned in new()") / F32;
+                let len = g.value_numel(v);
+                unsafe {
+                    TensorView::new(g.shape(v), std::slice::from_raw_parts(slab_ptr.add(off), len))
+                }
+            };
+            let scratch_f = plan.node_scratch[i] / F32;
+            let scratch: &mut [f32] = if scratch_f == 0 {
+                &mut []
+            } else {
+                unsafe {
+                    std::slice::from_raw_parts_mut(
+                        slab_ptr.add(plan.scratch_offset / F32),
+                        scratch_f,
+                    )
+                }
+            };
+            match &node.op {
+                Op::Input => {
+                    let pos = g
+                        .inputs
+                        .iter()
+                        .position(|v| *v == node.output)
+                        .expect("validated in new()");
+                    out.copy_from_slice(inputs[pos].data());
+                }
+                other => eval_into(g, other, &node.inputs, &view, out, scratch),
+            }
+        }
+
+        for (slot, v) in self.outputs.iter_mut().zip(&g.outputs) {
+            let off = plan.offset(*v).expect("graph output was not computed") / F32;
+            let len = g.value_numel(*v);
+            slot.data_mut().copy_from_slice(&self.slab[off..off + len]);
+        }
+        Ok(&self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{execute, ExecOptions};
+
+    fn small_cnn() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 8, 8], "x");
+        let c1 = g.conv2d(x, Tensor::randn(&[6, 3, 3, 3], 1), None, 1, 1, "c1");
+        let r1 = g.relu(c1, "r1");
+        let p1 = g.max_pool(r1, 2, 2, "p1");
+        let f = g.flatten(p1, "flat");
+        let l = g.linear(f, Tensor::randn(&[5, 6 * 4 * 4], 2), None, "fc");
+        let s = g.softmax(l, "sm");
+        g.mark_output(s);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn engine_matches_one_shot_executor() {
+        let g = small_cnn();
+        let x = Tensor::randn(&[2, 3, 8, 8], 3);
+        let want = execute(&g, std::slice::from_ref(&x), ExecOptions::default()).unwrap();
+        let mut engine = Engine::new(small_cnn()).unwrap();
+        let got = engine.run(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].all_close(&want.outputs[0], 1e-6));
+        assert_eq!(engine.slab_bytes(), want.slab_bytes);
+        assert!(engine.scratch_bytes() > 0);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_inputs() {
+        let mut engine = Engine::new(small_cnn()).unwrap();
+        let a = Tensor::randn(&[2, 3, 8, 8], 5);
+        let b = Tensor::randn(&[2, 3, 8, 8], 6);
+        let out_a = engine.run(std::slice::from_ref(&a)).unwrap()[0].clone();
+        let out_b = engine.run(std::slice::from_ref(&b)).unwrap()[0].clone();
+        let out_a2 = engine.run(std::slice::from_ref(&a)).unwrap();
+        assert!(out_a.all_close(&out_a2[0], 0.0));
+        assert!(!out_a.all_close(&out_b, 1e-3));
+    }
+
+    #[test]
+    fn engine_rejects_bad_inputs_without_running() {
+        let mut engine = Engine::new(small_cnn()).unwrap();
+        let err = engine.run(&[]).unwrap_err();
+        assert_eq!(err, ExecError::InputCountMismatch { expected: 1, got: 0 });
+        let wrong = Tensor::zeros(&[1, 3, 8, 8]);
+        assert!(matches!(
+            engine.run(std::slice::from_ref(&wrong)).unwrap_err(),
+            ExecError::InputShapeMismatch { .. }
+        ));
+    }
+}

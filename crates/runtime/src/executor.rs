@@ -23,14 +23,14 @@ use std::time::Instant;
 
 use temco_ir::{liveness, Graph, Liveness, Op, PoolKind, ValueId};
 use temco_tensor::{
-    add, add_n_into, avg_pool2d, avg_pool2d_into, concat_channels, concat_channels_into, conv2d,
-    conv2d_into, conv_transpose2d, conv_transpose2d_into, global_avg_pool, global_avg_pool_into,
-    linear, linear_into, max_pool2d, max_pool2d_into, softmax_lastdim, softmax_lastdim_into,
-    Conv2dParams, Tensor, TensorView,
+    add, add_n_into_iter, avg_pool2d, avg_pool2d_into, concat_channels, concat_channels_into_iter,
+    conv2d, conv2d_into_scratch, conv_transpose2d, conv_transpose2d_into_scratch, global_avg_pool,
+    global_avg_pool_into, linear, linear_into_scratch, max_pool2d, max_pool2d_into,
+    softmax_lastdim, softmax_lastdim_into, Conv2dParams, Tensor, TensorView,
 };
 
 use crate::alloc::plan_allocation_with;
-use crate::fused::{fused_forward, fused_forward_into};
+use crate::fused::{fused_forward, fused_forward_into_scratch};
 use crate::memory::MemoryTracker;
 
 /// How the executor obtains memory for internal tensors.
@@ -152,11 +152,15 @@ pub struct ExecResult {
     pub node_times: Vec<f64>,
     /// Total wall time of the inference in seconds.
     pub total_time: f64,
-    /// Planned slab bytes (0 in [`ExecMode::PerNode`]).
+    /// Planned slab bytes — value region plus the kernel-scratch arena
+    /// (0 in [`ExecMode::PerNode`]).
     pub slab_bytes: usize,
+    /// Bytes of the slab's kernel-scratch arena (0 in
+    /// [`ExecMode::PerNode`], where kernels use thread-local scratch).
+    pub scratch_bytes: usize,
     /// Dynamic high-water mark: the furthest slab byte any materialized
-    /// tensor reached (0 in [`ExecMode::PerNode`]). Equals `slab_bytes` iff
-    /// the executor stayed inside the plan.
+    /// tensor or kernel scratch reached (0 in [`ExecMode::PerNode`]).
+    /// Equals `slab_bytes` iff the executor stayed inside the plan.
     pub slab_high_water: usize,
 }
 
@@ -258,6 +262,17 @@ fn execute_slab(
             }
         };
 
+        // The node's kernel scratch is the planner-reserved arena past the
+        // value region — disjoint from every value view by construction.
+        let scratch_f = plan.node_scratch[i] / F32;
+        let scratch: &mut [f32] = if scratch_f == 0 {
+            &mut []
+        } else {
+            unsafe {
+                std::slice::from_raw_parts_mut(slab_ptr.add(plan.scratch_offset / F32), scratch_f)
+            }
+        };
+
         match &node.op {
             // Inputs are matched by their position in `Graph::inputs`, not
             // by schedule order — rescheduling passes may move input nodes.
@@ -266,12 +281,15 @@ fn execute_slab(
                     g.inputs.iter().position(|v| *v == node.output).expect("checked by validate()");
                 out.copy_from_slice(inputs[pos].data());
             }
-            other => eval_into(g, other, &node.inputs, &view, out),
+            other => eval_into(g, other, &node.inputs, &view, out, scratch),
         }
 
         let out_bytes = out_len * F32;
         mem.alloc(out_bytes, i);
         high_water = high_water.max(out_off * F32 + out_bytes);
+        if plan.node_scratch[i] > 0 {
+            high_water = high_water.max(plan.scratch_offset + plan.node_scratch[i]);
+        }
         // Sample while the node's operands are still allocated — this is the
         // instant the planner's live-set model describes (inputs + output of
         // the running layer are simultaneously resident).
@@ -312,17 +330,23 @@ fn execute_slab(
         node_times,
         total_time: start.elapsed().as_secs_f64(),
         slab_bytes: plan.slab_bytes,
+        scratch_bytes: plan.scratch_bytes,
         slab_high_water: high_water,
     })
 }
 
-/// Dispatch one node's kernel through its `_into` variant.
-fn eval_into<'a>(
+/// Dispatch one node's kernel through its `_into` variant. Kernels that
+/// need working memory receive `scratch` — the planner-reserved arena —
+/// so the hot path performs no allocation at all (the `Vec`s that used to
+/// gather `Add`/`Concat` operands are gone too: those kernels take
+/// cloneable iterators over the slab views).
+pub(crate) fn eval_into<'a>(
     g: &Graph,
     op: &Op,
     inputs: &[ValueId],
     view: &dyn Fn(ValueId) -> TensorView<'a>,
     out: &mut [f32],
+    scratch: &mut [f32],
 ) {
     let arg = |i: usize| view(inputs[i]);
     match op {
@@ -331,11 +355,11 @@ fn eval_into<'a>(
             let p =
                 Conv2dParams { stride: spec.stride, padding: spec.padding, groups: spec.groups };
             let bias = spec.bias.map(|b| g.weight(b).data());
-            conv2d_into(arg(0), g.weight(spec.weight), bias, &p, out);
+            conv2d_into_scratch(arg(0), g.weight(spec.weight), bias, &p, out, scratch);
         }
         Op::ConvTranspose2d { weight, bias, stride } => {
             let bias = bias.map(|b| g.weight(b).data());
-            conv_transpose2d_into(arg(0), g.weight(*weight), bias, *stride, out);
+            conv_transpose2d_into_scratch(arg(0), g.weight(*weight), bias, *stride, out, scratch);
         }
         Op::Activation(kind) => kind.forward_into(arg(0).data(), out),
         Op::Pool { kind: PoolKind::Max, kernel, stride } => {
@@ -364,23 +388,17 @@ fn eval_into<'a>(
         // n-ary Add sums every operand directly into the output slot — the
         // chained binary adds of the per-node path (and their hidden
         // intermediates) do not exist here.
-        Op::Add => {
-            let slices: Vec<&[f32]> = (0..inputs.len()).map(|i| arg(i).data()).collect();
-            add_n_into(&slices, out);
-        }
-        Op::Concat => {
-            let views: Vec<TensorView<'_>> = (0..inputs.len()).map(arg).collect();
-            concat_channels_into(&views, out);
-        }
+        Op::Add => add_n_into_iter(inputs.iter().map(|&v| view(v).data()), out),
+        Op::Concat => concat_channels_into_iter(inputs.iter().map(|&v| view(v)), out),
         Op::Linear { weight, bias } => {
             let bias = bias.map(|b| g.weight(b).data());
-            linear_into(arg(0), g.weight(*weight), bias, out);
+            linear_into_scratch(arg(0), g.weight(*weight), bias, out, scratch);
         }
         // A flatten is a pure reinterpretation; in slab mode it degenerates
         // to one copy between the operand's region and the output's.
         Op::Flatten => out.copy_from_slice(arg(0).data()),
         Op::Softmax => softmax_lastdim_into(arg(0), out),
-        Op::Fused(spec) => fused_forward_into(
+        Op::Fused(spec) => fused_forward_into_scratch(
             arg(0),
             g.weight(spec.lconv_w),
             spec.lconv_b.map(|b| g.weight(b).data()),
@@ -389,6 +407,7 @@ fn eval_into<'a>(
             spec.fconv.as_ref().map(|fc| g.weight(fc.weight)),
             spec.fconv.as_ref().and_then(|fc| fc.bias).map(|b| g.weight(b).data()),
             out,
+            scratch,
         ),
     }
 }
@@ -443,6 +462,7 @@ fn execute_per_node(g: &Graph, inputs: &[Tensor], opts: ExecOptions, lv: &Livene
         node_times,
         total_time: start.elapsed().as_secs_f64(),
         slab_bytes: 0,
+        scratch_bytes: 0,
         slab_high_water: 0,
     }
 }

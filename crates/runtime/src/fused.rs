@@ -9,7 +9,15 @@
 
 use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
-use temco_tensor::{conv_out_dim, Tensor, TensorView};
+use temco_tensor::{conv_out_dim, with_tl_scratch, Tensor, TensorView};
+
+/// Worker-slot count for a fused kernel with `jobs` independent work
+/// items: modest oversubscription of the thread count for load balancing,
+/// never more slots than jobs. Shared by the scratch-size formulas and the
+/// kernels so the planner reserves exactly what the kernel partitions.
+pub(crate) fn fused_slots(jobs: usize) -> usize {
+    jobs.min(rayon::current_num_threads() * 4).max(1)
+}
 
 /// Execute the fused kernel.
 ///
@@ -48,10 +56,34 @@ pub fn fused_forward(
     out
 }
 
+/// Scratch floats [`fused_forward_into_scratch`] needs for a fused node
+/// with the given geometry. `pool` is `(kernel, stride)`; `has_fconv`
+/// mirrors whether the reducing 1×1 follows. The allocation planner calls
+/// this with the node's shapes so the slab reserves exactly what the
+/// kernel partitions into per-slot arenas.
+pub fn fused_scratch_floats(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_red_out: usize,
+    pool: Option<(usize, usize)>,
+    has_fconv: bool,
+) -> usize {
+    let (oh, ow, pk) = match pool {
+        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k),
+        None => (h, w, 1),
+    };
+    let per_slot = c_full * pk * w + c_full * ow + if has_fconv { c_red_out * ow } else { 0 };
+    fused_slots(n * oh) * per_slot
+}
+
 /// [`fused_forward`] writing into a preallocated output buffer: each worker
 /// computes its `(batch, output-row)` strip and scatters it straight into
 /// the planned output slot, so the collect-then-copy of the allocating form
-/// disappears along with the per-node output allocation.
+/// disappears along with the per-node output allocation. Strip/pooled/row
+/// buffers come from thread-local scratch; for the zero-allocation path use
+/// [`fused_forward_into_scratch`] with planner-reserved memory.
 ///
 /// # Panics
 /// Panics on channel mismatches or if `out` has the wrong length.
@@ -65,6 +97,45 @@ pub fn fused_forward_into(
     fconv_w: Option<&Tensor>,
     fconv_b: Option<&[f32]>,
     out: &mut [f32],
+) {
+    let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+    let c_full = lconv_w.dim(0);
+    let c_red_out = fconv_w.map_or(c_full, |fw| fw.dim(0));
+    let floats = fused_scratch_floats(
+        n,
+        h,
+        w,
+        c_full,
+        c_red_out,
+        pool.map(|(_, k, s)| (k, s)),
+        fconv_w.is_some(),
+    );
+    with_tl_scratch(floats, |scratch| {
+        fused_forward_into_scratch(
+            input, lconv_w, lconv_b, act, pool, fconv_w, fconv_b, out, scratch,
+        );
+    });
+}
+
+/// [`fused_forward_into`] with caller-provided working memory.
+///
+/// `scratch` must hold at least [`fused_scratch_floats`] floats for this
+/// geometry; it is partitioned into per-worker-slot arenas (strip, pooled
+/// row, reduced row) so the kernel performs no allocation at all.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or short `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_into_scratch(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
 ) {
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_full = lconv_w.dim(0);
@@ -92,106 +163,124 @@ pub fn fused_forward_into(
     // `pk` pre-pool rows at full channel width in scratch, activate, pool,
     // reduce, and scatter the finished row straight into the output slot.
     // Jobs write disjoint `(b, ·, orow, ·)` row sets, so the shared pointer
-    // is sound; nothing proportional to the output is ever staged.
+    // is sound; nothing proportional to the output is ever staged. Workers
+    // draw their strip/row buffers from disjoint slots of `scratch`,
+    // claiming jobs `slot, slot + slots, …` so every job maps to exactly
+    // one slot.
+    let jobs = n * oh;
+    let strip_f = c_full * pk * w;
+    let pooled_f = c_full * ow;
+    let row_f = if fw.is_some() { c_red_out * ow } else { 0 };
+    let per_slot = strip_f + pooled_f + row_f;
+    let slots = fused_slots(jobs);
+    assert!(
+        scratch.len() >= slots * per_slot,
+        "fused scratch: need {} floats, got {}",
+        slots * per_slot,
+        scratch.len()
+    );
     let out_ptr = SyncPtr(out.as_mut_ptr());
-    (0..n * oh).into_par_iter().for_each(|job| {
-        let b = job / oh;
-        let orow = job % oh;
-        // Scratch strip: [c_full, pk, w] — the "tile" of Listing 1.
-        let mut strip = vec![0.0f32; c_full * pk * w];
-        let base_h = orow * ps;
-        for cf in 0..c_full {
-            let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
-            let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
-            for dh in 0..pk {
-                let ih = base_h + dh;
-                let dst = &mut strip[(cf * pk + dh) * w..(cf * pk + dh + 1) * w];
-                dst.fill(bias);
-                if ih >= h {
-                    continue;
-                }
-                for (cr, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
+    scratch[..slots * per_slot].par_chunks_mut(per_slot).enumerate().for_each(|(slot, sc)| {
+        let (strip, rest) = sc.split_at_mut(strip_f);
+        let (pooled, out_row) = rest.split_at_mut(pooled_f);
+        let mut job = slot;
+        while job < jobs {
+            let b = job / oh;
+            let orow = job % oh;
+            // Strip: [c_full, pk, w] — the "tile" of Listing 1.
+            let base_h = orow * ps;
+            for cf in 0..c_full {
+                let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
+                let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
+                for dh in 0..pk {
+                    let ih = base_h + dh;
+                    let dst = &mut strip[(cf * pk + dh) * w..(cf * pk + dh + 1) * w];
+                    dst.fill(bias);
+                    if ih >= h {
                         continue;
                     }
-                    let src = &in_data[(b * c_red_in + cr) * in_plane + ih * w..][..w];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d += wv * s;
-                    }
-                }
-                // Activation at full channel width (cannot be reordered
-                // past fconv — Section 3.2).
-                for d in dst.iter_mut() {
-                    *d = act.apply(*d);
-                }
-            }
-        }
-        // Pool the strip down to one row per full channel: [c_full, ow].
-        let mut pooled = vec![0.0f32; c_full * ow];
-        match pool_kind {
-            None => {
-                for cf in 0..c_full {
-                    pooled[cf * ow..(cf + 1) * ow]
-                        .copy_from_slice(&strip[cf * pk * w..cf * pk * w + w]);
-                }
-            }
-            Some(kind) => {
-                for cf in 0..c_full {
-                    for ocol in 0..ow {
-                        let mut acc = match kind {
-                            PoolKind::Max => f32::NEG_INFINITY,
-                            PoolKind::Avg => 0.0,
-                        };
-                        for dh in 0..pk {
-                            for dw in 0..pk {
-                                let v = strip[(cf * pk + dh) * w + ocol * ps + dw];
-                                acc = match kind {
-                                    PoolKind::Max => acc.max(v),
-                                    PoolKind::Avg => acc + v,
-                                };
-                            }
-                        }
-                        if kind == PoolKind::Avg {
-                            acc /= (pk * pk) as f32;
-                        }
-                        pooled[cf * ow + ocol] = acc;
-                    }
-                }
-            }
-        }
-        // fconv: reduce back down (restore kernels skip this and emit
-        // the pooled full-width rows directly).
-        let out_row = match fw {
-            None => pooled,
-            Some(fw) => {
-                let mut out_row = vec![0.0f32; c_red_out * ow];
-                for co in 0..c_red_out {
-                    let dst = &mut out_row[co * ow..(co + 1) * ow];
-                    dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
-                    let wrow = &fw[co * c_full..(co + 1) * c_full];
-                    for (cf, &wv) in wrow.iter().enumerate() {
+                    for (cr, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }
-                        let src = &pooled[cf * ow..(cf + 1) * ow];
+                        let src = &in_data[(b * c_red_in + cr) * in_plane + ih * w..][..w];
                         for (d, &s) in dst.iter_mut().zip(src) {
                             *d += wv * s;
                         }
                     }
+                    // Activation at full channel width (cannot be reordered
+                    // past fconv — Section 3.2).
+                    for d in dst.iter_mut() {
+                        *d = act.apply(*d);
+                    }
                 }
-                out_row
             }
-        };
-        // Scatter this job's rows; no other job touches them.
-        for co in 0..c_red_out {
-            let dst_off = (b * c_red_out + co) * out_plane + orow * ow;
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    out_row[co * ow..].as_ptr(),
-                    out_ptr.add(dst_off),
-                    ow,
-                );
+            // Pool the strip down to one row per full channel: [c_full, ow].
+            match pool_kind {
+                None => {
+                    for cf in 0..c_full {
+                        pooled[cf * ow..(cf + 1) * ow]
+                            .copy_from_slice(&strip[cf * pk * w..cf * pk * w + w]);
+                    }
+                }
+                Some(kind) => {
+                    for cf in 0..c_full {
+                        for ocol in 0..ow {
+                            let mut acc = match kind {
+                                PoolKind::Max => f32::NEG_INFINITY,
+                                PoolKind::Avg => 0.0,
+                            };
+                            for dh in 0..pk {
+                                for dw in 0..pk {
+                                    let v = strip[(cf * pk + dh) * w + ocol * ps + dw];
+                                    acc = match kind {
+                                        PoolKind::Max => acc.max(v),
+                                        PoolKind::Avg => acc + v,
+                                    };
+                                }
+                            }
+                            if kind == PoolKind::Avg {
+                                acc /= (pk * pk) as f32;
+                            }
+                            pooled[cf * ow + ocol] = acc;
+                        }
+                    }
+                }
             }
+            // fconv: reduce back down (restore kernels skip this and emit
+            // the pooled full-width rows directly).
+            let finished: &[f32] = match fw {
+                None => &pooled[..],
+                Some(fw) => {
+                    for co in 0..c_red_out {
+                        let dst = &mut out_row[co * ow..(co + 1) * ow];
+                        dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
+                        let wrow = &fw[co * c_full..(co + 1) * c_full];
+                        for (cf, &wv) in wrow.iter().enumerate() {
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let src = &pooled[cf * ow..(cf + 1) * ow];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += wv * s;
+                            }
+                        }
+                    }
+                    &out_row[..]
+                }
+            };
+            // Scatter this job's rows; no other job touches them.
+            for co in 0..c_red_out {
+                let dst_off = (b * c_red_out + co) * out_plane + orow * ow;
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        finished[co * ow..].as_ptr(),
+                        out_ptr.add(dst_off),
+                        ow,
+                    );
+                }
+            }
+            job += slots;
         }
     });
 }

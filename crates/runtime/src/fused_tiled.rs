@@ -14,9 +14,39 @@
 
 use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
-use temco_tensor::{conv_out_dim, Tensor, TensorView};
+use temco_tensor::{conv_out_dim, with_tl_scratch, Tensor, TensorView};
 
-use crate::fused::SyncPtr;
+use crate::fused::{fused_slots, SyncPtr};
+
+/// Scratch floats [`fused_forward_tiled_into_scratch`] needs. Per-slot
+/// buffers are sized for the largest tile (edge tiles use prefixes).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_tiled_scratch_floats(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_out: usize,
+    pool: Option<(usize, usize)>,
+    tile: usize,
+    has_fconv: bool,
+) -> usize {
+    let tile = tile.max(1);
+    let (oh, ow, pk, ps) = match pool {
+        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k, s),
+        None => (h, w, 1, 1),
+    };
+    if n == 0 || c_out == 0 || oh == 0 || ow == 0 {
+        return 0;
+    }
+    let jobs = n * c_out.div_ceil(tile) * oh.div_ceil(tile) * ow.div_ceil(tile);
+    let (th_max, tw_max) = (tile.min(oh), tile.min(ow));
+    let (ih_max, iw_max) = ((th_max - 1) * ps + pk, (tw_max - 1) * ps + pk);
+    let per_slot = c_full * ih_max * iw_max
+        + c_full * th_max * tw_max
+        + if has_fconv { tile.min(c_out) * th_max * tw_max } else { 0 };
+    fused_slots(jobs) * per_slot
+}
 
 /// Execute the fused chain with cubic tiling of the output space.
 ///
@@ -62,7 +92,9 @@ pub fn fused_forward_tiled(
 
 /// [`fused_forward_tiled`] writing into a preallocated output buffer: each
 /// tile job scatters its finished `T×T×T` block straight into the planned
-/// output slot instead of staging all tiles for a sequential copy.
+/// output slot instead of staging all tiles for a sequential copy. Tile
+/// staging buffers come from thread-local scratch; for the zero-allocation
+/// path use [`fused_forward_tiled_into_scratch`].
 ///
 /// # Panics
 /// Panics on channel mismatches or if `out` has the wrong length.
@@ -77,6 +109,47 @@ pub fn fused_forward_tiled_into(
     fconv_b: Option<&[f32]>,
     tile: usize,
     out: &mut [f32],
+) {
+    let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+    let c_full = lconv_w.dim(0);
+    let c_out = fconv_w.map_or(c_full, |fw| fw.dim(0));
+    let floats = fused_tiled_scratch_floats(
+        n,
+        h,
+        w,
+        c_full,
+        c_out,
+        pool.map(|(_, k, s)| (k, s)),
+        tile,
+        fconv_w.is_some(),
+    );
+    with_tl_scratch(floats, |scratch| {
+        fused_forward_tiled_into_scratch(
+            input, lconv_w, lconv_b, act, pool, fconv_w, fconv_b, tile, out, scratch,
+        );
+    });
+}
+
+/// [`fused_forward_tiled_into`] with caller-provided working memory.
+///
+/// `scratch` must hold at least [`fused_tiled_scratch_floats`] floats for
+/// this geometry; it is partitioned into per-worker-slot staging arenas so
+/// the kernel performs no allocation at all.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or short `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_tiled_into_scratch(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    tile: usize,
+    out: &mut [f32],
+    scratch: &mut [f32],
 ) {
     let tile = tile.max(1);
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
@@ -106,119 +179,145 @@ pub fn fused_forward_tiled_into(
     let tiles_h = oh.div_ceil(tile);
     let tiles_w = ow.div_ceil(tile);
     let jobs = n * tiles_c * tiles_h * tiles_w;
+    if jobs == 0 {
+        return;
+    }
+
+    // Per-slot staging arenas at the largest tile's dimensions; edge tiles
+    // use prefix slices. Workers claim jobs `slot, slot + slots, …`.
+    let (th_max, tw_max) = (tile.min(oh), tile.min(ow));
+    let (ih_max, iw_max) = ((th_max - 1) * ps + pk, (tw_max - 1) * ps + pk);
+    let staged_max = c_full * ih_max * iw_max;
+    let pooled_max = c_full * th_max * tw_max;
+    let out_tile_max = if fw.is_some() { tile.min(c_out) * th_max * tw_max } else { 0 };
+    let per_slot = staged_max + pooled_max + out_tile_max;
+    let slots = fused_slots(jobs);
+    assert!(
+        scratch.len() >= slots * per_slot,
+        "tiled fused scratch: need {} floats, got {}",
+        slots * per_slot,
+        scratch.len()
+    );
 
     let out_ptr = SyncPtr(out.as_mut_ptr());
-    (0..jobs).into_par_iter().for_each(|job| {
-        let b = job / (tiles_c * tiles_h * tiles_w);
-        let rest = job % (tiles_c * tiles_h * tiles_w);
-        let tc = rest / (tiles_h * tiles_w);
-        let th = (rest / tiles_w) % tiles_h;
-        let tw = rest % tiles_w;
+    scratch[..slots * per_slot].par_chunks_mut(per_slot).enumerate().for_each(|(slot, sc)| {
+        let (staged_buf, rest_buf) = sc.split_at_mut(staged_max);
+        let (pooled_buf, out_tile_buf) = rest_buf.split_at_mut(pooled_max);
+        let mut job = slot;
+        while job < jobs {
+            let b = job / (tiles_c * tiles_h * tiles_w);
+            let rest = job % (tiles_c * tiles_h * tiles_w);
+            let tc = rest / (tiles_h * tiles_w);
+            let th = (rest / tiles_w) % tiles_h;
+            let tw = rest % tiles_w;
 
-        let c0 = tc * tile;
-        let c1 = (c0 + tile).min(c_out);
-        let oh0 = th * tile;
-        let oh1 = (oh0 + tile).min(oh);
-        let ow0 = tw * tile;
-        let ow1 = (ow0 + tile).min(ow);
-        let (th_len, tw_len) = (oh1 - oh0, ow1 - ow0);
+            let c0 = tc * tile;
+            let c1 = (c0 + tile).min(c_out);
+            let oh0 = th * tile;
+            let oh1 = (oh0 + tile).min(oh);
+            let ow0 = tw * tile;
+            let ow1 = (ow0 + tile).min(ow);
+            let (th_len, tw_len) = (oh1 - oh0, ow1 - ow0);
 
-        // Pre-pool spatial footprint of this tile.
-        let ih_len = (th_len - 1) * ps + pk;
-        let iw_len = (tw_len - 1) * ps + pk;
-        // Shared-memory analogue: full-width activations for the tile.
-        let mut staged = vec![0.0f32; c_full * ih_len * iw_len];
-        for cf in 0..c_full {
-            let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
-            let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
-            for dy in 0..ih_len {
-                let iy = oh0 * ps + dy;
-                let dst = &mut staged[(cf * ih_len + dy) * iw_len..][..iw_len];
-                dst.fill(bias);
-                if iy >= h {
-                    continue;
-                }
-                for (cr, &wv) in wrow.iter().enumerate() {
-                    if wv == 0.0 {
+            // Pre-pool spatial footprint of this tile.
+            let ih_len = (th_len - 1) * ps + pk;
+            let iw_len = (tw_len - 1) * ps + pk;
+            // Shared-memory analogue: full-width activations for the tile.
+            let staged = &mut staged_buf[..c_full * ih_len * iw_len];
+            for cf in 0..c_full {
+                let wrow = &lw[cf * c_red_in..(cf + 1) * c_red_in];
+                let bias = lconv_b.map_or(0.0, |bb| bb[cf]);
+                for dy in 0..ih_len {
+                    let iy = oh0 * ps + dy;
+                    let dst = &mut staged[(cf * ih_len + dy) * iw_len..][..iw_len];
+                    dst.fill(bias);
+                    if iy >= h {
                         continue;
                     }
-                    let src_row = &in_data[(b * c_red_in + cr) * in_plane + iy * w..][..w];
-                    for (dx, d) in dst.iter_mut().enumerate() {
-                        let ix = ow0 * ps + dx;
-                        if ix < w {
-                            *d += wv * src_row[ix];
-                        }
-                    }
-                }
-                for d in dst.iter_mut() {
-                    *d = act.apply(*d);
-                }
-            }
-        }
-        // Pool within the staged tile.
-        let mut pooled = vec![0.0f32; c_full * th_len * tw_len];
-        match pool_kind {
-            None => pooled.copy_from_slice(&staged),
-            Some(kind) => {
-                for cf in 0..c_full {
-                    for y in 0..th_len {
-                        for x in 0..tw_len {
-                            let mut acc = match kind {
-                                PoolKind::Max => f32::NEG_INFINITY,
-                                PoolKind::Avg => 0.0,
-                            };
-                            for dy in 0..pk {
-                                for dx in 0..pk {
-                                    let v =
-                                        staged[(cf * ih_len + y * ps + dy) * iw_len + x * ps + dx];
-                                    acc = match kind {
-                                        PoolKind::Max => acc.max(v),
-                                        PoolKind::Avg => acc + v,
-                                    };
-                                }
-                            }
-                            if kind == PoolKind::Avg {
-                                acc /= (pk * pk) as f32;
-                            }
-                            pooled[(cf * th_len + y) * tw_len + x] = acc;
-                        }
-                    }
-                }
-            }
-        }
-        // fconv over the tile's channel block (or pass-through).
-        let plane = th_len * tw_len;
-        let out_tile = match fw {
-            None => pooled[c0 * plane..c1 * plane].to_vec(),
-            Some(fw) => {
-                let mut out = vec![0.0f32; (c1 - c0) * plane];
-                for (oi, co) in (c0..c1).enumerate() {
-                    let dst = &mut out[oi * plane..(oi + 1) * plane];
-                    dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
-                    let wrow = &fw[co * c_full..(co + 1) * c_full];
-                    for (cf, &wv) in wrow.iter().enumerate() {
+                    for (cr, &wv) in wrow.iter().enumerate() {
                         if wv == 0.0 {
                             continue;
                         }
-                        let src = &pooled[cf * plane..(cf + 1) * plane];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d += wv * s;
+                        let src_row = &in_data[(b * c_red_in + cr) * in_plane + iy * w..][..w];
+                        for (dx, d) in dst.iter_mut().enumerate() {
+                            let ix = ow0 * ps + dx;
+                            if ix < w {
+                                *d += wv * src_row[ix];
+                            }
+                        }
+                    }
+                    for d in dst.iter_mut() {
+                        *d = act.apply(*d);
+                    }
+                }
+            }
+            // Pool within the staged tile.
+            let pooled = &mut pooled_buf[..c_full * th_len * tw_len];
+            match pool_kind {
+                None => pooled.copy_from_slice(staged),
+                Some(kind) => {
+                    for cf in 0..c_full {
+                        for y in 0..th_len {
+                            for x in 0..tw_len {
+                                let mut acc = match kind {
+                                    PoolKind::Max => f32::NEG_INFINITY,
+                                    PoolKind::Avg => 0.0,
+                                };
+                                for dy in 0..pk {
+                                    for dx in 0..pk {
+                                        let v = staged
+                                            [(cf * ih_len + y * ps + dy) * iw_len + x * ps + dx];
+                                        acc = match kind {
+                                            PoolKind::Max => acc.max(v),
+                                            PoolKind::Avg => acc + v,
+                                        };
+                                    }
+                                }
+                                if kind == PoolKind::Avg {
+                                    acc /= (pk * pk) as f32;
+                                }
+                                pooled[(cf * th_len + y) * tw_len + x] = acc;
+                            }
                         }
                     }
                 }
-                out
             }
-        };
-        // Scatter this tile's block; tile regions are disjoint by
-        // construction, so the shared pointer is sound.
-        for (oi, co) in (c0..c1).enumerate() {
-            for y in 0..th_len {
-                let src = &out_tile[(oi * th_len + y) * tw_len..][..tw_len];
-                let dst_off = (b * c_out + co) * out_plane + (oh0 + y) * ow + ow0;
-                unsafe {
-                    std::ptr::copy_nonoverlapping(src.as_ptr(), out_ptr.add(dst_off), tw_len);
+            // fconv over the tile's channel block (or pass-through straight
+            // from the pooled staging — no copy).
+            let plane = th_len * tw_len;
+            let out_tile: &[f32] = match fw {
+                None => &pooled[c0 * plane..c1 * plane],
+                Some(fw) => {
+                    let out_tile = &mut out_tile_buf[..(c1 - c0) * plane];
+                    for (oi, co) in (c0..c1).enumerate() {
+                        let dst = &mut out_tile[oi * plane..(oi + 1) * plane];
+                        dst.fill(fconv_b.map_or(0.0, |bb| bb[co]));
+                        let wrow = &fw[co * c_full..(co + 1) * c_full];
+                        for (cf, &wv) in wrow.iter().enumerate() {
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let src = &pooled[cf * plane..(cf + 1) * plane];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += wv * s;
+                            }
+                        }
+                    }
+                    &out_tile_buf[..(c1 - c0) * plane]
+                }
+            };
+            // Scatter this tile's block; tile regions are disjoint by
+            // construction, so the shared pointer is sound.
+            for (oi, co) in (c0..c1).enumerate() {
+                for y in 0..th_len {
+                    let src = &out_tile[(oi * th_len + y) * tw_len..][..tw_len];
+                    let dst_off = (b * c_out + co) * out_plane + (oh0 + y) * ow + ow0;
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(src.as_ptr(), out_ptr.add(dst_off), tw_len);
+                    }
                 }
             }
+            job += slots;
         }
     });
 }

@@ -15,23 +15,36 @@
 //!   strip with O(strip) scratch, rayon-parallel over batch × output rows.
 //!   The full-channel intermediate never exists as an allocated tensor.
 //! * [`alloc`] — the static offset allocator: packs every internal tensor's
-//!   liveness interval into one contiguous slab (greedy best-fit), so the
+//!   liveness interval into one contiguous slab (greedy best-fit) and
+//!   appends a shared kernel-scratch arena sized by [`scratch`], so the
 //!   executor's default mode performs exactly one allocation per inference.
+//! * [`engine`] — plans once, runs many: a prepared inference whose
+//!   steady-state `run` performs **zero** heap allocations.
 
 pub mod alloc;
 pub mod arena;
+pub mod engine;
 pub mod executor;
 pub mod fused;
 pub mod fused_tiled;
 pub mod memory;
 pub mod planner;
+pub mod scratch;
 
 pub use alloc::{
     plan_allocation, plan_allocation_with, AllocationPlan, FragmentationReport, PlannedBuffer,
+    SCRATCH_ALIGN,
 };
 pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
+pub use engine::Engine;
 pub use executor::{execute, ExecError, ExecMode, ExecOptions, ExecResult};
-pub use fused::{fused_forward, fused_forward_into};
-pub use fused_tiled::{fused_forward_tiled, fused_forward_tiled_into};
+pub use fused::{
+    fused_forward, fused_forward_into, fused_forward_into_scratch, fused_scratch_floats,
+};
+pub use fused_tiled::{
+    fused_forward_tiled, fused_forward_tiled_into, fused_forward_tiled_into_scratch,
+    fused_tiled_scratch_floats,
+};
 pub use memory::{MemEvent, MemoryTracker};
 pub use planner::{plan_memory, skip_share_at_peak, MemoryPlan, StepMem};
+pub use scratch::{node_scratch_bytes, node_scratch_floats};

@@ -32,10 +32,17 @@ pub struct MemoryPlan {
     pub weight_bytes: usize,
     /// Per-step live bytes.
     pub timeline: Vec<StepMem>,
-    /// Bytes of the static slab the offset allocator packs the same
-    /// liveness intervals into — what the slab executor actually allocates.
-    /// Always ≥ `peak_internal_bytes`; the gap is packing fragmentation.
+    /// Bytes of the *value region* of the static slab the offset allocator
+    /// packs the same liveness intervals into. Always ≥
+    /// `peak_internal_bytes`; the gap is packing fragmentation.
     pub slab_bytes: usize,
+    /// Bytes of the kernel-scratch arena the allocator appends after the
+    /// value region (0 when no kernel needs working memory). The slab
+    /// executor allocates `slab_total_bytes`, not `slab_bytes`.
+    pub scratch_bytes: usize,
+    /// Total bytes the slab executor allocates: value region + alignment
+    /// padding + scratch arena.
+    pub slab_total_bytes: usize,
 }
 
 impl MemoryPlan {
@@ -123,12 +130,15 @@ pub fn plan_memory(g: &Graph) -> MemoryPlan {
         }
         timeline.push(StepMem { step: i, label: node.name.clone(), live_bytes: lb });
     }
+    let alloc = plan_allocation_with(g, &lv);
     MemoryPlan {
         peak_internal_bytes: peak,
         peak_step,
         weight_bytes: g.weight_bytes(),
         timeline,
-        slab_bytes: plan_allocation_with(g, &lv).slab_bytes,
+        slab_bytes: alloc.value_bytes,
+        scratch_bytes: alloc.scratch_bytes,
+        slab_total_bytes: alloc.slab_bytes,
     }
 }
 
@@ -222,6 +232,9 @@ mod tests {
         // The two-conv chain packs perfectly: slab == sum-of-live peak.
         assert_eq!(plan.slab_bytes, plan.peak_internal_bytes);
         assert_eq!(plan.fragmentation(), 1.0);
+        // The convs need GEMM/im2col scratch, reserved beyond the values.
+        assert!(plan.scratch_bytes > 0);
+        assert!(plan.slab_total_bytes >= plan.slab_bytes + plan.scratch_bytes);
     }
 
     #[test]

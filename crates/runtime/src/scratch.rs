@@ -1,0 +1,95 @@
+//! Per-node kernel scratch requirements.
+//!
+//! Every compute kernel that needs working memory (im2col columns, GEMM
+//! pack panels, fused-tile strips) exposes a deterministic
+//! `*_scratch_floats` formula in its own crate. This module evaluates
+//! those formulas from a node's *shapes alone*, so the allocation planner
+//! can reserve kernel scratch inside the inference slab before any kernel
+//! runs — the same formula the kernel asserts against at execution time.
+//!
+//! Ops whose kernels are pure streaming loops (activations, pooling, add,
+//! concat, flatten, softmax, affine) need no scratch and report zero.
+
+use temco_ir::{Graph, Node, Op};
+use temco_tensor::{
+    conv2d_scratch_floats, conv_transpose2d_scratch_floats, linear_scratch_floats, Conv2dParams,
+};
+
+use crate::fused::fused_scratch_floats;
+
+/// Scratch floats the kernel for `node` requires, computed from the
+/// graph's inferred shapes. Shapes must be inferred
+/// (`Graph::infer_shapes`) before calling.
+pub fn node_scratch_floats(g: &Graph, node: &Node) -> usize {
+    match &node.op {
+        Op::Conv2d(spec) => {
+            let s = g.shape(node.inputs[0]);
+            let w = g.weight(spec.weight);
+            let p =
+                Conv2dParams { stride: spec.stride, padding: spec.padding, groups: spec.groups };
+            conv2d_scratch_floats(s[1], s[2], s[3], w.dim(0), w.dim(2), w.dim(3), &p)
+        }
+        Op::ConvTranspose2d { weight, .. } => {
+            let s = g.shape(node.inputs[0]);
+            let w = g.weight(*weight);
+            conv_transpose2d_scratch_floats(s[1], w.dim(1), w.dim(2), w.dim(3), s[2], s[3])
+        }
+        Op::Linear { weight, .. } => {
+            let s = g.shape(node.inputs[0]);
+            linear_scratch_floats(s[0], s[1], g.weight(*weight).dim(0))
+        }
+        Op::Fused(spec) => {
+            let s = g.shape(node.inputs[0]);
+            let c_full = g.weight(spec.lconv_w).dim(0);
+            let c_red_out = spec.fconv.as_ref().map_or(c_full, |fc| g.weight(fc.weight).dim(0));
+            fused_scratch_floats(
+                s[0],
+                s[2],
+                s[3],
+                c_full,
+                c_red_out,
+                spec.pool.map(|(_, k, st)| (k, st)),
+                spec.fconv.is_some(),
+            )
+        }
+        _ => 0,
+    }
+}
+
+/// [`node_scratch_floats`] in bytes.
+pub fn node_scratch_bytes(g: &Graph, node: &Node) -> usize {
+    node_scratch_floats(g, node) * std::mem::size_of::<f32>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_tensor::Tensor;
+
+    #[test]
+    fn streaming_ops_need_no_scratch() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let r = g.relu(x, "r");
+        let p = g.max_pool(r, 2, 2, "p");
+        let s = g.add(&[p, p], "s");
+        g.mark_output(s);
+        g.infer_shapes();
+        for node in &g.nodes {
+            assert_eq!(node_scratch_floats(&g, node), 0, "node {}", node.name);
+        }
+    }
+
+    #[test]
+    fn conv_scratch_matches_kernel_formula() {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 16, 16], "x");
+        let c = g.conv2d(x, Tensor::randn(&[8, 3, 3, 3], 1), None, 1, 1, "c");
+        g.mark_output(c);
+        g.infer_shapes();
+        let node = g.nodes.iter().find(|n| matches!(n.op, Op::Conv2d(_))).unwrap();
+        let p = Conv2dParams { stride: (1, 1), padding: (1, 1), groups: 1 };
+        assert_eq!(node_scratch_floats(&g, node), conv2d_scratch_floats(3, 16, 16, 8, 3, 3, &p));
+        assert!(node_scratch_bytes(&g, node) > 0);
+    }
+}

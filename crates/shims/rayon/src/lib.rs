@@ -3,25 +3,66 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the slice of rayon's API the kernels use — `into_par_iter` over ranges
 //! and `par_chunks_mut` over slices, with `map`/`for_each`/`collect` /
-//! `enumerate` combinators — implemented on `std::thread::scope`. Work is
-//! split into one contiguous block per available core; on a single-core
-//! host everything runs inline with zero thread overhead.
+//! `enumerate` combinators — implemented on a **persistent worker pool**.
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` threads per
+//! parallel region; at GEMM-call granularity the spawn cost (stack
+//! mapping + clone/futex per thread) dominated small kernels and put heap
+//! traffic on the inference hot path. The pool here is started once,
+//! lazily, and dispatches regions through a single mutex + condvar pair: a
+//! region publishes a type-erased `Fn(block_index)` closure, workers claim
+//! block indices from a shared counter (dynamic load balancing), and the
+//! submitting thread participates instead of idling. **Steady-state
+//! dispatch performs zero heap allocations**, which is what lets the slab
+//! executor guarantee allocation-free inference (see
+//! `temco-runtime::engine`).
+//!
+//! On a single-core host — or inside a worker, or while another region is
+//! already in flight — regions run inline on the caller, so nesting and
+//! concurrent submitters cannot deadlock.
 
 use std::ops::Range;
 
+mod pool;
+
 /// Number of worker threads to fan out to (the number of available cores).
+/// Cached: `available_parallelism` re-reads cgroup limits from procfs on
+/// every call, which heap-allocates — kernels query this on the hot path.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
-/// Split `n` items into at most `current_num_threads()` contiguous blocks.
-fn blocks(n: usize) -> Vec<Range<usize>> {
-    let threads = current_num_threads().min(n.max(1));
-    let per = n.div_ceil(threads);
-    (0..threads)
-        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
-        .filter(|r| !r.is_empty())
-        .collect()
+/// Shared base pointer for handing disjoint sub-ranges to pool workers.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// Same contract as [`pointer::add`]; callers must also guarantee that
+    /// memory reached through the result is not accessed concurrently.
+    unsafe fn add(&self, offset: usize) -> *mut T {
+        self.0.add(offset)
+    }
+}
+
+/// Split `n` items into at most `cap` blocks; returns `(block_len,
+/// n_blocks)`. Oversubscribing the thread count gives the claim counter in
+/// [`pool::run`] room to balance uneven block costs.
+fn blocking(n: usize, cap: usize) -> (usize, usize) {
+    if n == 0 {
+        return (1, 0);
+    }
+    let cap = cap.max(1).min(n);
+    let per = n.div_ceil(cap);
+    (per, n.div_ceil(per))
+}
+
+/// Default block cap for item-granular loops: modest oversubscription for
+/// load balancing without measurable claim contention.
+fn default_block_cap() -> usize {
+    current_num_threads() * 4
 }
 
 /// Conversion into a parallel iterator (ranges of `usize` only).
@@ -60,22 +101,13 @@ impl ParRange {
         F: Fn(usize) + Sync,
     {
         let Range { start, end } = self.range;
-        let n = end - start;
-        let bs = blocks(n);
-        if bs.len() <= 1 {
-            for i in start..end {
+        let n = end.saturating_sub(start);
+        let (per, n_blocks) = blocking(n, default_block_cap());
+        pool::run(n_blocks, &|b| {
+            let lo = start + b * per;
+            let hi = (lo + per).min(end);
+            for i in lo..hi {
                 f(i);
-            }
-            return;
-        }
-        std::thread::scope(|s| {
-            for b in bs {
-                let f = &f;
-                s.spawn(move || {
-                    for i in b {
-                        f(start + i);
-                    }
-                });
             }
         });
     }
@@ -95,24 +127,39 @@ impl<F> ParRangeMap<F> {
         F: Fn(usize) -> T + Sync,
         C: FromIterator<T>,
     {
+        use std::mem::MaybeUninit;
         let Range { start, end } = self.range;
-        let n = end - start;
+        let n = end.saturating_sub(start);
         let f = &self.f;
-        let bs = blocks(n);
-        if bs.len() <= 1 {
-            return (start..end).map(f).collect();
-        }
-        let mut parts: Vec<Vec<T>> = Vec::with_capacity(bs.len());
-        std::thread::scope(|s| {
-            let handles: Vec<_> = bs
-                .into_iter()
-                .map(|b| s.spawn(move || b.map(|i| f(start + i)).collect::<Vec<T>>()))
-                .collect();
-            for h in handles {
-                parts.push(h.join().expect("rayon-shim worker panicked"));
+        let mut slots: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: `MaybeUninit` needs no initialization; every slot is
+        // written exactly once below before any is read. On a worker panic
+        // the pool re-panics on this thread and the vec drops without
+        // reading (leaking written elements, never touching unwritten
+        // ones).
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            slots.set_len(n)
+        };
+        let base = SendPtr(slots.as_mut_ptr());
+        let (per, n_blocks) = blocking(n, default_block_cap());
+        pool::run(n_blocks, &|b| {
+            let lo = b * per;
+            let hi = (lo + per).min(n);
+            for i in lo..hi {
+                // SAFETY: blocks are disjoint index ranges; slot `i` is
+                // written by exactly one worker.
+                unsafe { base.add(i).write(MaybeUninit::new(f(start + i))) };
             }
         });
-        parts.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .map(|m| {
+                // SAFETY: `pool::run` returned without panicking, so every
+                // slot was initialized by its owning block.
+                unsafe { m.assume_init() }
+            })
+            .collect()
     }
 }
 
@@ -161,31 +208,22 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
-        let chunks: Vec<(usize, &mut [T])> =
-            self.inner.slice.chunks_mut(self.inner.chunk_size).enumerate().collect();
-        let n = chunks.len();
-        let bs = blocks(n);
-        if bs.len() <= 1 {
-            for item in chunks {
-                f(item);
-            }
-            return;
-        }
-        // Partition the chunk list into one owned group per worker.
-        let mut groups: Vec<Vec<(usize, &mut [T])>> = Vec::with_capacity(bs.len());
-        let mut rest = chunks;
-        for b in bs.iter().rev() {
-            groups.push(rest.split_off(b.start));
-        }
-        groups.push(rest);
-        std::thread::scope(|s| {
-            for group in groups {
-                let f = &f;
-                s.spawn(move || {
-                    for item in group {
-                        f(item);
-                    }
-                });
+        let len = self.inner.slice.len();
+        let cs = self.inner.chunk_size;
+        let n_chunks = len.div_ceil(cs);
+        let base = SendPtr(self.inner.slice.as_mut_ptr());
+        let (per, n_blocks) = blocking(n_chunks, default_block_cap());
+        pool::run(n_blocks, &|b| {
+            let lo = b * per;
+            let hi = (lo + per).min(n_chunks);
+            for ci in lo..hi {
+                let off = ci * cs;
+                let l = cs.min(len - off);
+                // SAFETY: chunks are disjoint `[off, off + l)` windows of
+                // the exclusively borrowed slice, each visited by exactly
+                // one block.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.add(off), l) };
+                f((ci, chunk));
             }
         });
     }
@@ -230,5 +268,52 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn empty_ranges_and_slices_are_noops() {
+        (0..0).into_par_iter().for_each(|_| panic!("must not run"));
+        #[allow(clippy::map_identity)]
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let mut data: [u8; 0] = [];
+        data.par_chunks_mut(4).for_each(|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_deadlock() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..32).into_par_iter().for_each(|_| {
+            (0..8).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32 * 8);
+    }
+
+    #[test]
+    fn back_to_back_regions_reuse_the_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        for _ in 0..200 {
+            (0..64).into_par_iter().for_each(|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 200 * (63 * 64 / 2));
+    }
+
+    // On multi-core hosts the pool rewraps the payload as "parallel worker
+    // panicked"; on a single core the original panic propagates inline —
+    // either way the caller must observe a panic.
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate_to_the_caller() {
+        (0..1024).into_par_iter().for_each(|i| {
+            if i == 777 {
+                panic!("boom");
+            }
+        });
     }
 }

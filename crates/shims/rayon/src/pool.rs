@@ -1,0 +1,184 @@
+//! The persistent worker pool behind every parallel region.
+//!
+//! A region is `(n_blocks, f)` where `f: Fn(block_index)`. Submission
+//! publishes a type-erased pointer to `f` in a mutex-guarded job slot,
+//! bumps an epoch counter, and wakes the workers; everyone — workers and
+//! the submitting thread alike — then claims block indices from a shared
+//! counter until the region is drained. The claim counter gives dynamic
+//! load balancing (a worker stuck on an expensive block simply claims
+//! fewer), and the submitter only returns once `done_blocks == n_blocks`,
+//! which is what makes the lifetime erasure of `f` sound: the borrow
+//! outlives every use.
+//!
+//! Regions that cannot use the pool — single block, submitted from inside
+//! a worker, or while another region is in flight — run inline on the
+//! caller. That rule makes nested parallelism trivially deadlock-free at
+//! the cost of serializing the inner region, which is the behavior the
+//! kernels want anyway (the outer region already owns all cores).
+//!
+//! Worker panics are caught (workers are immortal), recorded, and
+//! re-raised on the submitting thread once the region drains.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Type-erased pointer to the region closure. The submitter guarantees the
+/// pointee outlives the region (it blocks until `done_blocks == n_blocks`).
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+// SAFETY: the pointee is `Sync` and the submitter keeps it alive for the
+// whole region, so sharing the pointer with workers is sound.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct State {
+    /// Region generation; bumped on every submission so workers can tell a
+    /// fresh job from the one they just drained.
+    epoch: u64,
+    /// The in-flight region, if any. `Some` doubles as the "pool is busy"
+    /// flag that sends concurrent submitters down the inline path.
+    job: Option<Job>,
+    n_blocks: usize,
+    /// Next unclaimed block index.
+    next_block: usize,
+    /// Blocks whose closure call has returned (or panicked).
+    done_blocks: usize,
+    /// Whether any block panicked; re-raised on the submitter.
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a fresh epoch.
+    go: Condvar,
+    /// The submitter waits here for the region to drain.
+    done: Condvar,
+}
+
+thread_local! {
+    /// True on pool worker threads: their submissions must run inline.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lazily start the pool: `cores - 1` workers (the submitter is the final
+/// participant). `None` on single-core hosts, where everything is inline.
+fn shared() -> Option<&'static Shared> {
+    static SHARED: OnceLock<Option<&'static Shared>> = OnceLock::new();
+    *SHARED.get_or_init(|| {
+        let workers = crate::current_num_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let sh: &'static Shared = Box::leak(Box::new(Shared {
+            state: Mutex::new(State::default()),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("temco-pool-{i}"))
+                .spawn(move || worker_loop(sh))
+                .expect("failed to spawn pool worker");
+        }
+        Some(sh)
+    })
+}
+
+fn worker_loop(sh: &'static Shared) {
+    IS_WORKER.with(|w| w.set(true));
+    let mut seen_epoch = 0u64;
+    let mut st = sh.state.lock().unwrap();
+    loop {
+        while !(st.job.is_some() && st.epoch != seen_epoch) {
+            st = sh.go.wait(st).unwrap();
+        }
+        seen_epoch = st.epoch;
+        let job = st.job.expect("checked above");
+        // Claim blocks until the region drains or a new epoch appears
+        // (epochs only advance after the previous region fully drains, so
+        // a stale `job` pointer is never dereferenced).
+        while st.epoch == seen_epoch && st.next_block < st.n_blocks {
+            let b = st.next_block;
+            st.next_block += 1;
+            drop(st);
+            // SAFETY: the submitter keeps the pointee alive until
+            // `done_blocks == n_blocks`, and this claimed block is counted
+            // there only after the call returns.
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(b) })).is_ok();
+            st = sh.state.lock().unwrap();
+            if !ok {
+                st.panicked = true;
+            }
+            st.done_blocks += 1;
+            if st.done_blocks == st.n_blocks {
+                sh.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Run `f(0..n_blocks)` across the pool, returning once every block
+/// completed. Steady-state submissions perform no heap allocation.
+///
+/// # Panics
+/// Re-raises (as a generic message) any panic from `f`.
+pub(crate) fn run(n_blocks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_blocks == 0 {
+        return;
+    }
+    let inline = || {
+        for b in 0..n_blocks {
+            f(b);
+        }
+    };
+    if n_blocks == 1 || IS_WORKER.with(Cell::get) {
+        return inline();
+    }
+    let Some(sh) = shared() else {
+        return inline();
+    };
+
+    let mut st = sh.state.lock().unwrap();
+    if st.job.is_some() {
+        // Another region is in flight (possibly our own caller's): don't
+        // queue behind it — its workers may in turn be waiting on us.
+        drop(st);
+        return inline();
+    }
+    // SAFETY: lifetime erasure only; this function does not return until
+    // `done_blocks == n_blocks`, i.e. until no worker can still hold the
+    // pointer, so the `'static` claim is never relied upon past the borrow.
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    st.epoch = st.epoch.wrapping_add(1);
+    st.job = Some(Job { f: f_static });
+    st.n_blocks = n_blocks;
+    st.next_block = 0;
+    st.done_blocks = 0;
+    st.panicked = false;
+    sh.go.notify_all();
+
+    // Participate: claim blocks alongside the workers.
+    while st.next_block < st.n_blocks {
+        let b = st.next_block;
+        st.next_block += 1;
+        drop(st);
+        let ok = catch_unwind(AssertUnwindSafe(|| f(b))).is_ok();
+        st = sh.state.lock().unwrap();
+        if !ok {
+            st.panicked = true;
+        }
+        st.done_blocks += 1;
+    }
+    while st.done_blocks < st.n_blocks {
+        st = sh.done.wait(st).unwrap();
+    }
+    let panicked = st.panicked;
+    st.job = None;
+    drop(st);
+    if panicked {
+        panic!("parallel worker panicked");
+    }
+}

@@ -1,8 +1,22 @@
 //! Convolution kernels: im2col + SGEMM, pointwise fast path, transposed
 //! convolution, and a naive reference implementation.
+//!
+//! Every kernel has three entry points: the allocating form (`conv2d`),
+//! the preallocated-output form (`conv2d_into`), and the fully planned
+//! form (`conv2d_into_scratch`) that also takes the kernel's working
+//! memory — im2col columns plus GEMM pack buffers — as a caller-provided
+//! slice. The matching `*_scratch_floats` function computes exactly how
+//! much working memory a given shape needs; the allocation planner calls
+//! it to reserve slab scratch, so steady-state inference never allocates.
+//! The `_into` forms borrow a reusable thread-local buffer instead, which
+//! keeps ad-hoc callers allocation-free after their first call.
+
+use rayon::prelude::*;
 
 use crate::conv_out_dim;
-use crate::matmul::sgemm;
+use crate::matmul::{
+    sgemm_scratch, sgemm_scratch_floats, sgemm_tn_scratch, with_tl_scratch, SyncPtr,
+};
 use crate::tensor::{Tensor, TensorView};
 
 /// Hyper-parameters of a 2-D convolution.
@@ -35,6 +49,34 @@ impl Conv2dParams {
             conv_out_dim(w, kw, self.stride.1, self.padding.1),
         )
     }
+
+    fn is_pointwise(&self, kh: usize, kw: usize) -> bool {
+        kh == 1 && kw == 1 && self.stride == (1, 1) && self.padding == (0, 0) && self.groups == 1
+    }
+}
+
+/// Working-memory floats a `conv2d` of these dimensions needs: the im2col
+/// column matrix (shared across batch elements and groups) plus the GEMM
+/// pack buffers; the pointwise fast path needs only the latter. Mirrors
+/// the dispatch in [`conv2d_into_scratch`] exactly — the planner and the
+/// kernel must agree byte-for-byte.
+pub fn conv2d_scratch_floats(
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+) -> usize {
+    if p.is_pointwise(kh, kw) {
+        return sgemm_scratch_floats(c_out, c_in, h * w);
+    }
+    let (oh, ow) = p.out_hw(h, w, kh, kw);
+    let c_in_g = c_in / p.groups;
+    let c_out_g = c_out / p.groups;
+    let col_rows = c_in_g * kh * kw;
+    col_rows * oh * ow + sgemm_scratch_floats(c_out_g, col_rows, oh * ow)
 }
 
 /// 2-D convolution. `input` is `[n, c_in, h, w]`, `weight` is
@@ -56,7 +98,8 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>, p: &Conv2dP
 }
 
 /// [`conv2d`] writing into a preallocated output buffer of exactly
-/// `n × c_out × oh × ow` elements — the slab executor's entry point.
+/// `n × c_out × oh × ow` elements. Working memory comes from the reusable
+/// thread-local buffer.
 ///
 /// # Panics
 /// Panics on shape inconsistencies or if `out` has the wrong length.
@@ -66,6 +109,27 @@ pub fn conv2d_into(
     bias: Option<&[f32]>,
     p: &Conv2dParams,
     out: &mut [f32],
+) {
+    let (c_in, h, w) = (input.dim(1), input.dim(2), input.dim(3));
+    let (c_out, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    with_tl_scratch(conv2d_scratch_floats(c_in, h, w, c_out, kh, kw, p), |s| {
+        conv2d_into_scratch(input, weight, bias, p, out, s);
+    });
+}
+
+/// [`conv2d_into`] with explicit working memory of at least
+/// [`conv2d_scratch_floats`] elements — the slab executor's entry point.
+///
+/// # Panics
+/// Panics on shape inconsistencies, wrong `out` length, or undersized
+/// scratch.
+pub fn conv2d_into_scratch(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    out: &mut [f32],
+    scratch: &mut [f32],
 ) {
     assert_eq!(input.shape().len(), 4, "conv2d input must be 4-D");
     assert_eq!(weight.shape().len(), 4, "conv2d weight must be 4-D");
@@ -78,21 +142,25 @@ pub fn conv2d_into(
     }
     let (oh, ow) = p.out_hw(h, w, kh, kw);
     assert_eq!(out.len(), n * c_out * oh * ow, "conv2d output buffer length");
+    assert!(
+        scratch.len() >= conv2d_scratch_floats(c_in, h, w, c_out, kh, kw, p),
+        "conv2d scratch undersized"
+    );
 
-    if kh == 1 && kw == 1 && p.stride == (1, 1) && p.padding == (0, 0) && p.groups == 1 {
-        return pointwise_into(input, weight, bias, out);
+    if p.is_pointwise(kh, kw) {
+        return pointwise_into(input, weight, bias, out, scratch);
     }
 
     let c_out_g = c_out / p.groups;
     let col_rows = c_in_g * kh * kw;
-    let mut col = vec![0.0f32; col_rows * oh * ow];
+    let (col, gemm_scratch) = scratch.split_at_mut(col_rows * oh * ow);
     let in_plane = h * w;
     let out_plane = oh * ow;
     for b_i in 0..n {
         for g in 0..p.groups {
             im2col(
                 &input.data()[(b_i * c_in + g * c_in_g) * in_plane..],
-                &mut col,
+                col,
                 c_in_g,
                 h,
                 w,
@@ -113,13 +181,19 @@ pub fn conv2d_into(
             } else {
                 out_slice.fill(0.0);
             }
-            sgemm(w_slice, &col, out_slice, c_out_g, col_rows, out_plane);
+            sgemm_scratch(w_slice, col, out_slice, c_out_g, col_rows, out_plane, gemm_scratch);
         }
     }
 }
 
 /// Fast path: 1×1 dense convolution is one SGEMM per batch element.
-fn pointwise_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>, out: &mut [f32]) {
+fn pointwise_into(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_out = weight.dim(0);
     let plane = h * w;
@@ -133,11 +207,14 @@ fn pointwise_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>, 
         } else {
             out_slice.fill(0.0);
         }
-        sgemm(weight.data(), in_slice, out_slice, c_out, c_in, plane);
+        sgemm_scratch(weight.data(), in_slice, out_slice, c_out, c_in, plane, scratch);
     }
 }
 
-/// Unpack convolution windows into a `[c_in_g*kh*kw, oh*ow]` column matrix.
+/// Unpack convolution windows into a `[c_in_g*kh*kw, oh*ow]` column
+/// matrix, parallel over output rows: each worker fills the disjoint
+/// `ohi`-th `ow`-segment of every column row. The caller reuses `col`
+/// across batch elements and groups.
 #[allow(clippy::too_many_arguments)]
 fn im2col(
     input: &[f32],
@@ -155,14 +232,18 @@ fn im2col(
     let (sh, sw) = stride;
     let (ph, pw) = padding;
     let out_plane = oh * ow;
-    for ci in 0..c_in_g {
-        let plane = &input[ci * h * w..(ci + 1) * h * w];
-        for khi in 0..kh {
-            for kwi in 0..kw {
-                let row = ((ci * kh + khi) * kw + kwi) * out_plane;
-                for ohi in 0..oh {
-                    let ih = (ohi * sh + khi) as isize - ph as isize;
-                    let dst = &mut col[row + ohi * ow..row + (ohi + 1) * ow];
+    let col_ptr = SyncPtr(col.as_mut_ptr());
+    let fill_row = |ohi: usize| {
+        for ci in 0..c_in_g {
+            let plane = &input[ci * h * w..(ci + 1) * h * w];
+            for khi in 0..kh {
+                let ih = (ohi * sh + khi) as isize - ph as isize;
+                for kwi in 0..kw {
+                    let row = ((ci * kh + khi) * kw + kwi) * out_plane;
+                    // SAFETY: segment `[row + ohi*ow, row + (ohi+1)*ow)` is
+                    // owned exclusively by this `ohi` job.
+                    let dst =
+                        unsafe { std::slice::from_raw_parts_mut(col_ptr.add(row + ohi * ow), ow) };
                     if ih < 0 || ih as usize >= h {
                         dst.fill(0.0);
                         continue;
@@ -175,6 +256,14 @@ fn im2col(
                 }
             }
         }
+    };
+    // Below ~64 KiB of column data the parallel dispatch isn't worth it.
+    if c_in_g * kh * kw * out_plane < 16 * 1024 {
+        for ohi in 0..oh {
+            fill_row(ohi);
+        }
+    } else {
+        (0..oh).into_par_iter().for_each(fill_row);
     }
 }
 
@@ -218,10 +307,28 @@ pub fn conv2d_direct(
     out
 }
 
+/// Working-memory floats a `conv_transpose2d` of these dimensions needs:
+/// the `[c_out·kh·kw, h·w]` column matrix produced by the GEMM plus the
+/// GEMM pack buffers.
+pub fn conv_transpose2d_scratch_floats(
+    c_in: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    h: usize,
+    w: usize,
+) -> usize {
+    let col_rows = c_out * kh * kw;
+    col_rows * h * w + sgemm_scratch_floats(col_rows, c_in, h * w)
+}
+
 /// Transposed (up-)convolution, `weight` is `[c_in, c_out, kh, kw]`.
 ///
-/// Only the UNet-style configuration (no padding) is needed; implemented as
-/// a direct scatter which is simple and, for the 2×2/stride-2 case, cheap.
+/// Only the UNet-style configuration (no padding) is needed. Computed as
+/// one GEMM per batch element — `col[c_out·kh·kw, h·w] = Wᵀ · X` with the
+/// stored weight read as `[c_in, c_out·kh·kw]` — followed by a col2im
+/// scatter-add, which replaces the old direct scatter and its
+/// data-dependent zero-skip branch.
 pub fn conv_transpose2d(
     input: &Tensor,
     weight: &Tensor,
@@ -238,6 +345,7 @@ pub fn conv_transpose2d(
 }
 
 /// [`conv_transpose2d`] writing into a preallocated output buffer.
+/// Working memory comes from the reusable thread-local buffer.
 ///
 /// # Panics
 /// Panics on channel mismatches or if `out` has the wrong length.
@@ -248,13 +356,39 @@ pub fn conv_transpose2d_into(
     stride: (usize, usize),
     out: &mut [f32],
 ) {
+    let (c_in, h, w) = (input.dim(1), input.dim(2), input.dim(3));
+    let (c_out, kh, kw) = (weight.dim(1), weight.dim(2), weight.dim(3));
+    with_tl_scratch(conv_transpose2d_scratch_floats(c_in, c_out, kh, kw, h, w), |s| {
+        conv_transpose2d_into_scratch(input, weight, bias, stride, out, s);
+    });
+}
+
+/// [`conv_transpose2d_into`] with explicit working memory of at least
+/// [`conv_transpose2d_scratch_floats`] elements.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or undersized
+/// scratch.
+pub fn conv_transpose2d_into_scratch(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (w_cin, c_out, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(c_in, w_cin, "conv_transpose2d channel mismatch");
-    let oh = (h - 1) * stride.0 + kh;
-    let ow = (w - 1) * stride.1 + kw;
+    let (sh, sw) = stride;
+    let oh = (h - 1) * sh + kh;
+    let ow = (w - 1) * sw + kw;
     let plane = oh * ow;
     assert_eq!(out.len(), n * c_out * plane, "conv_transpose2d output buffer length");
+    assert!(
+        scratch.len() >= conv_transpose2d_scratch_floats(c_in, c_out, kh, kw, h, w),
+        "conv_transpose2d scratch undersized"
+    );
     match bias {
         Some(b) => {
             for b_i in 0..n {
@@ -266,27 +400,38 @@ pub fn conv_transpose2d_into(
         }
         None => out.fill(0.0),
     }
+
+    let col_rows = c_out * kh * kw;
+    let in_plane = h * w;
+    let (col, gemm_scratch) = scratch.split_at_mut(col_rows * in_plane);
+    let out_ptr = SyncPtr(out.as_mut_ptr());
     for b_i in 0..n {
-        for ci in 0..c_in {
-            for hi in 0..h {
-                for wi in 0..w {
-                    let x = input.at4(b_i, ci, hi, wi);
-                    if x == 0.0 {
-                        continue;
-                    }
-                    for co in 0..c_out {
-                        for khi in 0..kh {
-                            for kwi in 0..kw {
-                                let oy = hi * stride.0 + khi;
-                                let ox = wi * stride.1 + kwi;
-                                out[((b_i * c_out + co) * oh + oy) * ow + ox] +=
-                                    x * weight.at4(ci, co, khi, kwi);
+        // col = Wᵀ · X: the stored `[c_in, c_out, kh, kw]` weight is
+        // exactly the `[k × m]` transposed-A operand with k = c_in.
+        col.fill(0.0);
+        let x = &input.data()[b_i * c_in * in_plane..(b_i + 1) * c_in * in_plane];
+        sgemm_tn_scratch(weight.data(), x, col, col_rows, c_in, in_plane, gemm_scratch);
+        // col2im scatter-add, parallel over output channels: each worker
+        // owns one `[oh, ow]` output plane.
+        (0..c_out).into_par_iter().for_each(|co| {
+            let dst_base = (b_i * c_out + co) * plane;
+            for khi in 0..kh {
+                for kwi in 0..kw {
+                    let crow = &col[((co * kh + khi) * kw + kwi) * in_plane..][..in_plane];
+                    for hi in 0..h {
+                        let oy = hi * sh + khi;
+                        let src = &crow[hi * w..(hi + 1) * w];
+                        for (wi, &v) in src.iter().enumerate() {
+                            // SAFETY: plane `co` is owned by this worker;
+                            // `oy < oh`, `wi*sw + kwi < ow` by construction.
+                            unsafe {
+                                *out_ptr.add(dst_base + oy * ow + wi * sw + kwi) += v;
                             }
                         }
                     }
                 }
             }
-        }
+        });
     }
 }
 
@@ -363,11 +508,63 @@ mod tests {
     }
 
     #[test]
+    fn explicit_scratch_matches_thread_local_path() {
+        let input = rt(&[2, 5, 13, 11], 21);
+        let weight = rt(&[7, 5, 3, 3], 22);
+        let p = Conv2dParams::new(1, 1);
+        let a = conv2d(&input, &weight, None, &p);
+        let floats = conv2d_scratch_floats(5, 13, 11, 7, 3, 3, &p);
+        let mut scratch = vec![0.0f32; floats];
+        let mut out = Tensor::zeros(a.shape());
+        conv2d_into_scratch(input.view(), &weight, None, &p, out.data_mut(), &mut scratch);
+        assert!(a.all_close(&out, 1e-6), "diff {}", a.max_abs_diff(&out));
+    }
+
+    #[test]
     fn conv_transpose_upsamples_2x() {
         let input = rt(&[1, 3, 5, 5], 12);
         let weight = rt(&[3, 2, 2, 2], 13);
         let out = conv_transpose2d(&input, &weight, None, (2, 2));
         assert_eq!(out.shape(), &[1, 2, 10, 10]);
+    }
+
+    #[test]
+    fn conv_transpose_matches_direct_scatter() {
+        // Oracle: the pre-GEMM direct scatter, written out longhand.
+        let input = rt(&[2, 3, 6, 5], 31);
+        let weight = rt(&[3, 4, 3, 2], 32);
+        let bias: Vec<f32> = (0..4).map(|i| i as f32 * 0.25 - 0.5).collect();
+        let (sh, sw) = (2, 3);
+        let got = conv_transpose2d(&input, &weight, Some(&bias), (sh, sw));
+        let (n, c_in, h, w) = (2, 3, 6, 5);
+        let (c_out, kh, kw) = (4, 3, 2);
+        let (oh, ow) = ((h - 1) * sh + kh, (w - 1) * sw + kw);
+        let mut want = Tensor::zeros(&[n, c_out, oh, ow]);
+        for b_i in 0..n {
+            for (co, &bv) in bias.iter().enumerate() {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        *want.at4_mut(b_i, co, y, x) = bv;
+                    }
+                }
+            }
+            for ci in 0..c_in {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let v = input.at4(b_i, ci, hi, wi);
+                        for co in 0..c_out {
+                            for khi in 0..kh {
+                                for kwi in 0..kw {
+                                    *want.at4_mut(b_i, co, hi * sh + khi, wi * sw + kwi) +=
+                                        v * weight.at4(ci, co, khi, kwi);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(got.all_close(&want, 1e-4), "diff {}", got.max_abs_diff(&want));
     }
 
     #[test]

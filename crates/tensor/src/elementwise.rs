@@ -1,6 +1,6 @@
 //! Elementwise ops, activations, concat/add, linear, softmax.
 
-use crate::matmul::sgemm;
+use crate::matmul::{sgemm_nt_scratch, sgemm_scratch_floats, with_tl_scratch};
 use crate::tensor::{Tensor, TensorView};
 
 /// The activation functions appearing between decomposed convolutions.
@@ -66,16 +66,32 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// # Panics
 /// Panics if the list is empty or any length disagrees with `out`.
 pub fn add_n_into(inputs: &[&[f32]], out: &mut [f32]) {
-    assert!(!inputs.is_empty(), "add of empty list");
+    add_n_into_iter(inputs.iter().copied(), out);
+}
+
+/// [`add_n_into`] over any re-iterable source of operand slices, so
+/// dispatchers can feed graph inputs straight through without collecting
+/// them into a temporary `Vec` first.
+///
+/// # Panics
+/// Panics if the iterator is empty or any length disagrees with `out`.
+pub fn add_n_into_iter<'a, I>(inputs: I, out: &mut [f32])
+where
+    I: Iterator<Item = &'a [f32]> + Clone,
+{
+    let mut first = true;
     for x in inputs {
         assert_eq!(x.len(), out.len(), "add operand length mismatch");
-    }
-    out.copy_from_slice(inputs[0]);
-    for x in &inputs[1..] {
-        for (o, &v) in out.iter_mut().zip(*x) {
-            *o += v;
+        if first {
+            out.copy_from_slice(x);
+            first = false;
+        } else {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o += v;
+            }
         }
     }
+    assert!(!first, "add of empty list");
 }
 
 /// Concatenate 4-D tensors along the channel axis.
@@ -98,12 +114,26 @@ pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
 /// Panics if batch/spatial dims disagree, the list is empty, or `out` has
 /// the wrong length.
 pub fn concat_channels_into(views: &[TensorView<'_>], out: &mut [f32]) {
-    assert!(!views.is_empty(), "concat of empty list");
-    let first = &views[0];
+    concat_channels_into_iter(views.iter().copied(), out);
+}
+
+/// [`concat_channels_into`] over any re-iterable source of views — the
+/// iterator is walked once to validate shapes and once per batch element
+/// to copy, so dispatchers need no temporary `Vec` of views.
+///
+/// # Panics
+/// Panics if batch/spatial dims disagree, the iterator is empty, or `out`
+/// has the wrong length.
+pub fn concat_channels_into_iter<'a, I>(views: I, out: &mut [f32])
+where
+    I: Iterator<Item = TensorView<'a>> + Clone,
+{
+    let mut it = views.clone();
+    let first = it.next().expect("concat of empty list");
     assert_eq!(first.shape().len(), 4, "concat expects 4-D tensors");
     let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
-    let mut c_total = 0;
-    for t in views {
+    let mut c_total = first.dim(1);
+    for t in it {
         assert_eq!(t.dim(0), n, "concat batch mismatch");
         assert_eq!(t.dim(2), h, "concat height mismatch");
         assert_eq!(t.dim(3), w, "concat width mismatch");
@@ -113,7 +143,7 @@ pub fn concat_channels_into(views: &[TensorView<'_>], out: &mut [f32]) {
     assert_eq!(out.len(), n * c_total * plane, "concat output buffer length");
     for b in 0..n {
         let mut c_off = 0;
-        for t in views {
+        for t in views.clone() {
             let c = t.dim(1);
             let src = &t.data()[b * c * plane..(b + 1) * c * plane];
             let dst_off = (b * c_total + c_off) * plane;
@@ -133,27 +163,46 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
     out
 }
 
-/// [`linear`] writing into a preallocated output buffer.
+/// Working-memory floats a `linear` of these dimensions needs (the GEMM
+/// pack buffers; the stored weight multiplies in place via the transposed
+/// GEMM variant, so no transpose copy exists anymore).
+pub fn linear_scratch_floats(n: usize, in_f: usize, out_f: usize) -> usize {
+    sgemm_scratch_floats(n, in_f, out_f)
+}
+
+/// [`linear`] writing into a preallocated output buffer. Working memory
+/// comes from the reusable thread-local buffer.
 ///
 /// # Panics
 /// Panics on shape mismatches or if `out` has the wrong length.
 pub fn linear_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>, out: &mut [f32]) {
+    let (n, f) = (input.dim(0), input.dim(1));
+    let out_f = weight.dim(0);
+    with_tl_scratch(linear_scratch_floats(n, f, out_f), |s| {
+        linear_into_scratch(input, weight, bias, out, s);
+    });
+}
+
+/// [`linear_into`] with explicit working memory of at least
+/// [`linear_scratch_floats`] elements — the slab executor's entry point.
+/// The `[out_features, in_features]` weight is consumed directly by the
+/// transposed-B GEMM variant; no transpose copy is materialized.
+///
+/// # Panics
+/// Panics on shape mismatches, wrong `out` length, or undersized scratch.
+pub fn linear_into_scratch(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
+) {
     assert_eq!(input.shape().len(), 2, "linear input must be 2-D");
     assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
     let (n, f) = (input.dim(0), input.dim(1));
     let (out_f, w_f) = (weight.dim(0), weight.dim(1));
     assert_eq!(f, w_f, "linear feature mismatch");
     assert_eq!(out.len(), n * out_f, "linear output buffer length");
-    // out[n, out_f] = input[n, f] * weightᵀ[f, out_f]
-    let wt: Vec<f32> = {
-        let mut wt = vec![0.0f32; f * out_f];
-        for o in 0..out_f {
-            for i in 0..f {
-                wt[i * out_f + o] = weight.data()[o * f + i];
-            }
-        }
-        wt
-    };
     match bias {
         Some(b) => {
             assert_eq!(b.len(), out_f, "linear bias mismatch");
@@ -163,7 +212,8 @@ pub fn linear_into(input: TensorView<'_>, weight: &Tensor, bias: Option<&[f32]>,
         }
         None => out.fill(0.0),
     }
-    sgemm(input.data(), &wt, out, n, f, out_f);
+    // out[n, out_f] += input[n, f] · weight[out_f, f]ᵀ
+    sgemm_nt_scratch(input.data(), weight.data(), out, n, f, out_f, scratch);
 }
 
 /// Softmax over the last dimension of a 2-D tensor.

@@ -8,8 +8,16 @@
 //!
 //! * 1×1 convolutions (the `fconv`/`lconv` layers every decomposed sequence
 //!   introduces) lower to a single SGEMM per batch element;
-//! * general convolutions use im2col + SGEMM;
-//! * SGEMM itself is rayon-parallel over output rows.
+//! * general convolutions use im2col + SGEMM, transposed convolutions a
+//!   GEMM + col2im scatter;
+//! * SGEMM itself is a cache-blocked, packed, register-tiled kernel
+//!   (see [`matmul`]) parallelized over output tiles.
+//!
+//! Every compute kernel exposes a `*_scratch` entry point taking its
+//! working memory as a caller-provided slice, sized by the matching
+//! `*_scratch_floats` function — the runtime's allocation planner reserves
+//! that scratch inside the inference slab so steady-state execution never
+//! heap-allocates.
 //!
 //! A slow, obviously-correct direct convolution is kept for cross-validation
 //! in tests.
@@ -21,13 +29,19 @@ pub mod pool;
 pub mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_direct, conv2d_into, conv_transpose2d, conv_transpose2d_into, Conv2dParams,
+    conv2d, conv2d_direct, conv2d_into, conv2d_into_scratch, conv2d_scratch_floats,
+    conv_transpose2d, conv_transpose2d_into, conv_transpose2d_into_scratch,
+    conv_transpose2d_scratch_floats, Conv2dParams,
 };
 pub use elementwise::{
-    add, add_n_into, concat_channels, concat_channels_into, linear, linear_into, softmax_lastdim,
-    softmax_lastdim_into, ActKind,
+    add, add_n_into, add_n_into_iter, concat_channels, concat_channels_into,
+    concat_channels_into_iter, linear, linear_into, linear_into_scratch, linear_scratch_floats,
+    softmax_lastdim, softmax_lastdim_into, ActKind,
 };
-pub use matmul::sgemm;
+pub use matmul::{
+    sgemm, sgemm_nt, sgemm_nt_scratch, sgemm_reference, sgemm_scratch, sgemm_scratch_floats,
+    sgemm_tn, sgemm_tn_scratch, with_tl_scratch,
+};
 pub use pool::{
     avg_pool2d, avg_pool2d_into, global_avg_pool, global_avg_pool_into, max_pool2d, max_pool2d_into,
 };

@@ -1,14 +1,176 @@
-//! Parallel single-precision matrix multiply.
+//! Cache-blocked, packed single-precision matrix multiply.
+//!
+//! The kernel follows the classic Goto/BLIS decomposition: the iteration
+//! space is tiled into `MC×KC` A-panels and `KC×NC` B-panels that are
+//! **packed** into contiguous scratch (zero-padded to `MR`/`NR` multiples
+//! so the inner loop never sees a tail), and a register-tiled `MR×NR`
+//! microkernel runs over the packed panels. Packing turns the strided
+//! accesses of row-major (or transposed) operands into unit-stride streams
+//! the microkernel consumes at one load per `MR`/`NR` values, which is
+//! what lifts arithmetic intensity past the memory wall — the previous
+//! unblocked i-k-j loop re-streamed the whole `B` matrix from L2 for every
+//! output row.
+//!
+//! The hot loop is **branch-free**: the old data-dependent
+//! `if av == 0.0 { continue }` skip (a mispredict machine on dense data)
+//! is gone; zero handling falls out of the arithmetic.
+//!
+//! Parallelism splits the output into per-worker row×column slots, each
+//! with a private pack buffer carved from the caller's scratch — workers
+//! never share panels, so no synchronization is needed inside a GEMM.
+//!
+//! The microkernel is ISA-dispatched once per call: an AVX2+FMA variant
+//! (runtime-detected, 8-wide FMA with the k-loop unrolled across eight
+//! accumulator chains) with an SSE2-intrinsics fallback that is always
+//! available on x86-64, and a portable autovectorized form elsewhere.
+//!
+//! Three storage variants are exposed, differing only in packing-time
+//! indexing (the microkernel is shared):
+//!
+//! * [`sgemm`]   — `out += A[m×k] · B[k×n]`, both row-major;
+//! * [`sgemm_nt`] — `B` stored transposed as `[n×k]` (weight matrices in
+//!   `[out_features, in_features]` layout multiply without a copy);
+//! * [`sgemm_tn`] — `A` stored transposed as `[k×m]` (column matrices for
+//!   GEMM-based transposed convolution).
+//!
+//! Every variant has a `*_scratch` form taking an explicit pack buffer of
+//! [`sgemm_scratch_floats`] capacity — the slab executor routes planned
+//! scratch through these so steady-state inference performs **zero heap
+//! allocations**. The plain forms borrow a thread-local buffer that is
+//! grown once and reused, so ad-hoc callers stay allocation-free after
+//! warmup too.
 
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Microkernel register-tile rows. With `NR = 8` the accumulator block is
+/// eight 4-wide xmm vectors on baseline x86-64, or four ymm vectors (one
+/// per row) under AVX2 — both within the 16 vector registers.
+pub const MR: usize = 4;
+/// Microkernel register-tile columns (one ymm / two xmm vectors wide).
+pub const NR: usize = 8;
+// The microkernel bodies name their MR accumulators explicitly and the
+// AVX2 variant loads exactly one ymm per packed B step.
+const _: () = assert!(MR == 4 && NR == 8);
+/// K-dimension panel depth: an `MR`-row A micro-panel of `KC` depth plus a
+/// `NR`-column B micro-panel stay resident in L1 across the inner loop.
+const KC: usize = 256;
+/// A-panel row block: `MC × KC` packed A (64 KiB) sits in L2.
+const MC: usize = 64;
+/// B-panel column block: `KC × NC` packed B (256 KiB) sits in L2/L3.
+const NC: usize = 256;
+
+/// Below this many multiply-adds the packed pipeline's setup cost beats
+/// its cache wins; a straight serial loop runs instead (and needs no
+/// scratch — [`sgemm_scratch_floats`] returns 0).
+const SMALL_FLOPS: usize = 16 * 16 * 16;
+
+/// How `A` is stored: row-major `[m×k]` or transposed `[k×m]`.
+#[derive(Clone, Copy)]
+enum AStore {
+    RowMajor,
+    Transposed,
+}
+
+/// How `B` is stored: row-major `[k×n]` or transposed `[n×k]`.
+#[derive(Clone, Copy)]
+enum BStore {
+    RowMajor,
+    Transposed,
+}
+
+/// Shared mutable base pointer for handing disjoint output/scratch regions
+/// to parallel workers.
+pub(crate) struct SyncPtr(pub *mut f32);
+unsafe impl Send for SyncPtr {}
+unsafe impl Sync for SyncPtr {}
+
+impl SyncPtr {
+    /// # Safety
+    /// Same contract as [`pointer::add`]; callers must also guarantee that
+    /// memory reached through the result is not accessed concurrently.
+    pub(crate) unsafe fn add(&self, offset: usize) -> *mut f32 {
+        self.0.add(offset)
+    }
+}
+
+const fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Blocking geometry for one GEMM call: the worker grid and the pack
+/// buffer capacities each worker slot owns. Deterministic in
+/// `(m, k, n, threads)` — the planner sizes scratch with the same function
+/// the kernel partitions it with.
+#[derive(Clone, Copy)]
+struct GemmDims {
+    row_slots: usize,
+    col_slots: usize,
+    /// K-panel depth actually used (`min(k, KC)`).
+    kc: usize,
+    /// A-pack row capacity, a multiple of `MR`.
+    mcb: usize,
+    /// B-pack column capacity, a multiple of `NR`.
+    ncb: usize,
+    /// Scratch floats per worker slot: one A pack + one B pack.
+    per_slot: usize,
+}
+
+fn gemm_dims(m: usize, k: usize, n: usize, threads: usize) -> GemmDims {
+    let threads = threads.max(1);
+    // Columns first: the big dimension in conv workloads is the output
+    // plane (n); rows absorb leftover parallelism for tall problems.
+    let col_slots = threads.min(n.div_ceil(NR)).max(1);
+    let row_slots = (threads / col_slots).min(m.div_ceil(MR)).max(1);
+    let kc = k.clamp(1, KC);
+    let row_span = m.div_ceil(row_slots);
+    let col_span = n.div_ceil(col_slots);
+    let mcb = round_up(row_span.clamp(1, MC), MR);
+    let ncb = round_up(col_span.clamp(1, NC), NR);
+    GemmDims { row_slots, col_slots, kc, mcb, ncb, per_slot: kc * (mcb + ncb) }
+}
+
+/// Pack-buffer floats a `(m, k, n)` GEMM needs on this host. Deterministic
+/// given shapes and `rayon::current_num_threads()`; the allocation planner
+/// uses it to reserve slab scratch and the kernels assert against it.
+pub fn sgemm_scratch_floats(m: usize, k: usize, n: usize) -> usize {
+    if m == 0 || n == 0 || k == 0 || m * k * n <= SMALL_FLOPS {
+        return 0;
+    }
+    let d = gemm_dims(m, k, n, rayon::current_num_threads());
+    d.row_slots * d.col_slots * d.per_slot
+}
+
+thread_local! {
+    /// Reusable pack buffer for the non-`_scratch` entry points: grown to
+    /// the high-water mark once, then borrowed allocation-free.
+    static TL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a thread-local buffer of `floats` elements — the working
+/// memory behind every non-`_scratch` kernel entry point (grown once to
+/// the high-water mark, then borrowed allocation-free).
+///
+/// Borrowed **non-reentrantly**: only outermost kernel entry points may
+/// call this, and they must never nest — a kernel that holds the buffer
+/// must not call another kernel's non-`_scratch` form on the same thread.
+/// The `*_scratch` kernels never touch it.
+pub fn with_tl_scratch<R>(floats: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    if floats == 0 {
+        return f(&mut []);
+    }
+    TL_SCRATCH.with(|s| {
+        let mut v = s.borrow_mut();
+        if v.len() < floats {
+            v.resize(floats, 0.0);
+        }
+        f(&mut v[..floats])
+    })
+}
 
 /// `out[m×n] += a[m×k] * b[k×n]`, all row-major. `out` must be pre-filled
-/// (zeros or bias-broadcast) by the caller.
-///
-/// The i-k-j loop order keeps the innermost loop streaming over contiguous
-/// rows of both `b` and `out`, which auto-vectorizes well; rayon parallelizes
-/// over independent output rows. This is the workhorse behind `linear`,
-/// 1×1 convolutions, and im2col convolutions.
+/// (zeros or bias-broadcast) by the caller. This is the workhorse behind
+/// `linear`, 1×1 convolutions, and im2col convolutions.
 ///
 /// # Panics
 /// Panics if slice lengths disagree with `m`, `k`, `n`.
@@ -16,7 +178,116 @@ pub fn sgemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
     assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
-    // For small problems the rayon dispatch overhead dominates; stay serial.
+    with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
+        gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, s);
+    });
+}
+
+/// [`sgemm`] with an explicit pack buffer of at least
+/// [`sgemm_scratch_floats`]`(m, k, n)` elements — the planned-slab entry
+/// point.
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+pub fn sgemm_scratch(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, scratch);
+}
+
+/// `out[m×n] += a[m×k] * bt[n×k]ᵀ`: the right-hand operand is stored
+/// transposed, as `[out_features, in_features]` weight matrices are. Lets
+/// `linear` multiply against the stored weight with no transpose copy.
+///
+/// # Panics
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+pub fn sgemm_nt(a: &[f32], bt: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
+    assert_eq!(bt.len(), n * k, "rhs (transposed) buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
+        gemm_core(a, AStore::RowMajor, bt, BStore::Transposed, out, m, k, n, s);
+    });
+}
+
+/// [`sgemm_nt`] with an explicit pack buffer.
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+pub fn sgemm_nt_scratch(
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
+    assert_eq!(bt.len(), n * k, "rhs (transposed) buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    gemm_core(a, AStore::RowMajor, bt, BStore::Transposed, out, m, k, n, scratch);
+}
+
+/// `out[m×n] += at[k×m]ᵀ * b[k×n]`: the left-hand operand is stored
+/// transposed. Backs GEMM-based transposed convolution, where the column
+/// matrix arrives `[k × spatial]`.
+///
+/// # Panics
+/// Panics if slice lengths disagree with `m`, `k`, `n`.
+pub fn sgemm_tn(at: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(at.len(), k * m, "lhs (transposed) buffer size mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
+        gemm_core(at, AStore::Transposed, b, BStore::RowMajor, out, m, k, n, s);
+    });
+}
+
+/// [`sgemm_tn`] with an explicit pack buffer.
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+pub fn sgemm_tn_scratch(
+    at: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+) {
+    assert_eq!(at.len(), k * m, "lhs (transposed) buffer size mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
+    gemm_core(at, AStore::Transposed, b, BStore::RowMajor, out, m, k, n, scratch);
+}
+
+/// Convenience: `a[m×k] * b[k×n]` into a fresh zeroed buffer.
+pub fn sgemm_alloc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    sgemm(a, b, &mut out, m, k, n);
+    out
+}
+
+/// The pre-blocking kernel, kept verbatim as the performance baseline for
+/// `BENCH_kernels.json` and as a second correctness oracle: an unblocked
+/// i-k-j loop (with its data-dependent zero-skip branch) parallelized over
+/// output rows. Semantics match [`sgemm`]: `out += a * b` with `out`
+/// pre-filled by the caller.
+pub fn sgemm_reference(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
+    assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
+    assert_eq!(out.len(), m * n, "out buffer size mismatch");
     let serial = m * k * n < 64 * 64 * 64;
     let body = |(i, orow): (usize, &mut [f32])| {
         let arow = &a[i * k..(i + 1) * k];
@@ -37,11 +308,428 @@ pub fn sgemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
-/// Convenience: `a[m×k] * b[k×n]` into a fresh zeroed buffer.
-pub fn sgemm_alloc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    sgemm(a, b, &mut out, m, k, n);
+/// Layout-generic blocked GEMM driver: splits the output into per-worker
+/// slots, carves each slot's pack buffers out of `scratch`, and runs the
+/// packed panel loop in every slot.
+#[allow(clippy::too_many_arguments)]
+fn gemm_core(
+    a: &[f32],
+    astore: AStore,
+    b: &[f32],
+    bstore: BStore,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * k * n <= SMALL_FLOPS {
+        return gemm_small(a, astore, b, bstore, out, m, k, n);
+    }
+    let isa = detect_isa();
+    let d = gemm_dims(m, k, n, rayon::current_num_threads());
+    let slots = d.row_slots * d.col_slots;
+    assert!(
+        scratch.len() >= slots * d.per_slot,
+        "gemm scratch undersized: {} < {}",
+        scratch.len(),
+        slots * d.per_slot
+    );
+    let row_span = m.div_ceil(d.row_slots);
+    let col_span = n.div_ceil(d.col_slots);
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    let scratch_ptr = SyncPtr(scratch.as_mut_ptr());
+    (0..slots).into_par_iter().for_each(|s| {
+        let i0 = (s / d.col_slots) * row_span;
+        let i1 = m.min(i0 + row_span);
+        let j0 = (s % d.col_slots) * col_span;
+        let j1 = n.min(j0 + col_span);
+        if i0 >= i1 || j0 >= j1 {
+            return;
+        }
+        // SAFETY: slot windows `[s*per_slot, (s+1)*per_slot)` are disjoint
+        // and within the asserted scratch length.
+        let slot_scratch =
+            unsafe { std::slice::from_raw_parts_mut(scratch_ptr.add(s * d.per_slot), d.per_slot) };
+        let (a_pack, b_pack) = slot_scratch.split_at_mut(d.kc * d.mcb);
+        gemm_slot(a, astore, b, bstore, &out_ptr, k, n, d, (i0, i1), (j0, j1), a_pack, b_pack, isa);
+    });
+}
+
+/// One worker slot: the packed `jc → kc → ic → (jr, ir)` panel loop over
+/// the slot's `[i0, i1) × [j0, j1)` output window.
+#[allow(clippy::too_many_arguments)]
+fn gemm_slot(
+    a: &[f32],
+    astore: AStore,
+    b: &[f32],
+    bstore: BStore,
+    out_ptr: &SyncPtr,
+    k: usize,
+    n: usize,
+    d: GemmDims,
+    (i0, i1): (usize, usize),
+    (j0, j1): (usize, usize),
+    a_pack: &mut [f32],
+    b_pack: &mut [f32],
+    isa: Isa,
+) {
+    for jc in (j0..j1).step_by(d.ncb) {
+        let nc_len = d.ncb.min(j1 - jc);
+        let j_panels = nc_len.div_ceil(NR);
+        for kc0 in (0..k).step_by(d.kc) {
+            let kc_len = d.kc.min(k - kc0);
+            pack_b(b, bstore, b_pack, k, n, kc0, kc_len, jc, nc_len);
+            for ic in (i0..i1).step_by(d.mcb) {
+                let mc_len = d.mcb.min(i1 - ic);
+                let i_panels = mc_len.div_ceil(MR);
+                pack_a(a, astore, a_pack, k, kc0, kc_len, ic, mc_len);
+                for jp in 0..j_panels {
+                    let bpan = &b_pack[jp * kc_len * NR..][..kc_len * NR];
+                    let col0 = jc + jp * NR;
+                    let nr_len = NR.min(j1 - col0);
+                    for ip in 0..i_panels {
+                        let apan = &a_pack[ip * kc_len * MR..][..kc_len * MR];
+                        #[cfg(target_arch = "x86_64")]
+                        // SAFETY: Avx2Fma is only returned by `detect_isa`
+                        // after probing both features.
+                        let acc = match isa {
+                            Isa::Avx2Fma => unsafe { microkernel_avx2(apan, bpan) },
+                            Isa::Baseline => microkernel(apan, bpan),
+                        };
+                        #[cfg(not(target_arch = "x86_64"))]
+                        let acc = {
+                            let _ = isa;
+                            microkernel(apan, bpan)
+                        };
+                        let row0 = ic + ip * MR;
+                        let mr_len = MR.min(i1 - row0);
+                        // SAFETY: `[row0, row0+mr_len) × [col0, col0+nr_len)`
+                        // lies inside this slot's exclusive output window.
+                        unsafe {
+                            if mr_len == MR && nr_len == NR {
+                                // Full tile: fixed-bound loops vectorize.
+                                for (rr, acc_row) in acc.iter().enumerate() {
+                                    let dst = out_ptr.add((row0 + rr) * n + col0);
+                                    for (cc, &v) in acc_row.iter().enumerate() {
+                                        *dst.add(cc) += v;
+                                    }
+                                }
+                            } else {
+                                for (rr, acc_row) in acc.iter().enumerate().take(mr_len) {
+                                    let dst = out_ptr.add((row0 + rr) * n + col0);
+                                    for (cc, &v) in acc_row.iter().enumerate().take(nr_len) {
+                                        *dst.add(cc) += v;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack an `mc_len × kc_len` block of `A` into `MR`-row micro-panels,
+/// zero-padding the ragged last panel: panel `p` holds
+/// `pack[p·kc_len·MR + kk·MR + r] = A[ic + p·MR + r][kc0 + kk]`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: &[f32],
+    astore: AStore,
+    pack: &mut [f32],
+    k: usize,
+    kc0: usize,
+    kc_len: usize,
+    ic: usize,
+    mc_len: usize,
+) {
+    let panels = mc_len.div_ceil(MR);
+    for p in 0..panels {
+        let dst = &mut pack[p * kc_len * MR..][..kc_len * MR];
+        let r0 = ic + p * MR;
+        let rows = MR.min(ic + mc_len - r0);
+        match astore {
+            AStore::RowMajor => {
+                for r in 0..MR {
+                    if r < rows {
+                        let src = &a[(r0 + r) * k + kc0..][..kc_len];
+                        for (kk, &v) in src.iter().enumerate() {
+                            dst[kk * MR + r] = v;
+                        }
+                    } else {
+                        for kk in 0..kc_len {
+                            dst[kk * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+            AStore::Transposed => {
+                // A stored `k×m`: row `kk` is contiguous over matrix rows.
+                let m = a.len() / k;
+                for kk in 0..kc_len {
+                    let src = &a[(kc0 + kk) * m + r0..];
+                    let drow = &mut dst[kk * MR..(kk + 1) * MR];
+                    for (r, dv) in drow.iter_mut().enumerate() {
+                        *dv = if r < rows { src[r] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack a `kc_len × nc_len` block of `B` into `NR`-column micro-panels,
+/// zero-padding the ragged last panel: panel `p` holds
+/// `pack[p·kc_len·NR + kk·NR + c] = B[kc0 + kk][jc + p·NR + c]`.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    b: &[f32],
+    bstore: BStore,
+    pack: &mut [f32],
+    k: usize,
+    n: usize,
+    kc0: usize,
+    kc_len: usize,
+    jc: usize,
+    nc_len: usize,
+) {
+    let panels = nc_len.div_ceil(NR);
+    for p in 0..panels {
+        let dst = &mut pack[p * kc_len * NR..][..kc_len * NR];
+        let c0 = jc + p * NR;
+        let cols = NR.min(jc + nc_len - c0);
+        match bstore {
+            BStore::RowMajor => {
+                for kk in 0..kc_len {
+                    let src = &b[(kc0 + kk) * n + c0..];
+                    let drow = &mut dst[kk * NR..(kk + 1) * NR];
+                    for (c, dv) in drow.iter_mut().enumerate() {
+                        *dv = if c < cols { src[c] } else { 0.0 };
+                    }
+                }
+            }
+            BStore::Transposed => {
+                // B stored `n×k`: logical column `j` is a contiguous row.
+                for c in 0..NR {
+                    if c < cols {
+                        let src = &b[(c0 + c) * k + kc0..][..kc_len];
+                        for (kk, &v) in src.iter().enumerate() {
+                            dst[kk * NR + c] = v;
+                        }
+                    } else {
+                        for kk in 0..kc_len {
+                            dst[kk * NR + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which microkernel the running CPU supports. Resolved once per GEMM
+/// call; the feature probes cache internally so the check is an atomic
+/// load.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    /// 8-wide FMA microkernel (requires AVX2 + FMA, runtime-detected).
+    Avx2Fma,
+    /// Baseline microkernel: SSE2 intrinsics on x86-64, scalar elsewhere.
+    Baseline,
+}
+
+fn detect_isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Isa::Avx2Fma;
+        }
+    }
+    Isa::Baseline
+}
+
+/// The register-tiled heart: an `MR×NR` rank-`kc` update over packed
+/// micro-panels — `acc[r][c] = Σ_k apan[k·MR+r] · bpan[k·NR+c]`.
+///
+/// The hot-path variants are written with explicit SIMD intrinsics rather
+/// than autovectorized scalar code: the scalar form's vectorization proved
+/// fragile (losing 4× depending on codegen-unit partitioning and
+/// surrounding control flow), while intrinsics pin the codegen. SSE2 is
+/// part of the x86-64 baseline ABI, so [`microkernel`] needs no feature
+/// probe; the AVX2+FMA variant is gated behind [`detect_isa`].
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn microkernel(apan: &[f32], bpan: &[f32]) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(apan.len() / MR, bpan.len() / NR);
+    // SAFETY: SSE2 is unconditionally available on x86_64, and the k-loop
+    // reads exactly `kc` packed steps of both panels.
+    unsafe {
+        let kc = bpan.len() / NR;
+        let mut ap = apan.as_ptr();
+        let mut bp = bpan.as_ptr();
+        // Eight accumulators: MR rows × two 4-wide halves of the NR tile.
+        let mut a0l = _mm_setzero_ps();
+        let mut a0h = _mm_setzero_ps();
+        let mut a1l = _mm_setzero_ps();
+        let mut a1h = _mm_setzero_ps();
+        let mut a2l = _mm_setzero_ps();
+        let mut a2h = _mm_setzero_ps();
+        let mut a3l = _mm_setzero_ps();
+        let mut a3h = _mm_setzero_ps();
+        for _ in 0..kc {
+            let bl = _mm_loadu_ps(bp);
+            let bh = _mm_loadu_ps(bp.add(4));
+            let s0 = _mm_set1_ps(*ap);
+            a0l = _mm_add_ps(a0l, _mm_mul_ps(s0, bl));
+            a0h = _mm_add_ps(a0h, _mm_mul_ps(s0, bh));
+            let s1 = _mm_set1_ps(*ap.add(1));
+            a1l = _mm_add_ps(a1l, _mm_mul_ps(s1, bl));
+            a1h = _mm_add_ps(a1h, _mm_mul_ps(s1, bh));
+            let s2 = _mm_set1_ps(*ap.add(2));
+            a2l = _mm_add_ps(a2l, _mm_mul_ps(s2, bl));
+            a2h = _mm_add_ps(a2h, _mm_mul_ps(s2, bh));
+            let s3 = _mm_set1_ps(*ap.add(3));
+            a3l = _mm_add_ps(a3l, _mm_mul_ps(s3, bl));
+            a3h = _mm_add_ps(a3h, _mm_mul_ps(s3, bh));
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        _mm_storeu_ps(out[0].as_mut_ptr(), a0l);
+        _mm_storeu_ps(out[0].as_mut_ptr().add(4), a0h);
+        _mm_storeu_ps(out[1].as_mut_ptr(), a1l);
+        _mm_storeu_ps(out[1].as_mut_ptr().add(4), a1h);
+        _mm_storeu_ps(out[2].as_mut_ptr(), a2l);
+        _mm_storeu_ps(out[2].as_mut_ptr().add(4), a2h);
+        _mm_storeu_ps(out[3].as_mut_ptr(), a3l);
+        _mm_storeu_ps(out[3].as_mut_ptr().add(4), a3h);
+        out
+    }
+}
+
+/// Portable baseline microkernel for non-x86 targets. Named per-row
+/// accumulators (not a 2-D array) so scalar replacement keeps the block in
+/// registers across the k-loop; LLVM vectorizes the `NR`-wide statements.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn microkernel(apan: &[f32], bpan: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc0 = [0.0f32; NR];
+    let mut acc1 = [0.0f32; NR];
+    let mut acc2 = [0.0f32; NR];
+    let mut acc3 = [0.0f32; NR];
+    for (av, bv) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+        let b: [f32; NR] = bv.try_into().unwrap();
+        let (a0, a1, a2, a3) = (av[0], av[1], av[2], av[3]);
+        for c in 0..NR {
+            acc0[c] += a0 * b[c];
+        }
+        for c in 0..NR {
+            acc1[c] += a1 * b[c];
+        }
+        for c in 0..NR {
+            acc2[c] += a2 * b[c];
+        }
+        for c in 0..NR {
+            acc3[c] += a3 * b[c];
+        }
+    }
+    [acc0, acc1, acc2, acc3]
+}
+
+/// AVX2+FMA microkernel: the `NR = 8` tile is one ymm vector per row, and
+/// the k-loop is unrolled ×2 into eight independent accumulator chains so
+/// FMA latency (4–5 cycles) overlaps across iterations — a single chain
+/// per row would cap throughput at 1 FMA/cycle.
+///
+/// # Safety
+/// Caller must have verified AVX2 and FMA support ([`detect_isa`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(apan: &[f32], bpan: &[f32]) -> [[f32; NR]; MR] {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(apan.len() / MR, bpan.len() / NR);
+    let kc = bpan.len() / NR;
+    let mut ap = apan.as_ptr();
+    let mut bp = bpan.as_ptr();
+    let mut acc0a = _mm256_setzero_ps();
+    let mut acc1a = _mm256_setzero_ps();
+    let mut acc2a = _mm256_setzero_ps();
+    let mut acc3a = _mm256_setzero_ps();
+    let mut acc0b = _mm256_setzero_ps();
+    let mut acc1b = _mm256_setzero_ps();
+    let mut acc2b = _mm256_setzero_ps();
+    let mut acc3b = _mm256_setzero_ps();
+    for _ in 0..kc / 2 {
+        let b0 = _mm256_loadu_ps(bp);
+        acc0a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap), b0, acc0a);
+        acc1a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(1)), b0, acc1a);
+        acc2a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(2)), b0, acc2a);
+        acc3a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(3)), b0, acc3a);
+        let b1 = _mm256_loadu_ps(bp.add(NR));
+        acc0b = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(4)), b1, acc0b);
+        acc1b = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(5)), b1, acc1b);
+        acc2b = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(6)), b1, acc2b);
+        acc3b = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(7)), b1, acc3b);
+        ap = ap.add(2 * MR);
+        bp = bp.add(2 * NR);
+    }
+    if kc % 2 == 1 {
+        let b0 = _mm256_loadu_ps(bp);
+        acc0a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap), b0, acc0a);
+        acc1a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(1)), b0, acc1a);
+        acc2a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(2)), b0, acc2a);
+        acc3a = _mm256_fmadd_ps(_mm256_broadcast_ss(&*ap.add(3)), b0, acc3a);
+    }
+    let mut out = [[0.0f32; NR]; MR];
+    _mm256_storeu_ps(out[0].as_mut_ptr(), _mm256_add_ps(acc0a, acc0b));
+    _mm256_storeu_ps(out[1].as_mut_ptr(), _mm256_add_ps(acc1a, acc1b));
+    _mm256_storeu_ps(out[2].as_mut_ptr(), _mm256_add_ps(acc2a, acc2b));
+    _mm256_storeu_ps(out[3].as_mut_ptr(), _mm256_add_ps(acc3a, acc3b));
     out
+}
+
+/// Serial fallback for problems too small to amortize packing. Branch-free
+/// i-k-j order; layout handled by direct indexing.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    a: &[f32],
+    astore: AStore,
+    b: &[f32],
+    bstore: BStore,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = match astore {
+                AStore::RowMajor => a[i * k + kk],
+                AStore::Transposed => a[kk * m + i],
+            };
+            match bstore {
+                BStore::RowMajor => {
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+                BStore::Transposed => {
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += av * b[j * k + kk];
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,6 +750,10 @@ mod tests {
         out
     }
 
+    fn fill(len: usize, mul: usize, md: usize, scale: f32, off: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i * mul % md) as f32) * scale - off).collect()
+    }
+
     #[test]
     fn matches_naive_small() {
         let (m, k, n) = (3, 4, 5);
@@ -73,8 +765,8 @@ mod tests {
     #[test]
     fn matches_naive_above_parallel_threshold() {
         let (m, k, n) = (70, 70, 70);
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32) / 8.0 - 1.0).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 19) as f32) / 9.0 - 1.0).collect();
+        let a = fill(m * k, 13, 17, 1.0 / 8.0, 1.0);
+        let b = fill(k * n, 5, 19, 1.0 / 9.0, 1.0);
         let got = sgemm_alloc(&a, &b, m, k, n);
         let want = naive(&a, &b, m, k, n);
         for (g, w) in got.iter().zip(&want) {
@@ -89,5 +781,99 @@ mod tests {
         let mut out = [10.0f32, 10.0, 10.0, 10.0];
         sgemm(&a, &b, &mut out, 2, 2, 2);
         assert_eq!(out, [12.0, 13.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn blocked_path_handles_ragged_tails() {
+        // Straddles MR/NR/KC boundaries in every dimension.
+        for &(m, k, n) in &[(65, 130, 63), (1, 300, 9), (37, 1, 41), (130, 65, 7)] {
+            let a = fill(m * k, 7, 23, 0.125, 1.0);
+            let b = fill(k * n, 11, 29, 0.0625, 0.9);
+            let got = sgemm_alloc(&a, &b, m, k, n);
+            let want = naive(&a, &b, m, k, n);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-3, "({m},{k},{n})[{i}]: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_variant_matches_explicit_transpose() {
+        let (m, k, n) = (33, 70, 18);
+        let a = fill(m * k, 3, 13, 0.25, 1.5);
+        let bt = fill(n * k, 5, 11, 0.5, 1.25);
+        // Materialize B = Bᵀ row-major and compare against plain sgemm.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nt(&a, &bt, &mut got, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn tn_variant_matches_explicit_transpose() {
+        let (m, k, n) = (29, 66, 40);
+        let at = fill(k * m, 7, 17, 0.25, 1.75);
+        let b = fill(k * n, 3, 19, 0.5, 1.0);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        sgemm_tn(&at, &b, &mut got, m, k, n);
+        let want = naive(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn scratch_entry_point_matches_and_respects_budget() {
+        let (m, k, n) = (64, 128, 96);
+        let a = fill(m * k, 13, 31, 0.125, 1.9);
+        let b = fill(k * n, 17, 37, 0.0625, 1.1);
+        let floats = sgemm_scratch_floats(m, k, n);
+        assert!(floats > 0, "blocked path must request scratch");
+        let mut scratch = vec![0.0f32; floats];
+        let mut got = vec![0.0f32; m * n];
+        sgemm_scratch(&a, &b, &mut got, m, k, n, &mut scratch);
+        let want = naive(&a, &b, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn reference_kernel_agrees_with_blocked() {
+        let (m, k, n) = (48, 80, 56);
+        let a = fill(m * k, 9, 41, 0.0625, 1.2);
+        let b = fill(k * n, 23, 43, 0.03125, 0.6);
+        let got = sgemm_alloc(&a, &b, m, k, n);
+        let mut want = vec![0.0f32; m * n];
+        sgemm_reference(&a, &b, &mut want, m, k, n);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn small_path_needs_no_scratch() {
+        assert_eq!(sgemm_scratch_floats(4, 4, 4), 0);
+        assert_eq!(sgemm_scratch_floats(0, 128, 128), 0);
+        // And the scratch entry point accepts an empty buffer there.
+        let a = [1.0f32; 16];
+        let b = [2.0f32; 16];
+        let mut out = [0.0f32; 16];
+        sgemm_scratch(&a, &b, &mut out, 4, 4, 4, &mut []);
+        assert!(out.iter().all(|&v| (v - 8.0).abs() < 1e-6));
     }
 }

@@ -1,0 +1,123 @@
+//! Property tests for the cache-blocked packed SGEMM: the blocked kernel
+//! (all three layout variants) must agree with a naive triple loop on
+//! ragged shapes that exercise every tail-tile combination of the MR×NR
+//! register tile and the KC/MC/NC panel blocking, and the scratch-floats
+//! formula must be honored exactly by the `_scratch` entry points.
+
+use proptest::prelude::*;
+use temco_tensor::{
+    sgemm, sgemm_nt_scratch, sgemm_reference, sgemm_scratch, sgemm_scratch_floats,
+    sgemm_tn_scratch, Tensor,
+};
+
+/// Shapes straddling the microkernel (4×8), the KC=256/MC=64 panel edges,
+/// and the degenerate single-row/column cases.
+const DIMS: &[usize] = &[1, 7, 63, 64, 65, 130];
+
+/// Naive i-k-j oracle, independent of both production kernels.
+fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn rel_close(got: &[f32], want: &[f32], k: usize) -> Result<(), String> {
+    // Summation order differs between kernels; scale the tolerance with the
+    // reduction depth.
+    let tol = 1e-5 * (k as f32).sqrt().max(1.0) * 8.0;
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        if (g - w).abs() > tol * scale {
+            return Err(format!("element {i}: got {g}, want {w} (tol {tol})"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn blocked_sgemm_matches_naive_on_ragged_shapes(
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = Tensor::randn(&[m, k], seed).data().to_vec();
+        let b = Tensor::randn(&[k, n], seed ^ 0x5A5A).data().to_vec();
+        let want = matmul_naive(&a, &b, m, k, n);
+
+        let mut got = vec![0.0f32; m * n];
+        sgemm(&a, &b, &mut got, m, k, n);
+        prop_assert!(rel_close(&got, &want, k).is_ok(),
+            "sgemm {m}x{k}x{n}: {}", rel_close(&got, &want, k).unwrap_err());
+
+        // The pre-blocking baseline must agree too — it is the bench oracle.
+        let mut reference = vec![0.0f32; m * n];
+        sgemm_reference(&a, &b, &mut reference, m, k, n);
+        prop_assert!(rel_close(&reference, &want, k).is_ok());
+    }
+
+    #[test]
+    fn transposed_variants_match_naive(
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = Tensor::randn(&[m, k], seed).data().to_vec();
+        let b = Tensor::randn(&[k, n], seed ^ 0xC3C3).data().to_vec();
+        let want = matmul_naive(&a, &b, m, k, n);
+
+        // B stored transposed (n×k): sgemm_nt(a, bt) == a·b.
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let floats = sgemm_scratch_floats(m, k, n);
+        let mut scratch = vec![0.0f32; floats];
+        let mut got = vec![0.0f32; m * n];
+        sgemm_nt_scratch(&a, &bt, &mut got, m, k, n, &mut scratch);
+        prop_assert!(rel_close(&got, &want, k).is_ok(), "sgemm_nt {m}x{k}x{n}");
+
+        // A stored transposed (k×m): sgemm_tn(at, b) == a·b.
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        got.fill(0.0);
+        sgemm_tn_scratch(&at, &b, &mut got, m, k, n, &mut scratch);
+        prop_assert!(rel_close(&got, &want, k).is_ok(), "sgemm_tn {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn scratch_entry_point_accepts_exactly_the_formula_floats(
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+    ) {
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let a = vec![0.5f32; m * k];
+        let b = vec![0.25f32; k * n];
+        let mut out = vec![0.0f32; m * n];
+        // Exactly the advertised size must suffice — no hidden slack.
+        let mut scratch = vec![0.0f32; sgemm_scratch_floats(m, k, n)];
+        sgemm_scratch(&a, &b, &mut out, m, k, n, &mut scratch);
+        let want = 0.5 * 0.25 * k as f32;
+        prop_assert!(out.iter().all(|&v| (v - want).abs() < 1e-3 * k as f32));
+    }
+}

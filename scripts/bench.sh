@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Kernel perf smoke: runs the blocked-GEMM / e2e tracker in release mode
+# and refreshes BENCH_kernels.json at the repo root.
+#
+# Knobs (forwarded to the harness):
+#   TEMCO_BENCH_REPS  timed repetitions per point (default 5)
+#   TEMCO_BENCH_OUT   output path (default BENCH_kernels.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== bench: cargo build --release -p temco-bench ==="
+cargo build --release -p temco-bench --bin bench_kernels
+
+echo "=== bench: bench_kernels ==="
+./target/release/bench_kernels
+
+echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_kernels.json}"

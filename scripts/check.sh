@@ -16,4 +16,10 @@ cargo build --release
 echo "=== tier-1: cargo test -q ==="
 cargo test -q
 
+# Opt-in perf smoke: TEMCO_CHECK_BENCH=1 ./scripts/check.sh also refreshes
+# BENCH_kernels.json (a few extra minutes; off by default so CI stays fast).
+if [[ "${TEMCO_CHECK_BENCH:-0}" == "1" ]]; then
+    ./scripts/bench.sh
+fi
+
 echo "all checks passed"

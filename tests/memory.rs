@@ -129,7 +129,14 @@ proptest! {
         let g = random_graph(&tape);
         let plan = plan_allocation(&g);
         prop_assert!(plan.validate().is_empty(), "{:?}", plan.validate());
+        // The kernel-scratch arena sits wholly past the value region, so no
+        // buffer can alias a kernel's working memory.
+        if plan.scratch_bytes > 0 {
+            prop_assert!(plan.scratch_offset >= plan.value_bytes);
+            prop_assert_eq!(plan.scratch_offset + plan.scratch_bytes, plan.slab_bytes);
+        }
         for (i, a) in plan.buffers.iter().enumerate() {
+            prop_assert!(a.offset + a.bytes <= plan.value_bytes);
             prop_assert!(a.offset + a.bytes <= plan.slab_bytes);
             for b in &plan.buffers[i + 1..] {
                 if a.time_overlap(b) {
@@ -191,7 +198,8 @@ fn dynamic_high_water_equals_static_slab_on_all_models() {
                 level.label()
             );
             let plan = plan_memory(&opt);
-            assert_eq!(res.slab_bytes, plan.slab_bytes, "{} @ {}", id.name(), level.label());
+            assert_eq!(res.slab_bytes, plan.slab_total_bytes, "{} @ {}", id.name(), level.label());
+            assert_eq!(res.scratch_bytes, plan.scratch_bytes, "{} @ {}", id.name(), level.label());
             assert!(
                 plan.fragmentation() <= 1.15,
                 "{} @ {}: slab {} is {:.3}× the live peak {}",

@@ -1,0 +1,120 @@
+//! The PR's zero-allocation acceptance bar: after `Engine::new` has
+//! planned and allocated, a steady-state `Engine::run` performs **zero**
+//! heap allocations — every kernel writes into planned slab offsets and
+//! draws its working memory (im2col columns, GEMM pack panels, fused-tile
+//! strips) from the planner-reserved scratch arena.
+//!
+//! Verified with a counting `#[global_allocator]` gated by a thread-local
+//! flag, so the test harness's own threads cannot pollute the count. On
+//! multi-core hosts rayon workers run outside the tracked thread, but the
+//! work-distribution path of the bundled rayon shim is allocation-free by
+//! construction (its own tests assert that), so the tracked thread is the
+//! meaningful boundary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use temco::{Compiler, OptLevel};
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{execute, Engine, ExecMode, ExecOptions};
+use temco_tensor::Tensor;
+
+struct CountingAlloc;
+
+static TRACKED_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if TRACKING.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.try_with(|t| t.get()).unwrap_or(false) {
+            TRACKED_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f` with this thread's allocations counted; returns the count.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    TRACKING.with(|t| t.set(false)); // warm the TLS slot outside the count
+    let before = TRACKED_ALLOCS.load(Ordering::Relaxed);
+    TRACKING.with(|t| t.set(true));
+    let r = f();
+    TRACKING.with(|t| t.set(false));
+    (r, TRACKED_ALLOCS.load(Ordering::Relaxed) - before)
+}
+
+#[test]
+fn engine_steady_state_performs_zero_heap_allocations() {
+    let compiler = Compiler::default();
+    let cfg = ModelConfig::small();
+    let levels =
+        [OptLevel::Decomposed, OptLevel::Fusion, OptLevel::SkipOpt, OptLevel::SkipOptFusion];
+    for id in ModelId::all() {
+        let g = id.build(&cfg);
+        let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 21);
+        for level in levels {
+            let (opt, _) = compiler.compile(&g, level);
+            let mut engine = Engine::new(opt)
+                .unwrap_or_else(|e| panic!("{} @ {}: {e}", id.name(), level.label()));
+            // Warmup: populates anything lazily initialized (thread pool,
+            // TLS) outside the counted window.
+            engine.run(std::slice::from_ref(&x)).expect("warmup run failed");
+            let (res, allocs) =
+                count_allocs(|| engine.run(std::slice::from_ref(&x)).map(|outs| outs.len()));
+            assert!(res.is_ok());
+            assert_eq!(
+                allocs,
+                0,
+                "{} @ {}: steady-state run heap-allocated {allocs} times",
+                id.name(),
+                level.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_agrees_with_per_node_baseline() {
+    let compiler = Compiler::default();
+    let cfg = ModelConfig::small();
+    for id in [ModelId::Vgg11, ModelId::Resnet18, ModelId::UnetSmall] {
+        let g = id.build(&cfg);
+        let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 33);
+        for level in [OptLevel::Decomposed, OptLevel::SkipOptFusion] {
+            let (opt, _) = compiler.compile(&g, level);
+            let baseline = execute(
+                &opt,
+                std::slice::from_ref(&x),
+                ExecOptions { mode: ExecMode::PerNode, ..Default::default() },
+            )
+            .expect("per-node execution failed");
+            let mut engine = Engine::new(opt).expect("engine construction failed");
+            let outs = engine.run(std::slice::from_ref(&x)).expect("engine run failed");
+            assert_eq!(outs.len(), baseline.outputs.len());
+            for (got, want) in outs.iter().zip(&baseline.outputs) {
+                assert!(
+                    got.all_close(want, 1e-3),
+                    "{} @ {}: engine diverged from per-node baseline by {}",
+                    id.name(),
+                    level.label(),
+                    got.max_abs_diff(want)
+                );
+            }
+        }
+    }
+}
