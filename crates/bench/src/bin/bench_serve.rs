@@ -1,0 +1,126 @@
+//! Serving throughput tracker: closed-loop TCP load against an in-process
+//! `temco-serve` instance, written to `BENCH_serve.json`.
+//!
+//! Two configurations run back to back on the same model and client
+//! count, isolating the value of dynamic batching:
+//!
+//! * **baseline** — `max_batch = 1`: every request executes alone (the
+//!   closed-loop equivalent of a batch-1 server),
+//! * **batched** — `max_batch = 8` with a short gather window: concurrent
+//!   requests coalesce onto bucketed precompiled plans.
+//!
+//! The acceptance gate is the `speedup` field (batched throughput must
+//! exceed baseline) together with `mean_batch > 1` — i.e. batching both
+//! *happened* and *paid*. Environment knobs: `TEMCO_BENCH_OUT` (default
+//! `BENCH_serve.json`), `TEMCO_SERVE_CLIENTS` (default 8),
+//! `TEMCO_SERVE_REQUESTS` (per client, default 64).
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::time::Duration;
+
+use temco::{Compiler, OptLevel};
+use temco_bench::harness_config;
+use temco_models::ModelId;
+use temco_serve::{loadgen, Client, LoadReport, LoadgenConfig, ServeConfig, Server, StatsSnapshot};
+
+struct Run {
+    report: LoadReport,
+    stats: StatsSnapshot,
+}
+
+/// Serve `max_batch` over an ephemeral port, drive the closed loop, drain.
+fn run_once(graph: temco_ir::Graph, max_batch: usize, lg: LoadgenConfig) -> Run {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch,
+        max_delay: Duration::from_millis(1),
+        queue_cap: 256,
+        default_deadline: None,
+    };
+    let server = Server::new(graph, cfg).expect("servable model");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap().to_string();
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || temco_serve::serve_blocking(server, listener))
+    };
+
+    let report = loadgen::run(&addr, lg).expect("loadgen connects");
+    let mut client = Client::connect(&addr).expect("control connection");
+    client.shutdown_server().expect("shutdown frame");
+    acceptor.join().unwrap().expect("accept loop");
+    Run { report, stats: server.stats() }
+}
+
+fn main() {
+    let out_path = std::env::var("TEMCO_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let clients: usize =
+        std::env::var("TEMCO_SERVE_CLIENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let requests: usize =
+        std::env::var("TEMCO_SERVE_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    let lg = LoadgenConfig { clients, requests_per_client: requests, deadline_ms: 0, seed: 7 };
+
+    let cfg = harness_config(64, 1);
+    let model = ModelId::Alexnet;
+    let graph = {
+        let base = model.build(&cfg);
+        let (g, _) = Compiler::default().compile(&base, OptLevel::SkipOptFusion);
+        g
+    };
+
+    println!(
+        "serve bench: {} @ {}x{}, {} clients x {} requests, 1 worker",
+        model.name(),
+        cfg.image,
+        cfg.image,
+        clients,
+        requests
+    );
+    let baseline = run_once(graph.clone(), 1, lg);
+    let batched = run_once(graph, 8, lg);
+
+    let speedup = batched.report.throughput_rps / baseline.report.throughput_rps.max(1e-9);
+    let print = |label: &str, r: &Run| {
+        println!(
+            "  {label:>8}: {:.1} req/s, p50 {:.3} ms, p99 {:.3} ms, mean batch {:.2}",
+            r.report.throughput_rps,
+            r.report.p50_ms,
+            r.report.p99_ms,
+            r.stats.mean_batch_size()
+        );
+    };
+    print("baseline", &baseline);
+    print("batched", &batched);
+    println!("  speedup : {speedup:.2}x");
+    assert_eq!(baseline.report.errors, 0, "baseline run had transport errors");
+    assert_eq!(batched.report.errors, 0, "batched run had transport errors");
+
+    let section = |f: &mut std::fs::File, name: &str, r: &Run, comma: bool| {
+        writeln!(f, "  \"{name}\": {{").unwrap();
+        writeln!(f, "    \"max_batch\": {},", r.stats.batch_size_hist.len()).unwrap();
+        writeln!(f, "    \"requests\": {},", r.report.requests).unwrap();
+        writeln!(f, "    \"ok\": {},", r.report.ok).unwrap();
+        writeln!(f, "    \"throughput_rps\": {:.3},", r.report.throughput_rps).unwrap();
+        writeln!(f, "    \"p50_ms\": {:.4},", r.report.p50_ms).unwrap();
+        writeln!(f, "    \"p99_ms\": {:.4},", r.report.p99_ms).unwrap();
+        writeln!(f, "    \"mean_ms\": {:.4},", r.report.mean_ms).unwrap();
+        writeln!(f, "    \"mean_batch\": {:.4},", r.stats.mean_batch_size()).unwrap();
+        writeln!(f, "    \"batches\": {},", r.stats.batches).unwrap();
+        let hist: Vec<String> = r.stats.batch_size_hist.iter().map(|c| c.to_string()).collect();
+        writeln!(f, "    \"batch_hist\": [{}]", hist.join(", ")).unwrap();
+        writeln!(f, "  }}{}", if comma { "," } else { "" }).unwrap();
+    };
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_serve.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"model\": \"{}\",", model.name()).unwrap();
+    writeln!(f, "  \"image\": {},", cfg.image).unwrap();
+    writeln!(f, "  \"clients\": {clients},").unwrap();
+    writeln!(f, "  \"requests_per_client\": {requests},").unwrap();
+    writeln!(f, "  \"workers\": 1,").unwrap();
+    section(&mut f, "baseline", &baseline, true);
+    section(&mut f, "batched", &batched, true);
+    writeln!(f, "  \"speedup\": {speedup:.4}").unwrap();
+    writeln!(f, "}}").unwrap();
+    println!("wrote {out_path}");
+}

@@ -5,9 +5,12 @@
 //! temco compile vgg16 --level skip-opt+fusion --ratio 0.1 --image 224 --batch 4
 //! temco run unet_small --level fusion --image 64
 //! temco dot resnet18 --level skip-opt+fusion > resnet18.dot
+//! temco serve alexnet --addr 127.0.0.1:7077 --workers 2 --max-batch 8
+//! temco loadgen --addr 127.0.0.1:7077 --clients 8 --requests 64 --shutdown
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use temco::{compare_outputs, Compiler, CompilerOptions, DecomposeOptions, Method, OptLevel};
 use temco_models::{ModelConfig, ModelId};
@@ -26,6 +29,15 @@ struct Cli {
     classes: usize,
     reschedule: bool,
     save: Option<String>,
+    addr: String,
+    workers: usize,
+    max_batch: usize,
+    max_delay_ms: u64,
+    queue_cap: usize,
+    clients: usize,
+    requests: usize,
+    deadline_ms: u32,
+    shutdown: bool,
 }
 
 fn usage() -> ! {
@@ -38,6 +50,8 @@ USAGE:
   temco run <model> [opts]            compile, execute, and verify semantics
   temco dot <model> [opts]            emit the optimized graph as Graphviz DOT
   temco info <model.temco>            describe a saved .temco model file
+  temco serve <model> [opts]          serve the model over TCP (dynamic batching)
+  temco loadgen [opts]                closed-loop load against a serve instance
 
 OPTIONS:
   --level <decomposed|fusion|skip-opt|skip-opt+fusion>   (default: skip-opt+fusion)
@@ -47,9 +61,28 @@ OPTIONS:
   --batch <n>          batch size                        (default: 4)
   --classes <n>        classifier width                  (default: 1000)
   --reschedule         apply the memory-aware scheduler
-  --save <path>        (compile) write the optimized model as .temco"
+  --save <path>        (compile) write the optimized model as .temco
+
+SERVE OPTIONS:
+  --addr <host:port>   bind/connect address              (default: 127.0.0.1:7077)
+  --workers <n>        serving worker threads            (default: 2)
+  --max-batch <n>      largest coalesced batch           (default: 8)
+  --max-delay-ms <n>   batching window, milliseconds     (default: 2)
+  --queue-cap <n>      bounded request-queue capacity    (default: 128)
+
+LOADGEN OPTIONS:
+  --clients <n>        concurrent closed-loop clients    (default: 4)
+  --requests <n>       requests per client               (default: 64)
+  --deadline-ms <n>    per-request deadline, 0 = none    (default: 0)
+  --shutdown           send SHUTDOWN to the server afterwards"
     );
     std::process::exit(2)
+}
+
+/// Named argument error: say what was wrong, then the usage block.
+fn arg_error(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}\n");
+    usage()
 }
 
 fn parse_args() -> Cli {
@@ -68,10 +101,22 @@ fn parse_args() -> Cli {
         classes: 1000,
         reschedule: false,
         save: None,
+        addr: "127.0.0.1:7077".to_string(),
+        workers: 2,
+        max_batch: 8,
+        max_delay_ms: 2,
+        queue_cap: 128,
+        clients: 4,
+        requests: 64,
+        deadline_ms: 0,
+        shutdown: false,
     };
     let mut i = 1;
-    // `info` takes a file path, not a model name.
-    if cli.command != "info" && i < args.len() && !args[i].starts_with("--") {
+    // `info` takes a file path, not a model name; `loadgen` takes neither.
+    if !matches!(cli.command.as_str(), "info" | "loadgen")
+        && i < args.len()
+        && !args[i].starts_with("--")
+    {
         cli.model = ModelId::all().into_iter().find(|m| m.name() == args[i]);
         if cli.model.is_none() {
             eprintln!("unknown model '{}' — try `temco list`", args[i]);
@@ -83,9 +128,14 @@ fn parse_args() -> Cli {
     }
     while i < args.len() {
         let flag = args[i].as_str();
+        // A flag's value is the next argument; a missing one is a named
+        // error (not a panic, not a silent reuse of the next flag).
         let value = |i: &mut usize| -> String {
             *i += 1;
-            args.get(*i).cloned().unwrap_or_else(|| usage())
+            match args.get(*i) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => arg_error(format_args!("flag '{flag}' requires a value")),
+            }
         };
         match flag {
             "--level" => {
@@ -111,17 +161,31 @@ fn parse_args() -> Cli {
                     }
                 }
             }
-            "--ratio" => cli.ratio = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--image" => cli.image = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--batch" => cli.batch = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--classes" => cli.classes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--ratio" => cli.ratio = parse_value(flag, &value(&mut i)),
+            "--image" => cli.image = parse_value(flag, &value(&mut i)),
+            "--batch" => cli.batch = parse_value(flag, &value(&mut i)),
+            "--classes" => cli.classes = parse_value(flag, &value(&mut i)),
             "--reschedule" => cli.reschedule = true,
             "--save" => cli.save = Some(value(&mut i)),
-            _ => usage(),
+            "--addr" => cli.addr = value(&mut i),
+            "--workers" => cli.workers = parse_value(flag, &value(&mut i)),
+            "--max-batch" => cli.max_batch = parse_value(flag, &value(&mut i)),
+            "--max-delay-ms" => cli.max_delay_ms = parse_value(flag, &value(&mut i)),
+            "--queue-cap" => cli.queue_cap = parse_value(flag, &value(&mut i)),
+            "--clients" => cli.clients = parse_value(flag, &value(&mut i)),
+            "--requests" => cli.requests = parse_value(flag, &value(&mut i)),
+            "--deadline-ms" => cli.deadline_ms = parse_value(flag, &value(&mut i)),
+            "--shutdown" => cli.shutdown = true,
+            _ => arg_error(format_args!("unknown flag '{flag}'")),
         }
         i += 1;
     }
     cli
+}
+
+/// Parse a flag's value, naming the flag on failure.
+fn parse_value<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| arg_error(format_args!("invalid value '{raw}' for '{flag}'")))
 }
 
 fn mib(bytes: usize) -> f64 {
@@ -294,6 +358,115 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        "serve" => {
+            let Some(model) = cli.model else {
+                arg_error("serve requires a model name — try `temco list`")
+            };
+            // Serving is single-sample: the model is built at batch 1 and
+            // the server rebatches it per plan-cache bucket.
+            let cfg = ModelConfig {
+                batch: 1,
+                image: cli.image,
+                num_classes: cli.classes,
+                classifier_width: 1024,
+                seed: 42,
+            };
+            let graph = model.build(&cfg);
+            let compiler = Compiler::new(CompilerOptions {
+                decompose: DecomposeOptions {
+                    method: cli.method,
+                    ratio: cli.ratio,
+                    ..Default::default()
+                },
+                merge_lconvs: true,
+                reschedule: cli.reschedule,
+                ..Default::default()
+            });
+            let (opt, _) = compiler.compile(&graph, cli.level);
+            let serve_cfg = temco_serve::ServeConfig {
+                workers: cli.workers,
+                max_batch: cli.max_batch,
+                max_delay: Duration::from_millis(cli.max_delay_ms),
+                queue_cap: cli.queue_cap,
+                default_deadline: None,
+            };
+            let server = match temco_serve::Server::new(opt, serve_cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot serve {}: {e}", model.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let listener = match std::net::TcpListener::bind(&cli.addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind {}: {e}", cli.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let snap = server.stats();
+            println!(
+                "serving {} @ {} on {} — {} workers, buckets {:?}, {:.2} MiB slab/worker",
+                model.name(),
+                cli.level.label(),
+                cli.addr,
+                cli.workers,
+                server.buckets(),
+                mib(snap.slab_bytes_per_worker),
+            );
+            println!("stop with: temco loadgen --addr {} --shutdown", cli.addr);
+            if let Err(e) = temco_serve::serve_blocking(server.clone(), listener) {
+                eprintln!("serve loop failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", server.stats().render());
+            ExitCode::SUCCESS
+        }
+        "loadgen" => {
+            let lg = temco_serve::LoadgenConfig {
+                clients: cli.clients,
+                requests_per_client: cli.requests,
+                deadline_ms: cli.deadline_ms,
+                seed: 7,
+            };
+            let report = match temco_serve::loadgen::run(&cli.addr, lg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("loadgen cannot reach {}: {e}", cli.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "requests:   {} ({} ok, {} rejected, {} errors)",
+                report.requests, report.ok, report.rejected, report.errors
+            );
+            println!("elapsed:    {:.3}s", report.elapsed.as_secs_f64());
+            println!("throughput: {:.1} req/s", report.throughput_rps);
+            println!(
+                "latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}",
+                report.p50_ms, report.p95_ms, report.p99_ms, report.mean_ms
+            );
+            if cli.shutdown {
+                match temco_serve::Client::connect(&cli.addr) {
+                    Ok(mut c) => {
+                        print!("{}", c.stats_text().unwrap_or_default());
+                        if let Err(e) = c.shutdown_server() {
+                            eprintln!("shutdown request failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("server draining");
+                    }
+                    Err(e) => {
+                        eprintln!("shutdown request failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if report.errors > 0 {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        other => arg_error(format_args!("unknown command '{other}'")),
     }
 }

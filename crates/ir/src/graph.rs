@@ -1,5 +1,8 @@
 //! The graph structure and its builder API.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use temco_tensor::Tensor;
 
 use crate::op::{ActKind, ConvRole, ConvSpec, FusedSpec, Op, PoolKind};
@@ -19,6 +22,56 @@ pub struct ValueInfo {
     pub name: String,
     /// Inferred shape; `None` until [`Graph::infer_shapes`] runs.
     pub shape: Option<Vec<usize>>,
+}
+
+/// The graph's weight tensors, shared copy-on-write across graph clones.
+///
+/// Cloning a [`Graph`] (including [`Graph::rebatch`]) shares the underlying
+/// tensor storage through an `Arc`; builder/rewrite mutation copies only if
+/// the store is actually shared at that moment. N serving workers (or N
+/// batch-size variants of one model) therefore reference **one** copy of
+/// the model's constants instead of N.
+#[derive(Clone, Debug, Default)]
+pub struct WeightStore(Arc<Vec<Tensor>>);
+
+impl WeightStore {
+    /// Append a tensor, copying the store first if it is shared.
+    pub fn push(&mut self, t: Tensor) {
+        Arc::make_mut(&mut self.0).push(t);
+    }
+
+    /// Move the tensors out, leaving this store empty. A shared store is
+    /// copied first, so sibling graphs keep their weights.
+    pub fn take(&mut self) -> Vec<Tensor> {
+        std::mem::take(Arc::make_mut(&mut self.0))
+    }
+
+    /// Whether two stores point at the same allocation (weights shared,
+    /// not merely equal).
+    pub fn shares_storage_with(&self, other: &WeightStore) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Deref for WeightStore {
+    type Target = [Tensor];
+    fn deref(&self) -> &[Tensor] {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a WeightStore {
+    type Item = &'a Tensor;
+    type IntoIter = std::slice::Iter<'a, Tensor>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<Tensor>> for WeightStore {
+    fn from(v: Vec<Tensor>) -> Self {
+        WeightStore(Arc::new(v))
+    }
 }
 
 /// One operation in the ordered node list.
@@ -44,8 +97,9 @@ pub struct Graph {
     pub nodes: Vec<Node>,
     /// Per-value metadata, indexed by `ValueId`.
     pub values: Vec<ValueInfo>,
-    /// Weight store, indexed by `WeightId`.
-    pub weights: Vec<Tensor>,
+    /// Weight store, indexed by `WeightId`. Shared (copy-on-write) across
+    /// graph clones — see [`WeightStore`].
+    pub weights: WeightStore,
     /// Graph input values.
     pub inputs: Vec<ValueId>,
     /// Graph output values.
@@ -117,7 +171,7 @@ impl Graph {
             }
         }
         let mut remap = vec![u32::MAX; self.weights.len()];
-        let old = std::mem::take(&mut self.weights);
+        let old = self.weights.take();
         for (i, (t, keep)) in old.into_iter().zip(&used).enumerate() {
             if *keep {
                 remap[i] = self.weights.len() as u32;
@@ -161,6 +215,32 @@ impl Graph {
     /// Panics on malformed graphs (shape mismatch, use before def).
     pub fn infer_shapes(&mut self) {
         crate::shape::infer(self);
+    }
+
+    /// Clone the graph with every input's leading (batch) dimension set to
+    /// `batch`, re-inferring all value shapes. Weights are **shared** with
+    /// `self` (see [`WeightStore`]), so a family of batch-size variants of
+    /// one model costs one copy of the constants — the basis of the serving
+    /// layer's batch-size-bucketed plan cache.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero, an input is scalar, or re-inference fails
+    /// (an op whose output shape is not batch-independent at this size).
+    pub fn rebatch(&self, batch: usize) -> Graph {
+        assert!(batch > 0, "rebatch: batch must be positive");
+        let mut out = self.clone();
+        for v in &mut out.values {
+            v.shape = None;
+        }
+        for i in 0..out.inputs.len() {
+            let input = out.inputs[i];
+            let mut shape = self.shape(input).to_vec();
+            assert!(!shape.is_empty(), "rebatch: input has no batch dimension");
+            shape[0] = batch;
+            out.values[input.0 as usize].shape = Some(shape);
+        }
+        out.infer_shapes();
+        out
     }
 
     // ------------------------------------------------------------------
@@ -385,5 +465,44 @@ mod tests {
     fn input_shape_is_known_immediately() {
         let g = tiny_graph();
         assert_eq!(g.shape(g.inputs[0]), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn cloned_graphs_share_weight_storage() {
+        let g = tiny_graph();
+        let c = g.clone();
+        assert!(g.weights.shares_storage_with(&c.weights));
+        // Mutation un-shares the mutated clone only.
+        let mut m = g.clone();
+        m.add_weight(Tensor::zeros(&[2, 2]));
+        assert!(!m.weights.shares_storage_with(&g.weights));
+        assert!(g.weights.shares_storage_with(&c.weights));
+        assert_eq!(g.weights.len(), 1);
+        assert_eq!(m.weights.len(), 2);
+    }
+
+    #[test]
+    fn gc_weights_on_a_shared_store_preserves_siblings() {
+        let mut g = tiny_graph();
+        g.add_weight(Tensor::zeros(&[100, 100])); // orphan
+        let sibling = g.clone();
+        g.gc_weights();
+        assert_eq!(g.weights.len(), 1);
+        assert_eq!(sibling.weights.len(), 2, "gc must copy-on-write, not steal");
+    }
+
+    #[test]
+    fn rebatch_reshapes_every_value_and_shares_weights() {
+        let mut g = tiny_graph();
+        g.infer_shapes();
+        let b4 = g.rebatch(4);
+        assert!(g.weights.shares_storage_with(&b4.weights));
+        assert_eq!(b4.shape(b4.inputs[0]), &[4, 3, 8, 8]);
+        for node in &b4.nodes {
+            assert_eq!(b4.shape(node.output)[0], 4, "node '{}' not rebatched", node.name);
+        }
+        // The original is untouched.
+        assert_eq!(g.shape(g.outputs[0])[0], 1);
+        assert!(crate::verify::verify(&b4).is_empty());
     }
 }

@@ -28,7 +28,7 @@ pub mod shape;
 pub mod verify;
 
 pub use cost::{graph_flops, node_flops};
-pub use graph::{Graph, Node, ValueId, ValueInfo, WeightId};
+pub use graph::{Graph, Node, ValueId, ValueInfo, WeightId, WeightStore};
 pub use liveness::{liveness, LiveInterval, Liveness};
 pub use op::{ActKind, ConvRole, ConvSpec, FconvSpec, FusedSpec, Op, PoolKind};
 pub use pdg::Pdg;

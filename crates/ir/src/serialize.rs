@@ -29,7 +29,7 @@ pub fn save_graph(g: &Graph, w: &mut impl Write) -> io::Result<()> {
     put_u32(w, VERSION)?;
 
     put_u32(w, g.weights.len() as u32)?;
-    for t in &g.weights {
+    for t in g.weights.iter() {
         put_u32(w, t.shape().len() as u32)?;
         for &d in t.shape() {
             put_u32(w, d as u32)?;
@@ -153,7 +153,7 @@ pub fn load_graph(r: &mut impl Read) -> io::Result<Graph> {
         outputs.push(ValueId(get_u32(r)?));
     }
 
-    Ok(Graph { nodes, values, weights, inputs, outputs })
+    Ok(Graph { nodes, values, weights: weights.into(), inputs, outputs })
 }
 
 // ----------------------------------------------------------------------

@@ -2,14 +2,23 @@
 //!
 //! [`crate::executor::execute`] re-plans, re-allocates its slab, and
 //! records a memory timeline on every call — the right shape for
-//! experiments, the wrong one for deployment. [`Engine`] hoists everything
-//! that can be precomputed into [`Engine::new`]: graph verification, shape
-//! checks, liveness, the allocation plan (values **and** kernel scratch),
-//! the slab itself, and the output tensors. A steady-state [`Engine::run`]
-//! then performs **zero** heap allocations: every kernel writes into
-//! planned slab offsets and draws working memory from the planner-reserved
-//! scratch arena. The integration tests assert this with a counting global
-//! allocator across the whole model zoo.
+//! experiments, the wrong one for deployment. This module splits the
+//! deployment path into two pieces along the mutability boundary:
+//!
+//! * [`CompiledGraph`] — everything immutable and shareable: the verified
+//!   graph (weights included) and its allocation plan (values **and**
+//!   kernel scratch). Wrapped in an `Arc`, one `CompiledGraph` backs any
+//!   number of concurrent workers; combined with the IR's copy-on-write
+//!   weight store, N workers hold **one** copy of the model's constants.
+//! * [`Engine`] — the per-worker mutable state: a private slab and output
+//!   tensors over a shared `CompiledGraph`. A steady-state [`Engine::run`]
+//!   performs **zero** heap allocations: every kernel writes into planned
+//!   slab offsets and draws working memory from the planner-reserved
+//!   scratch arena. The integration tests assert this with a counting
+//!   global allocator across the whole model zoo, and again with several
+//!   engines running concurrently over one `CompiledGraph`.
+
+use std::sync::Arc;
 
 use temco_ir::{liveness, Graph, Op, ValueId};
 use temco_tensor::{Tensor, TensorView};
@@ -19,18 +28,18 @@ use crate::executor::{eval_into, ExecError};
 
 const F32: usize = std::mem::size_of::<f32>();
 
-/// A graph compiled down to a reusable slab and plan.
-pub struct Engine {
+/// The immutable half of a prepared inference: verified graph + memory
+/// plan. Shareable across threads behind an `Arc`; each worker adds only
+/// its private [`Engine`] slab.
+pub struct CompiledGraph {
     g: Graph,
     plan: AllocationPlan,
-    slab: Vec<f32>,
-    outputs: Vec<Tensor>,
 }
 
-impl Engine {
-    /// Verify the graph, plan its memory (values + kernel scratch), and
-    /// allocate the slab and output tensors. All failure modes of the
-    /// one-shot executor surface here, before the first inference.
+impl CompiledGraph {
+    /// Verify the graph and plan its memory (values + kernel scratch). All
+    /// failure modes of the one-shot executor surface here, before the
+    /// first inference.
     pub fn new(g: Graph) -> Result<Self, ExecError> {
         let violations = temco_ir::verify(&g);
         if !violations.is_empty() {
@@ -58,13 +67,20 @@ impl Engine {
         if !violations.is_empty() {
             return Err(ExecError::InvalidPlan { violations });
         }
-        let slab = vec![0.0f32; plan.slab_bytes / F32];
-        let outputs = g.outputs.iter().map(|v| Tensor::zeros(g.shape(*v))).collect();
-        Ok(Engine { g, plan, slab, outputs })
+        Ok(CompiledGraph { g, plan })
     }
 
-    /// Total slab bytes (value region + kernel-scratch arena) — the only
-    /// inference-time memory beyond weights, inputs, and outputs.
+    /// The verified graph this compilation runs.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The allocation plan.
+    pub fn plan(&self) -> &AllocationPlan {
+        &self.plan
+    }
+
+    /// Total slab bytes each worker allocates (value region + scratch).
     pub fn slab_bytes(&self) -> usize {
         self.plan.slab_bytes
     }
@@ -73,20 +89,69 @@ impl Engine {
     pub fn scratch_bytes(&self) -> usize {
         self.plan.scratch_bytes
     }
+}
+
+/// A graph compiled down to a reusable slab and plan: the per-worker half.
+/// Construct with [`Engine::new`] (sole owner) or [`Engine::from_compiled`]
+/// (N workers over one shared [`CompiledGraph`]).
+pub struct Engine {
+    shared: Arc<CompiledGraph>,
+    slab: Vec<f32>,
+    outputs: Vec<Tensor>,
+}
+
+impl Engine {
+    /// Verify the graph, plan its memory, and allocate the slab and output
+    /// tensors.
+    pub fn new(g: Graph) -> Result<Self, ExecError> {
+        Ok(Engine::from_compiled(Arc::new(CompiledGraph::new(g)?)))
+    }
+
+    /// A fresh engine (private slab + outputs) over an already-compiled
+    /// graph. This is the cheap per-worker constructor: no verification,
+    /// no planning, no weight copy — just the slab allocation.
+    pub fn from_compiled(shared: Arc<CompiledGraph>) -> Self {
+        let slab = vec![0.0f32; shared.plan.slab_bytes / F32];
+        let outputs = shared.g.outputs.iter().map(|v| Tensor::zeros(shared.g.shape(*v))).collect();
+        Engine { shared, slab, outputs }
+    }
+
+    /// The shared compilation this engine runs on (clone the `Arc` to
+    /// spin up sibling workers).
+    pub fn compiled(&self) -> &Arc<CompiledGraph> {
+        &self.shared
+    }
+
+    /// The graph this engine runs.
+    pub fn graph(&self) -> &Graph {
+        &self.shared.g
+    }
+
+    /// Total slab bytes (value region + kernel-scratch arena) — the only
+    /// inference-time memory beyond weights, inputs, and outputs.
+    pub fn slab_bytes(&self) -> usize {
+        self.shared.plan.slab_bytes
+    }
+
+    /// Bytes of the slab's kernel-scratch arena.
+    pub fn scratch_bytes(&self) -> usize {
+        self.shared.plan.scratch_bytes
+    }
 
     /// The allocation plan the engine runs on.
     pub fn plan(&self) -> &AllocationPlan {
-        &self.plan
+        &self.shared.plan
     }
 
     /// Run one inference. Returns the output tensors (owned by the engine,
     /// overwritten by the next `run`) in `Graph::outputs` order.
     ///
     /// Heap-allocation-free on success: input validation compares counts
-    /// and shapes without building anything, and every kernel runs on slab
-    /// views with planner-reserved scratch.
+    /// and shapes without building anything (mismatch reports allocate, but
+    /// only on the error path), and every kernel runs on slab views with
+    /// planner-reserved scratch.
     pub fn run(&mut self, inputs: &[Tensor]) -> Result<&[Tensor], ExecError> {
-        let g = &self.g;
+        let g = &self.shared.g;
         if inputs.len() != g.inputs.len() {
             return Err(ExecError::InputCountMismatch {
                 expected: g.inputs.len(),
@@ -97,13 +162,14 @@ impl Engine {
             if g.shape(*v) != t.shape() {
                 return Err(ExecError::InputShapeMismatch {
                     index: i,
+                    name: g.values[v.0 as usize].name.clone(),
                     expected: g.shape(*v).to_vec(),
                     got: t.shape().to_vec(),
                 });
             }
         }
 
-        let plan = &self.plan;
+        let plan = &self.shared.plan;
         let slab_ptr = self.slab.as_mut_ptr();
         for (i, node) in g.nodes.iter().enumerate() {
             let out_off = plan.offset(node.output).expect("planned in new()") / F32;
@@ -207,5 +273,35 @@ mod tests {
             engine.run(std::slice::from_ref(&wrong)).unwrap_err(),
             ExecError::InputShapeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn shape_mismatch_names_the_offending_input() {
+        let mut engine = Engine::new(small_cnn()).unwrap();
+        let wrong = Tensor::zeros(&[1, 3, 8, 8]);
+        match engine.run(std::slice::from_ref(&wrong)).unwrap_err() {
+            ExecError::InputShapeMismatch { index, name, expected, got } => {
+                assert_eq!(index, 0);
+                assert_eq!(name, "x");
+                assert_eq!(expected, vec![2, 3, 8, 8]);
+                assert_eq!(got, vec![1, 3, 8, 8]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sibling_engines_share_one_compiled_graph() {
+        let compiled = Arc::new(CompiledGraph::new(small_cnn()).unwrap());
+        let mut a = Engine::from_compiled(compiled.clone());
+        let mut b = Engine::from_compiled(compiled.clone());
+        let x = Tensor::randn(&[2, 3, 8, 8], 11);
+        let ya = a.run(std::slice::from_ref(&x)).unwrap()[0].clone();
+        let yb = b.run(std::slice::from_ref(&x)).unwrap();
+        assert!(ya.all_close(&yb[0], 0.0));
+        assert!(Arc::ptr_eq(a.compiled(), b.compiled()));
+        // Weights live once, in the shared graph; the per-worker state is
+        // only the slab.
+        assert!(a.graph().weights.shares_storage_with(&compiled.graph().weights));
     }
 }

@@ -70,6 +70,9 @@ pub enum ExecError {
     InputShapeMismatch {
         /// Position in `Graph::inputs`.
         index: usize,
+        /// Name of the graph input, so batch callers see *which* of their
+        /// tensors is wrong, not just an index.
+        name: String,
         /// Declared shape.
         expected: Vec<usize>,
         /// Shape of the tensor the caller passed.
@@ -113,8 +116,8 @@ impl fmt::Display for ExecError {
             ExecError::InputCountMismatch { expected, got } => {
                 write!(f, "expected {expected} input tensors, got {got}")
             }
-            ExecError::InputShapeMismatch { index, expected, got } => {
-                write!(f, "input {index} has shape {got:?}, expected {expected:?}")
+            ExecError::InputShapeMismatch { index, name, expected, got } => {
+                write!(f, "input {index} ('{name}') has shape {got:?}, expected {expected:?}")
             }
             ExecError::UnregisteredInput { node } => {
                 write!(f, "input node '{node}' is not registered in Graph::inputs")
@@ -207,6 +210,7 @@ fn validate(g: &Graph, inputs: &[Tensor]) -> Result<(), ExecError> {
         if g.shape(*v) != t.shape() {
             return Err(ExecError::InputShapeMismatch {
                 index: i,
+                name: g.values[v.0 as usize].name.clone(),
                 expected: g.shape(*v).to_vec(),
                 got: t.shape().to_vec(),
             });
@@ -719,7 +723,8 @@ mod tests {
         let g = small_cnn();
         let x = Tensor::zeros(&[2, 3, 9, 9]);
         match execute(&g, &[x], ExecOptions::default()).unwrap_err() {
-            ExecError::InputShapeMismatch { index: 0, expected, got } => {
+            ExecError::InputShapeMismatch { index: 0, name, expected, got } => {
+                assert_eq!(name, "x");
                 assert_eq!(expected, vec![2, 3, 8, 8]);
                 assert_eq!(got, vec![2, 3, 9, 9]);
             }

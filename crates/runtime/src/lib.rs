@@ -18,8 +18,10 @@
 //!   liveness interval into one contiguous slab (greedy best-fit) and
 //!   appends a shared kernel-scratch arena sized by [`scratch`], so the
 //!   executor's default mode performs exactly one allocation per inference.
-//! * [`engine`] — plans once, runs many: a prepared inference whose
-//!   steady-state `run` performs **zero** heap allocations.
+//! * [`engine`] — plans once, runs many: an immutable, `Arc`-shareable
+//!   [`CompiledGraph`] (verified graph + plan, weights held once) plus a
+//!   per-worker [`Engine`] (private slab) whose steady-state `run`
+//!   performs **zero** heap allocations.
 
 pub mod alloc;
 pub mod arena;
@@ -36,7 +38,7 @@ pub use alloc::{
     SCRATCH_ALIGN,
 };
 pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
-pub use engine::Engine;
+pub use engine::{CompiledGraph, Engine};
 pub use executor::{execute, ExecError, ExecMode, ExecOptions, ExecResult};
 pub use fused::{
     fused_forward, fused_forward_into, fused_forward_into_scratch, fused_scratch_floats,

@@ -1,0 +1,128 @@
+//! Blocking TCP client for the serving protocol.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{self, op, status};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server refused the request (status code + its message).
+    Rejected {
+        /// Wire status code (see [`crate::proto::status`]).
+        code: u8,
+        /// Human-readable reason from the server.
+        message: String,
+    },
+    /// The reply violated the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Rejected { code, message } => {
+                let name = match *code {
+                    status::QUEUE_FULL => "queue full",
+                    status::DEADLINE_EXCEEDED => "deadline exceeded",
+                    status::SHUTTING_DOWN => "shutting down",
+                    status::BAD_REQUEST => "bad request",
+                    _ => "unknown status",
+                };
+                write!(f, "server rejected request ({name}): {message}")
+            }
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True for rejections the caller can retry (backpressure/deadline),
+    /// as opposed to transport or protocol failures.
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, ClientError::Rejected { .. })
+    }
+}
+
+/// A blocking connection to a serving instance. One in-flight request per
+/// client; open several clients for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    sample_shape: Vec<usize>,
+    output_shape: Vec<usize>,
+}
+
+impl Client {
+    /// Connect and fetch the model's input/output shapes.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client =
+            Client { reader, writer, sample_shape: Vec::new(), output_shape: Vec::new() };
+        let payload = client.call(op::INFO, &[])?;
+        let mut pos = 0;
+        client.sample_shape = proto::get_shape(&payload, &mut pos)?;
+        client.output_shape = proto::get_shape(&payload, &mut pos)?;
+        Ok(client)
+    }
+
+    /// The per-sample input shape the server expects (`[1, …]`).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// The per-sample output shape (`[1, …]`).
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Run one sample; `deadline_ms == 0` means no deadline.
+    pub fn infer(&mut self, sample: &[f32], deadline_ms: u32) -> Result<Vec<f32>, ClientError> {
+        let mut payload = Vec::with_capacity(4 + sample.len() * 4);
+        payload.extend_from_slice(&deadline_ms.to_le_bytes());
+        proto::put_f32s(&mut payload, sample);
+        let reply = self.call(op::INFER, &payload)?;
+        Ok(proto::get_f32s(&reply)?)
+    }
+
+    /// Fetch the server's plain-text stats dump.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(op::STATS, &[])?;
+        String::from_utf8(reply).map_err(|_| ClientError::Protocol("stats not UTF-8".into()))
+    }
+
+    /// Ask the server to drain and stop. The connection is unusable
+    /// afterwards.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(op::SHUTDOWN, &[]).map(|_| ())
+    }
+
+    fn call(&mut self, opcode: u8, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        proto::write_frame(&mut self.writer, opcode, payload)?;
+        self.writer.flush()?;
+        match proto::read_frame(&mut self.reader)? {
+            Some((status::OK, reply)) => Ok(reply),
+            Some((code, reply)) => Err(ClientError::Rejected {
+                code,
+                message: String::from_utf8_lossy(&reply).into_owned(),
+            }),
+            None => Err(ClientError::Protocol("connection closed mid-request".into())),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Typed serving failures.
+
+use std::fmt;
+
+use temco_runtime::ExecError;
+
+/// Why a request was not served. Submission errors (`QueueFull`,
+/// `ShuttingDown`, `InputShape`) surface synchronously from
+/// [`crate::Server::submit`]; `DeadlineExceeded` arrives through the
+/// [`crate::Ticket`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is at capacity — backpressure. Retry
+    /// later or shed the request upstream.
+    QueueFull,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The request's deadline expired before a worker picked it up; it was
+    /// never executed.
+    DeadlineExceeded,
+    /// The submitted sample does not match the model's input (carries the
+    /// graph input's name, its per-sample shape, and what was passed).
+    InputShape {
+        /// Graph input name.
+        name: String,
+        /// Expected per-sample shape (leading dimension 1).
+        expected: Vec<usize>,
+        /// Shape of the submitted tensor.
+        got: Vec<usize>,
+    },
+    /// The model cannot be served (multi-input/multi-output graphs).
+    Unsupported(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request was executed")
+            }
+            ServeError::InputShape { name, expected, got } => {
+                write!(f, "sample for input '{name}' has shape {got:?}, expected {expected:?}")
+            }
+            ServeError::Unsupported(why) => write!(f, "model not servable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A server could not be constructed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The graph is structurally unservable (inputs/outputs arity).
+    Unsupported(String),
+    /// Compiling a batch-size bucket failed.
+    Compile {
+        /// The bucket batch size whose compilation failed.
+        bucket: usize,
+        /// The underlying engine error.
+        source: ExecError,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Unsupported(why) => write!(f, "model not servable: {why}"),
+            BuildError::Compile { bucket, source } => {
+                write!(f, "compiling batch-size-{bucket} bucket failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Unsupported(_) => None,
+            BuildError::Compile { source, .. } => Some(source),
+        }
+    }
+}

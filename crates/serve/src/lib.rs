@@ -1,0 +1,51 @@
+//! `temco-serve` — dynamic-batching inference serving on the zero-alloc
+//! [`Engine`](temco_runtime::Engine).
+//!
+//! The runtime's plan-once/run-many engine answers "how do I run one
+//! model fast"; this crate answers "how do I run *traffic*". The design
+//! keeps the runtime's central invariant — static planning, zero
+//! steady-state allocation — intact under concurrency:
+//!
+//! * **Shared constants** — the server compiles the model once per
+//!   batch-size bucket (1, 2, 4, …, `max_batch`) into `Arc`'d
+//!   [`CompiledGraph`](temco_runtime::CompiledGraph)s. Buckets are
+//!   [`Graph::rebatch`](temco_ir::Graph::rebatch) clones sharing one
+//!   copy-on-write weight store, so N workers × B buckets reference one
+//!   copy of the weights; each worker privately owns only its slabs.
+//! * **Dynamic batching** — single-sample requests enter a bounded MPSC
+//!   queue; a worker gathers up to `max_batch` of them within a
+//!   `max_delay` window, pads to the smallest bucket ≥ the gathered
+//!   count, and runs that bucket's precompiled engine. The hot path never
+//!   plans and never heap-allocates (requests carry preallocated response
+//!   buffers; staging tensors and the gather buffer are reused).
+//! * **Backpressure & deadlines** — a full queue *rejects* (never blocks,
+//!   never silently drops), and a request whose deadline lapses in the
+//!   queue fails without costing FLOPs. Shutdown drains: queued work
+//!   completes, new work is refused.
+//! * **Observability** — lock-free counters, a log2 latency histogram
+//!   (p50/p95/p99), the executed-batch-size distribution, queue depth,
+//!   and per-worker slab bytes, as a typed [`StatsSnapshot`] or a
+//!   plain-text dump.
+//! * **Wire protocol** — a tiny length-prefixed TCP protocol
+//!   ([`proto`]), a blocking [`Client`], and a closed-loop [`loadgen`];
+//!   all std-only, consistent with the repo's no-external-deps policy.
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod proto;
+mod queue;
+pub mod server;
+pub mod stats;
+pub mod tcp;
+pub mod ticket;
+pub mod worker;
+
+pub use client::{Client, ClientError};
+pub use error::{BuildError, ServeError};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use server::{ServeConfig, Server};
+pub use stats::{StatsSnapshot, LATENCY_BUCKETS};
+pub use tcp::serve_blocking;
+pub use ticket::Ticket;
+pub use worker::{StepOutcome, Worker};

@@ -1,0 +1,134 @@
+//! Closed-loop load generator over the TCP client.
+//!
+//! `clients` threads each run `requests_per_client` back-to-back
+//! inferences (closed loop: the next request leaves only when the
+//! previous response arrives), so offered concurrency equals the client
+//! count. Used by the CLI `loadgen` subcommand and the serving benchmark;
+//! client-side latencies are exact (per-request `Instant`s, not
+//! histogram-bucketed).
+
+use std::time::{Duration, Instant};
+
+use temco_tensor::Tensor;
+
+use crate::client::{Client, ClientError};
+
+/// Load shape.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop connections.
+    pub clients: usize,
+    /// Requests each connection issues.
+    pub requests_per_client: usize,
+    /// Per-request deadline forwarded to the server (0 = none).
+    pub deadline_ms: u32,
+    /// Seed for the deterministic input samples.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig { clients: 4, requests_per_client: 64, deadline_ms: 0, seed: 7 }
+    }
+}
+
+/// Aggregated client-side results.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// Requests answered with an output.
+    pub ok: usize,
+    /// Requests the server rejected (backpressure, deadline, drain).
+    pub rejected: usize,
+    /// Transport/protocol failures.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Successful responses per second.
+    pub throughput_rps: f64,
+    /// Exact latency percentiles over successful requests, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0 * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[idx - 1]
+}
+
+/// Drive a closed-loop run against `addr`. Errors only if no connection
+/// could be established; per-request rejections are counted, not fatal.
+pub fn run(addr: &str, cfg: LoadgenConfig) -> Result<LoadReport, ClientError> {
+    // Fail fast (and learn the sample shape) before spawning anything.
+    let probe = Client::connect(addr)?;
+    let shape = probe.sample_shape().to_vec();
+    drop(probe);
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for c in 0..cfg.clients {
+        let addr = addr.to_string();
+        let shape = shape.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut lat_ms = Vec::with_capacity(cfg.requests_per_client);
+            let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+            let mut client = match Client::connect(&addr) {
+                Ok(cl) => cl,
+                Err(_) => {
+                    return (lat_ms, 0, 0, cfg.requests_per_client);
+                }
+            };
+            let sample = Tensor::rand_uniform(&shape, cfg.seed.wrapping_add(c as u64), -1.0, 1.0);
+            for _ in 0..cfg.requests_per_client {
+                let t0 = Instant::now();
+                match client.infer(sample.data(), cfg.deadline_ms) {
+                    Ok(_) => {
+                        ok += 1;
+                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Err(e) if e.is_rejection() => rejected += 1,
+                    Err(_) => {
+                        errors += 1;
+                        break;
+                    }
+                }
+            }
+            (lat_ms, ok, rejected, errors)
+        }));
+    }
+
+    let mut all_ms = Vec::new();
+    let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+    for h in handles {
+        let (lat, o, r, e) = h.join().expect("loadgen client panicked");
+        all_ms.extend(lat);
+        ok += o;
+        rejected += r;
+        errors += e;
+    }
+    let elapsed = start.elapsed();
+    all_ms.sort_by(f64::total_cmp);
+    let mean_ms =
+        if all_ms.is_empty() { 0.0 } else { all_ms.iter().sum::<f64>() / all_ms.len() as f64 };
+    Ok(LoadReport {
+        requests: cfg.clients * cfg.requests_per_client,
+        ok,
+        rejected,
+        errors,
+        elapsed,
+        throughput_rps: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&all_ms, 50.0),
+        p95_ms: percentile(&all_ms, 95.0),
+        p99_ms: percentile(&all_ms, 99.0),
+        mean_ms,
+    })
+}

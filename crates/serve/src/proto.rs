@@ -1,0 +1,150 @@
+//! The wire protocol: tiny, length-prefixed, dependency-free.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! [u32 LE payload length] [u8 tag] [payload]
+//! ```
+//!
+//! Request tags are [`op`] codes; response tags are [`status`] codes.
+//! `INFER` payloads are a `u32` deadline in milliseconds (0 = none)
+//! followed by the sample as little-endian `f32`s (the shape is fixed by
+//! the served model and discoverable via `INFO`). `OK` responses to
+//! `INFER` carry the output `f32`s; error responses carry a UTF-8
+//! message; `INFO` responses carry `u32 ndim, dims…` twice (input shape,
+//! then output shape); `STATS` responses carry the plain-text stats dump.
+
+use std::io::{self, Read, Write};
+
+/// Request opcodes.
+pub mod op {
+    /// Run one sample through the model.
+    pub const INFER: u8 = 0;
+    /// Fetch the plain-text stats dump.
+    pub const STATS: u8 = 1;
+    /// Fetch input/output shapes.
+    pub const INFO: u8 = 2;
+    /// Drain and stop the server.
+    pub const SHUTDOWN: u8 = 3;
+}
+
+/// Response status codes.
+pub mod status {
+    pub const OK: u8 = 0;
+    pub const QUEUE_FULL: u8 = 1;
+    pub const DEADLINE_EXCEEDED: u8 = 2;
+    pub const SHUTTING_DOWN: u8 = 3;
+    pub const BAD_REQUEST: u8 = 4;
+}
+
+/// Refuse frames above this size (a corrupt or hostile length prefix must
+/// not become a giant allocation).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&[tag])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+/// Append `values` to `out` as little-endian bytes.
+pub fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decode a little-endian `f32` slice; errors on a ragged byte count.
+pub fn get_f32s(bytes: &[u8]) -> io::Result<Vec<f32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("f32 payload of {} bytes is not a multiple of 4", bytes.len()),
+        ));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Append a shape as `u32 ndim, u32 dims…`.
+pub fn put_shape(out: &mut Vec<u8>, shape: &[usize]) {
+    out.extend_from_slice(&(shape.len() as u32).to_le_bytes());
+    for &d in shape {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+}
+
+/// Read a shape back; advances `*pos`.
+pub fn get_shape(bytes: &[u8], pos: &mut usize) -> io::Result<Vec<usize>> {
+    let ndim = get_u32(bytes, pos)? as usize;
+    (0..ndim).map(|_| Ok(get_u32(bytes, pos)? as usize)).collect()
+}
+
+pub fn get_u32(bytes: &[u8], pos: &mut usize) -> io::Result<u32> {
+    let end = *pos + 4;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated frame"))?;
+    *pos = end;
+    Ok(u32::from_le_bytes([slice[0], slice[1], slice[2], slice[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, op::INFER, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, op::STATS, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some((op::INFER, vec![1, 2, 3])));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((op::STATS, vec![])));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused() {
+        let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        buf.push(op::INFER);
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn f32_and_shape_roundtrip() {
+        let mut payload = Vec::new();
+        put_shape(&mut payload, &[1, 3, 64, 64]);
+        put_f32s(&mut payload, &[1.5, -2.25]);
+        let mut pos = 0;
+        assert_eq!(get_shape(&payload, &mut pos).unwrap(), vec![1, 3, 64, 64]);
+        assert_eq!(get_f32s(&payload[pos..]).unwrap(), vec![1.5, -2.25]);
+        assert!(get_f32s(&[0u8; 3]).is_err());
+        let mut pos = 0;
+        assert!(get_shape(&[9, 0, 0, 0], &mut pos).is_err());
+    }
+}

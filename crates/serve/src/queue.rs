@@ -1,0 +1,124 @@
+//! A bounded MPSC job queue with reject-when-full backpressure.
+//!
+//! The ring is a `VecDeque` whose capacity is reserved once at
+//! construction and never exceeded, so steady-state push/pop only *move*
+//! jobs — the queue itself never touches the heap after startup, keeping
+//! the worker drain path allocation-free.
+//!
+//! Close semantics implement graceful drain: after [`JobQueue::close`],
+//! pushes are rejected with [`PushError::Closed`] but pops keep returning
+//! queued jobs until the ring is empty — in-flight work completes, new
+//! work is shed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::worker::Job;
+
+/// Why a push was refused (the job is dropped; the submitter still holds
+/// the response slot and reports the rejection synchronously).
+pub(crate) enum PushError {
+    /// At capacity — backpressure.
+    Full,
+    /// [`JobQueue::close`] was called.
+    Closed,
+}
+
+struct Inner {
+    ring: VecDeque<Job>,
+    closed: bool,
+}
+
+pub(crate) struct JobQueue {
+    inner: Mutex<Inner>,
+    /// Signalled on push and on close; workers wait here.
+    nonempty: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    pub fn new(cap: usize) -> JobQueue {
+        assert!(cap > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Mutex::new(Inner { ring: VecDeque::with_capacity(cap), closed: false }),
+            nonempty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue, rejecting (not blocking, not dropping) when full or closed.
+    pub fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut st = self.inner.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.ring.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        st.ring.push_back(job);
+        drop(st);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue without waiting.
+    pub fn try_pop(&self) -> Option<Job> {
+        self.inner.lock().unwrap().ring.pop_front()
+    }
+
+    /// Dequeue, waiting until a job arrives or the queue is closed *and*
+    /// drained (returns `None` only then). Worker threads block here.
+    pub fn pop_blocking(&self) -> Option<Job> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = st.ring.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.nonempty.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeue, waiting at most until `deadline`. `None` means the window
+    /// elapsed (or the queue closed and drained) — used by the batcher to
+    /// gather up to `max_batch` jobs within the max-delay window.
+    pub fn pop_until(&self, deadline: Instant) -> Option<Job> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = st.ring.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self.nonempty.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.ring.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Stop accepting pushes; wake every waiting worker so it can drain
+    /// the remaining jobs and exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+}

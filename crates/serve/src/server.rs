@@ -1,0 +1,283 @@
+//! The server: plan cache, request queue, worker threads, lifecycle.
+//!
+//! `Server::new` does all the expensive work up front — it compiles the
+//! model once per batch-size bucket (1, 2, 4, …, `max_batch`) into a
+//! shared, immutable plan cache. Buckets are `Graph::rebatch` clones, so
+//! all of them (and every worker) reference **one** copy of the weights;
+//! a worker's only private memory is its slabs. After startup the hot
+//! path never plans: a gathered batch of n requests pads to the smallest
+//! bucket ≥ n and runs that bucket's precompiled engine.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use temco_ir::Graph;
+use temco_runtime::CompiledGraph;
+use temco_tensor::Tensor;
+
+use crate::error::{BuildError, ServeError};
+use crate::queue::{JobQueue, PushError};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::ticket::{Slot, Ticket};
+use crate::worker::{Job, Worker};
+
+/// Serving parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads. `0` spawns none — drive inference manually with
+    /// [`Server::manual_worker`] (synchronous embedding, tests).
+    pub workers: usize,
+    /// Largest executed batch (and largest plan-cache bucket).
+    pub max_batch: usize,
+    /// How long a worker holds an incomplete batch open for late arrivals.
+    pub max_delay: Duration,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_cap: usize,
+    /// Deadline applied to [`Server::submit`] (none by default);
+    /// [`Server::submit_with_deadline`] overrides per request.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_cap: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+/// State shared by submitters and workers.
+pub(crate) struct Core {
+    pub queue: JobQueue,
+    pub stats: Stats,
+    /// Bucket batch sizes, ascending; the last equals `cfg.max_batch`.
+    pub buckets: Vec<usize>,
+    /// Precompiled plan per bucket (parallel to `buckets`).
+    pub plans: Vec<Arc<CompiledGraph>>,
+    /// Per-sample input shape, `[1, …]`.
+    pub sample_shape: Vec<usize>,
+    /// Per-sample output shape, `[1, …]`.
+    pub output_shape: Vec<usize>,
+    pub sample_numel: usize,
+    pub output_numel: usize,
+    /// Graph input name, for shape-mismatch reports.
+    pub input_name: String,
+    pub cfg: ServeConfig,
+}
+
+struct Inner {
+    core: Arc<Core>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    slab_bytes_per_worker: usize,
+}
+
+/// A dynamic-batching inference server over a compiled model. Cheaply
+/// cloneable (all clones share one instance); any clone may submit,
+/// snapshot stats, or initiate shutdown.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+/// Power-of-two bucket ladder `1, 2, 4, …` capped and topped by
+/// `max_batch` itself.
+fn bucket_ladder(max_batch: usize) -> Vec<usize> {
+    let mut buckets = Vec::new();
+    let mut b = 1;
+    while b < max_batch {
+        buckets.push(b);
+        b *= 2;
+    }
+    buckets.push(max_batch);
+    buckets
+}
+
+impl Server {
+    /// Compile `graph` into the bucketed plan cache and start
+    /// `cfg.workers` worker threads. The graph may have been built at any
+    /// batch size — it is re-batched per bucket, sharing its weights.
+    pub fn new(graph: Graph, cfg: ServeConfig) -> Result<Server, BuildError> {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        if graph.inputs.len() != 1 || graph.outputs.len() != 1 {
+            return Err(BuildError::Unsupported(format!(
+                "serving requires exactly one input and one output, got {} and {}",
+                graph.inputs.len(),
+                graph.outputs.len()
+            )));
+        }
+
+        let buckets = bucket_ladder(cfg.max_batch);
+        let mut plans = Vec::with_capacity(buckets.len());
+        for &b in &buckets {
+            let bucketed = graph.rebatch(b);
+            debug_assert!(bucketed.weights.shares_storage_with(&graph.weights));
+            plans.push(Arc::new(
+                CompiledGraph::new(bucketed)
+                    .map_err(|source| BuildError::Compile { bucket: b, source })?,
+            ));
+        }
+
+        let (sample_shape, output_shape, input_name) = {
+            let g1 = plans[0].graph();
+            let input = g1.inputs[0];
+            (
+                g1.shape(input).to_vec(),
+                g1.shape(g1.outputs[0]).to_vec(),
+                g1.values[input.0 as usize].name.clone(),
+            )
+        };
+        let core = Arc::new(Core {
+            queue: JobQueue::new(cfg.queue_cap),
+            stats: Stats::new(cfg.max_batch),
+            buckets,
+            plans,
+            sample_numel: sample_shape.iter().product(),
+            output_numel: output_shape.iter().product(),
+            sample_shape,
+            output_shape,
+            input_name,
+            cfg,
+        });
+
+        // Every worker allocates one slab per bucket; everything else
+        // (weights, plans, graph structure) is shared.
+        let slab_bytes_per_worker: usize = core.plans.iter().map(|p| p.slab_bytes()).sum();
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let worker = Worker::new(core.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("temco-serve-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("failed to spawn serving worker"),
+            );
+        }
+
+        Ok(Server {
+            inner: Arc::new(Inner { core, workers: Mutex::new(handles), slab_bytes_per_worker }),
+        })
+    }
+
+    /// Submit one sample (shape `[1, …]`) with the configured default
+    /// deadline. Non-blocking: a full queue rejects immediately.
+    pub fn submit(&self, sample: Tensor) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(sample, self.inner.core.cfg.default_deadline)
+    }
+
+    /// Submit with an explicit deadline (measured from now). A request
+    /// whose deadline expires in the queue fails with
+    /// [`ServeError::DeadlineExceeded`] without being executed.
+    pub fn submit_with_deadline(
+        &self,
+        sample: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let core = &self.inner.core;
+        if sample.shape() != core.sample_shape {
+            return Err(ServeError::InputShape {
+                name: core.input_name.clone(),
+                expected: core.sample_shape.clone(),
+                got: sample.shape().to_vec(),
+            });
+        }
+        let now = Instant::now();
+        let slot = Slot::pending(Tensor::zeros(&core.output_shape));
+        let job = Job {
+            input: sample,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            slot: slot.clone(),
+        };
+        match core.queue.push(job) {
+            Ok(()) => {
+                core.stats.submitted.fetch_add(1, Relaxed);
+                Ok(Ticket { slot, enqueued: now })
+            }
+            Err(PushError::Full) => {
+                core.stats.rejected_full.fetch_add(1, Relaxed);
+                Err(ServeError::QueueFull)
+            }
+            Err(PushError::Closed) => {
+                core.stats.rejected_closed.fetch_add(1, Relaxed);
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit-and-wait convenience for blocking callers.
+    pub fn infer(&self, sample: Tensor) -> Result<Tensor, ServeError> {
+        self.submit(sample)?.wait()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        let core = &self.inner.core;
+        let st = &core.stats;
+        StatsSnapshot {
+            submitted: st.submitted.load(Relaxed),
+            completed: st.completed.load(Relaxed),
+            rejected_full: st.rejected_full.load(Relaxed),
+            rejected_closed: st.rejected_closed.load(Relaxed),
+            deadline_expired: st.deadline_expired.load(Relaxed),
+            batches: st.batches.load(Relaxed),
+            queue_depth: core.queue.len(),
+            latency_buckets: st.latency_histogram(),
+            batch_size_hist: st.batch_histogram(),
+            workers: core.cfg.workers,
+            slab_bytes_per_worker: self.inner.slab_bytes_per_worker,
+        }
+    }
+
+    /// Per-sample input shape the server expects (`[1, …]`).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.inner.core.sample_shape
+    }
+
+    /// Per-sample output shape (`[1, …]`).
+    pub fn output_shape(&self) -> &[usize] {
+        &self.inner.core.output_shape
+    }
+
+    /// The bucket ladder of the plan cache.
+    pub fn buckets(&self) -> &[usize] {
+        &self.inner.core.buckets
+    }
+
+    /// A manually-stepped worker over this server's queue and plan cache.
+    /// Use with `workers: 0` for synchronous embedding or deterministic
+    /// tests; see [`Worker::step`].
+    pub fn manual_worker(&self) -> Worker {
+        Worker::new(self.inner.core.clone())
+    }
+
+    /// Graceful shutdown: stop accepting work, let workers drain every
+    /// queued request, and join them. Idempotent; any clone may call it.
+    pub fn shutdown(&self) {
+        self.inner.core.queue.close();
+        let handles = std::mem::take(&mut *self.inner.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.core.queue.is_closed()
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.core.queue.close();
+        for h in std::mem::take(&mut *self.workers.lock().unwrap()) {
+            let _ = h.join();
+        }
+    }
+}

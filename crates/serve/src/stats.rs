@@ -1,0 +1,225 @@
+//! Lock-free serving observability.
+//!
+//! Every counter is a relaxed atomic bumped from the submit and worker hot
+//! paths — no locks, no allocation. Latency is recorded into a fixed array
+//! of power-of-two microsecond buckets; percentiles are interpolated from
+//! the histogram at snapshot time, so the steady state keeps no per-request
+//! state at all. Batch sizes feed a second fixed histogram (index =
+//! executed size − 1), which is what makes "is dynamic batching actually
+//! happening?" a one-glance question.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` holds latencies in
+/// `[2^(i−1), 2^i)` microseconds; the last bucket absorbs everything
+/// above ~9 minutes.
+pub const LATENCY_BUCKETS: usize = 30;
+
+/// Shared counters. One instance per [`crate::Server`], touched by every
+/// submitter and worker.
+pub(crate) struct Stats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected_full: AtomicU64,
+    pub rejected_closed: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub batches: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    /// Executed batch sizes; index `size − 1`.
+    batch_sizes: Box<[AtomicU64]>,
+}
+
+impl Stats {
+    pub fn new(max_batch: usize) -> Stats {
+        Stats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one completed request's queue-to-response latency.
+    pub fn record_latency(&self, d: Duration) {
+        self.latency[latency_bucket(d)].fetch_add(1, Relaxed);
+        self.completed.fetch_add(1, Relaxed);
+    }
+
+    /// Record one executed batch of `n` requests.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Relaxed);
+        self.batch_sizes[(n - 1).min(self.batch_sizes.len() - 1)].fetch_add(1, Relaxed);
+    }
+
+    pub fn latency_histogram(&self) -> Vec<u64> {
+        self.latency.iter().map(|c| c.load(Relaxed)).collect()
+    }
+
+    pub fn batch_histogram(&self) -> Vec<u64> {
+        self.batch_sizes.iter().map(|c| c.load(Relaxed)).collect()
+    }
+}
+
+fn latency_bucket(d: Duration) -> usize {
+    let us = d.as_micros().max(1) as u64;
+    ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// Point-in-time view of a server's counters, returned by
+/// [`crate::Server::stats`]. Plain data: safe to hold, serialize, diff.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with an output tensor.
+    pub completed: u64,
+    /// Submissions rejected by backpressure (queue full).
+    pub rejected_full: u64,
+    /// Submissions rejected because the server was draining.
+    pub rejected_closed: u64,
+    /// Requests whose deadline expired before execution.
+    pub deadline_expired: u64,
+    /// Engine runs (one per executed batch).
+    pub batches: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Latency counts in power-of-two microsecond buckets (see
+    /// [`LATENCY_BUCKETS`]).
+    pub latency_buckets: Vec<u64>,
+    /// Executed-batch-size counts; index `size − 1`.
+    pub batch_size_hist: Vec<u64>,
+    /// Worker threads serving this instance.
+    pub workers: usize,
+    /// Slab bytes each worker holds across its bucket engines (the only
+    /// per-worker memory; weights are shared).
+    pub slab_bytes_per_worker: usize,
+}
+
+impl StatsSnapshot {
+    /// Mean executed batch size (0 when nothing ran yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let total: u64 = self.batch_size_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.batch_size_hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Approximate latency percentile (`p` in 0..=100) from the histogram,
+    /// using the geometric midpoint of the winning bucket.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.latency_buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bucket i covers [2^(i-1), 2^i) µs; geometric midpoint.
+                let hi = 1u64 << i;
+                let mid_us = (hi as f64 / std::f64::consts::SQRT_2).max(1.0);
+                return Duration::from_micros(mid_us as u64);
+            }
+        }
+        Duration::from_micros(1 << (LATENCY_BUCKETS - 1))
+    }
+
+    /// Plain-text dump for logs and the wire `STATS` op.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let p = |d: Duration| d.as_secs_f64() * 1e3;
+        s.push_str("temco-serve stats\n");
+        s.push_str(&format!("  submitted          {}\n", self.submitted));
+        s.push_str(&format!("  completed          {}\n", self.completed));
+        s.push_str(&format!("  rejected (full)    {}\n", self.rejected_full));
+        s.push_str(&format!("  rejected (closed)  {}\n", self.rejected_closed));
+        s.push_str(&format!("  deadline expired   {}\n", self.deadline_expired));
+        s.push_str(&format!("  queue depth        {}\n", self.queue_depth));
+        s.push_str(&format!(
+            "  batches            {} (mean size {:.2})\n",
+            self.batches,
+            self.mean_batch_size()
+        ));
+        s.push_str("  batch size hist    ");
+        for (i, &c) in self.batch_size_hist.iter().enumerate() {
+            if c > 0 {
+                s.push_str(&format!("{}:{} ", i + 1, c));
+            }
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "  latency ms         p50 {:.3}  p95 {:.3}  p99 {:.3}\n",
+            p(self.latency_percentile(50.0)),
+            p(self.latency_percentile(95.0)),
+            p(self.latency_percentile(99.0)),
+        ));
+        s.push_str(&format!(
+            "  workers            {} × {:.2} MiB slab\n",
+            self.workers,
+            self.slab_bytes_per_worker as f64 / (1024.0 * 1024.0)
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2_microseconds() {
+        assert_eq!(latency_bucket(Duration::from_micros(0)), 1);
+        assert_eq!(latency_bucket(Duration::from_micros(1)), 1);
+        assert_eq!(latency_bucket(Duration::from_micros(2)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
+        assert_eq!(latency_bucket(Duration::from_micros(1000)), 10);
+        assert_eq!(latency_bucket(Duration::from_secs(3600)), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_and_mean_batch_from_histograms() {
+        let st = Stats::new(8);
+        for _ in 0..90 {
+            st.record_latency(Duration::from_micros(100)); // bucket 7
+        }
+        for _ in 0..10 {
+            st.record_latency(Duration::from_micros(100_000)); // bucket 17
+        }
+        st.record_batch(1);
+        st.record_batch(8);
+        st.record_batch(8);
+        st.record_batch(40); // clamps to the top bucket
+        let snap = StatsSnapshot {
+            submitted: 100,
+            completed: 100,
+            rejected_full: 0,
+            rejected_closed: 0,
+            deadline_expired: 0,
+            batches: st.batches.load(Relaxed),
+            queue_depth: 0,
+            latency_buckets: st.latency_histogram(),
+            batch_size_hist: st.batch_histogram(),
+            workers: 1,
+            slab_bytes_per_worker: 0,
+        };
+        let p50 = snap.latency_percentile(50.0);
+        assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(128));
+        let p99 = snap.latency_percentile(99.0);
+        assert!(p99 >= Duration::from_micros(65_536), "p99 {p99:?}");
+        assert_eq!(snap.batch_size_hist[0], 1);
+        assert_eq!(snap.batch_size_hist[7], 3);
+        assert!((snap.mean_batch_size() - 25.0 / 4.0).abs() < 1e-9);
+        let text = snap.render();
+        assert!(text.contains("mean size"));
+        assert!(text.contains("p99"));
+    }
+}

@@ -1,0 +1,132 @@
+//! TCP front end: blocking accept loop + one thread per connection.
+//!
+//! Deliberately boring: blocking sockets, std threads, the length-prefixed
+//! protocol of [`crate::proto`]. A `SHUTDOWN` frame (or
+//! [`Server::shutdown`] from another thread) stops the accept loop, drains
+//! the queue, and joins the workers; connections submitting during the
+//! drain receive `SHUTTING_DOWN` statuses.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use temco_tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::proto::{self, op, status};
+use crate::server::Server;
+
+/// Serve `server` on `listener` until a `SHUTDOWN` frame arrives. Returns
+/// after the graceful drain completes and every connection thread exits.
+pub fn serve_blocking(server: Server, listener: TcpListener) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+            Err(e) => return Err(e),
+        };
+        let server = server.clone();
+        let stop = stop.clone();
+        conns.push(std::thread::spawn(move || handle_conn(server, stream, stop, addr)));
+    }
+    // Drain: reject new work, finish queued work, stop workers.
+    server.shutdown();
+    for c in conns {
+        let _ = c.join();
+    }
+    Ok(())
+}
+
+/// Serve one client until EOF (or its `SHUTDOWN` request).
+fn handle_conn(server: Server, stream: TcpStream, stop: Arc<AtomicBool>, addr: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = io::BufWriter::new(stream);
+    while let Ok(Some((tag, payload))) = proto::read_frame(&mut reader) {
+        let ok = match tag {
+            op::INFER => respond_infer(&server, &payload, &mut writer).is_ok(),
+            op::STATS => {
+                proto::write_frame(&mut writer, status::OK, server.stats().render().as_bytes())
+                    .is_ok()
+            }
+            op::INFO => {
+                let mut p = Vec::new();
+                proto::put_shape(&mut p, server.sample_shape());
+                proto::put_shape(&mut p, server.output_shape());
+                proto::write_frame(&mut writer, status::OK, &p).is_ok()
+            }
+            op::SHUTDOWN => {
+                let _ = proto::write_frame(&mut writer, status::OK, b"draining");
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+            other => proto::write_frame(
+                &mut writer,
+                status::BAD_REQUEST,
+                format!("unknown opcode {other}").as_bytes(),
+            )
+            .is_ok(),
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+fn respond_infer(server: &Server, payload: &[u8], writer: &mut impl io::Write) -> io::Result<()> {
+    let mut pos = 0;
+    let deadline_ms = match proto::get_u32(payload, &mut pos) {
+        Ok(v) => v,
+        Err(e) => return proto::write_frame(writer, status::BAD_REQUEST, e.to_string().as_bytes()),
+    };
+    let data = match proto::get_f32s(&payload[pos..]) {
+        Ok(v) => v,
+        Err(e) => return proto::write_frame(writer, status::BAD_REQUEST, e.to_string().as_bytes()),
+    };
+    let shape = server.sample_shape().to_vec();
+    if data.len() != shape.iter().product::<usize>() {
+        return proto::write_frame(
+            writer,
+            status::BAD_REQUEST,
+            format!(
+                "expected {} f32s for shape {shape:?}, got {}",
+                shape.iter().product::<usize>(),
+                data.len()
+            )
+            .as_bytes(),
+        );
+    }
+    let sample = Tensor::from_vec(&shape, data);
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms as u64));
+    let result =
+        server.submit_with_deadline(sample, deadline).and_then(crate::ticket::Ticket::wait);
+    match result {
+        Ok(out) => {
+            let mut p = Vec::new();
+            proto::put_f32s(&mut p, out.data());
+            proto::write_frame(writer, status::OK, &p)
+        }
+        Err(e) => {
+            let code = match e {
+                ServeError::QueueFull => status::QUEUE_FULL,
+                ServeError::DeadlineExceeded => status::DEADLINE_EXCEEDED,
+                ServeError::ShuttingDown => status::SHUTTING_DOWN,
+                _ => status::BAD_REQUEST,
+            };
+            proto::write_frame(writer, code, e.to_string().as_bytes())
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-request completion: a one-shot slot the worker fills.
+//!
+//! The output tensor is **preallocated at submission time** (the submitter
+//! knows the model's per-sample output shape), so completing a request on
+//! the worker is a `copy_from_slice` plus a state flip under a mutex —
+//! no allocation on the serving hot path.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use temco_tensor::Tensor;
+
+use crate::error::ServeError;
+
+enum SlotState {
+    /// Waiting for a worker; holds the preallocated output buffer.
+    Pending(Tensor),
+    /// Finished; holds the result until the ticket claims it.
+    Done(Result<Tensor, ServeError>),
+    /// The ticket took the result (terminal).
+    Taken,
+}
+
+pub(crate) struct Slot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl Slot {
+    /// A pending slot owning the output buffer the worker will fill.
+    pub fn pending(output: Tensor) -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Pending(output)), done: Condvar::new() })
+    }
+
+    /// Fill the preallocated buffer with one sample's output row and mark
+    /// the request done. No-op if already completed. Allocation-free.
+    pub fn complete_ok(&self, row: &[f32]) {
+        let mut st = self.state.lock().unwrap();
+        if let SlotState::Pending(_) = *st {
+            let SlotState::Pending(mut buf) = std::mem::replace(&mut *st, SlotState::Taken) else {
+                unreachable!("checked Pending above");
+            };
+            buf.data_mut().copy_from_slice(row);
+            *st = SlotState::Done(Ok(buf));
+            drop(st);
+            self.done.notify_all();
+        }
+    }
+
+    /// Fail the request (deadline expiry, shutdown). No-op if already
+    /// completed.
+    pub fn complete_err(&self, e: ServeError) {
+        let mut st = self.state.lock().unwrap();
+        if let SlotState::Pending(_) = *st {
+            *st = SlotState::Done(Err(e));
+            drop(st);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Handle to one in-flight request, returned by [`crate::Server::submit`].
+/// Blocking-wait for the result; dropping the ticket abandons the request
+/// (the worker still executes it, the result is discarded).
+pub struct Ticket {
+    pub(crate) slot: Arc<Slot>,
+    pub(crate) enqueued: Instant,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("done", &self.is_done())
+            .field("enqueued", &self.enqueued)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the request completes and take the result.
+    pub fn wait(self) -> Result<Tensor, ServeError> {
+        let mut st = self.slot.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Taken) {
+                SlotState::Done(res) => return res,
+                pending @ SlotState::Pending(_) => {
+                    *st = pending;
+                    st = self.slot.done.wait(st).unwrap();
+                }
+                SlotState::Taken => unreachable!("Ticket::wait consumes the only taker"),
+            }
+        }
+    }
+
+    /// Block until the request completes or `timeout` elapses; `Err(self)`
+    /// gives the ticket back on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Tensor, ServeError>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Taken) {
+                SlotState::Done(res) => return Ok(res),
+                pending @ SlotState::Pending(_) => {
+                    *st = pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        drop(st);
+                        return Err(self);
+                    }
+                    st = self.slot.done.wait_timeout(st, deadline - now).unwrap().0;
+                }
+                SlotState::Taken => unreachable!("Ticket::wait consumes the only taker"),
+            }
+        }
+    }
+
+    /// Whether the request has completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        matches!(*self.slot.state.lock().unwrap(), SlotState::Done(_))
+    }
+
+    /// When the request entered the queue.
+    pub fn enqueued_at(&self) -> Instant {
+        self.enqueued
+    }
+}

@@ -1,0 +1,162 @@
+//! The batching worker: gather → bucket → pad → run → scatter.
+//!
+//! Each worker owns one [`Engine`] (private slab) per batch-size bucket,
+//! all sharing the server's [`CompiledGraph`] plan cache — so a batch of
+//! any admitted size executes on a precompiled plan, and the hot loop
+//! never plans, never compiles, and never heap-allocates:
+//!
+//! * gathered jobs move into a preallocated `Vec` (capacity `max_batch`),
+//! * samples are copied into the bucket's preallocated staging tensor
+//!   (padding rows zeroed; per-sample outputs are batch-independent for
+//!   every op in the IR, so padding never leaks into real rows),
+//! * the bucket engine runs zero-alloc on its slab,
+//! * output rows are scattered into each request's preallocated response
+//!   buffer ([`crate::ticket::Slot`]).
+//!
+//! Expired deadlines are failed *before* execution; a request that cannot
+//! make its deadline costs no FLOPs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use temco_runtime::Engine;
+use temco_tensor::Tensor;
+
+use crate::error::ServeError;
+use crate::server::Core;
+use crate::ticket::Slot;
+
+/// One queued request.
+pub(crate) struct Job {
+    /// The single-sample input, shape `[1, …]`.
+    pub input: Tensor,
+    /// Absolute expiry; `None` waits forever.
+    pub deadline: Option<Instant>,
+    /// When the job entered the queue (latency accounting).
+    pub enqueued: Instant,
+    /// Where the result goes.
+    pub slot: Arc<Slot>,
+}
+
+/// What one [`Worker::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Executed a batch of this many requests.
+    Ran(usize),
+    /// Queue was empty (or every gathered job had expired).
+    Idle,
+    /// Queue is closed and fully drained — the worker is done.
+    Drained,
+}
+
+/// A single serving worker. Server-spawned threads drive it with the
+/// blocking loop; tests and embedders can single-step it via
+/// [`Worker::step`] (obtained from [`crate::Server::manual_worker`]).
+pub struct Worker {
+    core: Arc<Core>,
+    /// Per-bucket engines, parallel to `core.buckets`.
+    engines: Vec<Engine>,
+    /// Per-bucket staging input tensors, `[bucket, …]`.
+    staging: Vec<Tensor>,
+    /// Gather buffer, capacity `max_batch`, reused every step.
+    batch: Vec<Job>,
+}
+
+impl Worker {
+    pub(crate) fn new(core: Arc<Core>) -> Worker {
+        let engines: Vec<Engine> =
+            core.plans.iter().map(|p| Engine::from_compiled(p.clone())).collect();
+        let staging =
+            engines.iter().map(|e| Tensor::zeros(e.graph().shape(e.graph().inputs[0]))).collect();
+        let batch = Vec::with_capacity(core.cfg.max_batch);
+        Worker { core, engines, staging, batch }
+    }
+
+    /// Total slab bytes this worker holds across its bucket engines.
+    pub fn slab_bytes(&self) -> usize {
+        self.engines.iter().map(Engine::slab_bytes).sum()
+    }
+
+    /// Gather and execute one batch without blocking on an empty queue.
+    /// With jobs queued, still honors the max-delay window to give late
+    /// arrivals a chance to join the batch.
+    pub fn step(&mut self) -> StepOutcome {
+        match self.core.queue.try_pop() {
+            Some(job) => self.gather_and_run(job),
+            None if self.core.queue.is_closed() => StepOutcome::Drained,
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// The server thread loop: block for work, run batches, exit when the
+    /// queue closes and drains.
+    pub(crate) fn run(mut self) {
+        loop {
+            match self.core.queue.pop_blocking() {
+                Some(job) => {
+                    self.gather_and_run(job);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn gather_and_run(&mut self, first: Job) -> StepOutcome {
+        self.batch.clear();
+        self.batch.push(first);
+        let window_end = Instant::now() + self.core.cfg.max_delay;
+        while self.batch.len() < self.core.cfg.max_batch {
+            match self.core.queue.pop_until(window_end) {
+                Some(job) => self.batch.push(job),
+                None => break,
+            }
+        }
+        self.execute_batch()
+    }
+
+    fn execute_batch(&mut self) -> StepOutcome {
+        let stats = &self.core.stats;
+        // Shed expired requests without executing them.
+        let now = Instant::now();
+        self.batch.retain_mut(|job| {
+            if job.deadline.is_some_and(|d| d <= now) {
+                job.slot.complete_err(ServeError::DeadlineExceeded);
+                stats.deadline_expired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        let n = self.batch.len();
+        if n == 0 {
+            return StepOutcome::Idle;
+        }
+
+        let bi = self
+            .core
+            .buckets
+            .iter()
+            .position(|&b| b >= n)
+            .expect("max_batch is always the last bucket");
+        let sample_len = self.core.sample_numel;
+        {
+            let staged = self.staging[bi].data_mut();
+            for (i, job) in self.batch.iter().enumerate() {
+                staged[i * sample_len..(i + 1) * sample_len].copy_from_slice(job.input.data());
+            }
+            staged[n * sample_len..].fill(0.0);
+        }
+        let outs = self.engines[bi]
+            .run(std::slice::from_ref(&self.staging[bi]))
+            .expect("bucket plan validated at server construction");
+        let out = outs[0].data();
+        let out_len = self.core.output_numel;
+        for (i, job) in self.batch.iter().enumerate() {
+            job.slot.complete_ok(&out[i * out_len..(i + 1) * out_len]);
+            stats.record_latency(job.enqueued.elapsed());
+        }
+        stats.record_batch(n);
+        self.batch.clear();
+        StepOutcome::Ran(n)
+    }
+}

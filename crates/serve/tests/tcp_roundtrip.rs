@@ -1,0 +1,81 @@
+//! End-to-end test over the wire: TCP server ↔ blocking client ↔ loadgen.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use temco_ir::Graph;
+use temco_runtime::Engine;
+use temco_serve::{loadgen, Client, LoadgenConfig, ServeConfig, Server};
+use temco_tensor::Tensor;
+
+fn tiny_mlp() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input(&[1, 6], "x");
+    let h = g.linear(x, Tensor::randn(&[5, 6], 1), None, "fc1");
+    let r = g.relu(h, "r");
+    let y = g.linear(r, Tensor::randn(&[3, 5], 2), None, "fc2");
+    g.mark_output(y);
+    g.infer_shapes();
+    g
+}
+
+#[test]
+fn tcp_round_trip_matches_reference_and_shuts_down_cleanly() {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        max_delay: Duration::from_micros(200),
+        queue_cap: 64,
+        default_deadline: None,
+    };
+    let server = Server::new(tiny_mlp(), cfg).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || temco_serve::serve_blocking(server, listener))
+    };
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.sample_shape(), &[1, 6]);
+    assert_eq!(client.output_shape(), &[1, 3]);
+
+    // Wire inference matches an in-process reference engine bit-for-bit
+    // (same plan, batch 1).
+    let mut reference = Engine::new(tiny_mlp()).unwrap();
+    for seed in 0..4 {
+        let sample = Tensor::rand_uniform(&[1, 6], seed, -1.0, 1.0);
+        let got = client.infer(sample.data(), 0).unwrap();
+        let want = reference.run(std::slice::from_ref(&sample)).unwrap();
+        assert_eq!(got.len(), 3);
+        for (g, w) in got.iter().zip(want[0].data()) {
+            assert!((g - w).abs() <= 1e-5, "wire result diverged: {g} vs {w}");
+        }
+    }
+
+    // A mis-sized payload is a per-request error, not a dropped connection.
+    let err = client.infer(&[0.0; 2], 0).unwrap_err();
+    assert!(err.is_rejection(), "expected BAD_REQUEST, got {err:?}");
+    assert!(client.infer(&[0.5; 6], 0).is_ok(), "connection survives a bad request");
+
+    // Closed-loop load through the same listener.
+    let report = loadgen::run(
+        &addr,
+        LoadgenConfig { clients: 3, requests_per_client: 16, deadline_ms: 0, seed: 9 },
+    )
+    .unwrap();
+    assert_eq!(report.requests, 48);
+    assert_eq!(report.ok, 48);
+    assert_eq!(report.errors, 0);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.p99_ms >= report.p50_ms);
+
+    let stats = client.stats_text().unwrap();
+    assert!(stats.contains("temco-serve stats"));
+    assert!(stats.contains("completed"));
+
+    client.shutdown_server().unwrap();
+    acceptor.join().unwrap().unwrap();
+    assert!(server.is_shutting_down());
+    assert_eq!(server.stats().completed, 4 + 1 + 48);
+}

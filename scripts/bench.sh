@@ -1,17 +1,46 @@
 #!/usr/bin/env bash
-# Kernel perf smoke: runs the blocked-GEMM / e2e tracker in release mode
-# and refreshes BENCH_kernels.json at the repo root.
+# Perf smoke targets, run in release mode:
 #
-# Knobs (forwarded to the harness):
-#   TEMCO_BENCH_REPS  timed repetitions per point (default 5)
-#   TEMCO_BENCH_OUT   output path (default BENCH_kernels.json)
+#   ./scripts/bench.sh            # kernels (default): BENCH_kernels.json
+#   ./scripts/bench.sh kernels    # blocked-GEMM / e2e tracker
+#   ./scripts/bench.sh serve      # serving throughput + p99: BENCH_serve.json
+#   ./scripts/bench.sh all        # both
+#
+# Knobs (forwarded to the harnesses):
+#   TEMCO_BENCH_REPS      timed repetitions per kernel point (default 5)
+#   TEMCO_BENCH_OUT       output path override
+#   TEMCO_SERVE_CLIENTS   closed-loop clients for the serve target (default 8)
+#   TEMCO_SERVE_REQUESTS  requests per client (default 64)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== bench: cargo build --release -p temco-bench ==="
-cargo build --release -p temco-bench --bin bench_kernels
+target="${1:-kernels}"
 
-echo "=== bench: bench_kernels ==="
-./target/release/bench_kernels
+run_kernels() {
+  echo "=== bench: cargo build --release -p temco-bench --bin bench_kernels ==="
+  cargo build --release -p temco-bench --bin bench_kernels
+  echo "=== bench: bench_kernels ==="
+  ./target/release/bench_kernels
+  echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_kernels.json}"
+}
 
-echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_kernels.json}"
+run_serve() {
+  echo "=== bench: cargo build --release -p temco-bench --bin bench_serve ==="
+  cargo build --release -p temco-bench --bin bench_serve
+  echo "=== bench: bench_serve ==="
+  ./target/release/bench_serve
+  echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_serve.json}"
+}
+
+case "$target" in
+  kernels) run_kernels ;;
+  serve) run_serve ;;
+  all)
+    run_kernels
+    run_serve
+    ;;
+  *)
+    echo "unknown bench target '$target' (expected: kernels | serve | all)" >&2
+    exit 2
+    ;;
+esac

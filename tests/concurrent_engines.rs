@@ -1,0 +1,107 @@
+//! Concurrency contract of the `CompiledGraph`/`Engine` split: N engines
+//! on N threads share one `Arc`'d compiled graph (weights + allocation
+//! plan live once), each owning only its private slab — and every thread's
+//! steady-state runs are bitwise-identical to a single-threaded reference
+//! *and* allocation-free.
+//!
+//! Allocation tracking is per-thread here (thread-local counter + flag),
+//! so concurrently-running workers cannot pollute each other's counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{CompiledGraph, Engine};
+use temco_tensor::Tensor;
+
+struct CountingAlloc;
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    static THREAD_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        if TRACKING.try_with(|t| t.get()).unwrap_or(false) {
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        }
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.try_with(|t| t.get()).unwrap_or(false) {
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        }
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Count this thread's allocations during `f`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    TRACKING.with(|t| t.set(false));
+    THREAD_ALLOCS.with(|c| c.set(0));
+    TRACKING.with(|t| t.set(true));
+    let r = f();
+    TRACKING.with(|t| t.set(false));
+    (r, THREAD_ALLOCS.with(|c| c.get()))
+}
+
+#[test]
+fn concurrent_engines_share_weights_and_match_the_single_threaded_reference() {
+    const THREADS: usize = 4;
+    const INPUTS: usize = 3;
+
+    let cfg = ModelConfig::small();
+    let graph = ModelId::Alexnet.build(&cfg);
+    let inputs: Vec<Tensor> = (0..INPUTS)
+        .map(|i| Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 77 + i as u64))
+        .collect();
+
+    let compiled = Arc::new(CompiledGraph::new(graph).unwrap());
+
+    // Single-threaded reference outputs from one engine over the same plan.
+    let reference: Vec<Tensor> = {
+        let mut engine = Engine::from_compiled(compiled.clone());
+        inputs.iter().map(|x| engine.run(std::slice::from_ref(x)).unwrap()[0].clone()).collect()
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let compiled = compiled.clone();
+            let inputs = inputs.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut engine = Engine::from_compiled(compiled);
+                // Warmup pass: first runs may initialize lazy state.
+                for x in &inputs {
+                    engine.run(std::slice::from_ref(x)).unwrap();
+                }
+                // Steady state: per-thread zero allocations, outputs
+                // bitwise-equal to the reference.
+                for (x, want) in inputs.iter().zip(&reference) {
+                    let (matches, allocs) = count_allocs(|| {
+                        let outs = engine.run(std::slice::from_ref(x)).unwrap();
+                        outs[0].all_close(want, 0.0)
+                    });
+                    assert_eq!(allocs, 0, "steady-state run allocated {allocs} times");
+                    assert!(matches, "thread output diverged from reference");
+                }
+                engine.slab_bytes()
+            })
+        })
+        .collect();
+
+    let slab_bytes: Vec<usize> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every worker held the same (private) slab size; the compiled graph —
+    // weights included — existed once, shared by all engines.
+    assert!(slab_bytes.iter().all(|&b| b == slab_bytes[0] && b > 0));
+    assert_eq!(Arc::strong_count(&compiled), 1, "worker engines released their shares");
+}
