@@ -1,0 +1,334 @@
+//! Serve-layer fault injection: hammer a live [`Server`] over real TCP
+//! with every malformed input a hostile or broken client could produce,
+//! then prove the server is still healthy.
+//!
+//! The attack mix (seeded, deterministic): valid inference, 1 ms-deadline
+//! floods, truncated frames, hostile length prefixes past `MAX_FRAME`,
+//! unknown opcodes, ragged `f32` payloads, wrong element counts,
+//! disconnects before reading the response, direct-API queue-full storms,
+//! and stats/info probes. Three health properties are asserted at the end:
+//!
+//! 1. **No hung waits** — every response (and every direct-API ticket)
+//!    arrives within a generous timeout; a hang means a completion path
+//!    was lost.
+//! 2. **Liveness after abuse** — a final valid inference must still
+//!    succeed, which also proves no worker thread panicked (a dead worker
+//!    pool would never answer).
+//! 3. **Counter conservation** — after a graceful shutdown,
+//!    `submitted == completed + deadline_expired + failed_shutdown` with an
+//!    empty queue ([`StatsSnapshot::is_conserved_at_rest`]); any leak means
+//!    a request was double-counted or silently dropped.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temco_ir::Graph;
+use temco_serve::proto::{self, op, status, MAX_FRAME};
+use temco_serve::{serve_blocking, ServeConfig, ServeError, Server};
+use temco_tensor::Tensor;
+
+/// How long to wait for any single response before declaring it hung.
+/// Generous on purpose: the point is catching *lost* completions, not
+/// scheduler jitter.
+const HANG_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Fault-injection run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Adversarial episodes to run (each sends one or more frames).
+    pub frames: usize,
+    /// RNG seed for the attack sequence.
+    pub seed: u64,
+    /// Worker threads on the server under test.
+    pub workers: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { frames: 1000, seed: 0xF417, workers: 2 }
+    }
+}
+
+/// What the injection run observed. `passed()` is the health verdict.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Adversarial episodes executed.
+    pub frames: usize,
+    /// Requests answered `OK`.
+    pub ok: usize,
+    /// Requests answered with a structured rejection (queue full,
+    /// deadline exceeded, shutting down).
+    pub rejected: usize,
+    /// Malformed inputs the server answered `BAD_REQUEST` or dropped the
+    /// connection over (both are correct handling).
+    pub proto_errors: usize,
+    /// Connections the injector deliberately broke mid-exchange.
+    pub disconnects: usize,
+    /// Responses or tickets that never arrived within [`HANG_TIMEOUT`].
+    pub hung: usize,
+    /// Stats counters conserved after shutdown.
+    pub conserved: bool,
+    /// A valid inference succeeded after all the abuse (workers alive).
+    pub alive_after: bool,
+}
+
+impl FaultReport {
+    /// The three health properties the injector exists to check.
+    pub fn passed(&self) -> bool {
+        self.hung == 0 && self.conserved && self.alive_after
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} episodes: {} ok, {} rejected, {} proto errors, {} disconnects, \
+             {} hung, conserved={}, alive after={}",
+            self.frames,
+            self.ok,
+            self.rejected,
+            self.proto_errors,
+            self.disconnects,
+            self.hung,
+            self.conserved,
+            self.alive_after
+        )
+    }
+}
+
+/// What one episode observed; folded into the report's counters.
+enum Outcome {
+    Ok,
+    Rejected,
+    ProtoError,
+    Disconnect,
+    Hung,
+}
+
+/// A small MLP — cheap per batch so the queue actually drains under load,
+/// real enough (two GEMMs + an activation) to exercise the full
+/// batch-gather/scatter path.
+fn tiny_model() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input(&[1, 6], "x");
+    let h = g.linear(x, Tensor::randn(&[5, 6], 11), None, "fc1");
+    let r = g.relu(h, "r");
+    let y = g.linear(r, Tensor::randn(&[3, 5], 12), None, "fc2");
+    g.mark_output(y);
+    g.infer_shapes();
+    g
+}
+
+fn draw(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.random::<u64>() as usize) % (hi - lo + 1)
+}
+
+fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+    let s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(HANG_TIMEOUT))?;
+    s.set_write_timeout(Some(HANG_TIMEOUT))?;
+    s.set_nodelay(true)?;
+    Ok(s)
+}
+
+/// `deadline_ms` + `numel` little-endian f32s: a well-formed INFER payload.
+fn infer_payload(deadline_ms: u32, numel: usize, fill: f32) -> Vec<u8> {
+    let mut p = deadline_ms.to_le_bytes().to_vec();
+    proto::put_f32s(&mut p, &vec![fill; numel]);
+    p
+}
+
+/// Send one frame, read one response, classify it. A read timeout is a
+/// hang; a closed connection is a protocol error (the server is allowed to
+/// drop abusive clients, never to stall them).
+fn exchange(addr: SocketAddr, tag: u8, payload: &[u8]) -> Outcome {
+    let Ok(mut s) = connect(addr) else { return Outcome::Disconnect };
+    if proto::write_frame(&mut s, tag, payload).is_err() {
+        return Outcome::Disconnect;
+    }
+    classify_response(&mut s)
+}
+
+fn classify_response(s: &mut TcpStream) -> Outcome {
+    match proto::read_frame(s) {
+        Ok(Some((status::OK, _))) => Outcome::Ok,
+        Ok(Some((status::QUEUE_FULL | status::DEADLINE_EXCEEDED | status::SHUTTING_DOWN, _))) => {
+            Outcome::Rejected
+        }
+        Ok(Some(_)) => Outcome::ProtoError, // BAD_REQUEST or unknown
+        Ok(None) => Outcome::ProtoError,    // server hung up on the abuse
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Outcome::Hung
+        }
+        Err(_) => Outcome::ProtoError,
+    }
+}
+
+/// Raw bytes that are *not* a well-formed frame, then a half-close. The
+/// write shutdown hands the server an EOF where it expected more payload;
+/// a correct server tears the connection down promptly, and one that keeps
+/// the socket open past the hang timeout is reported as hung.
+fn send_raw_and_close(addr: SocketAddr, bytes: &[u8]) -> Outcome {
+    let Ok(mut s) = connect(addr) else { return Outcome::Disconnect };
+    let _ = s.write_all(bytes);
+    let _ = s.flush();
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 256];
+    loop {
+        match s.read(&mut sink) {
+            Ok(0) => return Outcome::Disconnect,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Outcome::Hung
+            }
+            Err(_) => return Outcome::Disconnect,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Direct-API storm: submit past the queue cap, then wait out every
+/// ticket. The queue-full rejections are expected; a ticket that never
+/// settles is the bug this hunts.
+fn queue_storm(server: &Server, numel: usize, report: &mut FaultReport) {
+    let sample = || Tensor::from_vec(&[1, numel], vec![0.5; numel]);
+    let mut tickets = Vec::new();
+    for _ in 0..32 {
+        match server.submit(sample()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull) => report.rejected += 1,
+            Err(_) => report.rejected += 1,
+        }
+    }
+    for t in tickets {
+        match t.wait_timeout(HANG_TIMEOUT) {
+            Ok(Ok(_)) => report.ok += 1,
+            Ok(Err(_)) => report.rejected += 1,
+            Err(_) => report.hung += 1,
+        }
+    }
+}
+
+/// Run the fault-injection campaign. Binds an ephemeral local port,
+/// serves [`tiny_model`] behind `cfg.workers` workers, runs `cfg.frames`
+/// seeded adversarial episodes, then gracefully shuts down and audits the
+/// counters.
+pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
+    let server = Server::new(
+        tiny_model(),
+        ServeConfig {
+            workers: cfg.workers.max(1),
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 16,
+            default_deadline: None,
+        },
+    )
+    .expect("the built-in model is servable");
+    let numel: usize = server.sample_shape().iter().product();
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let tcp_server = server.clone();
+    let serve_thread = std::thread::spawn(move || serve_blocking(tcp_server, listener));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = FaultReport {
+        frames: cfg.frames,
+        ok: 0,
+        rejected: 0,
+        proto_errors: 0,
+        disconnects: 0,
+        hung: 0,
+        conserved: false,
+        alive_after: false,
+    };
+
+    for _ in 0..cfg.frames {
+        let outcome = match draw(&mut rng, 0, 9) {
+            // Valid inference — the control group; must come back OK.
+            0 | 1 => exchange(addr, op::INFER, &infer_payload(0, numel, 0.25)),
+            // Deadline flood: 1 ms deadlines race the worker; OK and
+            // DEADLINE_EXCEEDED are both legitimate, a hang is not.
+            2 => exchange(addr, op::INFER, &infer_payload(1, numel, 0.5)),
+            // Truncated frame: the prefix promises more than arrives.
+            3 => {
+                let mut bytes = 64u32.to_le_bytes().to_vec();
+                bytes.push(op::INFER);
+                bytes.extend_from_slice(&[0u8; 7]);
+                send_raw_and_close(addr, &bytes)
+            }
+            // Hostile length prefix past MAX_FRAME: must be refused
+            // without a matching allocation.
+            4 => {
+                let mut bytes = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+                bytes.push(op::INFER);
+                send_raw_and_close(addr, &bytes)
+            }
+            // Unknown opcode with a plausible payload.
+            5 => exchange(addr, 0xEE, &infer_payload(0, numel, 0.0)),
+            // Ragged f32 payload (not a multiple of 4 after the deadline).
+            6 => {
+                let mut p = infer_payload(0, numel, 0.0);
+                p.pop();
+                exchange(addr, op::INFER, &p)
+            }
+            // Wrong element count for the model's input shape.
+            7 => exchange(addr, op::INFER, &infer_payload(0, numel + 1, 0.0)),
+            // Disconnect before reading the response: the worker's write
+            // fails, nothing may leak or hang.
+            8 => match connect(addr) {
+                Ok(mut s) => {
+                    let _ = proto::write_frame(&mut s, op::INFER, &infer_payload(0, numel, 1.0));
+                    drop(s);
+                    Outcome::Disconnect
+                }
+                Err(_) => Outcome::Disconnect,
+            },
+            // Stats/info probes interleaved with the abuse, plus the
+            // direct-API queue storm.
+            _ => {
+                if draw(&mut rng, 0, 2) == 0 {
+                    queue_storm(&server, numel, &mut report);
+                    continue;
+                }
+                let probe = if draw(&mut rng, 0, 1) == 0 { op::STATS } else { op::INFO };
+                exchange(addr, probe, &[])
+            }
+        };
+        match outcome {
+            Outcome::Ok => report.ok += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::ProtoError => report.proto_errors += 1,
+            Outcome::Disconnect => report.disconnects += 1,
+            Outcome::Hung => report.hung += 1,
+        }
+    }
+
+    // Liveness probe: after everything above, a clean request must work.
+    report.alive_after =
+        matches!(exchange(addr, op::INFER, &infer_payload(0, numel, 0.75)), Outcome::Ok);
+
+    // Graceful shutdown over the wire, then audit the counters at rest.
+    let _ = exchange(addr, op::SHUTDOWN, &[]);
+    serve_thread.join().expect("serve thread must not panic")?;
+    report.conserved = server.stats().is_conserved_at_rest();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_campaign_leaves_the_server_healthy() {
+        let report =
+            run_fault_injection(&FaultConfig { frames: 120, seed: 7, workers: 2 }).unwrap();
+        assert!(report.passed(), "unhealthy after faults: {report}");
+        assert!(report.ok > 0, "no request ever succeeded: {report}");
+        assert!(report.proto_errors > 0, "the campaign never hit a protocol path: {report}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Seeded random-graph generation.
+//!
+//! The generator builds *valid* CNN graphs by construction: it tracks every
+//! value's `[c, h, w]` shape itself and only emits an op whose output stays
+//! non-degenerate (every dimension ≥ 1), so any graph it returns passes
+//! `verify` + `infer_shapes` and executes at any positive batch size (spatial
+//! dims never depend on batch). The op mix deliberately covers what the
+//! compiler passes rewrite — plain and grouped convolutions, pools,
+//! activations, shape-preserving skip chains (`conv → act → conv → add`),
+//! concats, and an optional classifier head — so a differential run over the
+//! generated corpus exercises decomposition, skip-opt, the layer
+//! transformations, and fusion, not just straight-line conv stacks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temco_ir::{ActKind, Graph, ValueId};
+use temco_tensor::Tensor;
+
+/// Knobs for [`random_cnn`]. The defaults keep graphs small enough that a
+/// full differential check (all opt levels × all rebatch buckets) runs in
+/// tens of milliseconds, while still being deep enough to trigger every
+/// compiler pass.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Operator nodes to emit (excluding the input and the optional head).
+    pub ops: usize,
+    /// Channel cap for conv/concat outputs.
+    pub max_channels: usize,
+    /// Input spatial size is drawn from `[min_image, max_image]`.
+    pub min_image: usize,
+    /// See `min_image`.
+    pub max_image: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { ops: 10, max_channels: 32, min_image: 8, max_image: 16 }
+    }
+}
+
+/// A frontier entry: a usable value and its `[c, h, w]` shape.
+#[derive(Clone, Copy)]
+struct Val {
+    id: ValueId,
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+/// Uniform draw from `[lo, hi]` (inclusive).
+fn draw(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.random::<u64>() as usize) % (hi - lo + 1)
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &'a [Val]) -> &'a Val {
+    &xs[draw(rng, 0, xs.len() - 1)]
+}
+
+/// Largest output-dims-preserving convolution window: `(h+2p-k)/s + 1 ≥ 1`.
+fn conv_out(i: usize, k: usize, s: usize, p: usize) -> usize {
+    let eff = i + 2 * p;
+    if eff < k {
+        0
+    } else {
+        (eff - k) / s + 1
+    }
+}
+
+/// Build one random valid CNN from `seed`. Deterministic: same seed + config
+/// ⇒ byte-identical graph (weights included). The graph has exactly one
+/// input (batch 1); every dead-end value is marked as an output, so the
+/// whole graph is live and every branch is differentially observable.
+pub fn random_cnn(seed: u64, cfg: &GenConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    // Weight seeds derive from the graph seed but use a disjoint stream so
+    // reordering op choices never perturbs unrelated weights.
+    let mut wseed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next_wseed = || {
+        wseed = wseed.wrapping_add(0x9E37_79B9);
+        wseed
+    };
+
+    let c0 = [3usize, 4, 8][draw(&mut rng, 0, 2)];
+    let s0 = draw(&mut rng, cfg.min_image, cfg.max_image);
+    let x = g.input(&[1, c0, s0, s0], "x");
+    let mut frontier = vec![Val { id: x, c: c0, h: s0, w: s0 }];
+    let mut last = frontier[0];
+
+    for i in 0..cfg.ops {
+        let roll = draw(&mut rng, 0, 9);
+        let emitted = match roll {
+            // Convolution (dense or grouped) — the most common op, and the
+            // one every compiler pass cares about.
+            0..=3 => {
+                let src = *pick(&mut rng, &frontier);
+                let k = [1usize, 3, 5][draw(&mut rng, 0, 2)];
+                if k > src.h.min(src.w) {
+                    None
+                } else {
+                    let stride = if draw(&mut rng, 0, 3) == 0 { 2 } else { 1 };
+                    let pad = if k > 1 && draw(&mut rng, 0, 1) == 1 { k / 2 } else { 0 };
+                    let oh = conv_out(src.h, k, stride, pad);
+                    let ow = conv_out(src.w, k, stride, pad);
+                    if oh == 0 || ow == 0 {
+                        None
+                    } else {
+                        // Groups must divide both channel counts; depthwise
+                        // (groups == c_in) shows up when c_in is drawn.
+                        let groups = if draw(&mut rng, 0, 3) == 0 {
+                            let divisors: Vec<usize> =
+                                (2..=src.c).filter(|d| src.c.is_multiple_of(*d)).collect();
+                            if divisors.is_empty() {
+                                1
+                            } else {
+                                divisors[draw(&mut rng, 0, divisors.len() - 1)]
+                            }
+                        } else {
+                            1
+                        };
+                        let c_out = (groups * draw(&mut rng, 1, 4)).min(cfg.max_channels);
+                        let c_out = c_out - (c_out % groups);
+                        let weight =
+                            Tensor::he_conv_weight(c_out, src.c / groups, k, k, next_wseed());
+                        let bias = (draw(&mut rng, 0, 1) == 1)
+                            .then(|| Tensor::rand_uniform(&[c_out], next_wseed(), -0.1, 0.1));
+                        let spec = temco_ir::ConvSpec {
+                            weight: g.add_weight(weight),
+                            bias: bias.map(|b| g.add_weight(b)),
+                            stride: (stride, stride),
+                            padding: (pad, pad),
+                            groups,
+                            role: temco_ir::ConvRole::Standard,
+                        };
+                        let v = g.conv2d_spec(src.id, spec, format!("conv{i}"));
+                        Some(Val { id: v, c: c_out, h: oh, w: ow })
+                    }
+                }
+            }
+            // Pooling.
+            4 => {
+                let src = *pick(&mut rng, &frontier);
+                let k = draw(&mut rng, 2, 3);
+                let stride = draw(&mut rng, 1, 2);
+                let oh = conv_out(src.h, k, stride, 0);
+                let ow = conv_out(src.w, k, stride, 0);
+                if oh == 0 || ow == 0 {
+                    None
+                } else {
+                    let v = if draw(&mut rng, 0, 1) == 0 {
+                        g.max_pool(src.id, k, stride, format!("maxpool{i}"))
+                    } else {
+                        g.avg_pool(src.id, k, stride, format!("avgpool{i}"))
+                    };
+                    Some(Val { id: v, c: src.c, h: oh, w: ow })
+                }
+            }
+            // Activation.
+            5 => {
+                let src = *pick(&mut rng, &frontier);
+                let kind = [ActKind::Relu, ActKind::Silu, ActKind::Sigmoid, ActKind::Tanh]
+                    [draw(&mut rng, 0, 3)];
+                let v = g.activation(src.id, kind, format!("act{i}"));
+                Some(Val { id: v, ..src })
+            }
+            // Residual add over two same-shape frontier values.
+            6 => {
+                let a = *pick(&mut rng, &frontier);
+                frontier
+                    .iter()
+                    .find(|b| b.id != a.id && (b.c, b.h, b.w) == (a.c, a.h, a.w))
+                    .copied()
+                    .map(|b| {
+                        let v = g.add(&[a.id, b.id], format!("add{i}"));
+                        Val { id: v, ..a }
+                    })
+            }
+            // Channel concat over two spatially-equal frontier values.
+            7 => {
+                let a = *pick(&mut rng, &frontier);
+                frontier
+                    .iter()
+                    .find(|b| {
+                        b.id != a.id && (b.h, b.w) == (a.h, a.w) && a.c + b.c <= cfg.max_channels
+                    })
+                    .copied()
+                    .map(|b| {
+                        let v = g.concat(&[a.id, b.id], format!("concat{i}"));
+                        Val { id: v, c: a.c + b.c, ..a }
+                    })
+            }
+            // A whole shape-preserving skip chain: conv → act → conv → add.
+            // This is the exact pattern skip-opt and fusion hunt for.
+            _ => {
+                let src = *pick(&mut rng, &frontier);
+                if src.h < 3 || src.w < 3 {
+                    None
+                } else {
+                    let w1 = Tensor::he_conv_weight(src.c, src.c, 3, 3, next_wseed());
+                    let c1 = g.conv2d(src.id, w1, None, 1, 1, format!("skip{i}_c1"));
+                    let r1 = g.relu(c1, format!("skip{i}_r"));
+                    let w2 = Tensor::he_conv_weight(src.c, src.c, 3, 3, next_wseed());
+                    let c2 = g.conv2d(r1, w2, None, 1, 1, format!("skip{i}_c2"));
+                    let v = g.add(&[src.id, c2], format!("skip{i}_add"));
+                    Some(Val { id: v, ..src })
+                }
+            }
+        };
+        if let Some(v) = emitted {
+            frontier.push(v);
+            last = v;
+        }
+    }
+
+    // Optional classifier head — exercises GlobalAvgPool/Flatten/Linear/
+    // Softmax and gives rebatch a non-4-D tail to re-infer.
+    let head = (draw(&mut rng, 0, 1) == 1).then(|| {
+        let p = g.global_avg_pool(last.id, "head_gap");
+        let f = g.flatten(p, "head_flat");
+        let classes = draw(&mut rng, 2, 10);
+        let w = Tensor::randn(&[classes, last.c], next_wseed());
+        let l = g.linear(f, w, None, "head_fc");
+        g.softmax(l, "head_softmax")
+    });
+
+    // Every dead-end value becomes a graph output, so *no generated op is
+    // dead code*: the compiler can't silently drop a branch, the executor
+    // materializes everything, and the differential oracle compares every
+    // branch's tensor at full resolution (not some pooled summary).
+    for val in &frontier {
+        let from_input =
+            g.producer(val.id).is_none_or(|i| matches!(g.nodes[i].op, temco_ir::Op::Input));
+        if g.users(val.id).is_empty() && !from_input {
+            g.mark_output(val.id);
+        }
+    }
+    if let Some(s) = head {
+        g.mark_output(s);
+    }
+    if g.outputs.is_empty() {
+        g.mark_output(last.id);
+    }
+    g.infer_shapes();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_are_valid_and_deterministic() {
+        for seed in 0..40 {
+            let g = random_cnn(seed, &GenConfig::default());
+            let errs = temco_ir::verify(&g);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+            assert_eq!(g.inputs.len(), 1);
+            assert!(!g.outputs.is_empty());
+            for node in &g.nodes {
+                assert!(g.value_numel(node.output) > 0, "seed {seed}: degenerate {}", node.name);
+                // No dead code: every non-output value feeds something.
+                assert!(
+                    !g.users(node.output).is_empty() || g.outputs.contains(&node.output),
+                    "seed {seed}: '{}' is dead code",
+                    node.name
+                );
+            }
+            let h = random_cnn(seed, &GenConfig::default());
+            assert_eq!(g.nodes.len(), h.nodes.len(), "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn corpus_covers_the_interesting_ops() {
+        let (mut convs, mut adds, mut concats, mut grouped) = (0, 0, 0, 0);
+        for seed in 0..60 {
+            let g = random_cnn(seed, &GenConfig::default());
+            for node in &g.nodes {
+                match &node.op {
+                    temco_ir::Op::Conv2d(spec) => {
+                        convs += 1;
+                        if spec.groups > 1 {
+                            grouped += 1;
+                        }
+                    }
+                    temco_ir::Op::Add => adds += 1,
+                    temco_ir::Op::Concat => concats += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(convs > 50, "conv-starved corpus ({convs})");
+        assert!(adds > 5, "no residual structure ({adds})");
+        assert!(concats > 2, "no concat structure ({concats})");
+        assert!(grouped > 2, "no grouped convs ({grouped})");
+    }
+}

@@ -1,0 +1,214 @@
+//! Greedy failure minimization: turn a 15-node failing graph into the
+//! smallest graph that still fails.
+//!
+//! The shrinker never needs to know *why* a graph fails — it only needs a
+//! property function returning `Some(message)` while the failure persists.
+//! Three reduction moves run to fixpoint, last node first:
+//!
+//! * **Bypass** — remove a node and rewire every consumer of its output to
+//!   the node's first operand, legal only when the two values have the same
+//!   shape (so downstream shape inference is untouched).
+//! * **Drop** — remove a node whose output nobody consumes and that is not
+//!   a graph output.
+//! * **Unmark** — remove a node whose output *is* a graph output but has no
+//!   shape-compatible rewire target, deleting the output entry (as long as
+//!   at least one output remains).
+//!
+//! After every candidate edit, orphaned nodes are garbage-collected, weights
+//! are compacted, shapes are re-inferred, and the candidate must both pass
+//! structural verification *and* still fail the property — otherwise the
+//! edit is rejected and the previous graph kept. Every accepted step shrinks
+//! the node list by ≥ 1, so termination is immediate; greediness (not
+//! optimality) is the point: a 3-node repro found in milliseconds beats a
+//! provably-minimal one found never.
+
+use temco_ir::{Graph, Op};
+
+/// The outcome of a shrink: the reduced graph, the failure message it still
+/// produces, and how many candidate edits were evaluated.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimized failing graph.
+    pub graph: Graph,
+    /// The property's message on the minimized graph.
+    pub message: String,
+    /// Candidate graphs evaluated (accepted + rejected).
+    pub attempts: usize,
+}
+
+/// Minimize `g` under `failing`. `failing(g)` must be `Some` on entry —
+/// returns `None` otherwise (nothing to shrink).
+pub fn shrink(g: &Graph, failing: &dyn Fn(&Graph) -> Option<String>) -> Option<Shrunk> {
+    let mut message = failing(g)?;
+    let mut current = g.clone();
+    let mut attempts = 0usize;
+
+    loop {
+        let mut progressed = false;
+        // Last node first: truncating the tail first strips whole suffixes
+        // quickly before finer mid-graph surgery.
+        let mut i = current.nodes.len();
+        while i > 0 {
+            i -= 1;
+            let Some(candidate) = remove_node(&current, i) else { continue };
+            attempts += 1;
+            if !temco_ir::verify(&candidate).is_empty() {
+                continue;
+            }
+            if let Some(msg) = failing(&candidate) {
+                debug_assert!(candidate.nodes.len() < current.nodes.len());
+                current = candidate;
+                message = msg;
+                progressed = true;
+                // Restart the sweep over the (smaller) node list.
+                i = current.nodes.len();
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Some(Shrunk { graph: current, message, attempts })
+}
+
+/// One-line-per-node dump of a (reduced) graph — what a failing run prints
+/// so the repro can be reconstructed without re-running the generator.
+pub fn dump(g: &Graph) -> String {
+    let mut s = String::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        let ins: Vec<&str> =
+            node.inputs.iter().map(|v| g.values[v.0 as usize].name.as_str()).collect();
+        let shape = g.values[node.output.0 as usize]
+            .shape
+            .as_ref()
+            .map(|s| format!("{s:?}"))
+            .unwrap_or_else(|| "?".into());
+        s.push_str(&format!(
+            "{i:>3}: {} = {}({}) -> {shape}\n",
+            node.name,
+            node.op.mnemonic(),
+            ins.join(", ")
+        ));
+    }
+    s.push_str(&format!(
+        "outputs: {:?}\n",
+        g.outputs.iter().map(|v| g.values[v.0 as usize].name.as_str()).collect::<Vec<_>>()
+    ));
+    s
+}
+
+/// Remove node `i`, rewiring its consumers to its first operand when shapes
+/// allow. Returns `None` when the removal is structurally impossible.
+fn remove_node(g: &Graph, i: usize) -> Option<Graph> {
+    let node = &g.nodes[i];
+    if matches!(node.op, Op::Input) {
+        return None; // the input anchors the graph
+    }
+    let out = node.output;
+    let used = g.nodes.iter().any(|n| n.inputs.contains(&out));
+    let is_output = g.outputs.contains(&out);
+
+    let mut drop_output = false;
+    let replacement = if used || is_output {
+        match node.inputs.first() {
+            // Rewiring is only legal shape-preservingly.
+            Some(&src) if g.values[src.0 as usize].shape == g.values[out.0 as usize].shape => {
+                Some(src)
+            }
+            // No rewire target: other consumers make removal impossible,
+            // but a pure output can simply stop being one.
+            _ if used => return None,
+            _ => {
+                drop_output = true;
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut out_g = g.clone();
+    out_g.nodes.remove(i);
+    if drop_output {
+        out_g.outputs.retain(|v| *v != out);
+        if out_g.outputs.is_empty() {
+            return None; // an output-less graph checks nothing
+        }
+    }
+    if let Some(src) = replacement {
+        for n in &mut out_g.nodes {
+            for v in &mut n.inputs {
+                if *v == out {
+                    *v = src;
+                }
+            }
+        }
+        for v in &mut out_g.outputs {
+            if *v == out {
+                *v = src;
+            }
+        }
+        // Rewiring can make an existing output and the replacement collide.
+        let mut seen = std::collections::HashSet::new();
+        out_g.outputs.retain(|v| seen.insert(*v));
+    }
+    // Sweep nodes orphaned by the removal (their outputs now feed nothing).
+    loop {
+        let dead = out_g.nodes.iter().position(|n| {
+            !matches!(n.op, Op::Input)
+                && !out_g.outputs.contains(&n.output)
+                && !out_g.nodes.iter().any(|m| m.inputs.contains(&n.output))
+        });
+        match dead {
+            Some(j) => {
+                out_g.nodes.remove(j);
+            }
+            None => break,
+        }
+    }
+    out_g.gc_weights();
+    out_g.try_infer_shapes().ok()?;
+    Some(out_g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_cnn, GenConfig};
+
+    #[test]
+    fn shrinks_contains_concat_to_a_tiny_repro() {
+        // Find a corpus graph with a concat and minimize under the property
+        // "graph still contains a Concat" — a stand-in failure with a known
+        // minimal form (input + concat).
+        let failing = |g: &Graph| {
+            g.nodes
+                .iter()
+                .any(|n| matches!(n.op, Op::Concat))
+                .then(|| "contains concat".to_string())
+        };
+        let g = (0..64)
+            .map(|s| random_cnn(s, &GenConfig::default()))
+            .find(|g| failing(g).is_some())
+            .expect("corpus contains concats");
+        let before = g.nodes.len();
+        let shrunk = shrink(&g, &failing).unwrap();
+        assert!(shrunk.graph.nodes.len() < before, "no reduction ({before} nodes)");
+        assert!(
+            shrunk.graph.nodes.len() <= 4,
+            "expected a tiny repro, got {} nodes:\n{}",
+            shrunk.graph.nodes.len(),
+            dump(&shrunk.graph)
+        );
+        assert!(failing(&shrunk.graph).is_some(), "shrunk graph no longer fails");
+        assert!(temco_ir::verify(&shrunk.graph).is_empty());
+    }
+
+    #[test]
+    fn dump_names_every_node() {
+        let g = random_cnn(0, &GenConfig::default());
+        let d = dump(&g);
+        assert_eq!(d.lines().count(), g.nodes.len() + 1);
+        assert!(d.contains("outputs:"));
+    }
+}

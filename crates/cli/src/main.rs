@@ -38,6 +38,9 @@ struct Cli {
     requests: usize,
     deadline_ms: u32,
     shutdown: bool,
+    iters: usize,
+    seed: u64,
+    faults: usize,
 }
 
 fn usage() -> ! {
@@ -52,6 +55,7 @@ USAGE:
   temco info <model.temco>            describe a saved .temco model file
   temco serve <model> [opts]          serve the model over TCP (dynamic batching)
   temco loadgen [opts]                closed-loop load against a serve instance
+  temco check [opts]                  differential + fault-injection harness
 
 OPTIONS:
   --level <decomposed|fusion|skip-opt|skip-opt+fusion>   (default: skip-opt+fusion)
@@ -74,7 +78,12 @@ LOADGEN OPTIONS:
   --clients <n>        concurrent closed-loop clients    (default: 4)
   --requests <n>       requests per client               (default: 64)
   --deadline-ms <n>    per-request deadline, 0 = none    (default: 0)
-  --shutdown           send SHUTDOWN to the server afterwards"
+  --shutdown           send SHUTDOWN to the server afterwards
+
+CHECK OPTIONS:
+  --iters <n>          differential seeds to sweep       (default: 25)
+  --seed <n>           first seed of the sweep           (default: 0)
+  --faults <n>         fault-injection episodes, 0 = off (default: 10000)"
     );
     std::process::exit(2)
 }
@@ -110,10 +119,14 @@ fn parse_args() -> Cli {
         requests: 64,
         deadline_ms: 0,
         shutdown: false,
+        iters: 25,
+        seed: 0,
+        faults: 10_000,
     };
     let mut i = 1;
-    // `info` takes a file path, not a model name; `loadgen` takes neither.
-    if !matches!(cli.command.as_str(), "info" | "loadgen")
+    // `info` takes a file path, not a model name; `loadgen` and `check`
+    // take neither.
+    if !matches!(cli.command.as_str(), "info" | "loadgen" | "check")
         && i < args.len()
         && !args[i].starts_with("--")
     {
@@ -176,6 +189,9 @@ fn parse_args() -> Cli {
             "--requests" => cli.requests = parse_value(flag, &value(&mut i)),
             "--deadline-ms" => cli.deadline_ms = parse_value(flag, &value(&mut i)),
             "--shutdown" => cli.shutdown = true,
+            "--iters" => cli.iters = parse_value(flag, &value(&mut i)),
+            "--seed" => cli.seed = parse_value(flag, &value(&mut i)),
+            "--faults" => cli.faults = parse_value(flag, &value(&mut i)),
             _ => arg_error(format_args!("unknown flag '{flag}'")),
         }
         i += 1;
@@ -420,6 +436,61 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             print!("{}", server.stats().render());
+            ExitCode::SUCCESS
+        }
+        "check" => {
+            let cfg = temco_check::DiffConfig::default();
+            println!(
+                "differential: seeds {}..{} ({} opt levels, buckets up to {})",
+                cli.seed,
+                cli.seed + cli.iters as u64,
+                4,
+                cfg.max_batch
+            );
+            let mut failed = false;
+            for seed in cli.seed..cli.seed + cli.iters as u64 {
+                let Err(f) = temco_check::check_seed(seed, &cfg) else { continue };
+                failed = true;
+                eprintln!("FAIL {f}");
+                // Hand the investigator a minimized repro, not the full
+                // generated graph.
+                let g = temco_check::random_cnn(seed, &cfg.gen);
+                let failing = |g: &temco_ir::Graph| {
+                    temco_check::check_graph(g, seed, &cfg).err().map(|f| f.to_string())
+                };
+                match temco_check::shrink(&g, &failing) {
+                    Some(s) => eprintln!(
+                        "shrunk to {} nodes ({} attempts): {}\n{}",
+                        s.graph.nodes.len(),
+                        s.attempts,
+                        s.message,
+                        temco_check::dump(&s.graph)
+                    ),
+                    None => eprintln!("(failure did not reproduce during shrinking)"),
+                }
+            }
+            if failed {
+                return ExitCode::FAILURE;
+            }
+            println!("differential: {} seeds clean", cli.iters);
+            if cli.faults > 0 {
+                let report = match temco_check::run_fault_injection(&temco_check::FaultConfig {
+                    frames: cli.faults,
+                    seed: cli.seed ^ 0xFA17,
+                    workers: cli.workers,
+                }) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("fault injection could not run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("fault injection: {report}");
+                if !report.passed() {
+                    eprintln!("fault injection left the server unhealthy");
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         "loadgen" => {

@@ -212,9 +212,16 @@ impl Graph {
     /// Run shape inference over the whole node list.
     ///
     /// # Panics
-    /// Panics on malformed graphs (shape mismatch, use before def).
+    /// Panics on malformed graphs (shape mismatch, use before def). Callers
+    /// holding untrusted graphs should use [`Graph::try_infer_shapes`].
     pub fn infer_shapes(&mut self) {
         crate::shape::infer(self);
+    }
+
+    /// Run shape inference, reporting inconsistencies as a typed
+    /// [`ShapeError`](crate::shape::ShapeError) instead of panicking.
+    pub fn try_infer_shapes(&mut self) -> Result<(), crate::shape::ShapeError> {
+        crate::shape::try_infer(self)
     }
 
     /// Clone the graph with every input's leading (batch) dimension set to
@@ -224,10 +231,26 @@ impl Graph {
     /// layer's batch-size-bucketed plan cache.
     ///
     /// # Panics
-    /// Panics if `batch` is zero, an input is scalar, or re-inference fails
-    /// (an op whose output shape is not batch-independent at this size).
+    /// Panics where [`Graph::try_rebatch`] reports an error — a zero batch,
+    /// a scalar input, or re-inference failure.
     pub fn rebatch(&self, batch: usize) -> Graph {
-        assert!(batch > 0, "rebatch: batch must be positive");
+        match self.try_rebatch(batch) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Graph::rebatch`] with typed errors: a zero batch, a scalar input,
+    /// an op whose output shape is not batch-independent at this size, or a
+    /// value that collapses to zero elements all surface as a
+    /// [`ShapeError`](crate::shape::ShapeError) instead of aborting. This is
+    /// what lets a serving process reject a hostile or malformed model
+    /// configuration without crashing.
+    pub fn try_rebatch(&self, batch: usize) -> Result<Graph, crate::shape::ShapeError> {
+        use crate::shape::ShapeError;
+        if batch == 0 {
+            return Err(ShapeError::ZeroBatch);
+        }
         let mut out = self.clone();
         for v in &mut out.values {
             v.shape = None;
@@ -235,12 +258,27 @@ impl Graph {
         for i in 0..out.inputs.len() {
             let input = out.inputs[i];
             let mut shape = self.shape(input).to_vec();
-            assert!(!shape.is_empty(), "rebatch: input has no batch dimension");
+            if shape.is_empty() {
+                return Err(ShapeError::ScalarInput {
+                    input: self.values[input.0 as usize].name.clone(),
+                });
+            }
             shape[0] = batch;
             out.values[input.0 as usize].shape = Some(shape);
         }
-        out.infer_shapes();
-        out
+        out.try_infer_shapes()?;
+        // A graph whose values collapsed to nothing can never execute;
+        // report the first empty value rather than letting the runtime (or
+        // worse, a serving worker) trip over it later.
+        for node in &out.nodes {
+            if out.value_numel(node.output) == 0 {
+                return Err(ShapeError::Degenerate {
+                    node: node.name.clone(),
+                    shape: out.shape(node.output).to_vec(),
+                });
+            }
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -489,6 +527,39 @@ mod tests {
         g.gc_weights();
         assert_eq!(g.weights.len(), 1);
         assert_eq!(sibling.weights.len(), 2, "gc must copy-on-write, not steal");
+    }
+
+    #[test]
+    fn try_rebatch_reports_typed_errors() {
+        use crate::shape::ShapeError;
+        let mut g = tiny_graph();
+        g.infer_shapes();
+        assert_eq!(g.try_rebatch(0).unwrap_err(), ShapeError::ZeroBatch);
+
+        // A kernel larger than the (padded) input collapses the output to
+        // zero elements — a malformed config, not a panic.
+        let mut deg = Graph::new();
+        let x = deg.input(&[1, 3, 4, 4], "x");
+        let c = deg.conv2d(x, Tensor::zeros(&[4, 3, 9, 9]), None, 1, 0, "huge");
+        deg.mark_output(c);
+        let _ = (x, c);
+        let err = deg.try_rebatch(2).unwrap_err();
+        assert!(matches!(err, ShapeError::Degenerate { .. }), "{err:?}");
+        assert!(err.to_string().contains("zero-sized"), "{err}");
+
+        // A scalar input has no batch dimension to rewrite.
+        let mut scalar = Graph::new();
+        scalar.input(&[], "s");
+        let err = scalar.try_rebatch(2).unwrap_err();
+        assert!(matches!(err, ShapeError::ScalarInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn rebatch_zero_still_panics_for_builder_callers() {
+        let mut g = tiny_graph();
+        g.infer_shapes();
+        let _ = g.rebatch(0);
     }
 
     #[test]

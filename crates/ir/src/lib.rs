@@ -34,4 +34,5 @@ pub use op::{ActKind, ConvRole, ConvSpec, FconvSpec, FusedSpec, Op, PoolKind};
 pub use pdg::Pdg;
 pub use schedule::{apply_order, memory_aware_order, memory_aware_order_ranked};
 pub use serialize::{load_graph, save_graph};
+pub use shape::ShapeError;
 pub use verify::verify;

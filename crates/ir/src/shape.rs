@@ -1,54 +1,160 @@
 //! Shape inference.
 
+use std::fmt;
+
 use temco_tensor::conv_out_dim;
 
 use crate::graph::Graph;
 use crate::op::Op;
 
+/// A typed shape-inference failure.
+///
+/// Every inconsistency [`try_infer`] can hit is reported as a value instead
+/// of a panic, so callers holding untrusted or machine-generated graphs (the
+/// serving layer's [`Graph::try_rebatch`](crate::Graph::try_rebatch), the
+/// `temco-check` harness) can reject them without aborting the process. The
+/// panicking [`infer`] wrapper keeps the builder-path ergonomics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// An `Input` node carries no shape.
+    MissingInputShape {
+        /// The input node's name.
+        node: String,
+    },
+    /// A node consumes a value no earlier node defined.
+    UseBeforeDef {
+        /// The offending node's name.
+        node: String,
+    },
+    /// Operand/weight shapes are inconsistent at a node. The message keeps
+    /// the exact wording the old assertion-based inference used.
+    Mismatch {
+        /// Human-readable description naming the node.
+        msg: String,
+    },
+    /// `rebatch` was asked for a zero batch size.
+    ZeroBatch,
+    /// `rebatch` found a graph input with no leading (batch) dimension.
+    ScalarInput {
+        /// The input value's name.
+        input: String,
+    },
+    /// A node's output collapsed to zero elements (a convolution or pooling
+    /// window larger than its padded input). Such a graph can never execute;
+    /// [`Graph::try_rebatch`](crate::Graph::try_rebatch) reports it up front.
+    Degenerate {
+        /// The node whose output is empty.
+        node: String,
+        /// The degenerate output shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::MissingInputShape { node } => {
+                write!(f, "input '{node}' must carry a shape")
+            }
+            ShapeError::UseBeforeDef { node } => {
+                write!(f, "node '{node}' uses value before definition")
+            }
+            ShapeError::Mismatch { msg } => write!(f, "{msg}"),
+            ShapeError::ZeroBatch => write!(f, "rebatch: batch must be positive"),
+            ShapeError::ScalarInput { input } => {
+                write!(f, "rebatch: input '{input}' has no batch dimension")
+            }
+            ShapeError::Degenerate { node, shape } => {
+                write!(
+                    f,
+                    "node '{node}' produces a zero-sized tensor {shape:?} \
+                     (kernel or pooling window larger than its padded input)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Build a [`ShapeError::Mismatch`] from format arguments.
+macro_rules! mismatch {
+    ($($arg:tt)*) => {
+        return Err(ShapeError::Mismatch { msg: format!($($arg)*) })
+    };
+}
+
+/// Require `cond`, reporting a [`ShapeError::Mismatch`] otherwise.
+macro_rules! require {
+    ($cond:expr, $($arg:tt)*) => {
+        if !$cond {
+            mismatch!($($arg)*);
+        }
+    };
+}
+
 /// Infer the shape of every value in schedule order.
 ///
 /// # Panics
 /// Panics on inconsistent graphs (mismatched operand shapes, use before
-/// definition) with a message naming the offending node.
+/// definition) with a message naming the offending node. Fallible callers
+/// should use [`try_infer`].
 pub fn infer(g: &mut Graph) {
-    for i in 0..g.nodes.len() {
-        let node = g.nodes[i].clone();
-        if matches!(node.op, Op::Input) {
-            assert!(
-                g.values[node.output.0 as usize].shape.is_some(),
-                "input '{}' must carry a shape",
-                node.name
-            );
-            continue;
-        }
-        let in_shapes: Vec<Vec<usize>> =
-            node.inputs
-                .iter()
-                .map(|&v| {
-                    g.values[v.0 as usize].shape.clone().unwrap_or_else(|| {
-                        panic!("node '{}' uses value before definition", node.name)
-                    })
-                })
-                .collect();
-        let out = out_shape(g, &node.op, &in_shapes, &node.name);
-        g.values[node.output.0 as usize].shape = Some(out);
+    if let Err(e) = try_infer(g) {
+        panic!("{e}");
     }
 }
 
-fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
-    match op {
+/// Infer the shape of every value in schedule order, reporting
+/// inconsistencies as a typed [`ShapeError`] instead of panicking.
+///
+/// On error the graph's value shapes are left partially inferred; callers
+/// that keep the graph should re-run inference after repairing it.
+pub fn try_infer(g: &mut Graph) -> Result<(), ShapeError> {
+    for i in 0..g.nodes.len() {
+        let node = g.nodes[i].clone();
+        if matches!(node.op, Op::Input) {
+            if g.values[node.output.0 as usize].shape.is_none() {
+                return Err(ShapeError::MissingInputShape { node: node.name });
+            }
+            continue;
+        }
+        let mut in_shapes = Vec::with_capacity(node.inputs.len());
+        for &v in &node.inputs {
+            match g.values[v.0 as usize].shape.clone() {
+                Some(s) => in_shapes.push(s),
+                None => return Err(ShapeError::UseBeforeDef { node: node.name }),
+            }
+        }
+        let out = out_shape(g, &node.op, &in_shapes, &node.name)?;
+        g.values[node.output.0 as usize].shape = Some(out);
+    }
+    Ok(())
+}
+
+fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Result<Vec<usize>, ShapeError> {
+    Ok(match op {
         Op::Input => unreachable!("input nodes are handled by the caller"),
         Op::Conv2d(spec) => {
             let x = &ins[0];
-            assert_eq!(x.len(), 4, "conv input must be 4-D at '{name}'");
+            require!(x.len() == 4, "conv input must be 4-D at '{name}'");
             let w = g.weight(spec.weight);
             let (c_out, c_in_g, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-            assert_eq!(
-                c_in_g * spec.groups,
-                x[1],
+            require!(
+                c_in_g * spec.groups == x[1],
                 "conv '{name}': weight expects {} input channels, got {}",
                 c_in_g * spec.groups,
                 x[1]
+            );
+            require!(
+                spec.groups > 0 && c_out.is_multiple_of(spec.groups),
+                "conv '{name}': {} output channels not divisible by {} groups",
+                c_out,
+                spec.groups
+            );
+            require!(
+                spec.stride.0 > 0 && spec.stride.1 > 0,
+                "conv '{name}': stride must be positive"
             );
             let oh = conv_out_dim(x[2], kh, spec.stride.0, spec.padding.0);
             let ow = conv_out_dim(x[3], kw, spec.stride.1, spec.padding.1);
@@ -56,8 +162,13 @@ fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
         }
         Op::ConvTranspose2d { weight, stride, .. } => {
             let x = &ins[0];
+            require!(x.len() == 4, "upconv input must be 4-D at '{name}'");
             let w = g.weight(*weight);
-            assert_eq!(w.dim(0), x[1], "upconv '{name}' channel mismatch");
+            require!(w.dim(0) == x[1], "upconv '{name}' channel mismatch");
+            require!(
+                x[2] > 0 && x[3] > 0,
+                "upconv '{name}': input has a zero-sized spatial dimension"
+            );
             let oh = (x[2] - 1) * stride.0 + w.dim(2);
             let ow = (x[3] - 1) * stride.1 + w.dim(3);
             vec![x[0], w.dim(1), oh, ow]
@@ -65,6 +176,8 @@ fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
         Op::Activation(_) => ins[0].clone(),
         Op::Pool { kernel, stride, .. } => {
             let x = &ins[0];
+            require!(x.len() == 4, "pool input must be 4-D at '{name}'");
+            require!(*stride > 0, "pool '{name}': stride must be positive");
             vec![
                 x[0],
                 x[1],
@@ -74,57 +187,63 @@ fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
         }
         Op::GlobalAvgPool => {
             let x = &ins[0];
+            require!(x.len() == 4, "global pool input must be 4-D at '{name}'");
             vec![x[0], x[1], 1, 1]
         }
         Op::Affine { scale, .. } => {
             let x = &ins[0];
-            assert_eq!(g.weight(*scale).numel(), x[1], "affine '{name}' channel mismatch");
+            require!(x.len() >= 2, "affine input must have channels at '{name}'");
+            require!(g.weight(*scale).numel() == x[1], "affine '{name}' channel mismatch");
             x.clone()
         }
         Op::Add => {
             for s in &ins[1..] {
-                assert_eq!(s, &ins[0], "add '{name}' operand shape mismatch");
+                require!(s == &ins[0], "add '{name}' operand shape mismatch");
             }
             ins[0].clone()
         }
         Op::Concat => {
             let first = &ins[0];
-            assert_eq!(first.len(), 4, "concat expects 4-D at '{name}'");
+            require!(first.len() == 4, "concat expects 4-D at '{name}'");
             let mut c = 0;
             for s in ins {
-                assert_eq!(s[0], first[0], "concat '{name}' batch mismatch");
-                assert_eq!(s[2], first[2], "concat '{name}' height mismatch");
-                assert_eq!(s[3], first[3], "concat '{name}' width mismatch");
+                require!(s.len() == 4, "concat expects 4-D at '{name}'");
+                require!(s[0] == first[0], "concat '{name}' batch mismatch");
+                require!(s[2] == first[2], "concat '{name}' height mismatch");
+                require!(s[3] == first[3], "concat '{name}' width mismatch");
                 c += s[1];
             }
             vec![first[0], c, first[2], first[3]]
         }
         Op::Linear { weight, .. } => {
             let x = &ins[0];
+            require!(x.len() >= 2, "linear input must have features at '{name}'");
             let w = g.weight(*weight);
-            assert_eq!(x[1], w.dim(1), "linear '{name}' feature mismatch");
+            require!(x[1] == w.dim(1), "linear '{name}' feature mismatch");
             vec![x[0], w.dim(0)]
         }
         Op::Flatten => {
             let x = &ins[0];
+            require!(!x.is_empty(), "flatten input must have a batch dim at '{name}'");
             vec![x[0], x[1..].iter().product()]
         }
         Op::Softmax => ins[0].clone(),
         Op::Fused(spec) => {
             let x = &ins[0];
+            require!(x.len() == 4, "fused input must be 4-D at '{name}'");
             let lw = g.weight(spec.lconv_w);
-            assert_eq!(lw.dim(1), x[1], "fused '{name}': lconv input channel mismatch");
+            require!(lw.dim(1) == x[1], "fused '{name}': lconv input channel mismatch");
             let (mut h, mut w) = (x[2], x[3]);
             if let Some((_, k, s)) = spec.pool {
+                require!(s > 0, "fused '{name}': pool stride must be positive");
                 h = conv_out_dim(h, k, s, 0);
                 w = conv_out_dim(w, k, s, 0);
             }
             let c_out = match &spec.fconv {
                 Some(fc) => {
                     let fw = g.weight(fc.weight);
-                    assert_eq!(
-                        fw.dim(1),
-                        lw.dim(0),
+                    require!(
+                        fw.dim(1) == lw.dim(0),
                         "fused '{name}': fconv/lconv channel mismatch"
                     );
                     fw.dim(0)
@@ -133,11 +252,12 @@ fn out_shape(g: &Graph, op: &Op, ins: &[Vec<usize>], name: &str) -> Vec<usize> {
             };
             vec![x[0], c_out, h, w]
         }
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::ShapeError;
     use crate::graph::Graph;
     use crate::op::ActKind;
     use temco_tensor::Tensor;
@@ -223,5 +343,30 @@ mod tests {
         let c = g.conv2d(x, Tensor::zeros(&[4, 5, 3, 3]), None, 1, 1, "bad");
         g.mark_output(c);
         g.infer_shapes();
+    }
+
+    #[test]
+    fn try_infer_reports_mismatch_as_value() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 3, 8, 8], "x");
+        let c = g.conv2d(x, Tensor::zeros(&[4, 5, 3, 3]), None, 1, 1, "bad");
+        g.mark_output(c);
+        let err = g.try_infer_shapes().unwrap_err();
+        assert!(matches!(err, ShapeError::Mismatch { .. }));
+        assert!(err.to_string().contains("channel"), "{err}");
+    }
+
+    #[test]
+    fn try_infer_reports_upconv_on_collapsed_input_as_value() {
+        // A pooling window larger than the image collapses the spatial dims
+        // to zero; the downstream transposed convolution used to underflow
+        // (`0 - 1`) and abort. It must now be a typed error.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 3, 3], "x");
+        let p = g.max_pool(x, 7, 2, "bigpool");
+        let u = g.conv_transpose2d(p, Tensor::zeros(&[4, 2, 2, 2]), None, 2, "up");
+        g.mark_output(u);
+        let err = g.try_infer_shapes().unwrap_err();
+        assert!(err.to_string().contains("zero-sized"), "{err}");
     }
 }

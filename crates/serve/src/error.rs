@@ -55,6 +55,14 @@ impl std::error::Error for ServeError {}
 pub enum BuildError {
     /// The graph is structurally unservable (inputs/outputs arity).
     Unsupported(String),
+    /// Re-batching the graph to a bucket size failed (degenerate shapes,
+    /// scalar inputs, …).
+    Rebatch {
+        /// The bucket batch size whose re-batching failed.
+        bucket: usize,
+        /// The underlying shape error.
+        source: temco_ir::ShapeError,
+    },
     /// Compiling a batch-size bucket failed.
     Compile {
         /// The bucket batch size whose compilation failed.
@@ -68,6 +76,9 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::Unsupported(why) => write!(f, "model not servable: {why}"),
+            BuildError::Rebatch { bucket, source } => {
+                write!(f, "re-batching to batch-size-{bucket} bucket failed: {source}")
+            }
             BuildError::Compile { bucket, source } => {
                 write!(f, "compiling batch-size-{bucket} bucket failed: {source}")
             }
@@ -79,6 +90,7 @@ impl std::error::Error for BuildError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BuildError::Unsupported(_) => None,
+            BuildError::Rebatch { source, .. } => Some(source),
             BuildError::Compile { source, .. } => Some(source),
         }
     }

@@ -42,7 +42,20 @@ pub mod status {
 pub const MAX_FRAME: usize = 64 << 20;
 
 /// Write one frame.
+///
+/// The [`MAX_FRAME`] cap is enforced on the send side too: an oversized
+/// payload is refused with `InvalidInput` **before any byte is written**, so
+/// the stream stays at a frame boundary. (The old behavior — truncating the
+/// length prefix through the `as u32` cast and then writing the full
+/// payload — desynchronized every subsequent frame on the connection.)
 pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("refusing to send a {}-byte frame (cap {MAX_FRAME})", payload.len()),
+        ));
+    }
+    // MAX_FRAME < u32::MAX, so the length now provably fits the prefix.
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&[tag])?;
     w.write_all(payload)?;
@@ -133,6 +146,26 @@ mod tests {
         let mut buf = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
         buf.push(op::INFER);
         assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_writes_are_refused_without_desyncing_the_stream() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, op::INFER, &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Nothing was written: the next frame starts at a clean boundary
+        // and round-trips.
+        assert!(buf.is_empty(), "a refused frame must not leave partial bytes");
+        write_frame(&mut buf, op::STATS, &[7]).unwrap();
+        assert_eq!(read_frame(&mut &buf[..]).unwrap(), Some((op::STATS, vec![7])));
+    }
+
+    #[test]
+    fn max_frame_fits_the_length_prefix() {
+        // The send-side guard relies on this: anything ≤ MAX_FRAME can be
+        // encoded in the u32 prefix without truncation.
+        assert!(MAX_FRAME < u32::MAX as usize);
     }
 
     #[test]

@@ -102,7 +102,12 @@ impl Server {
     /// `cfg.workers` worker threads. The graph may have been built at any
     /// batch size — it is re-batched per bucket, sharing its weights.
     pub fn new(graph: Graph, cfg: ServeConfig) -> Result<Server, BuildError> {
-        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        if cfg.max_batch == 0 {
+            return Err(BuildError::Unsupported("max_batch must be positive".into()));
+        }
+        if cfg.queue_cap == 0 {
+            return Err(BuildError::Unsupported("queue_cap must be positive".into()));
+        }
         if graph.inputs.len() != 1 || graph.outputs.len() != 1 {
             return Err(BuildError::Unsupported(format!(
                 "serving requires exactly one input and one output, got {} and {}",
@@ -114,7 +119,8 @@ impl Server {
         let buckets = bucket_ladder(cfg.max_batch);
         let mut plans = Vec::with_capacity(buckets.len());
         for &b in &buckets {
-            let bucketed = graph.rebatch(b);
+            let bucketed =
+                graph.try_rebatch(b).map_err(|source| BuildError::Rebatch { bucket: b, source })?;
             debug_assert!(bucketed.weights.shares_storage_with(&graph.weights));
             plans.push(Arc::new(
                 CompiledGraph::new(bucketed)
@@ -226,6 +232,7 @@ impl Server {
             rejected_full: st.rejected_full.load(Relaxed),
             rejected_closed: st.rejected_closed.load(Relaxed),
             deadline_expired: st.deadline_expired.load(Relaxed),
+            failed_shutdown: st.failed_shutdown.load(Relaxed),
             batches: st.batches.load(Relaxed),
             queue_depth: core.queue.len(),
             latency_buckets: st.latency_histogram(),
@@ -259,12 +266,18 @@ impl Server {
 
     /// Graceful shutdown: stop accepting work, let workers drain every
     /// queued request, and join them. Idempotent; any clone may call it.
+    ///
+    /// With `workers: 0` (manual mode) there is nobody to drain the queue,
+    /// so any jobs still enqueued are failed with
+    /// [`ServeError::ShuttingDown`] — their tickets unblock instead of
+    /// hanging forever.
     pub fn shutdown(&self) {
         self.inner.core.queue.close();
         let handles = std::mem::take(&mut *self.inner.workers.lock().unwrap());
         for h in handles {
             let _ = h.join();
         }
+        fail_undrained(&self.inner.core);
     }
 
     /// Whether shutdown has been initiated.
@@ -279,5 +292,18 @@ impl Drop for Inner {
         for h in std::mem::take(&mut *self.workers.lock().unwrap()) {
             let _ = h.join();
         }
+        fail_undrained(&self.core);
+    }
+}
+
+/// Fail every job still queued after the workers have exited (workers drain
+/// the queue before exiting, so this only fires in `workers: 0` manual
+/// mode or if a worker died). Keeps the stats conservation law intact:
+/// every submitted job settles as completed, expired, or failed-shutdown.
+fn fail_undrained(core: &Core) {
+    use std::sync::atomic::Ordering::Relaxed;
+    while let Some(job) = core.queue.try_pop() {
+        job.slot.complete_err(ServeError::ShuttingDown);
+        core.stats.failed_shutdown.fetch_add(1, Relaxed);
     }
 }

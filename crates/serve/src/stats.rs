@@ -11,9 +11,10 @@
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Duration;
 
-/// Number of log2 latency buckets: bucket `i` holds latencies in
-/// `[2^(i−1), 2^i)` microseconds; the last bucket absorbs everything
-/// above ~9 minutes.
+/// Number of log2 latency buckets. Bucket 0 counts sub-microsecond
+/// latencies; bucket `i` (for `1 ≤ i ≤ 28`) holds latencies in
+/// `[2^(i−1), 2^i)` microseconds; the last bucket (29) is the overflow
+/// bucket `[2^28 µs, ∞)` — everything above ≈ 4.5 minutes.
 pub const LATENCY_BUCKETS: usize = 30;
 
 /// Shared counters. One instance per [`crate::Server`], touched by every
@@ -24,6 +25,9 @@ pub(crate) struct Stats {
     pub rejected_full: AtomicU64,
     pub rejected_closed: AtomicU64,
     pub deadline_expired: AtomicU64,
+    /// Requests accepted into the queue but failed at shutdown because no
+    /// worker remained to drain them (manual-worker mode).
+    pub failed_shutdown: AtomicU64,
     pub batches: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     /// Executed batch sizes; index `size − 1`.
@@ -38,6 +42,7 @@ impl Stats {
             rejected_full: AtomicU64::new(0),
             rejected_closed: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            failed_shutdown: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
             batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
@@ -66,7 +71,10 @@ impl Stats {
 }
 
 fn latency_bucket(d: Duration) -> usize {
-    let us = d.as_micros().max(1) as u64;
+    let us = d.as_micros() as u64;
+    if us == 0 {
+        return 0; // sub-microsecond
+    }
     ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
 }
 
@@ -84,6 +92,9 @@ pub struct StatsSnapshot {
     pub rejected_closed: u64,
     /// Requests whose deadline expired before execution.
     pub deadline_expired: u64,
+    /// Requests accepted into the queue but failed with `ShuttingDown`
+    /// because shutdown found no worker left to drain them.
+    pub failed_shutdown: u64,
     /// Engine runs (one per executed batch).
     pub batches: u64,
     /// Requests currently waiting in the queue.
@@ -101,6 +112,22 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Accepted requests whose outcome is decided: completed, expired, or
+    /// failed at shutdown.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.deadline_expired + self.failed_shutdown
+    }
+
+    /// Request-conservation invariant: every accepted request is either
+    /// settled or still queued. Exact only when no batch is mid-execution
+    /// (a popped-but-unfinished job is neither settled nor queued), so
+    /// assert it at rest — after a drain, or with manual workers between
+    /// steps. The `temco-check` fault injector holds the serving layer to
+    /// this after every adversarial run.
+    pub fn is_conserved_at_rest(&self) -> bool {
+        self.submitted == self.settled() + self.queue_depth as u64
+    }
+
     /// Mean executed batch size (0 when nothing ran yet).
     pub fn mean_batch_size(&self) -> f64 {
         let total: u64 = self.batch_size_hist.iter().sum();
@@ -113,7 +140,10 @@ impl StatsSnapshot {
     }
 
     /// Approximate latency percentile (`p` in 0..=100) from the histogram,
-    /// using the geometric midpoint of the winning bucket.
+    /// using the geometric midpoint of the winning bucket. The returned
+    /// value always lies inside the winning bucket's own range (the
+    /// overflow bucket reports its geometric "midpoint" as if it ended at
+    /// `2^29` µs, the next power of two past its start).
     pub fn latency_percentile(&self, p: f64) -> Duration {
         let total: u64 = self.latency_buckets.iter().sum();
         if total == 0 {
@@ -124,13 +154,21 @@ impl StatsSnapshot {
         for (i, &c) in self.latency_buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
+                if i == 0 {
+                    // Sub-microsecond bucket: report half a microsecond.
+                    return Duration::from_nanos(500);
+                }
                 // Bucket i covers [2^(i-1), 2^i) µs; geometric midpoint.
                 let hi = 1u64 << i;
                 let mid_us = (hi as f64 / std::f64::consts::SQRT_2).max(1.0);
                 return Duration::from_micros(mid_us as u64);
             }
         }
-        Duration::from_micros(1 << (LATENCY_BUCKETS - 1))
+        // Unreachable when total > 0 (the loop exhausts every bucket), but
+        // keep the fallback inside the histogram's own range: the overflow
+        // bucket's geometric midpoint, not a value past the last bucket.
+        let hi = 1u64 << (LATENCY_BUCKETS - 1);
+        Duration::from_micros((hi as f64 / std::f64::consts::SQRT_2) as u64)
     }
 
     /// Plain-text dump for logs and the wire `STATS` op.
@@ -143,6 +181,7 @@ impl StatsSnapshot {
         s.push_str(&format!("  rejected (full)    {}\n", self.rejected_full));
         s.push_str(&format!("  rejected (closed)  {}\n", self.rejected_closed));
         s.push_str(&format!("  deadline expired   {}\n", self.deadline_expired));
+        s.push_str(&format!("  failed (shutdown)  {}\n", self.failed_shutdown));
         s.push_str(&format!("  queue depth        {}\n", self.queue_depth));
         s.push_str(&format!(
             "  batches            {} (mean size {:.2})\n",
@@ -177,12 +216,48 @@ mod tests {
 
     #[test]
     fn latency_buckets_are_log2_microseconds() {
-        assert_eq!(latency_bucket(Duration::from_micros(0)), 1);
+        // Bucket 0 is sub-microsecond; bucket i (1..=28) is [2^(i-1), 2^i) µs.
+        assert_eq!(latency_bucket(Duration::from_micros(0)), 0);
+        assert_eq!(latency_bucket(Duration::from_nanos(999)), 0);
         assert_eq!(latency_bucket(Duration::from_micros(1)), 1);
         assert_eq!(latency_bucket(Duration::from_micros(2)), 2);
         assert_eq!(latency_bucket(Duration::from_micros(3)), 2);
         assert_eq!(latency_bucket(Duration::from_micros(1000)), 10);
+        // The overflow bucket starts at 2^28 µs ≈ 4.5 min, exactly where
+        // the penultimate bucket ends — no gap, no double coverage.
+        assert_eq!(latency_bucket(Duration::from_micros((1 << 28) - 1)), LATENCY_BUCKETS - 2);
+        assert_eq!(latency_bucket(Duration::from_micros(1 << 28)), LATENCY_BUCKETS - 1);
         assert_eq!(latency_bucket(Duration::from_secs(3600)), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_stay_inside_the_histogram_range() {
+        // All mass in the overflow bucket: the reported percentile must lie
+        // inside that bucket's nominal [2^28, 2^29) µs span, not past it.
+        let st = Stats::new(1);
+        st.record_latency(Duration::from_secs(3600));
+        let snap = StatsSnapshot {
+            submitted: 1,
+            completed: 1,
+            rejected_full: 0,
+            rejected_closed: 0,
+            deadline_expired: 0,
+            failed_shutdown: 0,
+            batches: 0,
+            queue_depth: 0,
+            latency_buckets: st.latency_histogram(),
+            batch_size_hist: st.batch_histogram(),
+            workers: 1,
+            slab_bytes_per_worker: 0,
+        };
+        let p99 = snap.latency_percentile(99.0);
+        assert!(p99 >= Duration::from_micros(1 << 28), "p99 {p99:?} below the overflow bucket");
+        assert!(p99 < Duration::from_micros(1 << 29), "p99 {p99:?} past the histogram range");
+        // Sub-microsecond mass reports a sub-microsecond percentile.
+        let st = Stats::new(1);
+        st.record_latency(Duration::from_nanos(100));
+        let snap = StatsSnapshot { latency_buckets: st.latency_histogram(), ..snap };
+        assert!(snap.latency_percentile(50.0) < Duration::from_micros(1));
     }
 
     #[test]
@@ -204,6 +279,7 @@ mod tests {
             rejected_full: 0,
             rejected_closed: 0,
             deadline_expired: 0,
+            failed_shutdown: 0,
             batches: st.batches.load(Relaxed),
             queue_depth: 0,
             latency_buckets: st.latency_histogram(),

@@ -158,7 +158,13 @@ fn batch_of_only_expired_requests_runs_nothing() {
 
 #[test]
 fn shutdown_drains_queued_work_and_rejects_new_work() {
-    let server = Server::new(tiny_mlp(), manual_config(8, 8)).unwrap();
+    // With real workers, shutdown lets them drain: everything accepted
+    // before the close still completes.
+    let server = Server::new(
+        tiny_mlp(),
+        ServeConfig { workers: 1, max_batch: 8, queue_cap: 8, ..ServeConfig::default() },
+    )
+    .unwrap();
     let samples: Vec<Tensor> =
         (0..3).map(|i| Tensor::rand_uniform(&[1, 6], 300 + i, -1.0, 1.0)).collect();
     let want = reference_outputs(&samples);
@@ -168,17 +174,41 @@ fn shutdown_drains_queued_work_and_rejects_new_work() {
     assert!(server.is_shutting_down());
     // New work is refused...
     assert_eq!(server.submit(samples[0].clone()).unwrap_err(), ServeError::ShuttingDown);
-    // ...but everything accepted before the close still completes.
-    let mut worker = server.manual_worker();
-    assert_eq!(worker.step(), StepOutcome::Ran(3));
+    // ...but everything accepted before the close still completed.
     for (t, w) in tickets.into_iter().zip(&want) {
         assert!(t.wait().unwrap().all_close(w, 1e-5));
     }
-    assert_eq!(worker.step(), StepOutcome::Drained);
 
     let snap = server.stats();
     assert_eq!(snap.completed, 3);
     assert_eq!(snap.rejected_closed, 1);
+    assert!(snap.is_conserved_at_rest(), "stats must balance after shutdown: {snap:?}");
+}
+
+#[test]
+fn shutdown_with_no_workers_fails_queued_tickets_instead_of_hanging() {
+    // Regression: with workers == 0 there is nobody to drain the queue, so
+    // shutdown used to leave queued slots Pending forever and any
+    // `Ticket::wait` hung. Now the undrained jobs fail with ShuttingDown.
+    let server = Server::new(tiny_mlp(), manual_config(8, 8)).unwrap();
+    let tickets: Vec<_> = (0..3)
+        .map(|i| server.submit(Tensor::rand_uniform(&[1, 6], 300 + i, -1.0, 1.0)).unwrap())
+        .collect();
+
+    server.shutdown();
+    for t in tickets {
+        // Bounded wait: a regression here hangs the test rather than failing.
+        match t.wait_timeout(Duration::from_secs(10)) {
+            Ok(res) => assert_eq!(res.unwrap_err(), ServeError::ShuttingDown),
+            Err(_) => panic!("ticket still pending after shutdown with no workers"),
+        }
+    }
+
+    let snap = server.stats();
+    assert_eq!(snap.failed_shutdown, 3);
+    assert_eq!(snap.completed, 0);
+    assert_eq!(snap.queue_depth, 0);
+    assert!(snap.is_conserved_at_rest(), "stats must balance after shutdown: {snap:?}");
 }
 
 #[test]
@@ -208,6 +238,60 @@ fn wait_timeout_hands_the_ticket_back() {
     assert_eq!(server.manual_worker().step(), StepOutcome::Ran(1));
     assert!(ticket.is_done());
     assert!(ticket.wait().is_ok());
+}
+
+#[test]
+fn non_power_of_two_max_batch_ladder_agrees_with_stats() {
+    // max_batch 6 → ladder [1, 2, 4, 6]. A full batch of 6 must land in
+    // the histogram's top slot (index size − 1): Stats::new and
+    // bucket_ladder have to agree on what the largest executed size is.
+    let server = Server::new(tiny_mlp(), manual_config(6, 64)).unwrap();
+    assert_eq!(server.buckets(), &[1, 2, 4, 6]);
+
+    let samples: Vec<Tensor> =
+        (0..6).map(|i| Tensor::rand_uniform(&[1, 6], 500 + i, -1.0, 1.0)).collect();
+    let want = reference_outputs(&samples);
+    let tickets: Vec<_> = samples.iter().map(|s| server.submit(s.clone()).unwrap()).collect();
+    let mut worker = server.manual_worker();
+    assert_eq!(worker.step(), StepOutcome::Ran(6));
+    for (t, w) in tickets.into_iter().zip(&want) {
+        assert!(t.wait().unwrap().all_close(w, 1e-5));
+    }
+
+    let snap = server.stats();
+    assert_eq!(snap.batch_size_hist.len(), 6, "histogram sized to max_batch");
+    assert_eq!(snap.batch_size_hist[5], 1, "batch of 6 lands in the top slot");
+    assert!((snap.mean_batch_size() - 6.0).abs() < 1e-9);
+
+    // A gathered batch of 3 pads up to bucket 4 but records its true size.
+    let tickets: Vec<_> = samples[..3].iter().map(|s| server.submit(s.clone()).unwrap()).collect();
+    assert_eq!(worker.step(), StepOutcome::Ran(3));
+    for (t, w) in tickets.into_iter().zip(&want) {
+        assert!(t.wait().unwrap().all_close(w, 1e-5));
+    }
+    assert_eq!(server.stats().batch_size_hist[2], 1);
+}
+
+#[test]
+fn degenerate_configs_are_typed_build_errors() {
+    // These used to be assert!/panic paths; a serving frontend needs a
+    // Result it can report, not a crash.
+    let cfg = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+    assert!(Server::new(tiny_mlp(), cfg).is_err());
+    let cfg = ServeConfig { queue_cap: 0, ..ServeConfig::default() };
+    assert!(Server::new(tiny_mlp(), cfg).is_err());
+
+    // A graph whose batch dimension isn't first collapses under rebatch:
+    // the scalar input makes every bucket fail with a typed Rebatch error.
+    let mut g = Graph::new();
+    let x = g.input(&[], "s");
+    let r = g.relu(x, "r");
+    g.mark_output(r);
+    let err = match Server::new(g, ServeConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("scalar-input graph must not be servable"),
+    };
+    assert!(err.to_string().contains("re-batching"), "unexpected error: {err}");
 }
 
 #[test]

@@ -16,6 +16,13 @@ cargo build --release
 echo "=== tier-1: cargo test -q ==="
 cargo test -q
 
+# Deterministic short mode of the differential + fault-injection harness
+# (the tier-1 tests above already run its self-tests; this exercises the
+# user-facing `temco check` entry point end to end). Scale up with e.g.
+# `cargo run --release --bin temco -- check --iters 500 --faults 100000`.
+echo "=== temco check (short mode) ==="
+cargo run --release -q --bin temco -- check --iters 8 --faults 2000 --seed 42
+
 # Opt-in perf smoke: TEMCO_CHECK_BENCH=1 ./scripts/check.sh also refreshes
 # BENCH_kernels.json (a few extra minutes; off by default so CI stays fast).
 if [[ "${TEMCO_CHECK_BENCH:-0}" == "1" ]]; then
