@@ -6,7 +6,9 @@
 //! floods, truncated frames, hostile length prefixes past `MAX_FRAME`,
 //! unknown opcodes, ragged `f32` payloads, wrong element counts,
 //! disconnects before reading the response, direct-API queue-full storms,
-//! and stats/info probes. Three health properties are asserted at the end:
+//! stats/info/metrics probes, Prometheus scrape floods, truncated scrape
+//! frames, and a scrape racing the shutdown drain. Three health
+//! properties are asserted at the end:
 //!
 //! 1. **No hung waits** — every response (and every direct-API ticket)
 //!    arrives within a generous timeout; a hang means a completion path
@@ -190,6 +192,29 @@ fn send_raw_and_close(addr: SocketAddr, bytes: &[u8]) -> Outcome {
     }
 }
 
+/// Scrape flood: many `METRICS` frames back to back on one connection.
+/// The scrape path is read-only and allocates only in the response; every
+/// frame must answer `OK` without perturbing the workers.
+fn metrics_flood(addr: SocketAddr, report: &mut FaultReport) {
+    let Ok(mut s) = connect(addr) else {
+        report.disconnects += 1;
+        return;
+    };
+    for _ in 0..16 {
+        if proto::write_frame(&mut s, op::METRICS, &[]).is_err() {
+            report.disconnects += 1;
+            return;
+        }
+        match classify_response(&mut s) {
+            Outcome::Ok => report.ok += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::ProtoError => report.proto_errors += 1,
+            Outcome::Disconnect => report.disconnects += 1,
+            Outcome::Hung => report.hung += 1,
+        }
+    }
+}
+
 /// Direct-API storm: submit past the queue cap, then wait out every
 /// ticket. The queue-full rejections are expected; a ticket that never
 /// settles is the bug this hunts.
@@ -248,7 +273,7 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
     };
 
     for _ in 0..cfg.frames {
-        let outcome = match draw(&mut rng, 0, 9) {
+        let outcome = match draw(&mut rng, 0, 10) {
             // Valid inference — the control group; must come back OK.
             0 | 1 => exchange(addr, op::INFER, &infer_payload(0, numel, 0.25)),
             // Deadline flood: 1 ms deadlines race the worker; OK and
@@ -288,14 +313,32 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
                 }
                 Err(_) => Outcome::Disconnect,
             },
-            // Stats/info probes interleaved with the abuse, plus the
-            // direct-API queue storm.
+            // Metrics-opcode abuse: scrape floods on one connection, or a
+            // truncated scrape frame (the prefix promises payload that
+            // never arrives). Scraping is read-only — no variant may
+            // perturb the workers.
+            9 => {
+                if draw(&mut rng, 0, 1) == 0 {
+                    metrics_flood(addr, &mut report);
+                    continue;
+                }
+                let mut bytes = 16u32.to_le_bytes().to_vec();
+                bytes.push(op::METRICS);
+                bytes.extend_from_slice(&[0u8; 3]);
+                send_raw_and_close(addr, &bytes)
+            }
+            // Stats/info/metrics probes interleaved with the abuse, plus
+            // the direct-API queue storm.
             _ => {
                 if draw(&mut rng, 0, 2) == 0 {
                     queue_storm(&server, numel, &mut report);
                     continue;
                 }
-                let probe = if draw(&mut rng, 0, 1) == 0 { op::STATS } else { op::INFO };
+                let probe = match draw(&mut rng, 0, 2) {
+                    0 => op::STATS,
+                    1 => op::INFO,
+                    _ => op::METRICS,
+                };
                 exchange(addr, probe, &[])
             }
         };
@@ -312,8 +355,29 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
     report.alive_after =
         matches!(exchange(addr, op::INFER, &infer_payload(0, numel, 0.75)), Outcome::Ok);
 
-    // Graceful shutdown over the wire, then audit the counters at rest.
+    // Graceful shutdown over the wire — with a scrape connection opened
+    // *before* the drain and driven during it. Connection threads outlive
+    // the accept loop, so scrapes racing the drain must keep answering
+    // (or drop cleanly), never hang, and never break conservation.
+    let mut drain_scraper = connect(addr).ok();
     let _ = exchange(addr, op::SHUTDOWN, &[]);
+    if let Some(s) = drain_scraper.as_mut() {
+        for _ in 0..3 {
+            if proto::write_frame(s, op::METRICS, &[]).is_err() {
+                report.disconnects += 1;
+                break;
+            }
+            match classify_response(s) {
+                Outcome::Ok => report.ok += 1,
+                Outcome::Rejected => report.rejected += 1,
+                Outcome::ProtoError => report.proto_errors += 1,
+                Outcome::Disconnect => report.disconnects += 1,
+                Outcome::Hung => report.hung += 1,
+            }
+        }
+    }
+    // Drop the scrape connection so the accept loop can join its thread.
+    drop(drain_scraper);
     serve_thread.join().expect("serve thread must not panic")?;
     report.conserved = server.stats().is_conserved_at_rest();
     Ok(report)

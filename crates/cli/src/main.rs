@@ -5,6 +5,7 @@
 //! temco compile vgg16 --level skip-opt+fusion --ratio 0.1 --image 224 --batch 4
 //! temco run unet_small --level fusion --image 64
 //! temco dot resnet18 --level skip-opt+fusion > resnet18.dot
+//! temco profile resnet34 --level skip-opt+fusion --trace resnet34.trace.json
 //! temco serve alexnet --addr 127.0.0.1:7077 --workers 2 --max-batch 8
 //! temco loadgen --addr 127.0.0.1:7077 --clients 8 --requests 64 --shutdown
 //! ```
@@ -41,6 +42,9 @@ struct Cli {
     iters: usize,
     seed: u64,
     faults: usize,
+    reps: usize,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> ! {
@@ -53,6 +57,7 @@ USAGE:
   temco run <model> [opts]            compile, execute, and verify semantics
   temco dot <model> [opts]            emit the optimized graph as Graphviz DOT
   temco info <model.temco>            describe a saved .temco model file
+  temco profile <model> [opts]        per-node kernel timing + slab attribution
   temco serve <model> [opts]          serve the model over TCP (dynamic batching)
   temco loadgen [opts]                closed-loop load against a serve instance
   temco check [opts]                  differential + fault-injection harness
@@ -67,18 +72,24 @@ OPTIONS:
   --reschedule         apply the memory-aware scheduler
   --save <path>        (compile) write the optimized model as .temco
 
+PROFILE OPTIONS:
+  --reps <n>           recorded inference repetitions    (default: 10)
+  --trace <path>       write spans as chrome://tracing JSON
+
 SERVE OPTIONS:
   --addr <host:port>   bind/connect address              (default: 127.0.0.1:7077)
   --workers <n>        serving worker threads            (default: 2)
   --max-batch <n>      largest coalesced batch           (default: 8)
   --max-delay-ms <n>   batching window, milliseconds     (default: 2)
   --queue-cap <n>      bounded request-queue capacity    (default: 128)
+  --metrics            print the final Prometheus scrape on exit
 
 LOADGEN OPTIONS:
   --clients <n>        concurrent closed-loop clients    (default: 4)
   --requests <n>       requests per client               (default: 64)
   --deadline-ms <n>    per-request deadline, 0 = none    (default: 0)
   --shutdown           send SHUTDOWN to the server afterwards
+  --metrics            print the server's Prometheus scrape afterwards
 
 CHECK OPTIONS:
   --iters <n>          differential seeds to sweep       (default: 25)
@@ -122,6 +133,9 @@ fn parse_args() -> Cli {
         iters: 25,
         seed: 0,
         faults: 10_000,
+        reps: 10,
+        trace: None,
+        metrics: false,
     };
     let mut i = 1;
     // `info` takes a file path, not a model name; `loadgen` and `check`
@@ -192,6 +206,9 @@ fn parse_args() -> Cli {
             "--iters" => cli.iters = parse_value(flag, &value(&mut i)),
             "--seed" => cli.seed = parse_value(flag, &value(&mut i)),
             "--faults" => cli.faults = parse_value(flag, &value(&mut i)),
+            "--reps" => cli.reps = parse_value(flag, &value(&mut i)),
+            "--trace" => cli.trace = Some(value(&mut i)),
+            "--metrics" => cli.metrics = true,
             _ => arg_error(format_args!("unknown flag '{flag}'")),
         }
         i += 1;
@@ -374,6 +391,71 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "profile" => {
+            let Some(model) = cli.model else {
+                arg_error("profile requires a model name — try `temco list`")
+            };
+            let cfg = ModelConfig {
+                batch: cli.batch,
+                image: cli.image,
+                num_classes: cli.classes,
+                classifier_width: 1024,
+                seed: 42,
+            };
+            let graph = model.build(&cfg);
+            let compiler = Compiler::new(CompilerOptions {
+                decompose: DecomposeOptions {
+                    method: cli.method,
+                    ratio: cli.ratio,
+                    ..Default::default()
+                },
+                merge_lconvs: true,
+                reschedule: cli.reschedule,
+                ..Default::default()
+            });
+            let (opt, _) = compiler.compile(&graph, cli.level);
+            let mut engine = match temco_runtime::Engine::new(opt) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("cannot compile {}: {e}", model.name());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 7);
+            // Warm-up outside the recording window (first-touch effects).
+            if let Err(e) = engine.run(std::slice::from_ref(&x)) {
+                eprintln!("warm-up run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let reps = cli.reps.max(1);
+            let spans_per_run = engine.graph().nodes.len() + 1;
+            let mut rec = temco_obs::Recorder::with_capacity(reps * spans_per_run + 16);
+            for _ in 0..reps {
+                engine
+                    .run_recorded(std::slice::from_ref(&x), &mut rec)
+                    .expect("inputs validated by the warm-up run");
+            }
+            let report = temco_runtime::engine_report(engine.compiled(), &rec);
+            println!(
+                "model:    {} @ {} ({}x{} batch {}, {} reps)",
+                model.name(),
+                cli.level.label(),
+                cfg.image,
+                cfg.image,
+                cfg.batch,
+                reps
+            );
+            print!("{}", report.render_table(15));
+            if let Some(path) = &cli.trace {
+                let json = temco_runtime::engine_trace_json(engine.compiled(), &rec);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("trace:    {path} (open in chrome://tracing or Perfetto)");
+            }
+            ExitCode::SUCCESS
+        }
         "serve" => {
             let Some(model) = cli.model else {
                 arg_error("serve requires a model name — try `temco list`")
@@ -436,6 +518,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             print!("{}", server.stats().render());
+            if cli.metrics {
+                print!("{}", server.prometheus_metrics());
+            }
             ExitCode::SUCCESS
         }
         "check" => {
@@ -517,6 +602,15 @@ fn main() -> ExitCode {
                 "latency ms: p50 {:.3}  p95 {:.3}  p99 {:.3}  mean {:.3}",
                 report.p50_ms, report.p95_ms, report.p99_ms, report.mean_ms
             );
+            if cli.metrics {
+                match temco_serve::Client::connect(&cli.addr) {
+                    Ok(mut c) => print!("{}", c.metrics_text().unwrap_or_default()),
+                    Err(e) => {
+                        eprintln!("metrics scrape failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if cli.shutdown {
                 match temco_serve::Client::connect(&cli.addr) {
                     Ok(mut c) => {

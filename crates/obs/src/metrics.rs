@@ -1,0 +1,429 @@
+//! Metrics primitives: relaxed-atomic counters, gauges, and log2-µs
+//! histograms, plus a [`Registry`] that renders them as Prometheus text.
+//!
+//! The update side is hot-path safe: every instrument is a fixed set of
+//! `AtomicU64`s bumped with relaxed ordering — no locks, no allocation,
+//! no syscalls. Exactness across instruments is not promised (a scrape
+//! racing an update may see `submitted` ahead of `completed + queued`);
+//! each individual counter is exact, which is what conservation audits
+//! check once the system is at rest.
+//!
+//! Histograms use the same 30-bucket log2-microsecond layout as the
+//! serving layer's latency histogram: bucket 0 holds sub-µs samples and
+//! bucket `i ≥ 1` holds `[2^(i−1), 2^i)` µs, with the last bucket
+//! absorbing everything above. [`percentile_log2_us`] interpolates
+//! *linearly inside the winning bucket* using the fractional rank
+//! `p/100 × total`, which both kills the old upper-edge bias at p50 on
+//! tight distributions and keeps p100-ish quantiles strictly below the
+//! nominal top edge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log2-µs histogram buckets. Must match the serving layer's
+/// `LATENCY_BUCKETS`; the last bucket is the overflow bucket.
+pub const LOG2_BUCKETS: usize = 30;
+
+/// Bucket index for a duration of `us` microseconds.
+#[inline]
+pub fn bucket_of_us(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(LOG2_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower edge of bucket `i`, in µs.
+pub fn bucket_lo_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Exclusive upper edge of bucket `i`, in µs (nominal for the overflow
+/// bucket).
+pub fn bucket_hi_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Interpolated `p`-th percentile (0–100) of a log2-µs bucket histogram,
+/// in µs. Returns 0 for an empty histogram.
+///
+/// The rank is fractional (`p/100 × total`, not rounded up), and the
+/// value is placed `frac` of the way through the winning bucket's span.
+/// With a single sample, p50 lands mid-bucket and p99 lands at 99% of
+/// the bucket — never on the upper edge, so quantiles of overflow-bucket
+/// mass stay below the nominal 2^29 µs ceiling.
+pub fn percentile_log2_us(counts: &[u64], p: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * total as f64;
+    let mut cum_before = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if (cum_before + c) as f64 >= rank {
+            let frac = ((rank - cum_before as f64) / c as f64).clamp(0.0, 1.0);
+            let lo = bucket_lo_us(i) as f64;
+            let hi = bucket_hi_us(i) as f64;
+            return lo + frac * (hi - lo);
+        }
+        cum_before += c;
+    }
+    // All mass below the rank (p = 100 with rounding): top of the last
+    // occupied bucket.
+    let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    bucket_hi_us(last) as f64
+}
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge storing an `f64` as its bit pattern.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-µs histogram: [`LOG2_BUCKETS`] bucket counters plus a running
+/// sum of microseconds. Updates are two relaxed atomic adds.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of_us(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the bucket counts.
+    pub fn counts(&self) -> [u64; LOG2_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all recorded durations, in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Interpolated percentile in µs (see [`percentile_log2_us`]).
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        percentile_log2_us(&self.counts(), p)
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Log2Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A registry of named instruments rendering Prometheus text exposition.
+///
+/// Registration hands back `Arc` handles the owner bumps directly — the
+/// registry is only consulted at scrape time. Several entries may share
+/// one metric name with different label sets (e.g. a rejection counter
+/// per cause); `# HELP`/`# TYPE` are emitted once per name, in first
+/// registration order.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register a counter with labels, e.g. `[("cause", "queue_full")]`.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, labels, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, &[], Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Register a log2-µs histogram, rendered with second-denominated
+    /// `le` bounds per Prometheus convention.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Log2Histogram> {
+        let h = Arc::new(Log2Histogram::new());
+        self.push(name, help, &[], Instrument::Histogram(h.clone()));
+        h
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        self.entries.lock().unwrap().push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+            instrument,
+        });
+    }
+
+    /// Render every registered instrument as Prometheus text exposition
+    /// (version 0.0.4). Allocates freely; scrape-path only.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if !seen.contains(&e.name.as_str()) {
+                seen.push(&e.name);
+                let kind = match e.instrument {
+                    Instrument::Counter(_) => "counter",
+                    Instrument::Gauge(_) => "gauge",
+                    Instrument::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# TYPE {} {}", e.name, kind);
+            }
+            match &e.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label_set(&e.labels, None), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", e.name, label_set(&e.labels, None), g.get());
+                }
+                Instrument::Histogram(h) => {
+                    let counts = h.counts();
+                    let total: u64 = counts.iter().sum();
+                    let mut cum = 0u64;
+                    for (i, &c) in counts.iter().enumerate() {
+                        cum += c;
+                        // Skip interior zero-count buckets to keep the
+                        // scrape small; cumulative semantics survive.
+                        if c == 0 && i + 1 != counts.len() {
+                            continue;
+                        }
+                        let le = bucket_hi_us(i) as f64 / 1e6;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            e.name,
+                            label_set(&e.labels, Some(&format!("{le}"))),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        e.name,
+                        label_set(&e.labels, Some("+Inf")),
+                        total
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        e.name,
+                        label_set(&e.labels, None),
+                        h.sum_us() as f64 / 1e6
+                    );
+                    let _ =
+                        writeln!(out, "{}_count{} {}", e.name, label_set(&e.labels, None), total);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Format a `{k="v",…}` label set, optionally with a trailing `le`.
+/// Empty when there is nothing to emit.
+fn label_set(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_matches_the_documented_layout() {
+        assert_eq!(bucket_of_us(0), 0);
+        assert_eq!(bucket_of_us(1), 1);
+        assert_eq!(bucket_of_us(2), 2);
+        assert_eq!(bucket_of_us(3), 2);
+        assert_eq!(bucket_of_us(4), 3);
+        assert_eq!(bucket_of_us(u64::MAX), LOG2_BUCKETS - 1);
+        for i in 1..LOG2_BUCKETS - 1 {
+            assert_eq!(bucket_of_us(bucket_lo_us(i)), i);
+            assert_eq!(bucket_of_us(bucket_hi_us(i) - 1), i);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_close_to_exact_quantiles() {
+        // 1..=1000 µs uniformly: exact p50 = 500 µs, p90 = 900 µs.
+        let mut counts = [0u64; LOG2_BUCKETS];
+        for us in 1..=1000u64 {
+            counts[bucket_of_us(us)] += 1;
+        }
+        let p50 = percentile_log2_us(&counts, 50.0);
+        let p90 = percentile_log2_us(&counts, 90.0);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 ≈ {p50}");
+        assert!((p90 - 900.0).abs() / 900.0 < 0.15, "p90 ≈ {p90}");
+        // The old upper-edge estimator returned 512 for p50 here; the
+        // geometric midpoint returned ~362. Both are > 2% off.
+    }
+
+    #[test]
+    fn percentile_of_overflow_mass_stays_below_the_ceiling() {
+        let mut counts = [0u64; LOG2_BUCKETS];
+        counts[LOG2_BUCKETS - 1] = 1;
+        let p99 = percentile_log2_us(&counts, 99.0);
+        assert!(p99 < bucket_hi_us(LOG2_BUCKETS - 1) as f64);
+        assert!(p99 >= bucket_lo_us(LOG2_BUCKETS - 1) as f64);
+        assert_eq!(percentile_log2_us(&[0; LOG2_BUCKETS], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_records_and_reports() {
+        let h = Log2Histogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(3));
+        h.record_us(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 103);
+        let counts = h.counts();
+        assert_eq!(counts[bucket_of_us(100)], 1);
+        assert_eq!(counts[bucket_of_us(3)], 1);
+        assert_eq!(counts[0], 1);
+        assert!(h.percentile_us(50.0) > 0.0);
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let reg = Registry::new();
+        let c = reg.counter("temco_requests_total", "Requests seen.");
+        let r1 = reg.counter_with(
+            "temco_rejects_total",
+            "Rejects by cause.",
+            &[("cause", "queue_full")],
+        );
+        let r2 =
+            reg.counter_with("temco_rejects_total", "Rejects by cause.", &[("cause", "deadline")]);
+        let g = reg.gauge("temco_queue_depth", "Jobs waiting.");
+        let h = reg.histogram("temco_wait_seconds", "Queue wait.");
+        c.add(5);
+        r1.inc();
+        r2.add(2);
+        g.set(3.0);
+        h.record_us(100);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE temco_requests_total counter"));
+        assert!(text.contains("temco_requests_total 5"));
+        assert!(text.contains("temco_rejects_total{cause=\"queue_full\"} 1"));
+        assert!(text.contains("temco_rejects_total{cause=\"deadline\"} 2"));
+        assert_eq!(
+            text.matches("# HELP temco_rejects_total").count(),
+            1,
+            "HELP once per name even with two label sets"
+        );
+        assert!(text.contains("temco_queue_depth 3"));
+        // 100 µs lands in [64,128) µs → first cumulative bound at
+        // 128 µs = 0.000128 s.
+        assert!(text.contains("temco_wait_seconds_bucket{le=\"0.000128\"} 1"));
+        assert!(text.contains("temco_wait_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("temco_wait_seconds_sum 0.0001"));
+        assert!(text.contains("temco_wait_seconds_count 1"));
+    }
+}

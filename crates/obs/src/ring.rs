@@ -1,0 +1,294 @@
+//! The span recorder: a preallocated, thread-owned ring buffer.
+//!
+//! One [`Recorder`] belongs to one thread (an engine, a serving worker, a
+//! CLI loop) — there is no global registry and no locking, which is what
+//! keeps [`Recorder::record`] down to a couple of predictable branches and
+//! three word writes. A full ring **drops the oldest** record (the recent
+//! past is what profiling wants) and counts what it dropped, so a report
+//! can say "these numbers cover the last N spans, M fell off the back"
+//! instead of silently lying.
+//!
+//! A record is three machine words — `kind`/`node` packed into one `u64`,
+//! start tick, duration — timestamped off a monotonic [`Instant`] epoch
+//! taken at construction. `Instant::now` neither allocates nor syscalls on
+//! the platforms this repo targets (vDSO clock), so recording inside the
+//! zero-alloc executor loop is safe; the repo's counting-global-allocator
+//! tests assert exactly that with instrumentation enabled.
+
+use std::time::Instant;
+
+/// Span kinds used across the stack. Plain `u32`s rather than an enum so
+/// downstream crates can add their own without a dependency cycle; values
+/// below 256 are reserved for the workspace.
+pub mod kind {
+    /// One whole `Engine::run` (node loop + output staging).
+    pub const RUN: u32 = 0;
+    /// One node's kernel inside a run; `node` is the schedule index.
+    pub const NODE: u32 = 1;
+    /// Serving: the batch-gather window (first pop to window close).
+    pub const GATHER: u32 = 2;
+    /// Serving: copying gathered samples into the staging tensor.
+    pub const STAGE: u32 = 3;
+    /// Serving: the bucket engine run for one batch; `node` is the bucket
+    /// batch size.
+    pub const BATCH_RUN: u32 = 4;
+    /// Serving: scattering output rows into response slots.
+    pub const SCATTER: u32 = 5;
+
+    /// Human label for a workspace kind (downstream kinds render as
+    /// `kind<N>`).
+    pub fn label(k: u32) -> &'static str {
+        match k {
+            RUN => "run",
+            NODE => "node",
+            GATHER => "gather",
+            STAGE => "stage",
+            BATCH_RUN => "batch_run",
+            SCATTER => "scatter",
+            _ => "user",
+        }
+    }
+}
+
+/// `node` value for spans not tied to any node.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One recorded span: what ([`kind`]), which (`node`), when (`start_ns`
+/// since the recorder's epoch), how long (`dur_ns`). 24 bytes, `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Span kind (see [`kind`]).
+    pub kind: u32,
+    /// Node / object id the span is attributed to ([`NO_NODE`] if none).
+    pub node: u32,
+    /// Start time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// An opaque span start tick, handed back to [`Recorder::finish`].
+/// Deliberately not a `Duration`: it is one `u64` in a register.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanStart(u64);
+
+/// Sentinel returned by [`Recorder::start`] while disabled; `finish`
+/// recognizes it and records nothing.
+const DISABLED: u64 = u64::MAX;
+
+/// A preallocated ring buffer of [`Event`]s. See the module docs for the
+/// threading and overflow model.
+pub struct Recorder {
+    epoch: Instant,
+    buf: Box<[Event]>,
+    /// Next write slot.
+    next: usize,
+    /// Events ever recorded (monotone; `total - len()` were dropped).
+    total: u64,
+    enabled: bool,
+}
+
+impl Recorder {
+    /// A recorder holding up to `capacity` spans (min 1), enabled.
+    /// This is the *only* allocation the recorder ever performs.
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        let capacity = capacity.max(1);
+        let zero = Event { kind: 0, node: 0, start_ns: 0, dur_ns: 0 };
+        Recorder {
+            epoch: Instant::now(),
+            buf: vec![zero; capacity].into_boxed_slice(),
+            next: 0,
+            total: 0,
+            enabled: true,
+        }
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Toggle recording. A disabled recorder's `start`/`finish` are a
+    /// flag check each — cheap enough to leave instrumentation compiled
+    /// in permanently.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Nanoseconds since the recorder's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Begin a span: one flag check + one clock read.
+    #[inline]
+    pub fn start(&self) -> SpanStart {
+        if !self.enabled {
+            return SpanStart(DISABLED);
+        }
+        SpanStart(self.now_ns())
+    }
+
+    /// End a span begun with [`Recorder::start`], attributing it to
+    /// `(kind, node)`. No-op for spans started while disabled.
+    #[inline]
+    pub fn finish(&mut self, start: SpanStart, kind: u32, node: u32) {
+        if start.0 == DISABLED {
+            return;
+        }
+        let end = self.now_ns();
+        self.record(Event { kind, node, start_ns: start.0, dur_ns: end.saturating_sub(start.0) });
+    }
+
+    /// Append one event, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, e: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.buf[self.next] = e;
+        self.next += 1;
+        if self.next == self.buf.len() {
+            self.next = 0;
+        }
+        self.total += 1;
+    }
+
+    /// Retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        (self.total).min(self.buf.len() as u64) as usize
+    }
+
+    /// Whether nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Events recorded but overwritten by newer ones (drop-oldest
+    /// overflow accounting).
+    pub fn dropped(&self) -> u64 {
+        self.total - self.len() as u64
+    }
+
+    /// Forget all retained events and the drop count. The epoch is kept,
+    /// so timestamps across a `clear` stay on one timeline.
+    pub fn clear(&mut self) {
+        self.next = 0;
+        self.total = 0;
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let len = self.len();
+        let (wrapped, fresh) = if self.total as usize > self.buf.len() {
+            // Full ring: oldest starts at `next`.
+            (&self.buf[self.next..], &self.buf[..self.next])
+        } else {
+            (&self.buf[..len], &self.buf[..0])
+        };
+        wrapped.iter().chain(fresh.iter())
+    }
+}
+
+/// Evaluate `$body` inside a span recorded as `($kind, $node)` on `$rec`.
+/// Expands to a start/finish pair around the expression — no closure, no
+/// guard object, nothing for the optimizer to chew on.
+#[macro_export]
+macro_rules! timed {
+    ($rec:expr, $kind:expr, $node:expr, $body:expr) => {{
+        let __span = $rec.start();
+        let __out = $body;
+        $rec.finish(__span, $kind, $node);
+        __out
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: u32, node: u32) -> Event {
+        Event { kind, node, start_ns: 0, dur_ns: 1 }
+    }
+
+    #[test]
+    fn records_and_iterates_in_order() {
+        let mut r = Recorder::with_capacity(8);
+        for i in 0..5 {
+            r.record(ev(kind::NODE, i));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let nodes: Vec<u32> = r.iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts_it() {
+        let mut r = Recorder::with_capacity(4);
+        for i in 0..10 {
+            r.record(ev(kind::NODE, i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // The *newest* four survive, oldest first.
+        let nodes: Vec<u32> = r.iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn spans_measure_nonzero_time_and_respect_enable() {
+        let mut r = Recorder::with_capacity(4);
+        let s = r.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        r.finish(s, kind::RUN, NO_NODE);
+        assert_eq!(r.len(), 1);
+        let e = *r.iter().next().unwrap();
+        assert_eq!(e.kind, kind::RUN);
+        assert_eq!(e.node, NO_NODE);
+
+        r.set_enabled(false);
+        let s = r.start();
+        r.finish(s, kind::RUN, 0);
+        r.record(ev(kind::NODE, 1));
+        assert_eq!(r.len(), 1, "disabled recorder must not record");
+        r.set_enabled(true);
+        r.record(ev(kind::NODE, 2));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_epoch_resets_counts() {
+        let mut r = Recorder::with_capacity(2);
+        r.record(ev(0, 0));
+        r.record(ev(0, 1));
+        r.record(ev(0, 2));
+        assert_eq!(r.dropped(), 1);
+        let t0 = r.now_ns();
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.now_ns() >= t0, "epoch must survive clear");
+    }
+
+    #[test]
+    fn timed_macro_records_one_span() {
+        let mut r = Recorder::with_capacity(4);
+        let x = timed!(r, kind::NODE, 7, 40 + 2);
+        assert_eq!(x, 42);
+        let e = *r.iter().next().unwrap();
+        assert_eq!((e.kind, e.node), (kind::NODE, 7));
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(kind::label(kind::RUN), "run");
+        assert_eq!(kind::label(kind::BATCH_RUN), "batch_run");
+        assert_eq!(kind::label(999), "user");
+    }
+}

@@ -1,0 +1,110 @@
+//! chrome://tracing export for recorded spans.
+//!
+//! Renders a [`crate::ring::Recorder`]'s events as the Trace Event
+//! Format's JSON object form — one complete (`"ph":"X"`) event per span,
+//! timestamps and durations in microseconds as chrome expects. Load the
+//! output in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! The caller supplies the span names (this crate cannot know node
+//! names); the span kind becomes the category so tracks can be filtered
+//! by `run` / `node` / `batch_run` etc.
+
+use crate::ring::{kind, Event, NO_NODE};
+
+/// Render `events` as a chrome://tracing JSON document. `name_of` maps
+/// each event to its display name (e.g. the node's value name).
+pub fn chrome_trace<'a, I, F>(events: I, mut name_of: F) -> String
+where
+    I: IntoIterator<Item = &'a Event>,
+    F: FnMut(&Event) -> String,
+{
+    use std::fmt::Write;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}",
+            escape_json(&name_of(e)),
+            kind::label(e.kind),
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            // Whole-run spans sit on their own track above the node track
+            // so nesting renders as a flame graph.
+            if e.kind == kind::RUN { 0 } else { 1 },
+        );
+        if e.node != NO_NODE {
+            let _ = write!(out, ",\"args\":{{\"node\":{}}}", e.node);
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Recorder;
+
+    #[test]
+    fn emits_one_complete_event_per_span() {
+        let mut r = Recorder::with_capacity(8);
+        r.record(Event { kind: kind::NODE, node: 0, start_ns: 1_000, dur_ns: 2_000 });
+        r.record(Event { kind: kind::NODE, node: 1, start_ns: 3_500, dur_ns: 500 });
+        r.record(Event { kind: kind::RUN, node: NO_NODE, start_ns: 1_000, dur_ns: 3_000 });
+        let json = chrome_trace(r.iter(), |e| {
+            if e.kind == kind::RUN {
+                "run".to_string()
+            } else {
+                format!("node{}", e.node)
+            }
+        });
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        assert!(json.contains("\"name\":\"node0\""));
+        assert!(json.contains("\"ts\":1,\"dur\":2"));
+        assert!(json.contains("\"ts\":3.5,\"dur\":0.5"));
+        assert!(json.contains("\"cat\":\"run\""));
+        // RUN spans carry no node arg.
+        assert_eq!(json.matches("\"args\"").count(), 2);
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let e = Event { kind: kind::NODE, node: 0, start_ns: 0, dur_ns: 1 };
+        let json = chrome_trace([&e].into_iter().copied().collect::<Vec<_>>().iter(), |_| {
+            "a\"b\\c\nd".to_string()
+        });
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn empty_recorder_is_still_valid_json_shape() {
+        let r = Recorder::with_capacity(1);
+        let json = chrome_trace(r.iter(), |_| String::new());
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+}

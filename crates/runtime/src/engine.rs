@@ -21,6 +21,7 @@
 use std::sync::Arc;
 
 use temco_ir::{liveness, Graph, Op, ValueId};
+use temco_obs::{kind, Recorder, NO_NODE};
 use temco_tensor::{Tensor, TensorView};
 
 use crate::alloc::{plan_allocation_with, AllocationPlan};
@@ -151,6 +152,29 @@ impl Engine {
     /// only on the error path), and every kernel runs on slab views with
     /// planner-reserved scratch.
     pub fn run(&mut self, inputs: &[Tensor]) -> Result<&[Tensor], ExecError> {
+        self.run_impl(inputs, None)
+    }
+
+    /// [`Engine::run`] with span recording: one `RUN` span for the whole
+    /// inference plus one `NODE` span per scheduled kernel, written into
+    /// the caller's preallocated [`Recorder`]. Still allocation-free on
+    /// success — recording is two `Instant` reads and three word writes
+    /// per node into the ring (the zero-alloc integration test covers this
+    /// path too). Feed the recorder to [`crate::profile::engine_report`]
+    /// or [`crate::profile::engine_trace_json`] afterwards.
+    pub fn run_recorded(
+        &mut self,
+        inputs: &[Tensor],
+        rec: &mut Recorder,
+    ) -> Result<&[Tensor], ExecError> {
+        self.run_impl(inputs, Some(rec))
+    }
+
+    fn run_impl(
+        &mut self,
+        inputs: &[Tensor],
+        mut rec: Option<&mut Recorder>,
+    ) -> Result<&[Tensor], ExecError> {
         let g = &self.shared.g;
         if inputs.len() != g.inputs.len() {
             return Err(ExecError::InputCountMismatch {
@@ -171,7 +195,9 @@ impl Engine {
 
         let plan = &self.shared.plan;
         let slab_ptr = self.slab.as_mut_ptr();
+        let run_span = rec.as_deref().map(|r| r.start());
         for (i, node) in g.nodes.iter().enumerate() {
+            let node_span = rec.as_deref().map(|r| r.start());
             let out_off = plan.offset(node.output).expect("planned in new()") / F32;
             let out_len = g.value_numel(node.output);
             // Same aliasing argument as the executor: the plan (validated
@@ -208,12 +234,18 @@ impl Engine {
                 }
                 other => eval_into(g, other, &node.inputs, &view, out, scratch),
             }
+            if let (Some(r), Some(s)) = (rec.as_deref_mut(), node_span) {
+                r.finish(s, kind::NODE, i as u32);
+            }
         }
 
         for (slot, v) in self.outputs.iter_mut().zip(&g.outputs) {
             let off = plan.offset(*v).expect("graph output was not computed") / F32;
             let len = g.value_numel(*v);
             slot.data_mut().copy_from_slice(&self.slab[off..off + len]);
+        }
+        if let (Some(r), Some(s)) = (rec, run_span) {
+            r.finish(s, kind::RUN, NO_NODE);
         }
         Ok(&self.outputs)
     }

@@ -165,6 +165,12 @@ pub struct ExecResult {
     /// tensor or kernel scratch reached (0 in [`ExecMode::PerNode`]).
     /// Equals `slab_bytes` iff the executor stayed inside the plan.
     pub slab_high_water: usize,
+    /// Per-node slab touch: for schedule step `i`, the furthest slab byte
+    /// node `i`'s kernel reached (output end, operand ends, scratch end).
+    /// `slab_high_water` is the running max of this sequence; the profiler
+    /// cross-checks its static attribution against it. Empty in
+    /// [`ExecMode::PerNode`].
+    pub node_high_water: Vec<usize>,
 }
 
 /// Run the graph on `inputs` (one tensor per `Graph::inputs` entry).
@@ -238,6 +244,7 @@ fn execute_slab(
     let slab_ptr = slab.as_mut_ptr();
     let mut mem = MemoryTracker::new();
     let mut high_water = 0usize;
+    let mut node_high_water = Vec::with_capacity(g.nodes.len());
     let mut node_times = Vec::new();
     let start = Instant::now();
 
@@ -290,10 +297,21 @@ fn execute_slab(
 
         let out_bytes = out_len * F32;
         mem.alloc(out_bytes, i);
-        high_water = high_water.max(out_off * F32 + out_bytes);
-        if plan.node_scratch[i] > 0 {
-            high_water = high_water.max(plan.scratch_offset + plan.node_scratch[i]);
+        // Furthest slab byte this node's kernel touches: output end,
+        // operand ends, scratch end. Operand regions were already counted
+        // when their producers ran, so folding them in here leaves the
+        // running max — and therefore `slab_high_water` — unchanged.
+        let mut node_hw = out_off * F32 + out_bytes;
+        for v in &node.inputs {
+            if let Some(off) = plan.offset(*v) {
+                node_hw = node_hw.max(off + g.value_bytes(*v));
+            }
         }
+        if plan.node_scratch[i] > 0 {
+            node_hw = node_hw.max(plan.scratch_offset + plan.node_scratch[i]);
+        }
+        node_high_water.push(node_hw);
+        high_water = high_water.max(node_hw);
         // Sample while the node's operands are still allocated — this is the
         // instant the planner's live-set model describes (inputs + output of
         // the running layer are simultaneously resident).
@@ -336,6 +354,7 @@ fn execute_slab(
         slab_bytes: plan.slab_bytes,
         scratch_bytes: plan.scratch_bytes,
         slab_high_water: high_water,
+        node_high_water,
     })
 }
 
@@ -468,6 +487,7 @@ fn execute_per_node(g: &Graph, inputs: &[Tensor], opts: ExecOptions, lv: &Livene
         slab_bytes: 0,
         scratch_bytes: 0,
         slab_high_water: 0,
+        node_high_water: Vec::new(),
     }
 }
 
@@ -600,6 +620,10 @@ mod tests {
         assert_eq!(res.slab_high_water, res.slab_bytes);
         let plan = crate::alloc::plan_allocation(&g);
         assert_eq!(res.slab_bytes, plan.slab_bytes);
+        // Per-node touch: one entry per node, running max reaches the
+        // plan's peak, and at least one node individually hits it.
+        assert_eq!(res.node_high_water.len(), g.nodes.len());
+        assert_eq!(res.node_high_water.iter().copied().max(), Some(res.slab_high_water));
     }
 
     #[test]

@@ -56,11 +56,49 @@ pub fn fused_forward(
     out
 }
 
+/// How a fused kernel partitions its planner-reserved scratch: `slots`
+/// disjoint worker arenas of `per_slot_floats` floats each. The profiler
+/// reports this decomposition so a node's scratch bytes can be read as
+/// "N workers × strip size" rather than one opaque number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScratchBreakdown {
+    /// Worker-slot count (see [`fused_slots`]).
+    pub slots: usize,
+    /// Floats in one slot's arena (strip + pooled row + reduced row).
+    pub per_slot_floats: usize,
+}
+
+impl ScratchBreakdown {
+    /// Total scratch floats: `slots × per_slot_floats`.
+    pub fn total_floats(&self) -> usize {
+        self.slots * self.per_slot_floats
+    }
+}
+
+/// Scratch decomposition of [`fused_forward_into_scratch`] for a fused
+/// node with the given geometry. `pool` is `(kernel, stride)`;
+/// `has_fconv` mirrors whether the reducing 1×1 follows.
+pub fn fused_scratch_breakdown(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_red_out: usize,
+    pool: Option<(usize, usize)>,
+    has_fconv: bool,
+) -> ScratchBreakdown {
+    let (oh, ow, pk) = match pool {
+        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k),
+        None => (h, w, 1),
+    };
+    let per_slot = c_full * pk * w + c_full * ow + if has_fconv { c_red_out * ow } else { 0 };
+    ScratchBreakdown { slots: fused_slots(n * oh), per_slot_floats: per_slot }
+}
+
 /// Scratch floats [`fused_forward_into_scratch`] needs for a fused node
-/// with the given geometry. `pool` is `(kernel, stride)`; `has_fconv`
-/// mirrors whether the reducing 1×1 follows. The allocation planner calls
-/// this with the node's shapes so the slab reserves exactly what the
-/// kernel partitions into per-slot arenas.
+/// with the given geometry — [`fused_scratch_breakdown`] collapsed to its
+/// total. The allocation planner calls this with the node's shapes so the
+/// slab reserves exactly what the kernel partitions into per-slot arenas.
 pub fn fused_scratch_floats(
     n: usize,
     h: usize,
@@ -70,12 +108,7 @@ pub fn fused_scratch_floats(
     pool: Option<(usize, usize)>,
     has_fconv: bool,
 ) -> usize {
-    let (oh, ow, pk) = match pool {
-        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k),
-        None => (h, w, 1),
-    };
-    let per_slot = c_full * pk * w + c_full * ow + if has_fconv { c_red_out * ow } else { 0 };
-    fused_slots(n * oh) * per_slot
+    fused_scratch_breakdown(n, h, w, c_full, c_red_out, pool, has_fconv).total_floats()
 }
 
 /// [`fused_forward`] writing into a preallocated output buffer: each worker

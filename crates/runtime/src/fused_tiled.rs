@@ -16,10 +16,40 @@ use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
 use temco_tensor::{conv_out_dim, with_tl_scratch, Tensor, TensorView};
 
-use crate::fused::{fused_slots, SyncPtr};
+use crate::fused::{fused_slots, ScratchBreakdown, SyncPtr};
 
-/// Scratch floats [`fused_forward_tiled_into_scratch`] needs. Per-slot
-/// buffers are sized for the largest tile (edge tiles use prefixes).
+/// Scratch decomposition of [`fused_forward_tiled_into_scratch`]: worker
+/// slots × the largest tile's staging arena (edge tiles use prefixes).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_tiled_scratch_breakdown(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_out: usize,
+    pool: Option<(usize, usize)>,
+    tile: usize,
+    has_fconv: bool,
+) -> ScratchBreakdown {
+    let tile = tile.max(1);
+    let (oh, ow, pk, ps) = match pool {
+        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k, s),
+        None => (h, w, 1, 1),
+    };
+    if n == 0 || c_out == 0 || oh == 0 || ow == 0 {
+        return ScratchBreakdown { slots: 0, per_slot_floats: 0 };
+    }
+    let jobs = n * c_out.div_ceil(tile) * oh.div_ceil(tile) * ow.div_ceil(tile);
+    let (th_max, tw_max) = (tile.min(oh), tile.min(ow));
+    let (ih_max, iw_max) = ((th_max - 1) * ps + pk, (tw_max - 1) * ps + pk);
+    let per_slot = c_full * ih_max * iw_max
+        + c_full * th_max * tw_max
+        + if has_fconv { tile.min(c_out) * th_max * tw_max } else { 0 };
+    ScratchBreakdown { slots: fused_slots(jobs), per_slot_floats: per_slot }
+}
+
+/// Scratch floats [`fused_forward_tiled_into_scratch`] needs —
+/// [`fused_tiled_scratch_breakdown`] collapsed to its total.
 #[allow(clippy::too_many_arguments)]
 pub fn fused_tiled_scratch_floats(
     n: usize,
@@ -31,21 +61,7 @@ pub fn fused_tiled_scratch_floats(
     tile: usize,
     has_fconv: bool,
 ) -> usize {
-    let tile = tile.max(1);
-    let (oh, ow, pk, ps) = match pool {
-        Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k, s),
-        None => (h, w, 1, 1),
-    };
-    if n == 0 || c_out == 0 || oh == 0 || ow == 0 {
-        return 0;
-    }
-    let jobs = n * c_out.div_ceil(tile) * oh.div_ceil(tile) * ow.div_ceil(tile);
-    let (th_max, tw_max) = (tile.min(oh), tile.min(ow));
-    let (ih_max, iw_max) = ((th_max - 1) * ps + pk, (tw_max - 1) * ps + pk);
-    let per_slot = c_full * ih_max * iw_max
-        + c_full * th_max * tw_max
-        + if has_fconv { tile.min(c_out) * th_max * tw_max } else { 0 };
-    fused_slots(jobs) * per_slot
+    fused_tiled_scratch_breakdown(n, h, w, c_full, c_out, pool, tile, has_fconv).total_floats()
 }
 
 /// Execute the fused chain with cubic tiling of the output space.

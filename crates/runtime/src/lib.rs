@@ -31,6 +31,7 @@ pub mod fused;
 pub mod fused_tiled;
 pub mod memory;
 pub mod planner;
+pub mod profile;
 pub mod scratch;
 
 pub use alloc::{
@@ -41,12 +42,16 @@ pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
 pub use engine::{CompiledGraph, Engine};
 pub use executor::{execute, ExecError, ExecMode, ExecOptions, ExecResult};
 pub use fused::{
-    fused_forward, fused_forward_into, fused_forward_into_scratch, fused_scratch_floats,
+    fused_forward, fused_forward_into, fused_forward_into_scratch, fused_scratch_breakdown,
+    fused_scratch_floats, ScratchBreakdown,
 };
 pub use fused_tiled::{
     fused_forward_tiled, fused_forward_tiled_into, fused_forward_tiled_into_scratch,
-    fused_tiled_scratch_floats,
+    fused_tiled_scratch_breakdown, fused_tiled_scratch_floats,
 };
 pub use memory::{MemEvent, MemoryTracker};
 pub use planner::{plan_memory, skip_share_at_peak, MemoryPlan, StepMem};
+pub use profile::{
+    engine_report, engine_trace_json, node_high_water_bytes, node_scratch_breakdown, op_label,
+};
 pub use scratch::{node_scratch_bytes, node_scratch_floats};

@@ -107,6 +107,12 @@ impl Client {
         String::from_utf8(reply).map_err(|_| ClientError::Protocol("stats not UTF-8".into()))
     }
 
+    /// Fetch the server's Prometheus text scrape.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.call(op::METRICS, &[])?;
+        String::from_utf8(reply).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
+    }
+
     /// Ask the server to drain and stop. The connection is unusable
     /// afterwards.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {

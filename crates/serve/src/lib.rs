@@ -22,10 +22,15 @@
 //!   never silently drops), and a request whose deadline lapses in the
 //!   queue fails without costing FLOPs. Shutdown drains: queued work
 //!   completes, new work is refused.
-//! * **Observability** — lock-free counters, a log2 latency histogram
-//!   (p50/p95/p99), the executed-batch-size distribution, queue depth,
-//!   and per-worker slab bytes, as a typed [`StatsSnapshot`] or a
-//!   plain-text dump.
+//! * **Observability** — lock-free counters and log2 histograms with
+//!   end-to-end latency split into queue-wait and service time
+//!   (p50/p95/p99 by linear interpolation), rejects and failures labeled
+//!   by cause, batch-window occupancy, queue depth, and per-worker slab
+//!   bytes — as a typed [`StatsSnapshot`], a plain-text dump, or a
+//!   Prometheus text scrape (`METRICS` opcode,
+//!   [`Server::prometheus_metrics`]). Workers accept a preallocated
+//!   [`temco_obs`] span recorder for gather/stage/run/scatter tracing
+//!   without perturbing the zero-alloc hot loop.
 //! * **Wire protocol** — a tiny length-prefixed TCP protocol
 //!   ([`proto`]), a blocking [`Client`], and a closed-loop [`loadgen`];
 //!   all std-only, consistent with the repo's no-external-deps policy.

@@ -12,7 +12,8 @@
 //! the served model and discoverable via `INFO`). `OK` responses to
 //! `INFER` carry the output `f32`s; error responses carry a UTF-8
 //! message; `INFO` responses carry `u32 ndim, dims…` twice (input shape,
-//! then output shape); `STATS` responses carry the plain-text stats dump.
+//! then output shape); `STATS` responses carry the plain-text stats dump;
+//! `METRICS` responses carry the Prometheus text scrape.
 
 use std::io::{self, Read, Write};
 
@@ -26,6 +27,8 @@ pub mod op {
     pub const INFO: u8 = 2;
     /// Drain and stop the server.
     pub const SHUTDOWN: u8 = 3;
+    /// Fetch the Prometheus text scrape of the metrics plane.
+    pub const METRICS: u8 = 4;
 }
 
 /// Response status codes.

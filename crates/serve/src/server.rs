@@ -153,6 +153,8 @@ impl Server {
         // Every worker allocates one slab per bucket; everything else
         // (weights, plans, graph structure) is shared.
         let slab_bytes_per_worker: usize = core.plans.iter().map(|p| p.slab_bytes()).sum();
+        core.stats.workers.set(cfg.workers as f64);
+        core.stats.slab_bytes_per_worker.set(slab_bytes_per_worker as f64);
         let mut handles = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
             let worker = Worker::new(core.clone());
@@ -183,7 +185,6 @@ impl Server {
         sample: Tensor,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
-        use std::sync::atomic::Ordering::Relaxed;
         let core = &self.inner.core;
         if sample.shape() != core.sample_shape {
             return Err(ServeError::InputShape {
@@ -202,15 +203,15 @@ impl Server {
         };
         match core.queue.push(job) {
             Ok(()) => {
-                core.stats.submitted.fetch_add(1, Relaxed);
+                core.stats.submitted.inc();
                 Ok(Ticket { slot, enqueued: now })
             }
             Err(PushError::Full) => {
-                core.stats.rejected_full.fetch_add(1, Relaxed);
+                core.stats.rejected_full.inc();
                 Err(ServeError::QueueFull)
             }
             Err(PushError::Closed) => {
-                core.stats.rejected_closed.fetch_add(1, Relaxed);
+                core.stats.rejected_closed.inc();
                 Err(ServeError::ShuttingDown)
             }
         }
@@ -223,23 +224,35 @@ impl Server {
 
     /// Point-in-time counters.
     pub fn stats(&self) -> StatsSnapshot {
-        use std::sync::atomic::Ordering::Relaxed;
         let core = &self.inner.core;
         let st = &core.stats;
         StatsSnapshot {
-            submitted: st.submitted.load(Relaxed),
-            completed: st.completed.load(Relaxed),
-            rejected_full: st.rejected_full.load(Relaxed),
-            rejected_closed: st.rejected_closed.load(Relaxed),
-            deadline_expired: st.deadline_expired.load(Relaxed),
-            failed_shutdown: st.failed_shutdown.load(Relaxed),
-            batches: st.batches.load(Relaxed),
+            submitted: st.submitted.get(),
+            completed: st.completed.get(),
+            rejected_full: st.rejected_full.get(),
+            rejected_closed: st.rejected_closed.get(),
+            deadline_expired: st.deadline_expired.get(),
+            failed_shutdown: st.failed_shutdown.get(),
+            batches: st.batches.get(),
+            batch_slots: st.batch_slots.get(),
             queue_depth: core.queue.len(),
             latency_buckets: st.latency_histogram(),
+            queue_wait_buckets: st.queue_wait_histogram(),
+            service_buckets: st.service_histogram(),
             batch_size_hist: st.batch_histogram(),
             workers: core.cfg.workers,
             slab_bytes_per_worker: self.inner.slab_bytes_per_worker,
         }
+    }
+
+    /// Prometheus text exposition of the metrics plane: request counters
+    /// (rejects and failures labeled by cause), queue depth, batch-window
+    /// occupancy, and the latency / queue-wait / service-time histograms.
+    /// Served over the wire as the `METRICS` opcode; scrape-path only —
+    /// allocates freely.
+    pub fn prometheus_metrics(&self) -> String {
+        let core = &self.inner.core;
+        core.stats.render_prometheus(core.queue.len())
     }
 
     /// Per-sample input shape the server expects (`[1, …]`).
@@ -301,9 +314,8 @@ impl Drop for Inner {
 /// mode or if a worker died). Keeps the stats conservation law intact:
 /// every submitted job settles as completed, expired, or failed-shutdown.
 fn fail_undrained(core: &Core) {
-    use std::sync::atomic::Ordering::Relaxed;
     while let Some(job) = core.queue.try_pop() {
         job.slot.complete_err(ServeError::ShuttingDown);
-        core.stats.failed_shutdown.fetch_add(1, Relaxed);
+        core.stats.failed_shutdown.inc();
     }
 }

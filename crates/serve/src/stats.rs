@@ -1,81 +1,201 @@
-//! Lock-free serving observability.
+//! Lock-free serving observability, built on `temco_obs` primitives.
 //!
-//! Every counter is a relaxed atomic bumped from the submit and worker hot
-//! paths — no locks, no allocation. Latency is recorded into a fixed array
-//! of power-of-two microsecond buckets; percentiles are interpolated from
-//! the histogram at snapshot time, so the steady state keeps no per-request
-//! state at all. Batch sizes feed a second fixed histogram (index =
-//! executed size − 1), which is what makes "is dynamic batching actually
-//! happening?" a one-glance question.
+//! Every instrument is a relaxed atomic bumped from the submit and worker
+//! hot paths — no locks, no allocation. Latency is split three ways so
+//! the wait-vs-compute question has a truthful answer:
+//!
+//! * `queue_wait` — enqueue to batch-execution start (scheduling delay),
+//! * `service` — batch-execution start to response (compute + scatter),
+//! * `latency` — the end-to-end sum the client observes.
+//!
+//! All three use the obs crate's 30-bucket log2-µs histogram; percentiles
+//! interpolate linearly inside the winning bucket
+//! ([`temco_obs::percentile_log2_us`]), so the steady state keeps no
+//! per-request state at all. Batch sizes feed a fixed histogram (index =
+//! executed size − 1) and `batch_slots` accumulates the capacity of the
+//! buckets actually run, which makes batch-window occupancy
+//! (`batched requests / slots run`) a two-counter division.
+//!
+//! The same instruments are registered in a [`Registry`], so the
+//! Prometheus text scrape (`METRICS` opcode, `Server::prometheus_metrics`)
+//! renders the very counters the hot path bumps — there is no second
+//! accounting to drift.
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
+
+use temco_obs::{percentile_log2_us, Counter, Gauge, Log2Histogram, Registry, LOG2_BUCKETS};
 
 /// Number of log2 latency buckets. Bucket 0 counts sub-microsecond
 /// latencies; bucket `i` (for `1 ≤ i ≤ 28`) holds latencies in
 /// `[2^(i−1), 2^i)` microseconds; the last bucket (29) is the overflow
 /// bucket `[2^28 µs, ∞)` — everything above ≈ 4.5 minutes.
-pub const LATENCY_BUCKETS: usize = 30;
+pub const LATENCY_BUCKETS: usize = LOG2_BUCKETS;
 
 /// Shared counters. One instance per [`crate::Server`], touched by every
-/// submitter and worker.
+/// submitter and worker. The handles are registered in `registry`, so a
+/// Prometheus scrape reads the same atomics the hot path bumps.
 pub(crate) struct Stats {
-    pub submitted: AtomicU64,
-    pub completed: AtomicU64,
-    pub rejected_full: AtomicU64,
-    pub rejected_closed: AtomicU64,
-    pub deadline_expired: AtomicU64,
+    registry: Registry,
+    pub submitted: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub rejected_full: Arc<Counter>,
+    pub rejected_closed: Arc<Counter>,
+    pub deadline_expired: Arc<Counter>,
     /// Requests accepted into the queue but failed at shutdown because no
     /// worker remained to drain them (manual-worker mode).
-    pub failed_shutdown: AtomicU64,
-    pub batches: AtomicU64,
-    latency: [AtomicU64; LATENCY_BUCKETS],
-    /// Executed batch sizes; index `size − 1`.
+    pub failed_shutdown: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    /// Sum of executed buckets' capacities — the denominator of
+    /// batch-window occupancy.
+    pub batch_slots: Arc<Counter>,
+    /// Requests currently queued; refreshed at scrape time.
+    pub queue_depth: Arc<Gauge>,
+    /// Worker count / per-worker slab bytes; set once at server startup.
+    pub workers: Arc<Gauge>,
+    pub slab_bytes_per_worker: Arc<Gauge>,
+    /// End-to-end latency (enqueue → response).
+    latency: Arc<Log2Histogram>,
+    /// Enqueue → batch-execution start.
+    pub queue_wait: Arc<Log2Histogram>,
+    /// Batch-execution start → response.
+    pub service: Arc<Log2Histogram>,
+    /// Executed batch sizes; index `size − 1`. Stays a raw array (integer
+    /// buckets, not log2 time) and is rendered into the scrape manually.
     batch_sizes: Box<[AtomicU64]>,
 }
 
 impl Stats {
     pub fn new(max_batch: usize) -> Stats {
+        let r = Registry::new();
         Stats {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            rejected_full: AtomicU64::new(0),
-            rejected_closed: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            failed_shutdown: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            latency: [const { AtomicU64::new(0) }; LATENCY_BUCKETS],
+            submitted: r
+                .counter("temco_requests_submitted_total", "Requests accepted into the queue."),
+            completed: r.counter(
+                "temco_requests_completed_total",
+                "Requests answered with an output tensor.",
+            ),
+            rejected_full: r.counter_with(
+                "temco_requests_rejected_total",
+                "Submissions rejected, by cause.",
+                &[("cause", "queue_full")],
+            ),
+            rejected_closed: r.counter_with(
+                "temco_requests_rejected_total",
+                "Submissions rejected, by cause.",
+                &[("cause", "shutting_down")],
+            ),
+            deadline_expired: r.counter_with(
+                "temco_requests_failed_total",
+                "Accepted requests that failed, by cause.",
+                &[("cause", "deadline_expired")],
+            ),
+            failed_shutdown: r.counter_with(
+                "temco_requests_failed_total",
+                "Accepted requests that failed, by cause.",
+                &[("cause", "shutdown_undrained")],
+            ),
+            batches: r.counter("temco_batches_total", "Engine runs (one per executed batch)."),
+            batch_slots: r.counter(
+                "temco_batch_slots_total",
+                "Capacity of the buckets executed; occupancy denominator.",
+            ),
+            queue_depth: r.gauge("temco_queue_depth", "Requests waiting in the queue."),
+            workers: r.gauge("temco_workers", "Worker threads serving this instance."),
+            slab_bytes_per_worker: r.gauge(
+                "temco_slab_bytes_per_worker",
+                "Slab bytes each worker holds across its bucket engines.",
+            ),
+            latency: r.histogram(
+                "temco_request_latency_seconds",
+                "End-to-end latency: enqueue to response.",
+            ),
+            queue_wait: r.histogram(
+                "temco_queue_wait_seconds",
+                "Scheduling delay: enqueue to batch-execution start.",
+            ),
+            service: r.histogram(
+                "temco_service_time_seconds",
+                "Compute time: batch-execution start to response.",
+            ),
             batch_sizes: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+            registry: r,
         }
     }
 
     /// Record one completed request's queue-to-response latency.
     pub fn record_latency(&self, d: Duration) {
-        self.latency[latency_bucket(d)].fetch_add(1, Relaxed);
-        self.completed.fetch_add(1, Relaxed);
+        self.latency.record(d);
+        self.completed.inc();
     }
 
-    /// Record one executed batch of `n` requests.
-    pub fn record_batch(&self, n: usize) {
-        self.batches.fetch_add(1, Relaxed);
+    /// Record one executed batch of `n` requests run on a bucket of
+    /// `slots` capacity.
+    pub fn record_batch(&self, n: usize, slots: usize) {
+        self.batches.inc();
+        self.batch_slots.add(slots as u64);
         self.batch_sizes[(n - 1).min(self.batch_sizes.len() - 1)].fetch_add(1, Relaxed);
     }
 
     pub fn latency_histogram(&self) -> Vec<u64> {
-        self.latency.iter().map(|c| c.load(Relaxed)).collect()
+        self.latency.counts().to_vec()
+    }
+
+    pub fn queue_wait_histogram(&self) -> Vec<u64> {
+        self.queue_wait.counts().to_vec()
+    }
+
+    pub fn service_histogram(&self) -> Vec<u64> {
+        self.service.counts().to_vec()
     }
 
     pub fn batch_histogram(&self) -> Vec<u64> {
         self.batch_sizes.iter().map(|c| c.load(Relaxed)).collect()
     }
+
+    /// Prometheus text exposition of every registered instrument plus the
+    /// batch-size histogram. `queue_depth` is sampled by the caller (the
+    /// queue owns its length); occupancy is derived here. Scrape-path
+    /// only — allocates freely.
+    pub fn render_prometheus(&self, queue_depth: usize) -> String {
+        self.queue_depth.set(queue_depth as f64);
+        let mut out = self.registry.render_prometheus();
+        let sizes = self.batch_histogram();
+        let total: u64 = sizes.iter().sum();
+        let batched: u64 = sizes.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        let slots = self.batch_slots.get();
+        let occupancy = if slots == 0 { 0.0 } else { batched as f64 / slots as f64 };
+        out.push_str("# HELP temco_batch_window_occupancy Executed requests / executed slots.\n");
+        out.push_str("# TYPE temco_batch_window_occupancy gauge\n");
+        out.push_str(&format!("temco_batch_window_occupancy {occupancy}\n"));
+        out.push_str("# HELP temco_batch_size Executed batch sizes.\n");
+        out.push_str("# TYPE temco_batch_size histogram\n");
+        let mut cum = 0u64;
+        for (i, &c) in sizes.iter().enumerate() {
+            cum += c;
+            if c == 0 && i + 1 != sizes.len() {
+                continue;
+            }
+            out.push_str(&format!("temco_batch_size_bucket{{le=\"{}\"}} {cum}\n", i + 1));
+        }
+        out.push_str(&format!("temco_batch_size_bucket{{le=\"+Inf\"}} {total}\n"));
+        out.push_str(&format!("temco_batch_size_sum {batched}\n"));
+        out.push_str(&format!("temco_batch_size_count {total}\n"));
+        out
+    }
 }
 
+/// Bucket index a latency lands in — the obs crate's log2-µs mapping,
+/// kept here as the pinned contract the tests assert against.
+#[cfg(test)]
 fn latency_bucket(d: Duration) -> usize {
-    let us = d.as_micros() as u64;
-    if us == 0 {
-        return 0; // sub-microsecond
-    }
-    ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    temco_obs::bucket_of_us(d.as_micros() as u64)
+}
+
+/// Interpolated percentile of a log2-µs bucket histogram, as a `Duration`.
+fn histogram_percentile(buckets: &[u64], p: f64) -> Duration {
+    Duration::from_secs_f64(percentile_log2_us(buckets, p) / 1e6)
 }
 
 /// Point-in-time view of a server's counters, returned by
@@ -97,11 +217,17 @@ pub struct StatsSnapshot {
     pub failed_shutdown: u64,
     /// Engine runs (one per executed batch).
     pub batches: u64,
+    /// Summed capacity of the buckets executed (occupancy denominator).
+    pub batch_slots: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
-    /// Latency counts in power-of-two microsecond buckets (see
+    /// End-to-end latency counts in power-of-two microsecond buckets (see
     /// [`LATENCY_BUCKETS`]).
     pub latency_buckets: Vec<u64>,
+    /// Scheduling delay (enqueue → batch start), same bucket layout.
+    pub queue_wait_buckets: Vec<u64>,
+    /// Compute time (batch start → response), same bucket layout.
+    pub service_buckets: Vec<u64>,
     /// Executed-batch-size counts; index `size − 1`.
     pub batch_size_hist: Vec<u64>,
     /// Worker threads serving this instance.
@@ -139,36 +265,35 @@ impl StatsSnapshot {
         weighted as f64 / total as f64
     }
 
-    /// Approximate latency percentile (`p` in 0..=100) from the histogram,
-    /// using the geometric midpoint of the winning bucket. The returned
-    /// value always lies inside the winning bucket's own range (the
-    /// overflow bucket reports its geometric "midpoint" as if it ended at
-    /// `2^29` µs, the next power of two past its start).
+    /// Batch-window occupancy: executed requests over executed slots
+    /// (1.0 = every batch ran completely full; 0 before any batch ran).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batch_slots == 0 {
+            return 0.0;
+        }
+        let batched: u64 =
+            self.batch_size_hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        batched as f64 / self.batch_slots as f64
+    }
+
+    /// End-to-end latency percentile (`p` in 0..=100), linearly
+    /// interpolated inside the winning log2 bucket
+    /// ([`temco_obs::percentile_log2_us`]). The returned value always
+    /// lies strictly inside the winning bucket's own range — including
+    /// the overflow bucket, whose quantiles stay below its nominal
+    /// `2^29` µs upper edge.
     pub fn latency_percentile(&self, p: f64) -> Duration {
-        let total: u64 = self.latency_buckets.iter().sum();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.latency_buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                if i == 0 {
-                    // Sub-microsecond bucket: report half a microsecond.
-                    return Duration::from_nanos(500);
-                }
-                // Bucket i covers [2^(i-1), 2^i) µs; geometric midpoint.
-                let hi = 1u64 << i;
-                let mid_us = (hi as f64 / std::f64::consts::SQRT_2).max(1.0);
-                return Duration::from_micros(mid_us as u64);
-            }
-        }
-        // Unreachable when total > 0 (the loop exhausts every bucket), but
-        // keep the fallback inside the histogram's own range: the overflow
-        // bucket's geometric midpoint, not a value past the last bucket.
-        let hi = 1u64 << (LATENCY_BUCKETS - 1);
-        Duration::from_micros((hi as f64 / std::f64::consts::SQRT_2) as u64)
+        histogram_percentile(&self.latency_buckets, p)
+    }
+
+    /// Queue-wait percentile (enqueue → batch-execution start).
+    pub fn queue_wait_percentile(&self, p: f64) -> Duration {
+        histogram_percentile(&self.queue_wait_buckets, p)
+    }
+
+    /// Service-time percentile (batch-execution start → response).
+    pub fn service_percentile(&self, p: f64) -> Duration {
+        histogram_percentile(&self.service_buckets, p)
     }
 
     /// Plain-text dump for logs and the wire `STATS` op.
@@ -184,9 +309,10 @@ impl StatsSnapshot {
         s.push_str(&format!("  failed (shutdown)  {}\n", self.failed_shutdown));
         s.push_str(&format!("  queue depth        {}\n", self.queue_depth));
         s.push_str(&format!(
-            "  batches            {} (mean size {:.2})\n",
+            "  batches            {} (mean size {:.2}, occupancy {:.2})\n",
             self.batches,
-            self.mean_batch_size()
+            self.mean_batch_size(),
+            self.batch_occupancy()
         ));
         s.push_str("  batch size hist    ");
         for (i, &c) in self.batch_size_hist.iter().enumerate() {
@@ -202,6 +328,18 @@ impl StatsSnapshot {
             p(self.latency_percentile(99.0)),
         ));
         s.push_str(&format!(
+            "  queue wait ms      p50 {:.3}  p95 {:.3}  p99 {:.3}\n",
+            p(self.queue_wait_percentile(50.0)),
+            p(self.queue_wait_percentile(95.0)),
+            p(self.queue_wait_percentile(99.0)),
+        ));
+        s.push_str(&format!(
+            "  service ms         p50 {:.3}  p95 {:.3}  p99 {:.3}\n",
+            p(self.service_percentile(50.0)),
+            p(self.service_percentile(95.0)),
+            p(self.service_percentile(99.0)),
+        ));
+        s.push_str(&format!(
             "  workers            {} × {:.2} MiB slab\n",
             self.workers,
             self.slab_bytes_per_worker as f64 / (1024.0 * 1024.0)
@@ -213,6 +351,26 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn snap_from(st: &Stats) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: st.submitted.get(),
+            completed: st.completed.get(),
+            rejected_full: st.rejected_full.get(),
+            rejected_closed: st.rejected_closed.get(),
+            deadline_expired: st.deadline_expired.get(),
+            failed_shutdown: st.failed_shutdown.get(),
+            batches: st.batches.get(),
+            batch_slots: st.batch_slots.get(),
+            queue_depth: 0,
+            latency_buckets: st.latency_histogram(),
+            queue_wait_buckets: st.queue_wait_histogram(),
+            service_buckets: st.service_histogram(),
+            batch_size_hist: st.batch_histogram(),
+            workers: 1,
+            slab_bytes_per_worker: 0,
+        }
+    }
 
     #[test]
     fn latency_buckets_are_log2_microseconds() {
@@ -236,20 +394,8 @@ mod tests {
         // inside that bucket's nominal [2^28, 2^29) µs span, not past it.
         let st = Stats::new(1);
         st.record_latency(Duration::from_secs(3600));
-        let snap = StatsSnapshot {
-            submitted: 1,
-            completed: 1,
-            rejected_full: 0,
-            rejected_closed: 0,
-            deadline_expired: 0,
-            failed_shutdown: 0,
-            batches: 0,
-            queue_depth: 0,
-            latency_buckets: st.latency_histogram(),
-            batch_size_hist: st.batch_histogram(),
-            workers: 1,
-            slab_bytes_per_worker: 0,
-        };
+        st.submitted.inc();
+        let snap = snap_from(&st);
         let p99 = snap.latency_percentile(99.0);
         assert!(p99 >= Duration::from_micros(1 << 28), "p99 {p99:?} below the overflow bucket");
         assert!(p99 < Duration::from_micros(1 << 29), "p99 {p99:?} past the histogram range");
@@ -261,6 +407,47 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_interpolate_against_exact_quantiles() {
+        // Regression for the old upper-edge / geometric-midpoint bias:
+        // 1..=1000 µs uniformly has exact p50 = 500 µs. The bucket edge
+        // estimator said 512, the geometric midpoint ~362 — both >2% off;
+        // linear interpolation inside [256, 512) lands within 1%.
+        let st = Stats::new(1);
+        let exact = |p: f64| (p / 100.0 * 1000.0) as u64;
+        for us in 1..=1000u64 {
+            st.record_latency(Duration::from_micros(us));
+        }
+        let snap = snap_from(&st);
+        for p in [25.0, 50.0, 75.0, 90.0] {
+            let got = snap.latency_percentile(p).as_secs_f64() * 1e6;
+            let want = exact(p) as f64;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.16, "p{p}: interpolated {got:.1} µs vs exact {want} µs");
+        }
+        // The p50 specifically (tight uniform mass) is within 1%.
+        let p50 = snap.latency_percentile(50.0).as_secs_f64() * 1e6;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.01, "p50 {p50:.1}");
+    }
+
+    #[test]
+    fn wait_and_service_histograms_are_recorded_separately() {
+        let st = Stats::new(4);
+        st.queue_wait.record(Duration::from_micros(10));
+        st.service.record(Duration::from_micros(5000));
+        st.record_latency(Duration::from_micros(5010));
+        st.submitted.inc();
+        let snap = snap_from(&st);
+        assert_eq!(snap.queue_wait_buckets.iter().sum::<u64>(), 1);
+        assert_eq!(snap.service_buckets.iter().sum::<u64>(), 1);
+        assert!(snap.queue_wait_percentile(50.0) < Duration::from_micros(20));
+        assert!(snap.service_percentile(50.0) > Duration::from_micros(1000));
+        assert!(snap.is_conserved_at_rest());
+        let text = snap.render();
+        assert!(text.contains("queue wait ms"));
+        assert!(text.contains("service ms"));
+    }
+
+    #[test]
     fn percentiles_and_mean_batch_from_histograms() {
         let st = Stats::new(8);
         for _ in 0..90 {
@@ -269,24 +456,14 @@ mod tests {
         for _ in 0..10 {
             st.record_latency(Duration::from_micros(100_000)); // bucket 17
         }
-        st.record_batch(1);
-        st.record_batch(8);
-        st.record_batch(8);
-        st.record_batch(40); // clamps to the top bucket
-        let snap = StatsSnapshot {
-            submitted: 100,
-            completed: 100,
-            rejected_full: 0,
-            rejected_closed: 0,
-            deadline_expired: 0,
-            failed_shutdown: 0,
-            batches: st.batches.load(Relaxed),
-            queue_depth: 0,
-            latency_buckets: st.latency_histogram(),
-            batch_size_hist: st.batch_histogram(),
-            workers: 1,
-            slab_bytes_per_worker: 0,
-        };
+        st.record_batch(1, 1);
+        st.record_batch(8, 8);
+        st.record_batch(8, 8);
+        st.record_batch(40, 8); // defensive: size clamps to the top bucket
+        for _ in 0..100 {
+            st.submitted.inc();
+        }
+        let snap = snap_from(&st);
         let p50 = snap.latency_percentile(50.0);
         assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(128));
         let p99 = snap.latency_percentile(99.0);
@@ -294,8 +471,38 @@ mod tests {
         assert_eq!(snap.batch_size_hist[0], 1);
         assert_eq!(snap.batch_size_hist[7], 3);
         assert!((snap.mean_batch_size() - 25.0 / 4.0).abs() < 1e-9);
+        // 1+8+8+40 requests over 1+8+8+40 slots: fully occupied.
+        assert!((snap.batch_occupancy() - 1.0).abs() < 1e-9);
         let text = snap.render();
         assert!(text.contains("mean size"));
         assert!(text.contains("p99"));
+    }
+
+    #[test]
+    fn prometheus_scrape_exposes_the_metrics_plane() {
+        let st = Stats::new(8);
+        st.submitted.add(5);
+        st.rejected_full.inc();
+        st.deadline_expired.inc();
+        st.queue_wait.record(Duration::from_micros(100));
+        st.service.record(Duration::from_micros(2000));
+        st.record_latency(Duration::from_micros(2100));
+        st.record_batch(3, 4);
+        st.workers.set(2.0);
+        let text = st.render_prometheus(7);
+        assert!(text.contains("temco_requests_submitted_total 5"));
+        assert!(text.contains("temco_requests_rejected_total{cause=\"queue_full\"} 1"));
+        assert!(text.contains("temco_requests_failed_total{cause=\"deadline_expired\"} 1"));
+        assert!(text.contains("temco_queue_depth 7"));
+        assert!(text.contains("temco_workers 2"));
+        assert!(text.contains("# TYPE temco_queue_wait_seconds histogram"));
+        assert!(text.contains("temco_queue_wait_seconds_count 1"));
+        assert!(text.contains("temco_service_time_seconds_count 1"));
+        assert!(text.contains("temco_request_latency_seconds_count 1"));
+        // Batch occupancy 3/4 and the integer-bucketed size histogram.
+        assert!(text.contains("temco_batch_window_occupancy 0.75"));
+        assert!(text.contains("temco_batch_size_bucket{le=\"3\"} 1"));
+        assert!(text.contains("temco_batch_size_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("temco_batch_slots_total 4"));
     }
 }

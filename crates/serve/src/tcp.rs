@@ -60,6 +60,10 @@ fn handle_conn(server: Server, stream: TcpStream, stop: Arc<AtomicBool>, addr: S
                 proto::write_frame(&mut writer, status::OK, server.stats().render().as_bytes())
                     .is_ok()
             }
+            op::METRICS => {
+                proto::write_frame(&mut writer, status::OK, server.prometheus_metrics().as_bytes())
+                    .is_ok()
+            }
             op::INFO => {
                 let mut p = Vec::new();
                 proto::put_shape(&mut p, server.sample_shape());

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use temco_obs::{kind, Recorder};
 use temco_runtime::Engine;
 use temco_tensor::Tensor;
 
@@ -60,6 +61,9 @@ pub struct Worker {
     staging: Vec<Tensor>,
     /// Gather buffer, capacity `max_batch`, reused every step.
     batch: Vec<Job>,
+    /// Optional span recorder ([`attach_recorder`](Worker::attach_recorder)).
+    /// Preallocated; recording in the hot loop stays allocation-free.
+    rec: Option<Recorder>,
 }
 
 impl Worker {
@@ -69,7 +73,20 @@ impl Worker {
         let staging =
             engines.iter().map(|e| Tensor::zeros(e.graph().shape(e.graph().inputs[0]))).collect();
         let batch = Vec::with_capacity(core.cfg.max_batch);
-        Worker { core, engines, staging, batch }
+        Worker { core, engines, staging, batch, rec: None }
+    }
+
+    /// Attach a preallocated span recorder. Subsequent steps record
+    /// `GATHER`/`STAGE`/`BATCH_RUN`/`SCATTER` spans into its ring without
+    /// allocating.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.rec = Some(rec);
+    }
+
+    /// Detach the recorder (to read its spans) — the inverse of
+    /// [`attach_recorder`](Worker::attach_recorder).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.rec.take()
     }
 
     /// Total slab bytes this worker holds across its bucket engines.
@@ -102,6 +119,7 @@ impl Worker {
     }
 
     fn gather_and_run(&mut self, first: Job) -> StepOutcome {
+        let gather_span = self.rec.as_ref().map(|r| r.start());
         self.batch.clear();
         self.batch.push(first);
         let window_end = Instant::now() + self.core.cfg.max_delay;
@@ -110,6 +128,9 @@ impl Worker {
                 Some(job) => self.batch.push(job),
                 None => break,
             }
+        }
+        if let (Some(r), Some(s)) = (self.rec.as_mut(), gather_span) {
+            r.finish(s, kind::GATHER, self.batch.len() as u32);
         }
         self.execute_batch()
     }
@@ -121,7 +142,7 @@ impl Worker {
         self.batch.retain_mut(|job| {
             if job.deadline.is_some_and(|d| d <= now) {
                 job.slot.complete_err(ServeError::DeadlineExceeded);
-                stats.deadline_expired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.deadline_expired.inc();
                 false
             } else {
                 true
@@ -138,7 +159,15 @@ impl Worker {
             .iter()
             .position(|&b| b >= n)
             .expect("max_batch is always the last bucket");
+        let bucket = self.core.buckets[bi] as u32;
+        // Everything queued before this instant is queue wait; everything
+        // after is service (stage + run + scatter).
+        let exec_start = Instant::now();
+        for job in &self.batch {
+            stats.queue_wait.record(exec_start.saturating_duration_since(job.enqueued));
+        }
         let sample_len = self.core.sample_numel;
+        let stage_span = self.rec.as_ref().map(|r| r.start());
         {
             let staged = self.staging[bi].data_mut();
             for (i, job) in self.batch.iter().enumerate() {
@@ -146,16 +175,31 @@ impl Worker {
             }
             staged[n * sample_len..].fill(0.0);
         }
+        if let (Some(r), Some(s)) = (self.rec.as_mut(), stage_span) {
+            r.finish(s, kind::STAGE, bucket);
+        }
+        let run_span = self.rec.as_ref().map(|r| r.start());
         let outs = self.engines[bi]
             .run(std::slice::from_ref(&self.staging[bi]))
             .expect("bucket plan validated at server construction");
+        if let (Some(r), Some(s)) = (self.rec.as_mut(), run_span) {
+            r.finish(s, kind::BATCH_RUN, bucket);
+        }
+        let scatter_span = self.rec.as_ref().map(|r| r.start());
         let out = outs[0].data();
         let out_len = self.core.output_numel;
         for (i, job) in self.batch.iter().enumerate() {
             job.slot.complete_ok(&out[i * out_len..(i + 1) * out_len]);
             stats.record_latency(job.enqueued.elapsed());
         }
-        stats.record_batch(n);
+        if let (Some(r), Some(s)) = (self.rec.as_mut(), scatter_span) {
+            r.finish(s, kind::SCATTER, bucket);
+        }
+        let service = exec_start.elapsed();
+        for _ in 0..n {
+            stats.service.record(service);
+        }
+        stats.record_batch(n, bucket as usize);
         self.batch.clear();
         StepOutcome::Ran(n)
     }

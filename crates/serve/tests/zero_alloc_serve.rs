@@ -111,3 +111,53 @@ fn warm_worker_step_performs_zero_heap_allocations() {
     assert_eq!(outcome, StepOutcome::Idle);
     assert_eq!(allocs, 0);
 }
+
+#[test]
+fn instrumented_worker_step_performs_zero_heap_allocations() {
+    // With a preallocated span recorder attached, the worker hot path
+    // additionally records gather/stage/run/scatter spans and the split
+    // queue-wait/service histograms — and must still not allocate.
+    let cfg = ServeConfig {
+        workers: 0,
+        max_batch: 4,
+        max_delay: Duration::ZERO,
+        queue_cap: 64,
+        default_deadline: None,
+    };
+    let server = Server::new(tiny_mlp(), cfg).unwrap();
+    let mut worker = server.manual_worker();
+    worker.attach_recorder(temco_obs::Recorder::with_capacity(256));
+    let samples: Vec<Tensor> =
+        (0..4).map(|i| Tensor::rand_uniform(&[1, 6], 90 + i, -1.0, 1.0)).collect();
+
+    // Warm both buckets a measured step will touch.
+    let warm1 = server.submit(samples[0].clone()).unwrap();
+    assert_eq!(worker.step(), StepOutcome::Ran(1));
+    warm1.wait().unwrap();
+    let warm4: Vec<_> = samples.iter().map(|s| server.submit(s.clone()).unwrap()).collect();
+    assert_eq!(worker.step(), StepOutcome::Ran(4));
+    for t in warm4 {
+        t.wait().unwrap();
+    }
+
+    let tickets: Vec<_> = samples.iter().map(|s| server.submit(s.clone()).unwrap()).collect();
+    let (outcome, allocs) = count_allocs(|| worker.step());
+    assert_eq!(outcome, StepOutcome::Ran(4));
+    assert_eq!(allocs, 0, "instrumented worker step allocated {allocs} times");
+    for t in tickets {
+        t.wait().unwrap();
+    }
+
+    // The recorder saw one span per stage for each executed batch.
+    let rec = worker.take_recorder().unwrap();
+    use temco_obs::kind;
+    for k in [kind::GATHER, kind::STAGE, kind::BATCH_RUN, kind::SCATTER] {
+        let n = rec.iter().filter(|e| e.kind == k).count();
+        assert_eq!(n, 3, "expected one {} span per executed batch", kind::label(k));
+    }
+    // The split histograms were fed without perturbing conservation.
+    let snap = server.stats();
+    assert_eq!(snap.queue_wait_buckets.iter().sum::<u64>(), 9);
+    assert_eq!(snap.service_buckets.iter().sum::<u64>(), 9);
+    assert!(snap.is_conserved_at_rest());
+}

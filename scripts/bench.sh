@@ -4,7 +4,8 @@
 #   ./scripts/bench.sh            # kernels (default): BENCH_kernels.json
 #   ./scripts/bench.sh kernels    # blocked-GEMM / e2e tracker
 #   ./scripts/bench.sh serve      # serving throughput + p99: BENCH_serve.json
-#   ./scripts/bench.sh all        # both
+#   ./scripts/bench.sh obs        # tracing overhead off vs on: BENCH_obs.json
+#   ./scripts/bench.sh all        # all of the above
 #
 # Knobs (forwarded to the harnesses):
 #   TEMCO_BENCH_REPS      timed repetitions per kernel point (default 5)
@@ -32,15 +33,25 @@ run_serve() {
   echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_serve.json}"
 }
 
+run_obs() {
+  echo "=== bench: cargo build --release -p temco-bench --bin bench_obs ==="
+  cargo build --release -p temco-bench --bin bench_obs
+  echo "=== bench: bench_obs ==="
+  ./target/release/bench_obs
+  echo "bench done: ${TEMCO_BENCH_OUT:-BENCH_obs.json}"
+}
+
 case "$target" in
   kernels) run_kernels ;;
   serve) run_serve ;;
+  obs) run_obs ;;
   all)
     run_kernels
     run_serve
+    run_obs
     ;;
   *)
-    echo "unknown bench target '$target' (expected: kernels | serve | all)" >&2
+    echo "unknown bench target '$target' (expected: kernels | serve | obs | all)" >&2
     exit 2
     ;;
 esac

@@ -23,6 +23,12 @@ cargo test -q
 echo "=== temco check (short mode) ==="
 cargo run --release -q --bin temco -- check --iters 8 --faults 2000 --seed 42
 
+# Observability overhead gate: interleaved off/on medians of the traced
+# engine (fig11-style); fail if span recording costs more than 3%.
+echo "=== obs overhead gate (<= ${TEMCO_OBS_GATE_PCT:-3}%) ==="
+cargo build --release -q -p temco-bench --bin bench_obs
+TEMCO_OBS_GATE_PCT="${TEMCO_OBS_GATE_PCT:-3}" ./target/release/bench_obs
+
 # Opt-in perf smoke: TEMCO_CHECK_BENCH=1 ./scripts/check.sh also refreshes
 # BENCH_kernels.json (a few extra minutes; off by default so CI stays fast).
 if [[ "${TEMCO_CHECK_BENCH:-0}" == "1" ]]; then

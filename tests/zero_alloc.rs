@@ -89,6 +89,37 @@ fn engine_steady_state_performs_zero_heap_allocations() {
 }
 
 #[test]
+fn instrumented_engine_run_performs_zero_heap_allocations() {
+    // Observability must not cost the invariant it observes: a steady-state
+    // `run_recorded` into a preallocated ring is as allocation-free as a
+    // plain `run`. (Building the report or trace JSON afterwards is the
+    // scrape path and may allocate — only the recording window is counted.)
+    let compiler = Compiler::default();
+    let cfg = ModelConfig::small();
+    let g = ModelId::Resnet18.build(&cfg);
+    let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 27);
+    let (opt, _) = compiler.compile(&g, OptLevel::SkipOptFusion);
+    let mut engine = Engine::new(opt).expect("engine construction failed");
+    let mut rec = temco_obs::Recorder::with_capacity(4 * (engine.graph().nodes.len() + 1));
+    engine.run_recorded(std::slice::from_ref(&x), &mut rec).expect("warmup run failed");
+    let (res, allocs) = count_allocs(|| {
+        engine.run_recorded(std::slice::from_ref(&x), &mut rec).map(|outs| outs.len())
+    });
+    assert!(res.is_ok());
+    assert_eq!(allocs, 0, "instrumented steady-state run heap-allocated {allocs} times");
+    assert_eq!(rec.dropped(), 0, "the preallocated ring must hold both runs");
+    // Let the ring wrap and keep recording: drop-oldest is counter math,
+    // not reallocation.
+    let (_, allocs) = count_allocs(|| {
+        for _ in 0..4 {
+            engine.run_recorded(std::slice::from_ref(&x), &mut rec).expect("wrapped run failed");
+        }
+    });
+    assert_eq!(allocs, 0, "a wrapping ring heap-allocated {allocs} times");
+    assert!(rec.dropped() > 0, "the ring was sized to wrap");
+}
+
+#[test]
 fn engine_agrees_with_per_node_baseline() {
     let compiler = Compiler::default();
     let cfg = ModelConfig::small();
