@@ -6,7 +6,8 @@
 //! kernel (`sgemm`) and the pre-blocking baseline kept as
 //! `sgemm_reference` — the `speedup` field is the acceptance gate for the
 //! blocked kernel (≥ 2× at 512³). End-to-end numbers run ResNet-18 in
-//! both executor modes (planned slab and per-node allocation).
+//! both executor modes (planned slab and per-node allocation) and record
+//! the alias-aware plan's static copy volume per inference (`bytes_moved`).
 //!
 //! All timings are median-of-N after a warmup run. Environment knobs:
 //! `TEMCO_BENCH_OUT` (output path, default `BENCH_kernels.json`),
@@ -98,9 +99,10 @@ fn main() {
     };
     let slab = run(ExecMode::Slab);
     let per_node = run(ExecMode::PerNode);
+    let bytes_moved = temco_runtime::plan_memory(&graph).bytes_moved;
     println!(
-        "ResNet-18 e2e (batch {}, {}x{}, median of {e2e_reps}): slab {:.4}s, per-node {:.4}s",
-        cfg.batch, cfg.image, cfg.image, slab, per_node
+        "ResNet-18 e2e (batch {}, {}x{}, median of {e2e_reps}): slab {:.4}s, per-node {:.4}s, {} bytes moved/run",
+        cfg.batch, cfg.image, cfg.image, slab, per_node, bytes_moved
     );
 
     let mut f = std::fs::File::create(&out_path).expect("create BENCH_kernels.json");
@@ -122,7 +124,8 @@ fn main() {
     writeln!(f, "  \"resnet18_e2e\": {{").unwrap();
     writeln!(f, "    \"batch\": {}, \"image\": {},", cfg.batch, cfg.image).unwrap();
     writeln!(f, "    \"slab_seconds\": {slab:.6},").unwrap();
-    writeln!(f, "    \"per_node_seconds\": {per_node:.6}").unwrap();
+    writeln!(f, "    \"per_node_seconds\": {per_node:.6},").unwrap();
+    writeln!(f, "    \"bytes_moved\": {bytes_moved}").unwrap();
     writeln!(f, "  }}").unwrap();
     writeln!(f, "}}").unwrap();
     println!("wrote {out_path}");

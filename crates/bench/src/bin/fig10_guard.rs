@@ -1,0 +1,141 @@
+//! CI guard for the Figure-10 memory numbers.
+//!
+//! Runs the zoo at a pinned quick scale (batch 1, 64×64 — small enough for
+//! the tier-1 gate, batch 1 so concat embedding is exercised) and checks
+//! two things per model, at the Decomposed variant and at the model's best
+//! TeMCO level:
+//!
+//! * **Aliasing always helps**: the alias-aware plan's value region and
+//!   copy volume are ≤ the alias-free layout's, and *strictly* smaller on
+//!   at least 8 of the 10 models (the PR's acceptance bar).
+//! * **No regression vs the committed baseline**: slab bytes and bytes
+//!   moved must not exceed `results/fig10_quick_baseline.csv`. Improvements
+//!   fail too — with a message telling you to re-run with `--write` — so
+//!   the committed numbers always match the code.
+//!
+//! `fig10_guard --write` regenerates the baseline after an intentional
+//! allocator change. The scale is pinned in code (no env overrides) so the
+//! baseline is comparable across machines.
+
+use std::fmt::Write as _;
+
+use temco::{Compiler, OptLevel};
+use temco_bench::temco_level;
+use temco_ir::liveness;
+use temco_models::{ModelConfig, ModelId};
+use temco_runtime::{plan_allocation_with_mode, AliasMode};
+
+const BASELINE: &str = "results/fig10_quick_baseline.csv";
+
+struct Row {
+    model: &'static str,
+    variant: String,
+    slab_bytes: usize,
+    bytes_moved: usize,
+    slab_bytes_noalias: usize,
+    bytes_moved_noalias: usize,
+}
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    // Pinned quick scale — intentionally NOT harness_config: env overrides
+    // would silently desync the committed baseline.
+    let cfg =
+        ModelConfig { batch: 1, image: 64, num_classes: 100, classifier_width: 256, seed: 42 };
+    let compiler = Compiler::default();
+
+    let mut rows = Vec::new();
+    let mut improved_both = 0usize;
+    for model in ModelId::all() {
+        let graph = model.build(&cfg);
+        let mut model_improves = (false, false);
+        for (label, level) in [("Decomposed", OptLevel::Decomposed), ("TeMCO", temco_level(model))]
+        {
+            let (g, _) = compiler.compile(&graph, level);
+            let lv = liveness(&g);
+            let full = plan_allocation_with_mode(&g, &lv, AliasMode::Full);
+            let off = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
+            assert!(
+                full.value_bytes <= off.value_bytes && full.bytes_moved <= off.bytes_moved,
+                "{} {label}: aliasing made things worse (slab {} vs {}, moved {} vs {})",
+                model.name(),
+                full.value_bytes,
+                off.value_bytes,
+                full.bytes_moved,
+                off.bytes_moved
+            );
+            model_improves.0 |= full.value_bytes < off.value_bytes;
+            model_improves.1 |= full.bytes_moved < off.bytes_moved;
+            rows.push(Row {
+                model: model.name(),
+                variant: label.to_string(),
+                slab_bytes: full.value_bytes,
+                bytes_moved: full.bytes_moved,
+                slab_bytes_noalias: off.value_bytes,
+                bytes_moved_noalias: off.bytes_moved,
+            });
+        }
+        if model_improves.0 && model_improves.1 {
+            improved_both += 1;
+        }
+        println!(
+            "{:<14} slab {}  moved {}",
+            model.name(),
+            if model_improves.0 { "improved" } else { "tied" },
+            if model_improves.1 { "improved" } else { "tied" },
+        );
+    }
+    assert!(
+        improved_both >= 8,
+        "aliasing strictly improved both slab and moved bytes on only {improved_both}/10 models (need ≥ 8)"
+    );
+    println!("aliasing strictly improved slab AND moved bytes on {improved_both}/10 models");
+
+    let mut csv = String::from(
+        "model,variant,slab_bytes,bytes_moved,slab_bytes_noalias,bytes_moved_noalias\n",
+    );
+    for r in &rows {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{}",
+            r.model,
+            r.variant,
+            r.slab_bytes,
+            r.bytes_moved,
+            r.slab_bytes_noalias,
+            r.bytes_moved_noalias
+        );
+    }
+
+    if write {
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(BASELINE, &csv).expect("write baseline");
+        println!("wrote {BASELINE}");
+        return;
+    }
+
+    let baseline = std::fs::read_to_string(BASELINE)
+        .unwrap_or_else(|e| panic!("cannot read {BASELINE} ({e}) — run `fig10_guard --write`"));
+    if baseline != csv {
+        // Diagnose direction per row before failing.
+        let parse = |s: &str| -> Vec<Vec<String>> {
+            s.lines().skip(1).map(|l| l.split(',').map(str::to_string).collect()).collect()
+        };
+        let old = parse(&baseline);
+        for (r, o) in rows.iter().zip(&old) {
+            let old_slab: usize = o[2].parse().unwrap_or(0);
+            let old_moved: usize = o[3].parse().unwrap_or(0);
+            if r.slab_bytes > old_slab || r.bytes_moved > old_moved {
+                eprintln!(
+                    "REGRESSION {} {}: slab {} → {}, moved {} → {}",
+                    r.model, r.variant, old_slab, r.slab_bytes, old_moved, r.bytes_moved
+                );
+            }
+        }
+        panic!(
+            "fig10 quick numbers drifted from {BASELINE} — if intentional, \
+             re-run `fig10_guard --write` and commit the new baseline"
+        );
+    }
+    println!("fig10 quick numbers match {BASELINE}");
+}

@@ -5,6 +5,12 @@
 //! Skip-Opt+Fusion) and the geomean internal-tensor reduction of full TeMCO
 //! versus the original models — the paper's headline 75.7%.
 //!
+//! Two extra columns track the alias-aware allocator: the *slab* column is
+//! the value region of the executor's actual (alias-aware) plan next to the
+//! alias-free layout, and *moved* is the per-inference copy volume under
+//! both, so the in-place/embedding win is visible per model. The CSV keeps
+//! both sides of each pair for the regression guard (`fig10_guard`).
+//!
 //! Runs at paper scale by default (batch 4, 224×224, Tucker ratio 0.1);
 //! override with `TEMCO_IMAGE` / `TEMCO_BATCH` for a quick pass. Peak
 //! memory comes from the static planner, so no convolutions are executed.
@@ -13,15 +19,20 @@ use std::io::Write as _;
 
 use temco::Compiler;
 use temco_bench::{geomean, harness_config, mib, paper_variants, results_dir};
+use temco_ir::liveness;
 use temco_models::ModelId;
-use temco_runtime::plan_memory;
+use temco_runtime::{plan_allocation_with_mode, plan_memory, AliasMode};
 
 fn main() {
     let cfg = harness_config(224, 4);
     let compiler = Compiler::default();
     let csv_path = results_dir().join("fig10_peak_memory.csv");
     let mut csv = std::fs::File::create(&csv_path).expect("create csv");
-    writeln!(csv, "model,variant,weight_bytes,peak_internal_bytes,slab_bytes").unwrap();
+    writeln!(
+        csv,
+        "model,variant,weight_bytes,peak_internal_bytes,slab_bytes,slab_bytes_noalias,bytes_moved,bytes_moved_noalias"
+    )
+    .unwrap();
 
     println!(
         "Figure 10 — peak memory usage (batch {}, {}×{}, Tucker ratio 0.1)",
@@ -35,21 +46,25 @@ fn main() {
         let variants = paper_variants(model, &graph, &compiler);
         println!("\n{}:", model.name());
         println!(
-            "    {:<18} {:>12} {:>14} {:>14}",
-            "variant", "weights", "internal", "slab (frag)"
+            "    {:<18} {:>12} {:>14} {:>22} {:>20}",
+            "variant", "weights", "internal", "slab (vs no-alias)", "moved (vs no-alias)"
         );
         let mut original = 0usize;
         let mut decomposed = 0usize;
         let mut last = 0usize;
         for v in &variants {
             let plan = plan_memory(&v.graph);
+            let lv = liveness(&v.graph);
+            let off = plan_allocation_with_mode(&v.graph, &lv, AliasMode::Off);
             println!(
-                "    {:<18} {:>9.2} MiB {:>11.2} MiB {:>8.2} MiB ({:.3})",
+                "    {:<18} {:>9.2} MiB {:>11.2} MiB {:>9.2} ({:>7.2}) MiB {:>8.2} ({:>6.2}) MiB",
                 v.label,
                 mib(plan.weight_bytes),
                 mib(plan.peak_internal_bytes),
                 mib(plan.slab_bytes),
-                plan.fragmentation()
+                mib(off.value_bytes),
+                mib(plan.bytes_moved),
+                mib(off.bytes_moved),
             );
             if plan.fragmentation() > 1.15 {
                 eprintln!(
@@ -61,12 +76,15 @@ fn main() {
             }
             writeln!(
                 csv,
-                "{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{}",
                 model.name(),
                 v.label,
                 plan.weight_bytes,
                 plan.peak_internal_bytes,
-                plan.slab_bytes
+                plan.slab_bytes,
+                off.value_bytes,
+                plan.bytes_moved,
+                off.bytes_moved,
             )
             .unwrap();
             match v.label.as_str() {

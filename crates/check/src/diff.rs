@@ -5,9 +5,12 @@
 //! (ratio < 1 truncates singular values):
 //!
 //! * **Same graph, different execution paths** — per-node reference
-//!   executor vs slab executor vs `Engine` must agree to tight tolerance;
-//!   they run the same kernels, differing only in where memory comes from.
-//!   Any drift here is a memory-planning bug (aliasing, stale slab bytes).
+//!   executor vs slab executor (alias-aware and alias-free layouts) vs
+//!   `Engine` must agree to tight tolerance; they run the same kernels,
+//!   differing only in where memory comes from. Any drift here is a
+//!   memory-planning bug (aliasing, stale slab bytes). The alias A/B pair
+//!   additionally asserts sharing never grows the footprint or the copy
+//!   volume.
 //! * **Opt levels vs the `Decomposed` baseline** — `Fusion` / `Skip-Opt` /
 //!   `Skip-Opt+Fusion` rewrite the *decomposed* graph semantics-preservingly,
 //!   so they are compared against the `Decomposed` output (not the original)
@@ -25,8 +28,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use temco::{Compiler, CompilerOptions, DecomposeOptions, Method, OptLevel};
-use temco_ir::Graph;
-use temco_runtime::{execute, Engine, ExecMode, ExecOptions};
+use temco_ir::{liveness, Graph};
+use temco_runtime::{execute, plan_allocation_with_mode, AliasMode, Engine, ExecMode, ExecOptions};
 use temco_tensor::Tensor;
 
 use crate::gen::{random_cnn, GenConfig};
@@ -166,6 +169,11 @@ pub fn check_graph(g: &Graph, seed: u64, cfg: &DiffConfig) -> Result<(), Failure
     let engine_out = run_engine(g, &input, seed, "engine")?;
     compare(seed, "engine-vs-pernode", &engine_out, &reference, PATH_TOL)?;
 
+    // Alias A/B tier: the alias-free layout must pass the same independent
+    // rules (which sanction sharing, never require it), execute to the same
+    // numbers, and never beat the alias-aware plan on footprint or copies.
+    check_alias_ab(g, &input, &reference, seed)?;
+
     // Rebatch buckets: batched slab run reproduces each sample's batch-1
     // output row-for-row.
     for bucket in ladder(cfg.max_batch) {
@@ -212,7 +220,11 @@ fn run_mode(
     stage: &str,
 ) -> Result<Vec<Tensor>, Failure> {
     let res = guarded(|| {
-        execute(g, std::slice::from_ref(input), ExecOptions { time_nodes: false, mode })
+        execute(
+            g,
+            std::slice::from_ref(input),
+            ExecOptions { time_nodes: false, mode, ..Default::default() },
+        )
     })
     .map_err(|m| fail(seed, stage, format!("executor panicked: {m}")))?
     .map_err(|e| fail(seed, stage, format!("executor error: {e}")))?;
@@ -224,6 +236,70 @@ fn run_mode(
         ));
     }
     Ok(res.outputs)
+}
+
+/// Alias-analysis A/B check: plan and run the graph with aliasing **off**,
+/// verify the independent invariants accept that layout too, compare its
+/// outputs against the per-node reference, and assert the alias-aware plan
+/// is pointwise no worse (value-region bytes, bytes moved) — storage
+/// sharing is an optimization, never a trade.
+fn check_alias_ab(
+    g: &Graph,
+    input: &Tensor,
+    reference: &[Tensor],
+    seed: u64,
+) -> Result<(), Failure> {
+    let stage = "slab-noalias";
+    let (plan_full, plan_off) = guarded(|| {
+        let lv = liveness(g);
+        (
+            plan_allocation_with_mode(g, &lv, AliasMode::Full),
+            plan_allocation_with_mode(g, &lv, AliasMode::Off),
+        )
+    })
+    .map_err(|m| fail(seed, stage, format!("planner panicked: {m}")))?;
+    let errs = invariants::check_plan_against(g, &plan_off);
+    if !errs.is_empty() {
+        return Err(fail(seed, "plan-invariants-noalias", errs.join("; ")));
+    }
+    if plan_full.value_bytes > plan_off.value_bytes {
+        return Err(fail(
+            seed,
+            "alias-footprint",
+            format!(
+                "aliasing grew the value region: {} > {}",
+                plan_full.value_bytes, plan_off.value_bytes
+            ),
+        ));
+    }
+    if plan_full.bytes_moved > plan_off.bytes_moved {
+        return Err(fail(
+            seed,
+            "alias-movement",
+            format!(
+                "aliasing grew data movement: {} > {}",
+                plan_full.bytes_moved, plan_off.bytes_moved
+            ),
+        ));
+    }
+
+    let res = guarded(|| {
+        execute(
+            g,
+            std::slice::from_ref(input),
+            ExecOptions { time_nodes: false, alias: AliasMode::Off, ..Default::default() },
+        )
+    })
+    .map_err(|m| fail(seed, stage, format!("executor panicked: {m}")))?
+    .map_err(|e| fail(seed, stage, format!("executor error: {e}")))?;
+    if res.slab_high_water != res.slab_bytes {
+        return Err(fail(
+            seed,
+            stage,
+            format!("dynamic high-water {} ≠ planned slab {}", res.slab_high_water, res.slab_bytes),
+        ));
+    }
+    compare(seed, "noalias-vs-pernode", &res.outputs, reference, PATH_TOL)
 }
 
 fn run_engine(g: &Graph, input: &Tensor, seed: u64, stage: &str) -> Result<Vec<Tensor>, Failure> {

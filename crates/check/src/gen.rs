@@ -7,9 +7,12 @@
 //! dims never depend on batch). The op mix deliberately covers what the
 //! compiler passes rewrite — plain and grouped convolutions, pools,
 //! activations, shape-preserving skip chains (`conv → act → conv → add`),
-//! concats, and an optional classifier head — so a differential run over the
+//! concats — including fan-ins whose every branch dies at the concat (the
+//! alias analysis's embedding target) — in-place-eligible activation
+//! chains, and an optional classifier head — so a differential run over the
 //! generated corpus exercises decomposition, skip-opt, the layer
-//! transformations, and fusion, not just straight-line conv stacks.
+//! transformations, fusion, and alias-aware allocation, not just
+//! straight-line conv stacks.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,7 +91,7 @@ pub fn random_cnn(seed: u64, cfg: &GenConfig) -> Graph {
     let mut last = frontier[0];
 
     for i in 0..cfg.ops {
-        let roll = draw(&mut rng, 0, 9);
+        let roll = draw(&mut rng, 0, 11);
         let emitted = match roll {
             // Convolution (dense or grouped) — the most common op, and the
             // one every compiler pass cares about.
@@ -188,6 +191,44 @@ pub fn random_cnn(seed: u64, cfg: &GenConfig) -> Graph {
                         let v = g.concat(&[a.id, b.id], format!("concat{i}"));
                         Val { id: v, c: a.c + b.c, ..a }
                     })
+            }
+            // Concat of 2–3 fresh single-consumer branches off one source —
+            // every branch dies at the concat, which is exactly the shape
+            // the alias analysis embeds copy-free at batch 1 (and must
+            // still copy correctly at rebatched sizes).
+            10 => {
+                let src = *pick(&mut rng, &frontier);
+                let branches = draw(&mut rng, 2, 3);
+                let mut parts = Vec::new();
+                let mut c_total = 0usize;
+                for bi in 0..branches {
+                    let c_out = draw(&mut rng, 1, 4);
+                    if c_total + c_out > cfg.max_channels {
+                        break;
+                    }
+                    let w = Tensor::he_conv_weight(c_out, src.c, 1, 1, next_wseed());
+                    let v = g.conv2d(src.id, w, None, 1, 0, format!("cat{i}_b{bi}"));
+                    parts.push(v);
+                    c_total += c_out;
+                }
+                (parts.len() >= 2).then(|| {
+                    let v = g.concat(&parts, format!("cat{i}"));
+                    Val { id: v, c: c_total, ..src }
+                })
+            }
+            // A chain of 2–3 activations, each consuming the previous value
+            // exactly once: every link is in-place eligible, so the whole
+            // chain should collapse into a single buffer.
+            11 => {
+                let src = *pick(&mut rng, &frontier);
+                let len = draw(&mut rng, 2, 3);
+                let mut v = src.id;
+                for (step, kind) in
+                    [ActKind::Relu, ActKind::Tanh, ActKind::Sigmoid][..len].iter().enumerate()
+                {
+                    v = g.activation(v, *kind, format!("chain{i}_{step}"));
+                }
+                Some(Val { id: v, ..src })
             }
             // A whole shape-preserving skip chain: conv → act → conv → add.
             // This is the exact pattern skip-opt and fusion hunt for.

@@ -1,14 +1,24 @@
 //! Independent allocation-plan invariant checking.
 //!
 //! `AllocationPlan::validate` is the allocator checking its own work; a bug
-//! in the shared assumptions (liveness, sizes) passes both. This module
-//! re-derives every invariant from the graph alone — its own liveness walk,
-//! its own byte accounting — and compares the plan against that, so a
-//! planner/liveness bug has to fool two independent implementations to slip
-//! through. The invariants:
+//! in the shared assumptions (liveness, sizes, alias analysis) passes both.
+//! This module re-derives every invariant from the graph alone — its own
+//! liveness walk, its own byte accounting, its own reading of which ops may
+//! legally share storage — and compares the plan against that, so a
+//! planner/liveness/aliasing bug has to fool two independent
+//! implementations to slip through. The invariants:
 //!
-//! 1. **No aliasing of live values** — two buffers whose (re-derived)
-//!    liveness intervals overlap in time must not overlap in the slab.
+//! 1. **Write simulation** — walk the schedule and compute, per node, the
+//!    byte regions its kernel writes (the whole output extent; for a
+//!    batch-1 concat, only the slots of operands that were *not* produced
+//!    in place). Any simultaneously-live value intersecting a written
+//!    region is an aliasing violation **unless** the graph itself
+//!    sanctions the reuse: an elementwise/activation op overwriting its
+//!    sole dying same-size operand, or a monotone pool overwriting the
+//!    prefix of its sole dying input. Crucially the sanction is re-derived
+//!    from the graph and the buffer offsets — never read from the plan's
+//!    own `node_exec` table, which a buggy planner could make agree with a
+//!    buggy layout.
 //! 2. **Exact coverage** — every materialized value has exactly one buffer
 //!    of exactly its byte size, with the plan's `[begin, end]` matching the
 //!    re-derived interval.
@@ -16,13 +26,20 @@
 //!    the value region, aligned, inside the slab; per-node scratch never
 //!    exceeds the arena.
 //! 4. **Peak accounting** — the plan's `peak_live_bytes` equals the
-//!    re-computed max over schedule steps of simultaneously-live bytes, and
-//!    the value region is at least that big.
+//!    re-computed max over schedule steps of the *union measure* of live
+//!    buffer extents (an alias class counts once), and the value region is
+//!    at least that big.
+//! 5. **Movement accounting** — the plan's `bytes_moved` equals the
+//!    re-derived copy volume: input staging, concat slots not eliminated
+//!    by embedding, flattens not running in place.
 
-use temco_ir::{liveness, Graph, ValueId};
+use temco_ir::{liveness, Graph, Liveness, Op, ValueId};
 use temco_runtime::{plan_allocation_with, AllocationPlan, SCRATCH_ALIGN};
 
-/// Plan the graph and check the result. Empty ⇔ all invariants hold.
+const F32: usize = std::mem::size_of::<f32>();
+
+/// Plan the graph (full alias mode, the executor's default) and check the
+/// result. Empty ⇔ all invariants hold.
 pub fn check_plan(g: &Graph) -> Vec<String> {
     let lv = liveness(g);
     let plan = plan_allocation_with(g, &lv);
@@ -30,11 +47,22 @@ pub fn check_plan(g: &Graph) -> Vec<String> {
 }
 
 /// Check an explicit plan against `g` (used both on real planner output and
-/// on deliberately-sabotaged plans in the harness's self-tests).
+/// on deliberately-sabotaged plans in the harness's self-tests). Works on
+/// plans from any [`temco_runtime::AliasMode`]: which storage sharing is
+/// legal is re-derived from the graph and the buffer offsets alone.
 pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
     let mut errs = Vec::new();
     let lv = liveness(g);
     let name = |v: ValueId| g.values[v.0 as usize].name.clone();
+
+    // Offsets come from the buffer list, NOT from `plan.offset()` — the
+    // self-sabotage injections mutate buffers, and a checker reading a
+    // separate lookup table would be blind to exactly the drift it exists
+    // to catch.
+    let mut off = vec![usize::MAX; g.values.len()];
+    for b in &plan.buffers {
+        off[b.value.0 as usize] = b.offset;
+    }
 
     // 2. Exact coverage: one buffer per materialized value, right size,
     //    right interval.
@@ -62,12 +90,6 @@ pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
                         iv.end
                     ));
                 }
-                if plan.offset(iv.value) != Some(b.offset) {
-                    errs.push(format!(
-                        "offset lookup for '{}' disagrees with its buffer",
-                        name(iv.value)
-                    ));
-                }
             }
             many => errs.push(format!(
                 "value '{}' has {} buffers (must be exactly one)",
@@ -77,24 +99,39 @@ pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
         }
     }
 
-    // 1. No two simultaneously-live values overlap in the slab. Time
-    //    overlap comes from the *re-derived* liveness, not the plan's own
-    //    begin/end (a plan lying about lifetimes must not excuse aliasing).
-    for (i, a) in plan.buffers.iter().enumerate() {
-        for b in &plan.buffers[i + 1..] {
-            if !lv.overlap(a.value, b.value) {
+    // 1. Write simulation over the re-derived liveness. Time overlap comes
+    //    from our own walk, not the plan's begin/end (a plan lying about
+    //    lifetimes must not excuse aliasing).
+    for (i, node) in g.nodes.iter().enumerate() {
+        let out = node.output;
+        let out_off = off[out.0 as usize];
+        if out_off == usize::MAX {
+            continue; // coverage already flagged it
+        }
+        let out_bytes = g.value_bytes(out);
+
+        // Byte regions this node's kernel writes.
+        let written = written_regions(g, node, out_off, out_bytes, &off);
+
+        for iv in lv.intervals() {
+            let w = iv.value;
+            if w == out || iv.begin > i || i > iv.end {
                 continue;
             }
-            let disjoint = a.offset + a.bytes <= b.offset || b.offset + b.bytes <= a.offset;
-            if !disjoint {
+            let w_off = off[w.0 as usize];
+            if w_off == usize::MAX {
+                continue;
+            }
+            let w_bytes = g.value_bytes(w);
+            let hit = written.iter().any(|&(s, e)| w_off < e && s < w_off + w_bytes);
+            if hit && !reuse_sanctioned(g, &lv, node, i, w, w_off, w_bytes, out_off, out_bytes) {
                 errs.push(format!(
-                    "live values '{}' [{}, {}) and '{}' [{}, {}) alias in the slab",
-                    name(a.value),
-                    a.offset,
-                    a.offset + a.bytes,
-                    name(b.value),
-                    b.offset,
-                    b.offset + b.bytes
+                    "node '{}' (step {i}) writes over live value '{}' [{}, {}) — \
+                     values alias in the slab without a sanctioned reuse",
+                    node.name,
+                    name(w),
+                    w_off,
+                    w_off + w_bytes
                 ));
             }
         }
@@ -150,17 +187,30 @@ pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
         ));
     }
 
-    // 4. Peak accounting from first principles: walk the schedule, sum the
-    //    bytes of values live at each step.
-    let peak = (0..g.nodes.len())
-        .map(|step| {
-            lv.intervals()
-                .filter(|iv| iv.begin <= step && step <= iv.end)
-                .map(|iv| g.value_bytes(iv.value))
-                .sum::<usize>()
-        })
-        .max()
-        .unwrap_or(0);
+    // 4. Peak accounting from first principles: the union measure of live
+    //    buffer extents per step (values sharing bytes count once).
+    let mut peak = 0usize;
+    for step in 0..g.nodes.len() {
+        let mut spans: Vec<(usize, usize)> = lv
+            .intervals()
+            .filter(|iv| iv.begin <= step && step <= iv.end)
+            .filter_map(|iv| {
+                let o = off[iv.value.0 as usize];
+                (o != usize::MAX).then(|| (o, o + g.value_bytes(iv.value)))
+            })
+            .collect();
+        spans.sort_unstable();
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for (s, e) in spans {
+            let s = s.max(cursor);
+            if e > s {
+                covered += e - s;
+                cursor = e;
+            }
+        }
+        peak = peak.max(covered);
+    }
     if plan.peak_live_bytes != peak {
         errs.push(format!(
             "plan claims {} peak live bytes, schedule walk finds {}",
@@ -174,30 +224,191 @@ pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
         ));
     }
 
+    // 5. Movement accounting: re-derive every copy the plan's layout still
+    //    requires and compare totals.
+    let mut moved = 0usize;
+    for node in &g.nodes {
+        let out_off = off[node.output.0 as usize];
+        if out_off == usize::MAX {
+            continue;
+        }
+        moved += match &node.op {
+            Op::Input => g.value_bytes(node.output),
+            Op::Concat => {
+                let mut regions = Vec::new();
+                concat_slots(g, node, out_off, &off, |v, embedded, _slot| {
+                    if !embedded {
+                        regions.push(g.value_bytes(v));
+                    }
+                });
+                regions.iter().sum()
+            }
+            Op::Flatten => {
+                if off[node.inputs[0].0 as usize] == out_off {
+                    0
+                } else {
+                    g.value_bytes(node.output)
+                }
+            }
+            _ => 0,
+        };
+    }
+    if plan.bytes_moved != moved {
+        errs.push(format!(
+            "plan claims {} bytes moved, layout walk finds {}",
+            plan.bytes_moved, moved
+        ));
+    }
+
     errs
 }
 
-/// Sabotage a valid plan for the harness's self-test: force the two largest
+/// Walk a concat's operand slots in channel order, reporting for each
+/// operand whether its buffer already *is* its slot (embedded — produced in
+/// place, no copy) and the slot's byte range. Embedding is only possible at
+/// batch 1, where each operand's slot is one contiguous channel slice of
+/// the output; at batch > 1 the slices interleave and every operand copies.
+fn concat_slots(
+    g: &Graph,
+    node: &temco_ir::Node,
+    out_off: usize,
+    off: &[usize],
+    mut f: impl FnMut(ValueId, bool, (usize, usize)),
+) {
+    let oshape = g.shape(node.output);
+    let batch1 = oshape[0] == 1;
+    let plane_bytes: usize = oshape[2..].iter().product::<usize>() * F32;
+    let mut c_off = 0usize;
+    for (j, &v) in node.inputs.iter().enumerate() {
+        let c = g.shape(v)[1];
+        let slot = (out_off + c_off * plane_bytes, out_off + (c_off + c) * plane_bytes);
+        let embedded = batch1
+            && off[v.0 as usize] == slot.0
+            && node.inputs.iter().filter(|&&u| u == v).count() == 1
+            && !g.outputs.contains(&v)
+            && node.inputs[..j].iter().all(|&u| u != v);
+        f(v, embedded, slot);
+        c_off += c;
+    }
+}
+
+/// The byte regions node `node`'s kernel writes. For most ops this is the
+/// whole output extent; a batch-1 concat skips the slots of embedded
+/// operands (their producers wrote them already — the concat itself touches
+/// nothing there).
+fn written_regions(
+    g: &Graph,
+    node: &temco_ir::Node,
+    out_off: usize,
+    out_bytes: usize,
+    off: &[usize],
+) -> Vec<(usize, usize)> {
+    if matches!(node.op, Op::Concat) {
+        let mut regions = Vec::new();
+        concat_slots(g, node, out_off, off, |_v, embedded, slot| {
+            if !embedded {
+                regions.push(slot);
+            }
+        });
+        regions
+    } else {
+        vec![(out_off, out_off + out_bytes)]
+    }
+}
+
+/// Whether the graph sanctions node `node` (at step `i`) overwriting live
+/// value `w`'s bytes — re-derived from op semantics, liveness, and offsets:
+///
+/// * elementwise/activation ops may overwrite their **sole** occurrence of
+///   a dying (`end == i`), non-output operand occupying exactly the output
+///   extent (in-place execution);
+/// * monotone pools (max/avg/global-avg) may overwrite the **prefix** of
+///   their sole dying, non-output input — the traversal never reads a
+///   position it has already written (the DMO argument).
+#[allow(clippy::too_many_arguments)]
+fn reuse_sanctioned(
+    g: &Graph,
+    lv: &Liveness,
+    node: &temco_ir::Node,
+    i: usize,
+    w: ValueId,
+    w_off: usize,
+    w_bytes: usize,
+    out_off: usize,
+    out_bytes: usize,
+) -> bool {
+    let dies_here = lv.end[w.0 as usize] == i && !g.outputs.contains(&w);
+    let sole_operand = node.inputs.iter().filter(|&&u| u == w).count() == 1;
+    match &node.op {
+        Op::Activation(_) | Op::Affine { .. } | Op::Add | Op::Flatten | Op::Softmax => {
+            dies_here && sole_operand && w_off == out_off && w_bytes == out_bytes
+        }
+        Op::Pool { .. } | Op::GlobalAvgPool => {
+            dies_here
+                && node.inputs.first() == Some(&w)
+                && sole_operand
+                && w_off == out_off
+                && out_bytes <= w_bytes
+        }
+        _ => false,
+    }
+}
+
+/// Sabotage a valid plan for the harness's self-test: force two
 /// time-overlapping buffers to the same offset (a classic allocator bug),
-/// returning `None` when the graph has no two simultaneously-live values.
+/// picking the largest candidate pair the checker actually flags.
+/// Returns `None` when the graph admits no detectable injection (no two
+/// simultaneously-live values at distinct offsets).
 pub fn inject_aliasing(g: &Graph, plan: &mut AllocationPlan) -> Option<(ValueId, ValueId)> {
     let lv = liveness(g);
-    let mut best: Option<(usize, usize, usize)> = None;
+    let mut cands: Vec<(usize, usize, usize)> = Vec::new();
     for i in 0..plan.buffers.len() {
         for j in i + 1..plan.buffers.len() {
             let (a, b) = (&plan.buffers[i], &plan.buffers[j]);
-            if lv.overlap(a.value, b.value) {
-                let sz = a.bytes + b.bytes;
-                if best.is_none_or(|(_, _, s)| sz > s) {
-                    best = Some((i, j, sz));
-                }
+            if lv.overlap(a.value, b.value) && a.offset != b.offset {
+                cands.push((i, j, a.bytes + b.bytes));
             }
         }
     }
-    let (i, j, _) = best?;
-    let victims = (plan.buffers[i].value, plan.buffers[j].value);
-    plan.buffers[j].offset = plan.buffers[i].offset;
-    Some(victims)
+    cands.sort_by_key(|c| std::cmp::Reverse(c.2));
+    for (i, j, _) in cands {
+        let mut trial = plan.clone();
+        trial.buffers[j].offset = trial.buffers[i].offset;
+        if check_plan_against(g, &trial).iter().any(|e| e.contains("alias")) {
+            let victims = (plan.buffers[i].value, plan.buffers[j].value);
+            plan.buffers[j].offset = plan.buffers[i].offset;
+            return Some(victims);
+        }
+    }
+    None
+}
+
+/// Sabotage a valid plan with the *specific* bug the in-place gate exists
+/// to prevent: move a node's output buffer onto an operand that **outlives**
+/// the node, so running it would clobber bytes a later consumer still
+/// needs. Returns the `(output, clobbered operand)` pair, or `None` if the
+/// graph has no operand outliving its consumer.
+pub fn inject_unsafe_inplace(g: &Graph, plan: &mut AllocationPlan) -> Option<(ValueId, ValueId)> {
+    let lv = liveness(g);
+    let idx_of = |v: ValueId| plan.buffers.iter().position(|b| b.value == v);
+    for (i, node) in g.nodes.iter().enumerate() {
+        for &v in &node.inputs {
+            if lv.end[v.0 as usize] <= i {
+                continue; // dies here or earlier — reusing it could be legal
+            }
+            let (Some(oi), Some(vi)) = (idx_of(node.output), idx_of(v)) else { continue };
+            if plan.buffers[oi].offset == plan.buffers[vi].offset {
+                continue;
+            }
+            let mut trial = plan.clone();
+            trial.buffers[oi].offset = trial.buffers[vi].offset;
+            if check_plan_against(g, &trial).iter().any(|e| e.contains("alias")) {
+                plan.buffers[oi].offset = plan.buffers[vi].offset;
+                return Some((node.output, v));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -205,6 +416,7 @@ mod tests {
     use super::*;
     use crate::gen::{random_cnn, GenConfig};
     use temco_ir::liveness;
+    use temco_runtime::{plan_allocation_with_mode, AliasMode};
 
     #[test]
     fn real_plans_pass_on_the_generated_corpus() {
@@ -212,6 +424,19 @@ mod tests {
             let g = random_cnn(seed, &GenConfig::default());
             let errs = check_plan(&g);
             assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn alias_free_plans_pass_too() {
+        // The checker must accept both ends of the A/B pair — it re-derives
+        // what sharing is legal, not what sharing is mandatory.
+        for seed in 0..10 {
+            let g = random_cnn(seed, &GenConfig::default());
+            let lv = liveness(&g);
+            let plan = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
+            let errs = check_plan_against(&g, &plan);
+            assert!(errs.is_empty(), "seed {seed} (alias off): {errs:?}");
         }
     }
 
@@ -226,5 +451,27 @@ mod tests {
             errs.iter().any(|e| e.contains("alias")),
             "sabotaged plan for {victims:?} not caught: {errs:?}"
         );
+    }
+
+    #[test]
+    fn injected_unsafe_inplace_is_caught() {
+        // An in-place reuse whose operand outlives the node is exactly what
+        // `dies_exclusively_here` forbids; a plan doing it anyway must be
+        // rejected by the independent rules.
+        let mut caught = 0;
+        for seed in 0..10 {
+            let g = random_cnn(seed, &GenConfig::default());
+            let lv = liveness(&g);
+            let mut plan = plan_allocation_with(&g, &lv);
+            if let Some((out, victim)) = inject_unsafe_inplace(&g, &mut plan) {
+                let errs = check_plan_against(&g, &plan);
+                assert!(
+                    errs.iter().any(|e| e.contains("alias")),
+                    "seed {seed}: unsafe in-place of {out:?} over {victim:?} not caught: {errs:?}"
+                );
+                caught += 1;
+            }
+        }
+        assert!(caught >= 3, "corpus admitted only {caught} unsafe-inplace injections");
     }
 }

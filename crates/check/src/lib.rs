@@ -9,9 +9,10 @@
 //!   [`Engine`](temco_runtime::Engine), across every opt level and every
 //!   rebatch bucket, outputs compared within tolerance.
 //! * [`invariants`] — an independent re-derivation of every
-//!   allocation-plan invariant (no aliasing of live values, scratch
-//!   disjointness, exact peak accounting), so a planner bug has to fool
-//!   two implementations to slip through.
+//!   allocation-plan invariant via a write simulation (storage sharing only
+//!   where the graph itself sanctions it, scratch disjointness, exact peak
+//!   and data-movement accounting), so a planner or alias-analysis bug has
+//!   to fool two implementations to slip through.
 //! * [`fault`] — a TCP fault injector that hammers a live server with
 //!   malformed frames, floods, and disconnects, then asserts no hang, no
 //!   dead workers, and exact stats-counter conservation.
@@ -32,5 +33,5 @@ pub mod shrink;
 pub use diff::{check_graph, check_seed, DiffConfig, Failure};
 pub use fault::{run_fault_injection, FaultConfig, FaultReport};
 pub use gen::{random_cnn, GenConfig};
-pub use invariants::{check_plan, check_plan_against, inject_aliasing};
+pub use invariants::{check_plan, check_plan_against, inject_aliasing, inject_unsafe_inplace};
 pub use shrink::{dump, shrink, Shrunk};

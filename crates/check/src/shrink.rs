@@ -3,7 +3,7 @@
 //!
 //! The shrinker never needs to know *why* a graph fails — it only needs a
 //! property function returning `Some(message)` while the failure persists.
-//! Three reduction moves run to fixpoint, last node first:
+//! Four reduction moves run to fixpoint, last node first:
 //!
 //! * **Bypass** — remove a node and rewire every consumer of its output to
 //!   the node's first operand, legal only when the two values have the same
@@ -13,6 +13,8 @@
 //! * **Unmark** — remove a node whose output *is* a graph output but has no
 //!   shape-compatible rewire target, deleting the output entry (as long as
 //!   at least one output remains).
+//! * **Narrow** — drop one operand of a ≥ 3-ary concat or add (shapes are
+//!   re-inferred; downstream incompatibility is rejected by verification).
 //!
 //! After every candidate edit, orphaned nodes are garbage-collected, weights
 //! are compacted, shapes are re-inferred, and the candidate must both pass
@@ -50,18 +52,25 @@ pub fn shrink(g: &Graph, failing: &dyn Fn(&Graph) -> Option<String>) -> Option<S
         let mut i = current.nodes.len();
         while i > 0 {
             i -= 1;
-            let Some(candidate) = remove_node(&current, i) else { continue };
-            attempts += 1;
-            if !temco_ir::verify(&candidate).is_empty() {
-                continue;
-            }
-            if let Some(msg) = failing(&candidate) {
-                debug_assert!(candidate.nodes.len() < current.nodes.len());
-                current = candidate;
-                message = msg;
-                progressed = true;
-                // Restart the sweep over the (smaller) node list.
-                i = current.nodes.len();
+            let n_operands = current.nodes[i].inputs.len();
+            let mut candidates = Vec::with_capacity(1 + n_operands);
+            candidates.extend(remove_node(&current, i));
+            candidates.extend((0..n_operands).filter_map(|j| remove_operand(&current, i, j)));
+            for candidate in candidates {
+                attempts += 1;
+                if !temco_ir::verify(&candidate).is_empty() {
+                    continue;
+                }
+                if let Some(msg) = failing(&candidate) {
+                    // Every accepted edit strictly shrinks nodes + operands,
+                    // so the fixpoint terminates.
+                    current = candidate;
+                    message = msg;
+                    progressed = true;
+                    // Restart the sweep over the (smaller) graph.
+                    i = current.nodes.len();
+                    break;
+                }
             }
         }
         if !progressed {
@@ -152,23 +161,45 @@ fn remove_node(g: &Graph, i: usize) -> Option<Graph> {
         let mut seen = std::collections::HashSet::new();
         out_g.outputs.retain(|v| seen.insert(*v));
     }
-    // Sweep nodes orphaned by the removal (their outputs now feed nothing).
+    sweep_orphans(&mut out_g);
+    out_g.gc_weights();
+    out_g.try_infer_shapes().ok()?;
+    Some(out_g)
+}
+
+/// Drop operand `j` of node `i` — the *narrow* move. Only concat/add are
+/// variadic, and both stay valid with any ≥ 2 operands; the output shape may
+/// change (fewer concat channels), which re-inference propagates and
+/// verification re-checks downstream.
+fn remove_operand(g: &Graph, i: usize, j: usize) -> Option<Graph> {
+    let node = &g.nodes[i];
+    if !matches!(node.op, Op::Concat | Op::Add) || node.inputs.len() <= 2 {
+        return None;
+    }
+    let mut out_g = g.clone();
+    out_g.nodes[i].inputs.remove(j);
+    sweep_orphans(&mut out_g);
+    out_g.gc_weights();
+    out_g.try_infer_shapes().ok()?;
+    Some(out_g)
+}
+
+/// Remove nodes orphaned by an edit (their outputs now feed nothing) until
+/// none remain.
+fn sweep_orphans(g: &mut Graph) {
     loop {
-        let dead = out_g.nodes.iter().position(|n| {
+        let dead = g.nodes.iter().position(|n| {
             !matches!(n.op, Op::Input)
-                && !out_g.outputs.contains(&n.output)
-                && !out_g.nodes.iter().any(|m| m.inputs.contains(&n.output))
+                && !g.outputs.contains(&n.output)
+                && !g.nodes.iter().any(|m| m.inputs.contains(&n.output))
         });
         match dead {
             Some(j) => {
-                out_g.nodes.remove(j);
+                g.nodes.remove(j);
             }
             None => break,
         }
     }
-    out_g.gc_weights();
-    out_g.try_infer_shapes().ok()?;
-    Some(out_g)
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use temco::{compare_outputs, Compiler, CompilerOptions, DecomposeOptions, Method, OptLevel};
 use temco_models::{ModelConfig, ModelId};
-use temco_runtime::{execute, plan_memory, ExecOptions};
+use temco_runtime::{execute, plan_allocation_with_mode, plan_memory, AliasMode, ExecOptions};
 use temco_tensor::Tensor;
 
 /// Parsed command-line options.
@@ -56,6 +56,7 @@ USAGE:
   temco compile <model> [opts]        compile and print memory/pass report
   temco run <model> [opts]            compile, execute, and verify semantics
   temco dot <model> [opts]            emit the optimized graph as Graphviz DOT
+  temco plan <model> [opts]           alias-aware allocation plan vs the alias-free layout
   temco info <model.temco>            describe a saved .temco model file
   temco profile <model> [opts]        per-node kernel timing + slab attribution
   temco serve <model> [opts]          serve the model over TCP (dynamic batching)
@@ -266,7 +267,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "compile" | "run" | "dot" => {
+        "compile" | "run" | "dot" | "plan" => {
             let Some(model) = cli.model else { usage() };
             let cfg = ModelConfig {
                 batch: cli.batch,
@@ -291,6 +292,57 @@ fn main() -> ExitCode {
             match cli.command.as_str() {
                 "dot" => {
                     print!("{}", temco_ir::dot::to_dot(&opt));
+                }
+                "plan" => {
+                    let lv = temco_ir::liveness(&opt);
+                    let full = plan_allocation_with_mode(&opt, &lv, AliasMode::Full);
+                    let off = plan_allocation_with_mode(&opt, &lv, AliasMode::Off);
+                    let mem = plan_memory(&opt);
+                    let stats = full.alias_stats();
+                    let pct = |a: usize, b: usize| {
+                        if b == 0 {
+                            0.0
+                        } else {
+                            100.0 * (1.0 - a as f64 / b as f64)
+                        }
+                    };
+                    println!(
+                        "model:        {} @ {} ({}x{} batch {})",
+                        model.name(),
+                        cli.level.label(),
+                        cfg.image,
+                        cfg.image,
+                        cfg.batch
+                    );
+                    println!(
+                        "logical peak: {:.2} MiB (sum of live values)",
+                        mib(mem.peak_internal_bytes)
+                    );
+                    println!(
+                        "value slab:   {:.2} MiB aliased vs {:.2} MiB alias-free ({:.1}% saved)",
+                        mib(full.value_bytes),
+                        mib(off.value_bytes),
+                        pct(full.value_bytes, off.value_bytes)
+                    );
+                    println!(
+                        "bytes moved:  {:.2} MiB aliased vs {:.2} MiB alias-free ({:.1}% saved)",
+                        mib(full.bytes_moved),
+                        mib(off.bytes_moved),
+                        pct(full.bytes_moved, off.bytes_moved)
+                    );
+                    println!(
+                        "aliasing:     {} in-place nodes, {} overlap nodes, {} embedded concat operands, {} view-bound values",
+                        stats.inplace_nodes,
+                        stats.overlap_nodes,
+                        stats.aliased_concat_operands,
+                        stats.aliased_values
+                    );
+                    println!(
+                        "slab total:   {:.2} MiB ({:.2} MiB scratch), fragmentation {:.3}",
+                        mib(full.slab_bytes),
+                        mib(full.scratch_bytes),
+                        mem.fragmentation()
+                    );
                 }
                 "compile" => {
                     let before = plan_memory(&graph);

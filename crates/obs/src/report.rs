@@ -29,6 +29,10 @@ pub struct NodeStat {
     pub high_water_bytes: usize,
     /// Scratch bytes the plan carves for this node (0 if none).
     pub scratch_bytes: usize,
+    /// Bytes this node copies per run under the plan (input staging,
+    /// concat/flatten copies the alias analysis could not eliminate) —
+    /// 0 for compute nodes and for copies executed in place.
+    pub moved_bytes: usize,
 }
 
 impl NodeStat {
@@ -68,6 +72,12 @@ impl EngineReport {
     /// Summed per-node kernel time, in ns.
     pub fn kernel_ns(&self) -> u64 {
         self.nodes.iter().map(|n| n.total_ns).sum()
+    }
+
+    /// Total bytes copied per run under the plan (sum of per-node
+    /// `moved_bytes`).
+    pub fn bytes_moved(&self) -> usize {
+        self.nodes.iter().map(|n| n.moved_bytes).sum()
     }
 
     /// Kernel time as a fraction of run wall time (≈1.0 when the node
@@ -130,7 +140,7 @@ impl EngineReport {
         let kernel = self.kernel_ns();
         let _ = writeln!(
             out,
-            "{:>4} {:<22} {:<14} {:>7} {:>10} {:>10} {:>6} {:>10} {:>10} {:>10}",
+            "{:>4} {:<22} {:<14} {:>7} {:>10} {:>10} {:>6} {:>10} {:>10} {:>10} {:>10}",
             "#",
             "node",
             "op",
@@ -140,12 +150,13 @@ impl EngineReport {
             "time%",
             "out KiB",
             "hiwater KiB",
-            "scratch KiB"
+            "scratch KiB",
+            "moved KiB"
         );
         for n in self.top_k(k) {
             let _ = writeln!(
                 out,
-                "{:>4} {:<22} {:<14} {:>7} {:>10.1} {:>10.2} {:>5.1}% {:>10.1} {:>10.1} {:>10.1}",
+                "{:>4} {:<22} {:<14} {:>7} {:>10.1} {:>10.2} {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
                 n.index,
                 truncate(&n.name, 22),
                 truncate(&n.op, 14),
@@ -156,6 +167,7 @@ impl EngineReport {
                 n.out_bytes as f64 / 1024.0,
                 n.high_water_bytes as f64 / 1024.0,
                 n.scratch_bytes as f64 / 1024.0,
+                n.moved_bytes as f64 / 1024.0,
             );
         }
         let _ = writeln!(out, "\nby op kind:");
@@ -172,13 +184,14 @@ impl EngineReport {
         }
         let _ = writeln!(
             out,
-            "\nruns {} · wall {:.2} ms · kernels {:.2} ms ({:.1}% coverage) · slab {:.1} KiB (scratch {:.1} KiB) · dropped spans {}",
+            "\nruns {} · wall {:.2} ms · kernels {:.2} ms ({:.1}% coverage) · slab {:.1} KiB (scratch {:.1} KiB) · moved {:.1} KiB/run · dropped spans {}",
             self.runs,
             self.total_run_ns as f64 / 1e6,
             kernel as f64 / 1e6,
             100.0 * self.coverage(),
             self.slab_bytes as f64 / 1024.0,
             self.scratch_arena_bytes as f64 / 1024.0,
+            self.bytes_moved() as f64 / 1024.0,
             self.dropped_events,
         );
         if let Some(peak) = self.peak_node() {
@@ -219,6 +232,7 @@ mod tests {
                     out_bytes: 4096,
                     high_water_bytes: 8192,
                     scratch_bytes: 1024,
+                    moved_bytes: 0,
                 },
                 NodeStat {
                     index: 1,
@@ -229,6 +243,7 @@ mod tests {
                     out_bytes: 4096,
                     high_water_bytes: 16384,
                     scratch_bytes: 0,
+                    moved_bytes: 4096,
                 },
                 NodeStat {
                     index: 2,
@@ -239,6 +254,7 @@ mod tests {
                     out_bytes: 2048,
                     high_water_bytes: 12288,
                     scratch_bytes: 2048,
+                    moved_bytes: 0,
                 },
             ],
             runs: 10,
@@ -253,6 +269,7 @@ mod tests {
     fn totals_topk_and_rollups() {
         let r = sample();
         assert_eq!(r.kernel_ns(), 12_500_000);
+        assert_eq!(r.bytes_moved(), 4096);
         assert!((r.coverage() - 12.5 / 13.0).abs() < 1e-9);
         let top = r.top_k(2);
         assert_eq!(top.len(), 2);

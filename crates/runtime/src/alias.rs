@@ -1,0 +1,603 @@
+//! Alias analysis: virtual tensors over shared slab storage.
+//!
+//! The classic Plan stage treats every SSA value as its own interval — a
+//! `concat` copies each operand into a fresh region, an activation writes a
+//! full-size output next to its dying input, and a pool stages its smaller
+//! output beside the input it is about to retire. All three copies/regions
+//! are compiler artifacts, not physics. This module decides, from the graph
+//! and its liveness alone, which values may *share* storage:
+//!
+//! 1. **Concat embedding** — when a concat's operand can legally live
+//!    inside the concat output's own interval (adjacent channel slices at
+//!    batch 1), the producer writes straight into that sub-region and the
+//!    concat copies nothing for it. Embedding stretches the output's hull
+//!    interval back to its earliest producer, which on concat-heavy graphs
+//!    (dense blocks) can *raise* the peak — so each concat's embedding is
+//!    kept only if the union-measure live peak does not increase.
+//! 2. **In-place elementwise** — an activation / affine / add / flatten /
+//!    softmax whose (same-size) input dies at the node reuses the input's
+//!    bytes as its output; the kernel runs through an `_inplace` entry
+//!    point.
+//! 3. **DMO-style overlap** — pooling ops traverse their output in an
+//!    elementwise-monotone order (output index `p` never reads an input
+//!    index below `p`, and each window accumulates in a register before the
+//!    store), so the *smaller* output may overlap the *prefix* of a dying
+//!    input (Diagonal Memory Optimisation).
+//!
+//! The result is a forest: each value either owns storage (`Binding::Root`)
+//! or is a view at a fixed byte delta inside another value's storage.
+//! [`crate::alloc::plan_allocation_with_mode`] packs only the roots (one
+//! hull interval per alias class) and resolves every member to
+//! `root_offset + delta`, and the executor consults [`NodeExec`] to pick
+//! the in-place / overlap / copy-eliminating kernel path per node.
+
+use temco_ir::{Graph, Liveness, Op, ValueId};
+
+/// Whether the planner may alias values at all. `Off` reproduces the
+/// classic one-interval-per-value plan (used as the differential baseline
+/// and for A/B accounting in `temco plan` / fig10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AliasMode {
+    /// Every value owns its interval; every concat copies; no in-place.
+    Off,
+    /// Concat embedding + in-place elementwise + monotone pool overlap.
+    #[default]
+    Full,
+}
+
+/// Where a value's bytes live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Binding {
+    /// The value owns its own slab region.
+    Root,
+    /// The value is a view `delta` bytes inside `parent`'s storage.
+    View {
+        /// The value this one aliases into (possibly itself a view).
+        parent: ValueId,
+        /// Byte offset of this value inside the parent's region.
+        delta: usize,
+    },
+}
+
+/// How the executor must run one node under the alias plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeExec {
+    /// Plain `_into` dispatch: output region disjoint from every operand.
+    Standard,
+    /// The output aliases operand `operand` exactly (same bytes); run the
+    /// kernel's `_inplace` entry point on that single buffer.
+    InPlace {
+        /// Index into `node.inputs` of the aliased operand.
+        operand: usize,
+    },
+    /// The output overlaps a prefix of the (dying) input; the kernel's
+    /// traversal is monotone so an `_inplace` run over the shared buffer is
+    /// safe (DMO).
+    Overlap,
+    /// A concat whose operands are (partly) embedded in the output region:
+    /// `copy[j]` is true iff operand `j` still needs a copy into its slice.
+    ConcatAliased {
+        /// Per-operand: does the concat still have to copy it?
+        copy: Vec<bool>,
+    },
+}
+
+/// Aggregate alias counts for reporting (`temco plan`, fig10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AliasStats {
+    /// Nodes executed through an `_inplace` kernel entry point.
+    pub inplace_nodes: usize,
+    /// Nodes executed in DMO overlap mode (monotone pools).
+    pub overlap_nodes: usize,
+    /// Concat operands embedded in their consumer's region (copies
+    /// eliminated).
+    pub aliased_concat_operands: usize,
+    /// Values bound as views (non-root) overall.
+    pub aliased_values: usize,
+}
+
+/// The alias decision for every value and node of one scheduled graph.
+#[derive(Clone, Debug)]
+pub struct AliasAnalysis {
+    /// Per-value binding, indexed by `ValueId`.
+    pub binding: Vec<Binding>,
+    /// Per-node execution mode, parallel to `g.nodes`.
+    pub node_exec: Vec<NodeExec>,
+}
+
+/// Elementwise ops with an `_inplace` kernel whose output can reuse an
+/// equal-size input buffer byte for byte.
+fn inplace_safe(op: &Op) -> bool {
+    matches!(op, Op::Activation(_) | Op::Affine { .. } | Op::Add | Op::Flatten | Op::Softmax)
+}
+
+/// Ops whose traversal is provably elementwise-monotone (output index `p`
+/// never reads an input index `< p`; windows accumulate in a register), so
+/// the smaller output may overlap the input's prefix.
+fn overlap_safe(op: &Op) -> bool {
+    matches!(op, Op::Pool { .. } | Op::GlobalAvgPool)
+}
+
+impl AliasAnalysis {
+    /// Resolve a value to its alias-class root and absolute byte delta
+    /// inside the root's region.
+    pub fn resolve(&self, v: ValueId) -> (ValueId, usize) {
+        let mut cur = v;
+        let mut delta = 0usize;
+        loop {
+            match &self.binding[cur.0 as usize] {
+                Binding::Root => return (cur, delta),
+                Binding::View { parent, delta: d } => {
+                    delta += d;
+                    cur = *parent;
+                }
+            }
+        }
+    }
+
+    /// Aggregate counts over the analysis.
+    pub fn stats(&self) -> AliasStats {
+        let mut s = AliasStats::default();
+        for b in &self.binding {
+            if matches!(b, Binding::View { .. }) {
+                s.aliased_values += 1;
+            }
+        }
+        for ne in &self.node_exec {
+            match ne {
+                NodeExec::InPlace { .. } => s.inplace_nodes += 1,
+                NodeExec::Overlap => s.overlap_nodes += 1,
+                NodeExec::ConcatAliased { copy } => {
+                    s.aliased_concat_operands += copy.iter().filter(|c| !**c).count()
+                }
+                NodeExec::Standard => {}
+            }
+        }
+        s
+    }
+
+    /// Whether `v` (which must be live at node `i`, exactly once among its
+    /// operands, and not a graph output) can give its bytes away: its
+    /// liveness ends at `i` and no *other* member of its alias class whose
+    /// extent intersects the first `write_bytes` of `v`'s region outlives
+    /// step `i`. This is the shared guard of the in-place and overlap
+    /// rules: whoever takes over `v`'s bytes at step `i` must not clobber a
+    /// value that is still needed after `i`.
+    fn dies_exclusively_here(
+        &self,
+        g: &Graph,
+        lv: &Liveness,
+        node_inputs: &[ValueId],
+        i: usize,
+        v: ValueId,
+        write_bytes: usize,
+    ) -> bool {
+        if lv.end[v.0 as usize] != i {
+            return false;
+        }
+        if node_inputs.iter().filter(|w| **w == v).count() != 1 {
+            return false;
+        }
+        if g.outputs.contains(&v) {
+            return false;
+        }
+        let (rv, dv) = self.resolve(v);
+        // Every materialized class sibling intersecting the written range
+        // must already be dead. (A sibling that is an operand of this very
+        // node has end >= i, so this also forbids clobbering co-operands.)
+        for wi in 0..g.values.len() {
+            let w = ValueId(wi as u32);
+            if w == v || !lv.is_materialized(w) {
+                continue;
+            }
+            let (rw, dw) = self.resolve(w);
+            if rw != rv {
+                continue;
+            }
+            let wb = g.value_bytes(w);
+            if dw < dv + write_bytes && dv < dw + wb && lv.end[wi] >= i {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Run the alias analysis over `g`'s schedule. `Off` mode returns an
+/// all-root, all-standard analysis (the classic plan).
+pub fn analyze(g: &Graph, lv: &Liveness, mode: AliasMode) -> AliasAnalysis {
+    analyze_opts(g, lv, mode, true)
+}
+
+/// [`analyze`] with concat embedding (Rule 1) switchable. The planner's
+/// fallback cascade uses `embed_concats: false` when the fully-aliased
+/// plan packs worse than the alias-free layout — in-place and overlap
+/// rebinds are kept, only the hull-stretching embeddings are dropped.
+pub(crate) fn analyze_opts(
+    g: &Graph,
+    lv: &Liveness,
+    mode: AliasMode,
+    embed_concats: bool,
+) -> AliasAnalysis {
+    let mut a = AliasAnalysis {
+        binding: vec![Binding::Root; g.values.len()],
+        node_exec: vec![NodeExec::Standard; g.nodes.len()],
+    };
+    if mode == AliasMode::Off {
+        return a;
+    }
+    for (i, node) in g.nodes.iter().enumerate() {
+        match &node.op {
+            // Rule 1 — concat embedding. Each operand that may legally live
+            // inside the concat output's region is re-bound as a view at
+            // its channel offset; its producer then writes there directly
+            // and the concat skips the copy. Only batch 1 keeps an
+            // operand's slice contiguous inside the output.
+            Op::Concat => {
+                let out = node.output;
+                let oshape = g.shape(out);
+                if !embed_concats || oshape[0] != 1 {
+                    continue;
+                }
+                let plane: usize = oshape[2..].iter().product();
+                let mut copy = vec![true; node.inputs.len()];
+                let mut any_embedded = false;
+                let mut c_off = 0usize;
+                let peak_before = union_peak(g, lv, &a);
+                let bindings_before = a.binding.clone();
+                for (j, &v) in node.inputs.iter().enumerate() {
+                    let c = g.shape(v)[1];
+                    let delta_j = c_off * plane * 4;
+                    c_off += c;
+                    if try_embed_concat_operand(g, lv, &mut a, node, v, out, delta_j) {
+                        any_embedded = true;
+                    }
+                    copy[j] = a.resolve(v) != (out, delta_j);
+                }
+                // Embedding moves each operand's live range inside the
+                // output's hull, stretching the hull back to the earliest
+                // producer. Keep the copies instead when that raises the
+                // union-measure peak (dense blocks hold many small slices
+                // of a big concat alive across expensive intermediates).
+                if any_embedded && union_peak(g, lv, &a) > peak_before {
+                    a.binding = bindings_before;
+                    any_embedded = false;
+                }
+                if any_embedded {
+                    a.node_exec[i] = NodeExec::ConcatAliased { copy };
+                }
+            }
+            // Rule 2 — in-place elementwise: the output takes over a dying
+            // equal-size operand's bytes.
+            op if inplace_safe(op) => {
+                let out_bytes = g.value_bytes(node.output);
+                for (j, &v) in node.inputs.iter().enumerate() {
+                    if g.value_bytes(v) != out_bytes {
+                        continue;
+                    }
+                    if a.dies_exclusively_here(g, lv, &node.inputs, i, v, out_bytes) {
+                        a.binding[node.output.0 as usize] = Binding::View { parent: v, delta: 0 };
+                        a.node_exec[i] = NodeExec::InPlace { operand: j };
+                        break;
+                    }
+                }
+            }
+            // Rule 3 — monotone pool overlap: the smaller output shares the
+            // dying input's prefix (only the written prefix must be free of
+            // surviving siblings).
+            op if overlap_safe(op) => {
+                let v = node.inputs[0];
+                let out_bytes = g.value_bytes(node.output);
+                if out_bytes <= g.value_bytes(v)
+                    && a.dies_exclusively_here(g, lv, &node.inputs, i, v, out_bytes)
+                {
+                    a.binding[node.output.0 as usize] = Binding::View { parent: v, delta: 0 };
+                    a.node_exec[i] = NodeExec::Overlap;
+                }
+            }
+            _ => {}
+        }
+    }
+    a
+}
+
+/// Try to re-bind concat operand `v` (channel slice at byte `delta_j` of
+/// `out`) as a view into `out`. Returns true on success.
+fn try_embed_concat_operand(
+    g: &Graph,
+    lv: &Liveness,
+    a: &mut AliasAnalysis,
+    node: &temco_ir::Node,
+    v: ValueId,
+    out: ValueId,
+    delta_j: usize,
+) -> bool {
+    // Already (transitively) a view of the right spot — nested concats.
+    if a.resolve(v) == (out, delta_j) {
+        return true;
+    }
+    // A duplicated operand cannot be two slices at once; a graph output
+    // must keep its own identity past the concat.
+    if node.inputs.iter().filter(|w| **w == v).count() != 1 {
+        return false;
+    }
+    if g.outputs.contains(&v) || !lv.is_materialized(v) {
+        return false;
+    }
+    let (rv, dv) = a.resolve(v);
+    if rv == out {
+        // Inside the output region but at the wrong delta: leave as-is.
+        return false;
+    }
+    // Re-rooting moves v's whole current class; every member (the root
+    // included, at delta 0 with its full extent) must fit inside v's slice.
+    // The root being a member forces dv == 0. Members may outlive the
+    // concat: any later write into the region (a future in-place output or
+    // embedded producer) runs its own class-safety guard against them.
+    let v_bytes = g.value_bytes(v);
+    for wi in 0..g.values.len() {
+        let w = ValueId(wi as u32);
+        if !lv.is_materialized(w) {
+            continue;
+        }
+        let (rw, dw) = a.resolve(w);
+        if rw != rv {
+            continue;
+        }
+        if dw < dv || dw + g.value_bytes(w) > dv + v_bytes {
+            return false;
+        }
+    }
+    debug_assert_eq!(dv, 0, "class root is a member at delta 0");
+    a.binding[rv.0 as usize] = Binding::View { parent: out, delta: delta_j - dv };
+    true
+}
+
+/// Peak of the union measure under the analysis: per alias class, one hull
+/// (interval = union of member live ranges, bytes = furthest member byte),
+/// then the max over schedule steps of the live hull bytes. This is the
+/// planner-independent lower bound the packer chases; concat embedding is
+/// accepted only when it does not raise it. In-place and overlap rebinds
+/// never can: they merge an interval ending at step `i` with one starting
+/// there, at unchanged extent.
+fn union_peak(g: &Graph, lv: &Liveness, a: &AliasAnalysis) -> usize {
+    let n = g.values.len();
+    let mut extent = vec![0usize; n];
+    let mut begin = vec![usize::MAX; n];
+    let mut end = vec![0usize; n];
+    for vi in 0..n {
+        let v = ValueId(vi as u32);
+        if !lv.is_materialized(v) {
+            continue;
+        }
+        let (r, d) = a.resolve(v);
+        let ri = r.0 as usize;
+        extent[ri] = extent[ri].max(d + g.value_bytes(v));
+        begin[ri] = begin[ri].min(lv.begin[vi]);
+        end[ri] = end[ri].max(lv.end[vi]);
+    }
+    let steps = g.nodes.len() + 1;
+    let mut delta = vec![0isize; steps + 1];
+    for ri in 0..n {
+        if extent[ri] == 0 {
+            continue;
+        }
+        delta[begin[ri]] += extent[ri] as isize;
+        delta[end[ri] + 1] -= extent[ri] as isize;
+    }
+    let mut peak = 0isize;
+    let mut cur = 0isize;
+    for d in delta {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::liveness;
+    use temco_tensor::Tensor;
+
+    fn analyze_full(g: &Graph) -> AliasAnalysis {
+        analyze(g, &liveness(g), AliasMode::Full)
+    }
+
+    #[test]
+    fn off_mode_is_all_roots() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let r = g.relu(x, "r");
+        g.mark_output(r);
+        g.infer_shapes();
+        let a = analyze(&g, &liveness(&g), AliasMode::Off);
+        assert!(a.binding.iter().all(|b| *b == Binding::Root));
+        assert!(a.node_exec.iter().all(|ne| *ne == NodeExec::Standard));
+        assert_eq!(a.stats(), AliasStats::default());
+    }
+
+    #[test]
+    fn relu_chain_runs_in_place() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a1 = g.relu(x, "a1");
+        let a2 = g.relu(a1, "a2");
+        g.mark_output(a2);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        // Both relus take over their dying input's bytes (the graph input's
+        // buffer is filled by the Input node; reusing it is safe).
+        assert!(matches!(a.node_exec[1], NodeExec::InPlace { operand: 0 }));
+        assert!(matches!(a.node_exec[2], NodeExec::InPlace { operand: 0 }));
+        let (root, delta) = a.resolve(a2);
+        assert_eq!((root, delta), (x, 0));
+        assert_eq!(a.stats().inplace_nodes, 2);
+    }
+
+    #[test]
+    fn multi_consumer_input_is_not_aliased() {
+        // `a` feeds both relu `b` and the later add — the relu must not
+        // overwrite it.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a1 = g.relu(x, "a1");
+        let b = g.relu(a1, "b");
+        let s = g.add(&[a1, b], "s");
+        g.mark_output(s);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        // b = relu(a1): a1 still feeds the add, so b gets its own storage.
+        assert_eq!(a.node_exec[2], NodeExec::Standard);
+        // The add's operand a1 *does* die there, so the add is in-place.
+        assert!(matches!(a.node_exec[3], NodeExec::InPlace { .. }));
+    }
+
+    #[test]
+    fn graph_outputs_are_never_aliased_away() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a1 = g.relu(x, "a1");
+        let b = g.relu(a1, "b");
+        g.mark_output(a1); // a1 must survive the whole run
+        g.mark_output(b);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        assert_eq!(a.node_exec[2], NodeExec::Standard);
+        assert_eq!(a.binding[b.0 as usize], Binding::Root);
+    }
+
+    #[test]
+    fn duplicate_operands_are_not_aliased() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let r = g.relu(x, "r");
+        let s = g.add(&[r, r], "dbl");
+        g.mark_output(s);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        assert_eq!(a.node_exec[2], NodeExec::Standard);
+    }
+
+    #[test]
+    fn concat_operands_embed_at_batch_1() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let p = g.relu(x, "p");
+        let q = g.relu(p, "q");
+        let cat = g.concat(&[q, x], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        // x feeds both the first relu and the concat, so the relu chain
+        // cannot run in place over it; q and x occupy independent classes
+        // and both embed into their slices of the concat region.
+        match &a.node_exec[3] {
+            NodeExec::ConcatAliased { copy } => {
+                assert!(!copy[0], "operand 0 should be embedded");
+                assert!(!copy[1], "operand 1 should be embedded");
+            }
+            other => panic!("expected ConcatAliased, got {other:?}"),
+        }
+        let plane = 8 * 8 * 4;
+        assert_eq!(a.resolve(q), (cat, 0));
+        assert_eq!(a.resolve(x), (cat, 4 * plane));
+    }
+
+    #[test]
+    fn concat_copies_an_operand_marked_as_graph_output() {
+        // An operand that is itself a graph output keeps its own storage
+        // (its identity must survive), so the concat copies it.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let p = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "p");
+        let q = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "q");
+        let cat = g.concat(&[p, q], "cat");
+        g.mark_output(q);
+        g.mark_output(cat);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        match &a.node_exec[3] {
+            NodeExec::ConcatAliased { copy } => {
+                assert!(!copy[0], "p embeds");
+                assert!(copy[1], "q is a graph output and must be copied");
+            }
+            other => panic!("expected ConcatAliased, got {other:?}"),
+        }
+        assert_eq!(a.binding[q.0 as usize], Binding::Root);
+    }
+
+    #[test]
+    fn concat_embeds_nothing_at_batch_2() {
+        let mut g = Graph::new();
+        let x = g.input(&[2, 4, 8, 8], "x");
+        let p = g.relu(x, "p");
+        let q = g.relu(x, "q");
+        let cat = g.concat(&[p, q], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        assert_eq!(a.node_exec[3], NodeExec::Standard);
+    }
+
+    #[test]
+    fn independent_concat_operands_both_embed() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let p = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "p");
+        let q = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "q");
+        let cat = g.concat(&[p, q], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        match &a.node_exec[3] {
+            NodeExec::ConcatAliased { copy } => {
+                assert!(!copy[0] && !copy[1], "both conv outputs embed: {copy:?}");
+            }
+            other => panic!("expected ConcatAliased, got {other:?}"),
+        }
+        let plane = 8 * 8 * 4;
+        assert_eq!(a.resolve(p), (cat, 0));
+        assert_eq!(a.resolve(q), (cat, 4 * plane));
+        assert_eq!(a.stats().aliased_concat_operands, 2);
+    }
+
+    #[test]
+    fn peak_raising_concat_embedding_is_rejected() {
+        // `a` is tiny and produced first; a huge intermediate lives between
+        // its production and the concat. Embedding `a` (and `c`) would hold
+        // the concat hull alive across the big conv and raise the union
+        // peak, so the analysis must keep the copies.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a1 = g.conv2d(x, Tensor::zeros(&[1, 4, 1, 1]), None, 1, 0, "a");
+        let big = g.conv2d(x, Tensor::zeros(&[64, 4, 3, 3]), None, 1, 1, "big");
+        let c = g.conv2d(big, Tensor::zeros(&[1, 64, 3, 3]), None, 1, 1, "c");
+        let cat = g.concat(&[a1, c], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let lv = liveness(&g);
+        let a = analyze(&g, &lv, AliasMode::Full);
+        assert_eq!(a.node_exec[4], NodeExec::Standard, "embedding should be rejected");
+        assert_eq!(a.binding[a1.0 as usize], Binding::Root);
+        assert_eq!(a.binding[c.0 as usize], Binding::Root);
+        // The guard is a comparison, not a ban: the same analysis on a
+        // cheap graph (see concat_operands_embed_at_batch_1) still embeds.
+        assert!(union_peak(&g, &lv, &a) <= union_peak(&g, &lv, &analyze(&g, &lv, AliasMode::Off)));
+    }
+
+    #[test]
+    fn pool_overlaps_its_dying_input() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let r = g.relu(x, "r");
+        let p = g.max_pool(r, 2, 2, "p");
+        g.mark_output(p);
+        g.infer_shapes();
+        let a = analyze_full(&g);
+        assert_eq!(a.node_exec[2], NodeExec::Overlap);
+        let (root, delta) = a.resolve(p);
+        assert_eq!((root, delta), (x, 0)); // p → r → x, all at delta 0
+        assert_eq!(a.stats().overlap_nodes, 1);
+    }
+}

@@ -2,22 +2,28 @@
 //!
 //! Every materialized internal tensor of a scheduled graph gets a fixed
 //! `(offset, size)` inside one contiguous slab such that values whose
-//! liveness intervals overlap in time never overlap in space. The slab is
-//! allocated once per inference; the executor then runs entirely on views
-//! into it (see [`crate::executor`]), so the process high-water mark *is*
-//! the slab size.
+//! liveness intervals overlap in time never overlap in space — unless the
+//! alias analysis ([`crate::alias`]) proves they may *share* storage: a
+//! concat operand embedded in its consumer's region, an elementwise output
+//! reusing its dying input's bytes, or a monotone pool overlapping its
+//! input's prefix. The slab is allocated once per inference; the executor
+//! then runs entirely on views into it (see [`crate::executor`]), so the
+//! process high-water mark *is* the slab size.
 //!
-//! The packer is greedy best-fit over liveness intervals: values are placed
-//! largest-first (ties broken by earlier `begin`, then lower `ValueId`), and
-//! each value takes the tightest gap — among the offsets left free by
-//! already-placed, time-overlapping values — that fits it. Best-fit keeps
-//! small late tensors from landing in (and splintering) the large low gaps
-//! that later large tensors need. The whole procedure is deterministic:
+//! The packer works on **alias classes**, not raw values: each class root
+//! owns one region sized for the furthest member byte and one hull interval
+//! covering every member's lifetime. Roots are placed greedy best-fit,
+//! largest-first (ties broken by earlier hull `begin`, then lower root
+//! `ValueId`), and each takes the tightest gap — among the offsets left
+//! free by already-placed, time-overlapping roots — that fits it. Members
+//! resolve to `root_offset + delta`. The whole procedure is deterministic:
 //! same graph + schedule ⇒ byte-identical plan.
 //!
-//! `slab ≥ peak_live` always (two live values cannot share bytes); the gap
-//! is fragmentation, which [`AllocationPlan::fragmentation`] reports and the
-//! Figure-10 harness tracks against a 1.15× budget.
+//! `slab ≥ peak_live` always, where the peak is now the **union measure**
+//! of live buffer extents per step (an alias class counts once, however
+//! many members inhabit it); the gap is fragmentation, which
+//! [`AllocationPlan::fragmentation`] reports and the Figure-10 harness
+//! tracks against a 1.15× budget.
 //!
 //! # Kernel scratch as a planned resource
 //!
@@ -31,7 +37,9 @@
 //! Fragmentation is judged on the value region only; scratch is a fixed
 //! cost of the kernel set, not a packing artifact.
 
-use temco_ir::{liveness, Graph, LiveInterval, Liveness, ValueId};
+use temco_ir::{liveness, Graph, Liveness, Op, ValueId};
+
+use crate::alias::{analyze, AliasAnalysis, AliasMode, AliasStats, NodeExec};
 
 /// Alignment of the scratch arena inside the slab (one cache line, and the
 /// GEMM pack-panel alignment the microkernel prefers).
@@ -64,12 +72,13 @@ impl PlannedBuffer {
     }
 }
 
-/// How far the packed slab sits above the sum-of-live lower bound.
+/// How far the packed slab sits above the union-of-live lower bound.
 #[derive(Clone, Copy, Debug)]
 pub struct FragmentationReport {
     /// Total slab bytes.
     pub slab_bytes: usize,
-    /// Peak of simultaneously-live bytes (the unreachable-by-packing floor).
+    /// Peak of simultaneously-live bytes (union measure — an alias class
+    /// counts once; the unreachable-by-packing floor).
     pub peak_live_bytes: usize,
     /// `slab_bytes - peak_live_bytes`.
     pub wasted_bytes: usize,
@@ -81,12 +90,14 @@ pub struct FragmentationReport {
 #[derive(Clone, Debug)]
 pub struct AllocationPlan {
     /// Reserved regions for every materialized value, in `ValueId` order.
+    /// Aliased values carry their *resolved* absolute offset (root offset
+    /// plus view delta) and their own `[begin, end]` interval.
     pub buffers: Vec<PlannedBuffer>,
     /// Total slab bytes: the value region plus (when any kernel needs
     /// working memory) alignment padding and the shared scratch arena.
     pub slab_bytes: usize,
-    /// Bytes of the packed value region alone (max over buffers of
-    /// `offset + bytes`).
+    /// Bytes of the packed value region alone (max over alias-class
+    /// regions of `offset + region_bytes`).
     pub value_bytes: usize,
     /// Byte offset of the scratch arena ([`SCRATCH_ALIGN`]-aligned; equals
     /// `value_bytes` rounded up). Meaningful only when `scratch_bytes > 0`.
@@ -98,11 +109,26 @@ pub struct AllocationPlan {
     /// `g.nodes[i]` — the executor hands each kernel exactly this prefix of
     /// the arena.
     pub node_scratch: Vec<usize>,
-    /// Peak of simultaneously-live bytes.
+    /// Peak of simultaneously-live bytes (union measure per step — an
+    /// alias class is counted once, not once per member).
     pub peak_live_bytes: usize,
+    /// Per-node execution mode from the alias analysis, parallel to
+    /// `g.nodes` — the executor's dispatch contract.
+    pub node_exec: Vec<NodeExec>,
+    /// Data-movement bytes per node: input staging, concat copies not
+    /// eliminated by embedding, flatten copies not eliminated in place.
+    /// Kernels that *compute* their output are not "movement".
+    pub bytes_moved_per_node: Vec<usize>,
+    /// Total planned data movement per inference (sum of the per-node
+    /// column).
+    pub bytes_moved: usize,
     /// `offset_of[value] = byte offset`, `usize::MAX` for unmaterialized
     /// values — O(1) lookup for the executor's hot loop.
     offset_of: Vec<usize>,
+    /// `root_of[value] = alias-class root`, `u32::MAX` for unmaterialized.
+    root_of: Vec<u32>,
+    /// Byte delta of each value inside its class region.
+    delta_of: Vec<usize>,
 }
 
 impl AllocationPlan {
@@ -112,6 +138,39 @@ impl AllocationPlan {
             Some(&o) if o != usize::MAX => Some(o),
             _ => None,
         }
+    }
+
+    /// Alias-class root and byte delta of `v` inside that class's region,
+    /// or `None` if `v` is never materialized. Root values report
+    /// themselves at delta 0; `alias(a).0 == alias(b).0` means the two
+    /// values intentionally share storage.
+    pub fn alias(&self, v: ValueId) -> Option<(ValueId, usize)> {
+        match self.root_of.get(v.0 as usize) {
+            Some(&r) if r != u32::MAX => Some((ValueId(r), self.delta_of[v.0 as usize])),
+            _ => None,
+        }
+    }
+
+    /// Aggregate alias counts: in-place nodes, overlap nodes, embedded
+    /// concat operands, and view-bound values.
+    pub fn alias_stats(&self) -> AliasStats {
+        let mut s = AliasStats::default();
+        for (vi, &r) in self.root_of.iter().enumerate() {
+            if r != u32::MAX && r as usize != vi {
+                s.aliased_values += 1;
+            }
+        }
+        for ne in &self.node_exec {
+            match ne {
+                NodeExec::InPlace { .. } => s.inplace_nodes += 1,
+                NodeExec::Overlap => s.overlap_nodes += 1,
+                NodeExec::ConcatAliased { copy } => {
+                    s.aliased_concat_operands += copy.iter().filter(|c| !**c).count()
+                }
+                NodeExec::Standard => {}
+            }
+        }
+        s
     }
 
     /// The fragmentation report for this plan. Judged on the value region
@@ -134,13 +193,18 @@ impl AllocationPlan {
     /// Check plan soundness. Returns human-readable violations (empty ⇔
     /// valid):
     ///
-    /// * no two time-overlapping buffers may intersect in space;
+    /// * every buffer's offset must equal its alias-class root's offset
+    ///   plus its view delta (a mutated buffer cannot drift from the alias
+    ///   table unnoticed);
+    /// * no two time-overlapping buffers of **different** alias classes may
+    ///   intersect in space (same-class sharing is the alias analysis's
+    ///   sanctioned business, re-checked independently by `temco-check`);
     /// * every buffer must lie inside the value region (never inside the
     ///   scratch arena);
     /// * the scratch arena must sit aligned past the value region and be
     ///   covered by the slab;
-    /// * the slab must not undercut the sum-of-live peak (a packing cannot
-    ///   beat physics — such a plan is corrupt, not clever).
+    /// * the slab must not undercut the union-of-live peak (a packing
+    ///   cannot beat physics — such a plan is corrupt, not clever).
     pub fn validate(&self) -> Vec<String> {
         let mut errors = Vec::new();
         let value_region = self.value_bytes.min(self.slab_bytes);
@@ -154,8 +218,24 @@ impl AllocationPlan {
                     value_region
                 ));
             }
+            let vi = a.value.0 as usize;
+            let root = self.root_of[vi];
+            if root != u32::MAX {
+                let root_off = self.offset_of[root as usize];
+                if root_off == usize::MAX || a.offset != root_off + self.delta_of[vi] {
+                    errors.push(format!(
+                        "buffer {:?} at offset {} disagrees with its alias class \
+                         (root {:?} + delta {})",
+                        a.value,
+                        a.offset,
+                        ValueId(root),
+                        self.delta_of[vi]
+                    ));
+                }
+            }
             for b in self.buffers.iter().skip(i + 1) {
-                if a.time_overlap(b) && a.space_overlap(b) {
+                let same_class = root != u32::MAX && self.root_of[b.value.0 as usize] == root;
+                if !same_class && a.time_overlap(b) && a.space_overlap(b) {
                     errors.push(format!(
                         "values {:?} and {:?} overlap in time [{},{}]∩[{},{}] and in space \
                          [{},{})∩[{},{})",
@@ -209,7 +289,7 @@ impl AllocationPlan {
 }
 
 /// Plan slab offsets for all internal tensors of `g` under its current
-/// schedule (greedy best-fit; see the module docs).
+/// schedule (alias-aware greedy best-fit; see the module docs).
 ///
 /// # Panics
 /// Panics if shape inference has not run.
@@ -219,46 +299,118 @@ pub fn plan_allocation(g: &Graph) -> AllocationPlan {
 }
 
 /// [`plan_allocation`] with a precomputed liveness (the executor computes
-/// liveness anyway and shares it).
+/// liveness anyway and shares it). Full alias mode.
 pub fn plan_allocation_with(g: &Graph, lv: &Liveness) -> AllocationPlan {
-    let intervals: Vec<LiveInterval> = lv.intervals().collect();
-    let sizes: Vec<usize> = intervals.iter().map(|iv| g.value_bytes(iv.value)).collect();
-    pack_best_fit(g, &intervals, &sizes)
+    plan_allocation_with_mode(g, lv, AliasMode::Full)
 }
 
-fn pack_best_fit(g: &Graph, intervals: &[LiveInterval], sizes: &[usize]) -> AllocationPlan {
-    let mut buffers: Vec<PlannedBuffer> = intervals
-        .iter()
-        .zip(sizes)
-        .map(|(iv, &bytes)| PlannedBuffer {
-            value: iv.value,
-            offset: 0,
-            bytes,
-            begin: iv.begin,
-            end: iv.end,
-        })
-        .collect();
+/// [`plan_allocation_with`] with an explicit [`AliasMode`]. `Off`
+/// reproduces the classic one-interval-per-value plan (every concat
+/// copies, nothing runs in place) — the A/B baseline for fig10's
+/// `bytes_moved` column and the differential oracle.
+///
+/// `Full` is guaranteed pointwise no worse than `Off` on both
+/// `value_bytes` and `bytes_moved`: the alias analysis keeps the
+/// union-measure peak monotone, but best-fit packing of the merged hull
+/// intervals can still fragment worse than the alias-free layout
+/// (concat-heavy graphs), so the planner packs both, retries without
+/// concat embedding if the full plan lost, and falls back to the
+/// alias-free plan as a last resort.
+pub fn plan_allocation_with_mode(g: &Graph, lv: &Liveness, mode: AliasMode) -> AllocationPlan {
+    if mode == AliasMode::Off {
+        return pack(g, lv, analyze(g, lv, AliasMode::Off));
+    }
+    let full = pack(g, lv, analyze(g, lv, AliasMode::Full));
+    let off = pack(g, lv, analyze(g, lv, AliasMode::Off));
+    let no_worse =
+        |p: &AllocationPlan| p.value_bytes <= off.value_bytes && p.bytes_moved <= off.bytes_moved;
+    if no_worse(&full) {
+        return full;
+    }
+    let trimmed = pack(g, lv, crate::alias::analyze_opts(g, lv, AliasMode::Full, false));
+    if no_worse(&trimmed) {
+        trimmed
+    } else {
+        off
+    }
+}
 
-    // Largest first; ties by earlier begin, then lower value id, so the
+/// Pack one alias analysis into a concrete plan (greedy best-fit over the
+/// class-hull intervals; see the module docs).
+fn pack(g: &Graph, lv: &Liveness, a: AliasAnalysis) -> AllocationPlan {
+    let n_values = g.values.len();
+
+    // Resolve every materialized value to (root, delta) once.
+    let mut root_of = vec![u32::MAX; n_values];
+    let mut delta_of = vec![0usize; n_values];
+    for vi in 0..n_values {
+        let v = ValueId(vi as u32);
+        if !lv.is_materialized(v) {
+            continue;
+        }
+        let (r, d) = a.resolve(v);
+        root_of[vi] = r.0;
+        delta_of[vi] = d;
+    }
+
+    // Group members under their roots: region size is the furthest member
+    // byte, the hull interval covers every member's lifetime. Roots are
+    // visited in ValueId order so the packing order below is deterministic
+    // (a root can carry a *higher* id than its members — a concat output
+    // roots its embedded operands).
+    struct ClassRegion {
+        root: ValueId,
+        bytes: usize,
+        begin: usize,
+        end: usize,
+    }
+    let mut region_of = vec![usize::MAX; n_values]; // root value → index into regions
+    let mut regions: Vec<ClassRegion> = Vec::new();
+    for vi in 0..n_values {
+        if root_of[vi] == u32::MAX {
+            continue;
+        }
+        let r = root_of[vi] as usize;
+        if region_of[r] == usize::MAX {
+            region_of[r] = regions.len();
+            regions.push(ClassRegion {
+                root: ValueId(r as u32),
+                bytes: 0,
+                begin: usize::MAX,
+                end: 0,
+            });
+        }
+        let reg = &mut regions[region_of[r]];
+        reg.bytes = reg.bytes.max(delta_of[vi] + g.value_bytes(ValueId(vi as u32)));
+        reg.begin = reg.begin.min(lv.begin[vi]);
+        reg.end = reg.end.max(lv.end[vi]);
+    }
+    regions.sort_by_key(|c| c.root);
+    for (ri, c) in regions.iter().enumerate() {
+        region_of[c.root.0 as usize] = ri;
+    }
+
+    // Largest first; ties by earlier hull begin, then lower root id, so the
     // order — and with it the whole plan — is a pure function of the graph.
-    let mut order: Vec<usize> = (0..buffers.len()).collect();
-    order.sort_by(|&a, &b| {
-        buffers[b]
+    let mut order: Vec<usize> = (0..regions.len()).collect();
+    order.sort_by(|&x, &y| {
+        regions[y]
             .bytes
-            .cmp(&buffers[a].bytes)
-            .then(buffers[a].begin.cmp(&buffers[b].begin))
-            .then(buffers[a].value.cmp(&buffers[b].value))
+            .cmp(&regions[x].bytes)
+            .then(regions[x].begin.cmp(&regions[y].begin))
+            .then(regions[x].root.cmp(&regions[y].root))
     });
 
-    let mut placed: Vec<usize> = Vec::with_capacity(buffers.len());
+    let mut region_offset = vec![0usize; regions.len()];
+    let mut placed: Vec<usize> = Vec::with_capacity(regions.len());
     for &i in &order {
-        let need = buffers[i].bytes;
-        // Occupied byte ranges of already-placed buffers alive at the same
-        // time as buffer `i`.
+        let need = regions[i].bytes;
+        // Occupied byte ranges of already-placed regions alive at the same
+        // time as region `i`.
         let mut occupied: Vec<(usize, usize)> = placed
             .iter()
-            .filter(|&&j| buffers[i].time_overlap(&buffers[j]))
-            .map(|&j| (buffers[j].offset, buffers[j].offset + buffers[j].bytes))
+            .filter(|&&j| regions[i].begin <= regions[j].end && regions[j].begin <= regions[i].end)
+            .map(|&j| (region_offset[j], region_offset[j] + regions[j].bytes))
             .collect();
         occupied.sort_unstable();
 
@@ -279,16 +431,52 @@ fn pack_best_fit(g: &Graph, intervals: &[LiveInterval], sizes: &[usize]) -> Allo
             }
             cursor = cursor.max(end);
         }
-        buffers[i].offset = best.map_or(cursor, |(_, off)| off);
+        region_offset[i] = best.map_or(cursor, |(_, off)| off);
         placed.push(i);
     }
 
-    let value_bytes = buffers.iter().map(|p| p.offset + p.bytes).max().unwrap_or(0);
-    let peak_live_bytes = peak_live(g.nodes.len(), &buffers);
-    let mut offset_of = vec![usize::MAX; g.values.len()];
-    for p in &buffers {
-        offset_of[p.value.0 as usize] = p.offset;
+    // Per-value buffers: resolved absolute offset, own interval.
+    let mut buffers: Vec<PlannedBuffer> = Vec::new();
+    let mut offset_of = vec![usize::MAX; n_values];
+    for vi in 0..n_values {
+        if root_of[vi] == u32::MAX {
+            continue;
+        }
+        let ri = region_of[root_of[vi] as usize];
+        let off = region_offset[ri] + delta_of[vi];
+        offset_of[vi] = off;
+        buffers.push(PlannedBuffer {
+            value: ValueId(vi as u32),
+            offset: off,
+            bytes: g.value_bytes(ValueId(vi as u32)),
+            begin: lv.begin[vi],
+            end: lv.end[vi],
+        });
     }
+
+    let value_bytes =
+        regions.iter().enumerate().map(|(ri, c)| region_offset[ri] + c.bytes).max().unwrap_or(0);
+    let peak_live_bytes = peak_live_union(g.nodes.len(), &buffers);
+
+    // Static data-movement accounting per node.
+    let mut bytes_moved_per_node = vec![0usize; g.nodes.len()];
+    for (i, node) in g.nodes.iter().enumerate() {
+        bytes_moved_per_node[i] = match (&node.op, &a.node_exec[i]) {
+            (Op::Input, _) => g.value_bytes(node.output),
+            (Op::Concat, NodeExec::ConcatAliased { copy }) => node
+                .inputs
+                .iter()
+                .zip(copy)
+                .filter(|(_, c)| **c)
+                .map(|(v, _)| g.value_bytes(*v))
+                .sum(),
+            (Op::Concat, _) => node.inputs.iter().map(|v| g.value_bytes(*v)).sum(),
+            (Op::Flatten, NodeExec::InPlace { .. }) => 0,
+            (Op::Flatten, _) => g.value_bytes(node.output),
+            _ => 0,
+        };
+    }
+    let bytes_moved = bytes_moved_per_node.iter().sum();
 
     // Reserve the shared kernel-scratch arena past the value region. One
     // node runs at a time, so max-over-nodes is exact, not conservative.
@@ -306,22 +494,40 @@ fn pack_best_fit(g: &Graph, intervals: &[LiveInterval], sizes: &[usize]) -> Allo
         scratch_bytes,
         node_scratch,
         peak_live_bytes,
+        node_exec: a.node_exec,
+        bytes_moved_per_node,
+        bytes_moved,
         offset_of,
+        root_of,
+        delta_of,
     }
 }
 
-/// Peak of simultaneously-live bytes via a delta sweep over the schedule.
-fn peak_live(n_steps: usize, buffers: &[PlannedBuffer]) -> usize {
-    let mut delta = vec![0isize; n_steps + 2];
-    for p in buffers {
-        delta[p.begin] += p.bytes as isize;
-        delta[p.end + 1] -= p.bytes as isize;
-    }
-    let mut live = 0isize;
+/// Peak of simultaneously-live bytes as the per-step **union measure** of
+/// placed buffer extents: aliased values sharing bytes are counted once.
+/// With aliasing off the spans are pairwise disjoint and this equals the
+/// classic sum-of-live sweep.
+fn peak_live_union(n_steps: usize, buffers: &[PlannedBuffer]) -> usize {
     let mut peak = 0usize;
-    for d in delta {
-        live += d;
-        peak = peak.max(live as usize);
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(buffers.len());
+    for step in 0..n_steps {
+        spans.clear();
+        for p in buffers {
+            if p.begin <= step && step <= p.end {
+                spans.push((p.offset, p.offset + p.bytes));
+            }
+        }
+        spans.sort_unstable();
+        let mut covered = 0usize;
+        let mut cursor = 0usize;
+        for &(s, e) in &spans {
+            let s = s.max(cursor);
+            if e > s {
+                covered += e - s;
+                cursor = e;
+            }
+        }
+        peak = peak.max(covered);
     }
     peak
 }
@@ -344,13 +550,30 @@ mod tests {
     }
 
     #[test]
-    fn chain_packs_into_two_slots() {
+    fn chain_packs_into_one_slot_in_place() {
+        // Every relu's input dies at the relu, so the whole chain runs in
+        // place over the graph input's buffer: one slot, not two.
         let g = chain(8);
         let plan = plan_allocation(&g);
+        assert!(plan.validate().is_empty());
+        assert_eq!(plan.slab_bytes, 4 * 64 * 4);
+        assert_eq!(plan.slab_bytes, plan.peak_live_bytes);
+        assert!((plan.fragmentation().ratio - 1.0).abs() < 1e-12);
+        assert_eq!(plan.alias_stats().inplace_nodes, 8);
+    }
+
+    #[test]
+    fn chain_packs_into_two_slots_with_aliasing_off() {
+        // The classic plan: each relu needs a second slot to write into
+        // while its input is still live.
+        let g = chain(8);
+        let lv = temco_ir::liveness(&g);
+        let plan = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
         assert!(plan.validate().is_empty());
         assert_eq!(plan.slab_bytes, 2 * 4 * 64 * 4);
         assert_eq!(plan.slab_bytes, plan.peak_live_bytes);
         assert!((plan.fragmentation().ratio - 1.0).abs() < 1e-12);
+        assert_eq!(plan.alias_stats(), crate::alias::AliasStats::default());
     }
 
     #[test]
@@ -362,10 +585,14 @@ mod tests {
         }
         // A value id past the table is not materialized.
         assert_eq!(plan.offset(ValueId(9999)), None);
+        assert_eq!(plan.alias(ValueId(9999)), None);
     }
 
     #[test]
-    fn skip_connection_gets_a_third_slot() {
+    fn skip_connection_packs_into_two_slots() {
+        // x→a (in place), b, c (in place over b), s = add(a, c) in place
+        // over a: two alias classes {x, a, s} and {b, c} — two slots where
+        // the alias-free plan needed three.
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 8, 8], "x");
         let a = g.relu(x, "a");
@@ -376,16 +603,21 @@ mod tests {
         g.infer_shapes();
         let plan = plan_allocation(&g);
         assert!(plan.validate().is_empty());
-        assert_eq!(plan.slab_bytes, 3 * 4 * 64 * 4);
+        assert_eq!(plan.slab_bytes, 2 * 4 * 64 * 4);
+        let (root_s, _) = plan.alias(s).unwrap();
+        let (root_a, _) = plan.alias(a).unwrap();
+        assert_eq!(root_s, root_a);
+
+        let lv = temco_ir::liveness(&g);
+        let off = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
+        assert_eq!(off.slab_bytes, 3 * 4 * 64 * 4);
     }
 
     #[test]
     fn best_fit_prefers_the_tightest_gap() {
-        // Hand-built intervals: a big buffer [0,0], then after it dies two
-        // gaps exist (one exact-fit at a high offset once we stage it).
-        // Construct via a graph with mixed sizes: a 4-channel and an
-        // 8-channel tensor alive together, then a second 4-channel tensor
-        // that must slot into the free 4-channel-sized gap, not past the top.
+        // Mixed sizes: a 4-channel and an 8-channel tensor alive together,
+        // then later tensors that must reuse freed gaps rather than grow
+        // the slab past the union-of-live peak.
         let mut g = Graph::new();
         let x = g.input(&[1, 4, 8, 8], "x"); // 1 KiB
         let wide = g.conv2d(x, Tensor::zeros(&[8, 4, 3, 3]), None, 1, 1, "wide"); // 2 KiB
@@ -395,10 +627,10 @@ mod tests {
         g.infer_shapes();
         let plan = plan_allocation(&g);
         assert!(plan.validate().is_empty());
-        // x dies when wide is computed... peak is wide+narrow+? — whatever
-        // the exact layout, best-fit must not exceed the sum-of-live peak
-        // here because every later tensor fits a freed gap exactly. (The
-        // value region, that is — the convs also reserve kernel scratch.)
+        // Whatever the exact layout, best-fit must not exceed the
+        // union-of-live peak here because every later tensor fits a freed
+        // gap exactly. (The value region, that is — the convs also reserve
+        // kernel scratch.)
         assert_eq!(plan.value_bytes, plan.peak_live_bytes);
         assert!(plan.scratch_bytes > 0);
         assert_eq!(plan.slab_bytes, plan.scratch_offset + plan.scratch_bytes);
@@ -419,9 +651,37 @@ mod tests {
         let a = plan_allocation(&g);
         let b = plan_allocation(&g);
         assert_eq!(a.slab_bytes, b.slab_bytes);
+        assert_eq!(a.bytes_moved, b.bytes_moved);
         for (pa, pb) in a.buffers.iter().zip(&b.buffers) {
             assert_eq!((pa.value, pa.offset, pa.bytes), (pb.value, pb.offset, pb.bytes));
         }
+    }
+
+    #[test]
+    fn concat_embedding_eliminates_copies_and_bytes() {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let p = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "p");
+        let q = g.conv2d(x, Tensor::zeros(&[4, 4, 3, 3]), None, 1, 1, "q");
+        let cat = g.concat(&[p, q], "cat");
+        g.mark_output(cat);
+        g.infer_shapes();
+        let lv = temco_ir::liveness(&g);
+        let full = plan_allocation_with_mode(&g, &lv, AliasMode::Full);
+        let off = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
+        assert!(full.validate().is_empty());
+        assert!(off.validate().is_empty());
+        // Both producers write straight into the concat region: the concat
+        // moves nothing, and the region is counted once (not once per
+        // producer plus once for the output).
+        let slice = 4 * 64 * 4;
+        assert_eq!(full.alias_stats().aliased_concat_operands, 2);
+        assert_eq!(full.bytes_moved, off.bytes_moved - 2 * slice);
+        assert!(full.slab_bytes < off.slab_bytes, "{} vs {}", full.slab_bytes, off.slab_bytes);
+        // p and q resolve inside cat's region.
+        let cat_off = full.offset(cat).unwrap();
+        assert_eq!(full.offset(p), Some(cat_off));
+        assert_eq!(full.offset(q), Some(cat_off + slice));
     }
 
     #[test]
@@ -434,11 +694,36 @@ mod tests {
 
     #[test]
     fn validate_flags_space_collisions() {
-        let g = chain(3);
+        // Two parallel branches of x live at the same time; forcing both
+        // (different alias classes) onto offset 0 must be flagged.
+        let mut g = Graph::new();
+        let x = g.input(&[1, 4, 8, 8], "x");
+        let a = g.relu(x, "a");
+        let b = g.relu(x, "b");
+        let s = g.add(&[a, b], "s");
+        g.mark_output(s);
+        g.infer_shapes();
         let mut plan = plan_allocation(&g);
         for p in &mut plan.buffers {
             p.offset = 0;
         }
+        for o in &mut plan.offset_of {
+            if *o != usize::MAX {
+                *o = 0;
+            }
+        }
+        for d in &mut plan.delta_of {
+            *d = 0;
+        }
         assert!(plan.validate().iter().any(|e| e.contains("overlap in time")));
+    }
+
+    #[test]
+    fn validate_flags_buffers_that_leave_their_class() {
+        let g = chain(3);
+        let mut plan = plan_allocation(&g);
+        // Nudge one buffer away from its alias-resolved offset.
+        plan.buffers[1].offset += 4;
+        assert!(plan.validate().iter().any(|e| e.contains("alias class")));
     }
 }

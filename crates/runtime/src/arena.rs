@@ -13,9 +13,10 @@
 //! `peak_live ≤ arena ≤ sum_of_tensors`, with the gap being fragmentation.
 //! The Figure-10 harness reports both.
 
-use temco_ir::{Graph, ValueId};
+use temco_ir::{liveness, Graph, ValueId};
 
-use crate::alloc::plan_allocation;
+use crate::alias::AliasMode;
+use crate::alloc::plan_allocation_with_mode;
 
 /// One placed tensor.
 #[derive(Clone, Debug)]
@@ -54,14 +55,17 @@ impl ArenaPlan {
 }
 
 /// Plan arena offsets for all internal tensors of `g` under its current
-/// schedule. Delegates to [`crate::alloc::plan_allocation`] (greedy
-/// best-fit), so this report describes exactly the layout the slab executor
-/// runs on.
+/// schedule. Delegates to [`crate::alloc::plan_allocation_with_mode`] with
+/// aliasing **off**: the `ArenaPlan` contract is one disjoint interval per
+/// tensor (Pisarchyk & Lee's model), so this legacy report stays the
+/// alias-free baseline — the executor's actual alias-aware layout is the
+/// [`crate::alloc::AllocationPlan`] itself.
 ///
 /// # Panics
 /// Panics if shape inference has not run.
 pub fn plan_arena(g: &Graph) -> ArenaPlan {
-    let plan = plan_allocation(g);
+    let lv = liveness(g);
+    let plan = plan_allocation_with_mode(g, &lv, AliasMode::Off);
     let placements = plan
         .buffers
         .iter()

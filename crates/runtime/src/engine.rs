@@ -20,12 +20,13 @@
 
 use std::sync::Arc;
 
-use temco_ir::{liveness, Graph, Op, ValueId};
+use temco_ir::{liveness, Graph, Op};
 use temco_obs::{kind, Recorder, NO_NODE};
-use temco_tensor::{Tensor, TensorView};
+use temco_tensor::Tensor;
 
-use crate::alloc::{plan_allocation_with, AllocationPlan};
-use crate::executor::{eval_into, ExecError};
+use crate::alias::AliasMode;
+use crate::alloc::{plan_allocation_with_mode, AllocationPlan};
+use crate::executor::{run_node_on_slab, ExecError};
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -63,7 +64,7 @@ impl CompiledGraph {
             }
         }
         let lv = liveness(&g);
-        let plan = plan_allocation_with(&g, &lv);
+        let plan = plan_allocation_with_mode(&g, &lv, AliasMode::Full);
         let violations = plan.validate();
         if !violations.is_empty() {
             return Err(ExecError::InvalidPlan { violations });
@@ -196,44 +197,13 @@ impl Engine {
         let plan = &self.shared.plan;
         let slab_ptr = self.slab.as_mut_ptr();
         let run_span = rec.as_deref().map(|r| r.start());
-        for (i, node) in g.nodes.iter().enumerate() {
+        for i in 0..g.nodes.len() {
             let node_span = rec.as_deref().map(|r| r.start());
-            let out_off = plan.offset(node.output).expect("planned in new()") / F32;
-            let out_len = g.value_numel(node.output);
-            // Same aliasing argument as the executor: the plan (validated
-            // in `new`) keeps the output region disjoint from operand
-            // regions and from the scratch arena.
-            let out: &mut [f32] =
-                unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(out_off), out_len) };
-            let view = |v: ValueId| -> TensorView<'_> {
-                let off = plan.offset(v).expect("planned in new()") / F32;
-                let len = g.value_numel(v);
-                unsafe {
-                    TensorView::new(g.shape(v), std::slice::from_raw_parts(slab_ptr.add(off), len))
-                }
-            };
-            let scratch_f = plan.node_scratch[i] / F32;
-            let scratch: &mut [f32] = if scratch_f == 0 {
-                &mut []
-            } else {
-                unsafe {
-                    std::slice::from_raw_parts_mut(
-                        slab_ptr.add(plan.scratch_offset / F32),
-                        scratch_f,
-                    )
-                }
-            };
-            match &node.op {
-                Op::Input => {
-                    let pos = g
-                        .inputs
-                        .iter()
-                        .position(|v| *v == node.output)
-                        .expect("validated in new()");
-                    out.copy_from_slice(inputs[pos].data());
-                }
-                other => eval_into(g, other, &node.inputs, &view, out, scratch),
-            }
+            // SAFETY: the slab outlives the loop and nothing else views it;
+            // the plan was validated in `new()`, and the shared dispatch
+            // honors its aliasing discipline (single `&mut` per in-place
+            // region, memmove for aliased concat copies).
+            unsafe { run_node_on_slab(g, plan, i, slab_ptr, inputs) };
             if let (Some(r), Some(s)) = (rec.as_deref_mut(), node_span) {
                 r.finish(s, kind::NODE, i as u32);
             }

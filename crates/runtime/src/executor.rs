@@ -23,13 +23,15 @@ use std::time::Instant;
 
 use temco_ir::{liveness, Graph, Liveness, Op, PoolKind, ValueId};
 use temco_tensor::{
-    add, add_n_into_iter, avg_pool2d, avg_pool2d_into, concat_channels, concat_channels_into_iter,
-    conv2d, conv2d_into_scratch, conv_transpose2d, conv_transpose2d_into_scratch, global_avg_pool,
-    global_avg_pool_into, linear, linear_into_scratch, max_pool2d, max_pool2d_into,
-    softmax_lastdim, softmax_lastdim_into, Conv2dParams, Tensor, TensorView,
+    add, add_n_assign_iter, add_n_into_iter, avg_pool2d, avg_pool2d_inplace, avg_pool2d_into,
+    concat_channels, concat_channels_into_iter, conv2d, conv2d_into_scratch, conv_transpose2d,
+    conv_transpose2d_into_scratch, global_avg_pool, global_avg_pool_inplace, global_avg_pool_into,
+    linear, linear_into_scratch, max_pool2d, max_pool2d_inplace, max_pool2d_into, softmax_lastdim,
+    softmax_lastdim_inplace, softmax_lastdim_into, Conv2dParams, Tensor, TensorView,
 };
 
-use crate::alloc::plan_allocation_with;
+use crate::alias::{AliasMode, NodeExec};
+use crate::alloc::{plan_allocation_with_mode, AllocationPlan};
 use crate::fused::{fused_forward, fused_forward_into_scratch};
 use crate::memory::MemoryTracker;
 
@@ -52,6 +54,9 @@ pub struct ExecOptions {
     pub time_nodes: bool,
     /// Memory strategy (defaults to [`ExecMode::Slab`]).
     pub mode: ExecMode,
+    /// Alias analysis for the slab plan (defaults to [`AliasMode::Full`]);
+    /// `Off` reproduces the classic one-interval-per-value plan.
+    pub alias: AliasMode,
 }
 
 /// A typed execution failure. The execute path validates graph, inputs and
@@ -234,7 +239,7 @@ fn execute_slab(
     opts: ExecOptions,
     lv: &Liveness,
 ) -> Result<ExecResult, ExecError> {
-    let plan = plan_allocation_with(g, lv);
+    let plan = plan_allocation_with_mode(g, lv, opts.alias);
     let violations = plan.validate();
     if !violations.is_empty() {
         return Err(ExecError::InvalidPlan { violations });
@@ -254,46 +259,10 @@ fn execute_slab(
             plan.offset(node.output).expect("every node output is materialized — liveness bug")
                 / F32;
         let out_len = g.value_numel(node.output);
-        // The plan guarantees the output region is disjoint from every
-        // operand region (they are simultaneously live at step `i`), so
-        // carving one `&mut` and several `&` views out of the slab is sound;
-        // `plan.validate()` above checked it for this very plan.
-        let out: &mut [f32] =
-            unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(out_off), out_len) };
-        let view = |v: ValueId| -> TensorView<'_> {
-            let off = plan.offset(v).expect("operand not materialized — liveness bug") / F32;
-            let len = g.value_numel(v);
-            debug_assert!(
-                out_off + out_len <= off || off + len <= out_off,
-                "plan aliased node '{}' output with an operand",
-                node.name
-            );
-            unsafe {
-                TensorView::new(g.shape(v), std::slice::from_raw_parts(slab_ptr.add(off), len))
-            }
-        };
 
-        // The node's kernel scratch is the planner-reserved arena past the
-        // value region — disjoint from every value view by construction.
-        let scratch_f = plan.node_scratch[i] / F32;
-        let scratch: &mut [f32] = if scratch_f == 0 {
-            &mut []
-        } else {
-            unsafe {
-                std::slice::from_raw_parts_mut(slab_ptr.add(plan.scratch_offset / F32), scratch_f)
-            }
-        };
-
-        match &node.op {
-            // Inputs are matched by their position in `Graph::inputs`, not
-            // by schedule order — rescheduling passes may move input nodes.
-            Op::Input => {
-                let pos =
-                    g.inputs.iter().position(|v| *v == node.output).expect("checked by validate()");
-                out.copy_from_slice(inputs[pos].data());
-            }
-            other => eval_into(g, other, &node.inputs, &view, out, scratch),
-        }
+        // SAFETY: the slab outlives the loop, the plan was validated above,
+        // and the dispatch honors the plan's aliasing discipline.
+        unsafe { run_node_on_slab(g, &plan, i, slab_ptr, inputs) };
 
         let out_bytes = out_len * F32;
         mem.alloc(out_bytes, i);
@@ -356,6 +325,185 @@ fn execute_slab(
         slab_high_water: high_water,
         node_high_water,
     })
+}
+
+/// Run one scheduled node's kernel on the slab, honoring the plan's
+/// alias-resolved execution mode. This is the single dispatch both the
+/// one-shot executor and the reusable [`crate::engine::Engine`] use, so
+/// the aliasing discipline cannot drift between them:
+///
+/// * [`NodeExec::InPlace`] — the output reuses one dying operand's bytes.
+///   Exactly **one** `&mut` is carved over the shared region (never a
+///   `&` view of the aliased operand alongside it), and the kernel runs
+///   through its `_inplace` entry point.
+/// * [`NodeExec::Overlap`] — a monotone pool reads and writes the *same*
+///   buffer (the DMO mode); the buffer spans the input's extent and the
+///   output lands in its prefix.
+/// * [`NodeExec::ConcatAliased`] — embedded operands were produced in
+///   place inside the concat region and need no work at all; the rare
+///   non-embedded operand is copied with `ptr::copy` (memmove semantics —
+///   a nested embedding can legally place the source *inside* the output
+///   extent).
+/// * [`NodeExec::Standard`] — the classic disjoint-region dispatch through
+///   [`eval_into`].
+///
+/// # Safety
+/// `slab_ptr` must point at a live allocation of at least
+/// `plan.slab_bytes` bytes that nothing else aliases for the duration of
+/// the call, and `plan` must be a validated plan for `g` (its `validate()`
+/// returned no violations).
+pub(crate) unsafe fn run_node_on_slab(
+    g: &Graph,
+    plan: &AllocationPlan,
+    i: usize,
+    slab_ptr: *mut f32,
+    inputs: &[Tensor],
+) {
+    let node = &g.nodes[i];
+    let out_off =
+        plan.offset(node.output).expect("every node output is materialized — liveness bug") / F32;
+    let out_len = g.value_numel(node.output);
+
+    match &plan.node_exec[i] {
+        NodeExec::InPlace { operand } => {
+            // One mutable slice over the shared bytes; the aliased operand
+            // is never viewed separately.
+            let buf: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(out_off), out_len) };
+            match &node.op {
+                Op::Activation(kind) => kind.forward_inplace(buf),
+                Op::Affine { scale, bias } => {
+                    let s = g.weight(*scale).data();
+                    let b = g.weight(*bias).data();
+                    let sh = g.shape(node.output);
+                    let (n, c) = (sh[0], sh[1]);
+                    let plane = sh[2] * sh[3];
+                    for bi in 0..n {
+                        for ci in 0..c {
+                            let off = (bi * c + ci) * plane;
+                            for x in &mut buf[off..off + plane] {
+                                *x = *x * s[ci] + b[ci];
+                            }
+                        }
+                    }
+                }
+                // `buf` already holds the in-place operand; accumulate the
+                // rest on top.
+                Op::Add => add_n_assign_iter(
+                    node.inputs.iter().enumerate().filter(|&(k, _)| k != *operand).map(
+                        |(_, &v)| {
+                            let off = plan.offset(v).expect("operand not materialized") / F32;
+                            unsafe {
+                                std::slice::from_raw_parts(slab_ptr.add(off), g.value_numel(v))
+                            }
+                        },
+                    ),
+                    buf,
+                ),
+                // A flatten over its own bytes is the pure reinterpretation
+                // it always was mathematically: zero work, zero movement.
+                Op::Flatten => {}
+                Op::Softmax => softmax_lastdim_inplace(buf, g.shape(node.output)[1]),
+                other => unreachable!("op {other:?} has no in-place mode"),
+            }
+        }
+        NodeExec::Overlap => {
+            let v = node.inputs[0];
+            let in_off = plan.offset(v).expect("operand not materialized") / F32;
+            debug_assert_eq!(in_off, out_off, "overlap mode writes its input's prefix");
+            let sh = g.shape(v);
+            let buf: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(in_off), g.value_numel(v)) };
+            match &node.op {
+                Op::Pool { kind: PoolKind::Max, kernel, stride } => {
+                    max_pool2d_inplace(buf, sh[0], sh[1], sh[2], sh[3], *kernel, *stride)
+                }
+                Op::Pool { kind: PoolKind::Avg, kernel, stride } => {
+                    avg_pool2d_inplace(buf, sh[0], sh[1], sh[2], sh[3], *kernel, *stride)
+                }
+                Op::GlobalAvgPool => global_avg_pool_inplace(buf, sh[0], sh[1], sh[2], sh[3]),
+                other => unreachable!("op {other:?} has no overlap mode"),
+            }
+        }
+        NodeExec::ConcatAliased { copy } => {
+            // Embedded operands already live at their slots; copy the rest.
+            // Aliased concats only exist at batch 1, so each operand's slot
+            // is one contiguous channel slice of the output.
+            let oshape = g.shape(node.output);
+            debug_assert_eq!(oshape[0], 1, "aliased concat implies batch 1");
+            let plane: usize = oshape[2..].iter().product();
+            let mut c_off = 0usize;
+            for (j, &v) in node.inputs.iter().enumerate() {
+                let c = g.shape(v)[1];
+                if copy[j] {
+                    let src = plan.offset(v).expect("operand not materialized") / F32;
+                    unsafe {
+                        std::ptr::copy(
+                            slab_ptr.add(src),
+                            slab_ptr.add(out_off + c_off * plane),
+                            c * plane,
+                        )
+                    };
+                }
+                c_off += c;
+            }
+        }
+        NodeExec::Standard => {
+            // The plan guarantees the output region is disjoint from every
+            // operand region (they are simultaneously live at step `i` in
+            // different alias classes, or in disjoint slices of one), so
+            // carving one `&mut` and several `&` views out of the slab is
+            // sound; `plan.validate()` checked it for this very plan.
+            let out: &mut [f32] =
+                unsafe { std::slice::from_raw_parts_mut(slab_ptr.add(out_off), out_len) };
+            match &node.op {
+                // Inputs are matched by their position in `Graph::inputs`,
+                // not by schedule order — rescheduling passes may move
+                // input nodes.
+                Op::Input => {
+                    let pos = g
+                        .inputs
+                        .iter()
+                        .position(|v| *v == node.output)
+                        .expect("checked by validate()");
+                    out.copy_from_slice(inputs[pos].data());
+                }
+                other => {
+                    let view = |v: ValueId| -> TensorView<'_> {
+                        let off =
+                            plan.offset(v).expect("operand not materialized — liveness bug") / F32;
+                        let len = g.value_numel(v);
+                        debug_assert!(
+                            out_off + out_len <= off || off + len <= out_off,
+                            "plan aliased node '{}' output with an operand",
+                            node.name
+                        );
+                        unsafe {
+                            TensorView::new(
+                                g.shape(v),
+                                std::slice::from_raw_parts(slab_ptr.add(off), len),
+                            )
+                        }
+                    };
+                    // The node's kernel scratch is the planner-reserved
+                    // arena past the value region — disjoint from every
+                    // value view by construction.
+                    let scratch_f = plan.node_scratch[i] / F32;
+                    let scratch: &mut [f32] = if scratch_f == 0 {
+                        &mut []
+                    } else {
+                        unsafe {
+                            std::slice::from_raw_parts_mut(
+                                slab_ptr.add(plan.scratch_offset / F32),
+                                scratch_f,
+                            )
+                        }
+                    };
+                    eval_into(g, other, &node.inputs, &view, out, scratch);
+                }
+            }
+        }
+    }
 }
 
 /// Dispatch one node's kernel through its `_into` variant. Kernels that

@@ -18,11 +18,17 @@
 //!   liveness interval into one contiguous slab (greedy best-fit) and
 //!   appends a shared kernel-scratch arena sized by [`scratch`], so the
 //!   executor's default mode performs exactly one allocation per inference.
+//! * [`alias`] — the virtual-tensor pass feeding the allocator: proves when
+//!   a concat operand may be produced directly inside the concat's region,
+//!   when an elementwise output may reuse its dying input's bytes, and when
+//!   a monotone pool may overlap its input — so copies (and whole slab
+//!   intervals) disappear from the plan instead of being executed faster.
 //! * [`engine`] — plans once, runs many: an immutable, `Arc`-shareable
 //!   [`CompiledGraph`] (verified graph + plan, weights held once) plus a
 //!   per-worker [`Engine`] (private slab) whose steady-state `run`
 //!   performs **zero** heap allocations.
 
+pub mod alias;
 pub mod alloc;
 pub mod arena;
 pub mod engine;
@@ -34,9 +40,10 @@ pub mod planner;
 pub mod profile;
 pub mod scratch;
 
+pub use alias::{AliasMode, AliasStats, NodeExec};
 pub use alloc::{
-    plan_allocation, plan_allocation_with, AllocationPlan, FragmentationReport, PlannedBuffer,
-    SCRATCH_ALIGN,
+    plan_allocation, plan_allocation_with, plan_allocation_with_mode, AllocationPlan,
+    FragmentationReport, PlannedBuffer, SCRATCH_ALIGN,
 };
 pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
 pub use engine::{CompiledGraph, Engine};

@@ -102,6 +102,7 @@ pub fn engine_report(compiled: &CompiledGraph, rec: &Recorder) -> EngineReport {
             out_bytes: g.value_bytes(node.output),
             high_water_bytes: node_high_water_bytes(g, plan, i),
             scratch_bytes: plan.node_scratch[i],
+            moved_bytes: plan.bytes_moved_per_node[i],
         })
         .collect();
     let mut runs = 0u64;
@@ -209,6 +210,9 @@ mod tests {
         assert!(report.coverage() > 0.5, "coverage {}", report.coverage());
         // Plan-level facts survive the join.
         assert_eq!(report.slab_bytes, engine.slab_bytes());
+        assert_eq!(report.bytes_moved(), engine.compiled().plan().bytes_moved);
+        // The input node stages bytes; in-place/aliased nodes move none.
+        assert!(report.nodes[0].moved_bytes > 0);
         assert_eq!(report.peak_node().unwrap().high_water_bytes, engine.slab_bytes());
         let rollup = report.rollup_by_op();
         assert!(rollup.iter().any(|r| r.op == "conv2d"));

@@ -235,6 +235,7 @@ impl Server {
             failed_shutdown: st.failed_shutdown.get(),
             batches: st.batches.get(),
             batch_slots: st.batch_slots.get(),
+            bytes_moved: st.bytes_moved.get(),
             queue_depth: core.queue.len(),
             latency_buckets: st.latency_histogram(),
             queue_wait_buckets: st.queue_wait_histogram(),

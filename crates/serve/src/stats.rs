@@ -50,6 +50,10 @@ pub(crate) struct Stats {
     /// Sum of executed buckets' capacities — the denominator of
     /// batch-window occupancy.
     pub batch_slots: Arc<Counter>,
+    /// Bytes copied by executed batches (each engine run adds its plan's
+    /// `bytes_moved`: input staging plus concat/flatten copies the alias
+    /// analysis could not eliminate).
+    pub bytes_moved: Arc<Counter>,
     /// Requests currently queued; refreshed at scrape time.
     pub queue_depth: Arc<Gauge>,
     /// Worker count / per-worker slab bytes; set once at server startup.
@@ -100,6 +104,10 @@ impl Stats {
             batch_slots: r.counter(
                 "temco_batch_slots_total",
                 "Capacity of the buckets executed; occupancy denominator.",
+            ),
+            bytes_moved: r.counter(
+                "temco_bytes_moved_total",
+                "Bytes copied by executed batches (staging + unaliased concat/flatten copies).",
             ),
             queue_depth: r.gauge("temco_queue_depth", "Requests waiting in the queue."),
             workers: r.gauge("temco_workers", "Worker threads serving this instance."),
@@ -219,6 +227,9 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Summed capacity of the buckets executed (occupancy denominator).
     pub batch_slots: u64,
+    /// Bytes copied by executed batches (per-batch plan `bytes_moved`,
+    /// accumulated).
+    pub bytes_moved: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
     /// End-to-end latency counts in power-of-two microsecond buckets (see
@@ -314,6 +325,10 @@ impl StatsSnapshot {
             self.mean_batch_size(),
             self.batch_occupancy()
         ));
+        s.push_str(&format!(
+            "  bytes moved        {:.2} MiB\n",
+            self.bytes_moved as f64 / (1024.0 * 1024.0)
+        ));
         s.push_str("  batch size hist    ");
         for (i, &c) in self.batch_size_hist.iter().enumerate() {
             if c > 0 {
@@ -362,6 +377,7 @@ mod tests {
             failed_shutdown: st.failed_shutdown.get(),
             batches: st.batches.get(),
             batch_slots: st.batch_slots.get(),
+            bytes_moved: st.bytes_moved.get(),
             queue_depth: 0,
             latency_buckets: st.latency_histogram(),
             queue_wait_buckets: st.queue_wait_histogram(),
@@ -488,6 +504,7 @@ mod tests {
         st.service.record(Duration::from_micros(2000));
         st.record_latency(Duration::from_micros(2100));
         st.record_batch(3, 4);
+        st.bytes_moved.add(4096);
         st.workers.set(2.0);
         let text = st.render_prometheus(7);
         assert!(text.contains("temco_requests_submitted_total 5"));
@@ -504,5 +521,6 @@ mod tests {
         assert!(text.contains("temco_batch_size_bucket{le=\"3\"} 1"));
         assert!(text.contains("temco_batch_size_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("temco_batch_slots_total 4"));
+        assert!(text.contains("temco_bytes_moved_total 4096"));
     }
 }

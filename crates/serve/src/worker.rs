@@ -200,6 +200,7 @@ impl Worker {
             stats.service.record(service);
         }
         stats.record_batch(n, bucket as usize);
+        stats.bytes_moved.add(self.engines[bi].plan().bytes_moved as u64);
         self.batch.clear();
         StepOutcome::Ran(n)
     }

@@ -47,6 +47,15 @@ impl ActKind {
             *o = self.apply(x);
         }
     }
+
+    /// Apply the activation to a buffer in place — the alias-aware
+    /// executor's entry point when the input's liveness ends at this node
+    /// and the output reuses its bytes.
+    pub fn forward_inplace(self, buf: &mut [f32]) {
+        for x in buf.iter_mut() {
+            *x = self.apply(*x);
+        }
+    }
 }
 
 /// Elementwise sum of two same-shaped tensors.
@@ -92,6 +101,26 @@ where
         }
     }
     assert!(!first, "add of empty list");
+}
+
+/// Accumulate operand slices into `out` with `+=` — no initial copy. The
+/// alias-aware executor calls this when an n-ary `Add` runs in place over
+/// one dying operand: `out` already holds that operand's values and the
+/// *remaining* operands are summed on top.
+///
+/// # Panics
+/// Panics if any operand length disagrees with `out`. An empty iterator is
+/// fine (an add in place over its only operand is the identity).
+pub fn add_n_assign_iter<'a, I>(inputs: I, out: &mut [f32])
+where
+    I: Iterator<Item = &'a [f32]>,
+{
+    for x in inputs {
+        assert_eq!(x.len(), out.len(), "add operand length mismatch");
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o += v;
+        }
+    }
 }
 
 /// Concatenate 4-D tensors along the channel axis.
@@ -232,8 +261,18 @@ pub fn softmax_lastdim_into(input: TensorView<'_>, out: &mut [f32]) {
     let (n, f) = (input.dim(0), input.dim(1));
     assert_eq!(out.len(), n * f, "softmax output buffer length");
     out.copy_from_slice(input.data());
-    for r in 0..n {
-        let row = &mut out[r * f..(r + 1) * f];
+    softmax_lastdim_inplace(out, f);
+}
+
+/// Softmax over rows of `features` elements, normalizing `buf` in place —
+/// the alias-aware executor's entry point when the logits die at the
+/// softmax and the probabilities reuse their bytes.
+///
+/// # Panics
+/// Panics unless `buf` divides evenly into rows of `features`.
+pub fn softmax_lastdim_inplace(buf: &mut [f32], features: usize) {
+    assert!(features > 0 && buf.len().is_multiple_of(features), "softmax row length mismatch");
+    for row in buf.chunks_mut(features) {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for x in row.iter_mut() {
@@ -350,5 +389,38 @@ mod tests {
         let a = Tensor::zeros(&[2]);
         let b = Tensor::zeros(&[3]);
         let _ = add(&a, &b);
+    }
+
+    #[test]
+    fn forward_inplace_matches_forward_into() {
+        let input: Vec<f32> = (-4..4).map(|i| i as f32 * 0.7).collect();
+        for kind in [ActKind::Relu, ActKind::Silu, ActKind::Sigmoid, ActKind::Tanh] {
+            let mut via_into = vec![0.0; input.len()];
+            kind.forward_into(&input, &mut via_into);
+            let mut buf = input.clone();
+            kind.forward_inplace(&mut buf);
+            assert_eq!(buf, via_into, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn add_assign_accumulates_without_initial_copy() {
+        // Simulates the in-place add: `out` starts as the dying operand.
+        let mut out = vec![1.0f32, 2.0, 3.0];
+        add_n_assign_iter([[10.0f32, 20.0, 30.0].as_slice()].into_iter(), &mut out);
+        assert_eq!(out, &[11.0, 22.0, 33.0]);
+        // Empty operand list: the add over its only (in-place) operand.
+        add_n_assign_iter(std::iter::empty(), &mut out);
+        assert_eq!(out, &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn softmax_inplace_matches_into() {
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let mut via_into = vec![0.0; 6];
+        softmax_lastdim_into(x.view(), &mut via_into);
+        let mut buf = x.data().to_vec();
+        softmax_lastdim_inplace(&mut buf, 3);
+        assert_eq!(buf, via_into);
     }
 }

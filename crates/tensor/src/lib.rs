@@ -34,16 +34,17 @@ pub use conv::{
     conv_transpose2d_scratch_floats, Conv2dParams,
 };
 pub use elementwise::{
-    add, add_n_into, add_n_into_iter, concat_channels, concat_channels_into,
+    add, add_n_assign_iter, add_n_into, add_n_into_iter, concat_channels, concat_channels_into,
     concat_channels_into_iter, linear, linear_into, linear_into_scratch, linear_scratch_floats,
-    softmax_lastdim, softmax_lastdim_into, ActKind,
+    softmax_lastdim, softmax_lastdim_inplace, softmax_lastdim_into, ActKind,
 };
 pub use matmul::{
     sgemm, sgemm_nt, sgemm_nt_scratch, sgemm_reference, sgemm_scratch, sgemm_scratch_floats,
     sgemm_tn, sgemm_tn_scratch, with_tl_scratch,
 };
 pub use pool::{
-    avg_pool2d, avg_pool2d_into, global_avg_pool, global_avg_pool_into, max_pool2d, max_pool2d_into,
+    avg_pool2d, avg_pool2d_inplace, avg_pool2d_into, global_avg_pool, global_avg_pool_inplace,
+    global_avg_pool_into, max_pool2d, max_pool2d_inplace, max_pool2d_into,
 };
 pub use tensor::{Tensor, TensorView};
 

@@ -72,6 +72,89 @@ fn pool_into(
     }
 }
 
+/// [`max_pool2d`] reading from and writing to the *same* buffer: the input
+/// occupies `buf` on entry; on return its prefix holds the pooled output
+/// (`n·c·oh·ow` floats). Safe under partial overlap because the traversal
+/// is monotone — the output index never exceeds the smallest input index
+/// of its window, and each window accumulates in a register before the
+/// single store (the DMO argument; see the alias-aware executor).
+pub fn max_pool2d_inplace(
+    buf: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+) {
+    pool_inplace(
+        buf,
+        n,
+        c,
+        h,
+        w,
+        kernel,
+        stride,
+        f32::NEG_INFINITY,
+        |acc, v| acc.max(v),
+        |acc, _| acc,
+    )
+}
+
+/// [`avg_pool2d`] reading from and writing to the same buffer — see
+/// [`max_pool2d_inplace`] for the overlap-safety argument.
+pub fn avg_pool2d_inplace(
+    buf: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+) {
+    pool_inplace(buf, n, c, h, w, kernel, stride, 0.0, |acc, v| acc + v, |acc, k2| acc / k2 as f32)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pool_inplace(
+    buf: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    init: f32,
+    combine: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) {
+    let oh = conv_out_dim(h, kernel, stride, 0);
+    let ow = conv_out_dim(w, kernel, stride, 0);
+    assert!(buf.len() >= n * c * h * w, "pool buffer shorter than its input");
+    // Monotone traversal: for output position (b, ch, ohi, owi) the store
+    // index is ((b·c+ch)·oh+ohi)·ow+owi and every read index of its window
+    // is ≥ that term by term (h ≥ oh, w ≥ ow, stride ≥ 1), so no input
+    // element is overwritten before its last read.
+    for b in 0..n {
+        for ch in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = init;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            acc = combine(
+                                acc,
+                                buf[((b * c + ch) * h + ohi * stride + kh) * w + owi * stride + kw],
+                            );
+                        }
+                    }
+                    buf[((b * c + ch) * oh + ohi) * ow + owi] = finish(acc, kernel * kernel);
+                }
+            }
+        }
+    }
+}
+
 /// Global average pooling: `[n, c, h, w] → [n, c, 1, 1]`.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
     let (n, c) = (input.dim(0), input.dim(1));
@@ -94,6 +177,21 @@ pub fn global_avg_pool_into(input: TensorView<'_>, out: &mut [f32]) {
                 }
             }
             out[b * c + ch] = s / plane;
+        }
+    }
+}
+
+/// [`global_avg_pool`] reading from and writing to the same buffer: the
+/// `n·c` means land in the buffer's prefix. The write index `b·c+ch` never
+/// exceeds the first read index of its plane, so the overlap is safe.
+pub fn global_avg_pool_inplace(buf: &mut [f32], n: usize, c: usize, h: usize, w: usize) {
+    let plane = h * w;
+    assert!(buf.len() >= n * c * plane, "global_avg_pool buffer shorter than its input");
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * plane;
+            let s: f32 = buf[base..base + plane].iter().sum();
+            buf[b * c + ch] = s / plane as f32;
         }
     }
 }
@@ -149,6 +247,39 @@ mod tests {
         let out = max_pool2d(&t, 2, 2);
         assert_eq!(out.at4(0, 0, 0, 0), 5.0);
         assert_eq!(out.at4(0, 1, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn inplace_pools_match_into_variants_under_overlap() {
+        // The in-place pools must agree with the disjoint-buffer kernels on
+        // the exact shapes where input and output windows interleave —
+        // overlapping stride-2 and the AlexNet 3×3/2 case.
+        for (h, w, kernel, stride) in [(8, 8, 2, 2), (9, 7, 3, 2), (55, 55, 3, 2)] {
+            let t = Tensor::from_fn(&[2, 3, h, w], |i| ((i * 37) % 101) as f32 - 50.0);
+            let oh = conv_out_dim(h, kernel, stride, 0);
+            let ow = conv_out_dim(w, kernel, stride, 0);
+            let mut want = vec![0.0f32; 2 * 3 * oh * ow];
+
+            max_pool2d_into(t.view(), kernel, stride, &mut want);
+            let mut buf = t.data().to_vec();
+            max_pool2d_inplace(&mut buf, 2, 3, h, w, kernel, stride);
+            assert_eq!(&buf[..want.len()], &want[..], "max {h}x{w} k{kernel}s{stride}");
+
+            avg_pool2d_into(t.view(), kernel, stride, &mut want);
+            let mut buf = t.data().to_vec();
+            avg_pool2d_inplace(&mut buf, 2, 3, h, w, kernel, stride);
+            assert_eq!(&buf[..want.len()], &want[..], "avg {h}x{w} k{kernel}s{stride}");
+        }
+    }
+
+    #[test]
+    fn inplace_global_avg_pool_matches_into() {
+        let t = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        let mut want = vec![0.0f32; 6];
+        global_avg_pool_into(t.view(), &mut want);
+        let mut buf = t.data().to_vec();
+        global_avg_pool_inplace(&mut buf, 2, 3, 4, 4);
+        assert_eq!(&buf[..6], &want[..]);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 # Perf smoke targets, run in release mode:
 #
 #   ./scripts/bench.sh            # kernels (default): BENCH_kernels.json
-#   ./scripts/bench.sh kernels    # blocked-GEMM / e2e tracker
+#   ./scripts/bench.sh kernels    # blocked-GEMM / e2e tracker; the e2e
+#                                 # object also records the alias-aware
+#                                 # plan's per-inference `bytes_moved`
 #   ./scripts/bench.sh serve      # serving throughput + p99: BENCH_serve.json
 #   ./scripts/bench.sh obs        # tracing overhead off vs on: BENCH_obs.json
 #   ./scripts/bench.sh all        # all of the above

@@ -21,7 +21,16 @@ cargo test -q
 # user-facing `temco check` entry point end to end). Scale up with e.g.
 # `cargo run --release --bin temco -- check --iters 500 --faults 100000`.
 echo "=== temco check (short mode) ==="
-cargo run --release -q --bin temco -- check --iters 8 --faults 2000 --seed 42
+cargo run --release -q -p temco-cli --bin temco -- check --iters 8 --faults 2000 --seed 42
+
+# Aliasing regression gate: replans the zoo at a pinned quick scale,
+# asserts the alias-aware plan beats the alias-free layout on slab bytes
+# AND bytes moved (>= 8/10 models strictly), and diffs the numbers against
+# the committed results/fig10_quick_baseline.csv. After an intentional
+# planner change: ./target/release/fig10_guard --write and commit the csv.
+echo "=== fig10 slab / bytes-moved guard ==="
+cargo build --release -q -p temco-bench --bin fig10_guard
+./target/release/fig10_guard
 
 # Observability overhead gate: interleaved off/on medians of the traced
 # engine (fig11-style); fail if span recording costs more than 3%.
