@@ -1,22 +1,31 @@
 //! Serve-layer fault injection: hammer a live [`Server`] over real TCP
 //! with every malformed input a hostile or broken client could produce,
-//! then prove the server is still healthy.
+//! then prove the server is still healthy. The server runs behind the
+//! event-driven connection plane ([`temco_serve::serve`]), so the
+//! campaign also exercises epoll readiness, the pooled request contexts,
+//! and the idle sweep — not just the protocol parser.
 //!
 //! The attack mix (seeded, deterministic): valid inference, 1 ms-deadline
 //! floods, truncated frames, hostile length prefixes past `MAX_FRAME`,
 //! unknown opcodes, ragged `f32` payloads, wrong element counts,
 //! disconnects before reading the response, direct-API queue-full storms,
 //! stats/info/metrics probes, Prometheus scrape floods, truncated scrape
-//! frames, and a scrape racing the shutdown drain. Three health
+//! frames, slow-loris writers that trickle the frame header a byte at a
+//! time, connections that die mid-handshake with a partial header on the
+//! wire, a parked fleet of idle connections with a liveness probe racing
+//! the flood, and a scrape racing the shutdown drain. Four health
 //! properties are asserted at the end:
 //!
 //! 1. **No hung waits** — every response (and every direct-API ticket)
 //!    arrives within a generous timeout; a hang means a completion path
 //!    was lost.
-//! 2. **Liveness after abuse** — a final valid inference must still
+//! 2. **Liveness under flood** — with the idle fleet still parked, a
+//!    fresh connection must be accepted and served; accept starvation is
+//!    exactly the failure slow-loris and idle floods aim for.
+//! 3. **Liveness after abuse** — a final valid inference must still
 //!    succeed, which also proves no worker thread panicked (a dead worker
 //!    pool would never answer).
-//! 3. **Counter conservation** — after a graceful shutdown,
+//! 4. **Counter conservation** — after a graceful shutdown,
 //!    `submitted == completed + deadline_expired + failed_shutdown` with an
 //!    empty queue ([`StatsSnapshot::is_conserved_at_rest`]); any leak means
 //!    a request was double-counted or silently dropped.
@@ -29,7 +38,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temco_ir::Graph;
 use temco_serve::proto::{self, op, status, MAX_FRAME};
-use temco_serve::{serve_blocking, ServeConfig, ServeError, Server};
+use temco_serve::{serve, EventConfig, ServeConfig, ServeError, Server};
 use temco_tensor::Tensor;
 
 /// How long to wait for any single response before declaring it hung.
@@ -71,6 +80,11 @@ pub struct FaultReport {
     pub disconnects: usize,
     /// Responses or tickets that never arrived within [`HANG_TIMEOUT`].
     pub hung: usize,
+    /// Idle connections parked on the server during the flood phase.
+    pub idle_flooded: usize,
+    /// A fresh connection was accepted and served while the idle fleet
+    /// was still parked (accept liveness under flood).
+    pub alive_under_flood: bool,
     /// Stats counters conserved after shutdown.
     pub conserved: bool,
     /// A valid inference succeeded after all the abuse (workers alive).
@@ -78,9 +92,9 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
-    /// The three health properties the injector exists to check.
+    /// The four health properties the injector exists to check.
     pub fn passed(&self) -> bool {
-        self.hung == 0 && self.conserved && self.alive_after
+        self.hung == 0 && self.conserved && self.alive_under_flood && self.alive_after
     }
 }
 
@@ -89,13 +103,15 @@ impl std::fmt::Display for FaultReport {
         write!(
             f,
             "{} episodes: {} ok, {} rejected, {} proto errors, {} disconnects, \
-             {} hung, conserved={}, alive after={}",
+             {} hung, {} idle flooded (alive under flood={}), conserved={}, alive after={}",
             self.frames,
             self.ok,
             self.rejected,
             self.proto_errors,
             self.disconnects,
             self.hung,
+            self.idle_flooded,
+            self.alive_under_flood,
             self.conserved,
             self.alive_after
         )
@@ -215,6 +231,44 @@ fn metrics_flood(addr: SocketAddr, report: &mut FaultReport) {
     }
 }
 
+/// Slow-loris: trickle the five frame-header bytes onto the wire one at
+/// a time with a pause between each, then the payload. The frame is
+/// ultimately valid, so a correct event loop accumulates it patiently in
+/// bounded state (five header bytes, then the preallocated payload
+/// buffer) and answers like any other request — slowness alone must
+/// never wedge the parser, starve the accept path, or leak a context.
+fn slow_loris(addr: SocketAddr, numel: usize) -> Outcome {
+    let Ok(mut s) = connect(addr) else { return Outcome::Disconnect };
+    let payload = infer_payload(0, numel, 0.125);
+    let mut framed = Vec::with_capacity(5 + payload.len());
+    if proto::write_frame(&mut framed, op::INFER, &payload).is_err() {
+        return Outcome::Disconnect;
+    }
+    for byte in &framed[..5] {
+        if s.write_all(std::slice::from_ref(byte)).is_err() || s.flush().is_err() {
+            return Outcome::Disconnect;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if s.write_all(&framed[5..]).is_err() {
+        return Outcome::Disconnect;
+    }
+    classify_response(&mut s)
+}
+
+/// Mid-handshake disconnect: a few header bytes, then an abrupt close
+/// before the frame ever completes. No request exists yet, so nothing
+/// may be counted as submitted and the connection slot must be reclaimed.
+fn mid_handshake_disconnect(addr: SocketAddr, rng: &mut StdRng) -> Outcome {
+    let Ok(mut s) = connect(addr) else { return Outcome::Disconnect };
+    let hdr = [64u8, 0, 0, 0, op::INFER];
+    let cut = draw(rng, 1, 4);
+    let _ = s.write_all(&hdr[..cut]);
+    let _ = s.flush();
+    drop(s);
+    Outcome::Disconnect
+}
+
 /// Direct-API storm: submit past the queue cap, then wait out every
 /// ticket. The queue-full rejections are expected; a ticket that never
 /// settles is the bug this hunts.
@@ -258,7 +312,12 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let tcp_server = server.clone();
-    let serve_thread = std::thread::spawn(move || serve_blocking(tcp_server, listener));
+    // Event-driven plane with headroom for the idle flood; the idle
+    // timeout is kept above the campaign length so the sweep never races
+    // the episodes it is not under test here.
+    let ecfg =
+        EventConfig { max_conns: 2048, idle_timeout: Duration::from_secs(120), max_inflight: 32 };
+    let serve_thread = std::thread::spawn(move || serve(tcp_server, listener, ecfg));
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = FaultReport {
@@ -268,12 +327,14 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
         proto_errors: 0,
         disconnects: 0,
         hung: 0,
+        idle_flooded: 0,
+        alive_under_flood: false,
         conserved: false,
         alive_after: false,
     };
 
     for _ in 0..cfg.frames {
-        let outcome = match draw(&mut rng, 0, 10) {
+        let outcome = match draw(&mut rng, 0, 12) {
             // Valid inference — the control group; must come back OK.
             0 | 1 => exchange(addr, op::INFER, &infer_payload(0, numel, 0.25)),
             // Deadline flood: 1 ms deadlines race the worker; OK and
@@ -327,6 +388,11 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
                 bytes.extend_from_slice(&[0u8; 3]);
                 send_raw_and_close(addr, &bytes)
             }
+            // Slow-loris header trickle: the event loop must absorb it in
+            // bounded state and still answer.
+            11 => slow_loris(addr, numel),
+            // Mid-handshake disconnect: partial header, abrupt close.
+            12 => mid_handshake_disconnect(addr, &mut rng),
             // Stats/info/metrics probes interleaved with the abuse, plus
             // the direct-API queue storm.
             _ => {
@@ -351,14 +417,41 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
         }
     }
 
+    // Idle-connection flood: park a silent fleet on the connection table,
+    // then prove accept liveness *while flooded* — a fresh connection
+    // must still be admitted and a valid request served end to end. The
+    // fleet scales with the campaign so `temco check --faults 2000` parks
+    // over a thousand connections.
+    let flood = cfg.frames.clamp(200, 1200);
+    let mut parked = Vec::with_capacity(flood);
+    for _ in 0..flood {
+        match TcpStream::connect(addr) {
+            Ok(s) => parked.push(s),
+            Err(_) => report.disconnects += 1,
+        }
+    }
+    report.idle_flooded = parked.len();
+    for attempt in 0..3 {
+        if matches!(exchange(addr, op::INFER, &infer_payload(0, numel, 0.375)), Outcome::Ok) {
+            report.alive_under_flood = true;
+            report.ok += 1;
+            break;
+        }
+        if attempt + 1 < 3 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    drop(parked);
+
     // Liveness probe: after everything above, a clean request must work.
     report.alive_after =
         matches!(exchange(addr, op::INFER, &infer_payload(0, numel, 0.75)), Outcome::Ok);
 
     // Graceful shutdown over the wire — with a scrape connection opened
-    // *before* the drain and driven during it. Connection threads outlive
-    // the accept loop, so scrapes racing the drain must keep answering
-    // (or drop cleanly), never hang, and never break conservation.
+    // *before* the drain and driven during it. The event loop keeps
+    // turning while it owes responses, so scrapes racing the drain must
+    // keep answering (or drop cleanly), never hang, and never break
+    // conservation.
     let mut drain_scraper = connect(addr).ok();
     let _ = exchange(addr, op::SHUTDOWN, &[]);
     if let Some(s) = drain_scraper.as_mut() {
@@ -376,7 +469,7 @@ pub fn run_fault_injection(cfg: &FaultConfig) -> io::Result<FaultReport> {
             }
         }
     }
-    // Drop the scrape connection so the accept loop can join its thread.
+    // Drop the scrape connection so the event loop can retire it.
     drop(drain_scraper);
     serve_thread.join().expect("serve thread must not panic")?;
     report.conserved = server.stats().is_conserved_at_rest();
@@ -394,5 +487,6 @@ mod tests {
         assert!(report.passed(), "unhealthy after faults: {report}");
         assert!(report.ok > 0, "no request ever succeeded: {report}");
         assert!(report.proto_errors > 0, "the campaign never hit a protocol path: {report}");
+        assert!(report.idle_flooded >= 120, "the idle flood never parked its fleet: {report}");
     }
 }

@@ -6,7 +6,7 @@
 //! temco run unet_small --level fusion --image 64
 //! temco dot resnet18 --level skip-opt+fusion > resnet18.dot
 //! temco profile resnet34 --level skip-opt+fusion --trace resnet34.trace.json
-//! temco serve alexnet --addr 127.0.0.1:7077 --workers 2 --max-batch 8
+//! temco serve alexnet --addr 127.0.0.1:7077 --workers 4 --max-batch 8 --max-conns 2048
 //! temco loadgen --addr 127.0.0.1:7077 --clients 8 --requests 64 --shutdown
 //! ```
 
@@ -35,6 +35,8 @@ struct Cli {
     max_batch: usize,
     max_delay_ms: u64,
     queue_cap: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
     clients: usize,
     requests: usize,
     deadline_ms: u32,
@@ -82,7 +84,9 @@ SERVE OPTIONS:
   --workers <n>        serving worker threads            (default: 2)
   --max-batch <n>      largest coalesced batch           (default: 8)
   --max-delay-ms <n>   batching window, milliseconds     (default: 2)
-  --queue-cap <n>      bounded request-queue capacity    (default: 128)
+  --queue-cap <n>      bounded per-worker queue capacity (default: 128)
+  --max-conns <n>      concurrent-connection table size  (default: 1024)
+  --idle-timeout-ms <n> reap idle connections after this (default: 60000)
   --metrics            print the final Prometheus scrape on exit
 
 LOADGEN OPTIONS:
@@ -127,6 +131,8 @@ fn parse_args() -> Cli {
         max_batch: 8,
         max_delay_ms: 2,
         queue_cap: 128,
+        max_conns: 1024,
+        idle_timeout_ms: 60_000,
         clients: 4,
         requests: 64,
         deadline_ms: 0,
@@ -200,6 +206,8 @@ fn parse_args() -> Cli {
             "--max-batch" => cli.max_batch = parse_value(flag, &value(&mut i)),
             "--max-delay-ms" => cli.max_delay_ms = parse_value(flag, &value(&mut i)),
             "--queue-cap" => cli.queue_cap = parse_value(flag, &value(&mut i)),
+            "--max-conns" => cli.max_conns = parse_value(flag, &value(&mut i)),
+            "--idle-timeout-ms" => cli.idle_timeout_ms = parse_value(flag, &value(&mut i)),
             "--clients" => cli.clients = parse_value(flag, &value(&mut i)),
             "--requests" => cli.requests = parse_value(flag, &value(&mut i)),
             "--deadline-ms" => cli.deadline_ms = parse_value(flag, &value(&mut i)),
@@ -556,16 +564,23 @@ fn main() -> ExitCode {
             };
             let snap = server.stats();
             println!(
-                "serving {} @ {} on {} — {} workers, buckets {:?}, {:.2} MiB slab/worker",
+                "serving {} @ {} on {} — {} workers, buckets {:?}, {:.2} MiB slab/worker, \
+                 {} conns max",
                 model.name(),
                 cli.level.label(),
                 cli.addr,
                 cli.workers,
                 server.buckets(),
                 mib(snap.slab_bytes_per_worker),
+                cli.max_conns,
             );
             println!("stop with: temco loadgen --addr {} --shutdown", cli.addr);
-            if let Err(e) = temco_serve::serve_blocking(server.clone(), listener) {
+            let ecfg = temco_serve::EventConfig {
+                max_conns: cli.max_conns,
+                idle_timeout: Duration::from_millis(cli.idle_timeout_ms),
+                max_inflight: 32,
+            };
+            if let Err(e) = temco_serve::serve(server.clone(), listener, ecfg) {
                 eprintln!("serve loop failed: {e}");
                 return ExitCode::FAILURE;
             }

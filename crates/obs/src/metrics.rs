@@ -223,8 +223,15 @@ impl Registry {
 
     /// Register a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register a gauge with labels, e.g. `[("worker", "0")]` — one
+    /// handle per label set, sharing the metric name (per-worker
+    /// occupancy gauges in the serving layer).
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let g = Arc::new(Gauge::new());
-        self.push(name, help, &[], Instrument::Gauge(g.clone()));
+        self.push(name, help, labels, Instrument::Gauge(g.clone()));
         g
     }
 
@@ -401,11 +408,15 @@ mod tests {
         let r2 =
             reg.counter_with("temco_rejects_total", "Rejects by cause.", &[("cause", "deadline")]);
         let g = reg.gauge("temco_queue_depth", "Jobs waiting.");
+        let g0 = reg.gauge_with("temco_worker_busy", "Busy fraction.", &[("worker", "0")]);
+        let g1 = reg.gauge_with("temco_worker_busy", "Busy fraction.", &[("worker", "1")]);
         let h = reg.histogram("temco_wait_seconds", "Queue wait.");
         c.add(5);
         r1.inc();
         r2.add(2);
         g.set(3.0);
+        g0.set(0.25);
+        g1.set(0.75);
         h.record_us(100);
 
         let text = reg.render_prometheus();
@@ -419,6 +430,13 @@ mod tests {
             "HELP once per name even with two label sets"
         );
         assert!(text.contains("temco_queue_depth 3"));
+        assert!(text.contains("temco_worker_busy{worker=\"0\"} 0.25"));
+        assert!(text.contains("temco_worker_busy{worker=\"1\"} 0.75"));
+        assert_eq!(
+            text.matches("# HELP temco_worker_busy").count(),
+            1,
+            "HELP once per name even with per-worker label sets"
+        );
         // 100 µs lands in [64,128) µs → first cumulative bound at
         // 128 µs = 0.000128 s.
         assert!(text.contains("temco_wait_seconds_bucket{le=\"0.000128\"} 1"));

@@ -70,6 +70,15 @@ pub enum BuildError {
         /// The underlying engine error.
         source: ExecError,
     },
+    /// Spawning a serving worker thread failed (resource exhaustion). The
+    /// server tears down any workers already started and reports this as
+    /// a recoverable error instead of panicking mid-construction.
+    Spawn {
+        /// Index of the worker whose thread could not be spawned.
+        worker: usize,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -82,6 +91,9 @@ impl fmt::Display for BuildError {
             BuildError::Compile { bucket, source } => {
                 write!(f, "compiling batch-size-{bucket} bucket failed: {source}")
             }
+            BuildError::Spawn { worker, source } => {
+                write!(f, "spawning serving worker {worker} failed: {source}")
+            }
         }
     }
 }
@@ -92,6 +104,7 @@ impl std::error::Error for BuildError {
             BuildError::Unsupported(_) => None,
             BuildError::Rebatch { source, .. } => Some(source),
             BuildError::Compile { source, .. } => Some(source),
+            BuildError::Spawn { source, .. } => Some(source),
         }
     }
 }

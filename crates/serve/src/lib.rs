@@ -12,12 +12,19 @@
 //!   [`Graph::rebatch`](temco_ir::Graph::rebatch) clones sharing one
 //!   copy-on-write weight store, so N workers × B buckets reference one
 //!   copy of the weights; each worker privately owns only its slabs.
-//! * **Dynamic batching** — single-sample requests enter a bounded MPSC
-//!   queue; a worker gathers up to `max_batch` of them within a
-//!   `max_delay` window, pads to the smallest bucket ≥ the gathered
-//!   count, and runs that bucket's precompiled engine. The hot path never
-//!   plans and never heap-allocates (requests carry preallocated response
+//! * **Dynamic batching, sharded** — single-sample requests route by
+//!   two-choice load balancing onto per-worker bounded queues; each
+//!   worker gathers up to `max_batch` of them within a `max_delay`
+//!   window, pads to the smallest bucket ≥ the gathered count, and runs
+//!   that bucket's precompiled engine. The hot path never plans and
+//!   never heap-allocates (requests carry preallocated response
 //!   buffers; staging tensors and the gather buffer are reused).
+//! * **Event-driven connection plane** — on x86-64 Linux, [`serve`]
+//!   multiplexes every socket onto one epoll thread (raw syscalls, no
+//!   libc binding): preallocated per-connection frame buffers, a pooled
+//!   request-context admission limit, per-connection inflight caps for
+//!   fairness, and an idle sweep. A connection costs a table slot, not
+//!   a thread. [`serve_blocking`] remains the portable fallback.
 //! * **Backpressure & deadlines** — a full queue *rejects* (never blocks,
 //!   never silently drops), and a request whose deadline lapses in the
 //!   queue fails without costing FLOPs. Shutdown drains: queued work
@@ -37,20 +44,26 @@
 
 pub mod client;
 pub mod error;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub mod event;
 pub mod loadgen;
 pub mod proto;
 mod queue;
 pub mod server;
 pub mod stats;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub mod sys;
 pub mod tcp;
 pub mod ticket;
 pub mod worker;
 
 pub use client::{Client, ClientError};
 pub use error::{BuildError, ServeError};
-pub use loadgen::{LoadReport, LoadgenConfig};
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub use event::EventLoop;
+pub use loadgen::{BurstConfig, BurstReport, LoadReport, LoadgenConfig};
 pub use server::{ServeConfig, Server};
 pub use stats::{StatsSnapshot, LATENCY_BUCKETS};
-pub use tcp::serve_blocking;
+pub use tcp::{serve, serve_blocking, EventConfig};
 pub use ticket::Ticket;
 pub use worker::{StepOutcome, Worker};

@@ -1,17 +1,30 @@
-//! Closed-loop load generator over the TCP client.
+//! Load generators over the wire protocol: closed-loop and bursty.
 //!
-//! `clients` threads each run `requests_per_client` back-to-back
-//! inferences (closed loop: the next request leaves only when the
-//! previous response arrives), so offered concurrency equals the client
-//! count. Used by the CLI `loadgen` subcommand and the serving benchmark;
-//! client-side latencies are exact (per-request `Instant`s, not
-//! histogram-bucketed).
+//! **Closed loop** ([`run`]): `clients` threads each run
+//! `requests_per_client` back-to-back inferences (the next request leaves
+//! only when the previous response arrives), so offered concurrency
+//! equals the client count. Used by the CLI `loadgen` subcommand and the
+//! serving benchmark; client-side latencies are exact (per-request
+//! `Instant`s, not histogram-bucketed).
+//!
+//! **Bursts** ([`run_bursts`]): a single thread pipelines `pipeline`
+//! requests onto each of `conns` connections at once, then collects every
+//! response, then idles for `gap` — an open-loop arrival pattern that
+//! measures *burst absorption*: how much of a simultaneous spike the
+//! server admits (pool + shard queues) versus rejects, independent of how
+//! fast one core can compute. This is the workload behind the
+//! worker-scaling curve: on a machine where added workers cannot add
+//! FLOPs, they still multiply admission capacity, and this generator
+//! makes that visible (and honest — rejections are counted, not retried).
 
+use std::io::Write;
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use temco_tensor::Tensor;
 
 use crate::client::{Client, ClientError};
+use crate::proto::{self, op, status};
 
 /// Load shape.
 #[derive(Clone, Copy, Debug)]
@@ -130,5 +143,139 @@ pub fn run(addr: &str, cfg: LoadgenConfig) -> Result<LoadReport, ClientError> {
         p95_ms: percentile(&all_ms, 95.0),
         p99_ms: percentile(&all_ms, 99.0),
         mean_ms,
+    })
+}
+
+/// Shape of a bursty open-loop run (see [`run_bursts`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    /// Concurrent connections, all firing simultaneously each burst.
+    pub conns: usize,
+    /// Requests pipelined back-to-back on each connection per burst.
+    pub pipeline: usize,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Idle time between bursts (lets the fleet drain its backlog).
+    pub gap: Duration,
+    /// Per-request deadline forwarded to the server (0 = none).
+    pub deadline_ms: u32,
+    /// Seed for the deterministic input samples.
+    pub seed: u64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            conns: 256,
+            pipeline: 4,
+            bursts: 8,
+            gap: Duration::from_millis(300),
+            deadline_ms: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregated results of a bursty run.
+#[derive(Clone, Debug)]
+pub struct BurstReport {
+    /// Requests offered (`conns × pipeline × bursts`).
+    pub offered: usize,
+    /// Requests answered with an output.
+    pub ok: usize,
+    /// Requests the server rejected (admission, backpressure, deadline).
+    pub rejected: usize,
+    /// Transport/protocol failures.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run, gaps included.
+    pub elapsed: Duration,
+    /// Successful responses per second over the whole run.
+    pub throughput_rps: f64,
+    /// Fraction of offered requests that were served.
+    pub accepted_frac: f64,
+    /// Latency percentiles over successful requests, measured from each
+    /// burst's start to the response read, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
+/// Drive a bursty open-loop run against `addr`: every burst writes
+/// `conns × pipeline` requests near-simultaneously, then reads every
+/// response (the server answers each with an output or a rejection
+/// frame), then sleeps `gap`. Single-threaded — concurrency comes from
+/// pipelining on blocking sockets, whose small writes never block on
+/// loopback — so it also exercises the server's many-connections path
+/// without a thread per connection on *either* side.
+pub fn run_bursts(addr: &str, cfg: BurstConfig) -> Result<BurstReport, ClientError> {
+    let probe = Client::connect(addr)?;
+    let shape = probe.sample_shape().to_vec();
+    drop(probe);
+
+    // One reusable request frame per connection (distinct sample data).
+    let mut streams = Vec::with_capacity(cfg.conns);
+    let mut frames = Vec::with_capacity(cfg.conns);
+    for c in 0..cfg.conns {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        streams.push(stream);
+        let sample = Tensor::rand_uniform(&shape, cfg.seed.wrapping_add(c as u64), -1.0, 1.0);
+        let mut payload = Vec::with_capacity(4 + sample.data().len() * 4);
+        payload.extend_from_slice(&cfg.deadline_ms.to_le_bytes());
+        proto::put_f32s(&mut payload, sample.data());
+        let mut framed = Vec::with_capacity(5 + payload.len());
+        proto::write_frame(&mut framed, op::INFER, &payload)?;
+        frames.push(framed);
+    }
+
+    let (mut ok, mut rejected, mut errors) = (0usize, 0usize, 0usize);
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(cfg.conns * cfg.pipeline * cfg.bursts);
+    let start = Instant::now();
+    for burst in 0..cfg.bursts {
+        let t0 = Instant::now();
+        for (stream, framed) in streams.iter_mut().zip(&frames) {
+            for _ in 0..cfg.pipeline {
+                if stream.write_all(framed).is_err() {
+                    errors += cfg.pipeline;
+                    break;
+                }
+            }
+        }
+        for stream in streams.iter_mut() {
+            for _ in 0..cfg.pipeline {
+                match proto::read_frame(stream) {
+                    Ok(Some((status::OK, _))) => {
+                        ok += 1;
+                        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Ok(Some(_)) => rejected += 1,
+                    Ok(None) | Err(_) => {
+                        errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        if burst + 1 < cfg.bursts {
+            std::thread::sleep(cfg.gap);
+        }
+    }
+    let elapsed = start.elapsed();
+    let offered = cfg.conns * cfg.pipeline * cfg.bursts;
+    lat_ms.sort_by(f64::total_cmp);
+    Ok(BurstReport {
+        offered,
+        ok,
+        rejected,
+        errors,
+        elapsed,
+        throughput_rps: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        accepted_frac: ok as f64 / offered.max(1) as f64,
+        p50_ms: percentile(&lat_ms, 50.0),
+        p95_ms: percentile(&lat_ms, 95.0),
+        p99_ms: percentile(&lat_ms, 99.0),
     })
 }

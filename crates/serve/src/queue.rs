@@ -16,13 +16,15 @@ use std::time::Instant;
 
 use crate::worker::Job;
 
-/// Why a push was refused (the job is dropped; the submitter still holds
-/// the response slot and reports the rejection synchronously).
+/// Why a push was refused. The job rides back with the error so the
+/// caller can retry it on another shard or reclaim its buffers (the
+/// submitter still holds the response slot and reports the rejection
+/// synchronously).
 pub(crate) enum PushError {
     /// At capacity — backpressure.
-    Full,
+    Full(Job),
     /// [`JobQueue::close`] was called.
-    Closed,
+    Closed(Job),
 }
 
 struct Inner {
@@ -51,10 +53,10 @@ impl JobQueue {
     pub fn push(&self, job: Job) -> Result<(), PushError> {
         let mut st = self.inner.lock().unwrap();
         if st.closed {
-            return Err(PushError::Closed);
+            return Err(PushError::Closed(job));
         }
         if st.ring.len() >= self.cap {
-            return Err(PushError::Full);
+            return Err(PushError::Full(job));
         }
         st.ring.push_back(job);
         drop(st);

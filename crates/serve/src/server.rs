@@ -1,4 +1,5 @@
-//! The server: plan cache, request queue, worker threads, lifecycle.
+//! The server: plan cache, sharded request queues, worker threads,
+//! lifecycle.
 //!
 //! `Server::new` does all the expensive work up front — it compiles the
 //! model once per batch-size bucket (1, 2, 4, …, `max_batch`) into a
@@ -7,8 +8,18 @@
 //! a worker's only private memory is its slabs. After startup the hot
 //! path never plans: a gathered batch of n requests pads to the smallest
 //! bucket ≥ n and runs that bucket's precompiled engine.
+//!
+//! Requests are **sharded**: each worker owns a private bounded queue
+//! (`queue_cap` deep) and drains only it — no cross-worker contention on
+//! a shared lock, and shutdown drains per worker. Submissions route by
+//! power-of-two-choices: pick two shards round-robin, enqueue on the
+//! shorter, falling over to the other if the first is full. Total
+//! admitted backlog therefore scales with the worker count, which is
+//! what makes added workers absorb bursts even when a single core caps
+//! steady-state compute.
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,7 +43,10 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// How long a worker holds an incomplete batch open for late arrivals.
     pub max_delay: Duration,
-    /// Bounded queue capacity; submissions beyond it are rejected.
+    /// Bounded **per-worker** queue capacity; submissions beyond every
+    /// shard's capacity are rejected. Size it to the backlog one worker
+    /// can clear within the latency budget — total admitted backlog is
+    /// then `workers × queue_cap` and scales with the fleet.
     pub queue_cap: usize,
     /// Deadline applied to [`Server::submit`] (none by default);
     /// [`Server::submit_with_deadline`] overrides per request.
@@ -51,9 +65,17 @@ impl Default for ServeConfig {
     }
 }
 
+/// Hook the event loop installs to be woken (via eventfd) whenever a
+/// worker settles a batch of slots.
+pub(crate) type BatchHook = Arc<dyn Fn() + Send + Sync>;
+
 /// State shared by submitters and workers.
 pub(crate) struct Core {
-    pub queue: JobQueue,
+    /// One bounded queue per worker (a single shard with `workers: 0` so
+    /// manual mode still has somewhere to enqueue).
+    pub shards: Box<[JobQueue]>,
+    /// Round-robin cursor for two-choice routing.
+    rr: AtomicUsize,
     pub stats: Stats,
     /// Bucket batch sizes, ascending; the last equals `cfg.max_batch`.
     pub buckets: Vec<usize>,
@@ -68,6 +90,69 @@ pub(crate) struct Core {
     /// Graph input name, for shape-mismatch reports.
     pub input_name: String,
     pub cfg: ServeConfig,
+    /// Called by workers after each settled batch (and by shutdown's
+    /// undrained-job sweep) so the event loop can harvest completions.
+    batch_hook: RwLock<Option<BatchHook>>,
+}
+
+impl Core {
+    /// Route a job to a shard: power-of-two-choices on queue depth, with
+    /// a fallover push to the other candidate when the first is full.
+    /// Returns the job on rejection so the caller can reclaim its
+    /// buffers. Allocation-free.
+    pub fn route(&self, job: Job) -> Result<(), PushError> {
+        let n = self.shards.len();
+        if n == 1 {
+            return self.shards[0].push(job);
+        }
+        let t = self.rr.fetch_add(1, Relaxed);
+        let a = t % n;
+        let mut b = (t >> 1) % n;
+        if a == b {
+            b = (b + 1) % n;
+        }
+        let (first, second) =
+            if self.shards[a].len() <= self.shards[b].len() { (a, b) } else { (b, a) };
+        match self.shards[first].push(job) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(job)) => self.shards[second].push(job),
+            Err(closed) => Err(closed),
+        }
+    }
+
+    /// Jobs currently queued across every shard.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(JobQueue::len).sum()
+    }
+
+    /// Per-shard queue depths, in worker order.
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(JobQueue::len).collect()
+    }
+
+    /// Stop accepting work on every shard (workers drain and exit).
+    pub fn close(&self) {
+        for q in self.shards.iter() {
+            q.close();
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.shards[0].is_closed()
+    }
+
+    /// Install (or clear) the settled-batch hook.
+    pub fn set_batch_hook(&self, hook: Option<BatchHook>) {
+        *self.batch_hook.write().unwrap() = hook;
+    }
+
+    /// Fire the settled-batch hook, if installed. Called by workers after
+    /// each executed or shed batch; allocation-free (an `eventfd` write).
+    pub fn notify_batch_done(&self) {
+        if let Some(hook) = self.batch_hook.read().unwrap().as_ref() {
+            hook();
+        }
+    }
 }
 
 struct Inner {
@@ -137,9 +222,11 @@ impl Server {
                 g1.values[input.0 as usize].name.clone(),
             )
         };
+        let n_shards = cfg.workers.max(1);
         let core = Arc::new(Core {
-            queue: JobQueue::new(cfg.queue_cap),
-            stats: Stats::new(cfg.max_batch),
+            shards: (0..n_shards).map(|_| JobQueue::new(cfg.queue_cap)).collect(),
+            rr: AtomicUsize::new(0),
+            stats: Stats::new(cfg.max_batch, cfg.workers),
             buckets,
             plans,
             sample_numel: sample_shape.iter().product(),
@@ -148,6 +235,7 @@ impl Server {
             output_shape,
             input_name,
             cfg,
+            batch_hook: RwLock::new(None),
         });
 
         // Every worker allocates one slab per bucket; everything else
@@ -155,15 +243,24 @@ impl Server {
         let slab_bytes_per_worker: usize = core.plans.iter().map(|p| p.slab_bytes()).sum();
         core.stats.workers.set(cfg.workers as f64);
         core.stats.slab_bytes_per_worker.set(slab_bytes_per_worker as f64);
-        let mut handles = Vec::with_capacity(cfg.workers);
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
-            let worker = Worker::new(core.clone());
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("temco-serve-{i}"))
-                    .spawn(move || worker.run())
-                    .expect("failed to spawn serving worker"),
-            );
+            let worker = Worker::new(core.clone(), i);
+            let spawned = std::thread::Builder::new()
+                .name(format!("temco-serve-{i}"))
+                .spawn(move || worker.run());
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(source) => {
+                    // Recoverable: unwind the workers already running so
+                    // the partial server leaves nothing behind.
+                    core.close();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(BuildError::Spawn { worker: i, source });
+                }
+            }
         }
 
         Ok(Server {
@@ -201,16 +298,16 @@ impl Server {
             enqueued: now,
             slot: slot.clone(),
         };
-        match core.queue.push(job) {
+        match core.route(job) {
             Ok(()) => {
                 core.stats.submitted.inc();
                 Ok(Ticket { slot, enqueued: now })
             }
-            Err(PushError::Full) => {
+            Err(PushError::Full(_)) => {
                 core.stats.rejected_full.inc();
                 Err(ServeError::QueueFull)
             }
-            Err(PushError::Closed) => {
+            Err(PushError::Closed(_)) => {
                 core.stats.rejected_closed.inc();
                 Err(ServeError::ShuttingDown)
             }
@@ -231,29 +328,38 @@ impl Server {
             completed: st.completed.get(),
             rejected_full: st.rejected_full.get(),
             rejected_closed: st.rejected_closed.get(),
+            rejected_admission: st.rejected_admission.get(),
             deadline_expired: st.deadline_expired.get(),
             failed_shutdown: st.failed_shutdown.get(),
             batches: st.batches.get(),
             batch_slots: st.batch_slots.get(),
             bytes_moved: st.bytes_moved.get(),
-            queue_depth: core.queue.len(),
+            queue_depth: core.queue_depth(),
             latency_buckets: st.latency_histogram(),
             queue_wait_buckets: st.queue_wait_histogram(),
             service_buckets: st.service_histogram(),
             batch_size_hist: st.batch_histogram(),
             workers: core.cfg.workers,
             slab_bytes_per_worker: self.inner.slab_bytes_per_worker,
+            shard_depths: core.shard_depths(),
+            worker_busy_us: st.worker_busy_us.iter().map(|c| c.get()).collect(),
+            worker_batches: st.worker_batches.iter().map(|c| c.get()).collect(),
+            conns_accepted: st.conns_accepted.get(),
+            conns_refused: st.conns_refused.get(),
+            conns_closed_idle: st.conns_closed_idle.get(),
+            open_conns: st.open_conns.get() as u64,
         }
     }
 
     /// Prometheus text exposition of the metrics plane: request counters
-    /// (rejects and failures labeled by cause), queue depth, batch-window
-    /// occupancy, and the latency / queue-wait / service-time histograms.
-    /// Served over the wire as the `METRICS` opcode; scrape-path only —
+    /// (rejects and failures labeled by cause), total and per-worker
+    /// queue depths, batch-window occupancy, connection-plane counters,
+    /// and the latency / queue-wait / service-time histograms. Served
+    /// over the wire as the `METRICS` opcode; scrape-path only —
     /// allocates freely.
     pub fn prometheus_metrics(&self) -> String {
         let core = &self.inner.core;
-        core.stats.render_prometheus(core.queue.len())
+        core.stats.render_prometheus(&core.shard_depths())
     }
 
     /// Per-sample input shape the server expects (`[1, …]`).
@@ -271,22 +377,26 @@ impl Server {
         &self.inner.core.buckets
     }
 
-    /// A manually-stepped worker over this server's queue and plan cache.
-    /// Use with `workers: 0` for synchronous embedding or deterministic
-    /// tests; see [`Worker::step`].
+    /// A manually-stepped worker over this server's first shard and plan
+    /// cache. Use with `workers: 0` for synchronous embedding or
+    /// deterministic tests; see [`Worker::step`].
     pub fn manual_worker(&self) -> Worker {
-        Worker::new(self.inner.core.clone())
+        Worker::new(self.inner.core.clone(), 0)
     }
 
-    /// Graceful shutdown: stop accepting work, let workers drain every
-    /// queued request, and join them. Idempotent; any clone may call it.
+    pub(crate) fn core(&self) -> &Arc<Core> {
+        &self.inner.core
+    }
+
+    /// Graceful shutdown: stop accepting work, let each worker drain its
+    /// shard, and join them. Idempotent; any clone may call it.
     ///
     /// With `workers: 0` (manual mode) there is nobody to drain the queue,
     /// so any jobs still enqueued are failed with
     /// [`ServeError::ShuttingDown`] — their tickets unblock instead of
     /// hanging forever.
     pub fn shutdown(&self) {
-        self.inner.core.queue.close();
+        self.inner.core.close();
         let handles = std::mem::take(&mut *self.inner.workers.lock().unwrap());
         for h in handles {
             let _ = h.join();
@@ -296,13 +406,13 @@ impl Server {
 
     /// Whether shutdown has been initiated.
     pub fn is_shutting_down(&self) -> bool {
-        self.inner.core.queue.is_closed()
+        self.inner.core.is_closed()
     }
 }
 
 impl Drop for Inner {
     fn drop(&mut self) {
-        self.core.queue.close();
+        self.core.close();
         for h in std::mem::take(&mut *self.workers.lock().unwrap()) {
             let _ = h.join();
         }
@@ -311,12 +421,19 @@ impl Drop for Inner {
 }
 
 /// Fail every job still queued after the workers have exited (workers drain
-/// the queue before exiting, so this only fires in `workers: 0` manual
+/// their shards before exiting, so this only fires in `workers: 0` manual
 /// mode or if a worker died). Keeps the stats conservation law intact:
 /// every submitted job settles as completed, expired, or failed-shutdown.
 fn fail_undrained(core: &Core) {
-    while let Some(job) = core.queue.try_pop() {
-        job.slot.complete_err(ServeError::ShuttingDown);
-        core.stats.failed_shutdown.inc();
+    let mut any = false;
+    for q in core.shards.iter() {
+        while let Some(job) = q.try_pop() {
+            job.slot.complete_err_returning(ServeError::ShuttingDown, job.input);
+            core.stats.failed_shutdown.inc();
+            any = true;
+        }
+    }
+    if any {
+        core.notify_batch_done();
     }
 }

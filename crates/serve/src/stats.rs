@@ -42,6 +42,10 @@ pub(crate) struct Stats {
     pub completed: Arc<Counter>,
     pub rejected_full: Arc<Counter>,
     pub rejected_closed: Arc<Counter>,
+    /// Requests rejected by the connection plane's admission control: the
+    /// preallocated in-flight pool was exhausted (total in-flight work
+    /// already covers every worker's queue plus a full batch each).
+    pub rejected_admission: Arc<Counter>,
     pub deadline_expired: Arc<Counter>,
     /// Requests accepted into the queue but failed at shutdown because no
     /// worker remained to drain them (manual-worker mode).
@@ -59,6 +63,18 @@ pub(crate) struct Stats {
     /// Worker count / per-worker slab bytes; set once at server startup.
     pub workers: Arc<Gauge>,
     pub slab_bytes_per_worker: Arc<Gauge>,
+    /// Connection plane: accepted / refused (table full) / idle-reaped
+    /// connections, and how many are open right now.
+    pub conns_accepted: Arc<Counter>,
+    pub conns_refused: Arc<Counter>,
+    pub conns_closed_idle: Arc<Counter>,
+    pub open_conns: Arc<Gauge>,
+    /// Per-worker shard instruments, indexed by worker. `busy_us` is
+    /// cumulative batch-execution time (occupancy numerator), `batches`
+    /// counts executed batches, `depth` mirrors the shard queue at scrape.
+    pub worker_busy_us: Vec<Arc<Counter>>,
+    pub worker_batches: Vec<Arc<Counter>>,
+    pub worker_depth: Vec<Arc<Gauge>>,
     /// End-to-end latency (enqueue → response).
     latency: Arc<Log2Histogram>,
     /// Enqueue → batch-execution start.
@@ -71,8 +87,36 @@ pub(crate) struct Stats {
 }
 
 impl Stats {
-    pub fn new(max_batch: usize) -> Stats {
+    pub fn new(max_batch: usize, workers: usize) -> Stats {
         let r = Registry::new();
+        let shards = workers.max(1);
+        let worker_busy_us = (0..shards)
+            .map(|i| {
+                r.counter_with(
+                    "temco_worker_busy_micros_total",
+                    "Cumulative batch-execution time per worker, µs (occupancy numerator).",
+                    &[("worker", &i.to_string())],
+                )
+            })
+            .collect();
+        let worker_batches = (0..shards)
+            .map(|i| {
+                r.counter_with(
+                    "temco_worker_batches_total",
+                    "Executed batches per worker shard.",
+                    &[("worker", &i.to_string())],
+                )
+            })
+            .collect();
+        let worker_depth = (0..shards)
+            .map(|i| {
+                r.gauge_with(
+                    "temco_worker_queue_depth",
+                    "Requests waiting in each worker's shard queue.",
+                    &[("worker", &i.to_string())],
+                )
+            })
+            .collect();
         Stats {
             submitted: r
                 .counter("temco_requests_submitted_total", "Requests accepted into the queue."),
@@ -89,6 +133,11 @@ impl Stats {
                 "temco_requests_rejected_total",
                 "Submissions rejected, by cause.",
                 &[("cause", "shutting_down")],
+            ),
+            rejected_admission: r.counter_with(
+                "temco_requests_rejected_total",
+                "Submissions rejected, by cause.",
+                &[("cause", "admission")],
             ),
             deadline_expired: r.counter_with(
                 "temco_requests_failed_total",
@@ -115,6 +164,18 @@ impl Stats {
                 "temco_slab_bytes_per_worker",
                 "Slab bytes each worker holds across its bucket engines.",
             ),
+            conns_accepted: r
+                .counter("temco_conns_accepted_total", "Connections admitted to the event loop."),
+            conns_refused: r.counter(
+                "temco_conns_refused_total",
+                "Connections refused because the fixed connection table was full.",
+            ),
+            conns_closed_idle: r
+                .counter("temco_conns_closed_idle_total", "Connections reaped by the idle sweep."),
+            open_conns: r.gauge("temco_open_conns", "Connections currently open."),
+            worker_busy_us,
+            worker_batches,
+            worker_depth,
             latency: r.histogram(
                 "temco_request_latency_seconds",
                 "End-to-end latency: enqueue to response.",
@@ -163,11 +224,15 @@ impl Stats {
     }
 
     /// Prometheus text exposition of every registered instrument plus the
-    /// batch-size histogram. `queue_depth` is sampled by the caller (the
-    /// queue owns its length); occupancy is derived here. Scrape-path
+    /// batch-size histogram. `shard_depths` is sampled by the caller (the
+    /// queues own their lengths) — one entry per worker shard; the total
+    /// feeds `temco_queue_depth`. Occupancy is derived here. Scrape-path
     /// only — allocates freely.
-    pub fn render_prometheus(&self, queue_depth: usize) -> String {
-        self.queue_depth.set(queue_depth as f64);
+    pub fn render_prometheus(&self, shard_depths: &[usize]) -> String {
+        self.queue_depth.set(shard_depths.iter().sum::<usize>() as f64);
+        for (g, &d) in self.worker_depth.iter().zip(shard_depths) {
+            g.set(d as f64);
+        }
         let mut out = self.registry.render_prometheus();
         let sizes = self.batch_histogram();
         let total: u64 = sizes.iter().sum();
@@ -218,6 +283,9 @@ pub struct StatsSnapshot {
     pub rejected_full: u64,
     /// Submissions rejected because the server was draining.
     pub rejected_closed: u64,
+    /// Requests rejected by connection-plane admission control (in-flight
+    /// pool exhausted).
+    pub rejected_admission: u64,
     /// Requests whose deadline expired before execution.
     pub deadline_expired: u64,
     /// Requests accepted into the queue but failed with `ShuttingDown`
@@ -246,6 +314,21 @@ pub struct StatsSnapshot {
     /// Slab bytes each worker holds across its bucket engines (the only
     /// per-worker memory; weights are shared).
     pub slab_bytes_per_worker: usize,
+    /// Per-worker-shard queue depths (parallel to the shards; sums to
+    /// `queue_depth`).
+    pub shard_depths: Vec<usize>,
+    /// Cumulative batch-execution µs per worker (occupancy numerator).
+    pub worker_busy_us: Vec<u64>,
+    /// Executed batches per worker shard.
+    pub worker_batches: Vec<u64>,
+    /// Connections accepted by the event loop.
+    pub conns_accepted: u64,
+    /// Connections refused because the fixed table was full.
+    pub conns_refused: u64,
+    /// Connections reaped by the idle sweep.
+    pub conns_closed_idle: u64,
+    /// Connections currently open.
+    pub open_conns: u64,
 }
 
 impl StatsSnapshot {
@@ -316,6 +399,7 @@ impl StatsSnapshot {
         s.push_str(&format!("  completed          {}\n", self.completed));
         s.push_str(&format!("  rejected (full)    {}\n", self.rejected_full));
         s.push_str(&format!("  rejected (closed)  {}\n", self.rejected_closed));
+        s.push_str(&format!("  rejected (admit)   {}\n", self.rejected_admission));
         s.push_str(&format!("  deadline expired   {}\n", self.deadline_expired));
         s.push_str(&format!("  failed (shutdown)  {}\n", self.failed_shutdown));
         s.push_str(&format!("  queue depth        {}\n", self.queue_depth));
@@ -359,6 +443,23 @@ impl StatsSnapshot {
             self.workers,
             self.slab_bytes_per_worker as f64 / (1024.0 * 1024.0)
         ));
+        if !self.worker_batches.is_empty() {
+            s.push_str("  worker shards      ");
+            for (i, ((&b, &us), &d)) in self
+                .worker_batches
+                .iter()
+                .zip(&self.worker_busy_us)
+                .zip(self.shard_depths.iter().chain(std::iter::repeat(&0)))
+                .enumerate()
+            {
+                s.push_str(&format!("{i}:{b}b/{:.0}ms/q{d} ", us as f64 / 1e3));
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "  conns              accepted {}  refused {}  idle-closed {}  open {}\n",
+            self.conns_accepted, self.conns_refused, self.conns_closed_idle, self.open_conns
+        ));
         s
     }
 }
@@ -373,6 +474,7 @@ mod tests {
             completed: st.completed.get(),
             rejected_full: st.rejected_full.get(),
             rejected_closed: st.rejected_closed.get(),
+            rejected_admission: st.rejected_admission.get(),
             deadline_expired: st.deadline_expired.get(),
             failed_shutdown: st.failed_shutdown.get(),
             batches: st.batches.get(),
@@ -385,6 +487,13 @@ mod tests {
             batch_size_hist: st.batch_histogram(),
             workers: 1,
             slab_bytes_per_worker: 0,
+            shard_depths: vec![0],
+            worker_busy_us: st.worker_busy_us.iter().map(|c| c.get()).collect(),
+            worker_batches: st.worker_batches.iter().map(|c| c.get()).collect(),
+            conns_accepted: st.conns_accepted.get(),
+            conns_refused: st.conns_refused.get(),
+            conns_closed_idle: st.conns_closed_idle.get(),
+            open_conns: st.open_conns.get() as u64,
         }
     }
 
@@ -408,7 +517,7 @@ mod tests {
     fn percentiles_stay_inside_the_histogram_range() {
         // All mass in the overflow bucket: the reported percentile must lie
         // inside that bucket's nominal [2^28, 2^29) µs span, not past it.
-        let st = Stats::new(1);
+        let st = Stats::new(1, 1);
         st.record_latency(Duration::from_secs(3600));
         st.submitted.inc();
         let snap = snap_from(&st);
@@ -416,7 +525,7 @@ mod tests {
         assert!(p99 >= Duration::from_micros(1 << 28), "p99 {p99:?} below the overflow bucket");
         assert!(p99 < Duration::from_micros(1 << 29), "p99 {p99:?} past the histogram range");
         // Sub-microsecond mass reports a sub-microsecond percentile.
-        let st = Stats::new(1);
+        let st = Stats::new(1, 1);
         st.record_latency(Duration::from_nanos(100));
         let snap = StatsSnapshot { latency_buckets: st.latency_histogram(), ..snap };
         assert!(snap.latency_percentile(50.0) < Duration::from_micros(1));
@@ -428,7 +537,7 @@ mod tests {
         // 1..=1000 µs uniformly has exact p50 = 500 µs. The bucket edge
         // estimator said 512, the geometric midpoint ~362 — both >2% off;
         // linear interpolation inside [256, 512) lands within 1%.
-        let st = Stats::new(1);
+        let st = Stats::new(1, 1);
         let exact = |p: f64| (p / 100.0 * 1000.0) as u64;
         for us in 1..=1000u64 {
             st.record_latency(Duration::from_micros(us));
@@ -447,7 +556,7 @@ mod tests {
 
     #[test]
     fn wait_and_service_histograms_are_recorded_separately() {
-        let st = Stats::new(4);
+        let st = Stats::new(4, 1);
         st.queue_wait.record(Duration::from_micros(10));
         st.service.record(Duration::from_micros(5000));
         st.record_latency(Duration::from_micros(5010));
@@ -465,7 +574,7 @@ mod tests {
 
     #[test]
     fn percentiles_and_mean_batch_from_histograms() {
-        let st = Stats::new(8);
+        let st = Stats::new(8, 1);
         for _ in 0..90 {
             st.record_latency(Duration::from_micros(100)); // bucket 7
         }
@@ -496,7 +605,7 @@ mod tests {
 
     #[test]
     fn prometheus_scrape_exposes_the_metrics_plane() {
-        let st = Stats::new(8);
+        let st = Stats::new(8, 1);
         st.submitted.add(5);
         st.rejected_full.inc();
         st.deadline_expired.inc();
@@ -506,11 +615,12 @@ mod tests {
         st.record_batch(3, 4);
         st.bytes_moved.add(4096);
         st.workers.set(2.0);
-        let text = st.render_prometheus(7);
+        let text = st.render_prometheus(&[7]);
         assert!(text.contains("temco_requests_submitted_total 5"));
         assert!(text.contains("temco_requests_rejected_total{cause=\"queue_full\"} 1"));
         assert!(text.contains("temco_requests_failed_total{cause=\"deadline_expired\"} 1"));
         assert!(text.contains("temco_queue_depth 7"));
+        assert!(text.contains("temco_worker_queue_depth{worker=\"0\"} 7"));
         assert!(text.contains("temco_workers 2"));
         assert!(text.contains("# TYPE temco_queue_wait_seconds histogram"));
         assert!(text.contains("temco_queue_wait_seconds_count 1"));

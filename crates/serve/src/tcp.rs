@@ -1,10 +1,19 @@
-//! TCP front end: blocking accept loop + one thread per connection.
+//! TCP front ends: the event-driven connection plane ([`serve`]) and the
+//! legacy blocking accept loop ([`serve_blocking`]).
 //!
-//! Deliberately boring: blocking sockets, std threads, the length-prefixed
-//! protocol of [`crate::proto`]. A `SHUTDOWN` frame (or
-//! [`Server::shutdown`] from another thread) stops the accept loop, drains
-//! the queue, and joins the workers; connections submitting during the
-//! drain receive `SHUTTING_DOWN` statuses.
+//! [`serve`] is the production entry point: on x86_64 Linux it runs the
+//! single-threaded epoll loop of [`crate::event`] — a fixed connection
+//! table, preallocated per-connection frame buffers, pooled request
+//! contexts, and no thread per connection — and transparently falls back
+//! to [`serve_blocking`] elsewhere (the std-only epoll shim is a raw
+//! x86_64 Linux syscall binding).
+//!
+//! [`serve_blocking`] stays deliberately boring: blocking sockets, std
+//! threads, the length-prefixed protocol of [`crate::proto`]. A
+//! `SHUTDOWN` frame (or [`Server::shutdown`] from another thread) stops
+//! the accept loop, drains the queue, and joins the workers; connections
+//! submitting during the drain receive `SHUTTING_DOWN` statuses. Both
+//! front ends speak the same wire protocol.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -17,6 +26,42 @@ use temco_tensor::Tensor;
 use crate::error::ServeError;
 use crate::proto::{self, op, status};
 use crate::server::Server;
+
+/// Connection-plane parameters for [`serve`].
+#[derive(Clone, Copy, Debug)]
+pub struct EventConfig {
+    /// Fixed connection-table size; accepts beyond it are refused
+    /// (counted, never queued). Each slot costs one frame buffer — no
+    /// thread.
+    pub max_conns: usize,
+    /// Reap connections quiet for this long that owe no responses.
+    pub idle_timeout: Duration,
+    /// Per-connection pipelining cap: with this many responses
+    /// outstanding a client stops being read until completions drain,
+    /// so one flooder cannot monopolize the admission pool.
+    pub max_inflight: usize,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig { max_conns: 1024, idle_timeout: Duration::from_secs(60), max_inflight: 32 }
+    }
+}
+
+/// Serve `server` on `listener` with the event-driven connection plane
+/// until a `SHUTDOWN` frame arrives; returns after the graceful drain.
+/// Falls back to [`serve_blocking`] on targets without the epoll shim.
+pub fn serve(server: Server, listener: TcpListener, cfg: EventConfig) -> io::Result<()> {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        crate::event::EventLoop::new(server, listener, cfg)?.run()
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = cfg;
+        serve_blocking(server, listener)
+    }
+}
 
 /// Serve `server` on `listener` until a `SHUTDOWN` frame arrives. Returns
 /// after the graceful drain completes and every connection thread exits.

@@ -13,6 +13,13 @@
 //! * output rows are scattered into each request's preallocated response
 //!   buffer ([`crate::ticket::Slot`]).
 //!
+//! Each worker drains exactly one shard queue, so a busy worker never
+//! contends with its siblings on a shared lock. Completions go through
+//! the `*_returning` slot variants — the request's input tensor rides back
+//! with the result so a pooled connection-plane context can recycle it —
+//! and each settled batch fires the core's batch hook to wake the event
+//! loop (an `eventfd` write, allocation-free).
+//!
 //! Expired deadlines are failed *before* execution; a request that cannot
 //! make its deadline costs no FLOPs.
 
@@ -50,30 +57,37 @@ pub enum StepOutcome {
     Drained,
 }
 
-/// A single serving worker. Server-spawned threads drive it with the
-/// blocking loop; tests and embedders can single-step it via
-/// [`Worker::step`] (obtained from [`crate::Server::manual_worker`]).
+/// A single serving worker bound to one shard queue. Server-spawned
+/// threads drive it with the blocking loop; tests and embedders can
+/// single-step it via [`Worker::step`] (obtained from
+/// [`crate::Server::manual_worker`], which binds shard 0).
 pub struct Worker {
     core: Arc<Core>,
+    /// Which shard queue this worker drains (also its stats index).
+    shard: usize,
     /// Per-bucket engines, parallel to `core.buckets`.
     engines: Vec<Engine>,
     /// Per-bucket staging input tensors, `[bucket, …]`.
     staging: Vec<Tensor>,
     /// Gather buffer, capacity `max_batch`, reused every step.
     batch: Vec<Job>,
+    /// Swap space for the deadline shed (keeps live jobs while expired
+    /// ones are consumed by value), capacity `max_batch`.
+    keep: Vec<Job>,
     /// Optional span recorder ([`attach_recorder`](Worker::attach_recorder)).
     /// Preallocated; recording in the hot loop stays allocation-free.
     rec: Option<Recorder>,
 }
 
 impl Worker {
-    pub(crate) fn new(core: Arc<Core>) -> Worker {
+    pub(crate) fn new(core: Arc<Core>, shard: usize) -> Worker {
         let engines: Vec<Engine> =
             core.plans.iter().map(|p| Engine::from_compiled(p.clone())).collect();
         let staging =
             engines.iter().map(|e| Tensor::zeros(e.graph().shape(e.graph().inputs[0]))).collect();
         let batch = Vec::with_capacity(core.cfg.max_batch);
-        Worker { core, engines, staging, batch, rec: None }
+        let keep = Vec::with_capacity(core.cfg.max_batch);
+        Worker { core, shard, engines, staging, batch, keep, rec: None }
     }
 
     /// Attach a preallocated span recorder. Subsequent steps record
@@ -94,22 +108,26 @@ impl Worker {
         self.engines.iter().map(Engine::slab_bytes).sum()
     }
 
+    fn queue(&self) -> &crate::queue::JobQueue {
+        &self.core.shards[self.shard]
+    }
+
     /// Gather and execute one batch without blocking on an empty queue.
     /// With jobs queued, still honors the max-delay window to give late
     /// arrivals a chance to join the batch.
     pub fn step(&mut self) -> StepOutcome {
-        match self.core.queue.try_pop() {
+        match self.queue().try_pop() {
             Some(job) => self.gather_and_run(job),
-            None if self.core.queue.is_closed() => StepOutcome::Drained,
+            None if self.queue().is_closed() => StepOutcome::Drained,
             None => StepOutcome::Idle,
         }
     }
 
     /// The server thread loop: block for work, run batches, exit when the
-    /// queue closes and drains.
+    /// shard queue closes and drains.
     pub(crate) fn run(mut self) {
         loop {
-            match self.core.queue.pop_blocking() {
+            match self.queue().pop_blocking() {
                 Some(job) => {
                     self.gather_and_run(job);
                 }
@@ -124,7 +142,7 @@ impl Worker {
         self.batch.push(first);
         let window_end = Instant::now() + self.core.cfg.max_delay;
         while self.batch.len() < self.core.cfg.max_batch {
-            match self.core.queue.pop_until(window_end) {
+            match self.queue().pop_until(window_end) {
                 Some(job) => self.batch.push(job),
                 None => break,
             }
@@ -132,22 +150,27 @@ impl Worker {
         if let (Some(r), Some(s)) = (self.rec.as_mut(), gather_span) {
             r.finish(s, kind::GATHER, self.batch.len() as u32);
         }
-        self.execute_batch()
+        let outcome = self.execute_batch();
+        self.core.notify_batch_done();
+        outcome
     }
 
     fn execute_batch(&mut self) -> StepOutcome {
         let stats = &self.core.stats;
-        // Shed expired requests without executing them.
+        // Shed expired requests without executing them, handing each its
+        // input tensor back. Drain through the preallocated swap buffer so
+        // live jobs survive by move, not clone.
         let now = Instant::now();
-        self.batch.retain_mut(|job| {
+        self.keep.clear();
+        for job in self.batch.drain(..) {
             if job.deadline.is_some_and(|d| d <= now) {
-                job.slot.complete_err(ServeError::DeadlineExceeded);
+                job.slot.complete_err_returning(ServeError::DeadlineExceeded, job.input);
                 stats.deadline_expired.inc();
-                false
             } else {
-                true
+                self.keep.push(job);
             }
-        });
+        }
+        std::mem::swap(&mut self.batch, &mut self.keep);
         let n = self.batch.len();
         if n == 0 {
             return StepOutcome::Idle;
@@ -188,8 +211,8 @@ impl Worker {
         let scatter_span = self.rec.as_ref().map(|r| r.start());
         let out = outs[0].data();
         let out_len = self.core.output_numel;
-        for (i, job) in self.batch.iter().enumerate() {
-            job.slot.complete_ok(&out[i * out_len..(i + 1) * out_len]);
+        for (i, job) in self.batch.drain(..).enumerate() {
+            job.slot.complete_ok_returning(&out[i * out_len..(i + 1) * out_len], job.input);
             stats.record_latency(job.enqueued.elapsed());
         }
         if let (Some(r), Some(s)) = (self.rec.as_mut(), scatter_span) {
@@ -201,7 +224,8 @@ impl Worker {
         }
         stats.record_batch(n, bucket as usize);
         stats.bytes_moved.add(self.engines[bi].plan().bytes_moved as u64);
-        self.batch.clear();
+        stats.worker_busy_us[self.shard].add(service.as_micros() as u64);
+        stats.worker_batches[self.shard].inc();
         StepOutcome::Ran(n)
     }
 }

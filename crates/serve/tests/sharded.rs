@@ -1,0 +1,145 @@
+//! Behavior of the sharded request plane: per-worker queues, two-choice
+//! routing, per-shard drain on shutdown, and the per-worker stats lane.
+
+use std::time::Duration;
+
+use temco_ir::Graph;
+use temco_serve::{ServeConfig, ServeError, Server};
+use temco_tensor::Tensor;
+
+fn tiny_mlp() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input(&[1, 6], "x");
+    let h = g.linear(x, Tensor::randn(&[5, 6], 1), None, "fc1");
+    let r = g.relu(h, "r");
+    let y = g.linear(r, Tensor::randn(&[3, 5], 2), None, "fc2");
+    g.mark_output(y);
+    g.infer_shapes();
+    g
+}
+
+#[test]
+fn manual_mode_runs_a_single_shard_and_reports_its_depth() {
+    // workers: 0 keeps one shard so manual_worker() has a queue to drain;
+    // with nobody popping, every submission parks there and the per-shard
+    // depth vector exposes the backlog.
+    let server = Server::new(
+        tiny_mlp(),
+        ServeConfig {
+            workers: 0,
+            max_batch: 4,
+            max_delay: Duration::ZERO,
+            queue_cap: 64,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+    for _ in 0..8 {
+        server.submit(Tensor::zeros(&[1, 6])).unwrap();
+    }
+    let snap = server.stats();
+    assert_eq!(snap.shard_depths, vec![8], "workers:0 runs a single shard");
+    server.shutdown();
+}
+
+#[test]
+fn work_lands_on_every_shard_and_the_lanes_reconcile() {
+    let server = Server::new(
+        tiny_mlp(),
+        ServeConfig {
+            workers: 3,
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 4,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> =
+        (0..12).filter_map(|_| server.submit(Tensor::zeros(&[1, 6])).ok()).collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let snap = server.stats();
+    assert!(snap.completed > 0);
+    assert_eq!(snap.shard_depths.len(), 3, "one depth entry per shard");
+    // Work spread across shards: the busy/batches lanes exist per worker.
+    assert_eq!(snap.worker_batches.len(), 3);
+    assert_eq!(snap.worker_busy_us.len(), 3);
+    assert_eq!(snap.worker_batches.iter().sum::<u64>(), snap.batches);
+    server.shutdown();
+    assert!(server.stats().is_conserved_at_rest());
+}
+
+#[test]
+fn shutdown_fails_work_parked_on_every_shard() {
+    // Manual mode with multiple shards is impossible through the public
+    // API (workers:0 ⇒ 1 shard), so exercise the per-shard drain with a
+    // full single shard instead: all queued jobs must settle as
+    // failed_shutdown, none may hang.
+    let server = Server::new(
+        tiny_mlp(),
+        ServeConfig {
+            workers: 0,
+            max_batch: 4,
+            max_delay: Duration::ZERO,
+            queue_cap: 16,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> = (0..10).map(|_| server.submit(Tensor::zeros(&[1, 6])).unwrap()).collect();
+    server.shutdown();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap_err(), ServeError::ShuttingDown);
+    }
+    let snap = server.stats();
+    assert_eq!(snap.failed_shutdown, 10);
+    assert_eq!(snap.queue_depth, 0);
+    assert!(snap.is_conserved_at_rest());
+}
+
+#[test]
+fn multi_worker_throughput_settles_every_ticket() {
+    // Stress the sharded plane: many submitters racing four workers.
+    // Every accepted ticket must settle with an output; the conservation
+    // law must hold at rest; per-worker batch counts must sum to the
+    // total.
+    let server = Server::new(
+        tiny_mlp(),
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+            queue_cap: 64,
+            default_deadline: None,
+        },
+    )
+    .unwrap();
+    let mut join = Vec::new();
+    for t in 0..4 {
+        let server = server.clone();
+        join.push(std::thread::spawn(move || {
+            let sample = Tensor::rand_uniform(&[1, 6], t, -1.0, 1.0);
+            let mut ok = 0usize;
+            for _ in 0..64 {
+                if let Ok(ticket) = server.submit(sample.clone()) {
+                    ticket.wait().unwrap();
+                    ok += 1;
+                }
+            }
+            ok
+        }));
+    }
+    let ok: usize = join.into_iter().map(|h| h.join().unwrap()).sum();
+    server.shutdown();
+    let snap = server.stats();
+    assert_eq!(snap.completed, ok as u64);
+    assert_eq!(snap.worker_batches.iter().sum::<u64>(), snap.batches);
+    assert!(snap.is_conserved_at_rest());
+    // The per-shard depth vector is rendered into the scrape.
+    let text = server.prometheus_metrics();
+    assert!(text.contains("temco_worker_queue_depth{worker=\"0\"}"));
+    assert!(text.contains("temco_worker_queue_depth{worker=\"3\"}"));
+    assert!(text.contains("temco_worker_batches_total{worker=\"0\"}"));
+}

@@ -5,7 +5,11 @@
 #   ./scripts/bench.sh kernels    # blocked-GEMM / e2e tracker; the e2e
 #                                 # object also records the alias-aware
 #                                 # plan's per-inference `bytes_moved`
-#   ./scripts/bench.sh serve      # serving throughput + p99: BENCH_serve.json
+#   ./scripts/bench.sh serve      # serving throughput + p99, the full
+#                                 # worker-count burst-scaling sweep
+#                                 # (workers 1/2/4/8), and the idle-
+#                                 # connection concurrency proof:
+#                                 # BENCH_serve.json
 #   ./scripts/bench.sh obs        # tracing overhead off vs on: BENCH_obs.json
 #   ./scripts/bench.sh all        # all of the above
 #
@@ -14,6 +18,8 @@
 #   TEMCO_BENCH_OUT       output path override
 #   TEMCO_SERVE_CLIENTS   closed-loop clients for the serve target (default 8)
 #   TEMCO_SERVE_REQUESTS  requests per client (default 64)
+#   TEMCO_SERVE_CONNS     burst-sweep connections (default 256)
+#   TEMCO_SERVE_BURSTS    bursts per sweep point (default 6)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -38,6 +38,14 @@ echo "=== obs overhead gate (<= ${TEMCO_OBS_GATE_PCT:-3}%) ==="
 cargo build --release -q -p temco-bench --bin bench_obs
 TEMCO_OBS_GATE_PCT="${TEMCO_OBS_GATE_PCT:-3}" ./target/release/bench_obs
 
+# Serve scaling gate: burst absorption on the event-driven connection
+# plane must scale with the worker count — workers=4 is required to
+# absorb at least 2x the burst throughput of workers=1 on an identical
+# workload (the full sweep lives in `./scripts/bench.sh serve`).
+echo "=== serve scaling gate (workers=4 >= 2x workers=1) ==="
+cargo build --release -q -p temco-bench --bin bench_serve
+./target/release/bench_serve --smoke
+
 # Opt-in perf smoke: TEMCO_CHECK_BENCH=1 ./scripts/check.sh also refreshes
 # BENCH_kernels.json (a few extra minutes; off by default so CI stays fast).
 if [[ "${TEMCO_CHECK_BENCH:-0}" == "1" ]]; then
