@@ -21,7 +21,9 @@ use temco::{Compiler, OptLevel};
 use temco_bench::harness_config;
 use temco_models::ModelId;
 use temco_runtime::{execute, ExecMode, ExecOptions};
-use temco_tensor::{sgemm, sgemm_reference, Tensor};
+use temco_tensor::{
+    sgemm, sgemm_reference, sgemm_scratch_floats_with, sgemm_scratch_with, GemmSchedule, Tensor,
+};
 
 /// Median wall-clock seconds of `reps` runs of `f` (after one warmup).
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -65,6 +67,64 @@ fn bench_gemm(size: usize, reps: usize) -> GemmRow {
     }
 }
 
+/// The zoo's five hottest GEMM shapes (im2col/linear dims at the harness
+/// config), by profile time share: mid-depth ResNet 3×3 im2col stages,
+/// the single-sample classifier GEMMs, and the VGG head at batch.
+const HOT_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("resnet18.conv2_x.3x3", 64, 576, 4096),
+    ("resnet18.conv3_x.3x3", 128, 1152, 1024),
+    ("resnet34.conv4_x.3x3", 256, 2304, 256),
+    ("alexnet.fc2.b1", 1, 1024, 1024),
+    ("vgg16.classifier.b16", 16, 4096, 1000),
+];
+
+struct TunedRow {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    default_gflops: f64,
+    tuned_gflops: f64,
+    schedule: String,
+}
+
+/// Measure every candidate schedule on one shape; the default is candidate
+/// 0, so `tuned_gflops >= default_gflops` holds by argmin construction.
+fn bench_tuned_gemm(name: &'static str, m: usize, k: usize, n: usize, reps: usize) -> TunedRow {
+    let a = Tensor::randn(&[m, k], 13).data().to_vec();
+    let b = Tensor::randn(&[k, n], 19).data().to_vec();
+    let mut out = vec![0.0f32; m * n];
+    let flops = (2 * m * k * n) as f64;
+
+    let candidates = temco_tune::gemm_candidates(8, 42);
+    let mut default_secs = f64::INFINITY;
+    let mut best_secs = f64::INFINITY;
+    let mut best = GemmSchedule::DEFAULT;
+    for (i, &s) in candidates.iter().enumerate() {
+        let mut scratch = vec![0.0f32; sgemm_scratch_floats_with(m, k, n, s)];
+        let secs = median_secs(reps, || {
+            out.fill(0.0);
+            sgemm_scratch_with(&a, &b, &mut out, m, k, n, &mut scratch, s);
+        });
+        if i == 0 {
+            default_secs = secs;
+        }
+        if secs < best_secs {
+            best_secs = secs;
+            best = s;
+        }
+    }
+    TunedRow {
+        name,
+        m,
+        k,
+        n,
+        default_gflops: flops / default_secs / 1e9,
+        tuned_gflops: flops / best_secs / 1e9,
+        schedule: best.label(),
+    }
+}
+
 fn main() {
     let reps: usize =
         std::env::var("TEMCO_BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
@@ -79,6 +139,23 @@ fn main() {
             r.blocked_gflops,
             r.reference_gflops,
             r.blocked_gflops / r.reference_gflops
+        );
+    }
+
+    println!("tuned GEMM, zoo hot shapes (median of {reps}, 8 candidates, seed 42):");
+    let tuned_rows: Vec<TunedRow> =
+        HOT_SHAPES.iter().map(|&(name, m, k, n)| bench_tuned_gemm(name, m, k, n, reps)).collect();
+    for r in &tuned_rows {
+        println!(
+            "  {:<24} {}x{}x{}: default {:.2} GFLOP/s, tuned {:.2} GFLOP/s ({:.2}x, {})",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.default_gflops,
+            r.tuned_gflops,
+            r.tuned_gflops / r.default_gflops,
+            r.schedule
         );
     }
 
@@ -117,6 +194,24 @@ fn main() {
             r.blocked_gflops,
             r.reference_gflops,
             r.blocked_gflops / r.reference_gflops
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ],").unwrap();
+    writeln!(f, "  \"tuned_gemm\": [").unwrap();
+    for (i, r) in tuned_rows.iter().enumerate() {
+        let comma = if i + 1 < tuned_rows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"default_gflops\": {:.3}, \"tuned_gflops\": {:.3}, \"tuned_speedup\": {:.3}, \"schedule\": \"{}\"}}{comma}",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.default_gflops,
+            r.tuned_gflops,
+            r.tuned_gflops / r.default_gflops,
+            r.schedule
         )
         .unwrap();
     }

@@ -160,6 +160,33 @@ pub fn check_plan_against(g: &Graph, plan: &AllocationPlan) -> Vec<String> {
             plan.scratch_bytes, max_scratch
         ));
     }
+    // 3b. Schedule-consistent reservations: every node's scratch entry is
+    //     re-derived from the kernel formula for the *schedule the plan
+    //     dispatches that node with* — a kernel can never touch past its
+    //     reservation, for any schedule the autotuner may have chosen.
+    if plan.node_schedule.len() != g.nodes.len() {
+        errs.push(format!(
+            "node_schedule has {} entries for {} nodes",
+            plan.node_schedule.len(),
+            g.nodes.len()
+        ));
+    }
+    for (i, node) in g.nodes.iter().enumerate() {
+        let (Some(&reserved), Some(&sched)) = (plan.node_scratch.get(i), plan.node_schedule.get(i))
+        else {
+            break; // length mismatch already flagged
+        };
+        let need = temco_runtime::node_scratch_bytes_with(g, node, sched);
+        if reserved != need {
+            errs.push(format!(
+                "node '{}' reserves {} scratch bytes but its schedule ({}) needs {}",
+                node.name,
+                reserved,
+                sched.label(),
+                need
+            ));
+        }
+    }
     if plan.scratch_bytes > 0 {
         if plan.scratch_offset < value_end {
             errs.push(format!(
@@ -437,6 +464,40 @@ mod tests {
             let plan = plan_allocation_with_mode(&g, &lv, AliasMode::Off);
             let errs = check_plan_against(&g, &plan);
             assert!(errs.is_empty(), "seed {seed} (alias off): {errs:?}");
+        }
+    }
+
+    #[test]
+    fn tuned_plans_pass_and_schedule_drift_is_caught() {
+        use temco_runtime::{plan_allocation_with_schedules, GemmSchedule, NodeSchedule};
+        for seed in 0..5 {
+            let g = random_cnn(seed, &GenConfig::default());
+            let lv = liveness(&g);
+            // Give every node a deliberately odd (but legal-after-
+            // normalization) GEMM schedule; the plan must still check out.
+            let scheds: Vec<NodeSchedule> = (0..g.nodes.len())
+                .map(|i| NodeSchedule::Gemm(GemmSchedule { kc: 7 + i, mc: 8, nc: 16 }))
+                .collect();
+            let mut plan = plan_allocation_with_schedules(&g, &lv, AliasMode::Full, &scheds);
+            let errs = check_plan_against(&g, &plan);
+            assert!(errs.is_empty(), "seed {seed} (tuned): {errs:?}");
+
+            // Sabotage: claim a node runs with a bigger schedule than its
+            // reservation was sized for. The checker must notice the
+            // under-reservation from first principles.
+            if let Some(i) = plan.node_scratch.iter().position(|&s| s > 0) {
+                let big = NodeSchedule::Gemm(GemmSchedule { kc: 4096, mc: 4096, nc: 4096 });
+                if temco_runtime::node_scratch_bytes_with(&g, &g.nodes[i], big)
+                    != plan.node_scratch[i]
+                {
+                    plan.node_schedule[i] = big;
+                    let errs = check_plan_against(&g, &plan);
+                    assert!(
+                        errs.iter().any(|e| e.contains("schedule")),
+                        "seed {seed}: schedule drift on node {i} not caught: {errs:?}"
+                    );
+                }
+            }
         }
     }
 

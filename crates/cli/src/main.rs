@@ -43,10 +43,16 @@ struct Cli {
     shutdown: bool,
     iters: usize,
     seed: u64,
+    seed_set: bool,
     faults: usize,
     reps: usize,
+    reps_set: bool,
     trace: Option<String>,
     metrics: bool,
+    db: Option<String>,
+    trials: usize,
+    smoke: bool,
+    shapes: bool,
 }
 
 fn usage() -> ! {
@@ -64,6 +70,7 @@ USAGE:
   temco serve <model> [opts]          serve the model over TCP (dynamic batching)
   temco loadgen [opts]                closed-loop load against a serve instance
   temco check [opts]                  differential + fault-injection harness
+  temco tune <model|--shapes> [opts]  search kernel schedules, persist winners
 
 OPTIONS:
   --level <decomposed|fusion|skip-opt|skip-opt+fusion>   (default: skip-opt+fusion)
@@ -78,6 +85,15 @@ OPTIONS:
 PROFILE OPTIONS:
   --reps <n>           recorded inference repetitions    (default: 10)
   --trace <path>       write spans as chrome://tracing JSON
+  --db <path>          compile with schedules from this tuning DB
+
+TUNE OPTIONS:
+  --shapes             tune the built-in hot-shape suite instead of a model
+  --trials <n>         candidate schedules per shape group (default: 8)
+  --seed <n>           search seed                        (default: 42)
+  --reps <n>           timed runs per candidate, median   (default: 3)
+  --db <path>          tuning database to read and write  (default: temco-tune.db)
+  --smoke              fast deterministic self-check (CI gate)
 
 SERVE OPTIONS:
   --addr <host:port>   bind/connect address              (default: 127.0.0.1:7077)
@@ -139,10 +155,16 @@ fn parse_args() -> Cli {
         shutdown: false,
         iters: 25,
         seed: 0,
+        seed_set: false,
         faults: 10_000,
         reps: 10,
+        reps_set: false,
         trace: None,
         metrics: false,
+        db: None,
+        trials: 8,
+        smoke: false,
+        shapes: false,
     };
     let mut i = 1;
     // `info` takes a file path, not a model name; `loadgen` and `check`
@@ -213,11 +235,21 @@ fn parse_args() -> Cli {
             "--deadline-ms" => cli.deadline_ms = parse_value(flag, &value(&mut i)),
             "--shutdown" => cli.shutdown = true,
             "--iters" => cli.iters = parse_value(flag, &value(&mut i)),
-            "--seed" => cli.seed = parse_value(flag, &value(&mut i)),
+            "--seed" => {
+                cli.seed = parse_value(flag, &value(&mut i));
+                cli.seed_set = true;
+            }
             "--faults" => cli.faults = parse_value(flag, &value(&mut i)),
-            "--reps" => cli.reps = parse_value(flag, &value(&mut i)),
+            "--reps" => {
+                cli.reps = parse_value(flag, &value(&mut i));
+                cli.reps_set = true;
+            }
             "--trace" => cli.trace = Some(value(&mut i)),
             "--metrics" => cli.metrics = true,
+            "--db" => cli.db = Some(value(&mut i)),
+            "--trials" => cli.trials = parse_value(flag, &value(&mut i)),
+            "--smoke" => cli.smoke = true,
+            "--shapes" => cli.shapes = true,
             _ => arg_error(format_args!("unknown flag '{flag}'")),
         }
         i += 1;
@@ -474,8 +506,20 @@ fn main() -> ExitCode {
                 ..Default::default()
             });
             let (opt, _) = compiler.compile(&graph, cli.level);
-            let mut engine = match temco_runtime::Engine::new(opt) {
-                Ok(e) => e,
+            // With --db, compile against tuned schedules; the report's
+            // schedule column then names what produced each timing.
+            let compiled = match &cli.db {
+                Some(path) => {
+                    let db = temco_tune::TuningDb::load(std::path::Path::new(path));
+                    for w in db.warnings() {
+                        eprintln!("warning: {w}");
+                    }
+                    temco_tune::compile_with_db(opt, &db)
+                }
+                None => temco_runtime::CompiledGraph::new(opt),
+            };
+            let mut engine = match compiled {
+                Ok(c) => temco_runtime::Engine::from_compiled(std::sync::Arc::new(c)),
                 Err(e) => {
                     eprintln!("cannot compile {}: {e}", model.name());
                     return ExitCode::FAILURE;
@@ -514,6 +558,122 @@ fn main() -> ExitCode {
                 }
                 println!("trace:    {path} (open in chrome://tracing or Perfetto)");
             }
+            ExitCode::SUCCESS
+        }
+        "tune" => {
+            if cli.smoke {
+                let seed = if cli.seed_set { cli.seed } else { 42 };
+                let report = match temco_tune::run_smoke(cli.trials.min(4), seed) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("smoke run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let gate = |ok: bool| if ok { "ok" } else { "FAIL" };
+                println!(
+                    "candidate generation deterministic: {}",
+                    gate(report.candidates_deterministic)
+                );
+                println!(
+                    "selection deterministic:            {}",
+                    gate(report.selection_deterministic)
+                );
+                println!("database round-trips:               {}", gate(report.db_round_trip));
+                println!("tuned-or-default never loses:       {}", gate(report.never_loses));
+                for g in &report.groups {
+                    println!(
+                        "  {:<50} {:>4} cand  default {:>9} ns  best {:>9} ns  {:.2}x  {}",
+                        g.key,
+                        g.candidates,
+                        g.default_ns,
+                        g.best_ns,
+                        g.speedup(),
+                        g.best.label()
+                    );
+                }
+                return if report.ok() {
+                    println!("smoke: all gates green");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("smoke: gate failure");
+                    ExitCode::FAILURE
+                };
+            }
+            let graph = if cli.shapes {
+                println!("tuning the built-in hot-shape suite");
+                temco_tune::shape_suite_graph()
+            } else {
+                let Some(model) = cli.model else {
+                    arg_error("tune requires a model name or --shapes — try `temco list`")
+                };
+                let cfg = ModelConfig {
+                    batch: cli.batch,
+                    image: cli.image,
+                    num_classes: cli.classes,
+                    classifier_width: 1024,
+                    seed: 42,
+                };
+                let compiler = Compiler::new(CompilerOptions {
+                    decompose: DecomposeOptions {
+                        method: cli.method,
+                        ratio: cli.ratio,
+                        ..Default::default()
+                    },
+                    merge_lconvs: true,
+                    reschedule: cli.reschedule,
+                    ..Default::default()
+                });
+                println!(
+                    "tuning {} @ {} ({}x{} batch {})",
+                    model.name(),
+                    cli.level.label(),
+                    cli.image,
+                    cli.image,
+                    cli.batch
+                );
+                compiler.compile(&model.build(&cfg), cli.level).0
+            };
+            let db_path = cli.db.clone().unwrap_or_else(|| "temco-tune.db".to_string());
+            let mut db = temco_tune::TuningDb::load(std::path::Path::new(&db_path));
+            for w in db.warnings() {
+                eprintln!("warning: {w}");
+            }
+            let opts = temco_tune::TuneOptions {
+                trials: cli.trials,
+                seed: if cli.seed_set { cli.seed } else { 42 },
+                reps: if cli.reps_set { cli.reps } else { 3 },
+            };
+            let reports = match temco_tune::tune_graph(&graph, &opts, &mut db) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("tuning failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{} shape groups, {} trials each, seed {}, {} reps",
+                reports.len(),
+                opts.trials,
+                opts.seed,
+                opts.reps
+            );
+            for g in &reports {
+                println!(
+                    "  {:<58} x{:<2} default {:>9} ns  best {:>9} ns  {:.2}x  {}",
+                    g.key,
+                    g.nodes,
+                    g.default_ns,
+                    g.best_ns,
+                    g.speedup(),
+                    g.best.label()
+                );
+            }
+            if let Err(e) = db.save(std::path::Path::new(&db_path)) {
+                eprintln!("cannot write {db_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("saved:    {db_path} ({} entries)", db.len());
             ExitCode::SUCCESS
         }
         "serve" => {

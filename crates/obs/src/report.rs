@@ -33,6 +33,9 @@ pub struct NodeStat {
     /// concat/flatten copies the alias analysis could not eliminate) —
     /// 0 for compute nodes and for copies executed in place.
     pub moved_bytes: usize,
+    /// Kernel-schedule label the plan dispatches this node with (`-` for
+    /// the hand-tuned default, e.g. `kc256 mc64 nc256` for a tuned GEMM).
+    pub schedule: String,
 }
 
 impl NodeStat {
@@ -140,7 +143,7 @@ impl EngineReport {
         let kernel = self.kernel_ns();
         let _ = writeln!(
             out,
-            "{:>4} {:<22} {:<14} {:>7} {:>10} {:>10} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "{:>4} {:<22} {:<14} {:>7} {:>10} {:>10} {:>6} {:>10} {:>10} {:>10} {:>10} {:<18}",
             "#",
             "node",
             "op",
@@ -151,12 +154,13 @@ impl EngineReport {
             "out KiB",
             "hiwater KiB",
             "scratch KiB",
-            "moved KiB"
+            "moved KiB",
+            "schedule"
         );
         for n in self.top_k(k) {
             let _ = writeln!(
                 out,
-                "{:>4} {:<22} {:<14} {:>7} {:>10.1} {:>10.2} {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                "{:>4} {:<22} {:<14} {:>7} {:>10.1} {:>10.2} {:>5.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:<18}",
                 n.index,
                 truncate(&n.name, 22),
                 truncate(&n.op, 14),
@@ -168,6 +172,7 @@ impl EngineReport {
                 n.high_water_bytes as f64 / 1024.0,
                 n.scratch_bytes as f64 / 1024.0,
                 n.moved_bytes as f64 / 1024.0,
+                truncate(if n.schedule.is_empty() { "-" } else { &n.schedule }, 18),
             );
         }
         let _ = writeln!(out, "\nby op kind:");
@@ -233,6 +238,7 @@ mod tests {
                     high_water_bytes: 8192,
                     scratch_bytes: 1024,
                     moved_bytes: 0,
+                    schedule: "kc256 mc64 nc256".into(),
                 },
                 NodeStat {
                     index: 1,
@@ -244,6 +250,7 @@ mod tests {
                     high_water_bytes: 16384,
                     scratch_bytes: 0,
                     moved_bytes: 4096,
+                    schedule: String::new(),
                 },
                 NodeStat {
                     index: 2,
@@ -255,6 +262,7 @@ mod tests {
                     high_water_bytes: 12288,
                     scratch_bytes: 2048,
                     moved_bytes: 0,
+                    schedule: String::new(),
                 },
             ],
             runs: 10,
@@ -296,6 +304,8 @@ mod tests {
         let r = sample();
         let t = r.render_table(10);
         assert!(t.contains("conv2"));
+        assert!(t.contains("schedule"));
+        assert!(t.contains("kc256 mc64 nc256"));
         assert!(t.contains("by op kind:"));
         assert!(t.contains("peak slab touch: node 1"));
         assert!(t.contains("dropped spans 0"));

@@ -40,6 +40,7 @@
 use temco_ir::{liveness, Graph, Liveness, Op, ValueId};
 
 use crate::alias::{analyze, AliasAnalysis, AliasMode, AliasStats, NodeExec};
+use crate::schedule::NodeSchedule;
 
 /// Alignment of the scratch arena inside the slab (one cache line, and the
 /// GEMM pack-panel alignment the microkernel prefers).
@@ -109,6 +110,10 @@ pub struct AllocationPlan {
     /// `g.nodes[i]` — the executor hands each kernel exactly this prefix of
     /// the arena.
     pub node_scratch: Vec<usize>,
+    /// Kernel schedule per node, parallel to `g.nodes`. `node_scratch[i]`
+    /// is sized for exactly `node_schedule[i]`, and the executor dispatches
+    /// each kernel with the same schedule — the two can never disagree.
+    pub node_schedule: Vec<NodeSchedule>,
     /// Peak of simultaneously-live bytes (union measure per step — an
     /// alias class is counted once, not once per member).
     pub peak_live_bytes: usize,
@@ -317,17 +322,45 @@ pub fn plan_allocation_with(g: &Graph, lv: &Liveness) -> AllocationPlan {
 /// concat embedding if the full plan lost, and falls back to the
 /// alias-free plan as a last resort.
 pub fn plan_allocation_with_mode(g: &Graph, lv: &Liveness, mode: AliasMode) -> AllocationPlan {
+    plan_allocation_with_schedules(g, lv, mode, &[])
+}
+
+/// [`plan_allocation_with_mode`] with explicit per-node kernel schedules.
+///
+/// `schedules` is indexed by node position; an empty slice (or any missing
+/// tail) means [`NodeSchedule::Default`] for every node, which reproduces
+/// the hand-tuned constants bit for bit. The resulting plan carries the
+/// schedules in `node_schedule` and sizes `node_scratch` / the scratch
+/// arena for them, so the executor can dispatch each kernel with its
+/// planned schedule without any run-time sizing.
+///
+/// # Panics
+/// Panics if `schedules` is longer than the node list.
+pub fn plan_allocation_with_schedules(
+    g: &Graph,
+    lv: &Liveness,
+    mode: AliasMode,
+    schedules: &[NodeSchedule],
+) -> AllocationPlan {
+    assert!(
+        schedules.len() <= g.nodes.len(),
+        "{} schedules for {} nodes",
+        schedules.len(),
+        g.nodes.len()
+    );
+    let mut scheds = vec![NodeSchedule::Default; g.nodes.len()];
+    scheds[..schedules.len()].copy_from_slice(schedules);
     if mode == AliasMode::Off {
-        return pack(g, lv, analyze(g, lv, AliasMode::Off));
+        return pack(g, lv, analyze(g, lv, AliasMode::Off), scheds);
     }
-    let full = pack(g, lv, analyze(g, lv, AliasMode::Full));
-    let off = pack(g, lv, analyze(g, lv, AliasMode::Off));
+    let full = pack(g, lv, analyze(g, lv, AliasMode::Full), scheds.clone());
+    let off = pack(g, lv, analyze(g, lv, AliasMode::Off), scheds.clone());
     let no_worse =
         |p: &AllocationPlan| p.value_bytes <= off.value_bytes && p.bytes_moved <= off.bytes_moved;
     if no_worse(&full) {
         return full;
     }
-    let trimmed = pack(g, lv, crate::alias::analyze_opts(g, lv, AliasMode::Full, false));
+    let trimmed = pack(g, lv, crate::alias::analyze_opts(g, lv, AliasMode::Full, false), scheds);
     if no_worse(&trimmed) {
         trimmed
     } else {
@@ -337,7 +370,7 @@ pub fn plan_allocation_with_mode(g: &Graph, lv: &Liveness, mode: AliasMode) -> A
 
 /// Pack one alias analysis into a concrete plan (greedy best-fit over the
 /// class-hull intervals; see the module docs).
-fn pack(g: &Graph, lv: &Liveness, a: AliasAnalysis) -> AllocationPlan {
+fn pack(g: &Graph, lv: &Liveness, a: AliasAnalysis, scheds: Vec<NodeSchedule>) -> AllocationPlan {
     let n_values = g.values.len();
 
     // Resolve every materialized value to (root, delta) once.
@@ -480,8 +513,14 @@ fn pack(g: &Graph, lv: &Liveness, a: AliasAnalysis) -> AllocationPlan {
 
     // Reserve the shared kernel-scratch arena past the value region. One
     // node runs at a time, so max-over-nodes is exact, not conservative.
-    let node_scratch: Vec<usize> =
-        g.nodes.iter().map(|n| crate::scratch::node_scratch_bytes(g, n)).collect();
+    // Each node's requirement is evaluated for the *schedule it will run
+    // with*, via the same formula the kernel asserts against.
+    let node_scratch: Vec<usize> = g
+        .nodes
+        .iter()
+        .zip(&scheds)
+        .map(|(n, s)| crate::scratch::node_scratch_bytes_with(g, n, *s))
+        .collect();
     let scratch_bytes = node_scratch.iter().copied().max().unwrap_or(0);
     let scratch_offset = value_bytes.div_ceil(SCRATCH_ALIGN) * SCRATCH_ALIGN;
     let slab_bytes = if scratch_bytes == 0 { value_bytes } else { scratch_offset + scratch_bytes };
@@ -493,6 +532,7 @@ fn pack(g: &Graph, lv: &Liveness, a: AliasAnalysis) -> AllocationPlan {
         scratch_offset,
         scratch_bytes,
         node_scratch,
+        node_schedule: scheds,
         peak_live_bytes,
         node_exec: a.node_exec,
         bytes_moved_per_node,

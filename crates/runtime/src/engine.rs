@@ -25,8 +25,9 @@ use temco_obs::{kind, Recorder, NO_NODE};
 use temco_tensor::Tensor;
 
 use crate::alias::AliasMode;
-use crate::alloc::{plan_allocation_with_mode, AllocationPlan};
+use crate::alloc::{plan_allocation_with_schedules, AllocationPlan};
 use crate::executor::{run_node_on_slab, ExecError};
+use crate::schedule::NodeSchedule;
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -43,6 +44,15 @@ impl CompiledGraph {
     /// failure modes of the one-shot executor surface here, before the
     /// first inference.
     pub fn new(g: Graph) -> Result<Self, ExecError> {
+        CompiledGraph::new_with_schedules(g, &[])
+    }
+
+    /// [`CompiledGraph::new`] with explicit per-node kernel schedules
+    /// (indexed by node position; an empty slice or missing tail means the
+    /// hand-tuned defaults). This is the dispatch point the autotuner uses:
+    /// schedules resolve here, at compile time, so the warm `run` path
+    /// stays zero-alloc and schedule-lookup-free.
+    pub fn new_with_schedules(g: Graph, schedules: &[NodeSchedule]) -> Result<Self, ExecError> {
         let violations = temco_ir::verify(&g);
         if !violations.is_empty() {
             return Err(ExecError::InvalidGraph { violations });
@@ -64,7 +74,7 @@ impl CompiledGraph {
             }
         }
         let lv = liveness(&g);
-        let plan = plan_allocation_with_mode(&g, &lv, AliasMode::Full);
+        let plan = plan_allocation_with_schedules(&g, &lv, AliasMode::Full, schedules);
         let violations = plan.validate();
         if !violations.is_empty() {
             return Err(ExecError::InvalidPlan { violations });

@@ -24,16 +24,19 @@ use std::time::Instant;
 use temco_ir::{liveness, Graph, Liveness, Op, PoolKind, ValueId};
 use temco_tensor::{
     add, add_n_assign_iter, add_n_into_iter, avg_pool2d, avg_pool2d_inplace, avg_pool2d_into,
-    concat_channels, concat_channels_into_iter, conv2d, conv2d_into_scratch, conv_transpose2d,
-    conv_transpose2d_into_scratch, global_avg_pool, global_avg_pool_inplace, global_avg_pool_into,
-    linear, linear_into_scratch, max_pool2d, max_pool2d_inplace, max_pool2d_into, softmax_lastdim,
-    softmax_lastdim_inplace, softmax_lastdim_into, Conv2dParams, Tensor, TensorView,
+    concat_channels, concat_channels_into_iter, conv2d, conv2d_into_scratch_with, conv_transpose2d,
+    conv_transpose2d_into_scratch_with, global_avg_pool, global_avg_pool_inplace,
+    global_avg_pool_into, linear, linear_into_scratch_with, max_pool2d, max_pool2d_inplace,
+    max_pool2d_into, softmax_lastdim, softmax_lastdim_inplace, softmax_lastdim_into, Conv2dParams,
+    Tensor, TensorView,
 };
 
 use crate::alias::{AliasMode, NodeExec};
 use crate::alloc::{plan_allocation_with_mode, AllocationPlan};
-use crate::fused::{fused_forward, fused_forward_into_scratch};
+use crate::fused::{fused_forward, fused_forward_into_scratch_with};
+use crate::fused_tiled::fused_forward_tiled_into_scratch_with;
 use crate::memory::MemoryTracker;
+use crate::schedule::NodeSchedule;
 
 /// How the executor obtains memory for internal tensors.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -487,7 +490,14 @@ pub(crate) unsafe fn run_node_on_slab(
                     };
                     // The node's kernel scratch is the planner-reserved
                     // arena past the value region — disjoint from every
-                    // value view by construction.
+                    // value view by construction. The reservation was sized
+                    // for exactly the schedule this node dispatches with.
+                    debug_assert_eq!(
+                        plan.node_scratch[i],
+                        crate::scratch::node_scratch_bytes_with(g, node, plan.node_schedule[i]),
+                        "node '{}' scratch reservation disagrees with its schedule",
+                        node.name
+                    );
                     let scratch_f = plan.node_scratch[i] / F32;
                     let scratch: &mut [f32] = if scratch_f == 0 {
                         &mut []
@@ -499,7 +509,7 @@ pub(crate) unsafe fn run_node_on_slab(
                             )
                         }
                     };
-                    eval_into(g, other, &node.inputs, &view, out, scratch);
+                    eval_into(g, other, &node.inputs, &view, out, scratch, plan.node_schedule[i]);
                 }
             }
         }
@@ -510,7 +520,8 @@ pub(crate) unsafe fn run_node_on_slab(
 /// need working memory receive `scratch` — the planner-reserved arena —
 /// so the hot path performs no allocation at all (the `Vec`s that used to
 /// gather `Add`/`Concat` operands are gone too: those kernels take
-/// cloneable iterators over the slab views).
+/// cloneable iterators over the slab views). `sched` is the plan's kernel
+/// schedule for this node; `scratch` must have been sized for it.
 pub(crate) fn eval_into<'a>(
     g: &Graph,
     op: &Op,
@@ -518,6 +529,7 @@ pub(crate) fn eval_into<'a>(
     view: &dyn Fn(ValueId) -> TensorView<'a>,
     out: &mut [f32],
     scratch: &mut [f32],
+    sched: NodeSchedule,
 ) {
     let arg = |i: usize| view(inputs[i]);
     match op {
@@ -526,11 +538,27 @@ pub(crate) fn eval_into<'a>(
             let p =
                 Conv2dParams { stride: spec.stride, padding: spec.padding, groups: spec.groups };
             let bias = spec.bias.map(|b| g.weight(b).data());
-            conv2d_into_scratch(arg(0), g.weight(spec.weight), bias, &p, out, scratch);
+            conv2d_into_scratch_with(
+                arg(0),
+                g.weight(spec.weight),
+                bias,
+                &p,
+                out,
+                scratch,
+                sched.gemm(),
+            );
         }
         Op::ConvTranspose2d { weight, bias, stride } => {
             let bias = bias.map(|b| g.weight(b).data());
-            conv_transpose2d_into_scratch(arg(0), g.weight(*weight), bias, *stride, out, scratch);
+            conv_transpose2d_into_scratch_with(
+                arg(0),
+                g.weight(*weight),
+                bias,
+                *stride,
+                out,
+                scratch,
+                sched.gemm(),
+            );
         }
         Op::Activation(kind) => kind.forward_into(arg(0).data(), out),
         Op::Pool { kind: PoolKind::Max, kernel, stride } => {
@@ -563,23 +591,43 @@ pub(crate) fn eval_into<'a>(
         Op::Concat => concat_channels_into_iter(inputs.iter().map(|&v| view(v)), out),
         Op::Linear { weight, bias } => {
             let bias = bias.map(|b| g.weight(b).data());
-            linear_into_scratch(arg(0), g.weight(*weight), bias, out, scratch);
+            linear_into_scratch_with(arg(0), g.weight(*weight), bias, out, scratch, sched.gemm());
         }
         // A flatten is a pure reinterpretation; in slab mode it degenerates
         // to one copy between the operand's region and the output's.
         Op::Flatten => out.copy_from_slice(arg(0).data()),
         Op::Softmax => softmax_lastdim_into(arg(0), out),
-        Op::Fused(spec) => fused_forward_into_scratch(
-            arg(0),
-            g.weight(spec.lconv_w),
-            spec.lconv_b.map(|b| g.weight(b).data()),
-            spec.act,
-            spec.pool,
-            spec.fconv.as_ref().map(|fc| g.weight(fc.weight)),
-            spec.fconv.as_ref().and_then(|fc| fc.bias).map(|b| g.weight(b).data()),
-            out,
-            scratch,
-        ),
+        Op::Fused(spec) => {
+            let f = sched.fused();
+            if f.tile > 0 {
+                fused_forward_tiled_into_scratch_with(
+                    arg(0),
+                    g.weight(spec.lconv_w),
+                    spec.lconv_b.map(|b| g.weight(b).data()),
+                    spec.act,
+                    spec.pool,
+                    spec.fconv.as_ref().map(|fc| g.weight(fc.weight)),
+                    spec.fconv.as_ref().and_then(|fc| fc.bias).map(|b| g.weight(b).data()),
+                    f.tile,
+                    out,
+                    scratch,
+                    f.slots_per_thread,
+                )
+            } else {
+                fused_forward_into_scratch_with(
+                    arg(0),
+                    g.weight(spec.lconv_w),
+                    spec.lconv_b.map(|b| g.weight(b).data()),
+                    spec.act,
+                    spec.pool,
+                    spec.fconv.as_ref().map(|fc| g.weight(fc.weight)),
+                    spec.fconv.as_ref().and_then(|fc| fc.bias).map(|b| g.weight(b).data()),
+                    out,
+                    scratch,
+                    f.slots_per_thread,
+                )
+            }
+        }
     }
 }
 

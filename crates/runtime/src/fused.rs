@@ -12,11 +12,12 @@ use temco_ir::{ActKind, PoolKind};
 use temco_tensor::{conv_out_dim, with_tl_scratch, Tensor, TensorView};
 
 /// Worker-slot count for a fused kernel with `jobs` independent work
-/// items: modest oversubscription of the thread count for load balancing,
-/// never more slots than jobs. Shared by the scratch-size formulas and the
-/// kernels so the planner reserves exactly what the kernel partitions.
-pub(crate) fn fused_slots(jobs: usize) -> usize {
-    jobs.min(rayon::current_num_threads() * 4).max(1)
+/// items: oversubscription of the thread count by `slots_per_thread` for
+/// load balancing, never more slots than jobs. Shared by the scratch-size
+/// formulas and the kernels so the planner reserves exactly what the
+/// kernel partitions, for *any* slots-per-thread value.
+pub(crate) fn fused_slots_with(jobs: usize, slots_per_thread: usize) -> usize {
+    jobs.min(rayon::current_num_threads() * slots_per_thread.max(1)).max(1)
 }
 
 /// Execute the fused kernel.
@@ -62,7 +63,7 @@ pub fn fused_forward(
 /// "N workers × strip size" rather than one opaque number.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ScratchBreakdown {
-    /// Worker-slot count (see [`fused_slots`]).
+    /// Worker-slot count (see [`fused_slots_with`]).
     pub slots: usize,
     /// Floats in one slot's arena (strip + pooled row + reduced row).
     pub per_slot_floats: usize,
@@ -87,12 +88,39 @@ pub fn fused_scratch_breakdown(
     pool: Option<(usize, usize)>,
     has_fconv: bool,
 ) -> ScratchBreakdown {
+    fused_scratch_breakdown_with(
+        n,
+        h,
+        w,
+        c_full,
+        c_red_out,
+        pool,
+        has_fconv,
+        crate::schedule::FusedSchedule::DEFAULT.slots_per_thread,
+    )
+}
+
+/// [`fused_scratch_breakdown`] with an explicit slots-per-thread factor.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_scratch_breakdown_with(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_red_out: usize,
+    pool: Option<(usize, usize)>,
+    has_fconv: bool,
+    slots_per_thread: usize,
+) -> ScratchBreakdown {
     let (oh, ow, pk) = match pool {
         Some((k, s)) => (conv_out_dim(h, k, s, 0), conv_out_dim(w, k, s, 0), k),
         None => (h, w, 1),
     };
     let per_slot = c_full * pk * w + c_full * ow + if has_fconv { c_red_out * ow } else { 0 };
-    ScratchBreakdown { slots: fused_slots(n * oh), per_slot_floats: per_slot }
+    ScratchBreakdown {
+        slots: fused_slots_with(n * oh, slots_per_thread),
+        per_slot_floats: per_slot,
+    }
 }
 
 /// Scratch floats [`fused_forward_into_scratch`] needs for a fused node
@@ -109,6 +137,22 @@ pub fn fused_scratch_floats(
     has_fconv: bool,
 ) -> usize {
     fused_scratch_breakdown(n, h, w, c_full, c_red_out, pool, has_fconv).total_floats()
+}
+
+/// [`fused_scratch_floats`] with an explicit slots-per-thread factor.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_scratch_floats_with(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_red_out: usize,
+    pool: Option<(usize, usize)>,
+    has_fconv: bool,
+    slots_per_thread: usize,
+) -> usize {
+    fused_scratch_breakdown_with(n, h, w, c_full, c_red_out, pool, has_fconv, slots_per_thread)
+        .total_floats()
 }
 
 /// [`fused_forward`] writing into a preallocated output buffer: each worker
@@ -170,6 +214,39 @@ pub fn fused_forward_into_scratch(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    fused_forward_into_scratch_with(
+        input,
+        lconv_w,
+        lconv_b,
+        act,
+        pool,
+        fconv_w,
+        fconv_b,
+        out,
+        scratch,
+        crate::schedule::FusedSchedule::DEFAULT.slots_per_thread,
+    );
+}
+
+/// [`fused_forward_into_scratch`] with an explicit slots-per-thread
+/// factor; scratch must hold [`fused_scratch_floats_with`] floats for the
+/// *same* factor.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or short `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_into_scratch_with(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
+    slots_per_thread: usize,
+) {
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_full = lconv_w.dim(0);
     assert_eq!(lconv_w.dim(1), c_red_in, "fused kernel: lconv input channels");
@@ -205,7 +282,7 @@ pub fn fused_forward_into_scratch(
     let pooled_f = c_full * ow;
     let row_f = if fw.is_some() { c_red_out * ow } else { 0 };
     let per_slot = strip_f + pooled_f + row_f;
-    let slots = fused_slots(jobs);
+    let slots = fused_slots_with(jobs, slots_per_thread);
     assert!(
         scratch.len() >= slots * per_slot,
         "fused scratch: need {} floats, got {}",

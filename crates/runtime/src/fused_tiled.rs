@@ -16,7 +16,8 @@ use rayon::prelude::*;
 use temco_ir::{ActKind, PoolKind};
 use temco_tensor::{conv_out_dim, with_tl_scratch, Tensor, TensorView};
 
-use crate::fused::{fused_slots, ScratchBreakdown, SyncPtr};
+use crate::fused::{fused_slots_with, ScratchBreakdown, SyncPtr};
+use crate::schedule::FusedSchedule;
 
 /// Scratch decomposition of [`fused_forward_tiled_into_scratch`]: worker
 /// slots × the largest tile's staging arena (edge tiles use prefixes).
@@ -30,6 +31,33 @@ pub fn fused_tiled_scratch_breakdown(
     pool: Option<(usize, usize)>,
     tile: usize,
     has_fconv: bool,
+) -> ScratchBreakdown {
+    fused_tiled_scratch_breakdown_with(
+        n,
+        h,
+        w,
+        c_full,
+        c_out,
+        pool,
+        tile,
+        has_fconv,
+        FusedSchedule::DEFAULT.slots_per_thread,
+    )
+}
+
+/// [`fused_tiled_scratch_breakdown`] with an explicit slots-per-thread
+/// factor.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_tiled_scratch_breakdown_with(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_out: usize,
+    pool: Option<(usize, usize)>,
+    tile: usize,
+    has_fconv: bool,
+    slots_per_thread: usize,
 ) -> ScratchBreakdown {
     let tile = tile.max(1);
     let (oh, ow, pk, ps) = match pool {
@@ -45,7 +73,7 @@ pub fn fused_tiled_scratch_breakdown(
     let per_slot = c_full * ih_max * iw_max
         + c_full * th_max * tw_max
         + if has_fconv { tile.min(c_out) * th_max * tw_max } else { 0 };
-    ScratchBreakdown { slots: fused_slots(jobs), per_slot_floats: per_slot }
+    ScratchBreakdown { slots: fused_slots_with(jobs, slots_per_thread), per_slot_floats: per_slot }
 }
 
 /// Scratch floats [`fused_forward_tiled_into_scratch`] needs —
@@ -62,6 +90,34 @@ pub fn fused_tiled_scratch_floats(
     has_fconv: bool,
 ) -> usize {
     fused_tiled_scratch_breakdown(n, h, w, c_full, c_out, pool, tile, has_fconv).total_floats()
+}
+
+/// [`fused_tiled_scratch_floats`] with an explicit slots-per-thread
+/// factor.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_tiled_scratch_floats_with(
+    n: usize,
+    h: usize,
+    w: usize,
+    c_full: usize,
+    c_out: usize,
+    pool: Option<(usize, usize)>,
+    tile: usize,
+    has_fconv: bool,
+    slots_per_thread: usize,
+) -> usize {
+    fused_tiled_scratch_breakdown_with(
+        n,
+        h,
+        w,
+        c_full,
+        c_out,
+        pool,
+        tile,
+        has_fconv,
+        slots_per_thread,
+    )
+    .total_floats()
 }
 
 /// Execute the fused chain with cubic tiling of the output space.
@@ -167,6 +223,41 @@ pub fn fused_forward_tiled_into_scratch(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    fused_forward_tiled_into_scratch_with(
+        input,
+        lconv_w,
+        lconv_b,
+        act,
+        pool,
+        fconv_w,
+        fconv_b,
+        tile,
+        out,
+        scratch,
+        FusedSchedule::DEFAULT.slots_per_thread,
+    );
+}
+
+/// [`fused_forward_tiled_into_scratch`] with an explicit slots-per-thread
+/// factor; scratch must hold [`fused_tiled_scratch_floats_with`] floats
+/// for the *same* factor.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or short `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_forward_tiled_into_scratch_with(
+    input: TensorView<'_>,
+    lconv_w: &Tensor,
+    lconv_b: Option<&[f32]>,
+    act: ActKind,
+    pool: Option<(PoolKind, usize, usize)>,
+    fconv_w: Option<&Tensor>,
+    fconv_b: Option<&[f32]>,
+    tile: usize,
+    out: &mut [f32],
+    scratch: &mut [f32],
+    slots_per_thread: usize,
+) {
     let tile = tile.max(1);
     let (n, c_red_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_full = lconv_w.dim(0);
@@ -207,7 +298,7 @@ pub fn fused_forward_tiled_into_scratch(
     let pooled_max = c_full * th_max * tw_max;
     let out_tile_max = if fw.is_some() { tile.min(c_out) * th_max * tw_max } else { 0 };
     let per_slot = staged_max + pooled_max + out_tile_max;
-    let slots = fused_slots(jobs);
+    let slots = fused_slots_with(jobs, slots_per_thread);
     assert!(
         scratch.len() >= slots * per_slot,
         "tiled fused scratch: need {} floats, got {}",

@@ -38,27 +38,35 @@ pub mod fused_tiled;
 pub mod memory;
 pub mod planner;
 pub mod profile;
+pub mod schedule;
 pub mod scratch;
 
 pub use alias::{AliasMode, AliasStats, NodeExec};
 pub use alloc::{
-    plan_allocation, plan_allocation_with, plan_allocation_with_mode, AllocationPlan,
-    FragmentationReport, PlannedBuffer, SCRATCH_ALIGN,
+    plan_allocation, plan_allocation_with, plan_allocation_with_mode,
+    plan_allocation_with_schedules, AllocationPlan, FragmentationReport, PlannedBuffer,
+    SCRATCH_ALIGN,
 };
 pub use arena::{plan_arena, validate_arena, ArenaPlan, Placement};
 pub use engine::{CompiledGraph, Engine};
 pub use executor::{execute, ExecError, ExecMode, ExecOptions, ExecResult};
 pub use fused::{
-    fused_forward, fused_forward_into, fused_forward_into_scratch, fused_scratch_breakdown,
-    fused_scratch_floats, ScratchBreakdown,
+    fused_forward, fused_forward_into, fused_forward_into_scratch, fused_forward_into_scratch_with,
+    fused_scratch_breakdown, fused_scratch_breakdown_with, fused_scratch_floats,
+    fused_scratch_floats_with, ScratchBreakdown,
 };
 pub use fused_tiled::{
     fused_forward_tiled, fused_forward_tiled_into, fused_forward_tiled_into_scratch,
-    fused_tiled_scratch_breakdown, fused_tiled_scratch_floats,
+    fused_forward_tiled_into_scratch_with, fused_tiled_scratch_breakdown,
+    fused_tiled_scratch_breakdown_with, fused_tiled_scratch_floats,
+    fused_tiled_scratch_floats_with,
 };
 pub use memory::{MemEvent, MemoryTracker};
 pub use planner::{plan_memory, skip_share_at_peak, MemoryPlan, StepMem};
 pub use profile::{
     engine_report, engine_trace_json, node_high_water_bytes, node_scratch_breakdown, op_label,
 };
-pub use scratch::{node_scratch_bytes, node_scratch_floats};
+pub use schedule::{FusedSchedule, GemmSchedule, NodeSchedule};
+pub use scratch::{
+    node_scratch_bytes, node_scratch_bytes_with, node_scratch_floats, node_scratch_floats_with,
+};

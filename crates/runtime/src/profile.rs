@@ -103,6 +103,7 @@ pub fn engine_report(compiled: &CompiledGraph, rec: &Recorder) -> EngineReport {
             high_water_bytes: node_high_water_bytes(g, plan, i),
             scratch_bytes: plan.node_scratch[i],
             moved_bytes: plan.bytes_moved_per_node[i],
+            schedule: plan.node_schedule[i].label(),
         })
         .collect();
     let mut runs = 0u64;

@@ -12,45 +12,90 @@
 
 use temco_ir::{Graph, Node, Op};
 use temco_tensor::{
-    conv2d_scratch_floats, conv_transpose2d_scratch_floats, linear_scratch_floats, Conv2dParams,
+    conv2d_scratch_floats_with, conv_transpose2d_scratch_floats_with, linear_scratch_floats_with,
+    Conv2dParams,
 };
 
-use crate::fused::fused_scratch_floats;
+use crate::fused::fused_scratch_floats_with;
+use crate::fused_tiled::fused_tiled_scratch_floats_with;
+use crate::schedule::NodeSchedule;
 
 /// Scratch floats the kernel for `node` requires, computed from the
 /// graph's inferred shapes. Shapes must be inferred
 /// (`Graph::infer_shapes`) before calling.
 pub fn node_scratch_floats(g: &Graph, node: &Node) -> usize {
+    node_scratch_floats_with(g, node, NodeSchedule::Default)
+}
+
+/// [`node_scratch_floats`] evaluated for an explicit kernel schedule.
+///
+/// This is the *same* formula the kernels assert against at execution
+/// time, so a plan built from it can never under-reserve scratch for the
+/// schedule it carries.
+pub fn node_scratch_floats_with(g: &Graph, node: &Node, sched: NodeSchedule) -> usize {
     match &node.op {
         Op::Conv2d(spec) => {
             let s = g.shape(node.inputs[0]);
             let w = g.weight(spec.weight);
             let p =
                 Conv2dParams { stride: spec.stride, padding: spec.padding, groups: spec.groups };
-            conv2d_scratch_floats(s[1], s[2], s[3], w.dim(0), w.dim(2), w.dim(3), &p)
+            conv2d_scratch_floats_with(
+                s[1],
+                s[2],
+                s[3],
+                w.dim(0),
+                w.dim(2),
+                w.dim(3),
+                &p,
+                sched.gemm(),
+            )
         }
         Op::ConvTranspose2d { weight, .. } => {
             let s = g.shape(node.inputs[0]);
             let w = g.weight(*weight);
-            conv_transpose2d_scratch_floats(s[1], w.dim(1), w.dim(2), w.dim(3), s[2], s[3])
+            conv_transpose2d_scratch_floats_with(
+                s[1],
+                w.dim(1),
+                w.dim(2),
+                w.dim(3),
+                s[2],
+                s[3],
+                sched.gemm(),
+            )
         }
         Op::Linear { weight, .. } => {
             let s = g.shape(node.inputs[0]);
-            linear_scratch_floats(s[0], s[1], g.weight(*weight).dim(0))
+            linear_scratch_floats_with(s[0], s[1], g.weight(*weight).dim(0), sched.gemm())
         }
         Op::Fused(spec) => {
             let s = g.shape(node.inputs[0]);
             let c_full = g.weight(spec.lconv_w).dim(0);
             let c_red_out = spec.fconv.as_ref().map_or(c_full, |fc| g.weight(fc.weight).dim(0));
-            fused_scratch_floats(
-                s[0],
-                s[2],
-                s[3],
-                c_full,
-                c_red_out,
-                spec.pool.map(|(_, k, st)| (k, st)),
-                spec.fconv.is_some(),
-            )
+            let f = sched.fused();
+            if f.tile > 0 {
+                fused_tiled_scratch_floats_with(
+                    s[0],
+                    s[2],
+                    s[3],
+                    c_full,
+                    c_red_out,
+                    spec.pool.map(|(_, k, st)| (k, st)),
+                    f.tile,
+                    spec.fconv.is_some(),
+                    f.slots_per_thread,
+                )
+            } else {
+                fused_scratch_floats_with(
+                    s[0],
+                    s[2],
+                    s[3],
+                    c_full,
+                    c_red_out,
+                    spec.pool.map(|(_, k, st)| (k, st)),
+                    spec.fconv.is_some(),
+                    f.slots_per_thread,
+                )
+            }
         }
         _ => 0,
     }
@@ -59,6 +104,11 @@ pub fn node_scratch_floats(g: &Graph, node: &Node) -> usize {
 /// [`node_scratch_floats`] in bytes.
 pub fn node_scratch_bytes(g: &Graph, node: &Node) -> usize {
     node_scratch_floats(g, node) * std::mem::size_of::<f32>()
+}
+
+/// [`node_scratch_floats_with`] in bytes.
+pub fn node_scratch_bytes_with(g: &Graph, node: &Node, sched: NodeSchedule) -> usize {
+    node_scratch_floats_with(g, node, sched) * std::mem::size_of::<f32>()
 }
 
 #[cfg(test)]
@@ -89,7 +139,29 @@ mod tests {
         g.infer_shapes();
         let node = g.nodes.iter().find(|n| matches!(n.op, Op::Conv2d(_))).unwrap();
         let p = Conv2dParams { stride: (1, 1), padding: (1, 1), groups: 1 };
-        assert_eq!(node_scratch_floats(&g, node), conv2d_scratch_floats(3, 16, 16, 8, 3, 3, &p));
+        assert_eq!(
+            node_scratch_floats(&g, node),
+            conv2d_scratch_floats_with(3, 16, 16, 8, 3, 3, &p, temco_tensor::GemmSchedule::DEFAULT)
+        );
         assert!(node_scratch_bytes(&g, node) > 0);
+    }
+
+    #[test]
+    fn schedule_changes_resize_the_reservation_consistently() {
+        use crate::schedule::{FusedSchedule, GemmSchedule};
+        let mut g = Graph::new();
+        let x = g.input(&[2, 3, 16, 16], "x");
+        let c = g.conv2d(x, Tensor::randn(&[8, 3, 3, 3], 1), None, 1, 1, "c");
+        g.mark_output(c);
+        g.infer_shapes();
+        let node = g.nodes.iter().find(|n| matches!(n.op, Op::Conv2d(_))).unwrap();
+        let small = NodeSchedule::Gemm(GemmSchedule { kc: 8, mc: 4, nc: 8 });
+        let def = node_scratch_floats_with(&g, node, NodeSchedule::Default);
+        let tuned = node_scratch_floats_with(&g, node, small);
+        assert!(tuned > 0 && tuned <= def, "{tuned} vs {def}");
+        // A fused schedule on a conv node is ignored (falls back to the
+        // default GEMM blocking).
+        let cross = NodeSchedule::Fused(FusedSchedule { slots_per_thread: 9, tile: 3 });
+        assert_eq!(node_scratch_floats_with(&g, node, cross), def);
     }
 }

@@ -15,8 +15,9 @@ use rayon::prelude::*;
 
 use crate::conv_out_dim;
 use crate::matmul::{
-    sgemm_scratch, sgemm_scratch_floats, sgemm_tn_scratch, with_tl_scratch, SyncPtr,
+    sgemm_scratch_floats_with, sgemm_scratch_with, sgemm_tn_scratch_with, with_tl_scratch, SyncPtr,
 };
+use crate::schedule::GemmSchedule;
 use crate::tensor::{Tensor, TensorView};
 
 /// Hyper-parameters of a 2-D convolution.
@@ -69,14 +70,30 @@ pub fn conv2d_scratch_floats(
     kw: usize,
     p: &Conv2dParams,
 ) -> usize {
+    conv2d_scratch_floats_with(c_in, h, w, c_out, kh, kw, p, GemmSchedule::DEFAULT)
+}
+
+/// [`conv2d_scratch_floats`] under an explicit GEMM schedule — the pack
+/// buffers are schedule-sized, the im2col column matrix is not.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_scratch_floats_with(
+    c_in: usize,
+    h: usize,
+    w: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    p: &Conv2dParams,
+    schedule: GemmSchedule,
+) -> usize {
     if p.is_pointwise(kh, kw) {
-        return sgemm_scratch_floats(c_out, c_in, h * w);
+        return sgemm_scratch_floats_with(c_out, c_in, h * w, schedule);
     }
     let (oh, ow) = p.out_hw(h, w, kh, kw);
     let c_in_g = c_in / p.groups;
     let c_out_g = c_out / p.groups;
     let col_rows = c_in_g * kh * kw;
-    col_rows * oh * ow + sgemm_scratch_floats(c_out_g, col_rows, oh * ow)
+    col_rows * oh * ow + sgemm_scratch_floats_with(c_out_g, col_rows, oh * ow, schedule)
 }
 
 /// 2-D convolution. `input` is `[n, c_in, h, w]`, `weight` is
@@ -131,6 +148,25 @@ pub fn conv2d_into_scratch(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    conv2d_into_scratch_with(input, weight, bias, p, out, scratch, GemmSchedule::DEFAULT);
+}
+
+/// [`conv2d_into_scratch`] under an explicit GEMM schedule; scratch must
+/// hold [`conv2d_scratch_floats_with`] floats for the *same* schedule.
+///
+/// # Panics
+/// Panics on shape inconsistencies, wrong `out` length, or undersized
+/// scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into_scratch_with(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    p: &Conv2dParams,
+    out: &mut [f32],
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     assert_eq!(input.shape().len(), 4, "conv2d input must be 4-D");
     assert_eq!(weight.shape().len(), 4, "conv2d weight must be 4-D");
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
@@ -143,12 +179,12 @@ pub fn conv2d_into_scratch(
     let (oh, ow) = p.out_hw(h, w, kh, kw);
     assert_eq!(out.len(), n * c_out * oh * ow, "conv2d output buffer length");
     assert!(
-        scratch.len() >= conv2d_scratch_floats(c_in, h, w, c_out, kh, kw, p),
+        scratch.len() >= conv2d_scratch_floats_with(c_in, h, w, c_out, kh, kw, p, schedule),
         "conv2d scratch undersized"
     );
 
     if p.is_pointwise(kh, kw) {
-        return pointwise_into(input, weight, bias, out, scratch);
+        return pointwise_into(input, weight, bias, out, scratch, schedule);
     }
 
     let c_out_g = c_out / p.groups;
@@ -181,7 +217,16 @@ pub fn conv2d_into_scratch(
             } else {
                 out_slice.fill(0.0);
             }
-            sgemm_scratch(w_slice, col, out_slice, c_out_g, col_rows, out_plane, gemm_scratch);
+            sgemm_scratch_with(
+                w_slice,
+                col,
+                out_slice,
+                c_out_g,
+                col_rows,
+                out_plane,
+                gemm_scratch,
+                schedule,
+            );
         }
     }
 }
@@ -193,6 +238,7 @@ fn pointwise_into(
     bias: Option<&[f32]>,
     out: &mut [f32],
     scratch: &mut [f32],
+    schedule: GemmSchedule,
 ) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let c_out = weight.dim(0);
@@ -207,7 +253,16 @@ fn pointwise_into(
         } else {
             out_slice.fill(0.0);
         }
-        sgemm_scratch(weight.data(), in_slice, out_slice, c_out, c_in, plane, scratch);
+        sgemm_scratch_with(
+            weight.data(),
+            in_slice,
+            out_slice,
+            c_out,
+            c_in,
+            plane,
+            scratch,
+            schedule,
+        );
     }
 }
 
@@ -318,8 +373,21 @@ pub fn conv_transpose2d_scratch_floats(
     h: usize,
     w: usize,
 ) -> usize {
+    conv_transpose2d_scratch_floats_with(c_in, c_out, kh, kw, h, w, GemmSchedule::DEFAULT)
+}
+
+/// [`conv_transpose2d_scratch_floats`] under an explicit GEMM schedule.
+pub fn conv_transpose2d_scratch_floats_with(
+    c_in: usize,
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    h: usize,
+    w: usize,
+    schedule: GemmSchedule,
+) -> usize {
     let col_rows = c_out * kh * kw;
-    col_rows * h * w + sgemm_scratch_floats(col_rows, c_in, h * w)
+    col_rows * h * w + sgemm_scratch_floats_with(col_rows, c_in, h * w, schedule)
 }
 
 /// Transposed (up-)convolution, `weight` is `[c_in, c_out, kh, kw]`.
@@ -377,6 +445,33 @@ pub fn conv_transpose2d_into_scratch(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    conv_transpose2d_into_scratch_with(
+        input,
+        weight,
+        bias,
+        stride,
+        out,
+        scratch,
+        GemmSchedule::DEFAULT,
+    );
+}
+
+/// [`conv_transpose2d_into_scratch`] under an explicit GEMM schedule;
+/// scratch must hold [`conv_transpose2d_scratch_floats_with`] floats for
+/// the *same* schedule.
+///
+/// # Panics
+/// Panics on channel mismatches, wrong `out` length, or undersized
+/// scratch.
+pub fn conv_transpose2d_into_scratch_with(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: (usize, usize),
+    out: &mut [f32],
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     let (n, c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (w_cin, c_out, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(c_in, w_cin, "conv_transpose2d channel mismatch");
@@ -386,7 +481,7 @@ pub fn conv_transpose2d_into_scratch(
     let plane = oh * ow;
     assert_eq!(out.len(), n * c_out * plane, "conv_transpose2d output buffer length");
     assert!(
-        scratch.len() >= conv_transpose2d_scratch_floats(c_in, c_out, kh, kw, h, w),
+        scratch.len() >= conv_transpose2d_scratch_floats_with(c_in, c_out, kh, kw, h, w, schedule),
         "conv_transpose2d scratch undersized"
     );
     match bias {
@@ -410,7 +505,16 @@ pub fn conv_transpose2d_into_scratch(
         // exactly the `[k × m]` transposed-A operand with k = c_in.
         col.fill(0.0);
         let x = &input.data()[b_i * c_in * in_plane..(b_i + 1) * c_in * in_plane];
-        sgemm_tn_scratch(weight.data(), x, col, col_rows, c_in, in_plane, gemm_scratch);
+        sgemm_tn_scratch_with(
+            weight.data(),
+            x,
+            col,
+            col_rows,
+            c_in,
+            in_plane,
+            gemm_scratch,
+            schedule,
+        );
         // col2im scatter-add, parallel over output channels: each worker
         // owns one `[oh, ow]` output plane.
         (0..c_out).into_par_iter().for_each(|co| {

@@ -1,6 +1,7 @@
 //! Elementwise ops, activations, concat/add, linear, softmax.
 
-use crate::matmul::{sgemm_nt_scratch, sgemm_scratch_floats, with_tl_scratch};
+use crate::matmul::{sgemm_nt_scratch_with, sgemm_scratch_floats_with, with_tl_scratch};
+use crate::schedule::GemmSchedule;
 use crate::tensor::{Tensor, TensorView};
 
 /// The activation functions appearing between decomposed convolutions.
@@ -196,7 +197,17 @@ pub fn linear(input: &Tensor, weight: &Tensor, bias: Option<&[f32]>) -> Tensor {
 /// pack buffers; the stored weight multiplies in place via the transposed
 /// GEMM variant, so no transpose copy exists anymore).
 pub fn linear_scratch_floats(n: usize, in_f: usize, out_f: usize) -> usize {
-    sgemm_scratch_floats(n, in_f, out_f)
+    linear_scratch_floats_with(n, in_f, out_f, GemmSchedule::DEFAULT)
+}
+
+/// [`linear_scratch_floats`] under an explicit GEMM schedule.
+pub fn linear_scratch_floats_with(
+    n: usize,
+    in_f: usize,
+    out_f: usize,
+    schedule: GemmSchedule,
+) -> usize {
+    sgemm_scratch_floats_with(n, in_f, out_f, schedule)
 }
 
 /// [`linear`] writing into a preallocated output buffer. Working memory
@@ -226,6 +237,22 @@ pub fn linear_into_scratch(
     out: &mut [f32],
     scratch: &mut [f32],
 ) {
+    linear_into_scratch_with(input, weight, bias, out, scratch, GemmSchedule::DEFAULT);
+}
+
+/// [`linear_into_scratch`] under an explicit GEMM schedule; scratch must
+/// hold [`linear_scratch_floats_with`] floats for the *same* schedule.
+///
+/// # Panics
+/// Panics on shape mismatches, wrong `out` length, or undersized scratch.
+pub fn linear_into_scratch_with(
+    input: TensorView<'_>,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     assert_eq!(input.shape().len(), 2, "linear input must be 2-D");
     assert_eq!(weight.shape().len(), 2, "linear weight must be 2-D");
     let (n, f) = (input.dim(0), input.dim(1));
@@ -242,7 +269,7 @@ pub fn linear_into_scratch(
         None => out.fill(0.0),
     }
     // out[n, out_f] += input[n, f] · weight[out_f, f]ᵀ
-    sgemm_nt_scratch(input.data(), weight.data(), out, n, f, out_f, scratch);
+    sgemm_nt_scratch_with(input.data(), weight.data(), out, n, f, out_f, scratch, schedule);
 }
 
 /// Softmax over the last dimension of a 2-D tensor.

@@ -26,26 +26,31 @@ pub mod conv;
 pub mod elementwise;
 pub mod matmul;
 pub mod pool;
+pub mod schedule;
 pub mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_direct, conv2d_into, conv2d_into_scratch, conv2d_scratch_floats,
-    conv_transpose2d, conv_transpose2d_into, conv_transpose2d_into_scratch,
-    conv_transpose2d_scratch_floats, Conv2dParams,
+    conv2d, conv2d_direct, conv2d_into, conv2d_into_scratch, conv2d_into_scratch_with,
+    conv2d_scratch_floats, conv2d_scratch_floats_with, conv_transpose2d, conv_transpose2d_into,
+    conv_transpose2d_into_scratch, conv_transpose2d_into_scratch_with,
+    conv_transpose2d_scratch_floats, conv_transpose2d_scratch_floats_with, Conv2dParams,
 };
 pub use elementwise::{
     add, add_n_assign_iter, add_n_into, add_n_into_iter, concat_channels, concat_channels_into,
-    concat_channels_into_iter, linear, linear_into, linear_into_scratch, linear_scratch_floats,
-    softmax_lastdim, softmax_lastdim_inplace, softmax_lastdim_into, ActKind,
+    concat_channels_into_iter, linear, linear_into, linear_into_scratch, linear_into_scratch_with,
+    linear_scratch_floats, linear_scratch_floats_with, softmax_lastdim, softmax_lastdim_inplace,
+    softmax_lastdim_into, ActKind,
 };
 pub use matmul::{
-    sgemm, sgemm_nt, sgemm_nt_scratch, sgemm_reference, sgemm_scratch, sgemm_scratch_floats,
-    sgemm_tn, sgemm_tn_scratch, with_tl_scratch,
+    isa_level, sgemm, sgemm_nt, sgemm_nt_scratch, sgemm_nt_scratch_with, sgemm_reference,
+    sgemm_scratch, sgemm_scratch_floats, sgemm_scratch_floats_with, sgemm_scratch_with, sgemm_tn,
+    sgemm_tn_scratch, sgemm_tn_scratch_with, with_tl_scratch,
 };
 pub use pool::{
     avg_pool2d, avg_pool2d_inplace, avg_pool2d_into, global_avg_pool, global_avg_pool_inplace,
     global_avg_pool_into, max_pool2d, max_pool2d_inplace, max_pool2d_into,
 };
+pub use schedule::GemmSchedule;
 pub use tensor::{Tensor, TensorView};
 
 /// Compute the spatial output size of a convolution/pooling window.

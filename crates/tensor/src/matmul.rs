@@ -40,6 +40,7 @@
 //! grown once and reused, so ad-hoc callers stay allocation-free after
 //! warmup too.
 
+use crate::schedule::GemmSchedule;
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -52,13 +53,9 @@ pub const NR: usize = 8;
 // The microkernel bodies name their MR accumulators explicitly and the
 // AVX2 variant loads exactly one ymm per packed B step.
 const _: () = assert!(MR == 4 && NR == 8);
-/// K-dimension panel depth: an `MR`-row A micro-panel of `KC` depth plus a
-/// `NR`-column B micro-panel stay resident in L1 across the inner loop.
-const KC: usize = 256;
-/// A-panel row block: `MC × KC` packed A (64 KiB) sits in L2.
-const MC: usize = 64;
-/// B-panel column block: `KC × NC` packed B (256 KiB) sits in L2/L3.
-const NC: usize = 256;
+// The cache-blocking panel depths (the former `KC`/`MC`/`NC` constants)
+// are now runtime data: [`GemmSchedule`], default
+// [`GemmSchedule::DEFAULT`]. The register tile above stays fixed.
 
 /// Below this many multiply-adds the packed pipeline's setup cost beats
 /// its cache wins; a straight serial loop runs instead (and needs no
@@ -116,28 +113,37 @@ struct GemmDims {
     per_slot: usize,
 }
 
-fn gemm_dims(m: usize, k: usize, n: usize, threads: usize) -> GemmDims {
+fn gemm_dims(m: usize, k: usize, n: usize, threads: usize, s: GemmSchedule) -> GemmDims {
+    let s = s.normalized();
     let threads = threads.max(1);
     // Columns first: the big dimension in conv workloads is the output
     // plane (n); rows absorb leftover parallelism for tall problems.
     let col_slots = threads.min(n.div_ceil(NR)).max(1);
     let row_slots = (threads / col_slots).min(m.div_ceil(MR)).max(1);
-    let kc = k.clamp(1, KC);
+    let kc = k.clamp(1, s.kc);
     let row_span = m.div_ceil(row_slots);
     let col_span = n.div_ceil(col_slots);
-    let mcb = round_up(row_span.clamp(1, MC), MR);
-    let ncb = round_up(col_span.clamp(1, NC), NR);
+    let mcb = round_up(row_span.clamp(1, s.mc), MR);
+    let ncb = round_up(col_span.clamp(1, s.nc), NR);
     GemmDims { row_slots, col_slots, kc, mcb, ncb, per_slot: kc * (mcb + ncb) }
 }
 
-/// Pack-buffer floats a `(m, k, n)` GEMM needs on this host. Deterministic
-/// given shapes and `rayon::current_num_threads()`; the allocation planner
-/// uses it to reserve slab scratch and the kernels assert against it.
+/// Pack-buffer floats a `(m, k, n)` GEMM needs on this host under the
+/// default schedule. Deterministic given shapes and
+/// `rayon::current_num_threads()`; the allocation planner uses it to
+/// reserve slab scratch and the kernels assert against it.
 pub fn sgemm_scratch_floats(m: usize, k: usize, n: usize) -> usize {
+    sgemm_scratch_floats_with(m, k, n, GemmSchedule::DEFAULT)
+}
+
+/// [`sgemm_scratch_floats`] for an explicit schedule — the same function
+/// the kernel partitions scratch with, so planner and kernel cannot
+/// disagree for *any* schedule value.
+pub fn sgemm_scratch_floats_with(m: usize, k: usize, n: usize, s: GemmSchedule) -> usize {
     if m == 0 || n == 0 || k == 0 || m * k * n <= SMALL_FLOPS {
         return 0;
     }
-    let d = gemm_dims(m, k, n, rayon::current_num_threads());
+    let d = gemm_dims(m, k, n, rayon::current_num_threads(), s);
     d.row_slots * d.col_slots * d.per_slot
 }
 
@@ -179,7 +185,7 @@ pub fn sgemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize
     assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
     with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
-        gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, s);
+        gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, s, GemmSchedule::DEFAULT);
     });
 }
 
@@ -198,10 +204,29 @@ pub fn sgemm_scratch(
     n: usize,
     scratch: &mut [f32],
 ) {
+    sgemm_scratch_with(a, b, out, m, k, n, scratch, GemmSchedule::DEFAULT);
+}
+
+/// [`sgemm_scratch`] under an explicit [`GemmSchedule`]; scratch must hold
+/// [`sgemm_scratch_floats_with`]`(m, k, n, schedule)` floats.
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_scratch_with(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
-    gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, scratch);
+    gemm_core(a, AStore::RowMajor, b, BStore::RowMajor, out, m, k, n, scratch, schedule);
 }
 
 /// `out[m×n] += a[m×k] * bt[n×k]ᵀ`: the right-hand operand is stored
@@ -215,7 +240,18 @@ pub fn sgemm_nt(a: &[f32], bt: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(bt.len(), n * k, "rhs (transposed) buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
     with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
-        gemm_core(a, AStore::RowMajor, bt, BStore::Transposed, out, m, k, n, s);
+        gemm_core(
+            a,
+            AStore::RowMajor,
+            bt,
+            BStore::Transposed,
+            out,
+            m,
+            k,
+            n,
+            s,
+            GemmSchedule::DEFAULT,
+        );
     });
 }
 
@@ -232,10 +268,28 @@ pub fn sgemm_nt_scratch(
     n: usize,
     scratch: &mut [f32],
 ) {
+    sgemm_nt_scratch_with(a, bt, out, m, k, n, scratch, GemmSchedule::DEFAULT);
+}
+
+/// [`sgemm_nt_scratch`] under an explicit [`GemmSchedule`].
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_nt_scratch_with(
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     assert_eq!(a.len(), m * k, "lhs buffer size mismatch");
     assert_eq!(bt.len(), n * k, "rhs (transposed) buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
-    gemm_core(a, AStore::RowMajor, bt, BStore::Transposed, out, m, k, n, scratch);
+    gemm_core(a, AStore::RowMajor, bt, BStore::Transposed, out, m, k, n, scratch, schedule);
 }
 
 /// `out[m×n] += at[k×m]ᵀ * b[k×n]`: the left-hand operand is stored
@@ -249,7 +303,18 @@ pub fn sgemm_tn(at: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
     with_tl_scratch(sgemm_scratch_floats(m, k, n), |s| {
-        gemm_core(at, AStore::Transposed, b, BStore::RowMajor, out, m, k, n, s);
+        gemm_core(
+            at,
+            AStore::Transposed,
+            b,
+            BStore::RowMajor,
+            out,
+            m,
+            k,
+            n,
+            s,
+            GemmSchedule::DEFAULT,
+        );
     });
 }
 
@@ -266,10 +331,28 @@ pub fn sgemm_tn_scratch(
     n: usize,
     scratch: &mut [f32],
 ) {
+    sgemm_tn_scratch_with(at, b, out, m, k, n, scratch, GemmSchedule::DEFAULT);
+}
+
+/// [`sgemm_tn_scratch`] under an explicit [`GemmSchedule`].
+///
+/// # Panics
+/// Panics on length mismatches or undersized scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_tn_scratch_with(
+    at: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut [f32],
+    schedule: GemmSchedule,
+) {
     assert_eq!(at.len(), k * m, "lhs (transposed) buffer size mismatch");
     assert_eq!(b.len(), k * n, "rhs buffer size mismatch");
     assert_eq!(out.len(), m * n, "out buffer size mismatch");
-    gemm_core(at, AStore::Transposed, b, BStore::RowMajor, out, m, k, n, scratch);
+    gemm_core(at, AStore::Transposed, b, BStore::RowMajor, out, m, k, n, scratch, schedule);
 }
 
 /// Convenience: `a[m×k] * b[k×n]` into a fresh zeroed buffer.
@@ -322,6 +405,7 @@ fn gemm_core(
     k: usize,
     n: usize,
     scratch: &mut [f32],
+    schedule: GemmSchedule,
 ) {
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -330,7 +414,7 @@ fn gemm_core(
         return gemm_small(a, astore, b, bstore, out, m, k, n);
     }
     let isa = detect_isa();
-    let d = gemm_dims(m, k, n, rayon::current_num_threads());
+    let d = gemm_dims(m, k, n, rayon::current_num_threads(), schedule);
     let slots = d.row_slots * d.col_slots;
     assert!(
         scratch.len() >= slots * d.per_slot,
@@ -552,6 +636,16 @@ fn detect_isa() -> Isa {
         }
     }
     Isa::Baseline
+}
+
+/// Stable name of the microkernel ISA the running CPU dispatches to —
+/// the machine component of the tuning-database key, so schedules tuned
+/// under one microkernel are never applied under another.
+pub fn isa_level() -> &'static str {
+    match detect_isa() {
+        Isa::Avx2Fma => "avx2fma",
+        Isa::Baseline => "baseline",
+    }
 }
 
 /// The register-tiled heart: an `MR×NR` rank-`kc` update over packed
@@ -862,6 +956,67 @@ mod tests {
         sgemm_reference(&a, &b, &mut want, m, k, n);
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_schedules_match_naive() {
+        // Small, odd, and oversized blockings over ragged shapes: every
+        // schedule must produce the same numbers as the default, drawing
+        // from a buffer sized by the schedule-aware formula.
+        let schedules = [
+            GemmSchedule { kc: 1, mc: 1, nc: 1 },
+            GemmSchedule { kc: 3, mc: 5, nc: 9 },
+            GemmSchedule { kc: 8, mc: 4, nc: 8 },
+            GemmSchedule { kc: 17, mc: 12, nc: 24 },
+            GemmSchedule { kc: 1024, mc: 1024, nc: 1024 },
+        ];
+        for &(m, k, n) in &[(65, 130, 63), (37, 50, 41), (33, 70, 18)] {
+            let a = fill(m * k, 7, 23, 0.125, 1.0);
+            let b = fill(k * n, 11, 29, 0.0625, 0.9);
+            let want = naive(&a, &b, m, k, n);
+            for s in schedules {
+                let floats = sgemm_scratch_floats_with(m, k, n, s);
+                let mut scratch = vec![0.0f32; floats];
+                let mut got = vec![0.0f32; m * n];
+                sgemm_scratch_with(&a, &b, &mut got, m, k, n, &mut scratch, s);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert!((g - w).abs() < 1e-3, "({m},{k},{n}) {} [{i}]: {g} vs {w}", s.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_accept_odd_schedules() {
+        let (m, k, n) = (29, 66, 40);
+        let s = GemmSchedule { kc: 7, mc: 8, nc: 16 };
+        let at = fill(k * m, 7, 17, 0.25, 1.75);
+        let bt = fill(n * k, 5, 11, 0.5, 1.25);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let want = naive(&a, &b, m, k, n);
+        let mut scratch = vec![0.0f32; sgemm_scratch_floats_with(m, k, n, s)];
+        let mut got = vec![0.0f32; m * n];
+        sgemm_tn_scratch_with(&at, &b, &mut got, m, k, n, &mut scratch, s);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "tn: {g} vs {w}");
+        }
+        got.fill(0.0);
+        scratch.fill(0.0);
+        sgemm_nt_scratch_with(&a, &bt, &mut got, m, k, n, &mut scratch, s);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "nt: {g} vs {w}");
         }
     }
 

@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use temco_tensor::{
-    sgemm, sgemm_nt_scratch, sgemm_reference, sgemm_scratch, sgemm_scratch_floats,
-    sgemm_tn_scratch, Tensor,
+    sgemm, sgemm_nt_scratch, sgemm_nt_scratch_with, sgemm_reference, sgemm_scratch,
+    sgemm_scratch_floats, sgemm_scratch_floats_with, sgemm_scratch_with, sgemm_tn_scratch,
+    sgemm_tn_scratch_with, GemmSchedule, Tensor,
 };
 
 /// Shapes straddling the microkernel (4×8), the KC=256/MC=64 panel edges,
@@ -102,6 +103,53 @@ proptest! {
         got.fill(0.0);
         sgemm_tn_scratch(&at, &b, &mut got, m, k, n, &mut scratch);
         prop_assert!(rel_close(&got, &want, k).is_ok(), "sgemm_tn {m}x{k}x{n}");
+    }
+
+    #[test]
+    fn non_default_schedules_match_naive_on_ragged_shapes(
+        mi in 0usize..6,
+        ki in 0usize..6,
+        ni in 0usize..6,
+        kc in 1usize..300,
+        mc in 1usize..150,
+        nc in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        // The autotuner may hand the kernel ANY normalized schedule —
+        // small, odd, or wildly off the cache-tuned default. Every one
+        // must compute the same product from exactly the scratch the
+        // schedule-parameterized formula advertises.
+        let (m, k, n) = (DIMS[mi], DIMS[ki], DIMS[ni]);
+        let s = GemmSchedule { kc, mc, nc }.normalized();
+        let a = Tensor::randn(&[m, k], seed).data().to_vec();
+        let b = Tensor::randn(&[k, n], seed ^ 0x7E57).data().to_vec();
+        let want = matmul_naive(&a, &b, m, k, n);
+
+        let mut scratch = vec![0.0f32; sgemm_scratch_floats_with(m, k, n, s)];
+        let mut got = vec![0.0f32; m * n];
+        sgemm_scratch_with(&a, &b, &mut got, m, k, n, &mut scratch, s);
+        prop_assert!(rel_close(&got, &want, k).is_ok(),
+            "sgemm_scratch_with {m}x{k}x{n} {s:?}: {}", rel_close(&got, &want, k).unwrap_err());
+
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        got.fill(0.0);
+        sgemm_nt_scratch_with(&a, &bt, &mut got, m, k, n, &mut scratch, s);
+        prop_assert!(rel_close(&got, &want, k).is_ok(), "sgemm_nt {m}x{k}x{n} {s:?}");
+
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        got.fill(0.0);
+        sgemm_tn_scratch_with(&at, &b, &mut got, m, k, n, &mut scratch, s);
+        prop_assert!(rel_close(&got, &want, k).is_ok(), "sgemm_tn {m}x{k}x{n} {s:?}");
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! The on-disk tuning database.
+//!
+//! A plain-text, line-oriented, std-only format so a tuned host needs no
+//! serialization dependency and a human can read or hand-edit the file:
+//!
+//! ```text
+//! # temco-tune v1
+//! conv2d|c3h64w64-oc64k3x3-s1x1-p1x1-g1|avx2fma<TAB>gemm kc=128 mc=64 nc=256
+//! fused|n1c32h16w16-cf64-cr16-p2s2-fc|avx2fma<TAB>fused spt=2 tile=16
+//! ```
+//!
+//! Keys are `op|shape-signature|isa` (see [`crate::signature`]); values are
+//! a schedule kind followed by `k=v` fields. Parsing is tolerant by design:
+//! unknown fields are ignored, malformed lines are skipped with a warning,
+//! and a missing or corrupt file degrades to an **empty database** — the
+//! engine then compiles with the hand-tuned defaults, never panics. The
+//! [`TuningDb::warnings`] list records everything that was tolerated so
+//! callers can surface it.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use temco_runtime::{FusedSchedule, GemmSchedule, NodeSchedule};
+
+/// Format header line; version-bumped if the format ever changes shape.
+pub const DB_HEADER: &str = "# temco-tune v1";
+
+/// Compose a database key from its three components.
+pub fn db_key(op: &str, sig: &str, isa: &str) -> String {
+    format!("{op}|{sig}|{isa}")
+}
+
+/// An in-memory tuning database: `key → schedule`, plus the warnings its
+/// (tolerant) load accumulated.
+#[derive(Clone, Debug, Default)]
+pub struct TuningDb {
+    entries: BTreeMap<String, NodeSchedule>,
+    warnings: Vec<String>,
+}
+
+impl TuningDb {
+    /// An empty database.
+    pub fn new() -> TuningDb {
+        TuningDb::default()
+    }
+
+    /// Load from `path`. A missing file is a fresh, empty database (no
+    /// warning — first run); an unreadable or corrupt file is an empty
+    /// database **with** a warning. Never panics, never errors.
+    pub fn load(path: &Path) -> TuningDb {
+        if !path.exists() {
+            return TuningDb::new();
+        }
+        match std::fs::read_to_string(path) {
+            Ok(text) => TuningDb::parse(&text),
+            Err(e) => TuningDb {
+                entries: BTreeMap::new(),
+                warnings: vec![format!(
+                    "tuning db {}: unreadable ({e}); using defaults",
+                    path.display()
+                )],
+            },
+        }
+    }
+
+    /// Parse database text. Tolerant: bad lines are skipped with a
+    /// warning, unknown `k=v` fields ignored, a wrong header empties the
+    /// database (with a warning) rather than failing.
+    pub fn parse(text: &str) -> TuningDb {
+        let mut db = TuningDb::new();
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == DB_HEADER => {}
+            Some((_, first)) => {
+                db.warnings.push(format!(
+                    "tuning db: unrecognized header '{}' (want '{DB_HEADER}'); using defaults",
+                    first.trim()
+                ));
+                return db;
+            }
+            None => {
+                db.warnings.push("tuning db: empty file; using defaults".to_string());
+                return db;
+            }
+        }
+        for (i, line) in lines {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('\t') else {
+                db.warnings.push(format!("tuning db line {}: no tab separator; skipped", i + 1));
+                continue;
+            };
+            if key.split('|').count() != 3 {
+                db.warnings.push(format!(
+                    "tuning db line {}: key '{key}' is not op|sig|isa; skipped",
+                    i + 1
+                ));
+                continue;
+            }
+            match parse_schedule(value) {
+                Some(s) => {
+                    db.entries.insert(key.to_string(), s);
+                }
+                None => db
+                    .warnings
+                    .push(format!("tuning db line {}: unparsable value '{value}'; skipped", i + 1)),
+            }
+        }
+        db
+    }
+
+    /// Serialize to the on-disk text format (deterministic: keys in sorted
+    /// order).
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(DB_HEADER);
+        out.push('\n');
+        for (k, v) in &self.entries {
+            out.push_str(k);
+            out.push('\t');
+            out.push_str(&serialize_schedule(*v));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the database to `path` (parent directories must exist).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.serialize().as_bytes())
+    }
+
+    /// Look up the schedule for a key.
+    pub fn get(&self, key: &str) -> Option<NodeSchedule> {
+        self.entries.get(key).copied()
+    }
+
+    /// Insert or replace an entry.
+    pub fn insert(&mut self, key: String, sched: NodeSchedule) {
+        self.entries.insert(key, sched);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Everything the tolerant loader skipped or degraded.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Iterate entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, NodeSchedule)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+fn serialize_schedule(s: NodeSchedule) -> String {
+    match s {
+        NodeSchedule::Default => "default".to_string(),
+        NodeSchedule::Gemm(g) => format!("gemm kc={} mc={} nc={}", g.kc, g.mc, g.nc),
+        NodeSchedule::Fused(f) => format!("fused spt={} tile={}", f.slots_per_thread, f.tile),
+    }
+}
+
+fn parse_schedule(value: &str) -> Option<NodeSchedule> {
+    let mut parts = value.split_whitespace();
+    let kind = parts.next()?;
+    // Unknown `k=v` fields are skipped — a newer writer may add fields an
+    // older reader does not know; a missing known field keeps its default.
+    let field = |want: &str, default: usize| -> usize {
+        value
+            .split_whitespace()
+            .skip(1)
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == want)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    };
+    match kind {
+        "default" => Some(NodeSchedule::Default),
+        "gemm" => {
+            let d = GemmSchedule::DEFAULT;
+            let s = GemmSchedule {
+                kc: field("kc", d.kc),
+                mc: field("mc", d.mc),
+                nc: field("nc", d.nc),
+            };
+            Some(NodeSchedule::Gemm(s.normalized()))
+        }
+        "fused" => {
+            let d = FusedSchedule::DEFAULT;
+            let s = FusedSchedule {
+                slots_per_thread: field("spt", d.slots_per_thread),
+                tile: field("tile", d.tile),
+            };
+            Some(NodeSchedule::Fused(s.normalized()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut db = TuningDb::new();
+        db.insert(
+            db_key("conv2d", "c3h64w64", "avx2fma"),
+            NodeSchedule::Gemm(GemmSchedule { kc: 128, mc: 64, nc: 256 }),
+        );
+        db.insert(
+            db_key("fused", "n1c32", "avx2fma"),
+            NodeSchedule::Fused(FusedSchedule { slots_per_thread: 2, tile: 16 }),
+        );
+        let text = db.serialize();
+        let back = TuningDb::parse(&text);
+        assert!(back.warnings().is_empty(), "{:?}", back.warnings());
+        assert_eq!(back.len(), 2);
+        for (k, v) in db.iter() {
+            assert_eq!(back.get(k), Some(v), "key {k}");
+        }
+        // Serialization is deterministic.
+        assert_eq!(text, back.serialize());
+    }
+
+    #[test]
+    fn unknown_fields_and_kinds_are_tolerated() {
+        let text = format!(
+            "{DB_HEADER}\n\
+             conv2d|sig|isa\tgemm kc=64 mc=32 nc=64 zeta=9 future-flag\n\
+             linear|sig|isa\tquantum qubits=3\n"
+        );
+        let db = TuningDb::parse(&text);
+        // Unknown field inside a known kind: entry survives, field ignored.
+        assert_eq!(
+            db.get("conv2d|sig|isa"),
+            Some(NodeSchedule::Gemm(GemmSchedule { kc: 64, mc: 32, nc: 64 }))
+        );
+        // Unknown kind: skipped with a warning, not a panic.
+        assert_eq!(db.get("linear|sig|isa"), None);
+        assert_eq!(db.warnings().len(), 1);
+        assert!(db.warnings()[0].contains("unparsable"));
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_degrade_to_defaults() {
+        // Binary garbage.
+        let db = TuningDb::parse("\u{0}\u{1}\u{2}garbage");
+        assert!(db.is_empty());
+        assert!(!db.warnings().is_empty());
+        // Truncated mid-line: header fine, bad tail skipped, good line kept.
+        let db = TuningDb::parse(&format!("{DB_HEADER}\na|b|c\tgemm kc=8 mc=8 nc=8\nd|e|f\tgem"));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.warnings().len(), 1);
+        // Missing tab.
+        let db = TuningDb::parse(&format!("{DB_HEADER}\nno-tab-here gemm kc=1"));
+        assert!(db.is_empty());
+        assert!(db.warnings()[0].contains("no tab"));
+        // Empty file.
+        let db = TuningDb::parse("");
+        assert!(db.is_empty() && !db.warnings().is_empty());
+    }
+
+    #[test]
+    fn parsed_schedules_are_normalized_into_legality() {
+        // kc=0 / mc=0 / a wild nc must come back legal, never panic later.
+        let db = TuningDb::parse(&format!(
+            "{DB_HEADER}\na|b|c\tgemm kc=0 mc=0 nc=3\nx|y|z\tfused spt=0 tile=5"
+        ));
+        let NodeSchedule::Gemm(g) = db.get("a|b|c").unwrap() else { panic!() };
+        assert!(g.is_legal());
+        assert!(g.kc >= 1 && g.mc >= 1 && g.nc >= 1);
+        let NodeSchedule::Fused(f) = db.get("x|y|z").unwrap() else { panic!() };
+        assert!(f.is_legal());
+        assert_eq!(f.slots_per_thread, 1);
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_database() {
+        let db = TuningDb::load(Path::new("/nonexistent/definitely/not/here.tsv"));
+        assert!(db.is_empty());
+        assert!(db.warnings().is_empty());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let path = std::env::temp_dir().join(format!("temco-tune-test-{}.tsv", std::process::id()));
+        let mut db = TuningDb::new();
+        db.insert(
+            db_key("linear", "n1f128o10", "baseline"),
+            NodeSchedule::Gemm(GemmSchedule::DEFAULT),
+        );
+        db.save(&path).unwrap();
+        let back = TuningDb::load(&path);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.get("linear|n1f128o10|baseline"),
+            Some(NodeSchedule::Gemm(GemmSchedule::DEFAULT))
+        );
+    }
+}

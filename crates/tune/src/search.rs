@@ -1,0 +1,320 @@
+//! The search loop: measure candidates, keep the winner, fill the DB.
+//!
+//! Tunable nodes are grouped by signature (see [`crate::signature`]) and
+//! each group is tuned once, in schedule order. A candidate is evaluated
+//! by compiling the graph with the candidate applied to the group (other
+//! groups keep their current best), then timing real [`Engine`] runs with
+//! the `temco-obs` span recorder: one warm-up, then `reps` recorded runs;
+//! the group's cost for one run is the sum of its nodes' `NODE` spans,
+//! and the candidate's cost is the **median** over reps. The hand-tuned
+//! default is always candidate 0, so the selected schedule can never
+//! measure worse than the default at selection time — "tuned or default"
+//! is a structural property of argmin, not a hope.
+//!
+//! Schedule resolution happens entirely at compile time: the tuned
+//! engine's warm path carries no schedule lookups and stays zero-alloc.
+
+use std::sync::Arc;
+
+use temco_ir::Graph;
+use temco_obs::{kind, Recorder};
+use temco_runtime::{CompiledGraph, Engine, ExecError, NodeSchedule};
+use temco_tensor::Tensor;
+
+use crate::candidates::{fused_candidates, gemm_candidates};
+use crate::db::TuningDb;
+use crate::signature::node_db_key;
+
+/// Search-budget knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneOptions {
+    /// Candidate schedules evaluated per signature group (≥ 1; the
+    /// hand-tuned default is always among them).
+    pub trials: usize,
+    /// Seed for candidate mutation and measurement inputs.
+    pub seed: u64,
+    /// Timed engine runs per candidate (median taken), after one warm-up.
+    pub reps: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { trials: 8, seed: 42, reps: 3 }
+    }
+}
+
+/// What tuning one signature group found.
+#[derive(Clone, Debug)]
+pub struct GroupReport {
+    /// Tuning-database key of the group.
+    pub key: String,
+    /// Op kind label (`conv2d`, `linear`, `fused`, …).
+    pub op: &'static str,
+    /// How many graph nodes share the signature.
+    pub nodes: usize,
+    /// Candidates actually measured.
+    pub candidates: usize,
+    /// Median group time under the hand-tuned default, in ns.
+    pub default_ns: u64,
+    /// Median group time under the winning schedule, in ns
+    /// (≤ `default_ns` by construction).
+    pub best_ns: u64,
+    /// The winning schedule, as stored in the database.
+    pub best: NodeSchedule,
+}
+
+impl GroupReport {
+    /// `default / best` (≥ 1.0 by construction; 1.0 when the default won).
+    pub fn speedup(&self) -> f64 {
+        if self.best_ns == 0 {
+            1.0
+        } else {
+            self.default_ns as f64 / self.best_ns as f64
+        }
+    }
+}
+
+/// Per-node schedules for `g` resolved from the database: a hit keyed by
+/// the node's `(op, signature, isa)` uses the stored schedule, a miss
+/// falls back to [`NodeSchedule::Default`]. This is the compile-time
+/// dispatch point — call it once, hand the result to
+/// [`CompiledGraph::new_with_schedules`], and the warm path never sees
+/// the database again.
+pub fn schedules_for(g: &Graph, db: &TuningDb) -> Vec<NodeSchedule> {
+    g.nodes
+        .iter()
+        .map(|n| node_db_key(g, n).and_then(|k| db.get(&k)).unwrap_or(NodeSchedule::Default))
+        .collect()
+}
+
+/// Compile `g` with every node's schedule resolved from the database
+/// (graceful fallback to defaults on miss — an empty or corrupt database
+/// compiles exactly like [`CompiledGraph::new`]).
+pub fn compile_with_db(g: Graph, db: &TuningDb) -> Result<CompiledGraph, ExecError> {
+    let scheds = schedules_for(&g, db);
+    CompiledGraph::new_with_schedules(g, &scheds)
+}
+
+/// Deterministic measurement inputs for a graph (seeded per input).
+pub fn tuning_inputs(g: &Graph, seed: u64) -> Vec<Tensor> {
+    g.inputs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Tensor::randn(g.shape(*v), seed.wrapping_add(i as u64).wrapping_mul(2) + 1))
+        .collect()
+}
+
+/// Tune every signature group of `g`, writing winners into `db` (existing
+/// entries seed the search and are replaced by what measures best now).
+/// Returns one report per group, in schedule order.
+pub fn tune_graph(
+    g: &Graph,
+    opts: &TuneOptions,
+    db: &mut TuningDb,
+) -> Result<Vec<GroupReport>, ExecError> {
+    let inputs = tuning_inputs(g, opts.seed);
+
+    // Group tunable nodes by database key, preserving first-appearance
+    // order so the walk — and therefore the whole run — is deterministic.
+    let mut groups: Vec<(String, &'static str, Vec<usize>)> = Vec::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        let Some((op, _)) = crate::signature::node_signature(g, node) else { continue };
+        let key = node_db_key(g, node).expect("tunable node has a key");
+        match groups.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, _, nodes)) => nodes.push(i),
+            None => groups.push((key, op, vec![i])),
+        }
+    }
+
+    // Start from the database's prior knowledge (or defaults).
+    let mut scheds = schedules_for(g, db);
+    let mut reports = Vec::with_capacity(groups.len());
+
+    for (gi, (key, op, nodes)) in groups.iter().enumerate() {
+        let group_seed = opts.seed.wrapping_add((gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let cands: Vec<NodeSchedule> = if *op == "fused" {
+            fused_candidates(opts.trials, group_seed).into_iter().map(NodeSchedule::Fused).collect()
+        } else {
+            gemm_candidates(opts.trials, group_seed).into_iter().map(NodeSchedule::Gemm).collect()
+        };
+
+        let mut default_ns = 0u64;
+        let mut best_ns = u64::MAX;
+        let mut best = cands[0];
+        for (ci, cand) in cands.iter().enumerate() {
+            for &n in nodes {
+                scheds[n] = *cand;
+            }
+            let ns = measure_group(g, &scheds, &inputs, nodes, opts.reps)?;
+            if ci == 0 {
+                default_ns = ns;
+            }
+            if ns < best_ns {
+                best_ns = ns;
+                best = *cand;
+            }
+        }
+        for &n in nodes {
+            scheds[n] = best;
+        }
+        db.insert(key.clone(), best);
+        reports.push(GroupReport {
+            key: key.clone(),
+            op,
+            nodes: nodes.len(),
+            candidates: cands.len(),
+            default_ns,
+            best_ns,
+            best,
+        });
+    }
+    Ok(reports)
+}
+
+/// Median of `reps` recorded runs' summed `NODE` time over `group`, after
+/// one warm-up run.
+fn measure_group(
+    g: &Graph,
+    scheds: &[NodeSchedule],
+    inputs: &[Tensor],
+    group: &[usize],
+    reps: usize,
+) -> Result<u64, ExecError> {
+    let compiled = CompiledGraph::new_with_schedules(g.clone(), scheds)?;
+    let mut engine = Engine::from_compiled(Arc::new(compiled));
+    let mut rec = Recorder::with_capacity(g.nodes.len() + 4);
+    engine.run_recorded(inputs, &mut rec)?; // warm-up (also faults the slab in)
+    let mut costs = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        rec.clear();
+        engine.run_recorded(inputs, &mut rec)?;
+        let ns: u64 = rec
+            .iter()
+            .filter(|e| e.kind == kind::NODE && group.contains(&(e.node as usize)))
+            .map(|e| e.dur_ns)
+            .sum();
+        costs.push(ns);
+    }
+    costs.sort_unstable();
+    Ok(costs[costs.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use temco_ir::{ActKind, FconvSpec, FusedSpec, PoolKind};
+
+    pub(crate) fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input(&[1, 8, 16, 16], "x");
+        let c = g.conv2d(x, Tensor::randn(&[16, 8, 3, 3], 1), None, 1, 1, "c");
+        let lw = g.add_weight(Tensor::randn(&[32, 16, 1, 1], 2));
+        let fw = g.add_weight(Tensor::randn(&[8, 32, 1, 1], 3));
+        let f = g.fused(
+            c,
+            FusedSpec {
+                lconv_w: lw,
+                lconv_b: None,
+                act: ActKind::Relu,
+                pool: Some((PoolKind::Max, 2, 2)),
+                fconv: Some(FconvSpec { weight: fw, bias: None }),
+            },
+            "f",
+        );
+        let fl = g.flatten(f, "flat");
+        let l = g.linear(fl, Tensor::randn(&[10, 8 * 8 * 8], 4), None, "fc");
+        g.mark_output(l);
+        g.infer_shapes();
+        g
+    }
+
+    #[test]
+    fn tuned_never_loses_to_default_and_db_fills() {
+        let g = tiny_graph();
+        let mut db = TuningDb::new();
+        let opts = TuneOptions { trials: 3, seed: 42, reps: 3 };
+        let reports = tune_graph(&g, &opts, &mut db).unwrap();
+        // conv2d, fused, linear — three signature groups.
+        assert_eq!(reports.len(), 3);
+        assert_eq!(db.len(), 3);
+        for r in &reports {
+            assert!(r.best_ns <= r.default_ns, "{}: {} > {}", r.key, r.best_ns, r.default_ns);
+            assert!(r.speedup() >= 1.0);
+            assert_eq!(db.get(&r.key), Some(r.best), "{}", r.key);
+        }
+    }
+
+    #[test]
+    fn every_candidate_schedule_computes_the_same_result() {
+        // Correctness must hold for ANY candidate the search could pick,
+        // so sweep the whole candidate list instead of depending on which
+        // one noisy timing selects.
+        let g = tiny_graph();
+        let inputs = tuning_inputs(&g, 7);
+        let reference = Engine::new(g.clone()).unwrap().run(&inputs).unwrap()[0].clone();
+        let scale = reference.data().iter().fold(1.0f32, |a, x| a.max(x.abs()));
+        for gs in crate::candidates::gemm_candidates(8, 1) {
+            for fs in crate::candidates::fused_candidates(8, 1) {
+                let scheds: Vec<NodeSchedule> = g
+                    .nodes
+                    .iter()
+                    .map(|n| match crate::signature::node_signature(&g, n) {
+                        Some(("fused", _)) => NodeSchedule::Fused(fs),
+                        Some(_) => NodeSchedule::Gemm(gs),
+                        None => NodeSchedule::Default,
+                    })
+                    .collect();
+                let compiled = CompiledGraph::new_with_schedules(g.clone(), &scheds).unwrap();
+                let mut e = Engine::from_compiled(Arc::new(compiled));
+                let out = e.run(&inputs).unwrap();
+                // Different blockings reorder float accumulation; results
+                // agree to magnitude-relative tolerance, not bit-for-bit.
+                let tol = 2e-3 * scale;
+                assert!(
+                    out[0].all_close(&reference, tol),
+                    "gemm {gs:?} fused {fs:?} diverged by {:e} (tol {tol:e})",
+                    out[0].max_abs_diff(&reference)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_engine_agrees_with_the_default_engine() {
+        let g = tiny_graph();
+        let mut db = TuningDb::new();
+        tune_graph(&g, &TuneOptions { trials: 4, seed: 1, reps: 1 }, &mut db).unwrap();
+        let inputs = tuning_inputs(&g, 7);
+        let mut tuned = Engine::from_compiled(Arc::new(compile_with_db(g.clone(), &db).unwrap()));
+        let mut plain = Engine::new(g).unwrap();
+        let a = tuned.run(&inputs).unwrap()[0].clone();
+        let b = plain.run(&inputs).unwrap();
+        let scale = b[0].data().iter().fold(1.0f32, |m, x| m.max(x.abs()));
+        assert!(a.all_close(&b[0], 2e-3 * scale));
+    }
+
+    #[test]
+    fn empty_db_compiles_exactly_like_the_default_path() {
+        let g = tiny_graph();
+        let db = TuningDb::new();
+        let scheds = schedules_for(&g, &db);
+        assert!(scheds.iter().all(|s| *s == NodeSchedule::Default));
+        let compiled = compile_with_db(g.clone(), &db).unwrap();
+        let plain = CompiledGraph::new(g).unwrap();
+        assert_eq!(compiled.plan().slab_bytes, plain.plan().slab_bytes);
+        assert_eq!(compiled.plan().node_scratch, plain.plan().node_scratch);
+    }
+
+    #[test]
+    fn db_misses_and_foreign_entries_fall_back_gracefully() {
+        let g = tiny_graph();
+        let mut db = TuningDb::new();
+        // An entry for some other machine/shape must not leak in.
+        db.insert(
+            "conv2d|c999h9w9-oc9k9x9-s9x9-p9x9-g9|never".to_string(),
+            NodeSchedule::Gemm(temco_runtime::GemmSchedule { kc: 1, mc: 4, nc: 8 }),
+        );
+        let scheds = schedules_for(&g, &db);
+        assert!(scheds.iter().all(|s| *s == NodeSchedule::Default));
+    }
+}

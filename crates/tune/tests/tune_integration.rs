@@ -1,0 +1,103 @@
+//! Cross-crate integration tests for the autotuning plane: the tuned
+//! dispatch path against the differential oracle's random CNNs, and a
+//! shared database handle under concurrent Engine compilation.
+
+use std::sync::Arc;
+
+use temco_check::{random_cnn, GenConfig};
+use temco_runtime::{CompiledGraph, Engine, NodeSchedule};
+use temco_tensor::Tensor;
+use temco_tune::{compile_with_db, schedules_for, tune_graph, TuneOptions, TuningDb};
+
+fn inputs_for(g: &temco_ir::Graph, seed: u64) -> Vec<Tensor> {
+    g.inputs.iter().enumerate().map(|(i, v)| Tensor::randn(g.shape(*v), seed + i as u64)).collect()
+}
+
+/// Tuned engines must agree with default engines on random CNNs — the
+/// same differential-oracle standard `temco check` applies to the
+/// compiler's opt levels, here applied to schedule dispatch.
+#[test]
+fn tuned_engines_agree_with_default_engines_on_random_cnns() {
+    let cfg = GenConfig { ops: 6, max_channels: 16, min_image: 8, max_image: 12 };
+    for seed in 0..4u64 {
+        let g = random_cnn(seed, &cfg);
+        let mut db = TuningDb::new();
+        // A tiny budget keeps the test fast; correctness must hold for
+        // ANY selected schedule, not just well-measured ones.
+        tune_graph(&g, &TuneOptions { trials: 3, seed, reps: 1 }, &mut db)
+            .unwrap_or_else(|e| panic!("seed {seed}: tune failed: {e}"));
+        let inputs = inputs_for(&g, 100 + seed);
+        let mut tuned = Engine::from_compiled(Arc::new(compile_with_db(g.clone(), &db).unwrap()));
+        let mut plain = Engine::new(g).unwrap();
+        let a: Vec<Tensor> = tuned.run(&inputs).unwrap().to_vec();
+        let b = plain.run(&inputs).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            // Magnitude-relative tolerance: blockings reorder accumulation.
+            let scale = y.data().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            assert!(
+                x.all_close(y, 2e-3 * scale),
+                "seed {seed}: tuned output diverged by {:e}",
+                x.max_abs_diff(y)
+            );
+        }
+    }
+}
+
+/// One loaded database handle must serve many concurrent Engine compiles
+/// — the deployment shape where a process tunes once and every serving
+/// thread compiles against the shared result.
+#[test]
+fn concurrent_compiles_share_one_db_handle() {
+    let g = random_cnn(7, &GenConfig { ops: 5, max_channels: 16, min_image: 8, max_image: 10 });
+    let mut db = TuningDb::new();
+    tune_graph(&g, &TuneOptions { trials: 2, seed: 7, reps: 1 }, &mut db).unwrap();
+    let db = Arc::new(db);
+    let g = Arc::new(g);
+
+    let reference = schedules_for(&g, &db);
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                let scheds = schedules_for(&g, &db);
+                let compiled = CompiledGraph::new_with_schedules((*g).clone(), &scheds).unwrap();
+                let mut engine = Engine::from_compiled(Arc::new(compiled));
+                let inputs: Vec<Tensor> = g
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| Tensor::randn(g.shape(*v), 50 + t + i as u64))
+                    .collect();
+                engine.run(&inputs).unwrap();
+                scheds
+            })
+        })
+        .collect();
+    for h in handles {
+        let scheds: Vec<NodeSchedule> = h.join().unwrap();
+        assert_eq!(scheds, reference, "db lookups must be identical across threads");
+    }
+}
+
+/// A database written by `tune`, loaded from disk by a fresh process
+/// (simulated), must reproduce the exact same compiled plans.
+#[test]
+fn on_disk_db_reproduces_the_tuned_plan() {
+    let g = random_cnn(3, &GenConfig { ops: 5, max_channels: 16, min_image: 8, max_image: 10 });
+    let mut db = TuningDb::new();
+    tune_graph(&g, &TuneOptions { trials: 3, seed: 3, reps: 1 }, &mut db).unwrap();
+
+    let path = std::env::temp_dir().join(format!("temco-tune-int-{}.tsv", std::process::id()));
+    db.save(&path).unwrap();
+    let loaded = TuningDb::load(&path);
+    std::fs::remove_file(&path).ok();
+    assert!(loaded.warnings().is_empty(), "{:?}", loaded.warnings());
+
+    let a = compile_with_db(g.clone(), &db).unwrap();
+    let b = compile_with_db(g, &loaded).unwrap();
+    assert_eq!(a.plan().slab_bytes, b.plan().slab_bytes);
+    assert_eq!(a.plan().node_scratch, b.plan().node_scratch);
+    assert_eq!(a.plan().node_schedule, b.plan().node_schedule);
+}

@@ -46,6 +46,14 @@ echo "=== serve scaling gate (workers=4 >= 2x workers=1) ==="
 cargo build --release -q -p temco-bench --bin bench_serve
 ./target/release/bench_serve --smoke
 
+# Autotuner smoke gate: tiny trial budget, fixed seed. Asserts candidate
+# generation and selection are deterministic, the tuning DB round-trips
+# through its on-disk text format, and the selected schedule never loses
+# to the hand-tuned default on the smoke shapes (structural: the default
+# is always a candidate of the argmin).
+echo "=== temco tune --smoke (seeded, deterministic) ==="
+cargo run --release -q -p temco-cli --bin temco -- tune --smoke --trials 3 --seed 42
+
 # Opt-in perf smoke: TEMCO_CHECK_BENCH=1 ./scripts/check.sh also refreshes
 # BENCH_kernels.json (a few extra minutes; off by default so CI stays fast).
 if [[ "${TEMCO_CHECK_BENCH:-0}" == "1" ]]; then

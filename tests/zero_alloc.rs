@@ -120,6 +120,53 @@ fn instrumented_engine_run_performs_zero_heap_allocations() {
 }
 
 #[test]
+fn tuned_engine_steady_state_performs_zero_heap_allocations() {
+    // Schedule dispatch must cost nothing at run time: an engine compiled
+    // against a populated tuning DB — every tunable node on a NON-default
+    // schedule — is as allocation-free in steady state as the default one.
+    // Schedule resolution happens once, in `compile_with_db`.
+    use temco_runtime::{FusedSchedule, GemmSchedule, NodeSchedule};
+
+    let compiler = Compiler::default();
+    let cfg = ModelConfig::small();
+    for id in [ModelId::Alexnet, ModelId::Resnet18, ModelId::UnetSmall] {
+        let (opt, _) = compiler.compile(&id.build(&cfg), OptLevel::SkipOptFusion);
+        let mut db = temco_tune::TuningDb::new();
+        for node in &opt.nodes {
+            let Some((op, _)) = temco_tune::node_signature(&opt, node) else { continue };
+            let Some(key) = temco_tune::node_db_key(&opt, node) else { continue };
+            let sched = if op == "fused" {
+                NodeSchedule::Fused(FusedSchedule { slots_per_thread: 2, tile: 16 })
+            } else {
+                NodeSchedule::Gemm(GemmSchedule { kc: 128, mc: 32, nc: 128 })
+            };
+            db.insert(key, sched);
+        }
+        assert!(!db.is_empty(), "{}: no tunable nodes found", id.name());
+        let scheds = temco_tune::schedules_for(&opt, &db);
+        assert!(
+            scheds.iter().any(|s| *s != NodeSchedule::Default),
+            "{}: tuned plan degenerated to defaults",
+            id.name()
+        );
+        let compiled = temco_tune::compile_with_db(opt, &db)
+            .unwrap_or_else(|e| panic!("{}: tuned compile failed: {e}", id.name()));
+        let mut engine = Engine::from_compiled(std::sync::Arc::new(compiled));
+        let x = Tensor::randn(&[cfg.batch, 3, cfg.image, cfg.image], 21);
+        engine.run(std::slice::from_ref(&x)).expect("warmup run failed");
+        let (res, allocs) =
+            count_allocs(|| engine.run(std::slice::from_ref(&x)).map(|outs| outs.len()));
+        assert!(res.is_ok());
+        assert_eq!(
+            allocs,
+            0,
+            "{}: tuned steady-state run heap-allocated {allocs} times",
+            id.name()
+        );
+    }
+}
+
+#[test]
 fn engine_agrees_with_per_node_baseline() {
     let compiler = Compiler::default();
     let cfg = ModelConfig::small();
